@@ -1,0 +1,8 @@
+"""Regenerate the Section III-B burstiness-vs-size ablation."""
+
+
+def test_ablation_burstiness(report):
+    result = report("ablation_burstiness", fast=False)
+    for program in ("CG", "FT", "SP", "IS"):
+        assert result.data[f"{program}.S"] is True, program
+        assert result.data[f"{program}.C"] is False, program

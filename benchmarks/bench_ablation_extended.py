@@ -1,0 +1,8 @@
+"""Regenerate the Section VI channel-aware extension ablation."""
+
+
+def test_ablation_extended(report):
+    result = report("ablation_extended", fast=False)
+    for mkey, d in result.data.items():
+        assert d["base"] < 0.25, mkey        # base model stays sane
+        assert d["extended"] < 0.40, mkey    # extension stays bounded

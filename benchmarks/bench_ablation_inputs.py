@@ -1,0 +1,8 @@
+"""Regenerate the Section V regression-input ablation."""
+
+
+def test_ablation_inputs(report):
+    result = report("ablation_inputs", fast=False)
+    amd = result.data["amd_numa"]
+    # Paper: the AMD fit degrades sharply with three homogeneous inputs.
+    assert amd["reduced"] >= amd["full"]

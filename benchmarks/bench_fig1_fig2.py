@@ -1,0 +1,7 @@
+"""Regenerate paper Figs. 1-2 (architectures and interconnects)."""
+
+
+def test_fig1_fig2(report):
+    result = report("fig1_fig2", fast=False)
+    assert result.data["amd_numa"]["distance_classes"] == [0, 1, 2]
+    assert all("OK" in n for n in result.notes if "->" in n)

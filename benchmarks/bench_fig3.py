@@ -1,0 +1,10 @@
+"""Regenerate paper Fig. 3: CG.C counter curves on the three machines."""
+
+
+def test_fig3(report):
+    result = report("fig3", fast=False)
+    for mkey, series in result.data.items():
+        totals = [p["total"] for p in series]
+        works = [p["work"] for p in series]
+        assert totals[-1] > 1.5 * totals[0], mkey
+        assert max(works) / min(works) < 1.3, mkey

@@ -1,0 +1,8 @@
+"""Regenerate paper Fig. 4: burstiness CCDFs for CG and x264."""
+
+
+def test_fig4(report):
+    result = report("fig4", fast=False)
+    agreements = [d["heavy_measured"] == d["heavy_paper"]
+                  for d in result.data.values()]
+    assert sum(agreements) >= 8  # 9 series; allow one borderline verdict

@@ -1,0 +1,9 @@
+"""Regenerate paper Fig. 5: model vs measurement, CG.C (high contention)."""
+
+
+def test_fig5(report):
+    result = report("fig5", fast=False)
+    for mkey, d in result.data.items():
+        # Paper band: 5-14% average relative error (slack for our
+        # simulated substrate).
+        assert d["mean_relative_error"] < 0.16, mkey

@@ -1,0 +1,10 @@
+"""Regenerate paper Fig. 6: model vs measurement, EP.C (low contention)."""
+
+
+def test_fig6(report):
+    result = report("fig6", fast=False)
+    for mkey, d in result.data.items():
+        if mkey == "intel_uma":
+            continue  # paper: UMA EP stays ~0 throughout
+        assert d["negative_omega_in_package"], mkey
+        assert d["omega_full"] > 0.3, mkey

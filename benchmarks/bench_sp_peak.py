@@ -1,0 +1,9 @@
+"""Regenerate the Section V SP.C peak-contention quotes."""
+
+
+def test_sp_peak(report):
+    result = report("sp_peak", fast=False)
+    for mkey, d in result.data.items():
+        assert d["winner"] == "SP", mkey
+    # Abstract: more than tenfold cycle growth on the 24-core machine.
+    assert result.data["intel_numa"]["omegas"]["SP"] > 9.0

@@ -1,0 +1,109 @@
+"""Microbenchmarks of the substrates themselves.
+
+Not a paper artefact: these time the building blocks (exact MVA, the
+flow fixed point, the cache simulator, burst sampling) so performance
+regressions in the simulation engine are visible.
+"""
+
+import numpy as np
+import pytest
+
+
+def test_exact_mva_48(benchmark):
+    from repro.qnet.mva import ClosedNetwork, DelayStation, QueueingStation
+
+    net = ClosedNetwork([
+        DelayStation("think", 50.0),
+        QueueingStation("mc0", 1.0),
+        QueueingStation("mc1", 1.0),
+        QueueingStation("port", 0.4),
+    ])
+    result = benchmark(net.solve, 48)
+    assert result.throughput > 0
+
+
+def test_flow_solver_amd_full(benchmark):
+    from repro.machine import CoreAllocation, amd_numa
+    from repro.runtime.calibration import calibrate_profile
+    from repro.runtime.flow import solve_flow
+
+    machine = amd_numa()
+    profile = calibrate_profile("CG", "C", machine)
+    alloc = CoreAllocation.paper_policy(machine, 48)
+    result = benchmark(solve_flow, profile, machine, alloc)
+    assert result.total_cycles > 0
+
+
+def test_measurement_sweep_intel_numa(benchmark):
+    from repro.machine import intel_numa
+    from repro.runtime.measurement import MeasurementRun
+
+    machine = intel_numa()
+
+    def sweep():
+        return MeasurementRun("CG", "C", machine).sweep([1, 12, 24])
+
+    result = benchmark(sweep)
+    assert result[24].total_cycles > result[1].total_cycles
+
+
+def test_cache_simulation_throughput(benchmark, rng=None):
+    from repro.machine.caches import CacheConfig, CacheHierarchy
+    from repro.workloads import get_workload
+
+    hier = CacheHierarchy([
+        CacheConfig("L1", 32, 8).to_level(),
+        CacheConfig("L2", 512, 8).to_level(),
+    ])
+    trace = get_workload("CG").address_trace(50_000, rng=7)
+
+    def run():
+        hier.reset()
+        return hier.access(trace)
+
+    out = benchmark(run)
+    assert out["llc_miss_mask"].shape == trace.shape
+
+
+def test_burst_sampling_100k_windows(benchmark):
+    from repro.counters.sampler import BurstSampler
+    from repro.machine import intel_numa
+
+    sampler = BurstSampler(intel_numa())
+    trace = benchmark(sampler.sample, "CG", "A", None, 100_000)
+    assert trace.n_windows == 100_000
+
+
+def test_model_fit_and_validate(benchmark):
+    from repro.core import fit_model, validate_model
+    from repro.machine import intel_numa
+    from repro.runtime.measurement import MeasurementRun
+
+    machine = intel_numa()
+    sweep = MeasurementRun("CG", "C", machine).sweep()
+
+    def fit_validate():
+        model = fit_model(machine, sweep)
+        return validate_model(model, sweep)
+
+    report = benchmark(fit_validate)
+    assert report.mean_relative_error_cycles < 0.2
+
+
+def test_fft3d_32cubed(benchmark):
+    from repro.workloads.ft import fft3d
+
+    rng = np.random.default_rng(7)
+    grid = rng.random((32, 32, 32)) + 1j * rng.random((32, 32, 32))
+    out = benchmark(fft3d, grid)
+    assert np.allclose(out, np.fft.fftn(grid))
+
+
+def test_penta_solve_4096_lines(benchmark):
+    from repro.workloads.sp import model_bands, penta_solve
+
+    rng = np.random.default_rng(7)
+    bands = model_bands(4096, 64, rng)
+    rhs = rng.random((4096, 64))
+    x = benchmark(penta_solve, bands, rhs)
+    assert np.all(np.isfinite(x))

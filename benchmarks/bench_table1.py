@@ -1,0 +1,6 @@
+"""Regenerate paper Table I (program inventory + kernel execution)."""
+
+
+def test_table1(report):
+    result = report("table1", fast=False)
+    assert len(result.data["kernel_checksums"]) == 6

@@ -1,0 +1,8 @@
+"""Regenerate paper Table II: normalized cycle increases, all machines."""
+
+
+def test_table2(report):
+    result = report("table2", fast=False)
+    rows = result.data["rows"]
+    # 5 programs x 2 sizes x 3 machines x 2 core counts.
+    assert len(rows) == 60

@@ -1,0 +1,6 @@
+"""Regenerate paper Table III: problem-size descriptions."""
+
+
+def test_table3(report):
+    result = report("table3", fast=False)
+    assert "CG.C" in result.data["sizes"]

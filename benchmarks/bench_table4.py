@@ -1,0 +1,11 @@
+"""Regenerate paper Table IV: 1/C(n) colinearity R-squared grid."""
+
+
+def test_table4(report):
+    result = report("table4", fast=False)
+    for mkey, grid in result.data.items():
+        bursty = [v["measured"] for k, v in grid.items()
+                  if k.startswith(("EP", "x264"))]
+        contended = [v["measured"] for k, v in grid.items()
+                     if not k.startswith(("EP", "x264"))]
+        assert min(contended) > min(bursty), mkey

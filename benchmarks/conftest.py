@@ -1,0 +1,30 @@
+"""Benchmark harness configuration.
+
+Each ``bench_*`` module regenerates one table or figure of the paper:
+``pytest benchmarks/ --benchmark-only`` times the regeneration and prints
+the paper-vs-measured rows, so the whole evaluation section can be
+eyeballed from one run.
+"""
+
+import pytest
+
+
+def run_and_report(benchmark, name, fast=True, rounds=1):
+    """Benchmark one experiment and print its report once."""
+    from repro.experiments import run_experiment
+
+    result = benchmark.pedantic(
+        run_experiment, args=(name,), kwargs={"fast": fast},
+        rounds=rounds, iterations=1)
+    print()
+    print(result.render())
+    return result
+
+
+@pytest.fixture
+def report(benchmark):
+    """Fixture-style access to :func:`run_and_report`."""
+    def _run(name, fast=True, rounds=1):
+        return run_and_report(benchmark, name, fast=fast, rounds=rounds)
+
+    return _run

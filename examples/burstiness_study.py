@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Burstiness study: reproduce the paper's Fig. 4 traffic analysis.
+
+Samples the five-microsecond LLC-miss traffic of CG across its class
+ladder (S, W, A, B, C) on the 24-core Intel NUMA testbed, prints the
+CCDF P(burst > x) on the paper's x grid as ASCII log-log curves, and
+runs the paper's tail test: straight log-log tails for small classes,
+cliff-shaped distributions once the problem saturates the controllers.
+
+Run with::
+
+    python examples/burstiness_study.py
+"""
+
+import numpy as np
+
+from repro import BurstSampler, intel_numa
+from repro.burst import (
+    burstiness_score,
+    ccdf_at,
+    fit_loglog_tail,
+    index_of_dispersion,
+    is_heavy_tailed,
+)
+from repro.util.validation import ValidationError
+
+X_GRID = [1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000]
+SIZES = ["S", "W", "A", "B", "C"]
+
+
+def ascii_loglog(prob: float, width: int = 44) -> str:
+    """Render a probability as a bar on a log scale down to 1e-7."""
+    if prob <= 0:
+        return ""
+    depth = min(-np.log10(prob), 7.0)
+    return "#" * max(int(width * (1.0 - depth / 7.0)), 1)
+
+
+def main() -> None:
+    machine = intel_numa()
+    sampler = BurstSampler(machine)
+    print(f"sampling LLC misses every {sampler.window_us:.0f} us on "
+          f"{machine.name}, all {machine.n_cores} cores active")
+    print()
+    for size in SIZES:
+        trace = sampler.sample("CG", size, n_windows=120_000)
+        probs = ccdf_at(trace.counts, X_GRID)
+        print(f"CG.{size}: mean rate "
+              f"{trace.mean_rate_per_us:8.2f} lines/us, "
+              f"{'heavy-tailed' if is_heavy_tailed(trace.counts) else 'not heavy-tailed'}")
+        for x, p in zip(X_GRID, probs):
+            print(f"   P(burst > {x:>4}) = {p:8.1e} |{ascii_loglog(p)}")
+        try:
+            fit = fit_loglog_tail(trace.counts)
+            print(f"   log-log tail: R^2 = {fit.r2:.3f}, "
+                  f"index alpha = {fit.tail_index:.2f}")
+        except ValidationError:
+            print("   log-log tail: no support beyond 50 lines "
+                  "(saturated traffic)")
+        print(f"   index of dispersion = "
+              f"{index_of_dispersion(trace.counts):9.1f}, "
+              f"burstiness score = {burstiness_score(trace.counts):+.2f}")
+        print()
+    print("paper's observation III-B: small classes are bursty with the")
+    print("long-tail property; class B and C saturate the memory system")
+    print("and their traffic stops being bursty.")
+
+
+if __name__ == "__main__":
+    main()

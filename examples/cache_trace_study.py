@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Trace-driven cache study: why the programs differ in miss volume.
+
+The paper explains each program's contention by its access pattern (the
+pentadiagonal solver "accesses memories along all dimensions of a 3D
+space"; EP barely touches memory).  This example grounds those claims:
+generate address traces with each kernel's locality structure, push them
+through the set-associative cache hierarchy, and compare LLC miss rates
+— the locality ordering that the contention ordering inherits.
+
+Run with::
+
+    python examples/cache_trace_study.py
+"""
+
+import numpy as np
+
+from repro import all_workloads
+from repro.machine.caches import CacheConfig, CacheHierarchy
+
+N_REFS = 200_000
+
+
+def make_hierarchy() -> CacheHierarchy:
+    """A small two-level hierarchy (scaled to the traces' working sets)."""
+    return CacheHierarchy([
+        CacheConfig("L1", size_kib=32, associativity=8).to_level(),
+        CacheConfig("L2", size_kib=512, associativity=8).to_level(),
+    ])
+
+
+def main() -> None:
+    rng = np.random.default_rng(2011)
+    print(f"pushing {N_REFS:,} references per program through "
+          "a 32 KiB L1 + 512 KiB L2 hierarchy")
+    print()
+    rows = []
+    for workload in all_workloads():
+        hier = make_hierarchy()
+        trace = workload.address_trace(N_REFS, rng=rng)
+        out = hier.access(trace)
+        l1 = hier.caches[0]
+        llc_misses = int(out["llc_miss_mask"].sum())
+        rows.append((workload.name, l1.miss_ratio,
+                     llc_misses / N_REFS, llc_misses))
+    rows.sort(key=lambda r: r[2])
+    print(f"{'program':>8} {'L1 miss ratio':>14} {'LLC misses/ref':>15} "
+          f"{'LLC misses':>11}")
+    for name, l1_ratio, llc_rate, llc in rows:
+        bar = "#" * int(400 * llc_rate)
+        print(f"{name:>8} {l1_ratio:>14.4f} {llc_rate:>15.5f} "
+              f"{llc:>11,} {bar}")
+    print()
+    print("reading the two columns together tells the paper's story:")
+    print("  * EP's tiny batch buffer almost never leaves cache at all;")
+    print("  * x264 is strongly L1-local (the SAD loops re-read each")
+    print("    window), and its LLC traffic is a once-through frame")
+    print("    stream -- high volume, friendly pattern, low contention;")
+    print("  * CG's sparse gather and SP's strided 3-D sweeps miss in")
+    print("    *every* level -- the raw material of their contention.")
+
+
+if __name__ == "__main__":
+    main()

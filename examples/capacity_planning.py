@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Capacity planning: how many cores are worth activating?
+
+The paper's model answers a practical scheduling question: given a few
+cheap measurement runs, at what core count does memory contention eat
+the marginal speedup?  This example fits the model for every large-class
+program on the 48-core AMD testbed, then reports, per program:
+
+* the predicted degree of contention at every core count,
+* the *efficiency* of each configuration (useful work per cycle), and
+* the core count where adding a core stops paying for itself under a
+  simple cost model (a core is "worth it" while it adds less contention
+  than parallelism).
+
+Run with::
+
+    python examples/capacity_planning.py
+"""
+
+from repro import MeasurementRun, amd_numa, fit_model, paper_fit_points
+
+PROGRAMS = ["EP", "IS", "FT", "CG", "SP"]
+
+
+def efficiency(model, n: int) -> float:
+    """Parallel efficiency estimate from the fitted model.
+
+    With fixed total work, wall-clock is ~C(n)/n; efficiency is the
+    single-core wall-clock divided by n times that:
+    ``E(n) = C(1) / C(n)``.
+    """
+    return model.baseline_cycles / model.predict_cycles(n)
+
+
+def knee_core_count(model, max_cores: int, threshold: float = 0.5) -> int:
+    """Largest core count whose efficiency still clears ``threshold``."""
+    best = 1
+    for n in range(1, max_cores + 1):
+        if efficiency(model, n) >= threshold:
+            best = n
+    return best
+
+
+def main() -> None:
+    machine = amd_numa()
+    print(machine.describe())
+    print()
+    print("fitting the contention model per program from "
+          f"measurements at n = {paper_fit_points(machine)}")
+    print()
+    header = f"{'program':>8} {'omega(24)':>10} {'omega(48)':>10} " \
+             f"{'eff(24)':>8} {'eff(48)':>8} {'knee(E>=50%)':>13}"
+    print(header)
+    print("-" * len(header))
+    for program in PROGRAMS:
+        run = MeasurementRun(program, "C", machine)
+        model = fit_model(machine, run.measure)
+        knee = knee_core_count(model, machine.n_cores)
+        print(f"{program:>8} "
+              f"{model.predict_omega(24):>10.2f} "
+              f"{model.predict_omega(48):>10.2f} "
+              f"{efficiency(model, 24):>8.1%} "
+              f"{efficiency(model, 48):>8.1%} "
+              f"{knee:>13d}")
+    print()
+    print("reading: SP's pentadiagonal sweeps hit the memory wall so hard")
+    print("that beyond the knee, extra cores mostly generate stall cycles")
+    print("(the paper's >10x total-cycle growth).  Caveat from the paper")
+    print("itself: for low-contention programs (EP) the model's")
+    print("extrapolation beyond one package is unreliable -- its miss")
+    print("counts are not core-count invariant, so plan EP from")
+    print("measurements, not from this fit.")
+
+
+if __name__ == "__main__":
+    main()

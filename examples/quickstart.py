@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Quickstart: measure contention, fit the paper's model, validate it.
+
+This is the five-minute tour of the library: pick one of the paper's
+testbeds, "run" CG with the class-C input across core counts, fit the
+analytical M/M/1 contention model from the paper's chosen measurement
+points, and compare model against measurement — the content of the
+paper's Fig. 5(b).
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import (
+    MeasurementRun,
+    fit_model,
+    intel_numa,
+    paper_fit_points,
+    validate_model,
+)
+
+
+def main() -> None:
+    # 1. A machine model of the paper's 24-core Westmere testbed.
+    machine = intel_numa()
+    print(machine.describe())
+    print()
+
+    # 2. Measure CG.C with the paper's methodology: 24 threads pinned
+    #    fill-processor-first, five repetitions per configuration.
+    run = MeasurementRun("CG", "C", machine)
+    sweep = run.sweep()   # counters for n = 1..24
+
+    print("measured counters (CG, class C):")
+    print(f"{'n':>3} {'total cycles':>14} {'stall cycles':>14} "
+          f"{'work cycles':>13} {'LLC misses':>12}")
+    for n in (1, 6, 12, 13, 18, 24):
+        s = sweep[n]
+        print(f"{n:>3} {s.total_cycles:>14.3e} {s.stall_cycles:>14.3e} "
+              f"{s.work_cycles:>13.3e} {s.llc_misses:>12.3e}")
+    print()
+
+    # 3. Fit the paper's model from its chosen input points only.
+    points = paper_fit_points(machine)
+    print(f"fitting the analytical model from C(n) at n = {points}")
+    model = fit_model(machine, sweep)
+    print(f"  fitted mu = {model.single.mu:.3e} requests/cycle")
+    print(f"  fitted L  = {model.single.ell:.3e} requests/cycle/core")
+    print(f"  remote coefficient rho = {model.rhos[0]:.1f} "
+          "cycles/request/core")
+    print()
+
+    # 4. Validate across the full sweep (the paper's 5-14% band).
+    report = validate_model(model, sweep)
+    print("degree of memory contention omega(n) = (C(n) - C(1)) / C(1):")
+    print(f"{'n':>3} {'measured':>9} {'model':>9}")
+    for n, measured, predicted in report.rows():
+        if n in (1, 4, 8, 12, 13, 18, 24):
+            print(f"{n:>3} {measured:>9.2f} {predicted:>9.2f}")
+    print()
+    print(f"average relative error: "
+          f"{report.mean_relative_error_cycles:.1%} "
+          "(paper reports 11% on this machine)")
+
+
+if __name__ == "__main__":
+    main()

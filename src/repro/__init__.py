@@ -1,0 +1,100 @@
+"""repro — reproduction of "Understanding Off-chip Memory Contention of
+Parallel Programs in Multicore Systems" (Tudor, Teo & See, ICPP 2011).
+
+The package has two halves:
+
+* the **paper's contribution** — the analytical M/M/1 memory-contention
+  model (:mod:`repro.core`): cycle decomposition, the degree of
+  contention ``omega(n)``, the single-processor cycle law
+  ``C(n) = r/(mu - nL)`` fitted by regression, and the UMA/NUMA
+  multi-processor compositions;
+* the **substrates** the paper's experiments ran on, rebuilt as
+  simulations — machine models of the three testbeds
+  (:mod:`repro.machine`), the NPB/PARSEC workloads
+  (:mod:`repro.workloads`), a closed queueing-network measurement
+  runtime (:mod:`repro.runtime`, on :mod:`repro.qnet` and
+  :mod:`repro.desim`), PAPI-style counters and the five-microsecond
+  burst sampler (:mod:`repro.counters`), and burstiness analysis
+  (:mod:`repro.burst`).
+
+Quick start::
+
+    from repro import intel_numa, MeasurementRun, fit_model, validate_model
+
+    machine = intel_numa()
+    run = MeasurementRun("CG", "C", machine)
+    sweep = run.sweep()                    # measured counters, n = 1..24
+    model = fit_model(machine, sweep)      # the paper's model, fitted
+    report = validate_model(model, sweep)
+    print(report.mean_relative_error_cycles)   # the paper's 5-14% band
+
+Every table and figure of the paper regenerates via
+:func:`repro.experiments.run_experiment` or ``python -m repro <name>``.
+"""
+
+from repro.core import (
+    ContentionModel,
+    NUMAContentionModel,
+    SingleProcessorModel,
+    UMAContentionModel,
+    ValidationReport,
+    colinearity_r2,
+    degree_of_contention,
+    fit_model,
+    omega_curve,
+    paper_fit_points,
+    validate_model,
+)
+from repro.counters import BurstSampler, CounterSample, Papiex, TopologyMap
+from repro.experiments import available_experiments, run_experiment
+from repro.machine import (
+    CoreAllocation,
+    Machine,
+    all_machines,
+    amd_numa,
+    intel_numa,
+    intel_uma,
+)
+from repro.runtime import MeasurementRun, measure_curve, measure_single
+from repro.workloads import Workload, all_workloads, get_workload
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # the paper's model
+    "ContentionModel",
+    "SingleProcessorModel",
+    "UMAContentionModel",
+    "NUMAContentionModel",
+    "ValidationReport",
+    "fit_model",
+    "validate_model",
+    "paper_fit_points",
+    "colinearity_r2",
+    "degree_of_contention",
+    "omega_curve",
+    # machines
+    "Machine",
+    "CoreAllocation",
+    "intel_uma",
+    "intel_numa",
+    "amd_numa",
+    "all_machines",
+    # workloads
+    "Workload",
+    "all_workloads",
+    "get_workload",
+    # measurement substrate
+    "MeasurementRun",
+    "measure_curve",
+    "measure_single",
+    # counters
+    "CounterSample",
+    "Papiex",
+    "BurstSampler",
+    "TopologyMap",
+    # experiments
+    "run_experiment",
+    "available_experiments",
+]

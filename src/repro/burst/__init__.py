@@ -1,0 +1,40 @@
+"""Burstiness analysis of off-chip memory traffic (paper Section III-B).
+
+Tools for the paper's Fig. 4 and the burstiness observations behind the
+model: the empirical complementary CDF ``P(burst size > x)`` of windowed
+miss counts, a log-log tail-linearity test (the paper's criterion: beyond
+50 cache lines, heavy-tailed traffic falls on a straight line in log-log
+space), and classical burstiness indices.
+"""
+
+from repro.burst.ccdf import empirical_ccdf, ccdf_at, CCDF
+from repro.burst.tail import (
+    TailFit,
+    fit_loglog_tail,
+    is_heavy_tailed,
+)
+from repro.burst.metrics import (
+    index_of_dispersion,
+    peak_to_mean_ratio,
+    burstiness_score,
+)
+from repro.burst.selfsimilar import (
+    HurstEstimate,
+    aggregate_series,
+    estimate_hurst,
+)
+
+__all__ = [
+    "CCDF",
+    "empirical_ccdf",
+    "ccdf_at",
+    "TailFit",
+    "fit_loglog_tail",
+    "is_heavy_tailed",
+    "index_of_dispersion",
+    "peak_to_mean_ratio",
+    "burstiness_score",
+    "HurstEstimate",
+    "aggregate_series",
+    "estimate_hurst",
+]

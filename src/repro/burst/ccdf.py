@@ -1,0 +1,83 @@
+"""Empirical complementary CDF of burst sizes.
+
+The paper's Fig. 4 plots ``P(#requested cache lines > x)`` against ``x``
+on log-log axes, one curve per problem size.  :func:`empirical_ccdf`
+computes exactly that curve from windowed miss counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util.validation import ValidationError
+
+
+@dataclass(frozen=True)
+class CCDF:
+    """An empirical complementary CDF over non-negative integer sizes.
+
+    ``probabilities[i]`` is ``P(X > xs[i])`` estimated from the sample.
+    """
+
+    xs: np.ndarray
+    probabilities: np.ndarray
+    n_samples: int
+
+    def __post_init__(self) -> None:
+        if self.xs.shape != self.probabilities.shape:
+            raise ValidationError("xs and probabilities must align")
+        if np.any(np.diff(self.xs) <= 0):
+            raise ValidationError("xs must be strictly increasing")
+        if np.any(np.diff(self.probabilities) > 1e-15):
+            raise ValidationError("a CCDF must be non-increasing")
+
+    def at(self, x: float) -> float:
+        """``P(X > x)`` by step-function lookup."""
+        idx = np.searchsorted(self.xs, x, side="right") - 1
+        if idx < 0:
+            return 1.0 if self.n_samples else 0.0
+        return float(self.probabilities[idx])
+
+    def support_max(self) -> float:
+        """Largest observed size (P drops to 0 beyond it)."""
+        return float(self.xs[-1]) if self.xs.size else 0.0
+
+    def tail_points(self, x_min: float) -> tuple[np.ndarray, np.ndarray]:
+        """The CCDF restricted to ``x >= x_min`` with positive probability."""
+        mask = (self.xs >= x_min) & (self.probabilities > 0)
+        return self.xs[mask], self.probabilities[mask]
+
+
+def empirical_ccdf(counts: np.ndarray) -> CCDF:
+    """CCDF of per-window burst sizes.
+
+    Parameters
+    ----------
+    counts:
+        Non-negative integer miss counts per sampling window (zeros are
+        legitimate observations: idle windows).
+    """
+    arr = np.asarray(counts)
+    if arr.ndim != 1 or arr.size == 0:
+        raise ValidationError("counts must be a non-empty 1-D array")
+    if np.any(arr < 0):
+        raise ValidationError("counts must be non-negative")
+    values, freq = np.unique(arr, return_counts=True)
+    # P(X > v) = (number of samples strictly greater than v) / n.
+    n = arr.size
+    greater = n - np.cumsum(freq)
+    probs = greater / n
+    return CCDF(xs=values.astype(float), probabilities=probs.astype(float),
+                n_samples=n)
+
+
+def ccdf_at(counts: np.ndarray, xs) -> np.ndarray:
+    """Convenience: evaluate the empirical CCDF at chosen ``xs``.
+
+    Used by the Fig. 4 harness to print the same x grid the paper plots
+    (1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000).
+    """
+    ccdf = empirical_ccdf(np.asarray(counts))
+    return np.array([ccdf.at(float(x)) for x in np.asarray(xs)])

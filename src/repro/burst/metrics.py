@@ -1,0 +1,58 @@
+"""Classical burstiness indices for windowed traffic counts.
+
+Complement the tail test with scalar summaries: the index of dispersion
+for counts (variance-to-mean ratio; 1 for Poisson traffic, large for
+bursty ON/OFF traffic), the peak-to-mean ratio, and a bounded burstiness
+score used in reports.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.validation import ValidationError
+
+
+def _check_counts(counts) -> np.ndarray:
+    arr = np.asarray(counts, dtype=float)
+    if arr.ndim != 1 or arr.size < 2:
+        raise ValidationError("counts must be 1-D with >= 2 windows")
+    if np.any(arr < 0):
+        raise ValidationError("counts must be non-negative")
+    return arr
+
+
+def index_of_dispersion(counts) -> float:
+    """Variance-to-mean ratio of window counts (IDC).
+
+    Equals 1 for a Poisson process sampled in fixed windows, grows with
+    burstiness; requires a non-degenerate (non-all-zero) sample.
+    """
+    arr = _check_counts(counts)
+    mean = float(arr.mean())
+    if mean == 0:
+        raise ValidationError("index of dispersion undefined for silent traffic")
+    return float(arr.var(ddof=1)) / mean
+
+
+def peak_to_mean_ratio(counts) -> float:
+    """Largest window count over the mean count."""
+    arr = _check_counts(counts)
+    mean = float(arr.mean())
+    if mean == 0:
+        raise ValidationError("peak-to-mean undefined for silent traffic")
+    return float(arr.max()) / mean
+
+
+def burstiness_score(counts) -> float:
+    """Bounded burstiness score in [-1, 1] (Goh & Barabási).
+
+    ``(sigma - mu) / (sigma + mu)``: -1 for periodic, 0 for Poisson-like,
+    toward +1 for heavy bursts.
+    """
+    arr = _check_counts(counts)
+    mu = float(arr.mean())
+    sigma = float(arr.std(ddof=1))
+    if mu == 0 and sigma == 0:
+        raise ValidationError("burstiness undefined for silent traffic")
+    return (sigma - mu) / (sigma + mu)

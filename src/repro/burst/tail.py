@@ -1,0 +1,106 @@
+"""Log-log tail linearity: the paper's heavy-tail criterion.
+
+Paper Section III-B: "For bursts larger than 50 cache lines,
+``log P(BurstSize > x)`` decreases linearly with ``log x`` ... This
+confirms that the traffic is highly bursty"; and for large problem sizes
+"the long tail property is absent".  :func:`fit_loglog_tail` regresses
+``log P`` on ``log x`` over the tail and reports the slope (an estimate
+of the Pareto tail index) and the R² of the line; the R² is the
+quantitative form of the paper's visual straight-line test.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.burst.ccdf import CCDF, empirical_ccdf
+from repro.util.stats import r_squared
+from repro.util.validation import ValidationError, check_positive
+
+#: The paper's tail threshold in cache lines.
+PAPER_TAIL_START = 50.0
+#: Minimum tail points for a meaningful fit.
+_MIN_POINTS = 5
+
+
+@dataclass(frozen=True)
+class TailFit:
+    """Result of a log-log linear fit of a CCDF tail.
+
+    Attributes
+    ----------
+    slope:
+        Fitted slope of ``log10 P`` vs ``log10 x`` (negative; ``-slope``
+        estimates the Pareto tail index alpha).
+    intercept:
+        Fitted intercept in log10 space.
+    r2:
+        Coefficient of determination of the line — near 1 means the tail
+        is straight in log-log space (heavy-tailed / bursty traffic).
+    n_points:
+        Tail points used.
+    x_min:
+        Tail threshold used.
+    """
+
+    slope: float
+    intercept: float
+    r2: float
+    n_points: int
+    x_min: float
+
+    @property
+    def tail_index(self) -> float:
+        """Pareto tail index estimate (``-slope``)."""
+        return -self.slope
+
+
+def fit_loglog_tail(counts_or_ccdf, x_min: float = PAPER_TAIL_START) -> TailFit:
+    """Fit ``log10 P(X > x) ~ a log10 x + b`` over the tail ``x >= x_min``.
+
+    Accepts raw window counts or a precomputed :class:`CCDF`.  Raises
+    :class:`ValidationError` when the tail has too few support points for
+    a fit (e.g. traffic that never exceeds ``x_min`` — a degenerate case
+    the caller should treat as "no measurable tail").
+    """
+    check_positive("x_min", x_min)
+    if isinstance(counts_or_ccdf, CCDF):
+        ccdf = counts_or_ccdf
+    else:
+        ccdf = empirical_ccdf(np.asarray(counts_or_ccdf))
+    xs, ps = ccdf.tail_points(x_min)
+    if xs.size < _MIN_POINTS:
+        raise ValidationError(
+            f"tail beyond x_min={x_min} has only {xs.size} support points; "
+            "need at least "
+            f"{_MIN_POINTS} for a fit")
+    lx = np.log10(xs)
+    lp = np.log10(ps)
+    slope, intercept = np.polyfit(lx, lp, deg=1)
+    fit = slope * lx + intercept
+    return TailFit(
+        slope=float(slope),
+        intercept=float(intercept),
+        r2=r_squared(lp, fit),
+        n_points=int(xs.size),
+        x_min=float(x_min),
+    )
+
+
+def is_heavy_tailed(counts_or_ccdf, x_min: float = PAPER_TAIL_START,
+                    r2_threshold: float = 0.90,
+                    max_tail_index: float = 3.0) -> bool:
+    """The paper's qualitative verdict: is the traffic heavy-tailed?
+
+    True when the tail is straight in log-log space (R² above threshold)
+    with a slow decay (tail index below ``max_tail_index``).  Traffic
+    whose bursts never exceed ``x_min``, or whose tail drops off a cliff
+    (saturated large-problem traffic), returns False.
+    """
+    try:
+        fit = fit_loglog_tail(counts_or_ccdf, x_min=x_min)
+    except ValidationError:
+        return False
+    return fit.r2 >= r2_threshold and 0.0 < fit.tail_index <= max_tail_index

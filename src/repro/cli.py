@@ -1,0 +1,105 @@
+"""Command-line interface: ``python -m repro <experiment>``.
+
+Commands
+--------
+``repro list``
+    Show the available experiments.
+``repro all [--fast]``
+    Run every experiment and print the reports.
+``repro <experiment> [--fast] [--seed N]``
+    Run one experiment (e.g. ``repro fig5``).
+``repro calibrate``
+    Regenerate the shipped calibration table from the Table II anchors.
+``repro topology``
+    Print likwid-style topology of the three simulated testbeds.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments import available_experiments, run_experiment
+
+
+def _cmd_list(_args) -> int:
+    print("available experiments:")
+    for name in available_experiments():
+        print(f"  {name}")
+    return 0
+
+
+def _cmd_calibrate(_args) -> int:
+    import os
+
+    from repro.runtime import calibration
+
+    path = os.path.join(os.path.dirname(calibration.__file__),
+                        "calibration_table.py")
+    print(f"recomputing calibration anchors -> {path} (takes ~1 min)")
+    calibration.write_table(path)
+    print("done")
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from repro.experiments.report import write_experiments_md
+
+    path = "EXPERIMENTS.md"
+    print(f"running every experiment and writing {path} "
+          "(several minutes at full fidelity)")
+    write_experiments_md(path, fast=args.fast, rng=args.seed)
+    print("done")
+    return 0
+
+
+def _cmd_topology(_args) -> int:
+    from repro.counters.likwid import TopologyMap
+    from repro.machine import all_machines
+
+    for machine in all_machines():
+        print(TopologyMap(machine).render())
+        print()
+    return 0
+
+
+def _cmd_experiment(args) -> int:
+    names = available_experiments() if args.experiment == "all" \
+        else [args.experiment]
+    for name in names:
+        result = run_experiment(name, fast=args.fast, rng=args.seed)
+        print(result.render())
+        print()
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Understanding Off-chip Memory "
+                    "Contention of Parallel Programs in Multicore Systems' "
+                    "(ICPP 2011)")
+    parser.add_argument(
+        "experiment",
+        help="experiment name (see 'repro list'), 'all', 'list', "
+             "'calibrate', 'report' or 'topology'")
+    parser.add_argument("--fast", action="store_true",
+                        help="smaller sweeps / fewer samples")
+    parser.add_argument("--seed", type=int, default=None,
+                        help="override the default RNG seed")
+    args = parser.parse_args(argv)
+
+    if args.experiment == "list":
+        return _cmd_list(args)
+    if args.experiment == "calibrate":
+        return _cmd_calibrate(args)
+    if args.experiment == "report":
+        return _cmd_report(args)
+    if args.experiment == "topology":
+        return _cmd_topology(args)
+    return _cmd_experiment(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

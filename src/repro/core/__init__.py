@@ -1,0 +1,65 @@
+"""THE PAPER'S CONTRIBUTION: the analytical memory-contention model.
+
+Everything in this package follows Section IV of the paper:
+
+* :mod:`repro.core.contention` — the cycle decomposition
+  ``C(n) = W(n) + B(n) + M(n)`` and Definition 1, the degree of memory
+  contention ``omega(n) = (C(n) - C(1)) / C(1)``;
+* :mod:`repro.core.regression` — the ordinary-least-squares fit used
+  throughout (the paper derives every parameter by linear regression);
+* :mod:`repro.core.uniproc` — the single-processor open M/M/1 law
+  ``C(n) = r(n) / (mu - n L)`` (eq. 6), fitted via the linearity of
+  ``1/C(n)`` in ``n``;
+* :mod:`repro.core.uma` — the multi-processor UMA composition
+  ``C_UMA(n) = C(c) + C(n - c) + Delta C`` (eq. 8);
+* :mod:`repro.core.numa` — the NUMA composition
+  ``C_NUMA(n) = C(c) + r(n) rho (n - c)`` (eq. 11), with the
+  hop-weighted multi-latency variant used for the AMD testbed;
+* :mod:`repro.core.model` — a facade that picks the right composition
+  for a machine, fits from the paper's chosen measurement points, and
+  predicts full omega(n) curves;
+* :mod:`repro.core.validate` — model-vs-measurement reports: the average
+  relative error the paper quotes (5-14 %) and the Table IV R² of the
+  ``1/C(n)`` colinearity.
+
+The model deliberately consumes nothing but measured counter samples —
+exactly the quantities PAPI provides — so it runs unchanged against the
+simulated testbeds here or against counters collected on real hardware.
+"""
+
+from repro.core.contention import (
+    CycleDecomposition,
+    contention_stall_cycles,
+    degree_of_contention,
+    omega_curve,
+)
+from repro.core.regression import LinearFit, linear_fit
+from repro.core.uniproc import SingleProcessorModel, ModelError
+from repro.core.uma import UMAContentionModel
+from repro.core.numa import NUMAContentionModel
+from repro.core.model import (
+    ContentionModel,
+    fit_model,
+    paper_fit_points,
+    colinearity_r2,
+)
+from repro.core.validate import ValidationReport, validate_model
+
+__all__ = [
+    "CycleDecomposition",
+    "contention_stall_cycles",
+    "degree_of_contention",
+    "omega_curve",
+    "LinearFit",
+    "linear_fit",
+    "SingleProcessorModel",
+    "ModelError",
+    "UMAContentionModel",
+    "NUMAContentionModel",
+    "ContentionModel",
+    "fit_model",
+    "paper_fit_points",
+    "colinearity_r2",
+    "ValidationReport",
+    "validate_model",
+]

@@ -1,0 +1,97 @@
+"""Cycle decomposition and the degree of memory contention (paper eqs. 1-4).
+
+``C(n) = W(n) + B(n) + M(n)``: work cycles, base (non-off-chip) stalls,
+and off-chip contention stalls.  Because W and B are invariant in the
+number of active cores (paper Section III-B observations), the contention
+stall count reduces to ``M(n) = C(n) - C(1)`` and Definition 1 gives the
+degree of memory contention ``omega(n) = M(n) / C(1)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.counters.papi import CounterSample
+from repro.util.validation import ValidationError, check_nonnegative, check_positive
+
+
+@dataclass(frozen=True)
+class CycleDecomposition:
+    """Paper equation (1) for one configuration.
+
+    ``work`` and ``base_stall`` are the core-count-invariant components;
+    ``contention_stall`` is M(n).
+    """
+
+    n_cores: int
+    total: float
+    work: float
+    base_stall: float
+    contention_stall: float
+
+    def __post_init__(self) -> None:
+        check_positive("total", self.total)
+        check_nonnegative("work", self.work)
+        check_nonnegative("base_stall", self.base_stall)
+        # M(n) may be slightly negative (positive cache effects, paper
+        # Fig. 6); the components must still add up.
+        if abs(self.work + self.base_stall + self.contention_stall
+               - self.total) > 1e-6 * self.total:
+            raise ValidationError(
+                "cycle decomposition does not add up: "
+                f"{self.work} + {self.base_stall} + {self.contention_stall}"
+                f" != {self.total}")
+
+
+def contention_stall_cycles(sample_n: CounterSample,
+                            baseline: CounterSample) -> float:
+    """Paper equation (2): ``M(n) = C(n) - C(1)``.
+
+    ``baseline`` must be the single-core measurement of the same program
+    and problem size (``M(1) = 0`` by definition: a lone core has nobody
+    to contend with).
+    """
+    return sample_n.total_cycles - baseline.total_cycles
+
+
+def decompose(sample_n: CounterSample, baseline: CounterSample,
+              n_cores: int) -> CycleDecomposition:
+    """Split a measurement into the equation-(1) components.
+
+    W is the baseline's work cycles (invariant), B the baseline's stalls
+    (all of which are non-contention by ``M(1) = 0``), and M the excess
+    total cycles over the baseline.
+    """
+    m = contention_stall_cycles(sample_n, baseline)
+    w = baseline.work_cycles
+    b = baseline.stall_cycles
+    return CycleDecomposition(
+        n_cores=n_cores,
+        total=sample_n.total_cycles,
+        work=w,
+        base_stall=b + (sample_n.total_cycles - baseline.total_cycles - m),
+        contention_stall=m,
+    )
+
+
+def degree_of_contention(sample_n: CounterSample,
+                         baseline: CounterSample) -> float:
+    """Definition 1 / eq. (4): ``omega(n) = (C(n) - C(1)) / C(1)``.
+
+    Zero means no contention; positive values measure contention;
+    negative values expose positive cache effects (more active cores
+    bring more private cache).
+    """
+    if baseline.total_cycles <= 0:
+        raise ValidationError("baseline cycle count must be positive")
+    return contention_stall_cycles(sample_n, baseline) / baseline.total_cycles
+
+
+def omega_curve(samples: Mapping[int, CounterSample]) -> dict[int, float]:
+    """omega(n) for a sweep of measurements; requires the n=1 baseline."""
+    if 1 not in samples:
+        raise ValidationError("omega_curve needs the n=1 baseline sample")
+    baseline = samples[1]
+    return {n: degree_of_contention(s, baseline)
+            for n, s in sorted(samples.items())}

@@ -1,0 +1,58 @@
+"""Ordinary least squares for the model's parameter fits.
+
+The paper derives every model parameter — ``mu`` and ``L`` of the M/M/1
+law, ``Delta C`` of the UMA composition, ``rho`` of the NUMA composition —
+"by linear regression" from a handful of measured cycle counts.  This is
+that regression, kept deliberately tiny: slope, intercept, R².
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.util.stats import r_squared
+from repro.util.validation import ValidationError
+
+
+@dataclass(frozen=True)
+class LinearFit:
+    """``y ~ slope * x + intercept`` with its goodness of fit."""
+
+    slope: float
+    intercept: float
+    r2: float
+    n_points: int
+
+    def predict(self, x: float) -> float:
+        """Evaluate the fitted line."""
+        return self.slope * x + self.intercept
+
+    def predict_many(self, xs: Sequence[float]) -> np.ndarray:
+        return self.slope * np.asarray(xs, dtype=float) + self.intercept
+
+
+def linear_fit(xs: Sequence[float], ys: Sequence[float]) -> LinearFit:
+    """Least-squares line through ``(xs, ys)``.
+
+    Two points give an exact line (R² = 1 by construction); one point or
+    degenerate (constant-x) input raises :class:`ValidationError`.
+    """
+    x = np.asarray(xs, dtype=float)
+    y = np.asarray(ys, dtype=float)
+    if x.shape != y.shape or x.ndim != 1:
+        raise ValidationError("xs and ys must be equal-length 1-D sequences")
+    if x.size < 2:
+        raise ValidationError("linear_fit needs at least two points")
+    if float(np.ptp(x)) == 0.0:
+        raise ValidationError("xs are all equal; slope is undefined")
+    slope, intercept = np.polyfit(x, y, deg=1)
+    fit = slope * x + intercept
+    return LinearFit(
+        slope=float(slope),
+        intercept=float(intercept),
+        r2=r_squared(y, fit),
+        n_points=int(x.size),
+    )

@@ -1,0 +1,114 @@
+"""The UMA multi-processor composition (paper eqs. 7-8).
+
+On a UMA machine each processor reaches the shared controller over its
+own bus, so queueing on different buses is independent and the coupling
+term is the extra load on the shared controller:
+
+    ``C_UMA(n) = C(c) + C(n - c) + Delta C``                 (eq. 8)
+
+with ``c`` cores active on the first processor and ``n - c`` on the next
+under fill-processor-first, and ``Delta C`` regressed from the first
+measurement that activates the second processor
+(``Delta C = C(c + 1) - C(c)`` in the paper's two-processor case).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.core.uniproc import ModelError, SingleProcessorModel, fit_single_processor
+from repro.counters.papi import CounterSample
+from repro.util.validation import check_integer
+
+
+@dataclass(frozen=True)
+class UMAContentionModel:
+    """Fitted eq. 8 for a machine with ``cores_per_processor``-core packages."""
+
+    single: SingleProcessorModel
+    cores_per_processor: int
+    n_processors: int
+    delta_c: float
+    baseline_cycles: float
+
+    def __post_init__(self) -> None:
+        check_integer("cores_per_processor", self.cores_per_processor,
+                      minimum=1)
+        check_integer("n_processors", self.n_processors, minimum=1)
+
+    @property
+    def max_cores(self) -> int:
+        return self.cores_per_processor * self.n_processors
+
+    def predict_cycles(self, n: int) -> float:
+        """Eq. 8 under fill-processor-first.
+
+        Within the first processor this is the plain single-processor law;
+        beyond it, full packages contribute ``C(cpp)`` each, the partial
+        package ``C(remainder)``, and each *activated* extra processor one
+        ``Delta C`` (the paper's dual-processor form, generalised
+        additively to more packages).
+        """
+        check_integer("n", n, minimum=1, maximum=self.max_cores)
+        cpp = self.cores_per_processor
+        if n <= cpp:
+            return self.single.predict_cycles(n)
+        full, rem = divmod(n, cpp)
+        total = full * self.single.predict_cycles(cpp)
+        active_procs = full + (1 if rem else 0)
+        if rem:
+            total += self.single.predict_cycles(rem)
+        total += (active_procs - 1) * self.delta_c
+        return total
+
+    def predict_omega(self, n: int) -> float:
+        """Definition 1 against the measured single-core baseline."""
+        return (self.predict_cycles(n) - self.baseline_cycles) \
+            / self.baseline_cycles
+
+
+def fit_uma(samples: Mapping[int, CounterSample], cores_per_processor: int,
+            n_processors: int) -> UMAContentionModel:
+    """Fit the UMA model from measured samples.
+
+    Requires: at least two samples with ``n <= cores_per_processor`` (for
+    ``mu`` and ``L``) and one with ``cores_per_processor < n`` (for
+    ``Delta C``) — the paper's choice on the Xeon E5320 is
+    ``C(1), C(4), C(5)``.
+    """
+    check_integer("cores_per_processor", cores_per_processor, minimum=1)
+    check_integer("n_processors", n_processors, minimum=1)
+    if 1 not in samples:
+        raise ModelError("the n=1 baseline measurement is required")
+    first = {n: s for n, s in samples.items() if n <= cores_per_processor}
+    if len(first) < 2:
+        raise ModelError(
+            "need >= 2 measurements within the first processor to fit mu, L")
+    single = fit_single_processor(first)
+    cross = {n: s for n, s in samples.items() if n > cores_per_processor}
+    if n_processors == 1:
+        delta_c = 0.0
+    else:
+        if not cross:
+            raise ModelError(
+                "need one measurement beyond the first processor to fit "
+                "Delta C")
+        n_cross = min(cross)
+        cpp = cores_per_processor
+        # Delta C = C_meas(c + k) - C(cpp)*full - C(rem): the residual the
+        # composition cannot explain without the coupling term.
+        full, rem = divmod(n_cross, cpp)
+        composed = full * single.predict_cycles(cpp)
+        if rem:
+            composed += single.predict_cycles(rem)
+        active_procs = full + (1 if rem else 0)
+        delta_c = (cross[n_cross].total_cycles - composed) \
+            / max(active_procs - 1, 1)
+    return UMAContentionModel(
+        single=single,
+        cores_per_processor=cores_per_processor,
+        n_processors=n_processors,
+        delta_c=delta_c,
+        baseline_cycles=samples[1].total_cycles,
+    )

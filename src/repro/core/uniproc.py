@@ -1,0 +1,125 @@
+"""The single-processor open M/M/1 cycle law (paper eqs. 5-6).
+
+Within one processor, ``n`` active cores each offer off-chip requests at
+rate ``L`` to a controller of service rate ``mu``; with ``r(n)`` requests
+in total, the program's cycle count is
+
+    ``C(n) = r(n) * Creq(n) = r(n) / (mu - n L)``            (eq. 6)
+
+so ``1/C(n) = mu/r - (L/r) n`` is **linear in n** — the paper fits
+``mu`` and ``L`` by regressing ``1/C(n)`` on ``n`` over measured points,
+and Table IV reports the R² of that very line.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+import numpy as np
+
+from repro.core.regression import LinearFit, linear_fit
+from repro.counters.papi import CounterSample
+from repro.util.validation import ValidationError, check_integer, check_positive
+
+
+class ModelError(ValidationError):
+    """Raised when a fit is impossible or a prediction leaves the model's
+    valid region (e.g. ``n L >= mu``: the open queue saturates)."""
+
+
+@dataclass(frozen=True)
+class SingleProcessorModel:
+    """Fitted eq. 6: ``C(n) = r / (mu - n L)``.
+
+    Attributes
+    ----------
+    mu:
+        Controller service rate in requests per cycle.
+    ell:
+        Per-core request arrival rate ``L`` in requests per cycle.
+    r:
+        Off-chip request count of the program (measured LLC misses,
+        averaged over the fit points — the paper finds it invariant in
+        the core count for contended programs).
+    fit:
+        The underlying ``1/C(n)`` regression (its ``r2`` is the Table IV
+        colinearity statistic for the fitted points).
+    """
+
+    mu: float
+    ell: float
+    r: float
+    fit: LinearFit
+
+    def __post_init__(self) -> None:
+        check_positive("mu", self.mu)
+        check_positive("r", self.r)
+        if self.ell < 0:
+            raise ModelError(
+                f"fitted negative per-core rate L={self.ell}; the measured "
+                "cycle counts decrease with n faster than the model allows")
+
+    @property
+    def saturation_cores(self) -> float:
+        """Core count at which the modelled controller saturates
+        (``n = mu / L``); predictions must stay below it."""
+        if self.ell == 0:
+            return float("inf")
+        return self.mu / self.ell
+
+    def creq(self, n: int) -> float:
+        """Eq. 5: mean cycles to service one request with n cores active."""
+        check_integer("n", n, minimum=1)
+        denom = self.mu - n * self.ell
+        if denom <= 0:
+            raise ModelError(
+                f"model saturated at n={n}: n L = {n * self.ell:.3e} >= "
+                f"mu = {self.mu:.3e}")
+        return 1.0 / denom
+
+    def predict_cycles(self, n: int) -> float:
+        """Eq. 6: total cycles with ``n`` active cores on this processor."""
+        return self.r * self.creq(n)
+
+
+def fit_single_processor(samples: Mapping[int, CounterSample]
+                         ) -> SingleProcessorModel:
+    """Fit ``mu`` and ``L`` from measured samples within one processor.
+
+    Parameters
+    ----------
+    samples:
+        Measured counters keyed by active core count; at least two
+        distinct core counts are required (the paper uses e.g. C(1) and
+        C(4) on the UMA testbed, C(1), C(2) and C(12) on Intel NUMA).
+
+    Notes
+    -----
+    The regression is on ``1/C(n)`` against ``n``: the intercept estimates
+    ``mu / r`` and the slope ``-L / r``.  ``r`` is taken as the mean of
+    the measured LLC miss counts over the fit points.
+    """
+    if len(samples) < 2:
+        raise ModelError("need measurements at >= 2 core counts to fit")
+    ns = sorted(samples)
+    inv_c = [1.0 / samples[n].total_cycles for n in ns]
+    fit = linear_fit(ns, inv_c)
+    r = float(np.mean([samples[n].llc_misses for n in ns]))
+    if r <= 0:
+        raise ModelError("measured LLC miss count must be positive to fit")
+    mu = fit.intercept * r
+    ell = -fit.slope * r
+    if abs(ell) < 1e-9 * abs(mu):
+        # Numerically flat 1/C(n): a contention-free program.
+        ell = 0.0
+    if mu <= 0:
+        raise ModelError(
+            f"fitted non-positive service rate mu={mu:.3e}; the 1/C(n) "
+            "intercept is negative — measurements are inconsistent with "
+            "the open M/M/1 law")
+    if ell < 0:
+        # Slightly negative slopes happen for contention-free programs
+        # (1/C(n) flat up to noise); clamp to the contention-free model.
+        ell = 0.0
+    return SingleProcessorModel(mu=mu, ell=ell, r=r, fit=fit)

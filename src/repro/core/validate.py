@@ -1,0 +1,98 @@
+"""Model-vs-measurement validation (paper Section V).
+
+Produces the quantities the paper reports: per-point measured and
+predicted omega, the average relative error over the sweep (their
+"5-14 %"), and the Table IV colinearity R².
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+import numpy as np
+
+from repro.core.contention import degree_of_contention
+from repro.core.model import ContentionModel
+from repro.counters.papi import CounterSample
+from repro.util.validation import ValidationError
+
+
+@dataclass(frozen=True)
+class ValidationReport:
+    """Comparison of a fitted model against a measured sweep."""
+
+    core_counts: tuple[int, ...]
+    measured_omega: tuple[float, ...]
+    predicted_omega: tuple[float, ...]
+    measured_cycles: tuple[float, ...]
+    predicted_cycles: tuple[float, ...]
+
+    @property
+    def mean_relative_error_cycles(self) -> float:
+        """Average |C_model - C_meas| / C_meas over the sweep.
+
+        This is the robust form of the paper's accuracy metric (cycle
+        counts are never zero, unlike omega at n = 1).
+        """
+        m = np.asarray(self.measured_cycles)
+        p = np.asarray(self.predicted_cycles)
+        return float(np.mean(np.abs(p - m) / m))
+
+    @property
+    def mean_relative_error_omega(self) -> float:
+        """Average relative error on omega over points with omega != 0.
+
+        Matches the paper's headline metric; points where the measured
+        omega is below 0.05 are excluded (relative error degenerates as
+        the denominator crosses zero).
+        """
+        pairs = [(m, p) for m, p in zip(self.measured_omega,
+                                        self.predicted_omega)
+                 if abs(m) >= 0.05]
+        if not pairs:
+            raise ValidationError(
+                "no points with non-negligible measured contention")
+        return float(np.mean([abs(p - m) / abs(m) for m, p in pairs]))
+
+    @property
+    def max_relative_error_cycles(self) -> float:
+        m = np.asarray(self.measured_cycles)
+        p = np.asarray(self.predicted_cycles)
+        return float(np.max(np.abs(p - m) / m))
+
+    def rows(self) -> list[tuple[int, float, float]]:
+        """(n, measured omega, predicted omega) rows for reports."""
+        return list(zip(self.core_counts, self.measured_omega,
+                        self.predicted_omega))
+
+
+def validate_model(model: ContentionModel,
+                   samples: Mapping[int, CounterSample]) -> ValidationReport:
+    """Build a :class:`ValidationReport` from a measured sweep.
+
+    ``samples`` must include the n = 1 baseline; prediction points beyond
+    the model's saturation limit raise
+    :class:`~repro.core.uniproc.ModelError` (the caller chose an invalid
+    sweep for the fitted parameters).
+    """
+    if 1 not in samples:
+        raise ValidationError("validation needs the n=1 baseline sample")
+    baseline = samples[1]
+    ns = sorted(samples)
+    measured_omega = []
+    predicted_omega = []
+    measured_cycles = []
+    predicted_cycles = []
+    for n in ns:
+        measured_omega.append(degree_of_contention(samples[n], baseline))
+        predicted_omega.append(model.predict_omega(n))
+        measured_cycles.append(samples[n].total_cycles)
+        predicted_cycles.append(model.predict_cycles(n))
+    return ValidationReport(
+        core_counts=tuple(ns),
+        measured_omega=tuple(measured_omega),
+        predicted_omega=tuple(predicted_omega),
+        measured_cycles=tuple(measured_cycles),
+        predicted_cycles=tuple(predicted_cycles),
+    )

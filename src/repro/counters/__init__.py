@@ -1,0 +1,40 @@
+"""Hardware performance counters, reproduced against the simulated machine.
+
+The paper measures with PAPI 3.7/4.1 through the ``papiex`` wrapper, maps
+topology with LIKWID, pins threads with ``sched_setaffinity`` and samples
+LLC misses every five microseconds with a custom fine-grained profiler.
+This package reproduces those interfaces:
+
+* :mod:`repro.counters.papi` — event definitions and counter samples
+  (PAPI_TOT_CYC, PAPI_TOT_INS, PAPI_RES_STL, PAPI_L2_TCM, LLC_MISSES /
+  L3_CACHE_MISSES) with the paper's derived quantity work = total - stall;
+* :mod:`repro.counters.papiex` — the profiler facade: run a workload on a
+  machine allocation and return averaged counter samples;
+* :mod:`repro.counters.sampler` — the five-microsecond burst sampler;
+* :mod:`repro.counters.likwid` — topology queries (logical id to physical
+  core / package / controller mapping).
+"""
+
+from repro.counters.papi import (
+    PapiEvent,
+    EventSet,
+    CounterSample,
+    llc_event_for,
+    PapiError,
+)
+from repro.counters.papiex import Papiex, ProfiledRun
+from repro.counters.sampler import BurstSampler, SampledTrace
+from repro.counters.likwid import TopologyMap
+
+__all__ = [
+    "PapiEvent",
+    "EventSet",
+    "CounterSample",
+    "llc_event_for",
+    "PapiError",
+    "Papiex",
+    "ProfiledRun",
+    "BurstSampler",
+    "SampledTrace",
+    "TopologyMap",
+]

@@ -1,0 +1,81 @@
+"""LIKWID-like topology queries.
+
+The paper uses the LIKWID toolkit to determine the mapping between logical
+core ids and the physical topology; :class:`TopologyMap` answers the same
+questions against a machine model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.machine.topology import Core, Machine
+from repro.util.validation import check_integer
+
+
+@dataclass(frozen=True)
+class _CoreRow:
+    """One row of the likwid-topology table."""
+
+    logical_id: int
+    physical_id: int
+    processor_index: int
+    smt_sibling: int | None
+    controller_ids: tuple[int, ...]
+
+
+class TopologyMap:
+    """Logical-to-physical mapping for a machine."""
+
+    def __init__(self, machine: Machine) -> None:
+        self.machine = machine
+        self._cores: list[Core] = machine.cores()
+
+    def core_row(self, logical_id: int) -> _CoreRow:
+        """Topology of one logical core."""
+        check_integer("logical_id", logical_id, minimum=0,
+                      maximum=len(self._cores) - 1)
+        core = self._cores[logical_id]
+        ctls = tuple(
+            c.controller_id
+            for c in self.machine.controllers_of_processor(
+                core.processor_index))
+        return _CoreRow(
+            logical_id=core.logical_id,
+            physical_id=core.physical_id,
+            processor_index=core.processor_index,
+            smt_sibling=core.smt_sibling,
+            controller_ids=ctls,
+        )
+
+    def package_of(self, logical_id: int) -> int:
+        """Package (processor) index of a logical core."""
+        return self.core_row(logical_id).processor_index
+
+    def local_controllers(self, logical_id: int) -> tuple[int, ...]:
+        """Controller ids serving local accesses for a logical core."""
+        return self.core_row(logical_id).controller_ids
+
+    def smt_groups(self) -> list[tuple[int, ...]]:
+        """Logical ids grouped by shared physical core."""
+        groups: dict[tuple[int, int], list[int]] = {}
+        for core in self._cores:
+            groups.setdefault(
+                (core.processor_index, core.physical_id), []).append(
+                core.logical_id)
+        return [tuple(v) for _, v in sorted(groups.items())]
+
+    def render(self) -> str:
+        """likwid-topology style table."""
+        lines = [
+            f"machine: {self.machine.describe()}",
+            "logical  physical  package  smt-sibling  controllers",
+        ]
+        for core in self._cores:
+            row = self.core_row(core.logical_id)
+            sib = "-" if row.smt_sibling is None else str(row.smt_sibling)
+            lines.append(
+                f"{row.logical_id:>7d}  {row.physical_id:>8d}  "
+                f"{row.processor_index:>7d}  {sib:>11s}  "
+                f"{','.join(map(str, row.controller_ids))}")
+        return "\n".join(lines)

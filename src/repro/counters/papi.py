@@ -1,0 +1,159 @@
+"""PAPI-style event definitions and counter samples.
+
+The paper's exact counter set, with the same semantics:
+
+* ``PAPI_TOT_CYC`` — total cycles summed over all active cores, including
+  initialisation and cleanup;
+* ``PAPI_TOT_INS`` — total instructions;
+* ``PAPI_RES_STL`` — cycles stalled on any resource;
+* ``PAPI_L2_TCM`` — L2 total cache misses (the LLC on the UMA testbed);
+* ``LLC_MISSES`` (Intel NUMA) / ``L3_CACHE_MISSES`` (AMD NUMA) — the
+  native last-level miss events.
+
+The paper derives *work cycles* as total minus stall; :class:`CounterSample`
+exposes that same derivation.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.machine.topology import Machine, MemoryArchitecture
+from repro.util.validation import ValidationError, check_nonnegative
+
+
+class PapiError(ValidationError):
+    """Raised for illegal counter usage (unknown event, empty set, ...)."""
+
+
+class PapiEvent(enum.Enum):
+    """Counter events used in the paper's experiments."""
+
+    PAPI_TOT_CYC = "PAPI_TOT_CYC"
+    PAPI_TOT_INS = "PAPI_TOT_INS"
+    PAPI_RES_STL = "PAPI_RES_STL"
+    PAPI_L2_TCM = "PAPI_L2_TCM"
+    LLC_MISSES = "LLC_MISSES"
+    L3_CACHE_MISSES = "L3_CACHE_MISSES"
+
+
+def llc_event_for(machine: Machine) -> PapiEvent:
+    """The native last-level miss event on each testbed.
+
+    UMA (Clovertown): the L2 is the last level, counted by PAPI_L2_TCM.
+    Intel NUMA: LLC_MISSES.  AMD NUMA: L3_CACHE_MISSES.
+    """
+    if machine.architecture is MemoryArchitecture.UMA:
+        return PapiEvent.PAPI_L2_TCM
+    if "AMD" in machine.name.upper():
+        return PapiEvent.L3_CACHE_MISSES
+    return PapiEvent.LLC_MISSES
+
+
+#: The full event set the paper programs into the counters.
+PAPER_EVENTS: tuple[PapiEvent, ...] = (
+    PapiEvent.PAPI_TOT_CYC,
+    PapiEvent.PAPI_TOT_INS,
+    PapiEvent.PAPI_RES_STL,
+    PapiEvent.PAPI_L2_TCM,
+    PapiEvent.LLC_MISSES,
+)
+
+
+class EventSet:
+    """A mutable set of events to collect, PAPI-style.
+
+    Usage mirrors PAPI's add-start-stop-read flow::
+
+        es = EventSet()
+        es.add(PapiEvent.PAPI_TOT_CYC)
+        es.start()
+        ... run ...
+        values = es.stop(sample)
+    """
+
+    def __init__(self, events: tuple[PapiEvent, ...] = ()) -> None:
+        self._events: list[PapiEvent] = []
+        self._running = False
+        for ev in events:
+            self.add(ev)
+
+    @property
+    def events(self) -> tuple[PapiEvent, ...]:
+        return tuple(self._events)
+
+    def add(self, event: PapiEvent) -> None:
+        if self._running:
+            raise PapiError("cannot add events to a running EventSet")
+        if not isinstance(event, PapiEvent):
+            raise PapiError(f"not a PapiEvent: {event!r}")
+        if event in self._events:
+            raise PapiError(f"{event.value} already in EventSet")
+        self._events.append(event)
+
+    def start(self) -> None:
+        if not self._events:
+            raise PapiError("cannot start an empty EventSet")
+        if self._running:
+            raise PapiError("EventSet already running")
+        self._running = True
+
+    def stop(self, sample: "CounterSample") -> dict[PapiEvent, float]:
+        """Stop counting and read the selected events out of ``sample``."""
+        if not self._running:
+            raise PapiError("EventSet is not running")
+        self._running = False
+        return {ev: sample.value(ev) for ev in self._events}
+
+
+@dataclass(frozen=True)
+class CounterSample:
+    """Counter values from one profiled run (summed over active cores).
+
+    ``llc_misses`` is reported under whichever native event the machine
+    uses; :meth:`value` resolves any of the three miss event names to it.
+    """
+
+    total_cycles: float
+    instructions: float
+    stall_cycles: float
+    llc_misses: float
+
+    def __post_init__(self) -> None:
+        check_nonnegative("total_cycles", self.total_cycles)
+        check_nonnegative("instructions", self.instructions)
+        check_nonnegative("stall_cycles", self.stall_cycles)
+        check_nonnegative("llc_misses", self.llc_misses)
+        if self.stall_cycles > self.total_cycles:
+            raise PapiError(
+                f"stall cycles {self.stall_cycles} exceed total "
+                f"{self.total_cycles}")
+
+    @property
+    def work_cycles(self) -> float:
+        """The paper's derived metric: total minus stall."""
+        return self.total_cycles - self.stall_cycles
+
+    def value(self, event: PapiEvent) -> float:
+        if event is PapiEvent.PAPI_TOT_CYC:
+            return self.total_cycles
+        if event is PapiEvent.PAPI_TOT_INS:
+            return self.instructions
+        if event is PapiEvent.PAPI_RES_STL:
+            return self.stall_cycles
+        if event in (PapiEvent.PAPI_L2_TCM, PapiEvent.LLC_MISSES,
+                     PapiEvent.L3_CACHE_MISSES):
+            return self.llc_misses
+        raise PapiError(f"unknown event {event!r}")
+
+    def as_dict(self) -> Mapping[str, float]:
+        """Plain dict for report rendering."""
+        return {
+            "PAPI_TOT_CYC": self.total_cycles,
+            "PAPI_TOT_INS": self.instructions,
+            "PAPI_RES_STL": self.stall_cycles,
+            "WORK_CYC": self.work_cycles,
+            "LLC_MISSES": self.llc_misses,
+        }

@@ -1,0 +1,50 @@
+"""Discrete-event simulation engine.
+
+A compact, dependency-free DES kernel in the style of SimPy: an event heap,
+generator-based processes, FIFO servers with queueing statistics, and
+time-series monitors.  The memory-controller and bus models in
+:mod:`repro.machine` are built on these primitives, and the fine-grained
+burst sampler replays arrival processes generated here.
+
+Two usage styles are supported:
+
+* **Process style** — write a generator that ``yield``'s
+  :class:`~repro.desim.engine.Timeout` or server requests; the engine
+  interleaves processes in simulated time.
+* **Batch style** — the arrival processes in :mod:`repro.desim.arrivals`
+  can also emit whole NumPy arrays of arrival timestamps, which is orders
+  of magnitude faster when only the arrival pattern (not the feedback)
+  matters, e.g. for burstiness sampling.
+"""
+
+from repro.desim.events import Event, EventQueue
+from repro.desim.engine import Simulator, Timeout, Interrupt, SimulationError
+from repro.desim.resources import Server, QueueStats
+from repro.desim.monitors import TimeSeriesMonitor, CountMonitor
+from repro.desim.arrivals import (
+    ArrivalProcess,
+    PoissonArrivals,
+    DeterministicArrivals,
+    OnOffArrivals,
+    MMPPArrivals,
+    HyperexponentialArrivals,
+)
+
+__all__ = [
+    "Event",
+    "EventQueue",
+    "Simulator",
+    "Timeout",
+    "Interrupt",
+    "SimulationError",
+    "Server",
+    "QueueStats",
+    "TimeSeriesMonitor",
+    "CountMonitor",
+    "ArrivalProcess",
+    "PoissonArrivals",
+    "DeterministicArrivals",
+    "OnOffArrivals",
+    "MMPPArrivals",
+    "HyperexponentialArrivals",
+]

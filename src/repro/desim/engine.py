@@ -1,0 +1,185 @@
+"""The simulation engine: clock, event loop, and generator-based processes.
+
+Processes are Python generators that yield *waitables*:
+
+* :class:`Timeout` — resume after a fixed simulated delay;
+* :class:`~repro.desim.events.Event` — resume when the event triggers,
+  receiving ``event.value`` as the result of the ``yield``.
+
+The engine is deterministic: given the same seeds and process creation
+order, event interleaving is reproducible (simultaneous events fire in
+scheduling order).
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Iterable, Optional
+
+from repro.desim.events import Event, EventQueue
+from repro.util.validation import ValidationError, check_nonnegative
+
+
+class SimulationError(RuntimeError):
+    """Raised for illegal engine usage (e.g. waiting on a foreign object)."""
+
+
+class Timeout:
+    """Waitable: resume the yielding process after ``delay`` simulated time."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, delay: float) -> None:
+        check_nonnegative("delay", delay)
+        self.delay = delay
+
+
+class Interrupt(Exception):
+    """Thrown into a process that another process interrupts."""
+
+    def __init__(self, cause: object = None) -> None:
+        super().__init__(cause)
+        self.cause = cause
+
+
+ProcessGen = Generator[object, object, None]
+
+
+class _Process:
+    """Bookkeeping wrapper that advances a generator through its waitables."""
+
+    __slots__ = ("sim", "gen", "finished", "done_event", "_waiting_on")
+
+    def __init__(self, sim: "Simulator", gen: ProcessGen) -> None:
+        self.sim = sim
+        self.gen = gen
+        self.finished = False
+        self.done_event = Event()
+        self._waiting_on: Optional[Event] = None
+
+    def interrupt(self, cause: object = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time."""
+        if self.finished:
+            raise SimulationError("cannot interrupt a finished process")
+        if self._waiting_on is not None and not self._waiting_on.triggered:
+            self._waiting_on.cancel()
+            self._waiting_on = None
+        self.sim._schedule_resume(self, throw=Interrupt(cause))
+
+    def _step(self, send_value: object = None, throw: Optional[BaseException] = None) -> None:
+        self._waiting_on = None
+        try:
+            if throw is not None:
+                waitable = self.gen.throw(throw)
+            else:
+                waitable = self.gen.send(send_value)
+        except StopIteration:
+            self.finished = True
+            self.sim._trigger_now(self.done_event, value=None)
+            return
+        self._wait_on(waitable)
+
+    def _wait_on(self, waitable: object) -> None:
+        sim = self.sim
+        if isinstance(waitable, Timeout):
+            ev = Event()
+            sim.queue.push(ev, sim.now + waitable.delay)
+            ev.add_callback(lambda e: self._step(e.value))
+            self._waiting_on = ev
+        elif isinstance(waitable, Event):
+            if waitable.triggered:
+                # Resume at the current time, but through the queue so that
+                # ordering stays deterministic.
+                sim._schedule_resume(self, send_value=waitable.value)
+            else:
+                waitable.add_callback(lambda e: self._step(e.value))
+                self._waiting_on = waitable
+        else:
+            raise SimulationError(
+                f"process yielded {waitable!r}; expected Timeout or Event")
+
+
+class Simulator:
+    """Owns the clock and the event queue, and drives processes."""
+
+    def __init__(self) -> None:
+        self.queue = EventQueue()
+        self.now: float = 0.0
+        self._processes: list[_Process] = []
+
+    # -- process management -------------------------------------------------
+
+    def process(self, gen: ProcessGen) -> _Process:
+        """Register a generator as a process starting at the current time."""
+        proc = _Process(self, gen)
+        self._processes.append(proc)
+        self._schedule_resume(proc, send_value=None)
+        return proc
+
+    def _schedule_resume(self, proc: _Process, send_value: object = None,
+                         throw: Optional[BaseException] = None) -> None:
+        ev = Event()
+        self.queue.push(ev, self.now)
+        if throw is not None:
+            ev.add_callback(lambda e: proc._step(throw=throw))
+        else:
+            ev.add_callback(lambda e: proc._step(send_value))
+
+    # -- events --------------------------------------------------------------
+
+    def event(self) -> Event:
+        """Create an untriggered event owned by this simulator."""
+        return Event()
+
+    def schedule(self, event: Event, delay: float, value: object = None) -> Event:
+        """Trigger ``event`` after ``delay`` with payload ``value``."""
+        check_nonnegative("delay", delay)
+        event.value = value
+        self.queue.push(event, self.now + delay)
+        return event
+
+    def timeout(self, delay: float) -> Timeout:
+        """Sugar for ``Timeout(delay)``."""
+        return Timeout(delay)
+
+    def _trigger_now(self, event: Event, value: object = None) -> None:
+        event.value = value
+        self.queue.push(event, self.now)
+
+    # -- main loop -----------------------------------------------------------
+
+    def run(self, until: Optional[float] = None,
+            max_events: Optional[int] = None) -> float:
+        """Run until the queue drains, time ``until``, or ``max_events``.
+
+        Returns the simulation time when the loop stopped.
+        """
+        if until is not None and until < self.now:
+            raise ValidationError(f"until={until} is before now={self.now}")
+        n_events = 0
+        while len(self.queue):
+            t = self.queue.peek_time()
+            if t is None:
+                break
+            if until is not None and t > until:
+                self.now = until
+                return self.now
+            if max_events is not None and n_events >= max_events:
+                return self.now
+            event = self.queue.pop()
+            if event.time is None:  # pragma: no cover - defensive
+                raise SimulationError("popped unscheduled event")
+            if event.time < self.now:
+                raise SimulationError("event scheduled in the past")
+            self.now = event.time
+            event._trigger()
+            n_events += 1
+        if until is not None:
+            self.now = until
+        return self.now
+
+    def run_all(self, iterable: Iterable[ProcessGen],
+                until: Optional[float] = None) -> float:
+        """Register each generator as a process and run the simulation."""
+        for gen in iterable:
+            self.process(gen)
+        return self.run(until=until)

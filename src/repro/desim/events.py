@@ -1,0 +1,106 @@
+"""Event and event-queue primitives for the DES engine.
+
+Events carry a scheduled time, an insertion sequence number (which makes the
+heap ordering total and FIFO-stable for simultaneous events), a list of
+callbacks, and an optional payload value delivered to waiters.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, Optional
+
+from repro.util.validation import ValidationError
+
+
+class Event:
+    """A one-shot occurrence at a point in simulated time.
+
+    An event is *scheduled* when it has been given a time and pushed on the
+    queue, *triggered* once the engine pops it and runs its callbacks.  The
+    ``value`` attribute carries a payload to processes waiting on the event.
+    """
+
+    __slots__ = ("time", "seq", "callbacks", "value", "triggered", "cancelled")
+
+    def __init__(self) -> None:
+        self.time: Optional[float] = None
+        self.seq: int = -1
+        self.callbacks: list[Callable[["Event"], None]] = []
+        self.value: object = None
+        self.triggered: bool = False
+        self.cancelled: bool = False
+
+    def add_callback(self, fn: Callable[["Event"], None]) -> None:
+        """Register ``fn(event)`` to run when the event triggers."""
+        if self.triggered:
+            raise ValidationError("cannot add a callback to a triggered event")
+        self.callbacks.append(fn)
+
+    def cancel(self) -> None:
+        """Mark the event so the engine skips it when popped."""
+        if self.triggered:
+            raise ValidationError("cannot cancel a triggered event")
+        self.cancelled = True
+
+    def _trigger(self) -> None:
+        self.triggered = True
+        for fn in self.callbacks:
+            fn(self)
+        self.callbacks.clear()
+
+    def __lt__(self, other: "Event") -> bool:
+        # heapq tie-break; time comparison is handled by the queue tuple.
+        return self.seq < other.seq
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "triggered" if self.triggered else (
+            "cancelled" if self.cancelled else "pending")
+        return f"<Event t={self.time} {state}>"
+
+
+class EventQueue:
+    """A min-heap of events ordered by ``(time, seq)``.
+
+    Insertion order breaks ties, so two events scheduled for the same time
+    fire in the order they were scheduled — this FIFO stability is relied on
+    by the server queueing discipline.
+    """
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[float, int, Event]] = []
+        self._counter = itertools.count()
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def push(self, event: Event, time: float) -> None:
+        """Schedule ``event`` at ``time`` (must not already be scheduled)."""
+        if event.time is not None:
+            raise ValidationError("event is already scheduled")
+        if time != time or time == float("inf"):  # NaN or inf
+            raise ValidationError(f"invalid event time {time!r}")
+        event.time = time
+        event.seq = next(self._counter)
+        heapq.heappush(self._heap, (time, event.seq, event))
+
+    def pop(self) -> Event:
+        """Pop the earliest non-cancelled event.
+
+        Raises ``IndexError`` when the queue is exhausted.
+        """
+        while True:
+            _, _, event = heapq.heappop(self._heap)
+            if not event.cancelled:
+                return event
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the next live event, or ``None`` when empty."""
+        while self._heap:
+            time, _, event = self._heap[0]
+            if event.cancelled:
+                heapq.heappop(self._heap)
+                continue
+            return time
+        return None

@@ -1,0 +1,84 @@
+"""Monitors: record time-stamped observations during a simulation run.
+
+The 5-microsecond burst sampler (:mod:`repro.counters.sampler`) bins a
+:class:`CountMonitor`'s event timestamps into fixed windows exactly the way
+the paper's fine-grained profiler bins LLC misses.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.stats import RunningStats
+from repro.util.validation import ValidationError, check_positive
+
+
+class TimeSeriesMonitor:
+    """Records ``(time, value)`` observations and summary statistics."""
+
+    def __init__(self, name: str = "series") -> None:
+        self.name = name
+        self._times: list[float] = []
+        self._values: list[float] = []
+        self.stats = RunningStats()
+
+    def record(self, time: float, value: float) -> None:
+        """Append an observation; times must be non-decreasing."""
+        if self._times and time < self._times[-1]:
+            raise ValidationError("observations must be time-ordered")
+        self._times.append(time)
+        self._values.append(value)
+        self.stats.add(value)
+
+    def __len__(self) -> int:
+        return len(self._times)
+
+    def times(self) -> np.ndarray:
+        return np.asarray(self._times, dtype=float)
+
+    def values(self) -> np.ndarray:
+        return np.asarray(self._values, dtype=float)
+
+
+class CountMonitor:
+    """Records bare event timestamps (e.g. one per off-chip memory request)."""
+
+    def __init__(self, name: str = "events") -> None:
+        self.name = name
+        self._times: list[float] = []
+
+    def record(self, time: float) -> None:
+        if self._times and time < self._times[-1]:
+            raise ValidationError("events must be time-ordered")
+        self._times.append(time)
+
+    def __len__(self) -> int:
+        return len(self._times)
+
+    def times(self) -> np.ndarray:
+        return np.asarray(self._times, dtype=float)
+
+    def counts_in_windows(self, window: float,
+                          horizon: float | None = None) -> np.ndarray:
+        """Bin event timestamps into consecutive windows of width ``window``.
+
+        Returns the per-window event counts covering ``[0, horizon)``;
+        ``horizon`` defaults to the last event time rounded up to a whole
+        window.  This is the paper's fine-grained sampler: a count of
+        last-level cache misses per five microseconds.
+        """
+        check_positive("window", window)
+        t = self.times()
+        if horizon is None:
+            if t.size == 0:
+                return np.zeros(0, dtype=np.int64)
+            horizon = float(np.ceil(t[-1] / window) * window)
+            if horizon <= t[-1]:
+                horizon += window
+        n_windows = int(np.ceil(horizon / window))
+        if n_windows <= 0:
+            return np.zeros(0, dtype=np.int64)
+        idx = np.floor_divide(t, window).astype(np.int64)
+        idx = idx[(idx >= 0) & (idx < n_windows)]
+        counts = np.bincount(idx, minlength=n_windows)
+        return counts.astype(np.int64)

@@ -1,0 +1,144 @@
+"""Queueing resources for the DES engine.
+
+:class:`Server` models a station with ``c`` identical service channels and an
+unbounded FIFO queue — the shape of a memory controller or a front-side bus.
+It records the statistics the validation suite checks against queueing
+theory: arrival count, mean wait, mean service, time-average queue length,
+and utilisation.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Optional
+
+from repro.desim.engine import Simulator
+from repro.desim.events import Event
+from repro.util.validation import ValidationError, check_integer, check_nonnegative
+
+
+class QueueStats:
+    """Accumulated statistics for a :class:`Server`.
+
+    All time-average quantities are maintained by area accumulation
+    (``value * dt``) and finalised against the observation horizon.
+    """
+
+    def __init__(self) -> None:
+        self.arrivals = 0
+        self.departures = 0
+        self.total_wait = 0.0     # time spent waiting in queue (sum over jobs)
+        self.total_service = 0.0  # time spent in service (sum over jobs)
+        self._area_queue = 0.0    # integral of queue length dt
+        self._area_busy = 0.0     # integral of busy channels dt
+        self._last_t = 0.0
+
+    def _advance(self, now: float, queue_len: int, busy: int) -> None:
+        dt = now - self._last_t
+        if dt < 0:  # pragma: no cover - engine guarantees monotone time
+            raise ValidationError("time went backwards in QueueStats")
+        self._area_queue += queue_len * dt
+        self._area_busy += busy * dt
+        self._last_t = now
+
+    def mean_wait(self) -> float:
+        """Mean time a completed job spent queued (Wq)."""
+        if self.departures == 0:
+            return 0.0
+        return self.total_wait / self.departures
+
+    def mean_service(self) -> float:
+        """Mean service time of completed jobs."""
+        if self.departures == 0:
+            return 0.0
+        return self.total_service / self.departures
+
+    def mean_response(self) -> float:
+        """Mean queue wait plus service (W)."""
+        return self.mean_wait() + self.mean_service()
+
+    def mean_queue_length(self, horizon: float) -> float:
+        """Time-average number of jobs waiting (Lq) over ``horizon``."""
+        check_nonnegative("horizon", horizon)
+        if horizon == 0:
+            return 0.0
+        return self._area_queue / horizon
+
+    def utilisation(self, horizon: float, channels: int) -> float:
+        """Time-average fraction of busy channels over ``horizon``."""
+        check_nonnegative("horizon", horizon)
+        if horizon == 0:
+            return 0.0
+        return self._area_busy / (horizon * channels)
+
+
+class Server:
+    """``c``-channel FIFO server.
+
+    Jobs are submitted with :meth:`request`; the returned event triggers when
+    service *completes*, with the job's total response time as its value.
+    Service times are supplied by the caller per job (so any distribution or
+    state-dependent discipline can be expressed).
+    """
+
+    def __init__(self, sim: Simulator, channels: int = 1,
+                 name: str = "server") -> None:
+        check_integer("channels", channels, minimum=1)
+        self.sim = sim
+        self.channels = channels
+        self.name = name
+        self.stats = QueueStats()
+        self._busy = 0
+        self._queue: deque[tuple[Event, float, float]] = deque()
+
+    @property
+    def queue_length(self) -> int:
+        """Jobs currently waiting (not in service)."""
+        return len(self._queue)
+
+    @property
+    def busy_channels(self) -> int:
+        return self._busy
+
+    def request(self, service_time: float,
+                on_start: Optional[Callable[[], None]] = None) -> Event:
+        """Submit a job requiring ``service_time``; returns the done-event."""
+        check_nonnegative("service_time", service_time)
+        now = self.sim.now
+        self.stats._advance(now, len(self._queue), self._busy)
+        self.stats.arrivals += 1
+        done = Event()
+        if self._busy < self.channels:
+            self._start(done, arrived=now, service_time=service_time,
+                        on_start=on_start)
+        else:
+            self._queue.append((done, now, service_time))
+        return done
+
+    def _start(self, done: Event, arrived: float, service_time: float,
+               on_start: Optional[Callable[[], None]] = None) -> None:
+        self._busy += 1
+        if on_start is not None:
+            on_start()
+        start = self.sim.now
+        wait = start - arrived
+
+        def _complete(_ev: Event) -> None:
+            now = self.sim.now
+            self.stats._advance(now, len(self._queue), self._busy)
+            self._busy -= 1
+            self.stats.departures += 1
+            self.stats.total_wait += wait
+            self.stats.total_service += service_time
+            done.value = now - arrived  # response time
+            done._trigger()
+            self._drain()
+
+        tick = Event()
+        tick.add_callback(_complete)
+        self.sim.queue.push(tick, start + service_time)
+
+    def _drain(self) -> None:
+        while self._busy < self.channels and self._queue:
+            done, arrived, service_time = self._queue.popleft()
+            self._start(done, arrived, service_time)

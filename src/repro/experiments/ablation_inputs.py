@@ -1,0 +1,75 @@
+"""Section V ablation: how many measurement points does the fit need?
+
+The paper: Intel NUMA fitted from four inputs reaches 11 % average error
+and degrades to ~14 % with three; AMD NUMA fitted from five inputs (one
+per hop-distance class) reaches <5 % and degrades to ~25 % when three
+inputs force homogeneous remote latencies.  This driver fits both
+variants on both NUMA machines and compares.
+"""
+
+from __future__ import annotations
+
+from repro.core import fit_model, paper_fit_points, validate_model
+from repro.experiments.paper_data import PAPER_MODEL_ERROR, PAPER_MODEL_ERROR_REDUCED
+from repro.experiments.runner import ExperimentResult
+from repro.machine import amd_numa, intel_numa
+from repro.runtime.calibration import machine_key
+from repro.runtime.measurement import MeasurementRun
+from repro.util.tables import TextTable
+
+PROGRAM, SIZE = "CG", "C"
+
+
+def run(fast: bool = False, rng=None) -> ExperimentResult:
+    """Fit full vs reduced input sets; reduced must be worse."""
+    machines = [intel_numa(), amd_numa()] if not fast else [intel_numa()]
+    table = TextTable(
+        ["Machine", "variant", "fit points", "mean rel. error",
+         "paper"],
+        title="Section V: regression-input ablation (CG.C)")
+    data = {}
+    notes = []
+    for machine in machines:
+        mkey = machine_key(machine)
+        run_ = MeasurementRun(PROGRAM, SIZE, machine, rng=rng)
+        n_cores = machine.n_cores
+        step = max(n_cores // (6 if fast else 24), 1)
+        pts = sorted(set(
+            list(range(1, n_cores + 1, step)) + [n_cores]
+            + paper_fit_points(machine)
+            + paper_fit_points(machine, reduced=True)))
+        sweep = {n: run_.measure(n) for n in pts}
+        errors = {}
+        for variant, reduced in (("full", False), ("reduced", True)):
+            model = fit_model(machine, sweep, reduced=reduced)
+            report = validate_model(model, sweep)
+            err = report.mean_relative_error_cycles
+            errors[variant] = err
+            paper = PAPER_MODEL_ERROR[mkey] if not reduced \
+                else PAPER_MODEL_ERROR_REDUCED.get(mkey)
+            table.add_row([
+                mkey, variant,
+                str(paper_fit_points(machine, reduced=reduced)),
+                f"{err:.1%}",
+                f"{paper:.0%}" if paper is not None else "-"])
+        data[mkey] = errors
+        # On Intel NUMA the paper's degradation is mild (11% -> 14%), on
+        # AMD severe (5% -> 25%); require no *improvement* beyond noise.
+        if errors["reduced"] >= errors["full"] + 0.005:
+            verdict = "OK (degraded)"
+        elif errors["reduced"] >= errors["full"] - 0.02:
+            verdict = "OK (comparable)"
+        else:
+            verdict = "MISMATCH"
+        notes.append(
+            f"{mkey}: reduced-input fit error {errors['reduced']:.1%} vs "
+            f"full {errors['full']:.1%} -> {verdict} "
+            "(paper: fewer inputs degrade accuracy, mildly on Intel NUMA, "
+            "severely on AMD)")
+    return ExperimentResult(
+        name="ablation_inputs",
+        title="Ablation — regression input sets",
+        tables=[table],
+        data=data,
+        notes=notes,
+    )

@@ -1,0 +1,83 @@
+"""Paper Fig. 3: CG.C counter curves vs active cores on the three machines.
+
+Reproduces the four series of each subplot — total cycles, stalled
+cycles, work cycles, last-level misses — and checks the paper's three
+observations: non-uniform total-cycle growth, stalls carrying that
+growth, and work/misses staying roughly constant.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.paper_data import FIG3_OBSERVATIONS
+from repro.experiments.runner import ExperimentResult
+from repro.machine import all_machines
+from repro.runtime.calibration import machine_key
+from repro.runtime.measurement import MeasurementRun
+from repro.util.tables import TextTable, format_sci
+
+PROGRAM, SIZE = "CG", "C"
+
+
+def _sweep_points(n_cores: int, fast: bool) -> list[int]:
+    if fast:
+        step = max(n_cores // 4, 1)
+        pts = list(range(1, n_cores + 1, step))
+    else:
+        pts = list(range(1, n_cores + 1))
+    if n_cores not in pts:
+        pts.append(n_cores)
+    return pts
+
+
+def run(fast: bool = False, rng=None) -> ExperimentResult:
+    """Measure the Fig. 3 sweeps; validates the three observations."""
+    machines = all_machines() if not fast else all_machines()[:2]
+    tables = []
+    data = {}
+    notes = []
+    for machine in machines:
+        mkey = machine_key(machine)
+        run_ = MeasurementRun(PROGRAM, SIZE, machine, rng=rng)
+        pts = _sweep_points(machine.n_cores, fast)
+        sweep = {n: run_.measure(n) for n in pts}
+        table = TextTable(
+            ["n", "total cycles", "stalled cycles", "work cycles",
+             "LLC misses"],
+            title=f"Fig. 3 ({mkey}): {PROGRAM}.{SIZE} vs active cores")
+        series = []
+        for n in pts:
+            s = sweep[n]
+            table.add_row([n, format_sci(s.total_cycles),
+                           format_sci(s.stall_cycles),
+                           format_sci(s.work_cycles),
+                           format_sci(s.llc_misses)])
+            series.append({"n": n, "total": s.total_cycles,
+                           "stall": s.stall_cycles, "work": s.work_cycles,
+                           "misses": s.llc_misses})
+        tables.append(table)
+        data[mkey] = series
+
+        # Observation checks.
+        first, last = sweep[pts[0]], sweep[pts[-1]]
+        total_growth = last.total_cycles / first.total_cycles
+        stall_growth = (last.stall_cycles - first.stall_cycles)
+        total_delta = (last.total_cycles - first.total_cycles)
+        work_ratio = last.work_cycles / first.work_cycles
+        miss_ratio = last.llc_misses / first.llc_misses
+        ok = (total_growth > 1.5
+              and stall_growth / total_delta > 0.9
+              and 0.8 < work_ratio < 1.3
+              and 0.8 < miss_ratio < 1.3)
+        notes.append(
+            f"{mkey}: total x{total_growth:.2f}, stalls carry "
+            f"{100 * stall_growth / total_delta:.0f}% of the growth, work "
+            f"x{work_ratio:.2f}, misses x{miss_ratio:.2f} -> "
+            f"{'OK' if ok else 'MISMATCH'}")
+    notes.append("paper's observations: " + "; ".join(FIG3_OBSERVATIONS))
+    return ExperimentResult(
+        name="fig3",
+        title="Fig. 3 — CG.C: varying the number of cores",
+        tables=tables,
+        data=data,
+        notes=notes,
+    )

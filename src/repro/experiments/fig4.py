@@ -1,0 +1,87 @@
+"""Paper Fig. 4: burstiness of off-chip memory traffic.
+
+CCDFs of five-microsecond LLC-miss window counts for CG (classes S, W,
+A, B, C) and x264 (four input sets) on the Intel NUMA testbed with all
+24 cores active, plus the paper's tail verdicts: small classes show the
+straight log-log tail, the large contended CG classes do not.
+"""
+
+from __future__ import annotations
+
+from repro.burst import ccdf_at, estimate_hurst, fit_loglog_tail, is_heavy_tailed
+from repro.counters.sampler import BurstSampler
+from repro.experiments.paper_data import FIG4_HEAVY, FIG4_X_GRID
+from repro.experiments.runner import ExperimentResult
+from repro.machine import intel_numa
+from repro.util.validation import ValidationError
+
+SERIES = {
+    "CG": ["S", "W", "A", "B", "C"],
+    "x264": ["simsmall", "simmedium", "simlarge", "native"],
+}
+
+
+def run(fast: bool = False, rng=None) -> ExperimentResult:
+    """Sample every Fig. 4 series and compare tail verdicts to the paper."""
+    from repro.util.tables import TextTable
+
+    machine = intel_numa()
+    sampler = BurstSampler(machine)
+    n_windows = 40_000 if fast else 150_000
+    tables = []
+    data = {}
+    notes = []
+    agree = 0
+    total = 0
+    for program, sizes in SERIES.items():
+        table = TextTable(
+            ["series", "heavy tail (paper)", "heavy tail (measured)",
+             "tail R2", "tail index", "Hurst"]
+            + [f"P>{x}" for x in FIG4_X_GRID],
+            title=f"Fig. 4: P(#requested cache lines > x), {program} on "
+                  f"{machine.name} (24 cores, 5 us windows)")
+        for size in sizes:
+            trace = sampler.sample(program, size, n_windows=n_windows,
+                                   rng=rng)
+            probs = ccdf_at(trace.counts, FIG4_X_GRID)
+            heavy = is_heavy_tailed(trace.counts)
+            try:
+                fit = fit_loglog_tail(trace.counts)
+                r2, alpha = f"{fit.r2:.3f}", f"{fit.tail_index:.2f}"
+            except ValidationError:
+                r2, alpha = "-", "-"
+            paper_heavy = FIG4_HEAVY[(program, size)]
+            total += 1
+            agree += int(heavy == paper_heavy)
+            try:
+                hurst = estimate_hurst(trace.counts).hurst
+                hurst_txt = f"{hurst:.2f}"
+            except ValidationError:
+                hurst, hurst_txt = float("nan"), "-"
+            table.add_row([f"{program}.{size}", paper_heavy, heavy, r2,
+                           alpha, hurst_txt]
+                          + [f"{p:.1e}" for p in probs])
+            data[f"{program}.{size}"] = {
+                "ccdf_x": list(FIG4_X_GRID),
+                "ccdf_p": [float(p) for p in probs],
+                "heavy_measured": heavy,
+                "heavy_paper": paper_heavy,
+                "hurst": hurst,
+            }
+        tables.append(table)
+    notes.append(
+        f"tail verdicts agree with the paper on {agree}/{total} series")
+    notes.append(
+        "paper: small problem sizes -> bursty heavy-tailed traffic; "
+        "large contended sizes -> non-bursty (cliff-shaped CCDF)")
+    notes.append(
+        "self-similarity cross-check (paper refs. [14], [20]): bursty "
+        "series are long-range dependent (Hurst > 0.6), saturated series "
+        "are not")
+    return ExperimentResult(
+        name="fig4",
+        title="Fig. 4 — burstiness of off-chip memory traffic",
+        tables=tables,
+        data=data,
+        notes=notes,
+    )

@@ -1,0 +1,76 @@
+"""Paper Fig. 5: model vs measurement for high contention (CG.C).
+
+Fits the analytical model from the paper's chosen measurement points on
+each testbed, sweeps omega(n) for both the measurement substrate and the
+model, and reports the average relative error next to the paper's
+quoted accuracy (6 % UMA, 11 % Intel NUMA, <5 % AMD NUMA).
+"""
+
+from __future__ import annotations
+
+from repro.core import colinearity_r2, fit_model, paper_fit_points, validate_model
+from repro.experiments.paper_data import PAPER_MODEL_ERROR
+from repro.experiments.runner import ExperimentResult
+from repro.machine import all_machines
+from repro.runtime.calibration import machine_key
+from repro.runtime.measurement import MeasurementRun
+from repro.util.tables import TextTable, format_float
+
+PROGRAM, SIZE = "CG", "C"
+
+
+def _sweep_points(n_cores: int, fast: bool) -> list[int]:
+    if fast:
+        pts = sorted(set([1, 2] + list(range(0, n_cores + 1,
+                                             max(n_cores // 6, 1)))[1:]))
+    else:
+        pts = list(range(1, n_cores + 1))
+    if n_cores not in pts:
+        pts.append(n_cores)
+    return pts
+
+
+def run(fast: bool = False, rng=None, program: str = PROGRAM,
+        size: str = SIZE) -> ExperimentResult:
+    """Fit, sweep and validate on every machine; returns error summary."""
+    machines = all_machines() if not fast else all_machines()[:2]
+    tables = []
+    data = {}
+    notes = []
+    for machine in machines:
+        mkey = machine_key(machine)
+        actual_size = "B" if (program == "FT" and mkey == "intel_uma") \
+            else size
+        run_ = MeasurementRun(program, actual_size, machine, rng=rng)
+        pts = sorted(set(_sweep_points(machine.n_cores, fast)
+                         + paper_fit_points(machine)))
+        sweep = {n: run_.measure(n) for n in pts}
+        model = fit_model(machine, sweep)
+        report = validate_model(model, sweep)
+        table = TextTable(
+            ["n", "measured omega", "model omega"],
+            title=f"Fig. 5 ({mkey}): {program}.{actual_size} "
+                  f"measurement vs model "
+                  f"(fit points: {paper_fit_points(machine)})")
+        for n, meas, pred in report.rows():
+            table.add_row([n, format_float(meas), format_float(pred)])
+        tables.append(table)
+        err = report.mean_relative_error_cycles
+        cpp = machine.processors[0].n_logical_cores
+        data[mkey] = {
+            "rows": report.rows(),
+            "mean_relative_error": err,
+            "paper_error": PAPER_MODEL_ERROR[mkey],
+            "colinearity_r2": colinearity_r2(sweep, max_n=cpp),
+        }
+        notes.append(
+            f"{mkey}: mean relative error {err:.1%} "
+            f"(paper: {PAPER_MODEL_ERROR[mkey]:.0%})")
+    return ExperimentResult(
+        name="fig5",
+        title=f"Fig. 5 — high contention: model vs measurement, "
+              f"{program}.{size}",
+        tables=tables,
+        data=data,
+        notes=notes,
+    )

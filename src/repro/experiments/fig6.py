@@ -1,0 +1,81 @@
+"""Paper Fig. 6: model vs measurement for low contention (EP.C).
+
+Reproduces the paper's negative result faithfully: EP.C shows *positive
+cache effects* (omega < 0) below one full package on the NUMA machines,
+then a miss-growth-driven rise to ~0.5 that the analytical model does
+NOT capture — the paper's own stated limitation ("this is not captured
+by our model ... caused by an increase in number of last level cache
+misses").
+"""
+
+from __future__ import annotations
+
+from repro.core import fit_model, paper_fit_points, validate_model
+from repro.experiments.runner import ExperimentResult
+from repro.machine import all_machines
+from repro.runtime.calibration import machine_key
+from repro.runtime.measurement import MeasurementRun
+from repro.util.tables import TextTable, format_float
+
+PROGRAM, SIZE = "EP", "C"
+
+
+def run(fast: bool = False, rng=None) -> ExperimentResult:
+    """Sweep EP.C on every machine and check the paper's qualitative story."""
+    machines = all_machines() if not fast else all_machines()[1:2]
+    tables = []
+    data = {}
+    notes = []
+    for machine in machines:
+        mkey = machine_key(machine)
+        run_ = MeasurementRun(PROGRAM, SIZE, machine, rng=rng)
+        n_cores = machine.n_cores
+        step = max(n_cores // (6 if fast else 24), 1)
+        pts = sorted(set(list(range(1, n_cores + 1, step)) + [n_cores]
+                         + paper_fit_points(machine)))
+        sweep = {n: run_.measure(n) for n in pts}
+        model = fit_model(machine, sweep)
+        report = validate_model(model, sweep)
+        table = TextTable(
+            ["n", "measured omega", "model omega", "LLC misses"],
+            title=f"Fig. 6 ({mkey}): {PROGRAM}.{SIZE} measurement vs model")
+        for (n, meas, pred) in report.rows():
+            table.add_row([n, format_float(meas, 3), format_float(pred, 3),
+                           f"{sweep[n].llc_misses:.2e}"])
+        tables.append(table)
+        cpp = machine.processors[0].n_logical_cores
+        in_package = [m for (n, m, _p) in report.rows() if 1 < n <= cpp]
+        beyond = [m for (n, m, _p) in report.rows() if n == n_cores]
+        misses_1 = sweep[1].llc_misses
+        misses_max = sweep[n_cores].llc_misses
+        is_numa = machine.interconnect is not None
+        negative_region = bool(in_package) and min(in_package) < 0
+        growth = beyond[0] if beyond else 0.0
+        data[mkey] = {
+            "rows": report.rows(),
+            "negative_omega_in_package": negative_region,
+            "omega_full": growth,
+            "misses_growth_factor": misses_max / misses_1,
+        }
+        if is_numa:
+            ok = negative_region and growth > 0.3 \
+                and misses_max / misses_1 > 1e3
+            notes.append(
+                f"{mkey}: omega<0 below one package: {negative_region}; "
+                f"omega(full)={growth:.2f} (paper ~0.5); misses grow "
+                f"x{misses_max / misses_1:.1e} (paper: 1.8e3 -> 3.1e7) -> "
+                f"{'OK' if ok else 'MISMATCH'}")
+        else:
+            notes.append(
+                f"{mkey}: omega stays ~0 (paper: negligible UMA contention "
+                f"for EP); omega(full)={growth:.2f}")
+    notes.append(
+        "the model's flat prediction beyond one package reproduces the "
+        "paper's stated limitation for low-contention programs")
+    return ExperimentResult(
+        name="fig6",
+        title="Fig. 6 — low contention: model vs measurement, EP.C",
+        tables=tables,
+        data=data,
+        notes=notes,
+    )

@@ -1,0 +1,68 @@
+"""Experiment registry and result type."""
+
+from __future__ import annotations
+
+import importlib
+from dataclasses import dataclass, field
+
+from repro.util.tables import TextTable
+from repro.util.validation import ValidationError
+
+#: name -> module path (each module exposes ``run(fast=..., rng=...)``).
+_EXPERIMENTS: dict[str, str] = {
+    "table1": "repro.experiments.table1",
+    "table2": "repro.experiments.table2",
+    "table3": "repro.experiments.table3",
+    "fig1_fig2": "repro.experiments.fig1_fig2",
+    "fig3": "repro.experiments.fig3",
+    "fig4": "repro.experiments.fig4",
+    "fig5": "repro.experiments.fig5",
+    "fig6": "repro.experiments.fig6",
+    "table4": "repro.experiments.table4",
+    "sp_peak": "repro.experiments.sp_peak",
+    "ablation_inputs": "repro.experiments.ablation_inputs",
+    "ablation_burstiness": "repro.experiments.ablation_burstiness",
+    "ablation_extended": "repro.experiments.ablation_extended",
+}
+
+
+@dataclass
+class ExperimentResult:
+    """Output of one experiment driver.
+
+    ``tables`` render in reports; ``data`` carries the raw numbers for
+    programmatic use (tests, EXPERIMENTS.md generation); ``notes`` list
+    qualitative checks with pass/fail verdicts.
+    """
+
+    name: str
+    title: str
+    tables: list[TextTable] = field(default_factory=list)
+    data: dict = field(default_factory=dict)
+    notes: list[str] = field(default_factory=list)
+
+    def render(self) -> str:
+        """Full text report of the experiment."""
+        parts = [f"== {self.title} =="]
+        for t in self.tables:
+            parts.append(t.render())
+        for note in self.notes:
+            parts.append(f"note: {note}")
+        return "\n\n".join(parts)
+
+
+def available_experiments() -> list[str]:
+    """Registered experiment names, in paper order."""
+    return list(_EXPERIMENTS)
+
+
+def run_experiment(name: str, fast: bool = False, rng=None) -> ExperimentResult:
+    """Run one registered experiment by name."""
+    try:
+        module_path = _EXPERIMENTS[name]
+    except KeyError:
+        raise ValidationError(
+            f"unknown experiment {name!r}; have {available_experiments()}"
+        ) from None
+    module = importlib.import_module(module_path)
+    return module.run(fast=fast, rng=rng)

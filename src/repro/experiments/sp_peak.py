@@ -1,0 +1,63 @@
+"""Section V quote: SP.C shows the largest contention of all programs.
+
+"SP.C having the largest values of contention, with omega(n) reaching
+7.1 on eight cores on Intel UMA and 11.6 on 24 cores on Intel NUMA" —
+and more than a tenfold total-cycle increase on the 24-core machine
+(the abstract's headline number).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.paper_data import SP_PEAK
+from repro.experiments.runner import ExperimentResult
+from repro.machine import all_machines
+from repro.runtime.calibration import machine_key, table2_target
+from repro.runtime.measurement import MeasurementRun
+from repro.util.tables import TextTable, format_float
+
+PROGRAMS = ["EP", "IS", "FT", "CG", "SP"]
+
+
+def run(fast: bool = False, rng=None) -> ExperimentResult:
+    """Measure full-core omega for every program; SP must dominate."""
+    machines = all_machines() if not fast else all_machines()[:1]
+    table = TextTable(
+        ["Machine", "Program", "omega(full cores)"],
+        title="Section V: peak degree of contention at full core count "
+              "(large classes)")
+    data = {}
+    notes = []
+    for machine in machines:
+        mkey = machine_key(machine)
+        omegas = {}
+        for program in PROGRAMS:
+            size = "B" if (program == "FT" and mkey == "intel_uma") else "C"
+            if table2_target(program, size, machine) is None:
+                continue
+            run_ = MeasurementRun(program, size, machine, rng=rng)
+            base = run_.measure(1)
+            full = run_.measure(machine.n_cores)
+            omegas[program] = (full.total_cycles - base.total_cycles) \
+                / base.total_cycles
+            table.add_row([mkey, program, format_float(omegas[program])])
+        winner = max(omegas, key=omegas.get)
+        data[mkey] = {"omegas": omegas, "winner": winner}
+        peak = SP_PEAK.get(mkey)
+        quote = f" (paper: {peak[1]:.2f} on {peak[0]} cores)" if peak else ""
+        notes.append(
+            f"{mkey}: largest contention is {winner} at "
+            f"{omegas[winner]:.2f}{quote} -> "
+            f"{'OK' if winner == 'SP' else 'MISMATCH'}")
+        if mkey == "intel_numa":
+            ratio = omegas["SP"] + 1.0
+            notes.append(
+                f"intel_numa: SP.C total cycles grow x{ratio:.1f} on 24 "
+                "cores (abstract: 'more than ten times') -> "
+                f"{'OK' if ratio > 10 else 'MISMATCH'}")
+    return ExperimentResult(
+        name="sp_peak",
+        title="Section V — SP.C peak contention",
+        tables=[table],
+        data=data,
+        notes=notes,
+    )

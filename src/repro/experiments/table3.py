@@ -1,0 +1,31 @@
+"""Paper Table III: problem-size descriptions for CG and x264."""
+
+from __future__ import annotations
+
+from repro.experiments.runner import ExperimentResult
+from repro.util.tables import TextTable
+from repro.workloads import get_workload
+
+
+def run(fast: bool = False, rng=None) -> ExperimentResult:
+    """Render the Table III size descriptions from the workload specs."""
+    table = TextTable(["Program and Size", "Problem Size Description"],
+                      title="Table III: problem size description for CG "
+                            "and x264")
+    data = {}
+    for program in ("CG", "x264"):
+        w = get_workload(program)
+        for name, spec in w.sizes().items():
+            label = f"{program}.{name}"
+            table.add_row([label, spec.description])
+            data[label] = {
+                "description": spec.description,
+                "working_set_bytes": spec.working_set_bytes,
+                "instructions": spec.instructions,
+            }
+    return ExperimentResult(
+        name="table3",
+        title="Table III — problem size description",
+        tables=[table],
+        data={"sizes": data},
+    )

@@ -1,0 +1,59 @@
+"""Simulated multicore machines.
+
+This package replaces the paper's three physical testbeds with fully
+described machine models:
+
+* :func:`~repro.machine.presets.intel_uma` — dual quad-core Xeon E5320,
+  one shared memory controller behind per-processor front-side buses;
+* :func:`~repro.machine.presets.intel_numa` — dual six-core (2-way SMT)
+  Xeon X5650, one controller per processor, QPI direct link;
+* :func:`~repro.machine.presets.amd_numa` — quad twelve-core Opteron
+  6172, two controllers per processor, eight-node partial-mesh HT
+  interconnect with 0/1/2-hop distances.
+
+The object model carries everything the measurement substrate and the
+analytical model need: clock frequency, cache hierarchy, DRAM timing,
+controller channel counts, bus widths and NUMA hop latencies — all taken
+from the paper's hardware table or public microarchitecture documentation.
+"""
+
+from repro.machine.topology import (
+    CacheLevel,
+    Core,
+    Processor,
+    MemoryController,
+    Machine,
+    MemoryArchitecture,
+)
+from repro.machine.dram import DramTiming
+from repro.machine.bus import FrontSideBus
+from repro.machine.interconnect import Interconnect
+from repro.machine.caches import CacheConfig, SetAssociativeCache, CacheHierarchy
+from repro.machine.presets import intel_uma, intel_numa, amd_numa, all_machines
+from repro.machine.allocation import (
+    CoreAllocation,
+    fill_processor_first,
+    AffinityError,
+)
+
+__all__ = [
+    "CacheLevel",
+    "Core",
+    "Processor",
+    "MemoryController",
+    "Machine",
+    "MemoryArchitecture",
+    "DramTiming",
+    "FrontSideBus",
+    "Interconnect",
+    "CacheConfig",
+    "SetAssociativeCache",
+    "CacheHierarchy",
+    "intel_uma",
+    "intel_numa",
+    "amd_numa",
+    "all_machines",
+    "CoreAllocation",
+    "fill_processor_first",
+    "AffinityError",
+]

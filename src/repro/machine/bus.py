@@ -1,0 +1,53 @@
+"""Front-side bus model for UMA machines.
+
+On the paper's Intel UMA testbed (Clovertown-class), each processor owns a
+private front-side bus to the shared memory controller hub.  Every off-chip
+request occupies its processor's bus for one cache-line transfer, so the
+bus is an additional FCFS station *per processor* in front of the shared
+controller — this is what produces the paper's observation of two growth
+intervals (cores 1-4, then 5-8) on the UMA machine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.units import Frequency
+from repro.util.validation import check_integer, check_positive
+
+
+@dataclass(frozen=True)
+class FrontSideBus:
+    """One processor's front-side bus.
+
+    Parameters
+    ----------
+    clock_mhz:
+        Bus clock in MHz (E5320: 1066 MT/s quad-pumped 266 MHz).
+    bytes_per_transfer:
+        Width of one bus beat in bytes (8 for 64-bit FSB).
+    line_bytes:
+        Cache-line size moved per memory request.
+    """
+
+    clock_mhz: float
+    bytes_per_transfer: int
+    line_bytes: int = 64
+
+    def __post_init__(self) -> None:
+        check_positive("clock_mhz", self.clock_mhz)
+        check_integer("bytes_per_transfer", self.bytes_per_transfer, minimum=1)
+        check_integer("line_bytes", self.line_bytes, minimum=1)
+
+    @property
+    def bandwidth_bytes_per_s(self) -> float:
+        """Peak bus bandwidth in bytes/second."""
+        return self.clock_mhz * 1e6 * self.bytes_per_transfer
+
+    def transfer_ns(self) -> float:
+        """Time to move one cache line over the bus, in nanoseconds."""
+        return self.line_bytes / self.bandwidth_bytes_per_s * 1e9
+
+    def transfer_cycles(self, freq: Frequency) -> float:
+        """Cache-line transfer time in core cycles at core clock ``freq``."""
+        return freq.cycles_in(self.transfer_ns() * 1e-9)

@@ -1,0 +1,178 @@
+"""Set-associative LRU cache simulation.
+
+The workload kernels produce memory reference traces; pushing them through
+this hierarchy yields the last-level-cache miss stream — the off-chip
+request traffic whose burstiness and volume the paper studies.  Only the
+miss *stream* matters downstream, so the simulator models tags, sets and
+LRU replacement but not data.
+
+This is a trace-driven functional simulator, not cycle-accurate: it
+answers "which references miss" and (optionally) "at which reference index
+did each miss occur", which is all the burst sampler needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.machine.topology import CacheLevel
+from repro.util.validation import ValidationError, check_integer
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Convenience constructor for a :class:`CacheLevel` by common units."""
+
+    name: str
+    size_kib: float
+    associativity: int
+    line_bytes: int = 64
+    latency_cycles: float = 10.0
+    shared_by: int = 1
+
+    def to_level(self) -> CacheLevel:
+        return CacheLevel(
+            name=self.name,
+            size_bytes=int(self.size_kib * 1024),
+            associativity=self.associativity,
+            line_bytes=self.line_bytes,
+            latency_cycles=self.latency_cycles,
+            shared_by=self.shared_by,
+        )
+
+
+class SetAssociativeCache:
+    """One cache with LRU replacement, driven by byte addresses.
+
+    State persists across calls to :meth:`access`, so a trace can be fed
+    in chunks.  Use :meth:`reset` between workloads.
+    """
+
+    def __init__(self, level: CacheLevel) -> None:
+        self.level = level
+        self.n_sets = level.n_sets
+        self.assoc = level.associativity
+        self._line_shift = int(level.line_bytes).bit_length() - 1
+        if (1 << self._line_shift) != level.line_bytes:
+            raise ValidationError(
+                f"line_bytes={level.line_bytes} must be a power of two")
+        if self.n_sets & (self.n_sets - 1):
+            raise ValidationError(
+                f"n_sets={self.n_sets} must be a power of two")
+        self.reset()
+
+    def reset(self) -> None:
+        """Invalidate all lines and clear statistics."""
+        self._tags = np.full((self.n_sets, self.assoc), -1, dtype=np.int64)
+        self._stamp = np.zeros((self.n_sets, self.assoc), dtype=np.int64)
+        self._clock = 0
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def miss_ratio(self) -> float:
+        if self.accesses == 0:
+            raise ValidationError("no accesses recorded")
+        return self.misses / self.accesses
+
+    def access(self, addresses: np.ndarray) -> np.ndarray:
+        """Run byte ``addresses`` through the cache; return a hit mask.
+
+        The returned boolean array marks which references hit.  Misses
+        allocate (write-allocate, no distinction between loads and stores,
+        as only the off-chip request count matters).
+        """
+        addr = np.asarray(addresses)
+        if addr.ndim != 1:
+            raise ValidationError("addresses must be a 1-D array")
+        if addr.size and addr.min() < 0:
+            raise ValidationError("addresses must be non-negative")
+        lines = addr.astype(np.int64) >> self._line_shift
+        sets = (lines & (self.n_sets - 1)).astype(np.int64)
+        tags = (lines >> int(np.log2(self.n_sets))) if self.n_sets > 1 \
+            else lines
+        hit_mask = np.zeros(addr.size, dtype=bool)
+
+        tag_arr = self._tags
+        stamp_arr = self._stamp
+        clock = self._clock
+        for i in range(addr.size):
+            s = sets[i]
+            t = tags[i]
+            row = tag_arr[s]
+            clock += 1
+            match = np.nonzero(row == t)[0]
+            if match.size:
+                way = match[0]
+                hit_mask[i] = True
+            else:
+                way = int(np.argmin(stamp_arr[s]))
+                tag_arr[s, way] = t
+            stamp_arr[s, way] = clock
+        self._clock = clock
+        n_hits = int(hit_mask.sum())
+        self.hits += n_hits
+        self.misses += addr.size - n_hits
+        return hit_mask
+
+
+class CacheHierarchy:
+    """An inclusive multi-level hierarchy (L1 → ... → LLC).
+
+    Each level only sees the misses of the level above, mirroring how
+    PAPI_L2_TCM / LLC_MISSES count demand misses at each level.
+    """
+
+    def __init__(self, levels: list[CacheLevel]) -> None:
+        if not levels:
+            raise ValidationError("hierarchy needs at least one level")
+        for upper, lower in zip(levels, levels[1:]):
+            if lower.size_bytes < upper.size_bytes:
+                raise ValidationError(
+                    f"{lower.name} smaller than {upper.name}; levels must "
+                    "be ordered from closest to farthest")
+        self.caches = [SetAssociativeCache(lv) for lv in levels]
+
+    def reset(self) -> None:
+        for c in self.caches:
+            c.reset()
+
+    @property
+    def levels(self) -> list[CacheLevel]:
+        return [c.level for c in self.caches]
+
+    def access(self, addresses: np.ndarray) -> dict[str, np.ndarray]:
+        """Feed a trace through the hierarchy.
+
+        Returns a dict with, per level name, the boolean hit mask *relative
+        to the references that reached that level*, plus two summary keys:
+
+        * ``"llc_miss_mask"`` — boolean mask over the original trace marking
+          references that missed every level (off-chip requests);
+        * ``"llc_miss_indices"`` — indices into the original trace of those
+          off-chip requests (their program order drives burst analysis).
+        """
+        addr = np.asarray(addresses)
+        out: dict[str, np.ndarray] = {}
+        current = addr
+        current_idx = np.arange(addr.size)
+        for cache in self.caches:
+            hits = cache.access(current)
+            out[cache.level.name] = hits
+            current = current[~hits]
+            current_idx = current_idx[~hits]
+        mask = np.zeros(addr.size, dtype=bool)
+        mask[current_idx] = True
+        out["llc_miss_mask"] = mask
+        out["llc_miss_indices"] = current_idx
+        return out
+
+    def llc_misses(self) -> int:
+        """Cumulative off-chip requests since the last reset."""
+        return self.caches[-1].misses

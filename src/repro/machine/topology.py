@@ -1,0 +1,236 @@
+"""Machine object model: cores, caches, processors, controllers, machines.
+
+The topology mirrors the paper's Fig. 1: several processors (packages),
+each with a set of cores behind a shared last-level cache; memory is
+reached either through a single shared controller over per-processor buses
+(UMA) or through per-processor controllers joined by an interconnect
+(NUMA).  Logical core numbering follows the LIKWID convention the paper
+used: consecutive logical ids fill a package before moving to the next.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.machine.bus import FrontSideBus
+from repro.machine.dram import DramTiming
+from repro.machine.interconnect import Interconnect
+from repro.util.units import Frequency
+from repro.util.validation import (
+    ValidationError,
+    check_integer,
+    check_positive,
+)
+
+
+class MemoryArchitecture(enum.Enum):
+    """Paper Fig. 1: the two memory organisations under study."""
+
+    UMA = "UMA"
+    NUMA = "NUMA"
+
+
+@dataclass(frozen=True)
+class CacheLevel:
+    """One level of the cache hierarchy.
+
+    ``shared_by`` is the number of *logical* cores sharing one instance of
+    this cache (1 = private, cores-per-package = package-shared LLC).
+    """
+
+    name: str
+    size_bytes: int
+    associativity: int
+    line_bytes: int
+    latency_cycles: float
+    shared_by: int
+
+    def __post_init__(self) -> None:
+        check_integer("size_bytes", self.size_bytes, minimum=1)
+        check_integer("associativity", self.associativity, minimum=1)
+        check_integer("line_bytes", self.line_bytes, minimum=1)
+        check_positive("latency_cycles", self.latency_cycles)
+        check_integer("shared_by", self.shared_by, minimum=1)
+        n_lines = self.size_bytes // self.line_bytes
+        if n_lines % self.associativity != 0:
+            raise ValidationError(
+                f"{self.name}: {n_lines} lines not divisible by "
+                f"associativity {self.associativity}")
+
+    @property
+    def n_sets(self) -> int:
+        return self.size_bytes // self.line_bytes // self.associativity
+
+
+@dataclass(frozen=True)
+class Core:
+    """One logical core (SMT hardware threads are distinct logical cores,
+    matching the paper's treatment of the X5650)."""
+
+    logical_id: int
+    physical_id: int
+    processor_index: int
+    smt_sibling: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class MemoryController:
+    """A memory controller with its DRAM timing."""
+
+    controller_id: int
+    processor_index: int
+    dram: DramTiming
+
+    def service_rate(self, freq: Frequency) -> float:
+        """Aggregate requests per core cycle across channels (``mu``)."""
+        return self.dram.aggregate_service_rate(freq)
+
+
+@dataclass(frozen=True)
+class Processor:
+    """One package: physical cores (possibly SMT), caches, controllers."""
+
+    index: int
+    n_physical_cores: int
+    smt: int
+    caches: tuple[CacheLevel, ...]
+    controllers: tuple[MemoryController, ...]
+    bus: Optional[FrontSideBus] = None
+
+    def __post_init__(self) -> None:
+        check_integer("n_physical_cores", self.n_physical_cores, minimum=1)
+        check_integer("smt", self.smt, minimum=1)
+        if not self.controllers and self.bus is None:
+            raise ValidationError(
+                f"processor {self.index}: needs a controller or a bus path")
+
+    @property
+    def n_logical_cores(self) -> int:
+        return self.n_physical_cores * self.smt
+
+    @property
+    def last_level_cache(self) -> CacheLevel:
+        if not self.caches:
+            raise ValidationError(f"processor {self.index} has no caches")
+        return self.caches[-1]
+
+
+@dataclass(frozen=True)
+class Machine:
+    """A complete multicore system.
+
+    For UMA machines ``shared_controller`` is set and per-processor
+    ``bus`` objects route to it; for NUMA machines each processor owns its
+    controllers and ``interconnect`` links them.
+    """
+
+    name: str
+    architecture: MemoryArchitecture
+    frequency: Frequency
+    processors: tuple[Processor, ...]
+    interconnect: Optional[Interconnect] = None
+    shared_controller: Optional[MemoryController] = None
+
+    def __post_init__(self) -> None:
+        if not self.processors:
+            raise ValidationError("machine needs at least one processor")
+        if self.architecture is MemoryArchitecture.UMA:
+            if self.shared_controller is None:
+                raise ValidationError("UMA machine needs a shared controller")
+            if self.interconnect is not None:
+                raise ValidationError("UMA machine must not have an interconnect")
+        else:
+            if self.shared_controller is not None:
+                raise ValidationError("NUMA machine must not have a shared controller")
+            if self.interconnect is None:
+                raise ValidationError("NUMA machine needs an interconnect")
+            have = sorted(c.controller_id for c in self.controllers)
+            if have != self.interconnect.nodes:
+                raise ValidationError(
+                    f"interconnect nodes {self.interconnect.nodes} do not match "
+                    f"controller ids {have}")
+
+    # -- core enumeration ----------------------------------------------------
+
+    @property
+    def n_cores(self) -> int:
+        """Total logical cores (the paper's '8', '24', '48')."""
+        return sum(p.n_logical_cores for p in self.processors)
+
+    @property
+    def n_processors(self) -> int:
+        return len(self.processors)
+
+    def cores(self) -> list[Core]:
+        """All logical cores in LIKWID-style fill-package order."""
+        out: list[Core] = []
+        logical = 0
+        for proc in self.processors:
+            for phys in range(proc.n_physical_cores):
+                for thread in range(proc.smt):
+                    sibling = None
+                    if proc.smt > 1:
+                        sibling = logical + 1 if thread == 0 else logical - 1
+                    out.append(Core(
+                        logical_id=logical,
+                        physical_id=phys,
+                        processor_index=proc.index,
+                        smt_sibling=sibling,
+                    ))
+                    logical += 1
+        return out
+
+    def core(self, logical_id: int) -> Core:
+        cores = self.cores()
+        check_integer("logical_id", logical_id, minimum=0,
+                      maximum=len(cores) - 1)
+        return cores[logical_id]
+
+    def processor_of_core(self, logical_id: int) -> Processor:
+        return self.processors[self.core(logical_id).processor_index]
+
+    # -- memory system -------------------------------------------------------
+
+    @property
+    def controllers(self) -> tuple[MemoryController, ...]:
+        """All controllers (the shared one for UMA)."""
+        if self.architecture is MemoryArchitecture.UMA:
+            assert self.shared_controller is not None
+            return (self.shared_controller,)
+        out: list[MemoryController] = []
+        for proc in self.processors:
+            out.extend(proc.controllers)
+        return tuple(out)
+
+    @property
+    def n_controllers(self) -> int:
+        return len(self.controllers)
+
+    def controllers_of_processor(self, index: int) -> tuple[MemoryController, ...]:
+        check_integer("index", index, minimum=0,
+                      maximum=self.n_processors - 1)
+        if self.architecture is MemoryArchitecture.UMA:
+            assert self.shared_controller is not None
+            return (self.shared_controller,)
+        return self.processors[index].controllers
+
+    def total_service_rate(self) -> float:
+        """Sum of all controllers' ``mu`` in requests per cycle."""
+        return sum(c.service_rate(self.frequency) for c in self.controllers)
+
+    @property
+    def last_level_cache_bytes(self) -> int:
+        """Total LLC capacity across packages (paper: 8/12/10 MB figures
+        are per machine description)."""
+        return sum(p.last_level_cache.size_bytes for p in self.processors)
+
+    def describe(self) -> str:
+        """One-line summary used by reports."""
+        return (f"{self.name}: {self.n_processors} processors x "
+                f"{self.processors[0].n_physical_cores} cores"
+                f"{' x ' + str(self.processors[0].smt) + ' SMT' if self.processors[0].smt > 1 else ''}"
+                f" = {self.n_cores} logical cores, "
+                f"{self.n_controllers} memory controller(s), "
+                f"{self.architecture.value}, {self.frequency}")

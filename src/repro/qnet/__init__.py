@@ -1,0 +1,55 @@
+"""Queueing-theory substrate.
+
+Closed-form and numeric solvers for the queueing systems this reproduction
+relies on:
+
+* open single-server queues — :mod:`repro.qnet.mm1` (the paper's model
+  primitive), :mod:`repro.qnet.mg1` (Pollaczek-Khinchine),
+  :mod:`repro.qnet.gg1` (Allen-Cunneen approximation used by the
+  flow-level measurement substrate to inject burstiness);
+* multi-server Erlang-C — :mod:`repro.qnet.mmc` (multi-channel memory
+  controllers);
+* closed networks — :mod:`repro.qnet.mva` exact and Schweitzer approximate
+  Mean Value Analysis, which is how the *simulated machine* computes cycle
+  counts: ``n`` cores cycle between a compute "think" state and queueing
+  at bus/controller/interconnect stations.
+
+The analytical model in :mod:`repro.core` deliberately uses only the open
+M/M/1 form, exactly as the paper does; everything richer lives here and in
+the measurement substrate, which keeps the model-vs-measurement comparison
+honest.
+"""
+
+from repro.qnet.mm1 import MM1
+from repro.qnet.mmc import MMc, erlang_c
+from repro.qnet.mg1 import MG1
+from repro.qnet.gg1 import gg1_wait, allen_cunneen_wait
+from repro.qnet.mva import (
+    Station,
+    QueueingStation,
+    DelayStation,
+    ClosedNetwork,
+    MVAResult,
+    exact_mva,
+    schweitzer_amva,
+)
+from repro.qnet.repairman import MachineRepairman
+from repro.qnet.bounds import OperationalBounds
+
+__all__ = [
+    "MM1",
+    "MMc",
+    "erlang_c",
+    "MG1",
+    "gg1_wait",
+    "allen_cunneen_wait",
+    "Station",
+    "QueueingStation",
+    "DelayStation",
+    "ClosedNetwork",
+    "MVAResult",
+    "exact_mva",
+    "schweitzer_amva",
+    "MachineRepairman",
+    "OperationalBounds",
+]

@@ -1,0 +1,90 @@
+"""M/G/1 queue via the Pollaczek-Khinchine formula.
+
+DRAM service is not exponential: a request hitting an open row is served
+much faster than one causing a row conflict, giving a two-point service
+distribution.  The measurement substrate therefore services requests with
+a general distribution, and P-K supplies its mean waiting time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.validation import ValidationError, check_nonnegative, check_positive
+
+
+@dataclass(frozen=True)
+class MG1:
+    """An M/G/1 queue described by arrival rate and service moments.
+
+    Parameters
+    ----------
+    lam:
+        Poisson arrival rate.
+    mean_service:
+        E[S] of the service distribution.
+    scv_service:
+        Squared coefficient of variation of service, ``Var[S]/E[S]^2``;
+        0 recovers M/D/1, 1 recovers M/M/1.
+    """
+
+    lam: float
+    mean_service: float
+    scv_service: float
+
+    def __post_init__(self) -> None:
+        check_positive("lam", self.lam)
+        check_positive("mean_service", self.mean_service)
+        check_nonnegative("scv_service", self.scv_service)
+        if self.rho >= 1.0:
+            raise ValidationError(
+                f"unstable M/G/1: rho={self.rho:.4f} >= 1")
+
+    @property
+    def rho(self) -> float:
+        """Utilisation ``lam * E[S]``."""
+        return self.lam * self.mean_service
+
+    @property
+    def second_moment_service(self) -> float:
+        """E[S^2] = (1 + scv) E[S]^2."""
+        return (1.0 + self.scv_service) * self.mean_service ** 2
+
+    @property
+    def mean_wait(self) -> float:
+        """Pollaczek-Khinchine: Wq = lam E[S^2] / (2 (1 - rho))."""
+        return self.lam * self.second_moment_service / (2.0 * (1.0 - self.rho))
+
+    @property
+    def mean_response(self) -> float:
+        """W = Wq + E[S]."""
+        return self.mean_wait + self.mean_service
+
+    @property
+    def mean_number_in_queue(self) -> float:
+        """Lq = lam Wq."""
+        return self.lam * self.mean_wait
+
+    @property
+    def mean_number_in_system(self) -> float:
+        """L = lam W."""
+        return self.lam * self.mean_response
+
+
+def two_point_service_moments(fast: float, slow: float,
+                              p_slow: float) -> tuple[float, float]:
+    """Mean and SCV of a two-point service time (row hit vs row conflict).
+
+    Returns ``(mean, scv)`` for service that takes ``fast`` with
+    probability ``1 - p_slow`` and ``slow`` with probability ``p_slow``.
+    """
+    check_positive("fast", fast)
+    check_positive("slow", slow)
+    if not 0.0 <= p_slow <= 1.0:
+        raise ValidationError(f"p_slow={p_slow} must be in [0, 1]")
+    if slow < fast:
+        raise ValidationError("slow service must be >= fast service")
+    mean = (1.0 - p_slow) * fast + p_slow * slow
+    second = (1.0 - p_slow) * fast ** 2 + p_slow * slow ** 2
+    var = second - mean ** 2
+    return mean, var / (mean ** 2)

@@ -1,0 +1,90 @@
+"""The M/M/1 queue — the paper's modelling primitive.
+
+Equation (5) of the paper states that the mean number of cycles a memory
+request spends at the controller is ``Creq = 1/(mu - lambda)``, i.e. the
+M/M/1 mean response time with service rate ``mu`` and arrival rate
+``lambda = n L`` when ``n`` cores each offer rate ``L``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.validation import ValidationError, check_positive
+
+
+@dataclass(frozen=True)
+class MM1:
+    """An M/M/1 queue with arrival rate ``lam`` and service rate ``mu``.
+
+    All classic stationary metrics are exposed as properties.  Construction
+    requires stability (``lam < mu``); use :meth:`is_stable` to probe a
+    parameterisation first.
+    """
+
+    lam: float
+    mu: float
+
+    def __post_init__(self) -> None:
+        check_positive("lam", self.lam)
+        check_positive("mu", self.mu)
+        if self.lam >= self.mu:
+            raise ValidationError(
+                f"unstable M/M/1: lam={self.lam} >= mu={self.mu}")
+
+    @staticmethod
+    def is_stable(lam: float, mu: float) -> bool:
+        """True when an M/M/1 with these rates has a stationary regime."""
+        return 0 < lam < mu
+
+    @property
+    def rho(self) -> float:
+        """Utilisation ``lam/mu``."""
+        return self.lam / self.mu
+
+    @property
+    def mean_response(self) -> float:
+        """Mean time in system W = 1/(mu - lam): the paper's ``Creq``."""
+        return 1.0 / (self.mu - self.lam)
+
+    @property
+    def mean_wait(self) -> float:
+        """Mean time in queue Wq = rho/(mu - lam)."""
+        return self.rho / (self.mu - self.lam)
+
+    @property
+    def mean_number_in_system(self) -> float:
+        """L = rho/(1 - rho)."""
+        return self.rho / (1.0 - self.rho)
+
+    @property
+    def mean_number_in_queue(self) -> float:
+        """Lq = rho^2/(1 - rho)."""
+        return self.rho * self.rho / (1.0 - self.rho)
+
+    def prob_n(self, n: int) -> float:
+        """Stationary probability of exactly ``n`` jobs in the system."""
+        if n < 0:
+            raise ValidationError("n must be >= 0")
+        return (1.0 - self.rho) * self.rho ** n
+
+    def prob_wait_exceeds(self, t: float) -> float:
+        """P(response time > t) = exp(-(mu - lam) t)."""
+        if t < 0:
+            raise ValidationError("t must be >= 0")
+        import math
+
+        return math.exp(-(self.mu - self.lam) * t)
+
+
+def creq(mu: float, lam: float) -> float:
+    """Paper equation (5): cycles to service one off-chip request.
+
+    Thin functional wrapper used by :mod:`repro.core.uniproc` so the model
+    code reads like the paper.
+    """
+    check_positive("mu", mu)
+    check_positive("lam", lam)
+    if lam >= mu:
+        raise ValidationError(f"saturated controller: lam={lam} >= mu={mu}")
+    return 1.0 / (mu - lam)

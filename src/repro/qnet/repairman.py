@@ -1,0 +1,74 @@
+"""The machine-repairman model (M/M/1//N).
+
+The single-processor memory system *is* a machine-repairman model: ``N``
+cores ("machines") compute for an exponential think time ``Z`` between
+off-chip requests, then queue at the memory controller (the "repairman")
+for exponential service ``1/mu``.  This closed form is used to cross-check
+the MVA solver and the DES engine against each other in the test suite.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.util.validation import check_integer, check_positive
+
+
+@dataclass(frozen=True)
+class MachineRepairman:
+    """M/M/1//N: ``n`` customers, think rate ``1/z``, service rate ``mu``."""
+
+    n: int
+    think_time: float
+    service_time: float
+
+    def __post_init__(self) -> None:
+        check_integer("n", self.n, minimum=1)
+        check_positive("think_time", self.think_time)
+        check_positive("service_time", self.service_time)
+
+    def _probabilities(self) -> list[float]:
+        """Stationary distribution of the number of customers at the server.
+
+        ``p_k ∝ N!/(N-k)! * (s/z)^k`` for k = 0..N.
+        """
+        ratio = self.service_time / self.think_time
+        terms = []
+        log_term = 0.0
+        for k in range(self.n + 1):
+            if k > 0:
+                log_term += math.log((self.n - k + 1) * ratio)
+            terms.append(log_term)
+        m = max(terms)
+        weights = [math.exp(t - m) for t in terms]
+        total = sum(weights)
+        return [w / total for w in weights]
+
+    @property
+    def utilisation(self) -> float:
+        """Probability the server is busy (1 - p0)."""
+        return 1.0 - self._probabilities()[0]
+
+    @property
+    def throughput(self) -> float:
+        """Request completions per unit time: U/s."""
+        return self.utilisation / self.service_time
+
+    @property
+    def mean_customers_at_server(self) -> float:
+        probs = self._probabilities()
+        return sum(k * p for k, p in enumerate(probs))
+
+    @property
+    def mean_response(self) -> float:
+        """Mean time at the server per request (interactive response law).
+
+        ``R = N/X - Z``.
+        """
+        return self.n / self.throughput - self.think_time
+
+    @property
+    def cycle_time(self) -> float:
+        """Think plus response: mean duration of one request cycle."""
+        return self.think_time + self.mean_response

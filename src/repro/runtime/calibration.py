@@ -1,0 +1,302 @@
+"""Calibration of workload intensity to the paper's Table II anchors.
+
+The reproduction cannot rerun NPB on the authors' silicon, so a small
+number of scalars are anchored, per (program, class, machine), to the
+paper's measured contention (Table II reports the normalized cycle
+increase at half and at full core count):
+
+* ``miss_volume`` programs (IS, FT, CG, SP)
+
+  - on the **UMA** machine, the off-chip request count ``r`` is bisected
+    so the noise-free flow model's ``omega(n_max)`` matches the full-core
+    anchor (the UMA staircase shape then emerges from the bus/controller
+    topology);
+  - on **NUMA** machines, *both* anchors are used: ``r`` pins
+    ``omega(half)`` and the workload's ``remote_penalty`` (coherence cost
+    of remote accesses) pins ``omega(full)``.  On Intel NUMA the split is
+    exact — half the machine is one package, which never touches the
+    interconnect — and on AMD the remote share still roughly doubles from
+    half to full, so the nested bisection is well-conditioned.
+
+* ``miss_growth`` programs (EP): the cross-package miss inflation ``g``
+  is bisected against the full-core anchor, keeping the tiny
+  single-package miss count from the profile (the paper: 1,800 misses at
+  one core growing to 3.1e7 at 24 cores);
+
+* ``none`` programs (x264): used as profiled.
+
+Everything else — the per-processor growth staircases, the contention
+relief when a new controller comes online, the intermediate curve points,
+the analytical model's fit error — is emergent, not fitted.
+
+Calibration is pure but slow (seconds per triple), so results ship as a
+precomputed table (:mod:`repro.runtime.calibration_table`, regenerated
+with ``python -m repro calibrate``) and fall back to live computation for
+entries that are missing or stale.
+"""
+
+from __future__ import annotations
+
+import functools
+import math
+
+from repro.machine.allocation import CoreAllocation
+from repro.machine.topology import Machine, MemoryArchitecture
+from repro.runtime.flow import solve_flow
+from repro.util.validation import ValidationError
+from repro.workloads import get_workload
+from repro.workloads.base import MemoryProfile
+
+
+class CalibrationError(ValidationError):
+    """Raised when a Table II anchor cannot be matched."""
+
+
+#: Table II of the paper: normalized increase in cycles (== omega) at half
+#: and full core counts.  Key: (program, class, machine key) -> (half, full).
+#: On Intel UMA the paper substitutes FT.B for FT.C (FT.C swaps in 4 GB).
+TABLE2: dict[tuple[str, str, str], tuple[float, float]] = {
+    ("EP", "W", "intel_uma"): (0.00, 0.00),
+    ("EP", "W", "intel_numa"): (0.03, 0.57),
+    ("EP", "W", "amd_numa"): (0.01, 0.59),
+    ("IS", "W", "intel_uma"): (0.10, 0.57),
+    ("IS", "W", "intel_numa"): (0.33, 0.33),
+    ("IS", "W", "amd_numa"): (0.21, 0.44),
+    ("FT", "W", "intel_uma"): (0.32, 0.58),
+    ("FT", "W", "intel_numa"): (0.18, 0.34),
+    ("FT", "W", "amd_numa"): (0.11, 0.23),
+    ("CG", "W", "intel_uma"): (0.01, 0.04),
+    ("CG", "W", "intel_numa"): (0.10, 0.43),
+    ("CG", "W", "amd_numa"): (0.11, 0.13),
+    ("SP", "W", "intel_uma"): (0.32, 0.58),
+    ("SP", "W", "intel_numa"): (0.10, 0.50),
+    ("SP", "W", "amd_numa"): (0.13, 0.21),
+    ("EP", "C", "intel_uma"): (0.00, 0.00),
+    ("EP", "C", "intel_numa"): (0.01, 0.54),
+    ("EP", "C", "amd_numa"): (0.06, 0.55),
+    ("IS", "C", "intel_uma"): (0.07, 0.56),
+    ("IS", "C", "intel_numa"): (0.26, 0.85),
+    ("IS", "C", "amd_numa"): (0.40, 0.70),
+    ("FT", "B", "intel_uma"): (0.70, 1.80),
+    ("FT", "B", "intel_numa"): (1.30, 3.20),  # Table IV profiles FT.B on
+    ("FT", "B", "amd_numa"): (0.31, 0.37),    # NUMA too; anchors scaled
+    ("FT", "C", "intel_numa"): (1.62, 3.94),  # ~0.8x from the FT.C rows.
+    ("FT", "C", "amd_numa"): (0.39, 0.46),
+    ("CG", "C", "intel_uma"): (0.91, 2.41),
+    ("CG", "C", "intel_numa"): (1.43, 3.31),
+    ("CG", "C", "amd_numa"): (0.83, 1.91),
+    ("SP", "C", "intel_uma"): (3.34, 7.05),
+    ("SP", "C", "intel_numa"): (6.55, 11.59),
+    ("SP", "C", "amd_numa"): (4.69, 9.84),
+}
+
+#: Half/full active-core counts per testbed (Table II column headers).
+HALF_FULL: dict[str, tuple[int, int]] = {
+    "intel_uma": (4, 8),
+    "intel_numa": (12, 24),
+    "amd_numa": (24, 48),
+}
+
+#: Bump when the flow model or machine presets change in ways that
+#: invalidate shipped calibration values.
+CALIBRATION_VERSION = 3
+
+
+def machine_key(machine: Machine) -> str:
+    """Identify which testbed a machine model corresponds to.
+
+    Matched structurally (architecture + core count) so that rebuilding a
+    preset, or constructing an equivalent machine by hand, still
+    calibrates.  Unknown machines get a name-derived key with no Table II
+    anchors.
+    """
+    if machine.architecture is MemoryArchitecture.UMA and machine.n_cores == 8:
+        return "intel_uma"
+    if machine.architecture is MemoryArchitecture.NUMA:
+        if machine.n_cores == 24 and machine.n_controllers == 2:
+            return "intel_numa"
+        if machine.n_cores == 48 and machine.n_controllers == 8:
+            return "amd_numa"
+    return machine.name.lower().replace(" ", "_")
+
+
+def table2_target(program: str, size: str,
+                  machine: Machine) -> tuple[float, float] | None:
+    """``(omega_half, omega_full)`` from Table II, or None if unanchored."""
+    return TABLE2.get((program, size, machine_key(machine)))
+
+
+def _omega_at(profile: MemoryProfile, machine: Machine, n: int) -> float:
+    """Noise-free omega(n)."""
+    base = solve_flow(profile, machine,
+                      CoreAllocation.paper_policy(machine, 1)).total_cycles
+    at_n = solve_flow(profile, machine,
+                      CoreAllocation.paper_policy(machine, n)).total_cycles
+    return (at_n - base) / base
+
+
+def _bisect(apply_knob, target: float, lo: float, hi: float,
+            tol: float = 1e-3, max_iter: int = 60) -> float:
+    """Find knob value with omega(knob) ~= target; omega must be increasing.
+
+    ``apply_knob(value) -> omega``.  Bisection in log space when the
+    bracket spans decades.  When the target exceeds the reachable ceiling
+    by less than 20 %, settles for the smallest knob within half a percent
+    of the ceiling (EXPERIMENTS.md records the residual deviation);
+    further out it raises :class:`CalibrationError`.
+    """
+    f_lo = apply_knob(lo)
+    if f_lo >= target:
+        return lo
+    f_hi = apply_knob(hi)
+    if f_hi < target:
+        if f_hi < 0.80 * target:
+            raise CalibrationError(
+                f"target omega {target} unreachable: knob ceiling gives "
+                f"{f_hi:.3f}")
+        target = 0.995 * f_hi
+    use_log = hi / lo > 100.0
+    for _ in range(max_iter):
+        mid = math.sqrt(lo * hi) if use_log else 0.5 * (lo + hi)
+        f_mid = apply_knob(mid)
+        if abs(f_mid - target) <= tol:
+            return mid
+        if f_mid < target:
+            lo = mid
+        else:
+            hi = mid
+    return math.sqrt(lo * hi) if use_log else 0.5 * (lo + hi)
+
+
+def _solve_knobs(program: str, size: str, mkey: str) -> dict[str, float]:
+    """Compute the calibrated knob values for one anchored triple."""
+    from repro.machine import amd_numa, intel_numa, intel_uma
+
+    presets = {"intel_uma": intel_uma, "intel_numa": intel_numa,
+               "amd_numa": amd_numa}
+    machine = presets[mkey]()
+    workload = get_workload(program)
+    profile = workload.profile(size, machine)
+    target = TABLE2.get((program, size, mkey))
+    if target is None:
+        return {}
+    omega_half, omega_full = target
+    half, full = HALF_FULL[mkey]
+
+    if profile.calibration_mode == "miss_growth":
+        if omega_full <= 1e-9 or \
+                _omega_at(profile, machine, full) >= omega_full:
+            return {"cross_package_miss_growth": 0.0}
+        value = _bisect(
+            lambda g: _omega_at(profile.with_cross_package_growth(g),
+                                machine, full),
+            omega_full, lo=max(profile.llc_misses, 1.0), hi=1e14)
+        return {"cross_package_miss_growth": value}
+
+    if profile.calibration_mode != "miss_volume":
+        return {}
+
+    if omega_full <= 1e-9:
+        # No contention target: keep traffic negligible.
+        return {"llc_misses": min(profile.llc_misses, 1e5)}
+
+    if machine.architecture is MemoryArchitecture.UMA or omega_half <= 1e-9:
+        # Single-anchor: the UMA staircase has no remote dimension.
+        value = _bisect(
+            lambda r: _omega_at(profile.with_misses(r), machine, full),
+            omega_full, lo=1e4, hi=1e14)
+        return {"llc_misses": value}
+
+    # NUMA two-anchor calibration: for each candidate remote penalty,
+    # fit r against the half-machine anchor, then drive the full-machine
+    # anchor with the penalty.
+    def fit_r(penalty: float) -> float:
+        return _bisect(
+            lambda r: _omega_at(
+                profile.with_remote_penalty(penalty).with_misses(r),
+                machine, half),
+            omega_half, lo=1e4, hi=1e14, tol=2e-3, max_iter=40)
+
+    def full_given(penalty: float) -> float:
+        r = fit_r(penalty)
+        return _omega_at(
+            profile.with_remote_penalty(penalty).with_misses(r),
+            machine, full)
+
+    penalty = _bisect(full_given, omega_full, lo=0.05, hi=64.0,
+                      tol=2e-3, max_iter=24)
+    return {"remote_penalty": penalty, "llc_misses": fit_r(penalty)}
+
+
+@functools.lru_cache(maxsize=None)
+def _calibrate_cached(program: str, size: str,
+                      mkey: str) -> tuple[tuple[str, float], ...]:
+    """Knob values for one triple: shipped table first, else computed."""
+    try:
+        from repro.runtime.calibration_table import TABLE, VERSION
+
+        if VERSION == CALIBRATION_VERSION:
+            entry = TABLE.get((program, size, mkey))
+            if entry is not None:
+                return tuple(sorted(entry.items()))
+    except ImportError:
+        pass
+    return tuple(sorted(_solve_knobs(program, size, mkey).items()))
+
+
+def apply_knobs(profile: MemoryProfile,
+                knobs: dict[str, float]) -> MemoryProfile:
+    """Apply calibrated knob values to a profile."""
+    for name, value in knobs.items():
+        if name == "llc_misses":
+            profile = profile.with_misses(value)
+        elif name == "cross_package_miss_growth":
+            profile = profile.with_cross_package_growth(value)
+        elif name == "remote_penalty":
+            profile = profile.with_remote_penalty(value)
+        else:
+            raise CalibrationError(f"unknown calibration knob {name!r}")
+    return profile
+
+
+def calibrate_profile(program: str, size: str,
+                      machine: Machine) -> MemoryProfile:
+    """The calibrated memory profile for (program, class) on ``machine``.
+
+    Profiles on machines without Table II anchors (custom machines, or
+    x264 everywhere) are returned as profiled.
+    """
+    workload = get_workload(program)
+    profile = workload.profile(size, machine)
+    mkey = machine_key(machine)
+    if (program, size, mkey) not in TABLE2:
+        return profile
+    knobs = dict(_calibrate_cached(program, size, mkey))
+    return apply_knobs(profile, knobs)
+
+
+def regenerate_table() -> dict[tuple[str, str, str], dict[str, float]]:
+    """Recompute every anchored triple (used by ``python -m repro calibrate``)."""
+    out: dict[tuple[str, str, str], dict[str, float]] = {}
+    for (program, size, mkey) in sorted(TABLE2):
+        out[(program, size, mkey)] = _solve_knobs(program, size, mkey)
+    return out
+
+
+def write_table(path: str) -> None:
+    """Write the shipped calibration table module to ``path``."""
+    table = regenerate_table()
+    lines = [
+        '"""Precomputed calibration table — generated by',
+        '``python -m repro calibrate``; do not edit by hand."""',
+        "",
+        f"VERSION = {CALIBRATION_VERSION}",
+        "",
+        "TABLE = {",
+    ]
+    for key, knobs in sorted(table.items()):
+        lines.append(f"    {key!r}: {knobs!r},")
+    lines.append("}")
+    lines.append("")
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write("\n".join(lines))

@@ -1,0 +1,199 @@
+"""Discrete-event cross-validation of the flow solver.
+
+The flow solver (:mod:`repro.runtime.flow`) computes cycle counts
+analytically.  This module rebuilds the *same* single-package memory
+system as an explicit discrete-event simulation — cores as processes
+alternating compute think time with memory episodes, the controller as a
+multi-channel FIFO server with load-dependent two-point service — and
+runs it event by event.
+
+It exists for two reasons:
+
+* **validation** — the test suite checks that DES-measured cycle counts
+  track the flow solution within stochastic tolerance, so the two
+  implementations guard each other;
+* **inspection** — the DES exposes per-request waiting-time
+  distributions and queue-length traces the analytical path cannot
+  produce (used by the examples to show *why* the M/M/1 abstraction
+  works at saturation).
+
+Scope: one package (the flow solver's per-chain building block).  The
+multi-package coupling is an analytical construct (shadow utilisation)
+with no direct DES counterpart, so cross-validation happens at the
+component level, where the mapping is exact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.desim.engine import Simulator
+from repro.desim.resources import Server
+from repro.machine.topology import Machine, MemoryArchitecture
+from repro.util.rng import resolve_rng, spawn_rng
+from repro.util.validation import ValidationError, check_integer, check_positive
+from repro.workloads.base import MemoryProfile
+
+
+@dataclass(frozen=True)
+class DetailedRunResult:
+    """Outcome of one DES run of a single-package configuration."""
+
+    n_cores: int
+    episodes_completed: int
+    sim_cycles: float                  # simulated horizon actually used
+    total_cycles: float                # paper counter: summed over cores
+    memory_stall_cycles: float
+    mean_episode_wait: float           # queueing wait per request
+    mean_episode_response: float       # wait + service per episode
+    controller_utilisation: float
+    wait_samples: np.ndarray           # per-episode memory response times
+
+    @property
+    def mean_cycle_time(self) -> float:
+        """Mean think + memory cycle per episode."""
+        return self.sim_cycles and self.total_cycles \
+            / max(self.episodes_completed, 1)
+
+
+def _service_cycles(machine: Machine, rng, utilisation_estimate: float,
+                    size: int) -> np.ndarray:
+    """Two-point row-hit/conflict service draws at the current load."""
+    if machine.architecture is MemoryArchitecture.UMA:
+        dram = machine.shared_controller.dram
+    else:
+        dram = machine.processors[0].controllers[0].dram
+    p = dram.conflict_probability_at(min(max(utilisation_estimate, 0.0), 1.0))
+    conflicts = rng.random(size) < p
+    ns = np.where(conflicts, dram.row_conflict_ns, dram.row_hit_ns)
+    return machine.frequency.cycles_in(ns * 1e-9)
+
+
+def run_detailed_single_package(profile: MemoryProfile, machine: Machine,
+                                n_cores: int,
+                                episodes_per_core: int = 400,
+                                rng=None) -> DetailedRunResult:
+    """Simulate ``n_cores`` of the machine's first package event by event.
+
+    Each core loops: exponential think time (mean ``Z`` from the
+    profile's aggregates), then a memory episode of ``mlp`` back-to-back
+    line requests at the package controller (channels pooled).  Service
+    times are the machine's two-point DRAM law evaluated at a
+    load-dependent conflict probability (two-pass: a first pass estimates
+    utilisation, the second applies it — mirroring the flow solver's
+    fixed point).
+    """
+    check_integer("n_cores", n_cores, minimum=1,
+                  maximum=machine.processors[0].n_logical_cores)
+    check_integer("episodes_per_core", episodes_per_core, minimum=10)
+    rng = resolve_rng(rng)
+
+    episodes_total = profile.llc_misses / profile.mlp
+    think_mean = profile.uncontended_compute_cycles / episodes_total
+    if machine.architecture is MemoryArchitecture.UMA:
+        channels = machine.shared_controller.dram.channels
+    else:
+        proc = machine.processors[0]
+        channels = sum(c.dram.channels for c in proc.controllers)
+
+    def simulate(util_estimate: float) -> DetailedRunResult:
+        sim = Simulator()
+        server = Server(sim, channels=channels, name="controller")
+        streams = spawn_rng(rng, n_cores)
+        waits: list[float] = []
+        per_core_busy = np.zeros(n_cores)
+
+        def core(idx: int, stream) -> object:
+            mlp = max(int(round(profile.mlp)), 1)
+            # Background (write-back / prefetch) requests per episode:
+            # they occupy channels but do not block the core.
+            bg_per_episode = profile.write_amplification - 1.0
+            services = _service_cycles(
+                machine, stream, util_estimate,
+                size=episodes_per_core * (mlp + int(bg_per_episode * mlp) + 2))
+            k = 0
+            start = sim.now
+            bg_credit = 0.0
+            for _ in range(episodes_per_core):
+                yield sim.timeout(float(stream.exponential(think_mean)))
+                t0 = sim.now
+                done = None
+                for _ in range(mlp):
+                    done = server.request(float(services[k]))
+                    k += 1
+                bg_credit += bg_per_episode * mlp
+                while bg_credit >= 1.0:
+                    server.request(float(services[k]))  # non-blocking
+                    k += 1
+                    bg_credit -= 1.0
+                # The episode blocks until its last demand request
+                # completes; write-backs drain behind it.
+                yield done
+                waits.append(sim.now - t0)
+            per_core_busy[idx] = sim.now - start
+
+        for idx, stream in enumerate(streams):
+            sim.process(core(idx, stream))
+        sim.run()
+        horizon = sim.now
+        if horizon <= 0:
+            raise ValidationError("simulation made no progress")
+        n_episodes = len(waits)
+        wait_arr = np.asarray(waits)
+        mem_per_episode = float(wait_arr.mean())
+        # Paper counters: every core contributes think + memory time for
+        # its episodes.
+        total = float(per_core_busy.sum())
+        stall = float(wait_arr.sum())
+        return DetailedRunResult(
+            n_cores=n_cores,
+            episodes_completed=n_episodes,
+            sim_cycles=horizon,
+            total_cycles=total,
+            memory_stall_cycles=stall,
+            mean_episode_wait=float(server.stats.mean_wait()),
+            mean_episode_response=mem_per_episode,
+            controller_utilisation=server.stats.utilisation(
+                horizon, channels),
+            wait_samples=wait_arr,
+        )
+
+    # Two-pass load-dependent service, like the flow solver's fixed point.
+    first = simulate(util_estimate=0.0)
+    return simulate(util_estimate=first.controller_utilisation)
+
+
+def compare_with_flow(profile: MemoryProfile, machine: Machine,
+                      n_cores: int, episodes_per_core: int = 400,
+                      rng=None) -> dict:
+    """Run both paths on one configuration; returns the comparison.
+
+    The flow solver models the package as an MVA chain with congestion
+    heuristics the DES does not share (foreign inflation is zero for a
+    single package, so the remaining differences are the MVA abstraction
+    itself), hence agreement is expected to a few tens of percent on the
+    *memory response*, not to simulation precision.
+    """
+    from repro.machine.allocation import CoreAllocation
+    from repro.runtime.flow import solve_flow
+
+    detailed = run_detailed_single_package(
+        profile, machine, n_cores, episodes_per_core=episodes_per_core,
+        rng=rng)
+    alloc = CoreAllocation.paper_policy(machine, n_cores)
+    flow = solve_flow(profile, machine, alloc)
+    episodes_total = profile.llc_misses / profile.mlp
+    think_mean = profile.uncontended_compute_cycles / episodes_total
+    flow_mem_per_episode = flow.memory_stall_cycles / episodes_total
+    des_cycle = think_mean + detailed.mean_episode_response
+    flow_cycle = think_mean + flow_mem_per_episode
+    return {
+        "des": detailed,
+        "flow": flow,
+        "des_cycle_per_episode": des_cycle,
+        "flow_cycle_per_episode": flow_cycle,
+        "cycle_ratio": des_cycle / flow_cycle,
+        "des_utilisation": detailed.controller_utilisation,
+    }

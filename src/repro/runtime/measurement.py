@@ -1,0 +1,130 @@
+"""The experiment-facing measurement API.
+
+:class:`MeasurementRun` reproduces the paper's experimental procedure: fix
+the thread count at the machine's core count, sweep the number of active
+cores under fill-processor-first affinity, run each configuration five
+times, and report averaged counters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.counters.papi import CounterSample
+from repro.machine.allocation import CoreAllocation
+from repro.machine.topology import Machine
+from repro.runtime.calibration import calibrate_profile
+from repro.runtime.flow import solve_flow
+from repro.runtime.noise import NoiseModel
+from repro.util.rng import resolve_rng, spawn_rng
+from repro.util.validation import check_integer
+from repro.workloads.base import MemoryProfile
+
+
+def _average_samples(samples: list[CounterSample]) -> CounterSample:
+    """Arithmetic mean of repeated counter observations (paper: 5 runs)."""
+    return CounterSample(
+        total_cycles=float(np.mean([s.total_cycles for s in samples])),
+        instructions=float(np.mean([s.instructions for s in samples])),
+        stall_cycles=float(np.mean([s.stall_cycles for s in samples])),
+        llc_misses=float(np.mean([s.llc_misses for s in samples])),
+    )
+
+
+@dataclass
+class MeasurementRun:
+    """A profiled sweep of one (program, class) over active core counts.
+
+    Parameters
+    ----------
+    program, size:
+        Table I program name and problem class.
+    machine:
+        The machine model to run on.
+    repetitions:
+        Runs to average per configuration (paper: 5).
+    noise:
+        The measurement-noise model; pass
+        :data:`repro.runtime.noise.NOISELESS` for deterministic output.
+    rng:
+        Seed or generator; child streams are spawned per configuration so
+        results for one core count are independent of which others ran.
+    """
+
+    program: str
+    size: str
+    machine: Machine
+    repetitions: int = 5
+    noise: NoiseModel = field(default_factory=NoiseModel)
+    rng: object = None
+
+    def __post_init__(self) -> None:
+        check_integer("repetitions", self.repetitions, minimum=1)
+        self._profile: MemoryProfile = calibrate_profile(
+            self.program, self.size, self.machine)
+        self._rng = resolve_rng(self.rng)  # type: ignore[arg-type]
+        self._streams = spawn_rng(self._rng, self.machine.n_cores)
+
+    @property
+    def profile(self) -> MemoryProfile:
+        """The calibrated profile driving the run."""
+        return self._profile
+
+    def measure(self, n_active: int) -> CounterSample:
+        """Averaged counters for one active-core count."""
+        check_integer("n_active", n_active, minimum=1,
+                      maximum=self.machine.n_cores)
+        alloc = CoreAllocation.paper_policy(self.machine, n_active)
+        flow = solve_flow(self._profile, self.machine, alloc)
+        stream = self._streams[n_active - 1]
+        samples = [
+            self.noise.sample(flow, self._profile, alloc, rng=stream)
+            for _ in range(self.repetitions)
+        ]
+        return _average_samples(samples)
+
+    def sweep(self, core_counts: list[int] | None = None
+              ) -> dict[int, CounterSample]:
+        """Measure a list of core counts (default: 1..max)."""
+        if core_counts is None:
+            core_counts = list(range(1, self.machine.n_cores + 1))
+        return {n: self.measure(n) for n in core_counts}
+
+    def omega(self, n_active: int, baseline: CounterSample | None = None
+              ) -> float:
+        """Measured degree of contention at ``n_active`` (paper eq. 4)."""
+        base = baseline if baseline is not None else self.measure(1)
+        return (self.measure(n_active).total_cycles - base.total_cycles) \
+            / base.total_cycles
+
+    def omega_curve(self, core_counts: list[int] | None = None
+                    ) -> dict[int, float]:
+        """Measured omega(n) over a sweep, sharing one baseline."""
+        base = self.measure(1)
+        if core_counts is None:
+            core_counts = list(range(1, self.machine.n_cores + 1))
+        return {
+            n: (self.measure(n).total_cycles - base.total_cycles)
+            / base.total_cycles
+            for n in core_counts
+        }
+
+
+def measure_single(program: str, size: str, machine: Machine, n_active: int,
+                   repetitions: int = 5, rng=None) -> CounterSample:
+    """One-shot convenience wrapper around :class:`MeasurementRun`."""
+    run = MeasurementRun(program=program, size=size, machine=machine,
+                         repetitions=repetitions, rng=rng)
+    return run.measure(n_active)
+
+
+def measure_curve(program: str, size: str, machine: Machine,
+                  core_counts: list[int] | None = None,
+                  repetitions: int = 5, rng=None
+                  ) -> dict[int, CounterSample]:
+    """Counter sweep over active core counts (paper Fig. 3 data)."""
+    run = MeasurementRun(program=program, size=size, machine=machine,
+                         repetitions=repetitions, rng=rng)
+    return run.sweep(core_counts)

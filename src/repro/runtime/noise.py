@@ -1,0 +1,95 @@
+"""Run-to-run measurement variability.
+
+The paper identifies two noise sources (Section V): (i) intrinsic
+variability of counter measurements, aggravated by bursty traffic, and
+(ii) load imbalance from oversubscription — threads are fixed at the
+machine's core count, so at low active-core counts many threads share each
+core and their imbalance varies between runs.  Both are modelled as
+seeded multiplicative lognormal factors; experiments average five
+repetitions exactly as the paper does.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.counters.papi import CounterSample
+from repro.machine.allocation import CoreAllocation
+from repro.runtime.flow import FlowResult
+from repro.util.rng import resolve_rng
+from repro.util.validation import check_nonnegative
+from repro.workloads.base import MemoryProfile
+
+
+@dataclass(frozen=True)
+class NoiseModel:
+    """Multiplicative measurement noise.
+
+    Parameters
+    ----------
+    base_sigma:
+        Relative standard deviation of the memory-stall term for a smooth,
+        non-oversubscribed run.
+    burst_weight:
+        How strongly traffic burstiness (interarrival SCV) amplifies the
+        noise — this is what degrades the 1/C(n) linearity of EP and x264
+        in Table IV.
+    oversub_weight:
+        Amplification from oversubscription imbalance (threads per core).
+    miss_sigma:
+        Relative standard deviation of the LLC miss count (small: the
+        paper finds miss counts nearly constant across runs).
+    """
+
+    base_sigma: float = 0.010
+    burst_weight: float = 0.9
+    oversub_weight: float = 0.5
+    miss_sigma: float = 0.006
+
+    def __post_init__(self) -> None:
+        check_nonnegative("base_sigma", self.base_sigma)
+        check_nonnegative("burst_weight", self.burst_weight)
+        check_nonnegative("oversub_weight", self.oversub_weight)
+        check_nonnegative("miss_sigma", self.miss_sigma)
+
+    def sigma_for(self, profile: MemoryProfile,
+                  alloc: CoreAllocation) -> float:
+        """Effective relative sigma of the stall term for one configuration."""
+        burst_factor = 1.0 + self.burst_weight * math.log10(
+            1.0 + profile.burst.arrival_scv)
+        denom = max(alloc.machine.n_cores - 1, 1)
+        oversub_factor = 1.0 + self.oversub_weight * (
+            (alloc.oversubscription - 1.0) / denom)
+        return self.base_sigma * burst_factor * oversub_factor
+
+    def sample(self, flow: FlowResult, profile: MemoryProfile,
+               alloc: CoreAllocation, rng=None) -> CounterSample:
+        """One noisy counter observation of a noise-free flow solution."""
+        rng = resolve_rng(rng)
+        sigma = self.sigma_for(profile, alloc)
+        stall_mult = float(rng.lognormal(mean=-0.5 * sigma ** 2, sigma=sigma)) \
+            if sigma > 0 else 1.0
+        miss_mult = float(rng.lognormal(
+            mean=-0.5 * self.miss_sigma ** 2, sigma=self.miss_sigma)) \
+            if self.miss_sigma > 0 else 1.0
+        # Work cycles jitter an order of magnitude less than stalls.
+        wsig = sigma * 0.1
+        work_mult = float(rng.lognormal(mean=-0.5 * wsig ** 2, sigma=wsig)) \
+            if wsig > 0 else 1.0
+        work = flow.work_cycles * work_mult
+        stall = (flow.base_stall_cycles
+                 + flow.memory_stall_cycles * stall_mult)
+        return CounterSample(
+            total_cycles=work + stall,
+            instructions=flow.instructions,
+            stall_cycles=stall,
+            llc_misses=flow.llc_misses * miss_mult,
+        )
+
+
+#: Noise disabled entirely — used by calibration and by determinism tests.
+NOISELESS = NoiseModel(base_sigma=0.0, burst_weight=0.0,
+                       oversub_weight=0.0, miss_sigma=0.0)

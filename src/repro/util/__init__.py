@@ -1,0 +1,70 @@
+"""Shared utilities: argument validation, units, statistics, RNG policy, tables.
+
+These helpers are deliberately dependency-light (NumPy only) and are used by
+every other subpackage.  Nothing here is specific to the paper; it is plumbing
+that keeps the domain modules small and uniform.
+"""
+
+from repro.util.validation import (
+    check_positive,
+    check_nonnegative,
+    check_in_range,
+    check_integer,
+    check_probability,
+    check_fraction_open,
+    check_sorted_unique,
+    ValidationError,
+)
+from repro.util.units import (
+    Frequency,
+    cycles_to_seconds,
+    seconds_to_cycles,
+    ns_to_cycles,
+    cycles_to_ns,
+    GIGA,
+    MICRO,
+    NANO,
+)
+from repro.util.stats import (
+    RunningStats,
+    mean_confidence_interval,
+    relative_error,
+    mean_relative_error,
+    r_squared,
+    geometric_mean,
+    coefficient_of_variation,
+)
+from repro.util.rng import resolve_rng, spawn_rng, DEFAULT_SEED
+from repro.util.tables import TextTable, format_float, format_sci
+
+__all__ = [
+    "ValidationError",
+    "check_positive",
+    "check_nonnegative",
+    "check_in_range",
+    "check_integer",
+    "check_probability",
+    "check_fraction_open",
+    "check_sorted_unique",
+    "Frequency",
+    "cycles_to_seconds",
+    "seconds_to_cycles",
+    "ns_to_cycles",
+    "cycles_to_ns",
+    "GIGA",
+    "MICRO",
+    "NANO",
+    "RunningStats",
+    "mean_confidence_interval",
+    "relative_error",
+    "mean_relative_error",
+    "r_squared",
+    "geometric_mean",
+    "coefficient_of_variation",
+    "resolve_rng",
+    "spawn_rng",
+    "DEFAULT_SEED",
+    "TextTable",
+    "format_float",
+    "format_sci",
+]

@@ -1,0 +1,69 @@
+"""Plain-text table rendering for experiment reports.
+
+The benchmark harness prints each paper table/figure as an aligned ASCII
+table so the reproduction can be eyeballed against the paper without any
+plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.util.validation import ValidationError
+
+
+def format_float(x: float, digits: int = 2) -> str:
+    """Fixed-point format used for contention degrees and ratios."""
+    return f"{x:.{digits}f}"
+
+
+def format_sci(x: float, digits: int = 2) -> str:
+    """Scientific format used for raw cycle counts (1e11-scale values)."""
+    return f"{x:.{digits}e}"
+
+
+class TextTable:
+    """An aligned monospace table.
+
+    >>> t = TextTable(["program", "omega"])
+    >>> t.add_row(["CG.C", "3.31"])
+    >>> print(t.render())  # doctest: +NORMALIZE_WHITESPACE
+    program | omega
+    --------+------
+    CG.C    | 3.31
+    """
+
+    def __init__(self, headers: Sequence[str], title: str | None = None) -> None:
+        if not headers:
+            raise ValidationError("headers must be non-empty")
+        self.title = title
+        self.headers = [str(h) for h in headers]
+        self.rows: list[list[str]] = []
+
+    def add_row(self, cells: Sequence[object]) -> None:
+        """Append a row; cells are stringified, count must match headers."""
+        row = [str(c) for c in cells]
+        if len(row) != len(self.headers):
+            raise ValidationError(
+                f"row has {len(row)} cells, table has {len(self.headers)} columns")
+        self.rows.append(row)
+
+    def render(self) -> str:
+        """Render the table to a string (no trailing newline)."""
+        widths = [len(h) for h in self.headers]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        def fmt(cells: Sequence[str]) -> str:
+            return " | ".join(c.ljust(w) for c, w in zip(cells, widths)).rstrip()
+        sep = "-+-".join("-" * w for w in widths)
+        lines = []
+        if self.title:
+            lines.append(self.title)
+        lines.append(fmt(self.headers))
+        lines.append(sep)
+        lines.extend(fmt(r) for r in self.rows)
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.render()

@@ -1,0 +1,86 @@
+"""Unit conversions between cycles, wall-clock time and clock frequency.
+
+The paper reports everything in processor cycles (PAPI_TOT_CYC), while the
+fine-grained burst sampler works in wall-clock windows of five microseconds.
+A :class:`Frequency` ties the two together for each simulated machine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.validation import check_positive
+
+GIGA = 1e9
+MEGA = 1e6
+KILO = 1e3
+MILLI = 1e-3
+MICRO = 1e-6
+NANO = 1e-9
+
+
+@dataclass(frozen=True)
+class Frequency:
+    """A processor clock frequency.
+
+    Parameters
+    ----------
+    hz:
+        Frequency in Hertz, must be positive.
+    """
+
+    hz: float
+
+    def __post_init__(self) -> None:
+        check_positive("hz", self.hz)
+
+    @classmethod
+    def ghz(cls, value: float) -> "Frequency":
+        """Construct from gigahertz (e.g. ``Frequency.ghz(2.66)``)."""
+        return cls(check_positive("value", value) * GIGA)
+
+    @classmethod
+    def mhz(cls, value: float) -> "Frequency":
+        """Construct from megahertz."""
+        return cls(check_positive("value", value) * MEGA)
+
+    @property
+    def period_s(self) -> float:
+        """Duration of one cycle in seconds."""
+        return 1.0 / self.hz
+
+    @property
+    def period_ns(self) -> float:
+        """Duration of one cycle in nanoseconds."""
+        return self.period_s / NANO
+
+    def cycles_in(self, seconds: float) -> float:
+        """Number of cycles elapsed in ``seconds`` of wall-clock time."""
+        return seconds * self.hz
+
+    def seconds_for(self, cycles: float) -> float:
+        """Wall-clock seconds needed for ``cycles`` cycles."""
+        return cycles / self.hz
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.hz / GIGA:.2f} GHz"
+
+
+def cycles_to_seconds(cycles: float, freq: Frequency) -> float:
+    """Convert a cycle count to seconds at clock ``freq``."""
+    return freq.seconds_for(cycles)
+
+
+def seconds_to_cycles(seconds: float, freq: Frequency) -> float:
+    """Convert seconds to a cycle count at clock ``freq``."""
+    return freq.cycles_in(seconds)
+
+
+def ns_to_cycles(ns: float, freq: Frequency) -> float:
+    """Convert nanoseconds to cycles at clock ``freq``."""
+    return freq.cycles_in(ns * NANO)
+
+
+def cycles_to_ns(cycles: float, freq: Frequency) -> float:
+    """Convert cycles to nanoseconds at clock ``freq``."""
+    return freq.seconds_for(cycles) / NANO

@@ -1,0 +1,99 @@
+"""Argument validation helpers.
+
+Every public constructor and function in the library validates its inputs
+through these helpers so error messages are uniform (``name=value`` plus the
+violated constraint) and so tests can assert on a single exception type.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+
+class ValidationError(ValueError):
+    """Raised when a function argument violates its documented contract."""
+
+
+def _fail(name: str, value: object, constraint: str) -> None:
+    raise ValidationError(f"{name}={value!r} violates: {constraint}")
+
+
+def check_positive(name: str, value: float) -> float:
+    """Return ``value`` if it is a finite number strictly greater than zero."""
+    if not isinstance(value, (int, float)) or isinstance(value, bool):
+        _fail(name, value, "must be a real number")
+    if not math.isfinite(value) or value <= 0:
+        _fail(name, value, "must be finite and > 0")
+    return value
+
+
+def check_nonnegative(name: str, value: float) -> float:
+    """Return ``value`` if it is a finite number greater than or equal to zero."""
+    if not isinstance(value, (int, float)) or isinstance(value, bool):
+        _fail(name, value, "must be a real number")
+    if not math.isfinite(value) or value < 0:
+        _fail(name, value, "must be finite and >= 0")
+    return value
+
+
+def check_integer(name: str, value: int, minimum: int | None = None,
+                  maximum: int | None = None) -> int:
+    """Return ``value`` if it is an ``int`` within ``[minimum, maximum]``."""
+    if isinstance(value, bool) or not isinstance(value, int):
+        _fail(name, value, "must be an integer")
+    if minimum is not None and value < minimum:
+        _fail(name, value, f"must be >= {minimum}")
+    if maximum is not None and value > maximum:
+        _fail(name, value, f"must be <= {maximum}")
+    return value
+
+
+def check_in_range(name: str, value: float, low: float, high: float,
+                   inclusive: bool = True) -> float:
+    """Return ``value`` if it lies in ``[low, high]`` (or ``(low, high)``)."""
+    if not isinstance(value, (int, float)) or isinstance(value, bool):
+        _fail(name, value, "must be a real number")
+    if not math.isfinite(value):
+        _fail(name, value, "must be finite")
+    if inclusive:
+        if not (low <= value <= high):
+            _fail(name, value, f"must be in [{low}, {high}]")
+    else:
+        if not (low < value < high):
+            _fail(name, value, f"must be in ({low}, {high})")
+    return value
+
+
+def check_probability(name: str, value: float) -> float:
+    """Return ``value`` if it is a probability in ``[0, 1]``."""
+    return check_in_range(name, value, 0.0, 1.0, inclusive=True)
+
+
+def check_fraction_open(name: str, value: float) -> float:
+    """Return ``value`` if it lies strictly inside ``(0, 1)``.
+
+    Used for utilisations that must leave a stable queue (rho < 1) and
+    non-degenerate mixtures.
+    """
+    return check_in_range(name, value, 0.0, 1.0, inclusive=False)
+
+
+def check_sorted_unique(name: str, values: Sequence[float]) -> Sequence[float]:
+    """Return ``values`` if they are strictly increasing."""
+    for a, b in zip(values, list(values)[1:]):
+        if not a < b:
+            _fail(name, list(values), "must be strictly increasing")
+    return values
+
+
+def check_nonempty(name: str, values: Iterable) -> Iterable:
+    """Return ``values`` if the collection has at least one element."""
+    try:
+        n = len(values)  # type: ignore[arg-type]
+    except TypeError:
+        values = list(values)
+        n = len(values)
+    if n == 0:
+        _fail(name, values, "must be non-empty")
+    return values

@@ -1,0 +1,353 @@
+"""Workload abstractions: size specs, burst profiles, memory profiles.
+
+A :class:`Workload` describes one Table I program.  Its
+:meth:`~Workload.profile` method materialises, for a given problem class
+and machine, the aggregate quantities that drive the measurement
+substrate.  The split mirrors how the paper treats programs: counter-level
+aggregates plus a traffic-burstiness characterisation, never
+instruction-level detail.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, replace
+from typing import Mapping
+
+import numpy as np
+
+from repro.machine.topology import Machine
+from repro.util.validation import (
+    ValidationError,
+    check_in_range,
+    check_nonnegative,
+    check_positive,
+    check_probability,
+)
+
+
+class WorkloadError(ValidationError):
+    """Raised for unknown programs, classes or invalid workload parameters."""
+
+
+@dataclass(frozen=True)
+class BurstProfile:
+    """Burstiness of a program/class's off-chip request traffic.
+
+    The paper's Fig. 4 finding in parameters: small classes are ON/OFF with
+    heavy-tailed (Pareto) ON periods; large contended classes approach a
+    saturated, smooth flow.
+
+    Parameters
+    ----------
+    heavy_tailed:
+        Whether ON-period durations are Pareto (True) or exponential.
+    alpha:
+        Pareto tail index of ON periods (relevant when heavy_tailed);
+        smaller alpha = heavier bursts.
+    duty_cycle:
+        Long-run fraction of time the source is ON; saturated traffic has
+        duty_cycle near 1.
+    arrival_scv:
+        Summary squared coefficient of variation of interarrival times,
+        consumed by the flow-level G/G/1 correction (1 = Poisson-like).
+    """
+
+    heavy_tailed: bool
+    alpha: float
+    duty_cycle: float
+    arrival_scv: float
+
+    def __post_init__(self) -> None:
+        if self.heavy_tailed:
+            check_in_range("alpha", self.alpha, 1.05, 10.0)
+        check_in_range("duty_cycle", self.duty_cycle, 1e-6, 1.0)
+        check_nonnegative("arrival_scv", self.arrival_scv)
+
+    @property
+    def is_bursty(self) -> bool:
+        """The paper's qualitative split: heavy-tailed or high-SCV traffic."""
+        return self.heavy_tailed or self.arrival_scv > 2.0
+
+
+@dataclass(frozen=True)
+class SizeSpec:
+    """One problem class of a program (a Table III row).
+
+    Parameters
+    ----------
+    name:
+        Class letter (``"S"``..``"C"``) or PARSEC input name.
+    description:
+        Human-readable problem dimensions (Table III wording).
+    working_set_bytes:
+        Resident data footprint.
+    instructions:
+        Total dynamic instructions across all threads.
+    ref_misses:
+        LLC misses expected on the *reference* 12 MiB LLC machine; the
+        per-machine profile rescales this by cache capacity, and the
+        calibrated runtime may override it entirely.
+    burst:
+        Traffic burstiness of this class.
+    """
+
+    name: str
+    description: str
+    working_set_bytes: float
+    instructions: float
+    ref_misses: float
+    burst: BurstProfile
+
+    def __post_init__(self) -> None:
+        check_positive("working_set_bytes", self.working_set_bytes)
+        check_positive("instructions", self.instructions)
+        check_positive("ref_misses", self.ref_misses)
+
+
+#: LLC capacity of the reference machine for ``SizeSpec.ref_misses``.
+REFERENCE_LLC_BYTES: float = 12 * 1024 * 1024
+
+
+@dataclass(frozen=True)
+class MemoryProfile:
+    """Counter-level description of (program, class) on a machine.
+
+    This is the interface between workloads and the measurement substrate:
+    everything the closed-network flow solver needs, nothing more.
+
+    Attributes
+    ----------
+    program, size:
+        Identity of the workload and problem class.
+    instructions:
+        Total dynamic instructions (PAPI_TOT_INS; constant in core count).
+    work_ipc:
+        Instructions retired per non-stalled cycle; sets W = I / work_ipc.
+    base_stall_per_instr:
+        Non-off-chip stall cycles per instruction (pipeline hazards, cache
+        hits, branch mispredictions); sets B.
+    llc_misses:
+        Off-chip requests r before any calibration override.
+    burst:
+        Traffic burstiness (drives both Fig. 4 and the flow corrections).
+    working_set_bytes:
+        Footprint; used for swap checks (the paper swaps FT.C on UMA) and
+        for documentation.
+    calibration_mode:
+        ``"miss_volume"`` — calibrate r against the Table II anchor
+        (contended programs); ``"miss_growth"`` — calibrate the
+        cross-package miss inflation (EP-like programs whose misses grow
+        with the span); ``"none"`` — use the profile as-is (x264).
+    smt_work_inflation:
+        Fractional work-cycle inflation when both SMT threads of a
+        physical core are active (0 for machines without SMT).
+    cross_package_miss_growth:
+        Additional misses (absolute count) incurred when the allocation
+        spans multiple packages, scaled by the cross-package share.
+    cache_bonus:
+        Relative reduction of base stalls as active private cache
+        aggregates grow (produces the paper's negative contention for
+        EP.C below one full package).
+    mlp:
+        Memory-level parallelism: overlapping off-chip requests per stall
+        episode.  A core stalls once per ``mlp`` misses; the controller
+        still serves every miss, so utilisation is unchanged but the
+        per-miss stall shrinks.  Programs with dependent access chains
+        (SP's 3-D line sweeps) have low mlp, which is why they suffer the
+        paper's largest contention.
+    write_amplification:
+        Channel traffic per demand miss: write-backs of dirty lines and
+        useless hardware prefetches occupy DRAM channels without adding
+        waiting cores.  Write-heavy multi-array sweeps (SP) sit near 2.5,
+        read-mostly kernels near 1.
+    shared_data_fraction:
+        Fraction of accesses to data shared across threads.  Under
+        first-touch allocation thread-private data lives on the thread's
+        own NUMA node; only the shared fraction spreads over active
+        processors (the paper's homogeneous-affinity assumption applied to
+        that fraction).  All-to-all kernels (FT transposes) sit near 0.6,
+        partitioned sweeps near 0.3.
+    remote_penalty:
+        Workload-specific scaling of the cost of *remote* NUMA accesses
+        (interconnect hop latency and link occupancy).  Coherence-protocol
+        overhead per remote line varies widely with the sharing pattern —
+        read-shared lines ship once, migratory and falsely-shared lines
+        bounce — so this is a per-workload quantity.  The second
+        calibration knob on NUMA machines (see
+        :mod:`repro.runtime.calibration`).
+    """
+
+    program: str
+    size: str
+    instructions: float
+    work_ipc: float
+    base_stall_per_instr: float
+    llc_misses: float
+    burst: BurstProfile
+    working_set_bytes: float
+    calibration_mode: str = "miss_volume"
+    smt_work_inflation: float = 0.0
+    cross_package_miss_growth: float = 0.0
+    cache_bonus: float = 0.0
+    mlp: float = 4.0
+    write_amplification: float = 1.0
+    shared_data_fraction: float = 0.4
+    remote_penalty: float = 1.0
+
+    def __post_init__(self) -> None:
+        check_positive("instructions", self.instructions)
+        check_positive("work_ipc", self.work_ipc)
+        check_nonnegative("base_stall_per_instr", self.base_stall_per_instr)
+        check_positive("llc_misses", self.llc_misses)
+        check_positive("working_set_bytes", self.working_set_bytes)
+        if self.calibration_mode not in ("miss_volume", "miss_growth", "none"):
+            raise WorkloadError(
+                f"unknown calibration_mode {self.calibration_mode!r}")
+        check_nonnegative("smt_work_inflation", self.smt_work_inflation)
+        check_nonnegative("cross_package_miss_growth",
+                          self.cross_package_miss_growth)
+        check_probability("cache_bonus", self.cache_bonus)
+        check_in_range("mlp", self.mlp, 1.0, 64.0)
+        check_in_range("write_amplification", self.write_amplification,
+                       1.0, 8.0)
+        check_probability("shared_data_fraction", self.shared_data_fraction)
+        check_in_range("remote_penalty", self.remote_penalty, 0.0, 256.0)
+
+    @property
+    def work_cycles(self) -> float:
+        """W: cycles in which at least one instruction completes."""
+        return self.instructions / self.work_ipc
+
+    @property
+    def base_stall_cycles(self) -> float:
+        """B: stall cycles not caused by off-chip contention."""
+        return self.instructions * self.base_stall_per_instr
+
+    @property
+    def uncontended_compute_cycles(self) -> float:
+        """W + B: everything except off-chip memory time."""
+        return self.work_cycles + self.base_stall_cycles
+
+    def with_misses(self, misses: float) -> "MemoryProfile":
+        """Copy with a calibrated off-chip request count."""
+        check_positive("misses", misses)
+        return replace(self, llc_misses=misses)
+
+    def with_cross_package_growth(self, growth: float) -> "MemoryProfile":
+        """Copy with a calibrated cross-package miss inflation."""
+        check_nonnegative("growth", growth)
+        return replace(self, cross_package_miss_growth=growth)
+
+    def with_remote_penalty(self, penalty: float) -> "MemoryProfile":
+        """Copy with a calibrated remote-access penalty."""
+        return replace(self, remote_penalty=penalty)
+
+
+class Workload(abc.ABC):
+    """One Table I program."""
+
+    #: Table I short name (``"EP"``, ..., ``"x264"``).
+    name: str = ""
+    #: Table I parallel-kernel description.
+    description: str = ""
+
+    @abc.abstractmethod
+    def sizes(self) -> Mapping[str, SizeSpec]:
+        """Problem classes in increasing size order (Table III)."""
+
+    def size(self, name: str) -> SizeSpec:
+        """Look up one problem class."""
+        sizes = self.sizes()
+        try:
+            return sizes[name]
+        except KeyError:
+            raise WorkloadError(
+                f"{self.name} has no class {name!r}; have {list(sizes)}"
+            ) from None
+
+    # -- profile -------------------------------------------------------------
+
+    #: Per-program knobs with conservative defaults; subclasses override.
+    work_ipc: float = 1.2
+    base_stall_per_instr: float = 0.35
+    calibration_mode: str = "miss_volume"
+    smt_work_inflation: float = 0.05
+    cache_bonus: float = 0.0
+    #: Memory-level parallelism (overlapped off-chip requests per stall).
+    mlp: float = 4.0
+    #: Channel traffic per demand miss (write-backs + prefetches).
+    write_amplification: float = 1.0
+    #: Fraction of accesses to cross-thread shared data (NUMA spreading).
+    shared_data_fraction: float = 0.4
+    #: Fraction of the working set's cold misses that appear as demand
+    #: LLC misses (streaming writers with perfect prefetch see ~none:
+    #: the paper counts just 1,800 misses for EP.C's 920 MB footprint).
+    cold_miss_fraction: float = 1.0
+    #: How strongly misses respond to LLC capacity differences
+    #: (0 = insensitive, 1 = inversely proportional).
+    llc_sensitivity: float = 0.5
+
+    def profile(self, size_name: str, machine: Machine) -> MemoryProfile:
+        """Materialise the counter-level profile for a class on a machine.
+
+        The off-chip request estimate is capacity-aware: a working set
+        that fits in the machine's aggregate LLC produces only its cold
+        misses (one per resident line); beyond that, the class's
+        streaming miss volume (``ref_misses``) phases in with the share
+        of the working set that cannot be cached, shaped by the program's
+        ``llc_sensitivity``.  This is what makes the paper's small
+        problem classes nearly silent off-chip while the large ones
+        saturate the controllers.
+        """
+        spec = self.size(size_name)
+        llc = machine.last_level_cache_bytes
+        cold_misses = spec.working_set_bytes / 64.0 * self.cold_miss_fraction
+        uncached_share = max(0.0, 1.0 - llc / spec.working_set_bytes)
+        if uncached_share > 0.0:
+            misses = cold_misses \
+                + spec.ref_misses * uncached_share ** self.llc_sensitivity
+        else:
+            misses = cold_misses
+        if misses <= 0.0:
+            # Prefetch-perfect programs (cold_miss_fraction = 0) whose
+            # working set fits in cache still emit their residual demand
+            # misses.
+            misses = spec.ref_misses
+        smt = self.smt_work_inflation if any(
+            p.smt > 1 for p in machine.processors) else 0.0
+        return MemoryProfile(
+            program=self.name,
+            size=size_name,
+            instructions=spec.instructions,
+            work_ipc=self.work_ipc,
+            base_stall_per_instr=self.base_stall_per_instr,
+            llc_misses=misses,
+            burst=spec.burst,
+            working_set_bytes=spec.working_set_bytes,
+            calibration_mode=self.calibration_mode,
+            smt_work_inflation=smt,
+            cross_package_miss_growth=0.0,
+            cache_bonus=self.cache_bonus,
+            mlp=self.mlp,
+            write_amplification=self.write_amplification,
+            shared_data_fraction=self.shared_data_fraction,
+        )
+
+    # -- kernel + trace -------------------------------------------------------
+
+    @abc.abstractmethod
+    def run_kernel(self, scale: int = 1, rng=None) -> dict:
+        """Run the real algorithm at reduced scale; returns result metrics.
+
+        ``scale`` is a small integer (1..4) selecting a laptop-feasible
+        problem size; the returned dict always contains a ``"checksum"``
+        entry so tests can pin behaviour.
+        """
+
+    @abc.abstractmethod
+    def address_trace(self, n_refs: int, rng=None, scale: int = 1) -> np.ndarray:
+        """Generate ``n_refs`` byte addresses with the kernel's locality."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Workload {self.name}: {self.description}>"

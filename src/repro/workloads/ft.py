@@ -1,0 +1,175 @@
+"""FT — NPB "Fourier Transform" (Table I: spectral methods, 3-D FFT).
+
+The kernel is a self-contained radix-2 Cooley-Tukey FFT applied along each
+axis of a 3-D array, followed by the NPB "evolve" step (frequency-domain
+multiplication by a Gaussian kernel) and an inverse transform — the
+structure of NPB FT's time-stepping loop.  FT streams large planes with
+power-of-two strides, giving high traffic volume but good overlap (high
+memory-level parallelism), so its contention sits between IS and CG.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.rng import resolve_rng
+from repro.util.validation import ValidationError, check_integer
+from repro.workloads.base import BurstProfile, SizeSpec, Workload
+
+#: NPB FT grid dimensions per class.
+_CLASS_GRID = {
+    "S": (64, 64, 64),
+    "W": (128, 128, 32),
+    "A": (256, 256, 128),
+    "B": (512, 256, 256),
+    "C": (512, 512, 512),
+}
+
+_BURST = {
+    "S": BurstProfile(True, 1.35, 0.03, 25.0),
+    "W": BurstProfile(True, 1.45, 0.06, 18.0),
+    "A": BurstProfile(True, 1.70, 0.20, 8.0),
+    "B": BurstProfile(False, 2.0, 0.55, 2.5),
+    "C": BurstProfile(False, 2.0, 0.80, 1.4),
+}
+
+
+def fft1d(x: np.ndarray) -> np.ndarray:
+    """Iterative radix-2 decimation-in-time FFT along the last axis.
+
+    Length must be a power of two.  Matches ``numpy.fft.fft`` to floating
+    precision (verified by the test suite); implemented here because the
+    reproduction builds every substrate from scratch.
+    """
+    x = np.asarray(x, dtype=np.complex128)
+    n = x.shape[-1]
+    if n & (n - 1) or n == 0:
+        raise ValidationError(f"FFT length {n} is not a power of two")
+    levels = n.bit_length() - 1
+    # Bit-reversal permutation.
+    idx = np.arange(n)
+    rev = np.zeros(n, dtype=np.int64)
+    for b in range(levels):
+        rev |= ((idx >> b) & 1) << (levels - 1 - b)
+    y = x[..., rev].copy()
+    half = 1
+    while half < n:
+        # Twiddles for this stage.
+        w = np.exp(-2j * np.pi * np.arange(half) / (2 * half))
+        step = 2 * half
+        blocks = y.reshape(*y.shape[:-1], n // step, step)
+        # Copy: the slice is a view into ``blocks`` and is written below.
+        even = blocks[..., :half].copy()
+        odd = blocks[..., half:] * w
+        blocks[..., :half] = even + odd
+        blocks[..., half:] = even - odd
+        half = step
+    return y
+
+
+def ifft1d(x: np.ndarray) -> np.ndarray:
+    """Inverse FFT via conjugation: ``ifft(x) = conj(fft(conj(x)))/n``."""
+    return np.conj(fft1d(np.conj(np.asarray(x, dtype=np.complex128)))) \
+        / x.shape[-1]
+
+
+def fft3d(grid: np.ndarray) -> np.ndarray:
+    """3-D FFT by axis-wise application of :func:`fft1d`."""
+    if grid.ndim != 3:
+        raise ValidationError("grid must be 3-D")
+    out = fft1d(grid)
+    out = np.moveaxis(fft1d(np.moveaxis(out, 1, -1)), -1, 1)
+    out = np.moveaxis(fft1d(np.moveaxis(out, 0, -1)), -1, 0)
+    return out
+
+
+def ifft3d(grid: np.ndarray) -> np.ndarray:
+    """3-D inverse FFT."""
+    if grid.ndim != 3:
+        raise ValidationError("grid must be 3-D")
+    out = ifft1d(grid)
+    out = np.moveaxis(ifft1d(np.moveaxis(out, 1, -1)), -1, 1)
+    out = np.moveaxis(ifft1d(np.moveaxis(out, 0, -1)), -1, 0)
+    return out
+
+
+def evolve_checksum(grid: np.ndarray, iterations: int = 3,
+                    tau: float = 1e-6) -> complex:
+    """NPB FT time-stepping: forward FFT, repeated Gaussian evolve + checksum.
+
+    Returns the sum of a strided subset of elements after the final
+    inverse transform (NPB's verification checksum style).
+    """
+    check_integer("iterations", iterations, minimum=1)
+    nx, ny, nz = grid.shape
+    kx = np.minimum(np.arange(nx), nx - np.arange(nx))[:, None, None]
+    ky = np.minimum(np.arange(ny), ny - np.arange(ny))[None, :, None]
+    kz = np.minimum(np.arange(nz), nz - np.arange(nz))[None, None, :]
+    k2 = (kx ** 2 + ky ** 2 + kz ** 2).astype(float)
+    freq = fft3d(grid)
+    total = 0.0 + 0.0j
+    for it in range(1, iterations + 1):
+        freq = freq * np.exp(-4.0 * np.pi ** 2 * tau * k2)
+        back = ifft3d(freq)
+        flat = back.ravel()
+        stride = max(flat.size // 1024, 1)
+        total += complex(flat[::stride].sum())
+    return total
+
+
+class FT(Workload):
+    """Spectral method: 3-D fast Fourier transform."""
+
+    name = "FT"
+    description = "Spectral methods: fast Fourier transform"
+
+    work_ipc = 1.4
+    base_stall_per_instr = 0.30
+    calibration_mode = "miss_volume"
+    smt_work_inflation = 0.10
+    llc_sensitivity = 0.3
+    mlp = 8.0          # streaming butterflies overlap deeply
+    write_amplification = 1.8   # every butterfly writes its plane back
+    shared_data_fraction = 0.95  # transposes are all-to-all
+
+    def sizes(self):
+        specs = {}
+        for cls, (nx, ny, nz) in _CLASS_GRID.items():
+            n = float(nx * ny * nz)
+            logn = np.log2(n)
+            specs[cls] = SizeSpec(
+                name=cls,
+                description=f"{nx} x {ny} x {nz} complex grid",
+                working_set_bytes=n * 16 * 2,   # two complex arrays
+                instructions=max(38.0 * n * logn, 4e9),
+                ref_misses=0.45 * n * (logn / 8.0),
+                burst=_BURST[cls],
+            )
+        return specs
+
+    def run_kernel(self, scale: int = 1, rng=None) -> dict:
+        """Transform a ``2^(3+scale)``-cubed grid and evolve three steps."""
+        check_integer("scale", scale, minimum=1, maximum=4)
+        rng = resolve_rng(rng)
+        n = 2 ** (3 + scale)
+        grid = rng.random((n, n, n)) + 1j * rng.random((n, n, n))
+        total = evolve_checksum(grid, iterations=3)
+        return {
+            "grid": (n, n, n),
+            "checksum": float(abs(total)),
+            "checksum_complex": total,
+        }
+
+    def address_trace(self, n_refs: int, rng=None, scale: int = 1) -> np.ndarray:
+        """Butterfly access pattern: paired reads at power-of-two strides."""
+        check_integer("n_refs", n_refs, minimum=1)
+        n = 2 ** (12 + 2 * scale)   # elements in the working array
+        elem = 16                   # complex128
+        idx = np.arange(n_refs, dtype=np.int64)
+        # Cycle through FFT stages; within a stage, access i and i + half.
+        stage = (idx // n) % max(int(np.log2(n)), 1)
+        half = np.int64(1) << stage.astype(np.int64)
+        pos = idx % n
+        partner = (pos ^ half) % n
+        addr = np.where(idx % 2 == 0, pos, partner) * elem
+        return addr

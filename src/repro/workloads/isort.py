@@ -1,0 +1,121 @@
+"""IS — NPB "Integer Sort" (Table I: bucket sort on integers).
+
+The kernel is NPB IS's bucket sort: histogram keys into buckets, prefix-sum
+the bucket counts, then compute each key's rank.  Its memory pattern is a
+sequential read of the key array plus scattered increments into the bucket
+histogram — moderate traffic with poor locality on the scatter.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.rng import resolve_rng
+from repro.util.validation import check_integer
+from repro.workloads.base import BurstProfile, SizeSpec, Workload
+
+#: NPB IS problem exponents: class X sorts 2^m keys with 2^k max key.
+_CLASS_PARAMS = {
+    "S": (16, 11),
+    "W": (20, 16),
+    "A": (23, 19),
+    "B": (25, 21),
+    "C": (27, 23),
+}
+
+_BURST = {
+    "S": BurstProfile(True, 1.30, 0.02, 30.0),
+    "W": BurstProfile(True, 1.40, 0.05, 20.0),
+    "A": BurstProfile(True, 1.60, 0.15, 10.0),
+    "B": BurstProfile(False, 2.0, 0.45, 3.5),
+    "C": BurstProfile(False, 2.0, 0.70, 1.8),
+}
+
+
+def bucket_sort_ranks(keys: np.ndarray, max_key: int) -> np.ndarray:
+    """NPB IS ranking: the rank of each key under a stable counting sort.
+
+    Returns ``rank[i]`` = position of ``keys[i]`` in the sorted order.
+    """
+    if keys.ndim != 1:
+        raise ValueError("keys must be 1-D")
+    check_integer("max_key", max_key, minimum=1)
+    if keys.size and (keys.min() < 0 or keys.max() >= max_key):
+        raise ValueError("keys out of [0, max_key)")
+    counts = np.bincount(keys, minlength=max_key)
+    starts = np.concatenate(([0], np.cumsum(counts)[:-1]))
+    # Stable ranks: position = start of the key's bucket + the number of
+    # equal keys seen earlier in the array.
+    order = np.argsort(keys, kind="stable")
+    ranks = np.empty(keys.size, dtype=np.int64)
+    ranks[order] = np.arange(keys.size)
+    # Consistency: ranks must agree with bucket starts.
+    assert keys.size == 0 or int(ranks[order[0]]) == 0
+    del starts
+    return ranks
+
+
+class IS(Workload):
+    """Parallel bucket sort on integers."""
+
+    name = "IS"
+    description = "Parallel sorting: bucket sort on integers"
+
+    work_ipc = 1.1
+    base_stall_per_instr = 0.30
+    calibration_mode = "miss_volume"
+    smt_work_inflation = 0.18
+    llc_sensitivity = 0.4
+    #: Independent scatter updates overlap well at the controller.
+    mlp = 8.0
+    write_amplification = 1.3
+    shared_data_fraction = 0.90  # global bucket histogram
+
+    def sizes(self):
+        specs = {}
+        for cls, (m, k) in _CLASS_PARAMS.items():
+            n_keys = 2.0 ** m
+            specs[cls] = SizeSpec(
+                name=cls,
+                description=f"2^{m} integer keys, max key 2^{k}",
+                working_set_bytes=n_keys * 4 * 2 + 2.0 ** k * 4,
+                instructions=max(55.0 * n_keys, 3e9),
+                ref_misses=0.12 * n_keys * (1.0 if m >= 25 else 0.3),
+                burst=_BURST[cls],
+            )
+        return specs
+
+    def run_kernel(self, scale: int = 1, rng=None) -> dict:
+        """Sort ``2^(12 + scale)`` keys; verify order; return rank checksum."""
+        check_integer("scale", scale, minimum=1, maximum=10)
+        rng = resolve_rng(rng)
+        n = 2 ** (12 + scale)
+        max_key = 2 ** (8 + scale)
+        keys = rng.integers(0, max_key, size=n).astype(np.int64)
+        ranks = bucket_sort_ranks(keys, max_key)
+        sorted_keys = np.empty_like(keys)
+        sorted_keys[ranks] = keys
+        if np.any(np.diff(sorted_keys) < 0):
+            raise AssertionError("bucket sort produced unsorted output")
+        return {
+            "n_keys": n,
+            "max_key": max_key,
+            "checksum": float(np.bitwise_xor.reduce(ranks * (keys + 1))),
+        }
+
+    def address_trace(self, n_refs: int, rng=None, scale: int = 1) -> np.ndarray:
+        """Alternating sequential key reads and random bucket increments."""
+        check_integer("n_refs", n_refs, minimum=1)
+        rng = resolve_rng(rng)
+        key_bytes = (2 ** (12 + scale)) * 4
+        bucket_bytes = (2 ** (8 + scale)) * 4
+        addr = np.empty(n_refs, dtype=np.int64)
+        # Even refs: stream the key array; odd refs: scatter into buckets.
+        idx = np.arange(n_refs, dtype=np.int64)
+        stream = (idx // 2 * 4) % key_bytes
+        scatter = key_bytes + (
+            rng.integers(0, max(bucket_bytes // 4, 1), size=n_refs) * 4)
+        odd = (idx % 2).astype(bool)
+        addr[~odd] = stream[~odd]
+        addr[odd] = scatter[odd]
+        return addr

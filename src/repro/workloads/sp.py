@@ -1,0 +1,196 @@
+"""SP — NPB "Scalar Pentadiagonal" (Table I: structured grid solver).
+
+NPB SP factorises and solves scalar pentadiagonal systems along every line
+of a 3-D grid, in all three dimensions per time step.  We implement the
+real core: a vectorised pentadiagonal (5-band) Gaussian elimination
+without pivoting, applied along x-, y- and z-lines of a grid whose bands
+come from a diagonally dominant model stencil.
+
+SP is the paper's worst contention case (ω up to 11.6): sweeping all
+three dimensions touches memory at three different strides, the z-sweep
+with the largest one, producing enormous miss volume with *dependent*
+accesses (each elimination step needs the previous line values), i.e. very
+low memory-level parallelism.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.rng import resolve_rng
+from repro.util.validation import ValidationError, check_integer
+from repro.workloads.base import BurstProfile, SizeSpec, Workload
+
+#: NPB SP grid edge per class.
+_CLASS_GRID = {"S": 12, "W": 36, "A": 64, "B": 102, "C": 162}
+_CLASS_NITER = {"S": 100, "W": 400, "A": 400, "B": 400, "C": 400}
+
+_BURST = {
+    "S": BurstProfile(True, 1.30, 0.02, 28.0),
+    "W": BurstProfile(True, 1.45, 0.05, 18.0),
+    "A": BurstProfile(True, 1.75, 0.25, 7.0),
+    "B": BurstProfile(False, 2.0, 0.70, 1.8),
+    "C": BurstProfile(False, 2.0, 0.95, 1.05),
+}
+
+
+def penta_solve(bands: np.ndarray, rhs: np.ndarray) -> np.ndarray:
+    """Solve many pentadiagonal systems at once (forward elim + back subst).
+
+    Parameters
+    ----------
+    bands:
+        Array of shape ``(m, n, 5)``: for each of ``m`` independent lines
+        of length ``n``, the five bands ``(a, b, c, d, e)`` = (2nd sub,
+        1st sub, diagonal, 1st super, 2nd super).  Out-of-range band
+        entries (first/last rows) must be zero.
+    rhs:
+        Right-hand sides, shape ``(m, n)``.
+
+    Returns the solutions, shape ``(m, n)``.  No pivoting — callers must
+    supply diagonally dominant systems (as SP's stencil matrices are).
+    """
+    bands = np.array(bands, dtype=np.float64)
+    rhs = np.array(rhs, dtype=np.float64)
+    if bands.ndim != 3 or bands.shape[-1] != 5:
+        raise ValidationError("bands must have shape (m, n, 5)")
+    m, n, _ = bands.shape
+    if rhs.shape != (m, n):
+        raise ValidationError("rhs shape must match bands")
+    if n < 3:
+        raise ValidationError("pentadiagonal systems need n >= 3")
+    a = bands[:, :, 0]
+    b = bands[:, :, 1]
+    c = bands[:, :, 2]
+    d = bands[:, :, 3]
+    e = bands[:, :, 4]
+
+    # Forward elimination: zero the two subdiagonals row by row.
+    for i in range(1, n):
+        # Eliminate b[i] using row i-1.
+        piv = c[:, i - 1]
+        if np.any(piv == 0):
+            raise ValidationError("zero pivot in pentadiagonal elimination")
+        f = b[:, i] / piv
+        c[:, i] = c[:, i] - f * d[:, i - 1]
+        if i < n - 1:
+            d[:, i] = d[:, i] - f * e[:, i - 1]
+        rhs[:, i] = rhs[:, i] - f * rhs[:, i - 1]
+        if i + 1 < n:
+            # Eliminate a[i+1] using row i-1.
+            g = a[:, i + 1] / piv
+            b[:, i + 1] = b[:, i + 1] - g * d[:, i - 1]
+            c[:, i + 1] = c[:, i + 1] - g * e[:, i - 1]
+            rhs[:, i + 1] = rhs[:, i + 1] - g * rhs[:, i - 1]
+
+    # Back substitution with the remaining upper-triangular bands.
+    x = np.empty_like(rhs)
+    x[:, n - 1] = rhs[:, n - 1] / c[:, n - 1]
+    x[:, n - 2] = (rhs[:, n - 2] - d[:, n - 2] * x[:, n - 1]) / c[:, n - 2]
+    for i in range(n - 3, -1, -1):
+        x[:, i] = (rhs[:, i] - d[:, i] * x[:, i + 1]
+                   - e[:, i] * x[:, i + 2]) / c[:, i]
+    return x
+
+
+def model_bands(m: int, n: int, rng=None) -> np.ndarray:
+    """Diagonally dominant pentadiagonal bands for ``m`` lines of length ``n``.
+
+    Mimics SP's stencil systems: fixed off-diagonals with a dominant,
+    slightly perturbed diagonal.
+    """
+    check_integer("m", m, minimum=1)
+    check_integer("n", n, minimum=3)
+    rng = resolve_rng(rng)
+    bands = np.zeros((m, n, 5))
+    bands[:, 2:, 0] = -0.05           # a: second sub
+    bands[:, 1:, 1] = -0.25           # b: first sub
+    bands[:, :, 2] = 1.0 + 0.1 * rng.random((m, n))  # c: diagonal
+    bands[:, :-1, 3] = -0.25          # d: first super
+    bands[:, :-2, 4] = -0.05          # e: second super
+    return bands
+
+
+def sweep_xyz(grid: np.ndarray, rng=None) -> np.ndarray:
+    """One SP time step: pentadiagonal solves along x, then y, then z.
+
+    ``grid`` has shape ``(nx, ny, nz)``; each axis sweep treats the other
+    two axes as independent lines.
+    """
+    if grid.ndim != 3:
+        raise ValidationError("grid must be 3-D")
+    rng = resolve_rng(rng)
+    out = np.asarray(grid, dtype=np.float64)
+    nx, ny, nz = out.shape
+    # x-sweep: lines along axis 0.
+    lines = out.transpose(1, 2, 0).reshape(ny * nz, nx)
+    sol = penta_solve(model_bands(ny * nz, nx, rng), lines)
+    out = sol.reshape(ny, nz, nx).transpose(2, 0, 1)
+    # y-sweep.
+    lines = out.transpose(0, 2, 1).reshape(nx * nz, ny)
+    sol = penta_solve(model_bands(nx * nz, ny, rng), lines)
+    out = sol.reshape(nx, nz, ny).transpose(0, 2, 1)
+    # z-sweep.
+    lines = out.reshape(nx * ny, nz)
+    sol = penta_solve(model_bands(nx * ny, nz, rng), lines)
+    return sol.reshape(nx, ny, nz)
+
+
+class SP(Workload):
+    """Structured grid: scalar pentadiagonal solver."""
+
+    name = "SP"
+    description = "Structured grid: pentadiagonal solver"
+
+    work_ipc = 1.1
+    base_stall_per_instr = 0.45
+    calibration_mode = "miss_volume"
+    smt_work_inflation = 0.10
+    llc_sensitivity = 0.6
+    mlp = 1.6      # elimination recurrences serialise the misses
+    write_amplification = 3.0   # ~15 arrays re-written per sweep + strided prefetch overfetch
+    shared_data_fraction = 0.80  # paper's homogeneous-affinity regime
+
+    def sizes(self):
+        specs = {}
+        for cls, edge in _CLASS_GRID.items():
+            niter = _CLASS_NITER[cls]
+            n = float(edge) ** 3
+            specs[cls] = SizeSpec(
+                name=cls,
+                description=f"{edge}^3 grid, {niter} iterations",
+                working_set_bytes=n * 8 * 15,   # ~15 grid-sized arrays
+                instructions=max(900.0 * n * niter / 4.0, 4e9),
+                ref_misses=2.1 * n * niter / 4.0 *
+                (1.0 if edge >= 102 else 0.2) / 8.0,
+                burst=_BURST[cls],
+            )
+        return specs
+
+    def run_kernel(self, scale: int = 1, rng=None) -> dict:
+        """Run three x/y/z sweep steps on a small grid."""
+        check_integer("scale", scale, minimum=1, maximum=6)
+        rng = resolve_rng(rng)
+        edge = 8 * scale
+        grid = rng.random((edge, edge, edge))
+        out = grid
+        for _ in range(3):
+            out = sweep_xyz(out, rng)
+        return {
+            "grid": (edge, edge, edge),
+            "checksum": float(np.abs(out).sum()),
+            "max": float(np.abs(out).max()),
+        }
+
+    def address_trace(self, n_refs: int, rng=None, scale: int = 1) -> np.ndarray:
+        """Three interleaved sweep phases with unit, row and plane strides."""
+        check_integer("n_refs", n_refs, minimum=1)
+        edge = 24 * scale
+        n = edge ** 3
+        elem = 8
+        idx = np.arange(n_refs, dtype=np.int64)
+        phase = (idx // max(n // 4, 1)) % 3
+        pos = idx % n
+        stride = np.choose(phase, [1, edge, edge * edge])
+        addr = (pos * stride) % n * elem
+        return addr

@@ -1,0 +1,134 @@
+"""Synthetic address-stream generators.
+
+Reusable reference streams with controlled locality, for exercising the
+cache simulator and for composing custom workloads.  Each generator
+returns a 1-D array of byte addresses; all are deterministic under a
+seed.  The built-in programs' ``address_trace`` methods are built from
+the same idioms; these standalone versions expose them as a library
+surface (and give the cache tests analytically predictable inputs).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.rng import resolve_rng
+from repro.util.validation import ValidationError, check_integer, check_positive
+
+
+def sequential_stream(n_refs: int, working_set_bytes: int,
+                      stride: int = 8) -> np.ndarray:
+    """A streaming pass: ``addr_i = (i * stride) mod working_set``.
+
+    The best case for caches and prefetchers; misses are one per line
+    per pass.
+    """
+    check_integer("n_refs", n_refs, minimum=1)
+    check_integer("working_set_bytes", working_set_bytes, minimum=1)
+    check_integer("stride", stride, minimum=1)
+    idx = np.arange(n_refs, dtype=np.int64)
+    return (idx * stride) % working_set_bytes
+
+
+def strided_stream(n_refs: int, working_set_bytes: int,
+                   stride: int) -> np.ndarray:
+    """Fixed-stride sweep (column walks, SP's y/z line sweeps).
+
+    Strides at or above the line size defeat spatial locality: every
+    reference touches a new line until the sweep wraps.
+    """
+    return sequential_stream(n_refs, working_set_bytes, stride)
+
+
+def random_stream(n_refs: int, working_set_bytes: int,
+                  granule: int = 64, rng=None) -> np.ndarray:
+    """Uniform random line-granular references (IS's scatter, at worst)."""
+    check_integer("n_refs", n_refs, minimum=1)
+    check_integer("granule", granule, minimum=1)
+    n_granules = working_set_bytes // granule
+    if n_granules < 1:
+        raise ValidationError("working set smaller than one granule")
+    rng = resolve_rng(rng)
+    return rng.integers(0, n_granules, size=n_refs) * granule
+
+
+def zipf_stream(n_refs: int, working_set_bytes: int, skew: float = 1.2,
+                granule: int = 64, rng=None) -> np.ndarray:
+    """Zipf-distributed references: few hot lines, long cold tail.
+
+    ``skew`` > 1 concentrates accesses (cache-friendly hot set);
+    approaching 1 flattens toward uniform.
+    """
+    check_integer("n_refs", n_refs, minimum=1)
+    check_positive("skew", skew)
+    if skew <= 1.0:
+        raise ValidationError("zipf skew must be > 1 for numpy's sampler")
+    n_granules = working_set_bytes // granule
+    if n_granules < 1:
+        raise ValidationError("working set smaller than one granule")
+    rng = resolve_rng(rng)
+    ranks = rng.zipf(skew, size=n_refs)
+    return ((ranks - 1) % n_granules) * granule
+
+
+def pointer_chase(n_refs: int, working_set_bytes: int, granule: int = 64,
+                  rng=None) -> np.ndarray:
+    """A dependent pointer chain over a random permutation of lines.
+
+    The canonical latency-bound pattern: no two consecutive references
+    share a line, and the order is a single cycle through the working
+    set (so the miss rate is exactly one per reference once the set
+    exceeds the cache).
+    """
+    check_integer("n_refs", n_refs, minimum=1)
+    n_granules = working_set_bytes // granule
+    if n_granules < 2:
+        raise ValidationError("pointer chase needs at least two granules")
+    rng = resolve_rng(rng)
+    perm = rng.permutation(n_granules)
+    # next[perm[i]] = perm[i+1] forms one big cycle.
+    nxt = np.empty(n_granules, dtype=np.int64)
+    nxt[perm] = np.roll(perm, -1)
+    out = np.empty(n_refs, dtype=np.int64)
+    cur = int(perm[0])
+    for i in range(n_refs):
+        out[i] = cur
+        cur = int(nxt[cur])
+    return out * granule
+
+
+def tiled_2d(n_refs: int, width: int, height: int, tile: int = 16,
+             elem: int = 1) -> np.ndarray:
+    """Tile-ordered 2-D walk (x264's macroblock raster, GEMM tiling).
+
+    Visits ``tile x tile`` blocks row-major, touching each block's
+    elements row by row — strong short-term reuse inside a block,
+    streaming across blocks.
+    """
+    check_integer("n_refs", n_refs, minimum=1)
+    check_integer("tile", tile, minimum=1)
+    if width < tile or height < tile:
+        raise ValidationError("image smaller than one tile")
+    tiles_x = width // tile
+    tiles_y = height // tile
+    idx = np.arange(n_refs, dtype=np.int64)
+    per_tile = tile * tile
+    t = (idx // per_tile) % (tiles_x * tiles_y)
+    inner = idx % per_tile
+    ty, tx = t // tiles_x, t % tiles_x
+    ry, rx = inner // tile, inner % tile
+    return ((ty * tile + ry) * width + tx * tile + rx) * elem
+
+
+def interleave(*streams: np.ndarray) -> np.ndarray:
+    """Round-robin interleaving of equal-length streams.
+
+    Models threads sharing a cache: the combined stream alternates one
+    reference from each input.
+    """
+    if not streams:
+        raise ValidationError("need at least one stream")
+    length = streams[0].shape[0]
+    if any(s.shape != (length,) for s in streams):
+        raise ValidationError("streams must be equal-length 1-D arrays")
+    return np.stack(streams, axis=1).reshape(-1)

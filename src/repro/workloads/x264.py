@@ -1,0 +1,186 @@
+"""x264 — PARSEC video encoding proxy (Table I: H.264 codec).
+
+The kernel is the dominant cost of a video encoder: block-matching motion
+estimation.  For each 16x16 macroblock of a frame we search a +/-8 pixel
+window of the previous frame for the minimum sum-of-absolute-differences
+(SAD) match — the real algorithm on synthetic frames with translational
+motion, so the search provably finds the planted motion vector.
+
+x264's memory pattern is 2-D local (sliding windows), giving a low miss
+rate even at the 400 MB ``native`` input, and its frame/slice pipeline
+produces bursty traffic at every size — the paper's second example (after
+EP) of a large working set *without* large contention, and one of the two
+programs whose 1/C(n) colinearity is visibly below 1 in Table IV.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.rng import resolve_rng
+from repro.util.validation import ValidationError, check_integer
+from repro.workloads.base import BurstProfile, SizeSpec, Workload
+
+#: PARSEC input sets: (frames, width, height) — Table III.
+_INPUTS = {
+    "simsmall": (8, 640, 360),
+    "simmedium": (32, 640, 360),
+    "simlarge": (128, 640, 360),
+    "native": (512, 1920, 1080),
+}
+
+_BURST = {
+    # Frame-structured traffic stays bursty even at native size (the paper
+    # groups x264.native with the low-contention, low-R^2 programs).
+    "simsmall": BurstProfile(True, 1.30, 0.03, 26.0),
+    "simmedium": BurstProfile(True, 1.40, 0.05, 20.0),
+    "simlarge": BurstProfile(True, 1.55, 0.10, 14.0),
+    "native": BurstProfile(True, 1.80, 0.30, 6.0),
+}
+
+MACROBLOCK = 16
+SEARCH_RADIUS = 8
+
+
+def sad(block_a: np.ndarray, block_b: np.ndarray) -> float:
+    """Sum of absolute differences between two equal-shape blocks."""
+    if block_a.shape != block_b.shape:
+        raise ValidationError("SAD blocks must have equal shapes")
+    return float(np.abs(block_a.astype(np.int64)
+                        - block_b.astype(np.int64)).sum())
+
+
+def motion_search(reference: np.ndarray, frame: np.ndarray,
+                  block_y: int, block_x: int,
+                  radius: int = SEARCH_RADIUS) -> tuple[int, int, float]:
+    """Full search for the best match of one macroblock.
+
+    Returns ``(dy, dx, best_sad)`` of the displacement in the reference
+    frame minimising SAD, ties broken toward the smallest displacement
+    (scan order), exactly like a full-search ME kernel.
+    """
+    h, w = frame.shape
+    if not (0 <= block_y <= h - MACROBLOCK and 0 <= block_x <= w - MACROBLOCK):
+        raise ValidationError("macroblock out of frame bounds")
+    block = frame[block_y:block_y + MACROBLOCK, block_x:block_x + MACROBLOCK]
+    best = (0, 0, float("inf"))
+    for dy in range(-radius, radius + 1):
+        ry = block_y + dy
+        if ry < 0 or ry + MACROBLOCK > h:
+            continue
+        for dx in range(-radius, radius + 1):
+            rx = block_x + dx
+            if rx < 0 or rx + MACROBLOCK > w:
+                continue
+            cand = reference[ry:ry + MACROBLOCK, rx:rx + MACROBLOCK]
+            cost = sad(block, cand)
+            if cost < best[2]:
+                best = (dy, dx, cost)
+    return best
+
+
+def encode_frames(frames: np.ndarray, radius: int = SEARCH_RADIUS,
+                  block_step: int = MACROBLOCK) -> dict:
+    """Motion-estimate every frame against its predecessor.
+
+    Returns aggregate statistics: mean SAD of the best matches and the
+    mean motion-vector magnitude (the "encoding" work product).
+    """
+    if frames.ndim != 3 or frames.shape[0] < 2:
+        raise ValidationError("need a (frames, h, w) stack of >= 2 frames")
+    total_sad = 0.0
+    total_mv = 0.0
+    n_blocks = 0
+    _, h, w = frames.shape
+    for t in range(1, frames.shape[0]):
+        for by in range(0, h - MACROBLOCK + 1, block_step):
+            for bx in range(0, w - MACROBLOCK + 1, block_step):
+                dy, dx, cost = motion_search(frames[t - 1], frames[t],
+                                             by, bx, radius)
+                total_sad += cost
+                total_mv += (dy * dy + dx * dx) ** 0.5
+                n_blocks += 1
+    return {
+        "blocks": n_blocks,
+        "mean_sad": total_sad / n_blocks,
+        "mean_motion": total_mv / n_blocks,
+    }
+
+
+def synthetic_video(n_frames: int, h: int, w: int, shift: tuple[int, int],
+                    rng=None) -> np.ndarray:
+    """Frames of translating texture: frame t = frame 0 rolled by t*shift."""
+    check_integer("n_frames", n_frames, minimum=2)
+    rng = resolve_rng(rng)
+    base = (rng.random((h, w)) * 255).astype(np.uint8)
+    frames = np.empty((n_frames, h, w), dtype=np.uint8)
+    for t in range(n_frames):
+        frames[t] = np.roll(base, (t * shift[0], t * shift[1]), axis=(0, 1))
+    return frames
+
+
+class X264(Workload):
+    """H.264 video encoding (PARSEC): block-matching motion estimation."""
+
+    name = "x264"
+    description = "Video encoding using H264 codec"
+
+    work_ipc = 1.5
+    base_stall_per_instr = 0.25
+    calibration_mode = "none"
+    smt_work_inflation = 0.08
+    llc_sensitivity = 0.3
+    mlp = 6.0
+    write_amplification = 1.2
+    shared_data_fraction = 0.50  # reference frames shared
+
+    def sizes(self):
+        specs = {}
+        for name, (frames, w, h) in _INPUTS.items():
+            pixels = float(frames) * w * h
+            specs[name] = SizeSpec(
+                name=name,
+                description=f"{frames} frames at {w:,} x {h:,}".replace(
+                    ",", ", "),
+                working_set_bytes=min(pixels * 1.5, 400e6),
+                instructions=max(600.0 * pixels, 2e9),
+                ref_misses=0.004 * pixels,
+                burst=_BURST[name],
+            )
+        return specs
+
+    def run_kernel(self, scale: int = 1, rng=None) -> dict:
+        """Encode a tiny synthetic clip; the planted motion must be found."""
+        check_integer("scale", scale, minimum=1, maximum=4)
+        rng = resolve_rng(rng)
+        frames = synthetic_video(3, 48 * scale, 64 * scale, shift=(2, 3),
+                                 rng=rng)
+        stats = encode_frames(frames, radius=4)
+        return {
+            "frames": frames.shape,
+            "mean_sad": stats["mean_sad"],
+            "mean_motion": stats["mean_motion"],
+            "checksum": float(stats["mean_sad"] + stats["mean_motion"]),
+        }
+
+    def address_trace(self, n_refs: int, rng=None, scale: int = 1) -> np.ndarray:
+        """2-D sliding-window reads over two frame buffers."""
+        check_integer("n_refs", n_refs, minimum=1)
+        rng = resolve_rng(rng)
+        w = 640 * scale
+        h = 360 * scale
+        frame_bytes = w * h
+        idx = np.arange(n_refs, dtype=np.int64)
+        # Walk macroblocks in raster order; within each block, touch its
+        # 16x16 pixels row by row in both the current frame and the
+        # reference frame (the SAD loops).
+        blocks_per_row = max(w // MACROBLOCK, 1)
+        block = idx // 64
+        inner = idx % 64
+        by = (block // blocks_per_row * MACROBLOCK) % max(h - MACROBLOCK, 1)
+        bx = (block % blocks_per_row) * MACROBLOCK
+        row = (inner // 4) % MACROBLOCK
+        col = (inner % 4) * 4
+        frame_sel = (inner // 32) * frame_bytes   # alternate frames
+        addr = frame_sel + (by + row) * w + bx + col
+        return addr.astype(np.int64)

@@ -1,0 +1,34 @@
+"""Shared fixtures: the three testbeds and a seeded generator."""
+
+import numpy as np
+import pytest
+
+from repro.machine import amd_numa, intel_numa, intel_uma
+
+
+@pytest.fixture
+def rng():
+    """A fresh, fixed-seed generator per test."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def uma():
+    return intel_uma()
+
+
+@pytest.fixture(scope="session")
+def inuma():
+    return intel_numa()
+
+
+@pytest.fixture(scope="session")
+def anuma():
+    return amd_numa()
+
+
+@pytest.fixture(scope="session", params=["uma", "inuma", "anuma"])
+def any_machine(request):
+    """Parametrised over the three testbeds."""
+    return {"uma": intel_uma(), "inuma": intel_numa(),
+            "anuma": amd_numa()}[request.param]

@@ -1,0 +1,142 @@
+"""Burst-analysis tests: CCDF, tail fitting, metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.burst.ccdf import CCDF, ccdf_at, empirical_ccdf
+from repro.burst.metrics import (
+    burstiness_score,
+    index_of_dispersion,
+    peak_to_mean_ratio,
+)
+from repro.burst.tail import fit_loglog_tail, is_heavy_tailed
+from repro.util.validation import ValidationError
+
+
+class TestCCDF:
+    def test_simple_counts(self):
+        ccdf = empirical_ccdf(np.array([0, 1, 1, 3]))
+        assert ccdf.at(0) == pytest.approx(0.75)   # P(X > 0)
+        assert ccdf.at(1) == pytest.approx(0.25)
+        assert ccdf.at(2) == pytest.approx(0.25)
+        assert ccdf.at(3) == 0.0
+
+    def test_below_support(self):
+        ccdf = empirical_ccdf(np.array([2, 3]))
+        assert ccdf.at(-1) == 1.0
+        assert ccdf.at(1.5) == 1.0
+
+    def test_support_max(self):
+        assert empirical_ccdf(np.array([1, 7, 3])).support_max() == 7.0
+
+    def test_probabilities_non_increasing(self, rng):
+        counts = rng.poisson(5.0, size=5000)
+        ccdf = empirical_ccdf(counts)
+        assert np.all(np.diff(ccdf.probabilities) <= 1e-15)
+
+    @given(st.lists(st.integers(0, 100), min_size=1, max_size=500))
+    @settings(max_examples=50, deadline=None)
+    def test_ccdf_properties(self, counts):
+        ccdf = empirical_ccdf(np.array(counts))
+        # P(X > max) = 0 and monotone non-increasing.
+        assert ccdf.at(max(counts)) == 0.0
+        assert np.all(np.diff(ccdf.probabilities) <= 1e-15)
+        # P(X > -1) counts everything.
+        assert ccdf.at(-1) == 1.0
+
+    def test_ccdf_at_grid(self):
+        probs = ccdf_at(np.array([0, 10, 100]), xs=[1, 50])
+        assert probs[0] == pytest.approx(2 / 3)
+        assert probs[1] == pytest.approx(1 / 3)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValidationError):
+            empirical_ccdf(np.array([-1, 2]))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValidationError):
+            empirical_ccdf(np.array([]))
+
+    def test_tail_points_filter(self):
+        ccdf = empirical_ccdf(np.array([1, 10, 100, 1000]))
+        xs, ps = ccdf.tail_points(x_min=50)
+        assert list(xs) == [100.0]  # 1000 has P=0 and is dropped
+
+
+class TestTailFit:
+    def _pareto_counts(self, rng, alpha, n=100_000):
+        return np.floor(
+            (1.0 + rng.pareto(alpha, size=n)) * 5.0).astype(int)
+
+    def test_recovers_pareto_index(self, rng):
+        counts = self._pareto_counts(rng, alpha=1.5)
+        fit = fit_loglog_tail(counts, x_min=20)
+        assert fit.tail_index == pytest.approx(1.5, abs=0.3)
+        assert fit.r2 > 0.98
+
+    def test_pareto_is_heavy(self, rng):
+        counts = self._pareto_counts(rng, alpha=1.3)
+        assert is_heavy_tailed(counts, x_min=20)
+
+    def test_poisson_is_not_heavy(self, rng):
+        counts = rng.poisson(30.0, size=100_000)
+        assert not is_heavy_tailed(counts, x_min=20)
+
+    def test_truncated_traffic_not_heavy(self, rng):
+        # Saturated traffic: concentrated near capacity.
+        counts = np.clip(rng.poisson(400.0, size=50_000), 0, 450)
+        assert not is_heavy_tailed(counts)
+
+    def test_silent_traffic_not_heavy(self):
+        assert not is_heavy_tailed(np.zeros(1000, dtype=int))
+
+    def test_fit_requires_tail_support(self):
+        with pytest.raises(ValidationError):
+            fit_loglog_tail(np.array([1, 2, 3]), x_min=50)
+
+    def test_fit_reports_points_used(self, rng):
+        counts = self._pareto_counts(rng, alpha=2.0)
+        fit = fit_loglog_tail(counts, x_min=20)
+        assert fit.n_points >= 5
+        assert fit.x_min == 20
+
+    def test_accepts_precomputed_ccdf(self, rng):
+        counts = self._pareto_counts(rng, alpha=1.5)
+        ccdf = empirical_ccdf(counts)
+        fit = fit_loglog_tail(ccdf, x_min=20)
+        assert fit.r2 > 0.9
+
+
+class TestMetrics:
+    def test_poisson_idc_near_one(self, rng):
+        counts = rng.poisson(10.0, size=50_000)
+        assert index_of_dispersion(counts) == pytest.approx(1.0, abs=0.05)
+
+    def test_bursty_idc_large(self, rng):
+        # ON/OFF-style counts: mostly zero, occasionally huge.
+        counts = np.where(rng.random(50_000) < 0.01,
+                          rng.poisson(1000.0, 50_000), 0)
+        assert index_of_dispersion(counts) > 100
+
+    def test_periodic_burstiness_negative(self):
+        assert burstiness_score(np.full(100, 7.0)) == pytest.approx(-1.0)
+
+    def test_bursty_score_positive(self, rng):
+        counts = np.where(rng.random(10_000) < 0.01,
+                          rng.poisson(1000.0, 10_000), 0)
+        assert burstiness_score(counts) > 0.5
+
+    def test_peak_to_mean(self):
+        assert peak_to_mean_ratio(np.array([1.0, 1.0, 4.0])) == 2.0
+
+    def test_silent_traffic_rejected(self):
+        with pytest.raises(ValidationError):
+            index_of_dispersion(np.zeros(10))
+        with pytest.raises(ValidationError):
+            peak_to_mean_ratio(np.zeros(10))
+
+    def test_too_few_windows_rejected(self):
+        with pytest.raises(ValidationError):
+            index_of_dispersion(np.array([1.0]))

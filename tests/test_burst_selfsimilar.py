@@ -1,0 +1,75 @@
+"""Hurst-estimation tests: planted self-similarity must be recovered."""
+
+import numpy as np
+import pytest
+
+from repro.burst.selfsimilar import HurstEstimate, aggregate_series, estimate_hurst
+from repro.util.validation import ValidationError
+
+
+def fgn(hurst: float, n: int, rng) -> np.ndarray:
+    """Fractional Gaussian noise via circulant embedding (exact)."""
+    k = np.arange(n + 1)
+    gamma = 0.5 * (np.abs(k - 1) ** (2 * hurst)
+                   - 2 * np.abs(k) ** (2 * hurst)
+                   + np.abs(k + 1) ** (2 * hurst))
+    row = np.concatenate([gamma, gamma[-2:0:-1]])
+    eig = np.fft.fft(row).real
+    eig = np.clip(eig, 0.0, None)
+    m = row.size
+    z = rng.normal(size=m) + 1j * rng.normal(size=m)
+    series = np.fft.fft(np.sqrt(eig / m) * z)[:n].real
+    return series
+
+
+class TestAggregation:
+    def test_block_means(self):
+        agg = aggregate_series(np.array([1.0, 3.0, 5.0, 7.0]), 2)
+        assert list(agg) == [2.0, 6.0]
+
+    def test_truncates_remainder(self):
+        agg = aggregate_series(np.arange(7, dtype=float), 3)
+        assert agg.shape == (2,)
+
+    def test_m_one_identity(self):
+        xs = np.array([1.0, 2.0, 3.0])
+        assert np.array_equal(aggregate_series(xs, 1), xs)
+
+    def test_too_short_rejected(self):
+        with pytest.raises(ValidationError):
+            aggregate_series(np.array([1.0]), 5)
+
+
+class TestHurst:
+    def test_iid_gives_half(self, rng):
+        counts = rng.poisson(20.0, size=60_000)
+        est = estimate_hurst(counts)
+        assert est.hurst == pytest.approx(0.5, abs=0.06)
+        assert not est.long_range_dependent
+
+    @pytest.mark.parametrize("h", [0.6, 0.8])
+    def test_recovers_planted_hurst(self, h, rng):
+        series = fgn(h, 60_000, rng) + 10.0
+        est = estimate_hurst(series)
+        assert est.hurst == pytest.approx(h, abs=0.08)
+
+    def test_lrd_verdict(self, rng):
+        series = fgn(0.85, 60_000, rng) + 10.0
+        assert estimate_hurst(series).long_range_dependent
+
+    def test_constant_rejected(self):
+        with pytest.raises(ValidationError):
+            estimate_hurst(np.full(10_000, 3.0))
+
+    def test_short_series_rejected(self, rng):
+        with pytest.raises(ValidationError):
+            estimate_hurst(rng.poisson(5.0, size=30))
+
+    def test_sampler_small_class_is_lrd(self, inuma):
+        from repro.counters.sampler import BurstSampler
+
+        sampler = BurstSampler(inuma)
+        small = sampler.sample("CG", "S", n_windows=50_000)
+        large = sampler.sample("CG", "C", n_windows=50_000)
+        assert estimate_hurst(small.counts).long_range_dependent
+        assert not estimate_hurst(large.counts).long_range_dependent

@@ -1,0 +1,77 @@
+"""Tests for the channel-aware model extension (paper Section VI)."""
+
+import pytest
+
+from repro.core.extended import (
+    ChannelAwareModel,
+    fit_channel_aware,
+    machine_channel_count,
+)
+from repro.core.uniproc import ModelError
+from repro.counters.papi import CounterSample
+from repro.qnet.mmc import MMc
+
+
+def _sample(total, misses=1e9):
+    return CounterSample(total_cycles=total, instructions=1e10,
+                         stall_cycles=total * 0.6, llc_misses=misses)
+
+
+class TestChannelAwareModel:
+    def test_prediction_is_erlang_c(self):
+        model = ChannelAwareModel(mu_channel=0.01, channels=3, ell=0.002,
+                                  r=1e9, baseline_cycles=1e11)
+        n = 4
+        expected = 1e9 * MMc(lam=n * 0.002, mu=0.01, c=3).mean_response
+        assert model.predict_cycles(n) == pytest.approx(expected)
+
+    def test_saturation_guard(self):
+        model = ChannelAwareModel(mu_channel=0.01, channels=2, ell=0.005,
+                                  r=1e9, baseline_cycles=1e11)
+        with pytest.raises(ModelError):
+            model.predict_cycles(4)   # 4 * 0.005 = c * mu
+
+    def test_zero_rate_is_pure_service(self):
+        model = ChannelAwareModel(mu_channel=0.01, channels=2, ell=0.0,
+                                  r=1e9, baseline_cycles=1e11)
+        assert model.per_request_cycles(8) == pytest.approx(100.0)
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ModelError):
+            ChannelAwareModel(mu_channel=0.01, channels=2, ell=-1.0,
+                              r=1e9, baseline_cycles=1e11)
+
+
+class TestChannelCount:
+    def test_counts_per_machine(self, uma, inuma, anuma):
+        assert machine_channel_count(uma) == 2     # dual-channel DDR2
+        assert machine_channel_count(inuma) == 3   # triple-channel DDR3
+        assert machine_channel_count(anuma) == 4   # 2 controllers x 2
+
+
+class TestFit:
+    def test_recovers_planted_erlang_c(self, inuma):
+        # Synthesise measurements that follow the Erlang-C law exactly.
+        mu_c, c, ell, r = 0.01, 3, 0.0015, 1e9
+        samples = {}
+        for n in (1, 2, 12):
+            cycles = r * MMc(lam=n * ell, mu=mu_c, c=c).mean_response
+            samples[n] = _sample(cycles, misses=r)
+        model = fit_channel_aware(samples, inuma)
+        assert model.channels == 3
+        assert model.ell == pytest.approx(ell, rel=0.05)
+        assert model.mu_channel == pytest.approx(mu_c, rel=0.05)
+
+    def test_fit_errors_bounded_on_substrate(self, uma):
+        from repro.runtime.measurement import MeasurementRun
+
+        sweep = MeasurementRun("CG", "C", uma).sweep([1, 2, 4])
+        model = fit_channel_aware(sweep, uma)
+        for n in (1, 2, 4):
+            pred = model.predict_cycles(n)
+            meas = sweep[n].total_cycles
+            assert abs(pred - meas) / meas < 0.15
+
+    def test_needs_baseline(self, uma):
+        with pytest.raises(ModelError):
+            fit_channel_aware({2: _sample(1e11)}, uma)

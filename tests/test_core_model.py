@@ -1,0 +1,297 @@
+"""Analytical-model tests: regression, contention, uniproc, UMA, NUMA."""
+
+import pytest
+
+from repro.core.contention import (
+    contention_stall_cycles,
+    decompose,
+    degree_of_contention,
+    omega_curve,
+)
+from repro.core.model import colinearity_r2, fit_model, paper_fit_points
+from repro.core.numa import NUMAContentionModel, fit_numa
+from repro.core.regression import linear_fit
+from repro.core.uma import fit_uma
+from repro.core.uniproc import ModelError, fit_single_processor
+from repro.core.validate import validate_model
+from repro.counters.papi import CounterSample
+from repro.util.validation import ValidationError
+
+
+def _sample(total, misses=1e9, instructions=1e10):
+    stall = total * 0.6
+    return CounterSample(total_cycles=total, instructions=instructions,
+                         stall_cycles=stall, llc_misses=misses)
+
+
+def _mm1_samples(mu, ell, r, ns):
+    """Synthesise measurements following the paper's law exactly."""
+    return {n: _sample(r / (mu - n * ell), misses=r) for n in ns}
+
+
+class TestLinearFit:
+    def test_exact_line(self):
+        fit = linear_fit([1, 2, 3], [3.0, 5.0, 7.0])
+        assert fit.slope == pytest.approx(2.0)
+        assert fit.intercept == pytest.approx(1.0)
+        assert fit.r2 == pytest.approx(1.0)
+
+    def test_predict(self):
+        fit = linear_fit([0, 1], [1.0, 2.0])
+        assert fit.predict(10) == pytest.approx(11.0)
+        assert list(fit.predict_many([0, 2])) == pytest.approx([1.0, 3.0])
+
+    def test_needs_two_points(self):
+        with pytest.raises(ValidationError):
+            linear_fit([1], [1.0])
+
+    def test_degenerate_x_rejected(self):
+        with pytest.raises(ValidationError):
+            linear_fit([2, 2], [1.0, 3.0])
+
+
+class TestContention:
+    def test_omega_zero_at_baseline(self):
+        base = _sample(100.0)
+        assert degree_of_contention(base, base) == 0.0
+
+    def test_omega_definition(self):
+        base = _sample(100.0)
+        assert degree_of_contention(_sample(250.0), base) == pytest.approx(1.5)
+
+    def test_negative_omega_allowed(self):
+        # Paper Fig. 6: positive cache effects.
+        base = _sample(100.0)
+        assert degree_of_contention(_sample(90.0), base) == pytest.approx(-0.1)
+
+    def test_m_of_n(self):
+        assert contention_stall_cycles(_sample(250.0), _sample(100.0)) \
+            == pytest.approx(150.0)
+
+    def test_omega_curve_requires_baseline(self):
+        with pytest.raises(ValidationError):
+            omega_curve({2: _sample(10.0)})
+
+    def test_decompose_adds_up(self):
+        base = _sample(100.0)
+        d = decompose(_sample(250.0), base, n_cores=4)
+        assert d.total == pytest.approx(
+            d.work + d.base_stall + d.contention_stall)
+        assert d.contention_stall == pytest.approx(150.0)
+
+
+class TestSingleProcessorFit:
+    def test_recovers_planted_parameters(self):
+        mu, ell, r = 0.02, 0.001, 1e9
+        samples = _mm1_samples(mu, ell, r, ns=[1, 2, 4, 8])
+        model = fit_single_processor(samples)
+        assert model.mu == pytest.approx(mu, rel=1e-6)
+        assert model.ell == pytest.approx(ell, rel=1e-6)
+        assert model.fit.r2 == pytest.approx(1.0)
+
+    def test_prediction_interpolates(self):
+        samples = _mm1_samples(0.02, 0.001, 1e9, ns=[1, 8])
+        model = fit_single_processor(samples)
+        expected = 1e9 / (0.02 - 4 * 0.001)
+        assert model.predict_cycles(4) == pytest.approx(expected, rel=1e-6)
+
+    def test_saturation_guard(self):
+        samples = _mm1_samples(0.02, 0.002, 1e9, ns=[1, 4])
+        model = fit_single_processor(samples)
+        assert model.saturation_cores == pytest.approx(10.0, rel=1e-6)
+        with pytest.raises(ModelError):
+            model.predict_cycles(10)
+
+    def test_flat_measurements_give_zero_ell(self):
+        samples = {n: _sample(1e11) for n in (1, 2, 4)}
+        model = fit_single_processor(samples)
+        assert model.ell == 0.0
+        # Contention-free prediction: constant cycles.
+        assert model.predict_cycles(4) == pytest.approx(1e11)
+
+    def test_needs_two_points(self):
+        with pytest.raises(ModelError):
+            fit_single_processor({1: _sample(1e11)})
+
+
+class TestUMAModel:
+    def _samples(self):
+        # First package follows the M/M/1 law; the cross point adds a
+        # known Delta C.
+        mu, ell, r = 0.02, 0.0015, 1e9
+        samples = _mm1_samples(mu, ell, r, ns=[1, 4])
+        c4 = samples[4].total_cycles
+        c1 = samples[1].total_cycles
+        delta = 0.3 * c1
+        samples[5] = _sample(c4 + c1 + delta, misses=r)
+        return samples, delta
+
+    def test_delta_c_recovered(self):
+        samples, delta = self._samples()
+        model = fit_uma(samples, cores_per_processor=4, n_processors=2)
+        assert model.delta_c == pytest.approx(delta, rel=1e-6)
+
+    def test_composition_beyond_package(self):
+        samples, _ = self._samples()
+        model = fit_uma(samples, cores_per_processor=4, n_processors=2)
+        c8 = model.predict_cycles(8)
+        assert c8 == pytest.approx(
+            2 * model.single.predict_cycles(4) + model.delta_c, rel=1e-9)
+
+    def test_within_package_matches_uniproc(self):
+        samples, _ = self._samples()
+        model = fit_uma(samples, cores_per_processor=4, n_processors=2)
+        assert model.predict_cycles(3) == pytest.approx(
+            model.single.predict_cycles(3))
+
+    def test_omega_uses_measured_baseline(self):
+        samples, _ = self._samples()
+        model = fit_uma(samples, cores_per_processor=4, n_processors=2)
+        assert model.predict_omega(1) == pytest.approx(0.0, abs=1e-6)
+
+    def test_missing_cross_point_rejected(self):
+        samples = _mm1_samples(0.02, 0.001, 1e9, ns=[1, 4])
+        with pytest.raises(ModelError):
+            fit_uma(samples, cores_per_processor=4, n_processors=2)
+
+
+class TestNUMAModel:
+    def _samples(self, rho=50.0):
+        mu, ell, r = 0.05, 0.003, 1e9
+        samples = _mm1_samples(mu, ell, r, ns=[1, 2, 12])
+        c12 = samples[12].total_cycles
+        samples[13] = _sample(c12 + r * rho * 1, misses=r)
+        return samples, r, rho
+
+    def test_rho_recovered(self):
+        samples, r, rho = self._samples()
+        model = fit_numa(samples, cores_per_processor=12, n_processors=2)
+        assert model.rhos[0] == pytest.approx(rho, rel=1e-6)
+
+    def test_eq11_prediction(self):
+        samples, r, rho = self._samples()
+        model = fit_numa(samples, cores_per_processor=12, n_processors=2)
+        c20 = model.predict_cycles(20)
+        assert c20 == pytest.approx(
+            model.single.predict_cycles(12) + r * rho * 8, rel=1e-6)
+
+    def test_negative_residual_clamped(self):
+        # A dip at 13 (cheaper than C(12)) must not produce negative rho.
+        samples, r, _ = self._samples(rho=50.0)
+        c12 = samples[12].total_cycles
+        samples[13] = _sample(c12 * 0.9, misses=r)
+        model = fit_numa(samples, cores_per_processor=12, n_processors=2)
+        assert model.rhos[0] >= 0.0
+        assert model.predict_cycles(24) >= model.predict_cycles(13) - 1e-6
+
+    def test_hop_weighted_fit_recovers_rho(self):
+        # Synthesise measurements that follow the hop-weighted law with
+        # weights (1, 2, 1): the one-parameter regression must recover
+        # rho exactly.
+        mu, ell, r = 0.05, 0.002, 1e9
+        weights = (1.0, 2.0, 1.0)
+        rho = 40.0
+        samples = _mm1_samples(mu, ell, r, ns=[1, 12])
+        c12 = samples[12].total_cycles
+        samples[13] = _sample(c12 + r * rho * 1.0, misses=r)
+        samples[25] = _sample(c12 + r * rho * (12 + 2.0), misses=r)
+        samples[37] = _sample(c12 + r * rho * (12 + 24 + 1.0), misses=r)
+        model = fit_numa(samples, cores_per_processor=12, n_processors=4,
+                         hop_weights=weights)
+        assert model.rho == pytest.approx(rho, rel=1e-6)
+        assert model.rhos == pytest.approx(
+            tuple(rho * w for w in weights))
+
+    def test_homogeneous_ignores_weights(self):
+        samples, r, rho = self._samples()
+        model = fit_numa(samples, cores_per_processor=12, n_processors=2,
+                         homogeneous=True, hop_weights=(3.0,))
+        assert model.hop_weights == (1.0,)
+
+    def test_wrong_weight_count_rejected(self):
+        samples, r, rho = self._samples()
+        with pytest.raises(ModelError):
+            fit_numa(samples, cores_per_processor=12, n_processors=2,
+                     hop_weights=(1.0, 2.0))
+
+    def test_default_hop_weights_from_topology(self, inuma, anuma):
+        from repro.core.numa import default_hop_weights
+
+        assert default_hop_weights(inuma) == (1.0,)
+        weights = default_hop_weights(anuma)
+        assert len(weights) == 3
+        assert weights[0] == pytest.approx(1.0)
+        # The diagonal second remote package is farther than the first.
+        assert weights[1] > weights[0]
+
+    def test_cross_point_required(self):
+        samples = _mm1_samples(0.05, 0.003, 1e9, ns=[1, 2, 12])
+        with pytest.raises(ModelError):
+            fit_numa(samples, cores_per_processor=12, n_processors=2)
+
+
+class TestModelFacade:
+    def test_fit_points_match_paper(self, uma, inuma, anuma):
+        assert paper_fit_points(uma) == [1, 4, 5]
+        assert paper_fit_points(inuma) == [1, 2, 12, 13]
+        assert paper_fit_points(anuma) == [1, 2, 12, 13, 25, 37]
+
+    def test_reduced_fit_points(self, inuma, anuma):
+        assert paper_fit_points(inuma, reduced=True) == [1, 12, 13]
+        assert paper_fit_points(anuma, reduced=True) == [1, 12, 13]
+
+    def test_fit_model_dispatch(self, uma, inuma):
+        from repro.core.numa import NUMAContentionModel
+        from repro.core.uma import UMAContentionModel
+        from repro.runtime.measurement import MeasurementRun
+
+        sweep_uma = MeasurementRun("CG", "C", uma).sweep(
+            paper_fit_points(uma))
+        assert isinstance(fit_model(uma, sweep_uma), UMAContentionModel)
+        sweep_numa = MeasurementRun("CG", "C", inuma).sweep(
+            paper_fit_points(inuma))
+        assert isinstance(fit_model(inuma, sweep_numa), NUMAContentionModel)
+
+    def test_fit_model_callable_source(self, uma):
+        from repro.runtime.measurement import MeasurementRun
+
+        run = MeasurementRun("CG", "C", uma)
+        model = fit_model(uma, run.measure)
+        assert model.predict_cycles(8) > 0
+
+    def test_missing_points_rejected(self, uma):
+        with pytest.raises(ModelError):
+            fit_model(uma, {1: _sample(1e11)})
+
+    def test_colinearity_requires_three_points(self):
+        with pytest.raises(ValidationError):
+            colinearity_r2({1: _sample(1.0), 2: _sample(2.0)})
+
+    def test_colinearity_perfect_for_planted_mm1(self):
+        samples = _mm1_samples(0.02, 0.001, 1e9, ns=[1, 2, 3, 4])
+        assert colinearity_r2(samples) == pytest.approx(1.0)
+
+
+class TestValidationReport:
+    def test_zero_error_for_self_consistent_data(self):
+        mu, ell, r = 0.02, 0.001, 1e9
+        samples = _mm1_samples(mu, ell, r, ns=[1, 2, 3, 4])
+        model = fit_single_processor(samples)
+        # Wrap the uniproc model in the NUMA facade for validate_model.
+        numa = NUMAContentionModel(
+            single=model, cores_per_processor=4, n_processors=1,
+            rho=0.0, hop_weights=(), r=r,
+            baseline_cycles=samples[1].total_cycles)
+        report = validate_model(numa, samples)
+        assert report.mean_relative_error_cycles == pytest.approx(0.0,
+                                                                  abs=1e-9)
+
+    def test_needs_baseline(self):
+        samples = _mm1_samples(0.02, 0.001, 1e9, ns=[2, 3])
+        model_samples = _mm1_samples(0.02, 0.001, 1e9, ns=[1, 2, 3])
+        numa = NUMAContentionModel(
+            single=fit_single_processor(model_samples),
+            cores_per_processor=4, n_processors=1, rho=0.0,
+            hop_weights=(), r=1e9, baseline_cycles=1.0)
+        with pytest.raises(ValidationError):
+            validate_model(numa, samples)

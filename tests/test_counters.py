@@ -1,0 +1,161 @@
+"""Counter-substrate tests: PAPI events, papiex, likwid, burst sampler."""
+
+import numpy as np
+import pytest
+
+from repro.counters.likwid import TopologyMap
+from repro.counters.papi import (
+    PAPER_EVENTS,
+    CounterSample,
+    EventSet,
+    PapiError,
+    PapiEvent,
+    llc_event_for,
+)
+from repro.counters.papiex import Papiex
+from repro.counters.sampler import BurstSampler
+
+
+class TestCounterSample:
+    def _sample(self):
+        return CounterSample(total_cycles=100.0, instructions=80.0,
+                             stall_cycles=30.0, llc_misses=5.0)
+
+    def test_work_cycles_derived(self):
+        assert self._sample().work_cycles == 70.0
+
+    def test_event_resolution(self):
+        s = self._sample()
+        assert s.value(PapiEvent.PAPI_TOT_CYC) == 100.0
+        assert s.value(PapiEvent.PAPI_RES_STL) == 30.0
+        # All three miss events resolve to the same native counter.
+        assert s.value(PapiEvent.PAPI_L2_TCM) == 5.0
+        assert s.value(PapiEvent.LLC_MISSES) == 5.0
+        assert s.value(PapiEvent.L3_CACHE_MISSES) == 5.0
+
+    def test_stall_cannot_exceed_total(self):
+        with pytest.raises(PapiError):
+            CounterSample(total_cycles=10.0, instructions=1.0,
+                          stall_cycles=11.0, llc_misses=0.0)
+
+    def test_as_dict(self):
+        d = self._sample().as_dict()
+        assert d["WORK_CYC"] == 70.0
+        assert d["PAPI_TOT_INS"] == 80.0
+
+
+class TestEventSet:
+    def test_add_start_stop_flow(self):
+        es = EventSet()
+        es.add(PapiEvent.PAPI_TOT_CYC)
+        es.start()
+        values = es.stop(CounterSample(10.0, 5.0, 2.0, 1.0))
+        assert values == {PapiEvent.PAPI_TOT_CYC: 10.0}
+
+    def test_duplicate_event_rejected(self):
+        es = EventSet((PapiEvent.PAPI_TOT_CYC,))
+        with pytest.raises(PapiError):
+            es.add(PapiEvent.PAPI_TOT_CYC)
+
+    def test_start_empty_rejected(self):
+        with pytest.raises(PapiError):
+            EventSet().start()
+
+    def test_stop_without_start_rejected(self):
+        es = EventSet((PapiEvent.PAPI_TOT_CYC,))
+        with pytest.raises(PapiError):
+            es.stop(CounterSample(1.0, 1.0, 0.0, 0.0))
+
+    def test_add_while_running_rejected(self):
+        es = EventSet((PapiEvent.PAPI_TOT_CYC,))
+        es.start()
+        with pytest.raises(PapiError):
+            es.add(PapiEvent.PAPI_TOT_INS)
+
+
+class TestLLCEventSelection:
+    def test_per_machine_native_events(self, uma, inuma, anuma):
+        assert llc_event_for(uma) is PapiEvent.PAPI_L2_TCM
+        assert llc_event_for(inuma) is PapiEvent.LLC_MISSES
+        assert llc_event_for(anuma) is PapiEvent.L3_CACHE_MISSES
+
+
+class TestPapiex:
+    def test_run_returns_paper_counters(self, inuma):
+        px = Papiex(inuma)
+        run = px.run("CG", "C", n_active=4, repetitions=2)
+        assert run.n_active == 4
+        assert run.sample.total_cycles > 0
+        assert PapiEvent.PAPI_TOT_CYC in run.events
+
+    def test_default_events_use_native_llc(self, anuma):
+        px = Papiex(anuma)
+        assert PapiEvent.L3_CACHE_MISSES in px.events
+        assert PapiEvent.LLC_MISSES not in px.events
+
+    def test_report_renders(self, uma):
+        run = Papiex(uma).run("IS", "W", n_active=2, repetitions=1)
+        text = run.report()
+        assert "papiex" in text
+        assert "PAPI_TOT_CYC" in text
+
+    def test_paper_event_tuple(self):
+        assert PapiEvent.PAPI_TOT_CYC in PAPER_EVENTS
+        assert PapiEvent.PAPI_RES_STL in PAPER_EVENTS
+
+
+class TestTopologyMap:
+    def test_smt_groups_on_intel(self, inuma):
+        groups = TopologyMap(inuma).smt_groups()
+        assert len(groups) == 12              # 12 physical cores
+        assert all(len(g) == 2 for g in groups)
+
+    def test_no_smt_groups_elsewhere(self, anuma):
+        groups = TopologyMap(anuma).smt_groups()
+        assert all(len(g) == 1 for g in groups)
+
+    def test_local_controllers(self, anuma):
+        tm = TopologyMap(anuma)
+        assert tm.local_controllers(0) == (0, 1)
+        assert tm.local_controllers(47) == (6, 7)
+
+    def test_package_of(self, inuma):
+        tm = TopologyMap(inuma)
+        assert tm.package_of(0) == 0
+        assert tm.package_of(23) == 1
+
+    def test_render(self, uma):
+        text = TopologyMap(uma).render()
+        assert "logical" in text
+        assert len(text.splitlines()) == 2 + 8  # header rows + 8 cores
+
+
+class TestBurstSampler:
+    def test_trace_shape_and_rate(self, inuma):
+        sampler = BurstSampler(inuma)
+        trace = sampler.sample("CG", "C", n_windows=2000)
+        assert trace.n_windows == 2000
+        assert trace.counts.dtype.kind == "i"
+        assert trace.total_misses > 0
+        assert trace.mean_rate_per_us > 0
+
+    def test_counts_capped_at_capacity(self, inuma):
+        sampler = BurstSampler(inuma)
+        trace = sampler.sample("CG", "C", n_windows=2000)
+        cap = inuma.total_service_rate() * inuma.frequency.cycles_in(5e-6)
+        assert trace.counts.max() <= cap
+
+    def test_small_class_sparse_large_class_dense(self, inuma):
+        sampler = BurstSampler(inuma)
+        small = sampler.sample("CG", "S", n_windows=4000)
+        large = sampler.sample("CG", "C", n_windows=4000)
+        frac_empty_small = float((small.counts == 0).mean())
+        frac_empty_large = float((large.counts == 0).mean())
+        assert frac_empty_small > 0.5
+        assert frac_empty_large < 0.05
+
+    def test_deterministic_given_seed(self, inuma):
+        sampler = BurstSampler(inuma)
+        a = sampler.sample("CG", "W", n_windows=500, rng=9).counts
+        b = sampler.sample("CG", "W", n_windows=500, rng=9).counts
+        assert np.array_equal(a, b)

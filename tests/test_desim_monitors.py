@@ -1,0 +1,75 @@
+"""Tests for time-series and count monitors."""
+
+import numpy as np
+import pytest
+
+from repro.desim.monitors import CountMonitor, TimeSeriesMonitor
+from repro.util.validation import ValidationError
+
+
+class TestTimeSeriesMonitor:
+    def test_records_in_order(self):
+        m = TimeSeriesMonitor()
+        m.record(1.0, 10.0)
+        m.record(2.0, 20.0)
+        assert len(m) == 2
+        assert list(m.times()) == [1.0, 2.0]
+        assert list(m.values()) == [10.0, 20.0]
+        assert m.stats.mean == 15.0
+
+    def test_rejects_time_regression(self):
+        m = TimeSeriesMonitor()
+        m.record(5.0, 1.0)
+        with pytest.raises(ValidationError):
+            m.record(4.0, 1.0)
+
+    def test_equal_times_allowed(self):
+        m = TimeSeriesMonitor()
+        m.record(1.0, 1.0)
+        m.record(1.0, 2.0)
+        assert len(m) == 2
+
+
+class TestCountMonitor:
+    def test_counts_in_windows_basic(self):
+        m = CountMonitor()
+        for t in (0.5, 1.5, 1.7, 4.2):
+            m.record(t)
+        counts = m.counts_in_windows(window=1.0, horizon=5.0)
+        assert list(counts) == [1, 2, 0, 0, 1]
+
+    def test_default_horizon_covers_all(self):
+        m = CountMonitor()
+        m.record(2.4)
+        counts = m.counts_in_windows(window=1.0)
+        assert counts.sum() == 1
+        assert counts.size >= 3
+
+    def test_empty_monitor(self):
+        counts = CountMonitor().counts_in_windows(window=1.0)
+        assert counts.size == 0
+
+    def test_event_on_window_boundary(self):
+        m = CountMonitor()
+        m.record(1.0)
+        counts = m.counts_in_windows(window=1.0, horizon=2.0)
+        # 1.0 belongs to window [1, 2).
+        assert list(counts) == [0, 1]
+
+    def test_total_conserved(self, rng):
+        m = CountMonitor()
+        times = np.sort(rng.random(500) * 30.0)
+        for t in times:
+            m.record(float(t))
+        counts = m.counts_in_windows(window=0.7, horizon=30.1)
+        assert counts.sum() == 500
+
+    def test_rejects_time_regression(self):
+        m = CountMonitor()
+        m.record(3.0)
+        with pytest.raises(ValidationError):
+            m.record(2.0)
+
+    def test_rejects_bad_window(self):
+        with pytest.raises(ValidationError):
+            CountMonitor().counts_in_windows(window=0.0)

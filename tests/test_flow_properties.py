@@ -1,0 +1,136 @@
+"""Property-based tests of the flow solver's physical invariants."""
+
+import dataclasses
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.machine import CoreAllocation, intel_numa, intel_uma
+from repro.runtime.flow import solve_flow
+from repro.workloads import get_workload
+from repro.workloads.base import BurstProfile, MemoryProfile
+
+MACHINES = {"uma": intel_uma(), "numa": intel_numa()}
+
+
+def make_profile(instructions=1e10, ipc=1.2, base_stall=0.3, misses=1e8,
+                 mlp=4.0, amp=1.5, sdf=0.5, penalty=1.0, smt=0.1,
+                 bonus=0.0, scv=1.5):
+    return MemoryProfile(
+        program="synthetic", size="T",
+        instructions=instructions, work_ipc=ipc,
+        base_stall_per_instr=base_stall, llc_misses=misses,
+        burst=BurstProfile(False, 2.0, 0.5, scv),
+        working_set_bytes=1e8,
+        smt_work_inflation=smt, cache_bonus=bonus, mlp=mlp,
+        write_amplification=amp, shared_data_fraction=sdf,
+        remote_penalty=penalty)
+
+
+@st.composite
+def profiles(draw):
+    return make_profile(
+        instructions=draw(st.floats(1e9, 1e11)),
+        ipc=draw(st.floats(0.5, 3.0)),
+        base_stall=draw(st.floats(0.0, 1.0)),
+        misses=draw(st.floats(1e5, 5e9)),
+        mlp=draw(st.floats(1.0, 16.0)),
+        amp=draw(st.floats(1.0, 4.0)),
+        sdf=draw(st.floats(0.0, 1.0)),
+        penalty=draw(st.floats(0.0, 16.0)),
+        scv=draw(st.floats(0.0, 30.0)),
+    )
+
+
+class TestInvariants:
+    @given(profiles(), st.sampled_from(["uma", "numa"]),
+           st.integers(1, 8))
+    @settings(max_examples=40, deadline=None)
+    def test_cycle_identity_always(self, profile, mkey, n):
+        machine = MACHINES[mkey]
+        res = solve_flow(profile, machine,
+                         CoreAllocation.paper_policy(machine, n))
+        assert res.total_cycles == pytest.approx(
+            res.work_cycles + res.base_stall_cycles
+            + res.memory_stall_cycles, rel=1e-9)
+        assert res.memory_stall_cycles >= 0
+        assert res.total_cycles > 0
+
+    @given(profiles(), st.integers(1, 23))
+    @settings(max_examples=30, deadline=None)
+    def test_utilisation_physical(self, profile, n):
+        machine = MACHINES["numa"]
+        res = solve_flow(profile, machine,
+                         CoreAllocation.paper_policy(machine, n))
+        for util in res.controller_utilisation.values():
+            assert 0.0 <= util <= 1.0 + 1e-9
+
+    @given(profiles())
+    @settings(max_examples=30, deadline=None)
+    def test_more_misses_never_cheaper(self, profile):
+        machine = MACHINES["numa"]
+        alloc = CoreAllocation.paper_policy(machine, 12)
+        lo = solve_flow(profile, machine, alloc)
+        hi = solve_flow(profile.with_misses(profile.llc_misses * 4),
+                        machine, alloc)
+        assert hi.total_cycles >= lo.total_cycles
+
+    @given(profiles(), st.integers(13, 24))
+    @settings(max_examples=25, deadline=None)
+    def test_remote_penalty_never_helps(self, profile, n):
+        machine = MACHINES["numa"]
+        alloc = CoreAllocation.paper_policy(machine, n)
+        cheap = solve_flow(profile.with_remote_penalty(0.0), machine, alloc)
+        costly = solve_flow(profile.with_remote_penalty(8.0), machine, alloc)
+        assert costly.total_cycles >= cheap.total_cycles * (1 - 1e-9)
+
+    @given(profiles())
+    @settings(max_examples=25, deadline=None)
+    def test_amplification_never_helps(self, profile):
+        machine = MACHINES["uma"]
+        alloc = CoreAllocation.paper_policy(machine, 8)
+        lean = solve_flow(dataclasses.replace(profile,
+                                              write_amplification=1.0),
+                          machine, alloc)
+        heavy = solve_flow(dataclasses.replace(profile,
+                                               write_amplification=3.0),
+                           machine, alloc)
+        assert heavy.total_cycles >= lean.total_cycles * (1 - 1e-9)
+
+    @given(profiles(), st.sampled_from(["uma", "numa"]))
+    @settings(max_examples=25, deadline=None)
+    def test_single_core_baseline_minimal_stall(self, profile, mkey):
+        # At n=1 there is no foreign contention: memory stalls are the
+        # uncontended request cost, so omega-like excess must come only
+        # from queueing against the core's own background traffic.
+        machine = MACHINES[mkey]
+        res = solve_flow(profile, machine,
+                         CoreAllocation.paper_policy(machine, 1))
+        assert res.memory_stall_cycles < res.total_cycles
+
+    @given(profiles(), st.integers(2, 24))
+    @settings(max_examples=25, deadline=None)
+    def test_misses_conserved_without_growth(self, profile, n):
+        machine = MACHINES["numa"]
+        res = solve_flow(profile, machine,
+                         CoreAllocation.paper_policy(machine, n))
+        assert res.llc_misses == pytest.approx(profile.llc_misses)
+
+
+class TestCalibratedProfiles:
+    @pytest.mark.parametrize("program", ["IS", "FT", "CG", "SP"])
+    def test_omega_curves_monotone_beyond_noise(self, program, inuma):
+        from repro.runtime.calibration import calibrate_profile
+
+        profile = calibrate_profile(program, "C", inuma)
+        base = solve_flow(profile, inuma,
+                          CoreAllocation.paper_policy(inuma, 1)).total_cycles
+        prev = -1.0
+        for n in (2, 6, 12, 18, 24):
+            omega = solve_flow(
+                profile, inuma,
+                CoreAllocation.paper_policy(inuma, n)).total_cycles \
+                / base - 1.0
+            assert omega >= prev - 0.08, (program, n)
+            prev = omega

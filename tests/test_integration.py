@@ -1,0 +1,117 @@
+"""End-to-end integration tests: the paper's headline results.
+
+These are the claims the reproduction stands on; each test exercises the
+full pipeline (workload profile -> calibration -> measurement substrate
+-> analytical model -> validation).
+"""
+
+import pytest
+
+import repro
+from repro import (
+    MeasurementRun,
+    colinearity_r2,
+    fit_model,
+    intel_numa,
+    intel_uma,
+    paper_fit_points,
+    validate_model,
+)
+
+
+class TestPublicAPI:
+    def test_quickstart_from_docstring(self):
+        machine = intel_numa()
+        run = MeasurementRun("CG", "C", machine)
+        sweep = run.sweep([1, 2, 6, 12, 13, 18, 24])
+        model = fit_model(machine, sweep)
+        report = validate_model(model, sweep)
+        assert report.mean_relative_error_cycles < 0.25
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+    def test_version(self):
+        assert repro.__version__.count(".") == 2
+
+
+class TestHeadlineResults:
+    def test_model_error_in_paper_band_cg(self, any_machine):
+        """Paper: 5-14% average error for high-contention programs."""
+        run = MeasurementRun("CG", "C", any_machine)
+        pts = sorted(set(
+            list(range(1, any_machine.n_cores + 1,
+                       max(any_machine.n_cores // 8, 1)))
+            + [any_machine.n_cores] + paper_fit_points(any_machine)))
+        sweep = run.sweep(pts)
+        model = fit_model(any_machine, sweep)
+        report = validate_model(model, sweep)
+        assert report.mean_relative_error_cycles <= 0.16
+
+    def test_sp_contention_exceeds_tenfold(self):
+        """Abstract: SP.C's cycles grow more than 10x on 24 cores."""
+        run = MeasurementRun("SP", "C", intel_numa())
+        base = run.measure(1)
+        full = run.measure(24)
+        assert full.total_cycles / base.total_cycles > 10.0
+
+    def test_contention_ordering_matches_paper(self):
+        """Table II, Intel NUMA column: SP > FT > CG > IS > EP."""
+        machine = intel_numa()
+        omegas = {}
+        for program in ("SP", "CG", "FT", "IS", "EP"):
+            run = MeasurementRun(program, "C", machine)
+            base = run.measure(1)
+            full = run.measure(24)
+            omegas[program] = (full.total_cycles - base.total_cycles) \
+                / base.total_cycles
+        assert omegas["SP"] > omegas["FT"] > omegas["CG"] \
+            > omegas["IS"] > omegas["EP"]
+
+    def test_small_classes_contend_little(self):
+        """Table II: W classes stay far below the large classes."""
+        machine = intel_uma()
+        for program in ("CG", "SP"):
+            w_run = MeasurementRun(program, "W", machine)
+            c_run = MeasurementRun(program, "C", machine)
+            omega_w = w_run.omega(8)
+            omega_c = c_run.omega(8)
+            assert omega_w < omega_c / 3
+
+    def test_colinearity_separates_bursty_programs(self):
+        """Table IV: contended programs' 1/C(n) is nearly linear,
+        EP's and x264's is visibly less so."""
+        machine = intel_uma()
+        r2 = {}
+        for program, size in (("CG", "C"), ("EP", "C"), ("x264", "native")):
+            run = MeasurementRun(program, size, machine)
+            sweep = run.sweep([1, 2, 3, 4])
+            r2[program] = colinearity_r2(sweep, max_n=4)
+        assert r2["CG"] > r2["EP"]
+        assert r2["CG"] > r2["x264"]
+
+    def test_numa_relief_at_second_controller(self):
+        """Fig. 5b: activating the second controller does not let
+        contention keep climbing at the single-package slope."""
+        run = MeasurementRun("CG", "C", intel_numa())
+        base = run.measure(1).total_cycles
+
+        def omega(n):
+            return (run.measure(n).total_cycles - base) / base
+
+        o11, o12, o13 = omega(11), omega(12), omega(13)
+        slope_in_package = o12 - o11
+        jump_at_boundary = o13 - o12
+        assert jump_at_boundary < slope_in_package
+
+    def test_burstiness_depends_on_problem_size(self):
+        """The paper's central traffic observation, end to end."""
+        from repro import BurstSampler
+        from repro.burst import is_heavy_tailed
+
+        sampler = BurstSampler(intel_numa())
+        small = sampler.sample("CG", "S", n_windows=30_000)
+        large = sampler.sample("CG", "C", n_windows=30_000)
+        assert is_heavy_tailed(small.counts)
+        assert not is_heavy_tailed(large.counts)

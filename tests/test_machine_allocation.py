@@ -1,0 +1,79 @@
+"""Core-allocation tests: fill-processor-first, controller activation."""
+
+import pytest
+
+from repro.machine.allocation import AffinityError, CoreAllocation, fill_processor_first
+from repro.util.validation import ValidationError
+
+
+class TestFillProcessorFirst:
+    def test_returns_prefix(self, inuma):
+        assert fill_processor_first(inuma, 5) == [0, 1, 2, 3, 4]
+
+    def test_bounds(self, uma):
+        with pytest.raises(ValidationError):
+            fill_processor_first(uma, 0)
+        with pytest.raises(ValidationError):
+            fill_processor_first(uma, 9)
+
+
+class TestCoreAllocation:
+    def test_paper_policy_fixes_threads(self, anuma):
+        alloc = CoreAllocation.paper_policy(anuma, 10)
+        assert alloc.n_threads == 48
+        assert alloc.oversubscription == pytest.approx(4.8)
+
+    def test_cores_per_processor_staircase(self, inuma):
+        assert CoreAllocation.paper_policy(
+            inuma, 12).cores_per_processor() == [12, 0]
+        assert CoreAllocation.paper_policy(
+            inuma, 13).cores_per_processor() == [12, 1]
+        assert CoreAllocation.paper_policy(
+            inuma, 24).cores_per_processor() == [12, 12]
+
+    def test_active_processors(self, anuma):
+        assert CoreAllocation.paper_policy(anuma, 12).active_processors() \
+            == [0]
+        assert CoreAllocation.paper_policy(anuma, 25).active_processors() \
+            == [0, 1, 2]
+
+    def test_amd_controllers_activate_in_pairs(self, anuma):
+        # Paper: "0 and 1, then also 2 and 3, then also 4 and 5, ...".
+        assert CoreAllocation.paper_policy(anuma, 1).active_controllers() \
+            == [0, 1]
+        assert CoreAllocation.paper_policy(anuma, 13).active_controllers() \
+            == [0, 1, 2, 3]
+        assert CoreAllocation.paper_policy(anuma, 48).active_controllers() \
+            == list(range(8))
+
+    def test_uma_single_controller(self, uma):
+        for n in (1, 5, 8):
+            assert CoreAllocation.paper_policy(uma, n).active_controllers() \
+                == [0]
+
+    def test_local_fraction_single_package(self, inuma):
+        assert CoreAllocation.paper_policy(inuma, 12).local_fraction() == 1.0
+
+    def test_local_fraction_even_split(self, inuma):
+        assert CoreAllocation.paper_policy(
+            inuma, 24).local_fraction() == pytest.approx(0.5)
+
+    def test_mean_remote_hops_zero_on_one_package(self, anuma):
+        assert CoreAllocation.paper_policy(anuma, 12).mean_remote_hops() \
+            == 0.0
+
+    def test_mean_remote_hops_grows_with_span(self, anuma):
+        h24 = CoreAllocation.paper_policy(anuma, 24).mean_remote_hops()
+        h48 = CoreAllocation.paper_policy(anuma, 48).mean_remote_hops()
+        assert 0.0 < h24 < h48
+
+    def test_uma_remote_hops_zero(self, uma):
+        assert CoreAllocation.paper_policy(uma, 8).mean_remote_hops() == 0.0
+
+    def test_threads_below_cores_rejected(self, uma):
+        with pytest.raises(AffinityError):
+            CoreAllocation(machine=uma, n_active=4, n_threads=2)
+
+    def test_out_of_range_cores_rejected(self, uma):
+        with pytest.raises(ValidationError):
+            CoreAllocation.paper_policy(uma, 99)

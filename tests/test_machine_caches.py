@@ -1,0 +1,171 @@
+"""Cache simulator tests: LRU semantics and hierarchy behaviour."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.machine.caches import CacheConfig, CacheHierarchy, SetAssociativeCache
+from repro.machine.topology import CacheLevel
+from repro.util.validation import ValidationError
+
+
+def small_cache(size_kib=1, assoc=2, line=64):
+    return SetAssociativeCache(
+        CacheConfig("L", size_kib, assoc, line).to_level())
+
+
+class TestSetAssociativeCache:
+    def test_first_touch_misses_second_hits(self):
+        c = small_cache()
+        hits = c.access(np.array([0, 0]))
+        assert list(hits) == [False, True]
+
+    def test_same_line_different_bytes_hit(self):
+        c = small_cache()
+        hits = c.access(np.array([0, 8, 63]))
+        assert list(hits) == [False, True, True]
+
+    def test_adjacent_lines_both_miss(self):
+        c = small_cache()
+        hits = c.access(np.array([0, 64]))
+        assert list(hits) == [False, False]
+
+    def test_lru_eviction_in_set(self):
+        # 1 KiB, 2-way, 64 B lines -> 8 sets; addresses 0, 512, 1024 all
+        # map to set 0.
+        c = small_cache(size_kib=1, assoc=2)
+        conflict = np.array([0, 512, 1024])
+        c.access(conflict)       # fills set 0, evicts line 0 on third
+        hits = c.access(np.array([512, 1024, 0]))
+        assert list(hits) == [True, True, False]
+
+    def test_lru_refresh_on_hit(self):
+        c = small_cache(size_kib=1, assoc=2)
+        # Touch 0, 512, re-touch 0 (making 512 LRU), then 1024 evicts 512.
+        c.access(np.array([0, 512, 0, 1024]))
+        hits = c.access(np.array([0, 512]))
+        assert list(hits) == [True, False]
+
+    def test_working_set_within_capacity_all_hits(self):
+        c = small_cache(size_kib=4, assoc=4)
+        addrs = np.arange(0, 4096, 64)
+        c.access(addrs)
+        hits = c.access(addrs)
+        assert hits.all()
+
+    def test_streaming_larger_than_cache_never_hits(self):
+        c = small_cache(size_kib=1, assoc=2)
+        addrs = np.arange(0, 64 * 1024, 64)
+        hits = c.access(addrs)
+        assert not hits.any()
+
+    def test_miss_ratio_counter(self):
+        c = small_cache()
+        c.access(np.array([0, 0, 64, 64]))
+        assert c.accesses == 4
+        assert c.miss_ratio == 0.5
+
+    def test_reset_clears_state(self):
+        c = small_cache()
+        c.access(np.array([0]))
+        c.reset()
+        assert c.accesses == 0
+        assert list(c.access(np.array([0]))) == [False]
+
+    def test_rejects_negative_addresses(self):
+        with pytest.raises(ValidationError):
+            small_cache().access(np.array([-64]))
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValidationError):
+            small_cache().access(np.zeros((2, 2)))
+
+    def test_rejects_non_power_of_two_line(self):
+        with pytest.raises(ValidationError):
+            SetAssociativeCache(CacheLevel("L", 960, 2, 60, 1.0, 1))
+
+    @given(st.lists(st.integers(0, 1 << 20), min_size=1, max_size=300))
+    @settings(max_examples=40, deadline=None)
+    def test_hits_plus_misses_equals_accesses(self, addrs):
+        c = small_cache(size_kib=2, assoc=2)
+        c.access(np.array(addrs))
+        assert c.hits + c.misses == len(addrs)
+
+    @given(st.lists(st.integers(0, 1 << 16), min_size=1, max_size=200))
+    @settings(max_examples=40, deadline=None)
+    def test_replay_immediately_after_is_all_hits_when_small(self, addrs):
+        # Any trace touching at most `assoc` distinct lines per set hits
+        # fully on replay.  Use a trace of one line repeated.
+        c = small_cache()
+        line = (addrs[0] >> 6) << 6
+        c.access(np.array([line]))
+        assert c.access(np.array([line]))[0]
+
+
+class TestCacheHierarchy:
+    def _hier(self):
+        return CacheHierarchy([
+            CacheConfig("L1", 1, 2).to_level(),
+            CacheConfig("L2", 8, 4).to_level(),
+        ])
+
+    def test_l2_sees_only_l1_misses(self):
+        h = self._hier()
+        addrs = np.array([0, 0, 64])
+        out = h.access(addrs)
+        assert list(out["L1"]) == [False, True, False]
+        # L2 saw the two L1 misses only.
+        assert out["L2"].shape == (2,)
+
+    def test_llc_miss_mask_aligns_with_trace(self):
+        h = self._hier()
+        addrs = np.array([0, 0, 64, 0])
+        out = h.access(addrs)
+        assert out["llc_miss_mask"].shape == addrs.shape
+        assert list(out["llc_miss_indices"]) == [0, 2]
+
+    def test_llc_misses_counter(self):
+        h = self._hier()
+        h.access(np.arange(0, 64 * 256, 64))
+        assert h.llc_misses() > 0
+
+    def test_l1_resident_set_shields_l2(self):
+        h = self._hier()
+        addrs = np.tile(np.arange(0, 512, 64), 50)
+        h.access(addrs)
+        # After warmup, the 8-line working set lives in L1: replay adds
+        # no new LLC misses.
+        before = h.llc_misses()
+        h.access(addrs)
+        assert h.llc_misses() == before
+
+    def test_misordered_levels_rejected(self):
+        with pytest.raises(ValidationError):
+            CacheHierarchy([
+                CacheConfig("L1", 8, 4).to_level(),
+                CacheConfig("L2", 1, 2).to_level(),
+            ])
+
+    def test_empty_hierarchy_rejected(self):
+        with pytest.raises(ValidationError):
+            CacheHierarchy([])
+
+    def test_workload_traces_ordering(self, rng):
+        # The miss-rate ordering across workloads' traces must reflect
+        # their locality stories: EP (cache resident) far below IS
+        # (random scatter).
+        from repro.workloads import get_workload
+
+        h = CacheHierarchy([CacheConfig("L1", 32, 8).to_level(),
+                            CacheConfig("L2", 256, 8).to_level()])
+        rates = {}
+        for name in ("EP", "CG", "SP"):
+            h.reset()
+            # Long enough that cold misses amortise away.
+            trace = get_workload(name).address_trace(100_000, rng=rng)
+            h.access(trace)
+            rates[name] = h.caches[-1].misses / 100_000
+        # EP is cache-resident; CG's irregular gather misses heavily.
+        assert rates["EP"] < rates["CG"] / 10
+        assert rates["EP"] < rates["SP"]

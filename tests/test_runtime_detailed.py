@@ -1,0 +1,76 @@
+"""DES cross-validation tests: event-level vs analytical flow solver."""
+
+import numpy as np
+import pytest
+
+from repro.machine import intel_numa, intel_uma
+from repro.runtime.calibration import calibrate_profile
+from repro.runtime.detailed import (
+    compare_with_flow,
+    run_detailed_single_package,
+)
+from repro.util.validation import ValidationError
+
+
+@pytest.fixture(scope="module")
+def cg_profile():
+    return calibrate_profile("CG", "C", intel_numa())
+
+
+class TestDetailedRun:
+    def test_result_contract(self, cg_profile, inuma):
+        res = run_detailed_single_package(cg_profile, inuma, 4,
+                                          episodes_per_core=100, rng=3)
+        assert res.n_cores == 4
+        assert res.episodes_completed == 4 * 100
+        assert res.total_cycles > 0
+        assert 0.0 < res.controller_utilisation <= 1.0
+        assert res.wait_samples.shape == (400,)
+        assert np.all(res.wait_samples > 0)
+
+    def test_deterministic_given_seed(self, cg_profile, inuma):
+        a = run_detailed_single_package(cg_profile, inuma, 2,
+                                        episodes_per_core=50, rng=9)
+        b = run_detailed_single_package(cg_profile, inuma, 2,
+                                        episodes_per_core=50, rng=9)
+        assert a.total_cycles == b.total_cycles
+
+    def test_waits_grow_with_cores(self, cg_profile, inuma):
+        lo = run_detailed_single_package(cg_profile, inuma, 1,
+                                         episodes_per_core=150, rng=3)
+        hi = run_detailed_single_package(cg_profile, inuma, 12,
+                                         episodes_per_core=150, rng=3)
+        assert hi.mean_episode_response > lo.mean_episode_response
+        assert hi.controller_utilisation > lo.controller_utilisation
+
+    def test_out_of_package_rejected(self, cg_profile, inuma):
+        with pytest.raises(ValidationError):
+            run_detailed_single_package(cg_profile, inuma, 13)
+
+    def test_uma_machine_supported(self, uma):
+        profile = calibrate_profile("CG", "C", uma)
+        res = run_detailed_single_package(profile, uma, 3,
+                                          episodes_per_core=80, rng=3)
+        assert res.total_cycles > 0
+
+
+class TestCrossValidation:
+    @pytest.mark.parametrize("n", [1, 4, 12])
+    def test_des_tracks_flow(self, cg_profile, inuma, n):
+        cmp = compare_with_flow(cg_profile, inuma, n,
+                                episodes_per_core=250, rng=5)
+        # The analytical chain carries congestion heuristics the DES only
+        # partially shares; agreement within ~35% over the whole load
+        # range is the designed-for envelope.
+        assert cmp["cycle_ratio"] == pytest.approx(1.0, abs=0.35)
+
+    def test_both_paths_agree_on_scaling(self, cg_profile, inuma):
+        lo = compare_with_flow(cg_profile, inuma, 1,
+                               episodes_per_core=250, rng=5)
+        hi = compare_with_flow(cg_profile, inuma, 12,
+                               episodes_per_core=250, rng=5)
+        des_growth = hi["des_cycle_per_episode"] / lo["des_cycle_per_episode"]
+        flow_growth = hi["flow_cycle_per_episode"] \
+            / lo["flow_cycle_per_episode"]
+        assert des_growth == pytest.approx(flow_growth, rel=0.35)
+        assert des_growth > 1.5

@@ -1,0 +1,133 @@
+"""Flow-solver tests: bookkeeping identities, shapes, determinism."""
+
+import pytest
+
+from repro.machine import CoreAllocation
+from repro.runtime.flow import (
+    cross_package_share,
+    smt_paired_fraction,
+    solve_flow,
+)
+from repro.workloads import get_workload
+
+
+def _flow(machine, n, program="CG", size="C", **overrides):
+    profile = get_workload(program).profile(size, machine)
+    for name, value in overrides.items():
+        profile = getattr(profile, name)(value)
+    return solve_flow(profile, machine, CoreAllocation.paper_policy(machine, n))
+
+
+class TestBookkeeping:
+    def test_cycle_identity(self, any_machine):
+        # total = W + B + M exactly, by construction.
+        res = _flow(any_machine, any_machine.n_cores // 2)
+        assert res.total_cycles == pytest.approx(
+            res.work_cycles + res.base_stall_cycles
+            + res.memory_stall_cycles, rel=1e-9)
+
+    def test_stall_property(self, inuma):
+        res = _flow(inuma, 8)
+        assert res.stall_cycles == pytest.approx(
+            res.base_stall_cycles + res.memory_stall_cycles)
+
+    def test_per_core_cycles_only_on_active(self, anuma):
+        res = _flow(anuma, 12)
+        assert res.per_core_cycles[0] > 0
+        assert res.per_core_cycles[1] == 0.0
+
+    def test_total_is_cores_times_percore(self, inuma):
+        res = _flow(inuma, 24)
+        total_from_cores = 12 * res.per_core_cycles[0] \
+            + 12 * res.per_core_cycles[1]
+        assert total_from_cores == pytest.approx(res.total_cycles, rel=1e-9)
+
+    def test_instructions_constant(self, inuma):
+        r1 = _flow(inuma, 1)
+        r24 = _flow(inuma, 24)
+        assert r1.instructions == r24.instructions
+
+
+class TestShapes:
+    def test_single_core_no_contention(self, any_machine):
+        res = _flow(any_machine, 1)
+        assert all(v < 0.7 for v in res.controller_utilisation.values())
+
+    def test_omega_monotone_in_misses(self, inuma):
+        alloc1 = CoreAllocation.paper_policy(inuma, 1)
+        allocf = CoreAllocation.paper_policy(inuma, 24)
+        prev = None
+        base = get_workload("CG").profile("C", inuma)
+        for r in (1e8, 1e9, 1e10):
+            p = base.with_misses(r)
+            omega = (solve_flow(p, inuma, allocf).total_cycles
+                     / solve_flow(p, inuma, alloc1).total_cycles) - 1
+            if prev is not None:
+                assert omega >= prev - 1e-6
+            prev = omega
+
+    def test_omega_monotone_in_cores_for_contended(self, uma):
+        base = _flow(uma, 1).total_cycles
+        prev = 0.0
+        for n in range(2, 9):
+            omega = _flow(uma, n).total_cycles / base - 1
+            assert omega >= prev - 0.02
+            prev = omega
+
+    def test_more_controllers_less_contention(self, inuma, anuma):
+        # Same program at 24 cores: the 8-controller AMD machine contends
+        # less than the 2-controller Intel machine (paper Section V).
+        def omega(machine):
+            return _flow(machine, 24).total_cycles \
+                / _flow(machine, 1).total_cycles - 1
+
+        assert omega(anuma) < omega(inuma)
+
+    def test_fig3_observations(self, inuma):
+        # Work cycles and misses roughly constant; stalls carry growth.
+        r1 = _flow(inuma, 1)
+        r24 = _flow(inuma, 24)
+        assert r24.work_cycles / r1.work_cycles < 1.3
+        assert r24.llc_misses == pytest.approx(r1.llc_misses)
+        growth = r24.total_cycles - r1.total_cycles
+        stall_growth = r24.stall_cycles - r1.stall_cycles
+        assert stall_growth / growth > 0.9
+
+
+class TestHelpers:
+    def test_cross_package_share_zero_in_package(self, inuma):
+        assert cross_package_share(
+            CoreAllocation.paper_policy(inuma, 12)) == 0.0
+
+    def test_cross_package_share_half_at_full(self, inuma):
+        assert cross_package_share(
+            CoreAllocation.paper_policy(inuma, 24)) == pytest.approx(0.5)
+
+    def test_smt_pairing(self, inuma, anuma):
+        assert smt_paired_fraction(
+            CoreAllocation.paper_policy(inuma, 12)) == 1.0
+        assert smt_paired_fraction(
+            CoreAllocation.paper_policy(anuma, 12)) == 0.0
+
+    def test_smt_partial(self, inuma):
+        # Odd logical core counts leave one thread unpaired.
+        frac = smt_paired_fraction(CoreAllocation.paper_policy(inuma, 3))
+        assert frac == pytest.approx(2.0 / 3.0)
+
+
+class TestDeterminism:
+    def test_solver_is_pure(self, anuma):
+        a = _flow(anuma, 37)
+        b = _flow(anuma, 37)
+        assert a.total_cycles == b.total_cycles
+        assert a.controller_utilisation == b.controller_utilisation
+
+    def test_ep_miss_growth_mechanism(self, inuma):
+        profile = get_workload("EP").profile("C", inuma) \
+            .with_cross_package_growth(1e9)
+        in_package = solve_flow(
+            profile, inuma, CoreAllocation.paper_policy(inuma, 12))
+        across = solve_flow(
+            profile, inuma, CoreAllocation.paper_policy(inuma, 24))
+        assert in_package.llc_misses == pytest.approx(1.8e3)
+        assert across.llc_misses == pytest.approx(1.8e3 + 0.5e9)

@@ -1,0 +1,145 @@
+"""Measurement-runtime tests: noise, calibration, MeasurementRun."""
+
+import numpy as np
+import pytest
+
+from repro.machine import CoreAllocation, intel_numa
+from repro.runtime.calibration import (
+    HALF_FULL,
+    TABLE2,
+    CalibrationError,
+    calibrate_profile,
+    machine_key,
+    table2_target,
+)
+from repro.runtime.flow import solve_flow
+from repro.runtime.measurement import MeasurementRun, measure_curve, measure_single
+from repro.runtime.noise import NOISELESS, NoiseModel
+from repro.workloads import get_workload
+
+
+class TestNoise:
+    def test_noiseless_reproduces_flow(self, inuma):
+        profile = calibrate_profile("CG", "C", inuma)
+        alloc = CoreAllocation.paper_policy(inuma, 8)
+        flow = solve_flow(profile, inuma, alloc)
+        sample = NOISELESS.sample(flow, profile, alloc)
+        assert sample.total_cycles == pytest.approx(flow.total_cycles)
+        assert sample.llc_misses == pytest.approx(flow.llc_misses)
+
+    def test_noise_unbiased(self, inuma, rng):
+        profile = calibrate_profile("CG", "C", inuma)
+        alloc = CoreAllocation.paper_policy(inuma, 8)
+        flow = solve_flow(profile, inuma, alloc)
+        noise = NoiseModel()
+        samples = [noise.sample(flow, profile, alloc, rng=rng).total_cycles
+                   for _ in range(300)]
+        assert np.mean(samples) == pytest.approx(flow.total_cycles, rel=0.01)
+
+    def test_bursty_programs_noisier(self, inuma):
+        noise = NoiseModel()
+        alloc = CoreAllocation.paper_policy(inuma, 8)
+        bursty = get_workload("EP").profile("C", inuma)
+        smooth = get_workload("SP").profile("C", inuma)
+        assert noise.sigma_for(bursty, alloc) > noise.sigma_for(smooth, alloc)
+
+    def test_oversubscription_noisier(self, inuma):
+        noise = NoiseModel()
+        profile = get_workload("CG").profile("C", inuma)
+        low_n = CoreAllocation.paper_policy(inuma, 2)    # 12 threads/core
+        high_n = CoreAllocation.paper_policy(inuma, 24)  # 1 thread/core
+        assert noise.sigma_for(profile, low_n) > noise.sigma_for(
+            profile, high_n)
+
+
+class TestCalibration:
+    def test_machine_keys(self, uma, inuma, anuma):
+        assert machine_key(uma) == "intel_uma"
+        assert machine_key(inuma) == "intel_numa"
+        assert machine_key(anuma) == "amd_numa"
+
+    def test_table2_lookup(self, inuma):
+        assert table2_target("SP", "C", inuma) == (6.55, 11.59)
+        assert table2_target("SP", "Z", inuma) is None
+
+    @pytest.mark.parametrize("program,size", [("CG", "C"), ("SP", "C"),
+                                              ("IS", "C")])
+    def test_anchors_hit_on_intel_numa(self, inuma, program, size):
+        profile = calibrate_profile(program, size, inuma)
+        half, full = HALF_FULL["intel_numa"]
+        base = solve_flow(profile, inuma,
+                          CoreAllocation.paper_policy(inuma, 1)).total_cycles
+        target = TABLE2[(program, size, "intel_numa")]
+        for n, expected in zip((half, full), target):
+            c = solve_flow(profile, inuma,
+                           CoreAllocation.paper_policy(inuma, n)).total_cycles
+            omega = (c - base) / base
+            assert omega == pytest.approx(expected, abs=0.08), (n, expected)
+
+    def test_x264_uncalibrated(self, inuma):
+        raw = get_workload("x264").profile("native", inuma)
+        cal = calibrate_profile("x264", "native", inuma)
+        assert cal == raw
+
+    def test_custom_machine_uncalibrated(self, inuma):
+        import dataclasses
+
+        other = dataclasses.replace(inuma, name="My Custom Box")
+        # Structurally identical to intel_numa -> still calibrates; a
+        # different shape would not.  Both paths must not raise.
+        assert calibrate_profile("CG", "C", other).llc_misses > 0
+
+    def test_ep_growth_knob(self, inuma):
+        profile = calibrate_profile("EP", "C", inuma)
+        assert profile.cross_package_miss_growth > 0
+        assert profile.llc_misses == pytest.approx(1.8e3)
+
+
+class TestMeasurementRun:
+    def test_sweep_and_omega(self, inuma):
+        run = MeasurementRun("CG", "C", inuma, repetitions=2)
+        sweep = run.sweep([1, 12, 24])
+        assert set(sweep) == {1, 12, 24}
+        curve = run.omega_curve([1, 12, 24])
+        assert curve[1] == pytest.approx(0.0, abs=0.05)
+        assert curve[24] > curve[12] > 0.5
+
+    def test_determinism_with_seed(self, inuma):
+        a = MeasurementRun("CG", "C", inuma, rng=5).measure(8)
+        b = MeasurementRun("CG", "C", inuma, rng=5).measure(8)
+        assert a.total_cycles == b.total_cycles
+
+    def test_seeds_differ(self, inuma):
+        a = MeasurementRun("CG", "C", inuma, rng=5).measure(8)
+        b = MeasurementRun("CG", "C", inuma, rng=6).measure(8)
+        assert a.total_cycles != b.total_cycles
+
+    def test_measurement_independent_of_sweep_order(self, inuma):
+        run1 = MeasurementRun("CG", "C", inuma, rng=7)
+        run2 = MeasurementRun("CG", "C", inuma, rng=7)
+        a = run1.measure(8)
+        run2.measure(3)  # different prior measurement
+        b = run2.measure(8)
+        assert a.total_cycles == b.total_cycles
+
+    def test_averaging_reduces_variance(self, inuma):
+        few = [MeasurementRun("EP", "C", inuma, repetitions=1,
+                              rng=s).measure(24).total_cycles
+               for s in range(20)]
+        many = [MeasurementRun("EP", "C", inuma, repetitions=10,
+                               rng=s).measure(24).total_cycles
+                for s in range(20)]
+        assert np.std(many) < np.std(few)
+
+    def test_convenience_wrappers(self, inuma):
+        s = measure_single("IS", "C", inuma, n_active=4, repetitions=1)
+        assert s.total_cycles > 0
+        curve = measure_curve("IS", "C", inuma, core_counts=[1, 4],
+                              repetitions=1)
+        assert set(curve) == {1, 4}
+
+    def test_counters_are_paper_semantics(self, inuma):
+        s = MeasurementRun("CG", "C", inuma).measure(12)
+        assert s.work_cycles == pytest.approx(
+            s.total_cycles - s.stall_cycles)
+        assert s.instructions > 0

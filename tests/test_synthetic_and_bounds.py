@@ -1,0 +1,146 @@
+"""Tests for synthetic streams and operational bounds."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.machine.caches import CacheConfig, SetAssociativeCache
+from repro.qnet.bounds import OperationalBounds
+from repro.qnet.mva import ClosedNetwork, DelayStation, QueueingStation
+from repro.util.validation import ValidationError
+from repro.workloads.synthetic import (
+    interleave,
+    pointer_chase,
+    random_stream,
+    sequential_stream,
+    strided_stream,
+    tiled_2d,
+    zipf_stream,
+)
+
+
+class TestSyntheticStreams:
+    def test_sequential_within_bounds(self):
+        s = sequential_stream(1000, working_set_bytes=4096)
+        assert s.min() >= 0 and s.max() < 4096
+
+    def test_sequential_miss_rate_one_per_line(self):
+        cache = SetAssociativeCache(CacheConfig("L", 1, 2).to_level())
+        # Working set 8 KiB streams through a 1 KiB cache: one miss per
+        # 64 B line, i.e. one per 8 references at stride 8.
+        s = sequential_stream(1024, working_set_bytes=8192, stride=8)
+        cache.access(s)
+        assert cache.misses == pytest.approx(1024 / 8, abs=2)
+
+    def test_strided_defeats_spatial_locality(self):
+        cache = SetAssociativeCache(CacheConfig("L", 1, 2).to_level())
+        s = strided_stream(512, working_set_bytes=1 << 20, stride=256)
+        cache.access(s)
+        assert cache.misses == 512  # every reference a new line
+
+    def test_pointer_chase_is_permutation_cycle(self, rng):
+        s = pointer_chase(64, working_set_bytes=64 * 64, rng=rng)
+        # 64 granules: first 64 refs visit each line exactly once.
+        assert len(set(s.tolist())) == 64
+
+    def test_pointer_chase_no_adjacent_repeat(self, rng):
+        s = pointer_chase(500, working_set_bytes=64 * 128, rng=rng)
+        assert np.all(np.diff(s) != 0)
+
+    def test_zipf_concentrates(self, rng):
+        s = zipf_stream(20_000, working_set_bytes=64 * 4096, skew=2.0,
+                        rng=rng)
+        values, counts = np.unique(s, return_counts=True)
+        top = np.sort(counts)[-10:].sum()
+        assert top / 20_000 > 0.5  # ten hottest lines take most traffic
+
+    def test_random_uniformish(self, rng):
+        s = random_stream(50_000, working_set_bytes=64 * 64, rng=rng)
+        _, counts = np.unique(s, return_counts=True)
+        assert counts.max() / counts.min() < 2.0
+
+    def test_tiled_2d_reuse(self):
+        s = tiled_2d(16 * 16 * 4, width=64, height=64, tile=16)
+        # Each tile's addresses stay within a 16-row band.
+        first_tile = s[: 16 * 16]
+        rows = first_tile // 64
+        assert rows.max() - rows.min() == 15
+
+    def test_interleave_round_robin(self):
+        a = np.array([0, 2, 4])
+        b = np.array([1, 3, 5])
+        assert list(interleave(a, b)) == [0, 1, 2, 3, 4, 5]
+
+    def test_interleave_length_mismatch(self):
+        with pytest.raises(ValidationError):
+            interleave(np.zeros(3), np.zeros(4))
+
+    def test_zipf_skew_validated(self, rng):
+        with pytest.raises(ValidationError):
+            zipf_stream(10, 4096, skew=1.0, rng=rng)
+
+
+class TestOperationalBounds:
+    def _net(self, think=10.0, demands=(1.0, 0.5)):
+        stations = [DelayStation("z", think)]
+        stations += [QueueingStation(f"s{i}", d)
+                     for i, d in enumerate(demands)]
+        return ClosedNetwork(stations)
+
+    def test_derivation(self):
+        b = OperationalBounds.of(self._net())
+        assert b.total_demand == 1.5
+        assert b.max_demand == 1.0
+        assert b.think_time == 10.0
+
+    def test_knee(self):
+        b = OperationalBounds.of(self._net())
+        assert b.knee_population == pytest.approx(11.5)
+
+    @given(st.integers(1, 60), st.floats(0.5, 30.0),
+           st.floats(0.1, 3.0), st.floats(0.1, 3.0))
+    @settings(max_examples=60, deadline=None)
+    def test_mva_within_bounds(self, n, think, d1, d2):
+        net = self._net(think, (d1, d2))
+        b = OperationalBounds.of(net)
+        x = net.solve(n).throughput
+        assert x <= b.throughput_upper(n) * (1 + 1e-9)
+        assert x >= b.throughput_lower(n) * (1 - 1e-9)
+
+    def test_response_bound(self):
+        net = self._net()
+        b = OperationalBounds.of(net)
+        for n in (1, 5, 20, 50):
+            res = net.solve(n)
+            r = res.cycle_time - b.think_time
+            assert r >= b.response_lower(n) * (1 - 1e-9)
+
+    def test_zero_population(self):
+        b = OperationalBounds.of(self._net())
+        assert b.throughput_upper(0) == 0.0
+        assert b.throughput_lower(0) == 0.0
+
+    def test_requires_queueing_station(self):
+        net = ClosedNetwork([DelayStation("z", 1.0)])
+        with pytest.raises(ValidationError):
+            OperationalBounds.of(net)
+
+    def test_flow_solver_respects_bottleneck_bound(self, inuma):
+        # End-to-end: the substrate's throughput-derived omega cannot
+        # beat the bottleneck law (total cycles must be at least the
+        # serialised controller occupancy).
+        from repro.machine import CoreAllocation
+        from repro.runtime.calibration import calibrate_profile
+        from repro.runtime.flow import solve_flow
+
+        profile = calibrate_profile("CG", "C", inuma)
+        res = solve_flow(profile, inuma,
+                         CoreAllocation.paper_policy(inuma, 12))
+        # One package serves all traffic at n=12: occupancy of the pooled
+        # controller alone lower-bounds the makespan.
+        proc = inuma.processors[0]
+        per_req = proc.controllers[0].dram.mean_service_cycles(
+            inuma.frequency) / proc.controllers[0].dram.channels
+        occupancy = profile.llc_misses * per_req
+        assert res.makespan_cycles > occupancy * 0.9

@@ -1,0 +1,93 @@
+"""Unit tests for repro.util.rng and repro.util.tables."""
+
+import numpy as np
+import pytest
+
+from repro.util.rng import DEFAULT_SEED, resolve_rng, spawn_rng
+from repro.util.tables import TextTable, format_float, format_sci
+from repro.util.validation import ValidationError
+
+
+class TestResolveRng:
+    def test_none_is_deterministic(self):
+        a = resolve_rng(None).random(4)
+        b = resolve_rng(None).random(4)
+        assert np.array_equal(a, b)
+
+    def test_none_uses_default_seed(self):
+        a = resolve_rng(None).random(4)
+        b = resolve_rng(DEFAULT_SEED).random(4)
+        assert np.array_equal(a, b)
+
+    def test_int_seed(self):
+        a = resolve_rng(7).random(4)
+        b = resolve_rng(7).random(4)
+        assert np.array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(1)
+        assert resolve_rng(gen) is gen
+
+    def test_rejects_bad_type(self):
+        with pytest.raises(TypeError):
+            resolve_rng("seed")
+
+    def test_rejects_bool(self):
+        with pytest.raises(TypeError):
+            resolve_rng(True)
+
+
+class TestSpawnRng:
+    def test_children_independent_of_count(self):
+        # First child stream must not change when more children spawn.
+        a = spawn_rng(resolve_rng(3), 1)[0].random(4)
+        b = spawn_rng(resolve_rng(3), 5)[0].random(4)
+        assert np.array_equal(a, b)
+
+    def test_children_differ(self):
+        kids = spawn_rng(resolve_rng(3), 2)
+        assert not np.array_equal(kids[0].random(4), kids[1].random(4))
+
+    def test_zero_children(self):
+        assert spawn_rng(resolve_rng(3), 0) == []
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            spawn_rng(resolve_rng(3), -1)
+
+
+class TestTextTable:
+    def test_render_alignment(self):
+        t = TextTable(["a", "bbbb"])
+        t.add_row(["xxx", "y"])
+        out = t.render().splitlines()
+        assert out[0] == "a   | bbbb"
+        assert out[1] == "----+-----"
+        assert out[2] == "xxx | y"
+
+    def test_title(self):
+        t = TextTable(["a"], title="hello")
+        assert t.render().splitlines()[0] == "hello"
+
+    def test_row_width_mismatch(self):
+        t = TextTable(["a", "b"])
+        with pytest.raises(ValidationError):
+            t.add_row(["only one"])
+
+    def test_empty_headers_rejected(self):
+        with pytest.raises(ValidationError):
+            TextTable([])
+
+    def test_cells_stringified(self):
+        t = TextTable(["n"])
+        t.add_row([42])
+        assert "42" in t.render()
+
+
+class TestFormatters:
+    def test_format_float(self):
+        assert format_float(3.14159) == "3.14"
+        assert format_float(3.14159, 3) == "3.142"
+
+    def test_format_sci(self):
+        assert format_sci(1.5e11) == "1.50e+11"

@@ -1,0 +1,55 @@
+"""Unit tests for repro.util.units."""
+
+import pytest
+
+from repro.util.units import (
+    Frequency,
+    cycles_to_ns,
+    cycles_to_seconds,
+    ns_to_cycles,
+    seconds_to_cycles,
+)
+from repro.util.validation import ValidationError
+
+
+class TestFrequency:
+    def test_ghz_constructor(self):
+        f = Frequency.ghz(2.66)
+        assert f.hz == pytest.approx(2.66e9)
+
+    def test_mhz_constructor(self):
+        assert Frequency.mhz(1066).hz == pytest.approx(1.066e9)
+
+    def test_period_roundtrip(self):
+        f = Frequency.ghz(2.0)
+        assert f.period_s == pytest.approx(0.5e-9)
+        assert f.period_ns == pytest.approx(0.5)
+
+    def test_cycles_in_second(self):
+        assert Frequency.ghz(1.0).cycles_in(1.0) == pytest.approx(1e9)
+
+    def test_seconds_for_cycles(self):
+        assert Frequency.ghz(2.0).seconds_for(2e9) == pytest.approx(1.0)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValidationError):
+            Frequency(0.0)
+        with pytest.raises(ValidationError):
+            Frequency.ghz(-1.0)
+
+
+class TestConversions:
+    def test_ns_to_cycles_at_1ghz(self):
+        assert ns_to_cycles(50.0, Frequency.ghz(1.0)) == pytest.approx(50.0)
+
+    def test_ns_to_cycles_scales_with_frequency(self):
+        assert ns_to_cycles(50.0, Frequency.ghz(2.0)) == pytest.approx(100.0)
+
+    def test_roundtrip_ns(self):
+        f = Frequency.ghz(2.66)
+        assert cycles_to_ns(ns_to_cycles(37.0, f), f) == pytest.approx(37.0)
+
+    def test_roundtrip_seconds(self):
+        f = Frequency.ghz(1.86)
+        assert cycles_to_seconds(
+            seconds_to_cycles(0.25, f), f) == pytest.approx(0.25)

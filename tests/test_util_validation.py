@@ -1,0 +1,127 @@
+"""Unit tests for repro.util.validation."""
+
+import math
+
+import pytest
+
+from repro.util.validation import (
+    ValidationError,
+    check_fraction_open,
+    check_in_range,
+    check_integer,
+    check_nonnegative,
+    check_positive,
+    check_probability,
+    check_sorted_unique,
+)
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        assert check_positive("x", 1.5) == 1.5
+
+    def test_accepts_small_positive(self):
+        assert check_positive("x", 1e-300) == 1e-300
+
+    @pytest.mark.parametrize("bad", [0, -1, -0.5])
+    def test_rejects_nonpositive(self, bad):
+        with pytest.raises(ValidationError, match="x="):
+            check_positive("x", bad)
+
+    @pytest.mark.parametrize("bad", [math.inf, math.nan])
+    def test_rejects_nonfinite(self, bad):
+        with pytest.raises(ValidationError):
+            check_positive("x", bad)
+
+    def test_rejects_bool(self):
+        with pytest.raises(ValidationError):
+            check_positive("x", True)
+
+    def test_rejects_string(self):
+        with pytest.raises(ValidationError):
+            check_positive("x", "3")
+
+    def test_error_names_argument(self):
+        with pytest.raises(ValidationError, match="rate"):
+            check_positive("rate", -1)
+
+
+class TestCheckNonnegative:
+    def test_accepts_zero(self):
+        assert check_nonnegative("x", 0.0) == 0.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValidationError):
+            check_nonnegative("x", -1e-9)
+
+
+class TestCheckInteger:
+    def test_accepts_in_bounds(self):
+        assert check_integer("n", 5, minimum=1, maximum=10) == 5
+
+    def test_rejects_below_minimum(self):
+        with pytest.raises(ValidationError):
+            check_integer("n", 0, minimum=1)
+
+    def test_rejects_above_maximum(self):
+        with pytest.raises(ValidationError):
+            check_integer("n", 11, maximum=10)
+
+    def test_rejects_float(self):
+        with pytest.raises(ValidationError):
+            check_integer("n", 5.0)
+
+    def test_rejects_bool(self):
+        with pytest.raises(ValidationError):
+            check_integer("n", True)
+
+    def test_unbounded(self):
+        assert check_integer("n", -100) == -100
+
+
+class TestCheckInRange:
+    def test_inclusive_endpoints(self):
+        assert check_in_range("x", 0.0, 0.0, 1.0) == 0.0
+        assert check_in_range("x", 1.0, 0.0, 1.0) == 1.0
+
+    def test_exclusive_rejects_endpoints(self):
+        with pytest.raises(ValidationError):
+            check_in_range("x", 0.0, 0.0, 1.0, inclusive=False)
+
+    def test_exclusive_accepts_interior(self):
+        assert check_in_range("x", 0.5, 0.0, 1.0, inclusive=False) == 0.5
+
+    def test_rejects_outside(self):
+        with pytest.raises(ValidationError):
+            check_in_range("x", 2.0, 0.0, 1.0)
+
+
+class TestProbabilityAndFraction:
+    def test_probability_bounds(self):
+        assert check_probability("p", 0.0) == 0.0
+        assert check_probability("p", 1.0) == 1.0
+
+    def test_probability_rejects(self):
+        with pytest.raises(ValidationError):
+            check_probability("p", 1.0001)
+
+    def test_fraction_open(self):
+        assert check_fraction_open("f", 0.5) == 0.5
+        with pytest.raises(ValidationError):
+            check_fraction_open("f", 1.0)
+
+
+class TestSortedUnique:
+    def test_accepts_increasing(self):
+        assert check_sorted_unique("xs", [1, 2, 3]) == [1, 2, 3]
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(ValidationError):
+            check_sorted_unique("xs", [1, 2, 2])
+
+    def test_rejects_decreasing(self):
+        with pytest.raises(ValidationError):
+            check_sorted_unique("xs", [3, 1])
+
+    def test_empty_ok(self):
+        assert list(check_sorted_unique("xs", [])) == []

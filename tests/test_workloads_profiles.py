@@ -1,0 +1,155 @@
+"""Workload profile tests: size specs, capacity-aware misses, burst specs."""
+
+import pytest
+
+from repro.workloads import all_workloads, get_workload
+from repro.workloads.base import BurstProfile, MemoryProfile, WorkloadError
+from repro.util.validation import ValidationError
+
+
+class TestRegistry:
+    def test_paper_program_set(self):
+        names = [w.name for w in all_workloads()]
+        assert names == ["EP", "IS", "FT", "CG", "SP", "x264"]
+
+    def test_lookup_by_name(self):
+        assert get_workload("CG").name == "CG"
+
+    def test_unknown_rejected(self):
+        with pytest.raises(WorkloadError):
+            get_workload("LU")
+
+
+class TestSizeSpecs:
+    def test_npb_classes_complete(self):
+        for name in ("EP", "IS", "FT", "CG", "SP"):
+            assert list(get_workload(name).sizes()) == \
+                ["S", "W", "A", "B", "C"]
+
+    def test_x264_inputs(self):
+        assert list(get_workload("x264").sizes()) == \
+            ["simsmall", "simmedium", "simlarge", "native"]
+
+    def test_sizes_increase(self):
+        for w in all_workloads():
+            specs = list(w.sizes().values())
+            ws = [s.working_set_bytes for s in specs]
+            assert ws == sorted(ws), w.name
+
+    def test_table3_descriptions(self):
+        cg = get_workload("CG").sizes()
+        assert "1, 400" in cg["S"].description
+        assert "150, 000" in cg["C"].description
+        x264 = get_workload("x264").sizes()
+        assert "512 frames" in x264["native"].description
+
+    def test_paper_working_sets(self):
+        # Section V: 920 MB for EP.C, 400 MB for x264.native.
+        assert get_workload("EP").size("C").working_set_bytes \
+            == pytest.approx(920e6)
+        assert get_workload("x264").size("native").working_set_bytes \
+            == pytest.approx(400e6)
+
+    def test_unknown_class_rejected(self):
+        with pytest.raises(WorkloadError):
+            get_workload("CG").size("Z")
+
+
+class TestBurstProfiles:
+    def test_small_classes_bursty_large_not(self):
+        for name in ("IS", "FT", "CG", "SP"):
+            sizes = get_workload(name).sizes()
+            assert sizes["S"].burst.is_bursty, name
+            assert not sizes["C"].burst.heavy_tailed, name
+
+    def test_ep_always_bursty(self):
+        for spec in get_workload("EP").sizes().values():
+            assert spec.burst.heavy_tailed
+
+    def test_scv_decreases_with_size(self):
+        cg = get_workload("CG").sizes()
+        scvs = [cg[k].burst.arrival_scv for k in ("S", "W", "A", "B", "C")]
+        assert scvs == sorted(scvs, reverse=True)
+
+    def test_burst_profile_validation(self):
+        with pytest.raises(ValidationError):
+            BurstProfile(True, alpha=0.5, duty_cycle=0.1, arrival_scv=1.0)
+        with pytest.raises(ValidationError):
+            BurstProfile(False, alpha=2.0, duty_cycle=0.0, arrival_scv=1.0)
+
+
+class TestProfiles:
+    def test_capacity_aware_misses(self, inuma):
+        cg = get_workload("CG")
+        # CG.W fits the 24 MB aggregate LLC: only cold misses.
+        w = cg.profile("W", inuma)
+        spec = cg.size("W")
+        assert w.llc_misses == pytest.approx(spec.working_set_bytes / 64)
+        # CG.C exceeds it: streaming misses phase in.
+        c = cg.profile("C", inuma)
+        assert c.llc_misses > 10 * w.llc_misses
+
+    def test_bigger_cache_fewer_misses(self, uma, anuma):
+        # AMD has 40 MB of LLC vs UMA's 8 MB.
+        cg = get_workload("CG")
+        assert cg.profile("C", anuma).llc_misses \
+            < cg.profile("C", uma).llc_misses
+
+    def test_ep_profile_is_prefetch_silent(self, inuma):
+        p = get_workload("EP").profile("C", inuma)
+        # Paper: 1,800 misses for 920 MB working set.
+        assert p.llc_misses == pytest.approx(1.8e3)
+
+    def test_smt_inflation_only_on_smt_machines(self, uma, inuma):
+        cg = get_workload("CG")
+        assert cg.profile("C", uma).smt_work_inflation == 0.0
+        assert cg.profile("C", inuma).smt_work_inflation > 0.0
+
+    def test_cycle_helpers(self, inuma):
+        p = get_workload("CG").profile("C", inuma)
+        assert p.work_cycles == pytest.approx(p.instructions / p.work_ipc)
+        assert p.uncontended_compute_cycles == pytest.approx(
+            p.work_cycles + p.base_stall_cycles)
+
+    def test_with_misses_copy(self, inuma):
+        p = get_workload("CG").profile("C", inuma)
+        q = p.with_misses(123.0)
+        assert q.llc_misses == 123.0
+        assert p.llc_misses != 123.0  # original untouched
+
+    def test_sp_has_lowest_mlp(self):
+        mlps = {w.name: w.mlp for w in all_workloads()}
+        assert mlps["SP"] == min(mlps.values())
+
+    def test_calibration_modes(self):
+        modes = {w.name: w.calibration_mode for w in all_workloads()}
+        assert modes["EP"] == "miss_growth"
+        assert modes["x264"] == "none"
+        assert modes["SP"] == "miss_volume"
+
+    def test_profile_validation(self):
+        burst = BurstProfile(False, 2.0, 0.5, 1.0)
+        with pytest.raises(ValidationError):
+            MemoryProfile(
+                program="X", size="C", instructions=-1.0, work_ipc=1.0,
+                base_stall_per_instr=0.1, llc_misses=1.0, burst=burst,
+                working_set_bytes=1.0)
+        with pytest.raises(WorkloadError):
+            MemoryProfile(
+                program="X", size="C", instructions=1.0, work_ipc=1.0,
+                base_stall_per_instr=0.1, llc_misses=1.0, burst=burst,
+                working_set_bytes=1.0, calibration_mode="bogus")
+
+
+class TestAddressTraces:
+    @pytest.mark.parametrize("name", ["EP", "IS", "FT", "CG", "SP", "x264"])
+    def test_trace_contract(self, name, rng):
+        trace = get_workload(name).address_trace(4096, rng=rng)
+        assert trace.shape == (4096,)
+        assert trace.dtype.kind == "i"
+        assert int(trace.min()) >= 0
+
+    def test_trace_deterministic_with_seed(self):
+        a = get_workload("CG").address_trace(1000, rng=5)
+        b = get_workload("CG").address_trace(1000, rng=5)
+        assert (a == b).all()
