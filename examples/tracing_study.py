@@ -1,0 +1,50 @@
+"""Tracing study: where does an experiment's wall-clock time go?
+
+Enables the telemetry subsystem, runs a model-vs-measurement experiment
+plus a burst-sampling pass, then prints the sorted span/metric summary
+and writes artefacts you can inspect offline:
+
+* ``tracing_study_trace.json`` — Chrome trace-event JSON; drag it into
+  https://ui.perfetto.dev to see the experiment -> machine ->
+  measure.point span tree on a timeline;
+* ``tracing_study_manifest.json`` — the structured run manifest, the
+  record to diff across code versions.
+
+Run: ``PYTHONPATH=src python examples/tracing_study.py``
+"""
+
+from repro import BurstSampler, intel_numa, obs, run_experiment
+
+
+def main() -> None:
+    tel = obs.enable(fresh=True)
+
+    # An experiment: the runner opens `experiment.fig5`, the driver adds
+    # `machine.<mkey>` phases, the substrate adds `measure.point` spans.
+    result = run_experiment("fig5", fast=True)
+    print(result.render())
+    print()
+
+    # The 5 µs sampler contributes its own span + window/arrival counters.
+    trace = BurstSampler(intel_numa()).sample("CG", "S", n_windows=20_000)
+    print(f"sampled {trace.n_windows} windows, "
+          f"{trace.total_misses} misses "
+          f"({trace.mean_rate_per_us:.2f} misses/us)")
+    print()
+
+    print(obs.render_summary(tel))
+    print()
+
+    tel.tracer.write_chrome_trace("tracing_study_trace.json")
+    manifest = result.manifest
+    manifest.write("tracing_study_manifest.json")
+    print("wrote tracing_study_trace.json (open in Perfetto) and "
+          "tracing_study_manifest.json")
+    print(f"run {manifest.run_id} at version {manifest.version}: "
+          f"{manifest.wall_time_s:.2f} s wall")
+
+    obs.disable()
+
+
+if __name__ == "__main__":
+    main()

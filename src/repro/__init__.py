@@ -57,11 +57,14 @@ from repro.machine import (
 )
 from repro.runtime import MeasurementRun, measure_curve, measure_single
 from repro.workloads import Workload, all_workloads, get_workload
+from repro import obs
 
 __version__ = "1.0.0"
 
 __all__ = [
     "__version__",
+    # telemetry
+    "obs",
     # the paper's model
     "ContentionModel",
     "SingleProcessorModel",

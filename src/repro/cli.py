@@ -3,29 +3,61 @@
 Commands
 --------
 ``repro list``
-    Show the available experiments.
+    Show the available experiments and commands.
 ``repro all [--fast]``
     Run every experiment and print the reports.
 ``repro <experiment> [--fast] [--seed N]``
     Run one experiment (e.g. ``repro fig5``).
+``repro profile <experiment> [--fast]``
+    Run one experiment with telemetry on and print the sorted
+    span-timing and metrics tables.
+``repro report [--fast]``
+    Run every experiment and write EXPERIMENTS.md (paper vs measured).
 ``repro calibrate``
     Regenerate the shipped calibration table from the Table II anchors.
 ``repro topology``
     Print likwid-style topology of the three simulated testbeds.
+
+Telemetry flags (see docs/OBSERVABILITY.md)
+-------------------------------------------
+``--trace PATH``
+    Write a Chrome trace-event JSON of the run (load in Perfetto).
+``--metrics``
+    Print the metrics summary table after the run.
+``--manifest PATH``
+    Write the structured run manifest(s) as JSON.
+``--version``
+    Print the package version and exit.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
+from repro import __version__, obs
 from repro.experiments import available_experiments, run_experiment
+
+#: Non-experiment commands, as shown by ``repro list``.
+_COMMANDS: dict[str, str] = {
+    "list": "show available experiments and commands",
+    "all": "run every experiment",
+    "profile": "run one experiment and print span/metric summaries",
+    "report": "run everything and write EXPERIMENTS.md",
+    "calibrate": "regenerate the shipped calibration table",
+    "topology": "print the simulated testbed topologies",
+}
 
 
 def _cmd_list(_args) -> int:
     print("available experiments:")
     for name in available_experiments():
         print(f"  {name}")
+    print()
+    print("commands:")
+    for name, doc in _COMMANDS.items():
+        print(f"  {name:<10} {doc}")
     return 0
 
 
@@ -63,13 +95,54 @@ def _cmd_topology(_args) -> int:
     return 0
 
 
+def _experiment_names(name: str) -> list[str]:
+    return available_experiments() if name == "all" else [name]
+
+
+def _write_telemetry(args, tel) -> None:
+    """Honour --trace/--metrics/--manifest after a telemetry-enabled run."""
+    if args.trace:
+        tel.tracer.write_chrome_trace(args.trace)
+        print(f"chrome trace written to {args.trace} "
+              "(open in Perfetto or chrome://tracing)")
+    if args.manifest:
+        records = [m.to_dict() for m in tel.manifests]
+        payload = records[0] if len(records) == 1 else records
+        with open(args.manifest, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=1, sort_keys=True)
+            fh.write("\n")
+        print(f"run manifest written to {args.manifest}")
+    if args.metrics:
+        print()
+        print(obs.render_summary(tel))
+
+
 def _cmd_experiment(args) -> int:
-    names = available_experiments() if args.experiment == "all" \
-        else [args.experiment]
-    for name in names:
+    telemetry_wanted = bool(args.trace or args.metrics or args.manifest)
+    if telemetry_wanted:
+        obs.enable(fresh=True)
+    for name in _experiment_names(args.experiment):
         result = run_experiment(name, fast=args.fast, rng=args.seed)
         print(result.render())
         print()
+    if telemetry_wanted:
+        _write_telemetry(args, obs.session())
+    return 0
+
+
+def _cmd_profile(args) -> int:
+    if not args.target:
+        print("usage: repro profile <experiment> [--fast]", file=sys.stderr)
+        return 2
+    tel = obs.enable(fresh=True)
+    for name in _experiment_names(args.target):
+        result = run_experiment(name, fast=args.fast, rng=args.seed)
+        footer = result.timing_footer()
+        print(f"== profile: {name} =={'  [' + footer + ']' if footer else ''}")
+    print()
+    print(obs.render_summary(tel))
+    _write_telemetry(argparse.Namespace(trace=args.trace, metrics=False,
+                                        manifest=args.manifest), tel)
     return 0
 
 
@@ -82,12 +155,23 @@ def main(argv: list[str] | None = None) -> int:
                     "(ICPP 2011)")
     parser.add_argument(
         "experiment",
-        help="experiment name (see 'repro list'), 'all', 'list', "
-             "'calibrate', 'report' or 'topology'")
+        help="experiment name (see 'repro list'), 'all', or a command: "
+             + ", ".join(f"'{c}'" for c in _COMMANDS))
+    parser.add_argument(
+        "target", nargs="?", default=None,
+        help="experiment name for 'repro profile <experiment>'")
     parser.add_argument("--fast", action="store_true",
                         help="smaller sweeps / fewer samples")
     parser.add_argument("--seed", type=int, default=None,
                         help="override the default RNG seed")
+    parser.add_argument("--trace", metavar="PATH", default=None,
+                        help="write a Chrome trace-event JSON (Perfetto)")
+    parser.add_argument("--metrics", action="store_true",
+                        help="print the metrics summary after the run")
+    parser.add_argument("--manifest", metavar="PATH", default=None,
+                        help="write the structured run manifest JSON")
+    parser.add_argument("--version", action="version",
+                        version=f"repro {__version__}")
     args = parser.parse_args(argv)
 
     if args.experiment == "list":
@@ -98,6 +182,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_report(args)
     if args.experiment == "topology":
         return _cmd_topology(args)
+    if args.experiment == "profile":
+        return _cmd_profile(args)
     return _cmd_experiment(args)
 
 

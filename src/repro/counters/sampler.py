@@ -25,6 +25,7 @@ from repro.desim.arrivals import (
 )
 from repro.machine.allocation import CoreAllocation
 from repro.machine.topology import Machine
+from repro import obs
 from repro.util.rng import resolve_rng
 from repro.util.validation import check_integer, check_positive
 from repro.workloads.base import MemoryProfile
@@ -167,6 +168,13 @@ class BurstSampler:
         check_integer("n_windows", n_windows, minimum=1)
         from repro.runtime.calibration import calibrate_profile
 
+        with obs.span("sampler.sample", program=program, size=size,
+                      machine=self.machine.name):
+            return self._sample(program, size, n_active, n_windows, rng,
+                                calibrate_profile)
+
+    def _sample(self, program: str, size: str, n_active: int | None,
+                n_windows: int, rng, calibrate_profile) -> SampledTrace:
         if n_active is None:
             n_active = self.machine.n_cores
         check_integer("n_active", n_active, minimum=1,
@@ -207,6 +215,10 @@ class BurstSampler:
             process = arrival_process_for(profile, self.machine, n_active)
             counts = process.counts_in_windows(window_s, n_windows, rng=rng)
         counts = np.minimum(counts, capacity)
+        if obs.enabled():
+            obs.counter("sampler.runs")
+            obs.counter("sampler.windows_binned", n_windows)
+            obs.counter("sampler.arrivals_generated", int(counts.sum()))
         return SampledTrace(
             program=program,
             size=size,

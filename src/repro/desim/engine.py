@@ -13,9 +13,11 @@ scheduling order).
 
 from __future__ import annotations
 
+import time
 from typing import Generator, Iterable, Optional
 
 from repro.desim.events import Event, EventQueue
+from repro.obs import state as _obs_state
 from repro.util.validation import ValidationError, check_nonnegative
 
 
@@ -113,6 +115,9 @@ class Simulator:
         proc = _Process(self, gen)
         self._processes.append(proc)
         self._schedule_resume(proc, send_value=None)
+        tel = _obs_state._active
+        if tel is not None:
+            tel.metrics.counter("desim.processes_spawned").inc()
         return proc
 
     def _schedule_resume(self, proc: _Process, send_value: object = None,
@@ -155,6 +160,12 @@ class Simulator:
         """
         if until is not None and until < self.now:
             raise ValidationError(f"until={until} is before now={self.now}")
+        # Telemetry branches ONCE per run() into an instrumented copy of
+        # the loop: the disabled path below is byte-for-byte the original
+        # event loop, with no per-event checks (see test_obs overhead test).
+        tel = _obs_state._active
+        if tel is not None:
+            return self._run_instrumented(tel, until, max_events)
         n_events = 0
         while len(self.queue):
             t = self.queue.peek_time()
@@ -176,6 +187,53 @@ class Simulator:
         if until is not None:
             self.now = until
         return self.now
+
+    def _run_instrumented(self, tel, until: Optional[float],
+                          max_events: Optional[int]) -> float:
+        """The event loop with telemetry: events, heap depth, time ratio.
+
+        Semantically identical to the disabled loop in :meth:`run`; keep
+        the two in sync when changing engine behaviour.
+        """
+        reg = tel.metrics
+        sim_t0 = self.now
+        wall_t0 = time.perf_counter()
+        n_events = 0
+        heap_max = 0
+        try:
+            with tel.tracer.span("engine.run"):
+                while len(self.queue):
+                    depth = len(self.queue)
+                    if depth > heap_max:
+                        heap_max = depth
+                    t = self.queue.peek_time()
+                    if t is None:
+                        break
+                    if until is not None and t > until:
+                        self.now = until
+                        return self.now
+                    if max_events is not None and n_events >= max_events:
+                        return self.now
+                    event = self.queue.pop()
+                    if event.time is None:  # pragma: no cover - defensive
+                        raise SimulationError("popped unscheduled event")
+                    if event.time < self.now:
+                        raise SimulationError("event scheduled in the past")
+                    self.now = event.time
+                    event._trigger()
+                    n_events += 1
+                if until is not None:
+                    self.now = until
+                return self.now
+        finally:
+            wall = time.perf_counter() - wall_t0
+            reg.counter("desim.events_processed").inc(n_events)
+            reg.counter("desim.runs").inc()
+            reg.gauge("desim.heap_depth_max").set_max(heap_max)
+            reg.timer("desim.run_seconds").observe(wall)
+            if wall > 0.0:
+                reg.gauge("desim.sim_wall_ratio").set(
+                    (self.now - sim_t0) / wall)
 
     def run_all(self, iterable: Iterable[ProcessGen],
                 until: Optional[float] = None) -> float:

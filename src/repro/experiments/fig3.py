@@ -8,6 +8,7 @@ growth, and work/misses staying roughly constant.
 
 from __future__ import annotations
 
+from repro import obs
 from repro.experiments.paper_data import FIG3_OBSERVATIONS
 from repro.experiments.runner import ExperimentResult
 from repro.machine import all_machines
@@ -37,9 +38,10 @@ def run(fast: bool = False, rng=None) -> ExperimentResult:
     notes = []
     for machine in machines:
         mkey = machine_key(machine)
-        run_ = MeasurementRun(PROGRAM, SIZE, machine, rng=rng)
-        pts = _sweep_points(machine.n_cores, fast)
-        sweep = {n: run_.measure(n) for n in pts}
+        with obs.span(f"machine.{mkey}", program=PROGRAM, size=SIZE):
+            run_ = MeasurementRun(PROGRAM, SIZE, machine, rng=rng)
+            pts = _sweep_points(machine.n_cores, fast)
+            sweep = {n: run_.measure(n) for n in pts}
         table = TextTable(
             ["n", "total cycles", "stalled cycles", "work cycles",
              "LLC misses"],

@@ -8,6 +8,7 @@ quoted accuracy (6 % UMA, 11 % Intel NUMA, <5 % AMD NUMA).
 
 from __future__ import annotations
 
+from repro import obs
 from repro.core import colinearity_r2, fit_model, paper_fit_points, validate_model
 from repro.experiments.paper_data import PAPER_MODEL_ERROR
 from repro.experiments.runner import ExperimentResult
@@ -41,12 +42,13 @@ def run(fast: bool = False, rng=None, program: str = PROGRAM,
         mkey = machine_key(machine)
         actual_size = "B" if (program == "FT" and mkey == "intel_uma") \
             else size
-        run_ = MeasurementRun(program, actual_size, machine, rng=rng)
-        pts = sorted(set(_sweep_points(machine.n_cores, fast)
-                         + paper_fit_points(machine)))
-        sweep = {n: run_.measure(n) for n in pts}
-        model = fit_model(machine, sweep)
-        report = validate_model(model, sweep)
+        with obs.span(f"machine.{mkey}", program=program, size=actual_size):
+            run_ = MeasurementRun(program, actual_size, machine, rng=rng)
+            pts = sorted(set(_sweep_points(machine.n_cores, fast)
+                             + paper_fit_points(machine)))
+            sweep = {n: run_.measure(n) for n in pts}
+            model = fit_model(machine, sweep)
+            report = validate_model(model, sweep)
         table = TextTable(
             ["n", "measured omega", "model omega"],
             title=f"Fig. 5 ({mkey}): {program}.{actual_size} "

@@ -10,6 +10,7 @@ misses").
 
 from __future__ import annotations
 
+from repro import obs
 from repro.core import fit_model, paper_fit_points, validate_model
 from repro.experiments.runner import ExperimentResult
 from repro.machine import all_machines
@@ -28,14 +29,15 @@ def run(fast: bool = False, rng=None) -> ExperimentResult:
     notes = []
     for machine in machines:
         mkey = machine_key(machine)
-        run_ = MeasurementRun(PROGRAM, SIZE, machine, rng=rng)
-        n_cores = machine.n_cores
-        step = max(n_cores // (6 if fast else 24), 1)
-        pts = sorted(set(list(range(1, n_cores + 1, step)) + [n_cores]
-                         + paper_fit_points(machine)))
-        sweep = {n: run_.measure(n) for n in pts}
-        model = fit_model(machine, sweep)
-        report = validate_model(model, sweep)
+        with obs.span(f"machine.{mkey}", program=PROGRAM, size=SIZE):
+            run_ = MeasurementRun(PROGRAM, SIZE, machine, rng=rng)
+            n_cores = machine.n_cores
+            step = max(n_cores // (6 if fast else 24), 1)
+            pts = sorted(set(list(range(1, n_cores + 1, step)) + [n_cores]
+                             + paper_fit_points(machine)))
+            sweep = {n: run_.measure(n) for n in pts}
+            model = fit_model(machine, sweep)
+            report = validate_model(model, sweep)
         table = TextTable(
             ["n", "measured omega", "model omega", "LLC misses"],
             title=f"Fig. 6 ({mkey}): {PROGRAM}.{SIZE} measurement vs model")

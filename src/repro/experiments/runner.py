@@ -3,8 +3,10 @@
 from __future__ import annotations
 
 import importlib
+import time
 from dataclasses import dataclass, field
 
+from repro import obs
 from repro.util.tables import TextTable
 from repro.util.validation import ValidationError
 
@@ -40,6 +42,23 @@ class ExperimentResult:
     tables: list[TextTable] = field(default_factory=list)
     data: dict = field(default_factory=dict)
     notes: list[str] = field(default_factory=list)
+    #: Wall-clock seconds of the driver run; set by :func:`run_experiment`.
+    wall_time_s: float | None = None
+    #: Per-phase timings (seconds) from the span tree, when telemetry is on.
+    phase_timings: dict[str, float] = field(default_factory=dict)
+    #: The structured run record, when telemetry is on.
+    manifest: "obs.RunManifest | None" = None
+
+    def timing_footer(self) -> str | None:
+        """One-line wall-clock summary, with top phases when traced."""
+        if self.wall_time_s is None:
+            return None
+        line = f"wall-clock: {self.wall_time_s:.2f} s"
+        if self.phase_timings:
+            top = sorted(self.phase_timings.items(), key=lambda kv: -kv[1])[:4]
+            line += " (" + ", ".join(
+                f"{name} {dur:.2f} s" for name, dur in top) + ")"
+        return line
 
     def render(self) -> str:
         """Full text report of the experiment."""
@@ -48,6 +67,9 @@ class ExperimentResult:
             parts.append(t.render())
         for note in self.notes:
             parts.append(f"note: {note}")
+        footer = self.timing_footer()
+        if footer is not None:
+            parts.append(f"-- {footer}")
         return "\n\n".join(parts)
 
 
@@ -56,8 +78,26 @@ def available_experiments() -> list[str]:
     return list(_EXPERIMENTS)
 
 
+def _seed_of(rng) -> int | None:
+    """The reproducibility seed recorded in manifests, when known."""
+    from repro.util.rng import DEFAULT_SEED
+
+    if rng is None:
+        return DEFAULT_SEED
+    if isinstance(rng, int) and not isinstance(rng, bool):
+        return rng
+    return None  # opaque Generator: seed not recoverable
+
+
 def run_experiment(name: str, fast: bool = False, rng=None) -> ExperimentResult:
-    """Run one registered experiment by name."""
+    """Run one registered experiment by name.
+
+    Always records wall-clock time on the result; with telemetry enabled
+    (:func:`repro.obs.enable`) it additionally wraps the driver in an
+    ``experiment.<name>`` span, attaches per-phase timings from the span
+    tree, and records a :class:`repro.obs.RunManifest` on both the result
+    and the telemetry session.
+    """
     try:
         module_path = _EXPERIMENTS[name]
     except KeyError:
@@ -65,4 +105,30 @@ def run_experiment(name: str, fast: bool = False, rng=None) -> ExperimentResult:
             f"unknown experiment {name!r}; have {available_experiments()}"
         ) from None
     module = importlib.import_module(module_path)
-    return module.run(fast=fast, rng=rng)
+
+    tel = obs.session()
+    t0 = time.perf_counter()
+    if tel is None:
+        result = module.run(fast=fast, rng=rng)
+        result.wall_time_s = time.perf_counter() - t0
+        return result
+
+    with tel.tracer.span(f"experiment.{name}", fast=fast) as exp_span:
+        result = module.run(fast=fast, rng=rng)
+    result.wall_time_s = time.perf_counter() - t0
+    phases: dict[str, float] = {}
+    for child in exp_span.children:
+        phases[child.name] = phases.get(child.name, 0.0) \
+            + (child.duration or 0.0)
+    result.phase_timings = phases
+    manifest = obs.RunManifest(
+        experiment=name,
+        seed=_seed_of(rng),
+        fast=fast,
+        wall_time_s=result.wall_time_s,
+        phase_timings=phases,
+        metrics=tel.metrics.snapshot(),
+        notes=list(result.notes),
+    )
+    result.manifest = tel.record_manifest(manifest)
+    return result

@@ -8,6 +8,7 @@ value.
 
 from __future__ import annotations
 
+from repro import obs
 from repro.experiments.runner import ExperimentResult
 from repro.machine import all_machines
 from repro.runtime.calibration import HALF_FULL, machine_key, table2_target
@@ -44,18 +45,19 @@ def run(fast: bool = False, rng=None) -> ExperimentResult:
                 target = table2_target(program, size, machine)
                 if target is None:
                     continue
-                run_ = MeasurementRun(program, size, machine, rng=rng)
-                base = run_.measure(1)
-                for n, paper_val in zip((half, full), target):
-                    measured = (run_.measure(n).total_cycles
-                                - base.total_cycles) / base.total_cycles
-                    table.add_row([
-                        program, size, mkey, n,
-                        format_float(paper_val), format_float(measured)])
-                    rows.append({
-                        "program": program, "size": size, "machine": mkey,
-                        "n": n, "paper": paper_val, "measured": measured,
-                    })
+                with obs.span(f"machine.{mkey}", program=program, size=size):
+                    run_ = MeasurementRun(program, size, machine, rng=rng)
+                    base = run_.measure(1)
+                    for n, paper_val in zip((half, full), target):
+                        measured = (run_.measure(n).total_cycles
+                                    - base.total_cycles) / base.total_cycles
+                        table.add_row([
+                            program, size, mkey, n,
+                            format_float(paper_val), format_float(measured)])
+                        rows.append({
+                            "program": program, "size": size, "machine": mkey,
+                            "n": n, "paper": paper_val, "measured": measured,
+                        })
     full_core_rows = [r for r in rows
                       if r["n"] == HALF_FULL[r["machine"]][1]]
     # Deviation relative to the paper value, floored at 0.25 so the

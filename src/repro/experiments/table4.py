@@ -9,6 +9,7 @@ because their bursty traffic breaks the model's assumptions.
 
 from __future__ import annotations
 
+from repro import obs
 from repro.core import colinearity_r2
 from repro.experiments.paper_data import TABLE4_PROGRAMS, TABLE4_R2
 from repro.experiments.runner import ExperimentResult
@@ -35,11 +36,12 @@ def run(fast: bool = False, rng=None) -> ExperimentResult:
         row = [mkey]
         data[mkey] = {}
         for program, size in programs:
-            run_ = MeasurementRun(program, size, machine, rng=rng)
-            pts = list(range(1, cpp + 1)) if not fast \
-                else sorted(set([1, 2, cpp // 2, cpp]))
-            sweep = {n: run_.measure(n) for n in pts}
-            r2 = colinearity_r2(sweep, max_n=cpp)
+            with obs.span(f"machine.{mkey}", program=program, size=size):
+                run_ = MeasurementRun(program, size, machine, rng=rng)
+                pts = list(range(1, cpp + 1)) if not fast \
+                    else sorted(set([1, 2, cpp // 2, cpp]))
+                sweep = {n: run_.measure(n) for n in pts}
+                r2 = colinearity_r2(sweep, max_n=cpp)
             paper = TABLE4_R2[mkey][f"{program}.{size}"]
             row.append(f"{paper:.2f} / {r2:.2f}")
             data[mkey][f"{program}.{size}"] = {"paper": paper,

@@ -1,0 +1,104 @@
+"""repro.obs — dependency-free telemetry: metrics, spans, run manifests.
+
+Disabled by default and zero-cost when disabled: every helper below
+starts with one ``is None`` check against the active session, and the
+DES engine branches once per ``run()`` into an instrumented loop copy.
+Enable explicitly::
+
+    from repro import obs
+
+    obs.enable()
+    result = run_experiment("fig5", fast=True)
+    obs.session().tracer.write_chrome_trace("trace.json")   # -> Perfetto
+    print(obs.render_summary(obs.session()))
+
+or from the CLI: ``python -m repro fig5 --trace trace.json --metrics``
+and ``python -m repro profile fig5``.
+
+The helpers (:func:`span`, :func:`counter`, :func:`gauge`,
+:func:`observe`, :func:`timed`) are what instrumented call sites use;
+they are safe to call unconditionally.  See docs/OBSERVABILITY.md for
+the metric-name catalogue and the span hierarchy.
+"""
+
+from __future__ import annotations
+
+# Bind the state module before ``from repro.obs.state import session``
+# rebinds the name ``session`` to the accessor function below.
+from repro.obs import state as _state
+from repro.obs.manifest import MANIFEST_SCHEMA, RunManifest, code_version, new_run_id
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Timer,
+    check_metric_name,
+)
+from repro.obs.profile import metrics_table, render_summary, span_table
+from repro.obs.state import (
+    NOOP_SPAN,
+    TelemetrySession,
+    disable,
+    enable,
+    enabled,
+    session,
+)
+from repro.obs.tracing import Span, Tracer
+
+__all__ = [
+    "Counter", "Gauge", "Histogram", "Timer", "MetricsRegistry",
+    "check_metric_name",
+    "Span", "Tracer",
+    "RunManifest", "MANIFEST_SCHEMA", "code_version", "new_run_id",
+    "TelemetrySession", "NOOP_SPAN",
+    "enable", "disable", "enabled", "session",
+    "span", "counter", "gauge", "gauge_max", "observe", "timed",
+    "span_table", "metrics_table", "render_summary",
+]
+
+
+# -- instrumentation helpers (no-ops when disabled) ---------------------------
+
+def span(name: str, **labels):
+    """A tracing span context manager, or a shared no-op when disabled."""
+    s = _state._active
+    if s is None:
+        return NOOP_SPAN
+    return s.tracer.span(name, **labels)
+
+
+def counter(name: str, n: float = 1.0, **labels) -> None:
+    """Increment a counter if telemetry is enabled."""
+    s = _state._active
+    if s is not None:
+        s.metrics.counter(name, **labels).inc(n)
+
+
+def gauge(name: str, value: float, **labels) -> None:
+    """Set a gauge if telemetry is enabled."""
+    s = _state._active
+    if s is not None:
+        s.metrics.gauge(name, **labels).set(value)
+
+
+def gauge_max(name: str, value: float, **labels) -> None:
+    """Raise a high-water-mark gauge if telemetry is enabled."""
+    s = _state._active
+    if s is not None:
+        s.metrics.gauge(name, **labels).set_max(value)
+
+
+def observe(name: str, value: float, **labels) -> None:
+    """Record a histogram observation if telemetry is enabled."""
+    s = _state._active
+    if s is not None:
+        s.metrics.histogram(name, **labels).observe(value)
+
+
+def timed(name: str, **labels):
+    """A timer context manager recording seconds, no-op when disabled."""
+    s = _state._active
+    if s is None:
+        return NOOP_SPAN
+    return s.metrics.timer(name, **labels)

@@ -1,0 +1,105 @@
+"""Structured run manifests: one JSON record per experiment run.
+
+A manifest pins down *what ran* (experiment, seed, fast flag, code
+version), *how long it took* (wall clock, per-phase timings from the
+span tree) and *what it did* (key metric snapshot), so benchmark
+trajectories become machine-diffable across PRs: two manifests for the
+same experiment can be compared field-by-field without re-running
+anything.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import time
+import uuid
+from dataclasses import asdict, dataclass, field
+
+#: Schema version for the manifest JSON; bump on breaking field changes.
+MANIFEST_SCHEMA = 1
+
+
+def code_version() -> str:
+    """``git describe`` of the working tree, else the package version.
+
+    Prefixed with the package version so manifests stay orderable even
+    when the git metadata is unavailable (installed wheels, CI shallow
+    clones).
+    """
+    from repro import __version__
+
+    root = os.path.dirname(os.path.dirname(os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__)))))
+    try:
+        out = subprocess.run(
+            ["git", "describe", "--always", "--dirty", "--tags"],
+            cwd=root, capture_output=True, text=True, timeout=5)
+        if out.returncode == 0 and out.stdout.strip():
+            return f"{__version__}+g{out.stdout.strip()}"
+    except (OSError, subprocess.SubprocessError):
+        pass
+    return __version__
+
+
+def new_run_id() -> str:
+    """A short unique id for one experiment run."""
+    return uuid.uuid4().hex[:12]
+
+
+@dataclass
+class RunManifest:
+    """The machine-diffable record of one ``run_experiment`` invocation."""
+
+    experiment: str
+    run_id: str = field(default_factory=new_run_id)
+    schema: int = MANIFEST_SCHEMA
+    seed: int | None = None
+    fast: bool = False
+    version: str = field(default_factory=code_version)
+    started_unix: float = field(default_factory=time.time)
+    wall_time_s: float = 0.0
+    phase_timings: dict = field(default_factory=dict)
+    metrics: dict = field(default_factory=dict)
+    notes: list = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    def to_json(self, indent: int | None = 1) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "RunManifest":
+        if d.get("schema", MANIFEST_SCHEMA) > MANIFEST_SCHEMA:
+            raise ValueError(
+                f"manifest schema {d['schema']} is newer than supported "
+                f"({MANIFEST_SCHEMA})")
+        fields = {f for f in cls.__dataclass_fields__}
+        return cls(**{k: v for k, v in d.items() if k in fields})
+
+    @classmethod
+    def from_json(cls, text: str) -> "RunManifest":
+        return cls.from_dict(json.loads(text))
+
+    def write(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(self.to_json())
+            fh.write("\n")
+
+    @classmethod
+    def read(cls, path: str) -> "RunManifest":
+        with open(path, "r", encoding="utf-8") as fh:
+            return cls.from_json(fh.read())
+
+    def diff(self, other: "RunManifest") -> dict[str, tuple]:
+        """Field-level differences vs another manifest of the same experiment.
+
+        Ignores identity fields that differ by construction (run id,
+        timestamps); returns ``{field: (self_value, other_value)}``.
+        """
+        skip = {"run_id", "started_unix", "wall_time_s"}
+        a, b = self.to_dict(), other.to_dict()
+        return {k: (a[k], b[k]) for k in a
+                if k not in skip and a[k] != b.get(k)}

@@ -1,0 +1,235 @@
+"""Metrics registry: counters, gauges, log-binned histograms and timers.
+
+Instruments are addressed by dotted names (``desim.events_processed``)
+plus optional labels (``machine="intel_numa"``); the registry
+deduplicates on ``(name, labels)`` so hot call sites can re-request an
+instrument without allocating.  Everything is dependency-free and cheap:
+a :class:`Histogram` observation is one ``math.frexp`` plus a dict
+increment.
+
+The registry never does I/O; :meth:`MetricsRegistry.snapshot` produces a
+plain-dict summary that the CLI, run manifests and benchmark perf
+records serialise as JSON.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+import time
+from typing import Iterator
+
+_NAME_RE = re.compile(r"^[a-z0-9_]+(\.[a-z0-9_]+)*$")
+
+#: Histogram bin exponent range: bin ``e`` covers ``[2**(e-1), 2**e)``.
+#: 2**-30 ~ 1 ns (seconds-scale timings) up to 2**40 ~ 1e12 (cycle counts).
+HIST_MIN_EXP = -30
+HIST_MAX_EXP = 40
+
+
+def check_metric_name(name: str) -> str:
+    """Validate a dotted metric name (lowercase, digits, underscores)."""
+    if not _NAME_RE.match(name):
+        raise ValueError(
+            f"bad metric name {name!r}: want dotted lowercase segments, "
+            "e.g. 'desim.events_processed'")
+    return name
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    __slots__ = ("name", "labels", "value")
+    kind = "counter"
+
+    def __init__(self, name: str, labels: tuple = ()) -> None:
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+
+    def inc(self, n: float = 1.0) -> None:
+        if n < 0:
+            raise ValueError(f"counter {self.name} cannot decrease (n={n})")
+        self.value += n
+
+    def summary(self) -> dict:
+        return {"value": self.value}
+
+
+class Gauge:
+    """Last-written value, with the running min/max retained."""
+
+    __slots__ = ("name", "labels", "value", "min", "max")
+    kind = "gauge"
+
+    def __init__(self, name: str, labels: tuple = ()) -> None:
+        self.name = name
+        self.labels = labels
+        self.value: float | None = None
+        self.min: float | None = None
+        self.max: float | None = None
+
+    def set(self, v: float) -> None:
+        self.value = v
+        self.min = v if self.min is None else min(self.min, v)
+        self.max = v if self.max is None else max(self.max, v)
+
+    def set_max(self, v: float) -> None:
+        """Keep the maximum of the written values (high-water mark)."""
+        if self.value is None or v > self.value:
+            self.set(v)
+
+    def summary(self) -> dict:
+        return {"value": self.value, "min": self.min, "max": self.max}
+
+
+class Histogram:
+    """Fixed log-scale (power-of-two) binned distribution.
+
+    Bin ``e`` counts observations in ``[2**(e-1), 2**e)``; zero and
+    negative values land in a dedicated underflow bin.  The edges are
+    fixed, so histograms from different runs merge and diff cleanly.
+    """
+
+    __slots__ = ("name", "labels", "bins", "count", "sum", "min", "max")
+    kind = "histogram"
+
+    def __init__(self, name: str, labels: tuple = ()) -> None:
+        self.name = name
+        self.labels = labels
+        self.bins: dict[int, int] = {}
+        self.count = 0
+        self.sum = 0.0
+        self.min: float | None = None
+        self.max: float | None = None
+
+    @staticmethod
+    def bin_index(v: float) -> int:
+        """The bin exponent for value ``v``.
+
+        ``2**(e-1) <= v < 2**e`` maps to ``e``; non-positive values map to
+        the underflow bin ``HIST_MIN_EXP - 1``; huge values clamp to
+        ``HIST_MAX_EXP``.
+        """
+        if v <= 0.0:
+            return HIST_MIN_EXP - 1
+        # frexp: v = m * 2**e with 0.5 <= m < 1, so e is the upper edge
+        # exponent; exact powers of two sit at the *bottom* of their bin.
+        e = math.frexp(v)[1]
+        if e <= HIST_MIN_EXP:
+            return HIST_MIN_EXP
+        if e > HIST_MAX_EXP:
+            return HIST_MAX_EXP
+        return e
+
+    @staticmethod
+    def bin_edges(e: int) -> tuple[float, float]:
+        """``(low, high)`` edges of bin ``e`` (low inclusive, high exclusive)."""
+        if e == HIST_MIN_EXP - 1:
+            return (float("-inf"), 2.0 ** HIST_MIN_EXP / 2.0)
+        return (2.0 ** (e - 1), 2.0 ** e)
+
+    def observe(self, v: float) -> None:
+        e = self.bin_index(v)
+        self.bins[e] = self.bins.get(e, 0) + 1
+        self.count += 1
+        self.sum += v
+        self.min = v if self.min is None else min(self.min, v)
+        self.max = v if self.max is None else max(self.max, v)
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Approximate quantile: the upper edge of the covering bin."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"q={q} must be in [0, 1]")
+        if not self.count:
+            return 0.0
+        target = q * self.count
+        acc = 0
+        for e in sorted(self.bins):
+            acc += self.bins[e]
+            if acc >= target:
+                return self.bin_edges(e)[1]
+        return self.bin_edges(max(self.bins))[1]  # pragma: no cover
+
+    def summary(self) -> dict:
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "mean": self.mean,
+            "min": self.min,
+            "max": self.max,
+            "p50": self.quantile(0.50),
+            "p99": self.quantile(0.99),
+            "bins": {str(e): c for e, c in sorted(self.bins.items())},
+        }
+
+
+class Timer(Histogram):
+    """A histogram of durations in seconds, usable as a context manager."""
+
+    __slots__ = ("_t0",)
+    kind = "timer"
+
+    def __enter__(self) -> "Timer":
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.observe(time.perf_counter() - self._t0)
+        return False
+
+
+class MetricsRegistry:
+    """Instruments keyed by ``(name, labels)``; get-or-create semantics."""
+
+    def __init__(self) -> None:
+        self._instruments: dict[tuple, object] = {}
+
+    def _get(self, cls, name: str, labels: dict) -> object:
+        key = (name, tuple(sorted(labels.items())))
+        inst = self._instruments.get(key)
+        if inst is None:
+            check_metric_name(name)
+            inst = cls(name, key[1])
+            self._instruments[key] = inst
+        elif type(inst) is not cls:
+            raise ValueError(
+                f"metric {name!r} already registered as {inst.kind}")
+        return inst
+
+    def counter(self, name: str, **labels) -> Counter:
+        return self._get(Counter, name, labels)
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        return self._get(Gauge, name, labels)
+
+    def histogram(self, name: str, **labels) -> Histogram:
+        return self._get(Histogram, name, labels)
+
+    def timer(self, name: str, **labels) -> Timer:
+        return self._get(Timer, name, labels)
+
+    def __iter__(self) -> Iterator[object]:
+        return iter(self._instruments.values())
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def snapshot(self) -> dict[str, dict]:
+        """Serializable summary of every instrument.
+
+        Keys are ``name`` or ``name{label=value,...}``; values are the
+        per-kind summaries plus a ``kind`` tag.
+        """
+        out: dict[str, dict] = {}
+        for (name, labels), inst in sorted(
+                self._instruments.items(), key=lambda kv: kv[0]):
+            key = name
+            if labels:
+                key += "{" + ",".join(f"{k}={v}" for k, v in labels) + "}"
+            out[key] = {"kind": inst.kind, **inst.summary()}
+        return out

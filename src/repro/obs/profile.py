@@ -1,0 +1,60 @@
+"""Rendering of telemetry summaries as text tables.
+
+Backs ``python -m repro profile <experiment>`` and the ``--metrics``
+CLI flag: a sorted span timing table plus a metrics table, both built on
+:class:`repro.util.tables.TextTable` so they match the experiment
+reports.
+"""
+
+from __future__ import annotations
+
+from repro.obs.state import TelemetrySession
+from repro.util.tables import TextTable
+
+
+def span_table(session: TelemetrySession) -> TextTable:
+    """Per-span-name timings, sorted by total time descending."""
+    table = TextTable(["span", "calls", "total s", "self s", "mean ms"],
+                      title="span timings (sorted by total)")
+    for row in session.tracer.aggregate():
+        mean_ms = row["total_s"] / row["calls"] * 1e3 if row["calls"] else 0.0
+        table.add_row([
+            row["name"],
+            row["calls"],
+            f"{row['total_s']:.4f}",
+            f"{row['self_s']:.4f}",
+            f"{mean_ms:.3f}",
+        ])
+    return table
+
+
+def _format_value(summary: dict) -> str:
+    kind = summary["kind"]
+    if kind == "counter":
+        v = summary["value"]
+        return f"{int(v)}" if float(v).is_integer() else f"{v:g}"
+    if kind == "gauge":
+        return f"{summary['value']:g} (max {summary['max']:g})"
+    # histogram / timer
+    return (f"n={summary['count']} mean={summary['mean']:.4g} "
+            f"p99={summary['p99']:.4g} max={summary['max']:.4g}")
+
+
+def metrics_table(session: TelemetrySession) -> TextTable:
+    """Every registered instrument and its summary, sorted by name."""
+    table = TextTable(["metric", "kind", "value"], title="metrics")
+    for key, summary in session.metrics.snapshot().items():
+        table.add_row([key, summary["kind"], _format_value(summary)])
+    return table
+
+
+def render_summary(session: TelemetrySession) -> str:
+    """The full profile report: spans then metrics."""
+    parts = []
+    if session.tracer.roots:
+        parts.append(span_table(session).render())
+    if len(session.metrics):
+        parts.append(metrics_table(session).render())
+    if not parts:
+        parts.append("telemetry session recorded no spans or metrics")
+    return "\n\n".join(parts)

@@ -1,0 +1,145 @@
+"""Hierarchical wall-clock tracing spans.
+
+A :class:`Tracer` owns a stack of open spans; ``with tracer.span(...)``
+nests correctly across any call depth, so the experiment runner, the
+measurement substrate and the DES engine can each open spans without
+knowing about one another.  Finished trees export two ways:
+
+* :meth:`Tracer.to_dict` — nested JSON (span name, labels, start,
+  duration, children), the format run manifests embed;
+* :meth:`Tracer.chrome_trace` — Chrome trace-event format (``ph: "X"``
+  complete events, microsecond timestamps), loadable in Perfetto or
+  ``chrome://tracing``.
+
+Timestamps are ``time.perf_counter`` relative to the tracer's epoch, so
+traces are comparable within a run and meaningless across runs — run
+manifests carry the wall-clock anchor instead.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+
+class Span:
+    """One timed region; also the context manager that times it."""
+
+    __slots__ = ("tracer", "name", "labels", "start", "duration", "children")
+
+    def __init__(self, tracer: "Tracer", name: str, labels: dict) -> None:
+        self.tracer = tracer
+        self.name = name
+        self.labels = labels
+        self.start: float = 0.0
+        self.duration: float | None = None  # None while still open
+        self.children: list["Span"] = []
+
+    def __enter__(self) -> "Span":
+        tr = self.tracer
+        self.start = tr._clock() - tr.epoch
+        stack = tr._stack
+        (stack[-1].children if stack else tr.roots).append(self)
+        stack.append(self)
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        tr = self.tracer
+        self.duration = tr._clock() - tr.epoch - self.start
+        popped = tr._stack.pop()
+        if popped is not self:  # pragma: no cover - misuse guard
+            raise RuntimeError(
+                f"span nesting violated: closed {self.name!r} while "
+                f"{popped.name!r} was innermost")
+        return False
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "labels": dict(self.labels),
+            "start_s": self.start,
+            "duration_s": self.duration,
+            "children": [c.to_dict() for c in self.children],
+        }
+
+
+class Tracer:
+    """Owns the span stack and the finished span forest."""
+
+    def __init__(self, clock=time.perf_counter) -> None:
+        self._clock = clock
+        self.epoch = clock()
+        self.roots: list[Span] = []
+        self._stack: list[Span] = []
+
+    def span(self, name: str, **labels) -> Span:
+        """A context manager timing one region nested under the current span."""
+        return Span(self, name, labels)
+
+    @property
+    def current(self) -> Span | None:
+        """The innermost open span, if any."""
+        return self._stack[-1] if self._stack else None
+
+    # -- export ---------------------------------------------------------------
+
+    def walk(self):
+        """Yield ``(span, depth)`` depth-first over the finished forest."""
+        pending = [(s, 0) for s in reversed(self.roots)]
+        while pending:
+            span, depth = pending.pop()
+            yield span, depth
+            pending.extend((c, depth + 1) for c in reversed(span.children))
+
+    def to_dict(self) -> dict:
+        return {"spans": [s.to_dict() for s in self.roots]}
+
+    def chrome_trace(self) -> dict:
+        """Chrome trace-event JSON (complete ``"X"`` events, µs units)."""
+        pid = os.getpid()
+        events = []
+        for span, _depth in self.walk():
+            events.append({
+                "name": span.name,
+                "cat": "repro",
+                "ph": "X",
+                "ts": span.start * 1e6,
+                "dur": (span.duration or 0.0) * 1e6,
+                "pid": pid,
+                "tid": 1,
+                "args": dict(span.labels),
+            })
+        return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+    def write_chrome_trace(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(self.chrome_trace(), fh, indent=1)
+
+    def aggregate(self) -> list[dict]:
+        """Per-name totals over the forest, sorted by total time descending.
+
+        ``self_s`` excludes time spent in child spans, so the sum of the
+        ``self_s`` column equals the sum of root durations (no double
+        counting) — the number a profile table should rank by.
+        """
+        rows: dict[str, dict] = {}
+        for span, _depth in self.walk():
+            dur = span.duration or 0.0
+            child = sum(c.duration or 0.0 for c in span.children)
+            row = rows.setdefault(
+                span.name, {"name": span.name, "calls": 0,
+                            "total_s": 0.0, "self_s": 0.0})
+            row["calls"] += 1
+            row["total_s"] += dur
+            row["self_s"] += max(dur - child, 0.0)
+        return sorted(rows.values(), key=lambda r: -r["total_s"])
+
+    def phase_timings(self) -> dict[str, float]:
+        """Total duration per top-level (root or root-child) span name."""
+        out: dict[str, float] = {}
+        for root in self.roots:
+            spans = root.children or [root]
+            for s in spans:
+                out[s.name] = out.get(s.name, 0.0) + (s.duration or 0.0)
+        return out

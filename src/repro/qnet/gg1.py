@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import math
 
+from repro.obs import state as _obs_state
 from repro.util.validation import ValidationError, check_nonnegative, check_positive
 
 
@@ -63,6 +64,9 @@ def gg1_wait(lam: float, mu: float, ca2: float, cs2: float,
     if corrected:
         rho = lam / mu
         wq *= klb_correction(rho, ca2, cs2)
+    tel = _obs_state._active
+    if tel is not None:
+        tel.metrics.counter("qnet.gg1.calls").inc()
     return wq
 
 

@@ -11,6 +11,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+from repro.obs import state as _obs_state
 from repro.util.validation import ValidationError, check_integer, check_positive
 
 
@@ -37,6 +38,9 @@ def erlang_c(c: int, offered_load: float) -> float:
         acc += term
     term *= a / c  # a^c / c!
     tail = term * (c / (c - a))
+    tel = _obs_state._active
+    if tel is not None:
+        tel.metrics.counter("qnet.mmc.erlang_c_calls").inc()
     return tail / (acc + tail)
 
 

@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.obs import state as _obs_state
 from repro.util.validation import (
     ValidationError,
     check_integer,
@@ -220,6 +221,10 @@ def exact_mva(network: ClosedNetwork, population: int) -> MVAResult:
         x = k / total
         q = x * residence
         u = np.where(is_queue, np.minimum(x * demands, 1.0), 0.0)
+    tel = _obs_state._active
+    if tel is not None:
+        tel.metrics.counter("qnet.mva.exact.calls").inc()
+        tel.metrics.counter("qnet.mva.exact.iterations").inc(population)
     return _collapse([s.name for s in stations], mapping, network.stations,
                      population, x, residence, q, u)
 
@@ -249,7 +254,9 @@ def schweitzer_amva(network: ClosedNetwork, population: int,
     q = np.full(n, population / n)
     x = 0.0
     residence = demands.copy()
-    for _ in range(max_iter):
+    iterations = 0
+    residual = float("inf")
+    for iterations in range(1, max_iter + 1):
         q_arr = q * (population - 1) / population
         u = np.where(is_queue, np.minimum(x * demands, 1.0), 0.0)
         residence = np.where(
@@ -262,10 +269,18 @@ def schweitzer_amva(network: ClosedNetwork, population: int,
             raise ValidationError("network has zero total demand")
         x = population / total
         q_new = x * residence
-        if float(np.max(np.abs(q_new - q))) < tol:
-            q = q_new
-            break
+        residual = float(np.max(np.abs(q_new - q)))
         q = q_new
+        if residual < tol:
+            break
+    tel = _obs_state._active
+    if tel is not None:
+        reg = tel.metrics
+        reg.counter("qnet.mva.schweitzer.calls").inc()
+        reg.counter("qnet.mva.schweitzer.iterations").inc(iterations)
+        reg.histogram("qnet.mva.schweitzer.residual").observe(residual)
+        if residual >= tol:
+            reg.counter("qnet.mva.schweitzer.nonconverged").inc()
     u = np.where(is_queue, np.minimum(x * demands, 1.0), 0.0)
     return _collapse([s.name for s in stations], mapping, network.stations,
                      population, x, residence, q, u)

@@ -40,6 +40,7 @@ from __future__ import annotations
 import functools
 import math
 
+from repro import obs
 from repro.machine.allocation import CoreAllocation
 from repro.machine.topology import Machine, MemoryArchitecture
 from repro.runtime.flow import solve_flow
@@ -170,6 +171,14 @@ def _bisect(apply_knob, target: float, lo: float, hi: float,
 
 def _solve_knobs(program: str, size: str, mkey: str) -> dict[str, float]:
     """Compute the calibrated knob values for one anchored triple."""
+    with obs.span("calibration.fit", program=program, size=size,
+                  machine=mkey), \
+            obs.timed("calibration.fit_seconds",
+                      anchor=f"{program}.{size}@{mkey}"):
+        return _solve_knobs_inner(program, size, mkey)
+
+
+def _solve_knobs_inner(program: str, size: str, mkey: str) -> dict[str, float]:
     from repro.machine import amd_numa, intel_numa, intel_uma
 
     presets = {"intel_uma": intel_uma, "intel_numa": intel_numa,
@@ -269,6 +278,7 @@ def calibrate_profile(program: str, size: str,
     workload = get_workload(program)
     profile = workload.profile(size, machine)
     mkey = machine_key(machine)
+    obs.counter("calibration.profile_lookups")
     if (program, size, mkey) not in TABLE2:
         return profile
     knobs = dict(_calibrate_cached(program, size, mkey))

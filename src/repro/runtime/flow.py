@@ -33,6 +33,7 @@ from dataclasses import dataclass
 
 from repro.machine.allocation import CoreAllocation
 from repro.machine.topology import Machine, MemoryArchitecture
+from repro.obs import state as _obs_state
 from repro.qnet.mva import ClosedNetwork, DelayStation, QueueingStation
 from repro.util.validation import ValidationError, check_positive
 from repro.workloads.base import MemoryProfile
@@ -166,6 +167,9 @@ def _hop_cycles(machine: Machine, src_proc: int, dst_proc: int) -> float:
 def solve_flow(profile: MemoryProfile, machine: Machine,
                alloc: CoreAllocation) -> FlowResult:
     """Solve the closed network for one allocation; see module docstring."""
+    tel = _obs_state._active
+    if tel is not None:
+        tel.metrics.counter("runtime.flow.solves").inc()
     if alloc.machine is not machine and alloc.machine != machine:
         raise ValidationError("allocation was built for a different machine")
     n = alloc.n_active

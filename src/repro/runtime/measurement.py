@@ -12,6 +12,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import obs
 from repro.counters.papi import CounterSample
 from repro.machine.allocation import CoreAllocation
 from repro.machine.topology import Machine
@@ -76,14 +77,17 @@ class MeasurementRun:
         """Averaged counters for one active-core count."""
         check_integer("n_active", n_active, minimum=1,
                       maximum=self.machine.n_cores)
-        alloc = CoreAllocation.paper_policy(self.machine, n_active)
-        flow = solve_flow(self._profile, self.machine, alloc)
-        stream = self._streams[n_active - 1]
-        samples = [
-            self.noise.sample(flow, self._profile, alloc, rng=stream)
-            for _ in range(self.repetitions)
-        ]
-        return _average_samples(samples)
+        with obs.span("measure.point", program=self.program, size=self.size,
+                      machine=self.machine.name, n=n_active):
+            alloc = CoreAllocation.paper_policy(self.machine, n_active)
+            flow = solve_flow(self._profile, self.machine, alloc)
+            stream = self._streams[n_active - 1]
+            samples = [
+                self.noise.sample(flow, self._profile, alloc, rng=stream)
+                for _ in range(self.repetitions)
+            ]
+            obs.counter("runtime.measurements")
+            return _average_samples(samples)
 
     def sweep(self, core_counts: list[int] | None = None
               ) -> dict[int, CounterSample]:

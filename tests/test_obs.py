@@ -1,0 +1,466 @@
+"""Telemetry subsystem tests: metrics, spans, manifests, CLI, overhead.
+
+The overhead test compares the engine's disabled-telemetry path against
+a copy of the pre-instrumentation event loop, because "zero-cost when
+disabled" is a hard requirement of the subsystem (the engine is the
+hottest loop in the package).
+"""
+
+import json
+import time
+
+import pytest
+
+from repro import obs
+from repro.desim.engine import SimulationError, Simulator, Timeout
+from repro.obs.metrics import (
+    HIST_MAX_EXP,
+    HIST_MIN_EXP,
+    Counter,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.tracing import Tracer
+
+
+@pytest.fixture(autouse=True)
+def _telemetry_off():
+    """Every test starts and ends with telemetry disabled."""
+    obs.disable()
+    yield
+    obs.disable()
+
+
+# -- metrics registry ---------------------------------------------------------
+
+class TestMetrics:
+    def test_counter_inc_and_snapshot(self):
+        reg = MetricsRegistry()
+        c = reg.counter("desim.events_processed")
+        c.inc()
+        c.inc(41)
+        assert c.value == 42
+        assert reg.counter("desim.events_processed") is c  # get-or-create
+        snap = reg.snapshot()
+        assert snap["desim.events_processed"]["value"] == 42
+        assert snap["desim.events_processed"]["kind"] == "counter"
+
+    def test_counter_rejects_decrease(self):
+        with pytest.raises(ValueError):
+            Counter("x").inc(-1)
+
+    def test_labels_distinguish_instruments(self):
+        reg = MetricsRegistry()
+        a = reg.counter("qnet.mva.exact.calls", machine="uma")
+        b = reg.counter("qnet.mva.exact.calls", machine="numa")
+        assert a is not b
+        a.inc(3)
+        snap = reg.snapshot()
+        assert snap["qnet.mva.exact.calls{machine=uma}"]["value"] == 3
+        assert snap["qnet.mva.exact.calls{machine=numa}"]["value"] == 0
+
+    def test_dotted_name_validation(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError):
+            reg.counter("Bad-Name")
+        with pytest.raises(ValueError):
+            reg.counter("trailing.")
+        reg.counter("ok.name_2")
+
+    def test_kind_conflict_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("a.b")
+        with pytest.raises(ValueError):
+            reg.gauge("a.b")
+
+    def test_gauge_minmax_and_high_water(self):
+        reg = MetricsRegistry()
+        g = reg.gauge("desim.heap_depth_max")
+        g.set(5.0)
+        g.set(2.0)
+        assert (g.value, g.min, g.max) == (2.0, 2.0, 5.0)
+        g.set_max(1.0)   # below the current value: ignored
+        assert g.value == 2.0
+        g.set_max(9.0)
+        assert g.value == 9.0
+
+    def test_timer_records_seconds(self):
+        reg = MetricsRegistry()
+        t = reg.timer("calibration.fit_seconds")
+        with t:
+            time.sleep(0.01)
+        assert t.count == 1
+        assert 0.005 < t.sum < 1.0
+
+
+class TestHistogramBins:
+    def test_power_of_two_bin_edges(self):
+        # Bin e covers [2**(e-1), 2**e): exact powers sit at the bottom.
+        assert Histogram.bin_index(1.0) == 1
+        assert Histogram.bin_index(1.999) == 1
+        assert Histogram.bin_index(2.0) == 2
+        assert Histogram.bin_index(0.25) == -1
+        lo, hi = Histogram.bin_edges(1)
+        assert (lo, hi) == (1.0, 2.0)
+        lo, hi = Histogram.bin_edges(-3)
+        assert (lo, hi) == (0.0625, 0.125)
+
+    def test_underflow_and_clamping(self):
+        assert Histogram.bin_index(0.0) == HIST_MIN_EXP - 1
+        assert Histogram.bin_index(-5.0) == HIST_MIN_EXP - 1
+        assert Histogram.bin_index(1e-300) == HIST_MIN_EXP
+        assert Histogram.bin_index(1e300) == HIST_MAX_EXP
+
+    def test_every_observation_lands_in_its_bin(self):
+        h = Histogram("x")
+        for v in [0.3, 1.0, 1.5, 2.0, 3.9, 1000.0]:
+            h.observe(v)
+            e = h.bin_index(v)
+            lo, hi = h.bin_edges(e)
+            assert lo <= v < hi
+        assert h.count == 6
+        assert h.max == 1000.0
+        assert h.mean == pytest.approx(sum([0.3, 1.0, 1.5, 2.0, 3.9, 1000.0]) / 6)
+
+    def test_quantile_covers_bin_upper_edge(self):
+        h = Histogram("x")
+        for _ in range(99):
+            h.observe(1.5)       # bin [1, 2)
+        h.observe(100.0)         # bin [64, 128)
+        assert h.quantile(0.5) == 2.0
+        assert h.quantile(1.0) == 128.0
+        with pytest.raises(ValueError):
+            h.quantile(1.5)
+
+
+# -- tracing ------------------------------------------------------------------
+
+def _fake_clock(times):
+    it = iter(times)
+    return lambda: next(it)
+
+
+class TestTracing:
+    def test_span_nesting_structure(self):
+        tr = Tracer()
+        with tr.span("experiment.fig5"):
+            with tr.span("machine.uma"):
+                with tr.span("measure.point", n=1):
+                    pass
+                with tr.span("measure.point", n=2):
+                    pass
+            with tr.span("machine.numa"):
+                pass
+        assert len(tr.roots) == 1
+        root = tr.roots[0]
+        assert root.name == "experiment.fig5"
+        assert [c.name for c in root.children] == \
+            ["machine.uma", "machine.numa"]
+        assert [c.name for c in root.children[0].children] == \
+            ["measure.point", "measure.point"]
+        assert root.children[0].children[0].labels == {"n": 1}
+        assert tr.current is None
+
+    def test_durations_nest(self):
+        # clock: epoch, outer-start, inner-start, inner-end, outer-end
+        tr = Tracer(clock=_fake_clock([0.0, 1.0, 2.0, 3.0, 5.0]))
+        with tr.span("outer"):
+            with tr.span("inner"):
+                pass
+        outer, = tr.roots
+        inner, = outer.children
+        assert outer.start == 1.0 and outer.duration == 4.0
+        assert inner.start == 2.0 and inner.duration == 1.0
+
+    def test_aggregate_self_time(self):
+        tr = Tracer(clock=_fake_clock([0.0, 0.0, 1.0, 4.0, 10.0]))
+        with tr.span("outer"):
+            with tr.span("inner"):
+                pass
+        rows = {r["name"]: r for r in tr.aggregate()}
+        assert rows["outer"]["total_s"] == 10.0
+        assert rows["outer"]["self_s"] == 7.0
+        assert rows["inner"]["self_s"] == 3.0
+
+    def test_chrome_trace_schema(self):
+        tr = Tracer()
+        with tr.span("experiment.x", fast=True):
+            with tr.span("engine.run"):
+                pass
+        doc = tr.chrome_trace()
+        # Must be valid JSON and carry the trace-event required fields.
+        doc = json.loads(json.dumps(doc))
+        events = doc["traceEvents"]
+        assert len(events) == 2
+        for ev in events:
+            assert ev["ph"] == "X"
+            assert isinstance(ev["ts"], (int, float))
+            assert isinstance(ev["dur"], (int, float))
+            assert isinstance(ev["pid"], int)
+            assert isinstance(ev["tid"], int)
+            assert isinstance(ev["name"], str)
+        outer = next(e for e in events if e["name"] == "experiment.x")
+        inner = next(e for e in events if e["name"] == "engine.run")
+        assert outer["args"] == {"fast": True}
+        # Child interval nested within the parent interval.
+        assert inner["ts"] >= outer["ts"]
+        assert inner["ts"] + inner["dur"] <= outer["ts"] + outer["dur"] + 1e-6
+
+    def test_to_dict_round_trips_through_json(self):
+        tr = Tracer()
+        with tr.span("a"):
+            with tr.span("b", k="v"):
+                pass
+        d = json.loads(json.dumps(tr.to_dict()))
+        assert d["spans"][0]["name"] == "a"
+        assert d["spans"][0]["children"][0]["labels"] == {"k": "v"}
+
+
+# -- manifests ----------------------------------------------------------------
+
+class TestManifest:
+    def test_round_trip(self, tmp_path):
+        m = obs.RunManifest(
+            experiment="fig5", seed=42, fast=True,
+            wall_time_s=1.5,
+            phase_timings={"machine.uma": 0.5},
+            metrics={"runtime.flow.solves": {"kind": "counter", "value": 17}},
+            notes=["ok"])
+        path = tmp_path / "m.json"
+        m.write(str(path))
+        back = obs.RunManifest.read(str(path))
+        assert back == m
+
+    def test_diff_ignores_identity_fields(self):
+        a = obs.RunManifest(experiment="fig5", seed=1, wall_time_s=1.0)
+        b = obs.RunManifest(experiment="fig5", seed=2, wall_time_s=9.0)
+        d = a.diff(b)
+        assert d == {"seed": (1, 2)}
+
+    def test_newer_schema_rejected(self):
+        with pytest.raises(ValueError):
+            obs.RunManifest.from_dict({"experiment": "x", "schema": 999})
+
+    def test_version_is_nonempty(self):
+        assert obs.code_version()
+
+
+# -- session state and helpers ------------------------------------------------
+
+class TestSessionState:
+    def test_disabled_by_default_and_helpers_noop(self):
+        assert obs.session() is None
+        assert not obs.enabled()
+        # None of these may raise or create state while disabled.
+        with obs.span("x.y"):
+            pass
+        obs.counter("a.b")
+        obs.gauge("a.c", 1.0)
+        obs.observe("a.d", 2.0)
+        with obs.timed("a.e"):
+            pass
+        assert obs.session() is None
+
+    def test_enable_disable_and_fresh(self):
+        tel = obs.enable()
+        assert obs.session() is tel
+        assert obs.enable() is tel              # idempotent
+        assert obs.enable(fresh=True) is not tel
+        obs.disable()
+        assert obs.session() is None
+
+    def test_helpers_record_when_enabled(self):
+        tel = obs.enable(fresh=True)
+        obs.counter("a.calls", 2)
+        obs.gauge("a.depth", 7)
+        obs.observe("a.sizes", 3.0)
+        with obs.span("outer"):
+            with obs.timed("a.secs"):
+                pass
+        snap = tel.metrics.snapshot()
+        assert snap["a.calls"]["value"] == 2
+        assert snap["a.depth"]["value"] == 7
+        assert snap["a.sizes"]["count"] == 1
+        assert snap["a.secs"]["count"] == 1
+        assert tel.tracer.roots[0].name == "outer"
+
+
+# -- engine instrumentation and overhead --------------------------------------
+
+def _ticker(sim, n):
+    for _ in range(n):
+        yield Timeout(1.0)
+
+
+def _baseline_run(sim, until=None, max_events=None):
+    """Copy of the pre-telemetry engine loop (the seed's Simulator.run)."""
+    n_events = 0
+    while len(sim.queue):
+        t = sim.queue.peek_time()
+        if t is None:
+            break
+        if until is not None and t > until:
+            sim.now = until
+            return sim.now
+        if max_events is not None and n_events >= max_events:
+            return sim.now
+        event = sim.queue.pop()
+        if event.time is None:
+            raise SimulationError("popped unscheduled event")
+        if event.time < sim.now:
+            raise SimulationError("event scheduled in the past")
+        sim.now = event.time
+        event._trigger()
+        n_events += 1
+    if until is not None:
+        sim.now = until
+    return sim.now
+
+
+def _time_engine(runner, n_events, repeats=5):
+    best = float("inf")
+    for _ in range(repeats):
+        sim = Simulator()
+        sim.process(_ticker(sim, n_events))
+        t0 = time.perf_counter()
+        runner(sim)
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+class TestEngineTelemetry:
+    def test_enabled_run_counts_events_and_spans(self):
+        tel = obs.enable(fresh=True)
+        sim = Simulator()
+        sim.process(_ticker(sim, 10))
+        sim.run()
+        snap = tel.metrics.snapshot()
+        # 10 timeouts + process start resume + done-event trigger.
+        assert snap["desim.events_processed"]["value"] == 12
+        assert snap["desim.processes_spawned"]["value"] == 1
+        assert snap["desim.runs"]["value"] == 1
+        assert snap["desim.heap_depth_max"]["max"] >= 1
+        assert snap["desim.run_seconds"]["count"] == 1
+        assert [s.name for s in tel.tracer.roots] == ["engine.run"]
+
+    def test_instrumented_loop_matches_baseline_semantics(self):
+        for kwargs in ({}, {"until": 5.0}, {"max_events": 7}):
+            obs.disable()
+            sim_a = Simulator()
+            sim_a.process(_ticker(sim_a, 10))
+            expect = _baseline_run(sim_a, **kwargs)
+            obs.enable(fresh=True)
+            sim_b = Simulator()
+            sim_b.process(_ticker(sim_b, 10))
+            got = sim_b.run(**kwargs)
+            assert got == expect
+
+    def test_obs_overhead_disabled_engine_loop(self):
+        """The disabled path must be within noise of the seed's loop."""
+        n = 5000
+        _time_engine(_baseline_run, n, repeats=2)   # warm-up
+        t_baseline = _time_engine(_baseline_run, n)
+        t_disabled = _time_engine(lambda s: s.run(), n)
+        # One session check per run() call, nothing per event: allow
+        # generous scheduling noise but catch any per-event regression.
+        assert t_disabled <= t_baseline * 1.5 + 1e-3, \
+            f"disabled telemetry path too slow: {t_disabled:.4f}s vs " \
+            f"baseline {t_baseline:.4f}s"
+
+    def test_noop_span_helper_is_cheap(self):
+        t0 = time.perf_counter()
+        for _ in range(100_000):
+            with obs.span("x.y"):
+                pass
+        elapsed = time.perf_counter() - t0
+        assert elapsed < 2.0, f"no-op span too slow: {elapsed:.3f}s"
+
+
+# -- experiment runner integration --------------------------------------------
+
+class TestRunnerIntegration:
+    def test_wall_time_recorded_without_telemetry(self):
+        from repro.experiments import run_experiment
+
+        result = run_experiment("table1", fast=True)
+        assert result.wall_time_s is not None and result.wall_time_s > 0
+        assert result.manifest is None
+        assert "wall-clock:" in result.render()
+
+    def test_manifest_and_phases_with_telemetry(self):
+        from repro.experiments import run_experiment
+        from repro.util.rng import DEFAULT_SEED
+
+        tel = obs.enable(fresh=True)
+        result = run_experiment("fig5", fast=True)
+        assert result.manifest is not None
+        assert tel.manifests == [result.manifest]
+        m = result.manifest
+        assert m.experiment == "fig5"
+        assert m.seed == DEFAULT_SEED
+        assert m.fast is True
+        assert m.wall_time_s == result.wall_time_s
+        assert any(k.startswith("machine.") for k in m.phase_timings)
+        assert "runtime.measurements" in m.metrics
+        # Spans nest experiment -> machine -> measure.point.
+        root = tel.tracer.roots[0]
+        assert root.name == "experiment.fig5"
+        machines = [c for c in root.children if c.name.startswith("machine.")]
+        assert machines
+        assert any(g.name == "measure.point"
+                   for c in machines for g in c.children)
+        # Manifest JSON round-trips.
+        assert obs.RunManifest.from_json(m.to_json()) == m
+
+
+# -- CLI ----------------------------------------------------------------------
+
+class TestCLI:
+    def test_version_flag(self, capsys):
+        from repro import __version__
+        from repro.cli import main
+
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0
+        assert __version__ in capsys.readouterr().out
+
+    def test_list_mentions_commands(self, capsys):
+        from repro.cli import main
+
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for word in ("report", "profile", "fig5"):
+            assert word in out
+
+    def test_trace_metrics_manifest_flags(self, tmp_path, capsys):
+        from repro.cli import main
+
+        trace = tmp_path / "t.json"
+        manifest = tmp_path / "m.json"
+        rc = main(["fig5", "--fast", "--trace", str(trace),
+                   "--metrics", "--manifest", str(manifest)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "metrics" in out and "span timings" in out
+        doc = json.loads(trace.read_text())
+        names = {e["name"] for e in doc["traceEvents"]}
+        assert "experiment.fig5" in names
+        assert any(n.startswith("machine.") for n in names)
+        m = obs.RunManifest.from_json(manifest.read_text())
+        assert m.experiment == "fig5"
+        obs.disable()  # CLI enabled a session; do not leak it
+
+    def test_profile_command(self, capsys):
+        from repro.cli import main
+
+        assert main(["profile", "table2", "--fast"]) == 0
+        out = capsys.readouterr().out
+        assert "span timings" in out
+        assert "experiment.table2" in out
+        obs.disable()
+
+    def test_profile_without_target_errors(self, capsys):
+        from repro.cli import main
+
+        assert main(["profile"]) == 2
