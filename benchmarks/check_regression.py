@@ -1,0 +1,209 @@
+#!/usr/bin/env python
+"""Benchmark regression gate: fresh BENCH records vs committed baselines.
+
+Compares the perf records produced by a fresh benchmark run against the
+baselines committed under ``benchmarks/perf/`` and fails (exit 1) when
+the run regressed:
+
+* **Gated counters** — deterministic work counters (names ending in
+  ``.calls``, ``.solves``, ``.iterations`` or ``.events_processed``,
+  excluding the ``perf.cache.*`` bookkeeping) must not grow by more than
+  the threshold (default 25%).  These are machine-independent, so they
+  gate unconditionally.
+* **Wall time** — gated with the same threshold, but *only* when the
+  fresh record and the baseline carry the same ``environment.hostname``;
+  cross-machine wall times are reported as warnings instead of failures.
+
+Usage::
+
+    # Generate a fresh fast-mode table2 record and gate it (what CI runs):
+    PYTHONPATH=src python benchmarks/check_regression.py --run table2 --fast
+
+    # Gate pre-generated records in a directory against the baselines:
+    PYTHONPATH=src python benchmarks/check_regression.py --fresh /tmp/perf
+
+See docs/PERFORMANCE.md for how the baselines are refreshed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import perf_record  # noqa: E402
+
+#: Counter-name suffixes that measure deterministic solver/simulator work.
+GATED_SUFFIXES = (".calls", ".solves", ".iterations", ".events_processed")
+
+#: Prefixes excluded from gating (cache bookkeeping varies legitimately).
+EXCLUDED_PREFIXES = ("perf.cache.",)
+
+DEFAULT_THRESHOLD = 0.25
+
+
+def load_record(path: str) -> dict:
+    """Read one BENCH json record."""
+    with open(path, encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def gated_counters(record: dict) -> dict[str, float]:
+    """The work counters a record is judged on: ``{name: value}``."""
+    out: dict[str, float] = {}
+    for key, summary in record.get("metrics", {}).items():
+        if summary.get("kind") != "counter":
+            continue
+        if not key.endswith(GATED_SUFFIXES):
+            continue
+        if key.startswith(EXCLUDED_PREFIXES):
+            continue
+        out[key] = float(summary.get("value", 0.0))
+    return out
+
+
+def _same_host(baseline: dict, fresh: dict) -> bool:
+    base_host = baseline.get("environment", {}).get("hostname")
+    fresh_host = fresh.get("environment", {}).get("hostname")
+    return base_host is not None and base_host == fresh_host
+
+
+def compare_records(baseline: dict, fresh: dict,
+                    threshold: float = DEFAULT_THRESHOLD,
+                    ) -> tuple[list[str], list[str]]:
+    """Judge one fresh record against its baseline.
+
+    Returns ``(failures, warnings)`` — human-readable lines; an empty
+    failure list means the record passes the gate.
+    """
+    failures: list[str] = []
+    warnings: list[str] = []
+    name = fresh.get("benchmark", "?")
+    limit = 1.0 + threshold
+
+    base_counters = gated_counters(baseline)
+    fresh_counters = gated_counters(fresh)
+    for key, base_value in sorted(base_counters.items()):
+        if key not in fresh_counters:
+            warnings.append(
+                f"{name}: counter {key} missing from fresh record "
+                f"(baseline {base_value:g})")
+            continue
+        fresh_value = fresh_counters[key]
+        if base_value <= 0.0:
+            if fresh_value > 0.0:
+                warnings.append(
+                    f"{name}: counter {key} appeared "
+                    f"(0 -> {fresh_value:g}); baseline has no budget")
+            continue
+        ratio = fresh_value / base_value
+        if ratio > limit:
+            failures.append(
+                f"{name}: counter {key} regressed "
+                f"{base_value:g} -> {fresh_value:g} "
+                f"({ratio:.2f}x > {limit:.2f}x allowed)")
+    for key in sorted(set(fresh_counters) - set(base_counters)):
+        warnings.append(
+            f"{name}: new gated counter {key} = {fresh_counters[key]:g} "
+            "(no baseline; commit a refreshed record to start gating it)")
+
+    base_wall = baseline.get("wall_time_s")
+    fresh_wall = fresh.get("wall_time_s")
+    if base_wall and fresh_wall:
+        ratio = fresh_wall / base_wall
+        line = (f"{name}: wall time {base_wall:.3f}s -> {fresh_wall:.3f}s "
+                f"({ratio:.2f}x)")
+        if not _same_host(baseline, fresh):
+            warnings.append(line + " [different host: not gated]")
+        elif ratio > limit:
+            failures.append(line + f" > {limit:.2f}x allowed")
+    return failures, warnings
+
+
+def run_gate(baseline_dir: str, fresh_dir: str,
+             threshold: float = DEFAULT_THRESHOLD) -> int:
+    """Gate every fresh record that has a committed baseline; exit code."""
+    fresh_names = sorted(f for f in os.listdir(fresh_dir)
+                         if f.startswith("BENCH_") and f.endswith(".json"))
+    if not fresh_names:
+        print(f"error: no BENCH_*.json records in {fresh_dir}",
+              file=sys.stderr)
+        return 2
+    all_failures: list[str] = []
+    compared = 0
+    for fname in fresh_names:
+        base_path = os.path.join(baseline_dir, fname)
+        if not os.path.exists(base_path):
+            print(f"skip: {fname} has no committed baseline in "
+                  f"{baseline_dir}")
+            continue
+        compared += 1
+        failures, warnings = compare_records(
+            load_record(base_path), load_record(os.path.join(fresh_dir,
+                                                             fname)),
+            threshold)
+        for line in warnings:
+            print(f"warn: {line}")
+        for line in failures:
+            print(f"FAIL: {line}")
+        if not failures:
+            print(f"ok:   {fname}")
+        all_failures.extend(failures)
+    if not compared:
+        print("error: no fresh record matched a committed baseline",
+              file=sys.stderr)
+        return 2
+    if all_failures:
+        print(f"\nregression gate FAILED: {len(all_failures)} regression(s) "
+              f"over the {threshold:.0%} threshold")
+        return 1
+    print(f"\nregression gate passed ({compared} record(s) compared)")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="gate fresh BENCH records against committed baselines")
+    parser.add_argument("--baseline", default=perf_record.DEFAULT_PERF_DIR,
+                        metavar="DIR",
+                        help="committed baseline directory "
+                             "(default: benchmarks/perf)")
+    parser.add_argument("--fresh", default=None, metavar="DIR",
+                        help="directory of freshly generated records to gate")
+    parser.add_argument("--run", action="append", default=None,
+                        metavar="NAME",
+                        help="generate a fresh record for this experiment "
+                             "first (repeatable)")
+    parser.add_argument("--fast", action="store_true",
+                        help="with --run: use the fast-mode sweep "
+                             "(gates against BENCH_<name>_fast.json)")
+    parser.add_argument("--threshold", type=float, default=DEFAULT_THRESHOLD,
+                        metavar="FRAC",
+                        help="allowed fractional growth (default 0.25)")
+    args = parser.parse_args(argv)
+
+    if not args.run and not args.fresh:
+        parser.error("need --run NAME and/or --fresh DIR")
+    fresh_dir = args.fresh
+    tmp = None
+    if args.run:
+        if fresh_dir is None:
+            tmp = tempfile.TemporaryDirectory(prefix="repro-bench-")
+            fresh_dir = tmp.name
+        for name in args.run:
+            path = perf_record.generate_record(name, fast=args.fast,
+                                               out_dir=fresh_dir)
+            print(f"generated {path}")
+    try:
+        return run_gate(args.baseline, fresh_dir, args.threshold)
+    finally:
+        if tmp is not None:
+            tmp.cleanup()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

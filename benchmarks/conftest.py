@@ -7,68 +7,38 @@ eyeballed from one run.
 
 Every benchmarked experiment additionally writes a ``BENCH_<name>.json``
 perf record — wall time plus the telemetry metrics snapshot (solver
-calls, events processed, ...) — so the repo's performance trajectory is
-machine-diffable across PRs.  Records land in ``benchmarks/perf/`` by
-default; set ``REPRO_BENCH_DIR`` to redirect, or set it empty to skip.
+calls, events processed, ...) and an ``environment`` block (hostname,
+CPU count, Python version) — so the repo's performance trajectory is
+machine-diffable across PRs; ``benchmarks/check_regression.py`` gates
+fresh records against these baselines.  Records land in
+``benchmarks/perf/`` by default; set ``REPRO_BENCH_DIR`` to redirect,
+or set it empty to skip.  Record-writing lives in
+``benchmarks/perf_record.py``.
 """
 
-import json
-import os
 import time
 
 import pytest
 
+from perf_record import reset_solver_caches, write_perf_record
+
 from repro import obs
-
-#: Default output directory for perf records, relative to this file.
-_DEFAULT_PERF_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)),
-                                 "perf")
-
-
-def _perf_dir() -> str | None:
-    configured = os.environ.get("REPRO_BENCH_DIR")
-    if configured is not None:
-        return configured or None  # empty string disables records
-    return _DEFAULT_PERF_DIR
-
-
-def write_perf_record(name: str, result, wall_time_s: float,
-                      tel) -> str | None:
-    """Write ``BENCH_<name>.json`` for one benchmarked experiment run."""
-    out_dir = _perf_dir()
-    if out_dir is None:
-        return None
-    os.makedirs(out_dir, exist_ok=True)
-    record = {
-        "benchmark": name,
-        "schema": obs.MANIFEST_SCHEMA,
-        "version": obs.code_version(),
-        "recorded_unix": time.time(),
-        "wall_time_s": wall_time_s,
-        "phase_timings": dict(result.phase_timings),
-        "metrics": tel.metrics.snapshot(),
-        "notes": list(result.notes),
-    }
-    path = os.path.join(out_dir, f"BENCH_{name}.json")
-    with open(path, "w", encoding="utf-8") as fh:
-        json.dump(record, fh, indent=1, sort_keys=True)
-        fh.write("\n")
-    return path
 
 
 def run_and_report(benchmark, name, fast=True, rounds=1):
-    """Benchmark one experiment, print its report, emit a perf record."""
+    """Benchmark one experiment cold, print its report, emit a perf record."""
     from repro.experiments import run_experiment
 
     was_enabled = obs.enabled()
     tel = obs.enable(fresh=True)
+    reset_solver_caches()
     t0 = time.perf_counter()
     try:
         result = benchmark.pedantic(
             run_experiment, args=(name,), kwargs={"fast": fast},
             rounds=rounds, iterations=1)
         wall = time.perf_counter() - t0
-        path = write_perf_record(name, result, wall, tel)
+        path = write_perf_record(name, result, wall, tel, fast=fast)
     finally:
         if not was_enabled:
             obs.disable()

@@ -32,6 +32,9 @@ class HurstEstimate:
     hurst: float
     slope: float
     r2: float
+    #: The aggregation levels actually regressed on — levels whose
+    #: aggregated variance was non-positive are excluded from the fit and
+    #: from this tuple.
     aggregation_levels: tuple[int, ...]
 
     @property
@@ -73,22 +76,34 @@ def estimate_hurst(counts, min_blocks: int = 16,
     if m_max < 4:
         raise ValidationError("series too short for aggregation ladder")
     levels = np.unique(np.geomspace(1, m_max, n_levels).astype(int))
-    log_m = []
-    log_var = []
-    for m in levels:
-        agg = aggregate_series(arr, int(m))
-        var = float(agg.var(ddof=1))
-        if var <= 0:
-            continue
-        log_m.append(np.log10(m))
-        log_var.append(np.log10(var))
-    if len(log_m) < 3:
+    variances = _ladder_variances(arr, levels)
+    usable = variances > 0.0
+    if int(usable.sum()) < 3:
         raise ValidationError("too few usable aggregation levels")
-    fit = linear_fit(log_m, log_var)
+    used_levels = levels[usable]
+    fit = linear_fit(np.log10(used_levels), np.log10(variances[usable]))
     hurst = 1.0 + fit.slope / 2.0
     return HurstEstimate(
         hurst=float(np.clip(hurst, 0.0, 1.0)),
         slope=fit.slope,
         r2=fit.r2,
-        aggregation_levels=tuple(int(m) for m in levels),
+        aggregation_levels=tuple(int(m) for m in used_levels),
     )
+
+
+def _ladder_variances(arr: np.ndarray, levels: np.ndarray) -> np.ndarray:
+    """Sample variance (ddof=1) of the m-aggregated series, per level.
+
+    The whole ladder is computed in one stacked pass: block means for
+    every level come from a single shared prefix sum, padded into one
+    ``[levels, blocks]`` matrix whose row variances are taken in a single
+    ``nanvar`` reduction — no per-level Python aggregation.
+    """
+    prefix = np.concatenate(([0.0], np.cumsum(arr)))
+    n_blocks = arr.size // levels            # blocks per level
+    width = int(n_blocks.max())
+    stacked = np.full((len(levels), width), np.nan)
+    for i, (m, nb) in enumerate(zip(levels, n_blocks)):
+        edges = prefix[: (nb + 1) * m : m]
+        stacked[i, :nb] = np.diff(edges) / m
+    return np.nanvar(stacked, axis=1, ddof=1)

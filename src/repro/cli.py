@@ -7,7 +7,9 @@ Commands
 ``repro all [--fast]``
     Run every experiment and print the reports.
 ``repro <experiment> [--fast] [--seed N]``
-    Run one experiment (e.g. ``repro fig5``).
+    Run one experiment (e.g. ``repro fig5``).  ``repro all --jobs N`` and
+    ``repro report --jobs N`` fan the experiments out over N worker
+    processes with results identical to serial execution.
 ``repro profile <experiment> [--fast]``
     Run one experiment with telemetry on and print the sorted
     span-timing and metrics tables.
@@ -80,7 +82,7 @@ def _cmd_report(args) -> int:
     path = "EXPERIMENTS.md"
     print(f"running every experiment and writing {path} "
           "(several minutes at full fidelity)")
-    write_experiments_md(path, fast=args.fast, rng=args.seed)
+    write_experiments_md(path, fast=args.fast, rng=args.seed, jobs=args.jobs)
     print("done")
     return 0
 
@@ -118,11 +120,14 @@ def _write_telemetry(args, tel) -> None:
 
 
 def _cmd_experiment(args) -> int:
+    from repro.experiments import run_experiments
+
     telemetry_wanted = bool(args.trace or args.metrics or args.manifest)
     if telemetry_wanted:
         obs.enable(fresh=True)
-    for name in _experiment_names(args.experiment):
-        result = run_experiment(name, fast=args.fast, rng=args.seed)
+    names = _experiment_names(args.experiment)
+    for result in run_experiments(names, fast=args.fast, rng=args.seed,
+                                  jobs=args.jobs):
         print(result.render())
         print()
     if telemetry_wanted:
@@ -164,6 +169,10 @@ def main(argv: list[str] | None = None) -> int:
                         help="smaller sweeps / fewer samples")
     parser.add_argument("--seed", type=int, default=None,
                         help="override the default RNG seed")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="run experiments in N worker processes "
+                             "(results identical to serial; see "
+                             "docs/PERFORMANCE.md)")
     parser.add_argument("--trace", metavar="PATH", default=None,
                         help="write a Chrome trace-event JSON (Perfetto)")
     parser.add_argument("--metrics", action="store_true",

@@ -49,7 +49,8 @@ ProcessGen = Generator[object, object, None]
 class _Process:
     """Bookkeeping wrapper that advances a generator through its waitables."""
 
-    __slots__ = ("sim", "gen", "finished", "done_event", "_waiting_on")
+    __slots__ = ("sim", "gen", "finished", "done_event", "_waiting_on",
+                 "_resume_cb")
 
     def __init__(self, sim: "Simulator", gen: ProcessGen) -> None:
         self.sim = sim
@@ -57,6 +58,13 @@ class _Process:
         self.finished = False
         self.done_event = Event()
         self._waiting_on: Optional[Event] = None
+        # One bound method shared by every resume of this process; the
+        # engine's hot path registers it instead of allocating a closure
+        # per wait (the resume payload travels in ``event.value``).
+        self._resume_cb = self._on_resume
+
+    def _on_resume(self, event: Event) -> None:
+        self._step(event.value)
 
     def interrupt(self, cause: object = None) -> None:
         """Throw :class:`Interrupt` into the process at the current time."""
@@ -85,7 +93,7 @@ class _Process:
         if isinstance(waitable, Timeout):
             ev = Event()
             sim.queue.push(ev, sim.now + waitable.delay)
-            ev.add_callback(lambda e: self._step(e.value))
+            ev.add_callback(self._resume_cb)
             self._waiting_on = ev
         elif isinstance(waitable, Event):
             if waitable.triggered:
@@ -93,7 +101,7 @@ class _Process:
                 # ordering stays deterministic.
                 sim._schedule_resume(self, send_value=waitable.value)
             else:
-                waitable.add_callback(lambda e: self._step(e.value))
+                waitable.add_callback(self._resume_cb)
                 self._waiting_on = waitable
         else:
             raise SimulationError(
@@ -125,9 +133,11 @@ class Simulator:
         ev = Event()
         self.queue.push(ev, self.now)
         if throw is not None:
+            # Exceptional resumes are rare; a closure per throw is fine.
             ev.add_callback(lambda e: proc._step(throw=throw))
         else:
-            ev.add_callback(lambda e: proc._step(send_value))
+            ev.value = send_value
+            ev.add_callback(proc._resume_cb)
 
     # -- events --------------------------------------------------------------
 
@@ -166,17 +176,24 @@ class Simulator:
         tel = _obs_state._active
         if tel is not None:
             return self._run_instrumented(tel, until, max_events)
+        # Hot loop: bind the queue access to a local and let pop_due do
+        # the len/peek/pop triple in a single heap access per event.
+        # (push() rejects infinite times, so inf is a safe no-bound.)
+        pop_due = self.queue.pop_due
+        bound = until if until is not None else float("inf")
         n_events = 0
-        while len(self.queue):
-            t = self.queue.peek_time()
-            if t is None:
+        while True:
+            if n_events == max_events:
+                # Matches the legacy check ordering: when the budget is
+                # exhausted with a due event still queued, stop at the
+                # current time; otherwise fall through to the until clamp.
+                t = self.queue.peek_time()
+                if t is not None and (until is None or t <= until):
+                    return self.now
                 break
-            if until is not None and t > until:
-                self.now = until
-                return self.now
-            if max_events is not None and n_events >= max_events:
-                return self.now
-            event = self.queue.pop()
+            event = pop_due(bound)
+            if event is None:
+                break
             if event.time is None:  # pragma: no cover - defensive
                 raise SimulationError("popped unscheduled event")
             if event.time < self.now:
@@ -198,23 +215,25 @@ class Simulator:
         reg = tel.metrics
         sim_t0 = self.now
         wall_t0 = time.perf_counter()
+        queue = self.queue
+        pop_due = queue.pop_due
+        bound = until if until is not None else float("inf")
         n_events = 0
         heap_max = 0
         try:
             with tel.tracer.span("engine.run"):
-                while len(self.queue):
-                    depth = len(self.queue)
+                while True:
+                    depth = len(queue)
                     if depth > heap_max:
                         heap_max = depth
-                    t = self.queue.peek_time()
-                    if t is None:
+                    if n_events == max_events:
+                        t = queue.peek_time()
+                        if t is not None and (until is None or t <= until):
+                            return self.now
                         break
-                    if until is not None and t > until:
-                        self.now = until
-                        return self.now
-                    if max_events is not None and n_events >= max_events:
-                        return self.now
-                    event = self.queue.pop()
+                    event = pop_due(bound)
+                    if event is None:
+                        break
                     if event.time is None:  # pragma: no cover - defensive
                         raise SimulationError("popped unscheduled event")
                     if event.time < self.now:

@@ -95,6 +95,28 @@ class EventQueue:
             if not event.cancelled:
                 return event
 
+    def pop_due(self, limit: float) -> Optional[Event]:
+        """Pop the earliest live event with ``time <= limit``.
+
+        The engine's hot path: one heap access replaces the
+        ``len``/``peek_time``/``pop`` triple of the naive loop.  Cancelled
+        events are discarded in passing.  Returns ``None`` — leaving the
+        next live event queued — when the queue is empty or that event is
+        after ``limit``.
+        """
+        heap = self._heap
+        pop = heapq.heappop
+        while heap:
+            time, _, event = heap[0]
+            if event.cancelled:
+                pop(heap)
+                continue
+            if time > limit:
+                return None
+            pop(heap)
+            return event
+        return None
+
     def peek_time(self) -> Optional[float]:
         """Time of the next live event, or ``None`` when empty."""
         while self._heap:

@@ -27,10 +27,12 @@ from repro.experiments.runner import (
     ExperimentResult,
     available_experiments,
     run_experiment,
+    run_experiments,
 )
 
 __all__ = [
     "ExperimentResult",
     "available_experiments",
     "run_experiment",
+    "run_experiments",
 ]

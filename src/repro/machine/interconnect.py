@@ -64,6 +64,19 @@ class Interconnect:
             raise ValidationError("interconnect must be connected")
         self._dist = dict(nx.all_pairs_shortest_path_length(self.graph))
 
+    def __cache_tokens__(self) -> dict:
+        """Value identity for solver cache keys (see ``repro.perf.keys``).
+
+        The hop-distance matrix plus the latency/bandwidth parameters
+        fully determine this object's observable behaviour; the graph
+        library's internal structures stay out of the key.
+        """
+        return {
+            "hop_latency_ns": self.hop_latency_ns,
+            "link_bandwidth_bytes_per_s": self.link_bandwidth_bytes_per_s,
+            "dist": self._dist,
+        }
+
     @property
     def nodes(self) -> list[int]:
         return sorted(self.graph.nodes)

@@ -233,3 +233,56 @@ class MetricsRegistry:
                 key += "{" + ",".join(f"{k}={v}" for k, v in labels) + "}"
             out[key] = {"kind": inst.kind, **inst.summary()}
         return out
+
+    def merge_snapshot(self, snapshot: dict[str, dict]) -> None:
+        """Fold a :meth:`snapshot` from another registry into this one.
+
+        The merge used by the parallel experiment runner to surface
+        worker-process telemetry in the parent session: counters add,
+        gauge and histogram extrema combine, histogram bins add (the
+        fixed power-of-two edges make bins from different runs line up).
+        Label values arrive stringified — the string form is the merge
+        identity for labelled instruments.
+        """
+        for key, summary in snapshot.items():
+            name, labels = _parse_snapshot_key(key)
+            kind = summary.get("kind", "counter")
+            if kind == "counter":
+                self.counter(name, **labels).inc(summary.get("value", 0.0))
+            elif kind == "gauge":
+                gauge = self.gauge(name, **labels)
+                for v in (summary.get("min"), summary.get("max"),
+                          summary.get("value")):
+                    if v is not None:
+                        gauge.set(v)
+            elif kind in ("histogram", "timer"):
+                hist = self.timer(name, **labels) if kind == "timer" \
+                    else self.histogram(name, **labels)
+                for e, c in summary.get("bins", {}).items():
+                    e = int(e)
+                    hist.bins[e] = hist.bins.get(e, 0) + c
+                hist.count += summary.get("count", 0)
+                hist.sum += summary.get("sum", 0.0)
+                for attr in ("min", "max"):
+                    v = summary.get(attr)
+                    if v is None:
+                        continue
+                    cur = getattr(hist, attr)
+                    merged = v if cur is None else \
+                        (min(cur, v) if attr == "min" else max(cur, v))
+                    setattr(hist, attr, merged)
+            else:
+                raise ValueError(f"cannot merge instrument kind {kind!r}")
+
+
+def _parse_snapshot_key(key: str) -> tuple[str, dict[str, str]]:
+    """Split a snapshot key back into ``(name, labels)``."""
+    if not key.endswith("}"):
+        return key, {}
+    name, _, label_part = key[:-1].partition("{")
+    labels: dict[str, str] = {}
+    for item in label_part.split(","):
+        if item:
+            k, _, v = item.partition("=")
+            labels[k] = v
+    return name, labels

@@ -1,0 +1,163 @@
+"""Bounded LRU memoization caches for the analytical solvers.
+
+Two process-global caches back the fast path:
+
+* :data:`flow_cache` — full ``runtime.flow`` solutions, keyed on the
+  content hash of (machine, profile, allocation);
+* :data:`mva_cache` — closed-network solutions: ``ClosedNetwork.solve``
+  results and the flow solver's internal per-chain throughputs.
+
+Both are enabled by default, bounded (LRU eviction) and observable: each
+lookup bumps local hit/miss counters, mirrored into the active telemetry
+session as ``perf.cache.<name>.hits`` / ``.misses`` / ``.evictions`` so
+BENCH records and run manifests show cache effectiveness alongside the
+solver-call counters they suppress.
+
+Set ``REPRO_PERF_CACHE=0`` in the environment to disable both caches
+(used by the regression gate to measure the uncached baseline), or call
+:func:`set_enabled` / :func:`clear_caches` programmatically.
+"""
+
+from __future__ import annotations
+
+import os
+from collections import OrderedDict
+
+from repro.obs import state as _obs_state
+
+#: Sentinel distinguishing "no cached value" from a cached ``None``.
+MISS = object()
+
+
+class MemoCache:
+    """A bounded LRU map with hit/miss/eviction accounting.
+
+    Keys are any hashable value (tuples, digest strings); values are
+    treated as immutable — callers that cache structures with interior
+    mutability must copy on the way in or out.
+    """
+
+    __slots__ = ("name", "maxsize", "enabled", "hits", "misses",
+                 "evictions", "_data")
+
+    def __init__(self, name: str, maxsize: int = 4096,
+                 enabled: bool = True) -> None:
+        if maxsize < 1:
+            raise ValueError(f"maxsize must be >= 1, got {maxsize}")
+        self.name = name
+        self.maxsize = maxsize
+        self.enabled = enabled
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self._data: OrderedDict = OrderedDict()
+
+    def get(self, key) -> object:
+        """The cached value, or :data:`MISS`; bumps hit/miss counters."""
+        if not self.enabled:
+            return MISS
+        value = self._data.get(key, MISS)
+        tel = _obs_state._active
+        if value is MISS:
+            self.misses += 1
+            if tel is not None:
+                tel.metrics.counter(f"perf.cache.{self.name}.misses").inc()
+            return MISS
+        self._data.move_to_end(key)
+        self.hits += 1
+        if tel is not None:
+            tel.metrics.counter(f"perf.cache.{self.name}.hits").inc()
+        return value
+
+    def put(self, key, value) -> None:
+        """Insert ``key -> value``, evicting the LRU entry when full."""
+        if not self.enabled:
+            return
+        data = self._data
+        if key in data:
+            data.move_to_end(key)
+            data[key] = value
+            return
+        data[key] = value
+        if len(data) > self.maxsize:
+            data.popitem(last=False)
+            self.evictions += 1
+            tel = _obs_state._active
+            if tel is not None:
+                tel.metrics.counter(
+                    f"perf.cache.{self.name}.evictions").inc()
+
+    def clear(self) -> None:
+        """Drop every entry (counters are kept — they are cumulative)."""
+        self._data.clear()
+
+    def stats(self) -> dict:
+        """Plain-dict summary (mirrors the telemetry counters)."""
+        total = self.hits + self.misses
+        return {
+            "name": self.name,
+            "size": len(self._data),
+            "maxsize": self.maxsize,
+            "enabled": self.enabled,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": self.hits / total if total else 0.0,
+        }
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key) -> bool:
+        return self.enabled and key in self._data
+
+
+def _env_enabled() -> bool:
+    return os.environ.get("REPRO_PERF_CACHE", "1") not in ("0", "false", "")
+
+
+#: Full flow solutions; one entry per (machine, profile, allocation).
+flow_cache = MemoCache("flow", maxsize=4096, enabled=_env_enabled())
+#: Closed-network solutions (MVA results and per-chain throughputs).
+mva_cache = MemoCache("mva", maxsize=32768, enabled=_env_enabled())
+
+_ALL = (flow_cache, mva_cache)
+
+
+def set_enabled(flag: bool) -> None:
+    """Enable or disable both solver caches (disabling also clears them)."""
+    for cache in _ALL:
+        cache.enabled = flag
+        if not flag:
+            cache.clear()
+
+
+def caches_enabled() -> bool:
+    """True when the solver caches are active."""
+    return all(c.enabled for c in _ALL)
+
+
+def clear_caches() -> None:
+    """Empty both solver caches (size goes to zero; counters persist)."""
+    for cache in _ALL:
+        cache.clear()
+
+
+def cache_stats() -> dict[str, dict]:
+    """``{cache name: stats dict}`` for every solver cache."""
+    return {c.name: c.stats() for c in _ALL}
+
+
+def configure(flow_maxsize: int | None = None,
+              mva_maxsize: int | None = None) -> None:
+    """Adjust cache size bounds; shrinking evicts LRU entries."""
+    for cache, maxsize in ((flow_cache, flow_maxsize),
+                           (mva_cache, mva_maxsize)):
+        if maxsize is None:
+            continue
+        if maxsize < 1:
+            raise ValueError(f"maxsize must be >= 1, got {maxsize}")
+        cache.maxsize = maxsize
+        while len(cache._data) > maxsize:
+            cache._data.popitem(last=False)
+            cache.evictions += 1

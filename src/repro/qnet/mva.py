@@ -11,11 +11,17 @@ produces the small-but-nonzero errors the paper reports.
 
 Features:
 
-* exact MVA recursion (Reiser & Lavenberg);
+* exact MVA recursion (Reiser & Lavenberg), vectorized over a *batch* of
+  chains: the recursion core operates on ``[chains, stations]`` arrays so
+  the coupled fixed point in :mod:`repro.runtime.flow` solves every
+  processor's network in one numpy pass per Jacobi iteration;
 * Schweitzer approximate MVA for large populations;
 * Seidmann's transformation for multi-channel stations;
 * a residual-service correction for non-exponential service (per-station
-  SCV), the standard AMVA heuristic.
+  SCV), the standard AMVA heuristic;
+* content-addressed memoization of :meth:`ClosedNetwork.solve` through
+  :mod:`repro.perf` — resolving an identical network at the same
+  population returns the previously computed :class:`MVAResult`.
 """
 
 from __future__ import annotations
@@ -25,6 +31,9 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.obs import state as _obs_state
+from repro.perf.cache import MISS as _MISS
+from repro.perf.cache import mva_cache as _mva_cache
+from repro.perf.keys import mva_key as _mva_key
 from repro.util.validation import (
     ValidationError,
     check_integer,
@@ -127,6 +136,16 @@ def _expand_multiserver(stations: list[Station]) -> tuple[list[Station], list[in
     return expanded, mapping
 
 
+def _station_arrays(
+        stations: list[Station]) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """``(demands, is_queue, scv)`` vectors for a station list."""
+    demands = np.array([s.demand for s in stations])
+    is_queue = np.array([isinstance(s, QueueingStation) for s in stations])
+    scv = np.array([s.scv if isinstance(s, QueueingStation) else 1.0
+                    for s in stations])
+    return demands, is_queue, scv
+
+
 class ClosedNetwork:
     """A single-class closed queueing network.
 
@@ -150,13 +169,24 @@ class ClosedNetwork:
 
         ``method`` is ``"exact"`` (recursion over 1..N) or ``"schweitzer"``
         (fixed-point approximation, O(iterations) independent of N).
+
+        Solutions are memoized in :data:`repro.perf.mva_cache`, keyed on
+        the station values, the population and the method; a repeat solve
+        of an identical network returns the cached (immutable) result.
         """
         check_integer("population", population, minimum=0)
+        if method not in ("exact", "schweitzer"):
+            raise ValidationError(f"unknown MVA method {method!r}")
+        key = _mva_key(self.stations, population, method)
+        hit = _mva_cache.get(key)
+        if hit is not _MISS:
+            return hit
         if method == "exact":
-            return exact_mva(self, population)
-        if method == "schweitzer":
-            return schweitzer_amva(self, population)
-        raise ValidationError(f"unknown MVA method {method!r}")
+            result = exact_mva(self, population)
+        else:
+            result = schweitzer_amva(self, population)
+        _mva_cache.put(key, result)
+        return result
 
 
 def _collapse(result_names: list[str], mapping: list[int],
@@ -186,6 +216,51 @@ def _collapse(result_names: list[str], mapping: list[int],
     )
 
 
+def _exact_recursion(demands: np.ndarray, is_queue: np.ndarray,
+                     scv: np.ndarray, populations: np.ndarray):
+    """Batched exact-MVA recursion on ``[chains, stations]`` arrays.
+
+    Runs the Reiser–Lavenberg recursion for every chain (row) at once,
+    with the SCV residual correction.  Chains may have different
+    populations: a chain's row freezes once ``k`` exceeds its population,
+    so each row ends up holding that chain's solution at its own N.
+
+    Every operation is elementwise per row (the only reduction is the
+    row-local ``sum(axis=1)``), so a chain's solution is bit-identical
+    whether it is solved alone or inside any batch — the property the
+    memoization layer relies on.
+
+    Returns ``(x, residence, q, u)``: throughputs ``[C]`` and per-station
+    arrays ``[C, S]``.
+    """
+    qd = np.where(is_queue, demands, 0.0)
+    dd = np.where(is_queue, 0.0, demands)
+    scv_term = qd * (scv - 1.0) * 0.5
+    n_chains, _ = demands.shape
+    q = np.zeros_like(demands)
+    u = np.zeros_like(demands)
+    x = np.zeros(n_chains)
+    residence = demands.copy()
+    for k in range(1, int(populations.max()) + 1):
+        res_new = dd + qd * (1.0 + q) + u * scv_term
+        total = res_new.sum(axis=1)
+        if np.any(total <= 0.0):
+            raise ValidationError("network has zero total demand")
+        x_new = k / total
+        q_new = x_new[:, None] * res_new
+        u_new = np.minimum(x_new[:, None] * qd, 1.0)
+        live = populations >= k
+        if live.all():
+            residence, x, q, u = res_new, x_new, q_new, u_new
+        else:
+            live_col = live[:, None]
+            residence = np.where(live_col, res_new, residence)
+            x = np.where(live, x_new, x)
+            q = np.where(live_col, q_new, q)
+            u = np.where(live_col, u_new, u)
+    return x, residence, q, u
+
+
 def exact_mva(network: ClosedNetwork, population: int) -> MVAResult:
     """Exact MVA recursion with SCV residual correction.
 
@@ -197,36 +272,43 @@ def exact_mva(network: ClosedNetwork, population: int) -> MVAResult:
     check_integer("population", population, minimum=0)
     stations, mapping = _expand_multiserver(network.stations)
     n = len(stations)
-    demands = np.array([s.demand for s in stations])
-    is_queue = np.array([isinstance(s, QueueingStation) for s in stations])
-    scv = np.array([s.scv if isinstance(s, QueueingStation) else 1.0
-                    for s in stations])
-
-    q = np.zeros(n)      # queue lengths at population k-1
-    u = np.zeros(n)      # utilisations at population k-1
-    x = 0.0
-    residence = demands.copy()
+    demands, is_queue, scv = _station_arrays(stations)
     if population == 0:
+        z = np.zeros(n)
         return _collapse([s.name for s in stations], mapping,
-                         network.stations, 0, 0.0, np.zeros(n), q, u)
-    for k in range(1, population + 1):
-        residence = np.where(
-            is_queue,
-            demands * (1.0 + q) + u * demands * (scv - 1.0) / 2.0,
-            demands,
-        )
-        total = float(residence.sum())
-        if total <= 0:
-            raise ValidationError("network has zero total demand")
-        x = k / total
-        q = x * residence
-        u = np.where(is_queue, np.minimum(x * demands, 1.0), 0.0)
+                         network.stations, 0, 0.0, np.zeros(n), z, z)
+    x, residence, q, u = _exact_recursion(
+        demands[None, :], is_queue[None, :], scv[None, :],
+        np.array([population]))
     tel = _obs_state._active
     if tel is not None:
         tel.metrics.counter("qnet.mva.exact.calls").inc()
         tel.metrics.counter("qnet.mva.exact.iterations").inc(population)
     return _collapse([s.name for s in stations], mapping, network.stations,
-                     population, x, residence, q, u)
+                     population, float(x[0]), residence[0], q[0], u[0])
+
+
+def exact_throughputs(demands: np.ndarray, is_queue: np.ndarray,
+                      scv: np.ndarray, populations: np.ndarray) -> np.ndarray:
+    """Throughputs of a batch of single-channel closed chains.
+
+    The fast-path entry used by the flow solver: rows are raw station
+    vectors (single-channel queueing and delay stations only — no
+    Seidmann expansion is applied), ``populations`` the per-chain
+    customer counts (>= 1).  Returns the per-chain throughput array.
+
+    Telemetry counts each row as one ``qnet.mva.exact.calls`` (a batch of
+    C chains does the work of C scalar solves) plus one
+    ``qnet.mva.exact.batches``.
+    """
+    x, _, _, _ = _exact_recursion(demands, is_queue, scv, populations)
+    tel = _obs_state._active
+    if tel is not None:
+        reg = tel.metrics
+        reg.counter("qnet.mva.exact.calls").inc(len(populations))
+        reg.counter("qnet.mva.exact.iterations").inc(int(populations.sum()))
+        reg.counter("qnet.mva.exact.batches").inc()
+    return x
 
 
 def schweitzer_amva(network: ClosedNetwork, population: int,
@@ -242,14 +324,18 @@ def schweitzer_amva(network: ClosedNetwork, population: int,
     check_positive("tol", tol)
     stations, mapping = _expand_multiserver(network.stations)
     n = len(stations)
-    demands = np.array([s.demand for s in stations])
-    is_queue = np.array([isinstance(s, QueueingStation) for s in stations])
-    scv = np.array([s.scv if isinstance(s, QueueingStation) else 1.0
-                    for s in stations])
+    demands, is_queue, scv = _station_arrays(stations)
     if population == 0:
         z = np.zeros(n)
         return _collapse([s.name for s in stations], mapping,
                          network.stations, 0, 0.0, np.zeros(n), z, z)
+
+    # Loop-invariant station vectors, hoisted: queueing and delay demands
+    # split so the residence update is pure elementwise arithmetic.
+    qd = np.where(is_queue, demands, 0.0)
+    dd = np.where(is_queue, 0.0, demands)
+    scv_term = qd * (scv - 1.0) * 0.5
+    shrink = (population - 1) / population
 
     q = np.full(n, population / n)
     x = 0.0
@@ -257,13 +343,8 @@ def schweitzer_amva(network: ClosedNetwork, population: int,
     iterations = 0
     residual = float("inf")
     for iterations in range(1, max_iter + 1):
-        q_arr = q * (population - 1) / population
-        u = np.where(is_queue, np.minimum(x * demands, 1.0), 0.0)
-        residence = np.where(
-            is_queue,
-            demands * (1.0 + q_arr) + u * demands * (scv - 1.0) / 2.0,
-            demands,
-        )
+        u = np.minimum(x * qd, 1.0)
+        residence = dd + qd * (1.0 + q * shrink) + u * scv_term
         total = float(residence.sum())
         if total <= 0:
             raise ValidationError("network has zero total demand")
@@ -281,6 +362,6 @@ def schweitzer_amva(network: ClosedNetwork, population: int,
         reg.histogram("qnet.mva.schweitzer.residual").observe(residual)
         if residual >= tol:
             reg.counter("qnet.mva.schweitzer.nonconverged").inc()
-    u = np.where(is_queue, np.minimum(x * demands, 1.0), 0.0)
+    u = np.minimum(x * qd, 1.0)
     return _collapse([s.name for s in stations], mapping, network.stations,
                      population, x, residence, q, u)

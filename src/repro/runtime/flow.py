@@ -25,16 +25,38 @@ the service demand by ``1/(1 - rho)``).
 Outputs are the paper's counters: total cycles across cores, work cycles,
 stall cycles and LLC misses, with cycle bookkeeping exact by construction:
 ``total = W + B + memory_stall``.
+
+Fast path
+---------
+Three layers keep repeated solves cheap (see docs/PERFORMANCE.md):
+
+* whole solves are memoized in :data:`repro.perf.flow_cache`, keyed on
+  the content hash of (machine, profile, allocation);
+* within the shadow fixed point, each Jacobi iteration assembles every
+  processor's chain into one ``[chains, stations]`` batch — rows are
+  canonically sorted and bitwise-deduplicated (symmetric processors
+  collapse to a single MVA solve) and individual chain solutions are
+  memoized in :data:`repro.perf.mva_cache`;
+* once the damped iteration is in its geometric tail, the remaining
+  distance to the fixed point is extrapolated in one jump instead of
+  being iterated out (the loop still runs to the usual tolerance, so the
+  fixed point reached is the same to within it).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
+
+import numpy as np
 
 from repro.machine.allocation import CoreAllocation
 from repro.machine.topology import Machine, MemoryArchitecture
 from repro.obs import state as _obs_state
-from repro.qnet.mva import ClosedNetwork, DelayStation, QueueingStation
+from repro.perf.cache import MISS as _MISS
+from repro.perf.cache import flow_cache as _flow_cache
+from repro.perf.cache import mva_cache as _mva_cache
+from repro.perf.keys import flow_key as _flow_key
+from repro.qnet.mva import exact_throughputs
 from repro.util.validation import ValidationError, check_positive
 from repro.workloads.base import MemoryProfile
 
@@ -49,6 +71,19 @@ _CONGESTION_GAIN = 20.0
 _RHO_CEILING = 0.98  # cap on busy fractions entering the linear law
 #: Cap on the effective station SCV fed to the AMVA residual correction.
 _SCV_CAP = 8.0
+
+#: Geometric-tail extrapolation of the damped fixed point.  The 0.5-damped
+#: Jacobi update converges linearly, so near the fixed point the per-key
+#: deltas form a geometric series with a common ratio ``r``; once the
+#: deltas are small (asymptotic regime) and the ratio is stable across
+#: keys, the remaining tail ``delta * r / (1 - r)`` is added in one jump.
+#: The loop still only exits at the usual 1e-9 tolerance, so a bad jump
+#: costs iterations rather than accuracy.
+_TAIL_DELTA = 1e-2       # only extrapolate once max_delta is below this
+_TAIL_MAX_JUMPS = 6
+_TAIL_RATIO_LO = 0.05    # reject non-contracting or alternating tails
+_TAIL_RATIO_HI = 0.95
+_TAIL_RATIO_TOL = 0.15   # per-key deviation allowed from the common ratio
 
 
 @dataclass(frozen=True)
@@ -166,12 +201,32 @@ def _hop_cycles(machine: Machine, src_proc: int, dst_proc: int) -> float:
 
 def solve_flow(profile: MemoryProfile, machine: Machine,
                alloc: CoreAllocation) -> FlowResult:
-    """Solve the closed network for one allocation; see module docstring."""
+    """Solve the closed network for one allocation; see module docstring.
+
+    Results are memoized in :data:`repro.perf.flow_cache`; a repeat solve
+    of an identical (machine, profile, allocation) triple returns a copy
+    of the cached result (``runtime.flow.solves`` counts actual solves,
+    ``perf.cache.flow.hits`` the memoized returns).
+    """
+    if alloc.machine is not machine and alloc.machine != machine:
+        raise ValidationError("allocation was built for a different machine")
+    key = _flow_key(profile, machine, alloc)
+    hit = _flow_cache.get(key)
+    if hit is not _MISS:
+        # The result dataclass is frozen but holds one mutable dict;
+        # hand each caller its own copy.
+        return replace(
+            hit, controller_utilisation=dict(hit.controller_utilisation))
     tel = _obs_state._active
     if tel is not None:
         tel.metrics.counter("runtime.flow.solves").inc()
-    if alloc.machine is not machine and alloc.machine != machine:
-        raise ValidationError("allocation was built for a different machine")
+    result = _solve_flow(profile, machine, alloc)
+    _flow_cache.put(key, result)
+    return result
+
+
+def _solve_flow(profile: MemoryProfile, machine: Machine,
+                alloc: CoreAllocation) -> FlowResult:
     n = alloc.n_active
     counts = alloc.cores_per_processor()
     active = alloc.active_processors()
@@ -275,25 +330,103 @@ def solve_flow(profile: MemoryProfile, machine: Machine,
                     if g == gname and p != me)
         return min(other, _RHO_CEILING)
 
+    # --- chain templates ------------------------------------------------------
+    # Station values that do not move during the fixed point (think time,
+    # bus demand, idle-latency delay, port base demand, SCVs) are assembled
+    # once; each Jacobi iteration only refreshes the load-dependent
+    # controller-group and port demands in the preallocated row.
+    own_bg_weight = 1.0 - 1.0 / amp
+    chains: list[dict] = []
+    for p in active:
+        v = {g: vq for g, vq in visits(p).items() if vq > 0.0}
+        fixed_delay = 0.0
+        svc_scale: dict[str, float] = {}
+        for gname, vq in v.items():
+            g = groups[gname]
+            dst = g["processor"]
+            # Remote requests occupy the home controller longer than local
+            # ones: the directory/probe handling, the snoop round trip
+            # holding the transaction open, and the poor row locality of an
+            # alien stream.  ``remote_penalty`` (the second calibration
+            # knob) scales that extra occupancy per workload; it grows with
+            # the allocation's span because probe fan-out does.
+            svc_scale[gname] = 1.0 + penalty_eff \
+                if (dst is not None and dst != p) else 1.0
+            # Idle access latency is paid once per episode (overlapped
+            # requests pipeline behind the first), plus interconnect hops
+            # for remote visits.
+            fixed_delay += vq * g["latency"]
+            if dst is not None:
+                fixed_delay += vq * _hop_cycles(machine, p, dst)
+        port_base = 0.0
+        if link_cycles > 0.0 and penalty_eff > 0.0:
+            # Remote lines, their write-back companions and the coherence
+            # messages riding with them occupy this processor's
+            # interconnect port for one transfer per hop.
+            # ``remote_penalty`` scales the occupancy per workload — the
+            # hop structure (adjacent vs diagonal packages) stays, which
+            # is what makes the homogeneous-latency model variant lose
+            # accuracy on this machine.  (The remote *share* and the hop
+            # mix already grow with the span, so the port cost per core
+            # stays near-constant within a package — the near-linear
+            # segments of the paper's curves.)
+            port_base = sum(
+                vq * _hops_between(machine, p, groups[gname]["processor"])
+                for gname, vq in v.items()
+                if groups[gname]["processor"] is not None
+                and groups[gname]["processor"] != p
+            ) * profile.mlp * link_cycles * penalty_eff
+        demands = [think]
+        is_queue = [False]
+        scvs = [1.0]
+        if is_uma:
+            # Write-backs and prefetches cross the front-side bus too.
+            demands.append(profile.mlp * amp * bus_cycles)
+            is_queue.append(True)
+            scvs.append(1.0)
+        group_idx: dict[str, int] = {}
+        for gname in v:
+            group_idx[gname] = len(demands)
+            demands.append(0.0)
+            is_queue.append(True)
+            scvs.append(groups[gname]["scv_eff"])
+        if fixed_delay > 0.0:
+            demands.append(fixed_delay)
+            is_queue.append(False)
+            scvs.append(1.0)
+        port_idx = None
+        if port_base > 0.0:
+            port_idx = len(demands)
+            demands.append(0.0)
+            is_queue.append(True)
+            scvs.append(1.0)
+        chains.append({
+            "p": p, "pop": counts[p], "visits": v, "svc_scale": svc_scale,
+            "demands": np.array(demands), "is_queue": np.array(is_queue),
+            "scv": np.array(scvs), "group_idx": group_idx,
+            "port_idx": port_idx, "port_base": port_base,
+        })
+    width = max(len(c["demands"]) for c in chains)
+
+    prev_delta: dict[tuple[int, str], float] | None = None
+    jumps = 0
     for _ in range(400):
         # Jacobi iteration: every processor's network is solved against the
         # *previous* utilisation state, then all contributions update
         # together.  (Sequential Gauss-Seidel updates break the symmetry
         # between identical processors and drift toward a spurious
-        # winner-takes-all fixed point.)
-        proposed: dict[tuple[int, str], float] = {}
-        for p in active:
-            v = visits(p)
-            stations = [DelayStation("think", think)]
-            if is_uma:
-                # Write-backs and prefetches cross the front-side bus too.
-                stations.append(QueueingStation(
-                    "bus", profile.mlp * amp * bus_cycles, scv=1.0))
-            fixed_delay = 0.0
-            for gname, vq in v.items():
-                if vq <= 0.0:
-                    continue
-                g = groups[gname]
+        # winner-takes-all fixed point.)  All chains are assembled into one
+        # batch; rows are sorted into a canonical station order (only the
+        # throughput is consumed, which does not depend on it) so that
+        # symmetric processors produce bitwise-equal rows and collapse to
+        # a single solve.
+        batch: list[tuple] = []
+        pending: dict[tuple, list[int]] = {}
+        solved: list[float | None] = [None] * len(chains)
+        for i, c in enumerate(chains):
+            p = c["p"]
+            d = c["demands"].copy()
+            for gname, idx in c["group_idx"].items():
                 # Blocking demand misses compete with every foreign stream
                 # *and* with this processor's own non-blocking background
                 # traffic (write-backs, prefetches).
@@ -302,77 +435,62 @@ def solve_flow(profile: MemoryProfile, machine: Machine,
                 # controllers drain writebacks in read-idle gaps
                 # (read-priority scheduling), so it enters the busy term
                 # with a small weight.
-                own_background = contrib[(p, gname)] * (1.0 - 1.0 / amp)
+                own_background = contrib[(p, gname)] * own_bg_weight
                 busy = min(foreign_util(gname, p) + 0.25 * own_background,
                            _RHO_CEILING)
                 inflate = 1.0 + _CONGESTION_GAIN * busy
-                # Remote requests occupy the home controller longer than
-                # local ones: the directory/probe handling, the snoop
-                # round trip holding the transaction open, and the poor
-                # row locality of an alien stream.  ``remote_penalty``
-                # (the second calibration knob) scales that extra
-                # occupancy per workload; it grows with the allocation's
-                # span because probe fan-out does.
-                svc_scale = 1.0
-                dst = g["processor"]
-                if dst is not None and dst != p:
-                    svc_scale = 1.0 + penalty_eff
-                demand = vq * profile.mlp * loaded_service(gname) \
-                    * svc_scale * inflate
-                stations.append(QueueingStation(
-                    gname, demand, scv=g["scv_eff"]))
-                # Idle access latency is paid once per episode (overlapped
-                # requests pipeline behind the first), plus interconnect
-                # hops for remote visits.
-                fixed_delay += vq * g["latency"]
-                if dst is not None:
-                    fixed_delay += vq * _hop_cycles(machine, p, dst)
-            if fixed_delay > 0.0:
-                stations.append(DelayStation("latency", fixed_delay))
-            if link_cycles > 0.0 and penalty_eff > 0.0:
-                # Remote lines, their write-back companions and the
-                # coherence messages riding with them occupy this
-                # processor's interconnect port for one transfer per hop.
-                # ``remote_penalty`` scales the occupancy per workload —
-                # the hop structure (adjacent vs diagonal packages) stays,
-                # which is what makes the homogeneous-latency model
-                # variant lose accuracy on this machine.  (The remote
-                # *share* and the hop mix already grow with the span, so
-                # the port cost per core stays near-constant within a
-                # package — the near-linear segments of the paper's
-                # curves.)
-                port_demand = sum(
-                    vq * _hops_between(machine, p,
-                                       groups[gname]["processor"])
-                    for gname, vq in v.items()
-                    if groups[gname]["processor"] is not None
-                    and groups[gname]["processor"] != p
-                ) * profile.mlp * link_cycles * penalty_eff
-                if port_demand > 0.0:
-                    # Other chains' lines terminating here occupy this
-                    # port as well; their utilisation inflates the local
-                    # view like a foreign controller load.
-                    incoming = min(foreign_util(f"port{p}", p), _RHO_CEILING)
-                    stations.append(QueueingStation(
-                        "port",
-                        port_demand
-                        * (1.0 + _CONGESTION_GAIN * incoming),
-                        scv=1.0))
-            res = ClosedNetwork(stations).solve(counts[p], method="exact")
-            x_new = res.throughput
+                d[idx] = c["visits"][gname] * profile.mlp \
+                    * loaded_service(gname) * c["svc_scale"][gname] * inflate
+            if c["port_idx"] is not None:
+                # Other chains' lines terminating here occupy this port as
+                # well; their utilisation inflates the local view like a
+                # foreign controller load.
+                incoming = min(foreign_util(f"port{p}", p), _RHO_CEILING)
+                d[c["port_idx"]] = c["port_base"] \
+                    * (1.0 + _CONGESTION_GAIN * incoming)
+            order = np.lexsort((c["scv"], d, c["is_queue"]))
+            d = d[order]
+            iq = c["is_queue"][order]
+            sv = c["scv"][order]
+            if len(d) < width:
+                pad = width - len(d)
+                d = np.concatenate([d, np.zeros(pad)])
+                iq = np.concatenate([iq, np.zeros(pad, dtype=bool)])
+                sv = np.concatenate([sv, np.ones(pad)])
+            key = ("chain", c["pop"], d.tobytes(), iq.tobytes(), sv.tobytes())
+            cached = _mva_cache.get(key)
+            if cached is not _MISS:
+                solved[i] = cached
+            elif key in pending:
+                pending[key].append(i)
+            else:
+                pending[key] = [i]
+                batch.append((key, c["pop"], d, iq, sv))
+        if batch:
+            xs = exact_throughputs(
+                np.stack([b[2] for b in batch]),
+                np.stack([b[3] for b in batch]),
+                np.stack([b[4] for b in batch]),
+                np.array([b[1] for b in batch]))
+            for (key, _, _, _, _), xv in zip(batch, xs):
+                xv = float(xv)
+                _mva_cache.put(key, xv)
+                for i in pending[key]:
+                    solved[i] = xv
+
+        proposed: dict[tuple[int, str], float] = {}
+        for i, c in enumerate(chains):
+            p = c["p"]
+            x_new = solved[i]
             x_proc[p] = x_new
-            residence_mem[p] = res.cycle_time - think
-            for gname, vq in v.items():
+            residence_mem[p] = c["pop"] / x_new - think
+            for gname, vq in c["visits"].items():
                 # Channel occupancy includes the non-blocking write-back /
                 # prefetch traffic that rides along with each demand miss,
                 # and the extra occupancy of remote requests.
-                svc_scale = 1.0
-                if groups[gname]["processor"] is not None \
-                        and groups[gname]["processor"] != p:
-                    svc_scale = 1.0 + penalty_eff
                 proposed[(p, gname)] = \
                     x_new * vq * profile.mlp * amp * loaded_service(gname) \
-                    * svc_scale
+                    * c["svc_scale"][gname]
                 dst = groups[gname]["processor"]
                 if link_cycles > 0.0 and penalty_eff > 0.0 \
                         and dst is not None and dst != p:
@@ -383,13 +501,24 @@ def solve_flow(profile: MemoryProfile, machine: Machine,
                         x_new * vq * profile.mlp * link_cycles \
                         * penalty_eff
         max_delta = 0.0
+        delta: dict[tuple[int, str], float] = {}
         for key, new_val in proposed.items():
             old_val = contrib[key]
             updated = 0.5 * old_val + 0.5 * new_val  # damped for stability
-            max_delta = max(max_delta, abs(updated - old_val))
+            d_val = updated - old_val
+            delta[key] = d_val
+            max_delta = max(max_delta, abs(d_val))
             contrib[key] = updated
         if max_delta < 1e-9:
             break
+        if prev_delta is not None and jumps < _TAIL_MAX_JUMPS \
+                and max_delta < _TAIL_DELTA:
+            jumped = _tail_jump(contrib, delta, prev_delta)
+            if jumped:
+                jumps += 1
+                prev_delta = None
+                continue
+        prev_delta = delta
 
     # --- counter bookkeeping --------------------------------------------------
     episodes_per_core = r / (n * profile.mlp)
@@ -412,3 +541,34 @@ def solve_flow(profile: MemoryProfile, machine: Machine,
         per_core_cycles=tuple(per_core),
         controller_utilisation={g: group_util(g) for g in groups},
     )
+
+
+def _tail_jump(contrib: dict, delta: dict, prev_delta: dict) -> bool:
+    """Extrapolate the geometric tail of the damped fixed point.
+
+    Estimates the common contraction ratio ``r`` from two consecutive
+    delta vectors (least squares) and, when every significant key agrees
+    with it, adds the remaining series ``delta * r / (1 - r)`` to each
+    contribution.  Returns whether the jump was applied.
+    """
+    num = 0.0
+    den = 0.0
+    for key, pd in prev_delta.items():
+        num += delta.get(key, 0.0) * pd
+        den += pd * pd
+    if den <= 0.0:
+        return False
+    ratio = num / den
+    if not _TAIL_RATIO_LO <= ratio <= _TAIL_RATIO_HI:
+        return False
+    significant = max(abs(pd) for pd in prev_delta.values()) * 0.05
+    for key, d_val in delta.items():
+        pd = prev_delta.get(key, 0.0)
+        if abs(pd) <= significant:
+            continue
+        if abs(d_val - ratio * pd) > _TAIL_RATIO_TOL * abs(pd):
+            return False
+    gain = ratio / (1.0 - ratio)
+    for key, d_val in delta.items():
+        contrib[key] = max(contrib[key] + d_val * gain, 0.0)
+    return True

@@ -65,6 +65,25 @@ class TestHurst:
         with pytest.raises(ValidationError):
             estimate_hurst(rng.poisson(5.0, size=30))
 
+    def test_levels_report_only_fitted(self, rng):
+        # An alternating series is constant once aggregated at any even
+        # m: those levels have zero variance, are excluded from the
+        # regression, and must not be reported as used.
+        series = np.tile([0.0, 10.0], 2048)
+        est = estimate_hurst(series)
+        assert est.aggregation_levels
+        assert all(m % 2 == 1 for m in est.aggregation_levels)
+
+    def test_ladder_matches_per_level_reference(self, rng):
+        from repro.burst.selfsimilar import _ladder_variances
+
+        arr = rng.poisson(12.0, size=5000).astype(float)
+        levels = np.array([1, 3, 7, 20, 64])
+        batched = _ladder_variances(arr, levels)
+        for var, m in zip(batched, levels):
+            assert var == pytest.approx(
+                float(aggregate_series(arr, int(m)).var(ddof=1)), rel=1e-12)
+
     def test_sampler_small_class_is_lrd(self, inuma):
         from repro.counters.sampler import BurstSampler
 

@@ -1,0 +1,140 @@
+"""Tests of the benchmark regression gate's comparison rules."""
+
+import json
+import os
+import sys
+
+import pytest
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                                os.pardir, "benchmarks"))
+
+import check_regression as cr  # noqa: E402
+import perf_record  # noqa: E402
+
+
+def record(calls=100.0, wall=1.0, host="hostA", extra_metrics=None):
+    metrics = {
+        "qnet.mva.exact.calls": {"kind": "counter", "value": calls},
+        "perf.cache.flow.hits": {"kind": "counter", "value": 9999.0},
+        "desim.heap_depth": {"kind": "gauge", "value": 3.0},
+    }
+    metrics.update(extra_metrics or {})
+    return {
+        "benchmark": "table2",
+        "wall_time_s": wall,
+        "environment": {"hostname": host, "cpu_count": 4,
+                        "python_version": "3.11.7"},
+        "metrics": metrics,
+    }
+
+
+class TestGatedCounters:
+    def test_suffix_whitelist_and_exclusions(self):
+        counters = cr.gated_counters(record(extra_metrics={
+            "runtime.flow.solves": {"kind": "counter", "value": 7.0},
+            "desim.events_processed": {"kind": "counter", "value": 5.0},
+            "runtime.measurements": {"kind": "counter", "value": 60.0},
+        }))
+        assert counters == {
+            "qnet.mva.exact.calls": 100.0,
+            "runtime.flow.solves": 7.0,
+            "desim.events_processed": 5.0,
+        }  # perf.cache.* excluded, gauges excluded, .measurements not gated
+
+
+class TestCompareRecords:
+    def test_clean_pass(self):
+        failures, _ = cr.compare_records(record(), record(calls=101, wall=1.1))
+        assert failures == []
+
+    def test_counter_regression_fails(self):
+        failures, _ = cr.compare_records(record(), record(calls=130.0))
+        assert len(failures) == 1
+        assert "qnet.mva.exact.calls" in failures[0]
+
+    def test_counter_improvement_passes(self):
+        failures, _ = cr.compare_records(record(), record(calls=10.0))
+        assert failures == []
+
+    def test_wall_gated_same_host_only(self):
+        failures, warnings = cr.compare_records(record(), record(wall=2.0))
+        assert any("wall time" in f for f in failures)
+        failures, warnings = cr.compare_records(
+            record(), record(wall=2.0, host="hostB"))
+        assert failures == []
+        assert any("different host" in w for w in warnings)
+
+    def test_missing_and_new_counters_warn(self):
+        base = record(extra_metrics={
+            "runtime.flow.solves": {"kind": "counter", "value": 7.0}})
+        fresh = record(extra_metrics={
+            "desim.events_processed": {"kind": "counter", "value": 5.0}})
+        del fresh["metrics"]["qnet.mva.exact.calls"]
+        failures, warnings = cr.compare_records(base, fresh)
+        assert failures == []
+        joined = "\n".join(warnings)
+        assert "missing from fresh record" in joined
+        assert "new gated counter" in joined
+
+    def test_threshold_configurable(self):
+        failures, _ = cr.compare_records(record(), record(calls=130.0),
+                                         threshold=0.5)
+        assert failures == []
+
+
+class TestRunGate:
+    def _write(self, directory, rec):
+        path = os.path.join(directory, "BENCH_table2.json")
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(rec, fh)
+
+    def test_exit_codes(self, tmp_path, capsys):
+        base_dir, fresh_dir = str(tmp_path / "base"), str(tmp_path / "fresh")
+        os.makedirs(base_dir)
+        os.makedirs(fresh_dir)
+        self._write(base_dir, record())
+        self._write(fresh_dir, record(calls=102.0))
+        assert cr.run_gate(base_dir, fresh_dir) == 0
+        self._write(fresh_dir, record(calls=500.0))
+        assert cr.run_gate(base_dir, fresh_dir) == 1
+        capsys.readouterr()
+
+    def test_no_matching_baseline_is_error(self, tmp_path, capsys):
+        base_dir, fresh_dir = str(tmp_path / "base"), str(tmp_path / "fresh")
+        os.makedirs(base_dir)
+        os.makedirs(fresh_dir)
+        assert cr.run_gate(base_dir, fresh_dir) == 2  # no fresh records
+        self._write(fresh_dir, record())
+        assert cr.run_gate(base_dir, fresh_dir) == 2  # no baseline match
+        capsys.readouterr()
+
+
+class TestRecordNormalization:
+    def test_version_strips_dirty(self):
+        assert perf_record.normalize_version("1.0.0+gabc123-dirty") \
+            == "1.0.0+gabc123"
+        assert perf_record.normalize_version("1.0.0+gabc123") \
+            == "1.0.0+gabc123"
+
+    def test_environment_fields(self):
+        env = perf_record.environment()
+        assert set(env) == {"hostname", "cpu_count", "python_version"}
+        assert env["hostname"]
+        assert env["cpu_count"] >= 1
+
+    def test_record_filename(self):
+        assert perf_record.record_filename("table2") == "BENCH_table2.json"
+        assert perf_record.record_filename("table2", fast=True) \
+            == "BENCH_table2_fast.json"
+
+    def test_generate_record_end_to_end(self, tmp_path):
+        path = perf_record.generate_record("sp_peak", fast=True,
+                                           out_dir=str(tmp_path))
+        with open(path, encoding="utf-8") as fh:
+            rec = json.load(fh)
+        assert rec["benchmark"] == "sp_peak"
+        assert rec["fast"] is True
+        assert "-dirty" not in rec["version"]
+        assert rec["environment"]["hostname"]
+        assert cr.gated_counters(rec)  # a cold solver run emits work counters

@@ -1,0 +1,102 @@
+"""Tests of the parallel experiment fan-out and telemetry merging."""
+
+import pytest
+
+from repro import obs
+from repro.experiments import run_experiments
+from repro.experiments.runner import check_jobs
+from repro.obs.metrics import MetricsRegistry, _parse_snapshot_key
+from repro.util.validation import ValidationError
+
+#: Two quick experiments; sp_peak exercises the solver path (and hence
+#: the solver-call counters), table1 the static inventory path.
+NAMES = ["table1", "sp_peak"]
+
+
+class TestRunExperiments:
+    def test_parallel_matches_serial(self):
+        serial = run_experiments(NAMES, fast=True, jobs=1)
+        parallel = run_experiments(NAMES, fast=True, jobs=2)
+        assert [r.name for r in parallel] == NAMES
+        for s, p in zip(serial, parallel):
+            # Exact equality: workers must not perturb a single value.
+            assert p.data == s.data
+            assert p.notes == s.notes
+
+    def test_parallel_merges_worker_telemetry(self):
+        tel = obs.enable(fresh=True)
+        try:
+            results = run_experiments(NAMES, fast=True, jobs=2)
+            assert [m.experiment for m in tel.manifests] == NAMES
+            for result in results:
+                assert result.manifest is not None
+            snap = tel.metrics.snapshot()
+            worker_counters = {
+                key for m in tel.manifests
+                for key, summary in m.metrics.items()
+                if summary.get("kind") == "counter"}
+            assert worker_counters, "workers recorded no counters at all"
+            for key in worker_counters:
+                worker_sum = sum(
+                    m.metrics.get(key, {}).get("value", 0)
+                    for m in tel.manifests)
+                assert snap[key]["value"] == worker_sum, key
+        finally:
+            obs.disable()
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValidationError, match="unknown experiment"):
+            run_experiments(["table1", "nope"], fast=True, jobs=2)
+
+    @pytest.mark.parametrize("bad", [0, -1, True, 1.5, "2"])
+    def test_check_jobs_rejects(self, bad):
+        with pytest.raises(ValidationError):
+            check_jobs(bad)
+
+    def test_check_jobs_accepts(self):
+        assert check_jobs(1) == 1
+        assert check_jobs(8) == 8
+
+
+class TestMergeSnapshot:
+    def test_counters_add(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("x.calls").inc(3)
+        b.counter("x.calls").inc(4)
+        b.counter("y.calls", machine="uma").inc(2)
+        a.merge_snapshot(b.snapshot())
+        assert a.counter("x.calls").value == 7
+        assert a.counter("y.calls", machine="uma").value == 2
+
+    def test_gauges_combine_extrema(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.gauge("depth").set(5)
+        b.gauge("depth").set(1)
+        b.gauge("depth").set(9)
+        a.merge_snapshot(b.snapshot())
+        g = a.gauge("depth")
+        assert (g.min, g.max) == (1, 9)
+
+    def test_histograms_merge_bins(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        for v in (1.0, 2.0):
+            a.histogram("lat").observe(v)
+        for v in (0.5, 64.0):
+            b.histogram("lat").observe(v)
+        a.merge_snapshot(b.snapshot())
+        h = a.histogram("lat")
+        assert h.count == 4
+        assert h.sum == pytest.approx(67.5)
+        assert (h.min, h.max) == (0.5, 64.0)
+        assert sum(h.bins.values()) == 4
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="cannot merge"):
+            MetricsRegistry().merge_snapshot(
+                {"weird": {"kind": "sparkline", "value": 1}})
+
+
+def test_parse_snapshot_key():
+    assert _parse_snapshot_key("a.b") == ("a.b", {})
+    assert _parse_snapshot_key("a.b{m=uma,n=2}") == \
+        ("a.b", {"m": "uma", "n": "2"})
