@@ -6,7 +6,6 @@ regressions in the simulation engine are visible.
 """
 
 import numpy as np
-import pytest
 
 
 def test_exact_mva_48(benchmark):

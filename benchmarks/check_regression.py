@@ -53,23 +53,46 @@ def load_record(path: str) -> dict:
 
 
 def gated_counters(record: dict) -> dict[str, float]:
-    """The work counters a record is judged on: ``{name: value}``."""
+    """The work counters a record is judged on: ``{name: value}``.
+
+    Tolerates records written by older perf_record versions: metric
+    summaries may be plain numbers instead of ``{"kind": ..., "value":
+    ...}`` dicts (pre-environment-block schema), and malformed entries
+    are skipped rather than raising.
+    """
     out: dict[str, float] = {}
-    for key, summary in record.get("metrics", {}).items():
-        if summary.get("kind") != "counter":
-            continue
+    for key, summary in (record.get("metrics") or {}).items():
+        if isinstance(summary, dict):
+            if summary.get("kind") != "counter":
+                continue
+            value = summary.get("value", 0.0)
+        else:
+            # Old-schema record: a bare number is a counter sample.
+            value = summary
         if not key.endswith(GATED_SUFFIXES):
             continue
         if key.startswith(EXCLUDED_PREFIXES):
             continue
-        out[key] = float(summary.get("value", 0.0))
+        try:
+            out[key] = float(value)
+        except (TypeError, ValueError):
+            continue
     return out
 
 
 def _same_host(baseline: dict, fresh: dict) -> bool:
-    base_host = baseline.get("environment", {}).get("hostname")
-    fresh_host = fresh.get("environment", {}).get("hostname")
-    return base_host is not None and base_host == fresh_host
+    """True only when both records carry the same non-null hostname.
+
+    Records predating the ``environment`` block (or with it set to
+    null) compare as different hosts, so their wall times are warned
+    about rather than gated.
+    """
+    base_env = baseline.get("environment")
+    fresh_env = fresh.get("environment")
+    if not isinstance(base_env, dict) or not isinstance(fresh_env, dict):
+        return False
+    base_host = base_env.get("hostname")
+    return base_host is not None and base_host == fresh_env.get("hostname")
 
 
 def compare_records(baseline: dict, fresh: dict,

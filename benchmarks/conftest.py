@@ -21,7 +21,6 @@ import time
 import pytest
 
 from perf_record import reset_solver_caches, write_perf_record
-
 from repro import obs
 
 

@@ -13,7 +13,7 @@ Run with::
 """
 
 from repro import Papiex, TopologyMap, amd_numa
-from repro.counters.papi import PapiEvent, llc_event_for
+from repro.counters.papi import llc_event_for
 
 
 def main() -> None:

@@ -32,6 +32,7 @@ Every table and figure of the paper regenerates via
 :func:`repro.experiments.run_experiment` or ``python -m repro <name>``.
 """
 
+from repro import obs
 from repro.core import (
     ContentionModel,
     NUMAContentionModel,
@@ -57,7 +58,6 @@ from repro.machine import (
 )
 from repro.runtime import MeasurementRun, measure_curve, measure_single
 from repro.workloads import Workload, all_workloads, get_workload
-from repro import obs
 
 __version__ = "1.0.0"
 

@@ -7,22 +7,18 @@ miss counts, a log-log tail-linearity test (the paper's criterion: beyond
 space), and classical burstiness indices.
 """
 
-from repro.burst.ccdf import empirical_ccdf, ccdf_at, CCDF
-from repro.burst.tail import (
-    TailFit,
-    fit_loglog_tail,
-    is_heavy_tailed,
-)
+from repro.burst.ccdf import CCDF, ccdf_at, empirical_ccdf
 from repro.burst.metrics import (
+    burstiness_score,
     index_of_dispersion,
     peak_to_mean_ratio,
-    burstiness_score,
 )
 from repro.burst.selfsimilar import (
     HurstEstimate,
     aggregate_series,
     estimate_hurst,
 )
+from repro.burst.tail import TailFit, fit_loglog_tail, is_heavy_tailed
 
 __all__ = [
     "CCDF",

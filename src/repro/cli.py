@@ -19,6 +19,10 @@ Commands
     Regenerate the shipped calibration table from the Table II anchors.
 ``repro topology``
     Print likwid-style topology of the three simulated testbeds.
+``repro lint [PATH] [--format text|json|github] [--baseline FILE]``
+    Run the domain lint rules (see docs/LINTING.md); exits 1 on any
+    error-severity finding.  ``--write-baseline`` records the current
+    findings as grandfathered.
 
 Telemetry flags (see docs/OBSERVABILITY.md)
 -------------------------------------------
@@ -49,6 +53,7 @@ _COMMANDS: dict[str, str] = {
     "report": "run everything and write EXPERIMENTS.md",
     "calibrate": "regenerate the shipped calibration table",
     "topology": "print the simulated testbed topologies",
+    "lint": "run the domain lint rules (docs/LINTING.md)",
 }
 
 
@@ -85,6 +90,30 @@ def _cmd_report(args) -> int:
     write_experiments_md(path, fast=args.fast, rng=args.seed, jobs=args.jobs)
     print("done")
     return 0
+
+
+def _cmd_lint(args) -> int:
+    import os
+
+    from repro import lintkit
+
+    if args.target:
+        targets = [args.target]
+    elif os.path.isdir("src/repro"):
+        targets = ["src/repro"]
+    else:
+        targets = None  # fall back to [tool.reprolint] paths / defaults
+    config = lintkit.load_config(os.getcwd())
+    report = lintkit.lint_paths(targets, config,
+                                baseline_path=args.baseline)
+    if args.write_baseline:
+        path = args.baseline or config.baseline or "lint-baseline.json"
+        n = lintkit.write_baseline(report, path)
+        print(f"baseline written to {path} ({n} entr"
+              f"{'y' if n == 1 else 'ies'})")
+        return 0
+    print(lintkit.render(report, args.format))
+    return report.exit_code()
 
 
 def _cmd_topology(_args) -> int:
@@ -164,7 +193,8 @@ def main(argv: list[str] | None = None) -> int:
              + ", ".join(f"'{c}'" for c in _COMMANDS))
     parser.add_argument(
         "target", nargs="?", default=None,
-        help="experiment name for 'repro profile <experiment>'")
+        help="experiment name for 'repro profile <experiment>', or the "
+             "path to scan for 'repro lint [PATH]'")
     parser.add_argument("--fast", action="store_true",
                         help="smaller sweeps / fewer samples")
     parser.add_argument("--seed", type=int, default=None,
@@ -179,9 +209,21 @@ def main(argv: list[str] | None = None) -> int:
                         help="print the metrics summary after the run")
     parser.add_argument("--manifest", metavar="PATH", default=None,
                         help="write the structured run manifest JSON")
+    parser.add_argument("--format", default="text", metavar="FMT",
+                        choices=("text", "json", "github"),
+                        help="lint report format: text, json or github "
+                             "(workflow annotations)")
+    parser.add_argument("--baseline", metavar="PATH", default=None,
+                        help="lint baseline file overriding "
+                             "[tool.reprolint] baseline")
+    parser.add_argument("--write-baseline", action="store_true",
+                        help="record current lint findings as the baseline "
+                             "instead of failing on them")
     parser.add_argument("--version", action="version",
                         version=f"repro {__version__}")
-    args = parser.parse_args(argv)
+    # intermixed: options may appear between the positionals, e.g.
+    # ``repro lint --format json src/repro``.
+    args = parser.parse_intermixed_args(argv)
 
     if args.experiment == "list":
         return _cmd_list(args)
@@ -193,6 +235,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_topology(args)
     if args.experiment == "profile":
         return _cmd_profile(args)
+    if args.experiment == "lint":
+        return _cmd_lint(args)
     return _cmd_experiment(args)
 
 

@@ -33,16 +33,16 @@ from repro.core.contention import (
     degree_of_contention,
     omega_curve,
 )
-from repro.core.regression import LinearFit, linear_fit
-from repro.core.uniproc import SingleProcessorModel, ModelError
-from repro.core.uma import UMAContentionModel
-from repro.core.numa import NUMAContentionModel
 from repro.core.model import (
     ContentionModel,
+    colinearity_r2,
     fit_model,
     paper_fit_points,
-    colinearity_r2,
 )
+from repro.core.numa import NUMAContentionModel
+from repro.core.regression import LinearFit, linear_fit
+from repro.core.uma import UMAContentionModel
+from repro.core.uniproc import ModelError, SingleProcessorModel
 from repro.core.validate import ValidationReport, validate_model
 
 __all__ = [

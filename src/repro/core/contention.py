@@ -13,7 +13,11 @@ from dataclasses import dataclass
 from typing import Mapping
 
 from repro.counters.papi import CounterSample
-from repro.util.validation import ValidationError, check_nonnegative, check_positive
+from repro.util.validation import (
+    ValidationError,
+    check_nonnegative,
+    check_positive,
+)
 
 
 @dataclass(frozen=True)

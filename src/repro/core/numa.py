@@ -31,7 +31,11 @@ from typing import Mapping, Sequence
 
 import numpy as np
 
-from repro.core.uniproc import ModelError, SingleProcessorModel, fit_single_processor
+from repro.core.uniproc import (
+    ModelError,
+    SingleProcessorModel,
+    fit_single_processor,
+)
 from repro.counters.papi import CounterSample
 from repro.util.validation import check_integer
 

@@ -17,7 +17,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Mapping
 
-from repro.core.uniproc import ModelError, SingleProcessorModel, fit_single_processor
+from repro.core.uniproc import (
+    ModelError,
+    SingleProcessorModel,
+    fit_single_processor,
+)
 from repro.counters.papi import CounterSample
 from repro.util.validation import check_integer
 

@@ -20,7 +20,11 @@ import numpy as np
 
 from repro.core.regression import LinearFit, linear_fit
 from repro.counters.papi import CounterSample
-from repro.util.validation import ValidationError, check_integer, check_positive
+from repro.util.validation import (
+    ValidationError,
+    check_integer,
+    check_positive,
+)
 
 
 class ModelError(ValidationError):

@@ -15,16 +15,16 @@ This package reproduces those interfaces:
   core / package / controller mapping).
 """
 
+from repro.counters.likwid import TopologyMap
 from repro.counters.papi import (
-    PapiEvent,
-    EventSet,
     CounterSample,
-    llc_event_for,
+    EventSet,
     PapiError,
+    PapiEvent,
+    llc_event_for,
 )
 from repro.counters.papiex import Papiex, ProfiledRun
 from repro.counters.sampler import BurstSampler, SampledTrace
-from repro.counters.likwid import TopologyMap
 
 __all__ = [
     "PapiEvent",

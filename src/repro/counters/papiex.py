@@ -15,8 +15,8 @@ from repro.counters.papi import (
     PAPER_EVENTS,
     CounterSample,
     EventSet,
-    PapiEvent,
     PapiError,
+    PapiEvent,
     llc_event_for,
 )
 from repro.machine.topology import Machine

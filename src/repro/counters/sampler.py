@@ -17,15 +17,15 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.desim.arrivals import (
     ArrivalProcess,
     DeterministicArrivals,
     OnOffArrivals,
-    PoissonArrivals,
 )
 from repro.machine.allocation import CoreAllocation
 from repro.machine.topology import Machine
-from repro import obs
+from repro.obs import names as _names
 from repro.util.rng import resolve_rng
 from repro.util.validation import check_integer, check_positive
 from repro.workloads.base import MemoryProfile
@@ -216,9 +216,9 @@ class BurstSampler:
             counts = process.counts_in_windows(window_s, n_windows, rng=rng)
         counts = np.minimum(counts, capacity)
         if obs.enabled():
-            obs.counter("sampler.runs")
-            obs.counter("sampler.windows_binned", n_windows)
-            obs.counter("sampler.arrivals_generated", int(counts.sum()))
+            obs.counter(_names.SAMPLER_RUNS)
+            obs.counter(_names.SAMPLER_WINDOWS_BINNED, n_windows)
+            obs.counter(_names.SAMPLER_ARRIVALS_GENERATED, int(counts.sum()))
         return SampledTrace(
             program=program,
             size=size,

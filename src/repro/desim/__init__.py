@@ -17,18 +17,18 @@ Two usage styles are supported:
   matters, e.g. for burstiness sampling.
 """
 
-from repro.desim.events import Event, EventQueue
-from repro.desim.engine import Simulator, Timeout, Interrupt, SimulationError
-from repro.desim.resources import Server, QueueStats
-from repro.desim.monitors import TimeSeriesMonitor, CountMonitor
 from repro.desim.arrivals import (
     ArrivalProcess,
-    PoissonArrivals,
     DeterministicArrivals,
-    OnOffArrivals,
-    MMPPArrivals,
     HyperexponentialArrivals,
+    MMPPArrivals,
+    OnOffArrivals,
+    PoissonArrivals,
 )
+from repro.desim.engine import Interrupt, SimulationError, Simulator, Timeout
+from repro.desim.events import Event, EventQueue
+from repro.desim.monitors import CountMonitor, TimeSeriesMonitor
+from repro.desim.resources import QueueStats, Server
 
 __all__ = [
     "Event",

@@ -17,7 +17,7 @@ import time
 from typing import Generator, Iterable, Optional
 
 from repro.desim.events import Event, EventQueue
-from repro.obs import state as _obs_state
+from repro.obs import names as _names, state as _obs_state
 from repro.util.validation import ValidationError, check_nonnegative
 
 
@@ -125,19 +125,21 @@ class Simulator:
         self._schedule_resume(proc, send_value=None)
         tel = _obs_state._active
         if tel is not None:
-            tel.metrics.counter("desim.processes_spawned").inc()
+            tel.metrics.counter(_names.DESIM_PROCESSES_SPAWNED).inc()
         return proc
 
     def _schedule_resume(self, proc: _Process, send_value: object = None,
                          throw: Optional[BaseException] = None) -> None:
+        # The event is fully populated *before* it is enqueued (SIM002):
+        # once on the heap its time/value are part of scheduled history.
         ev = Event()
-        self.queue.push(ev, self.now)
         if throw is not None:
             # Exceptional resumes are rare; a closure per throw is fine.
             ev.add_callback(lambda e: proc._step(throw=throw))
         else:
             ev.value = send_value
             ev.add_callback(proc._resume_cb)
+        self.queue.push(ev, self.now)
 
     # -- events --------------------------------------------------------------
 
@@ -214,7 +216,9 @@ class Simulator:
         """
         reg = tel.metrics
         sim_t0 = self.now
-        wall_t0 = time.perf_counter()
+        # Wall-clock is read here for telemetry only (the sim/wall speed
+        # ratio); it never reaches a simulation result.
+        wall_t0 = time.perf_counter()  # reprolint: disable=DET003
         queue = self.queue
         pop_due = queue.pop_due
         bound = until if until is not None else float("inf")
@@ -245,13 +249,13 @@ class Simulator:
                     self.now = until
                 return self.now
         finally:
-            wall = time.perf_counter() - wall_t0
-            reg.counter("desim.events_processed").inc(n_events)
-            reg.counter("desim.runs").inc()
-            reg.gauge("desim.heap_depth_max").set_max(heap_max)
-            reg.timer("desim.run_seconds").observe(wall)
+            wall = time.perf_counter() - wall_t0  # reprolint: disable=DET003
+            reg.counter(_names.DESIM_EVENTS_PROCESSED).inc(n_events)
+            reg.counter(_names.DESIM_RUNS).inc()
+            reg.gauge(_names.DESIM_HEAP_DEPTH_MAX).set_max(heap_max)
+            reg.timer(_names.DESIM_RUN_SECONDS).observe(wall)
             if wall > 0.0:
-                reg.gauge("desim.sim_wall_ratio").set(
+                reg.gauge(_names.DESIM_SIM_WALL_RATIO).set(
                     (self.now - sim_t0) / wall)
 
     def run_all(self, iterable: Iterable[ProcessGen],

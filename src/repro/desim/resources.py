@@ -14,7 +14,11 @@ from typing import Callable, Optional
 
 from repro.desim.engine import Simulator
 from repro.desim.events import Event
-from repro.util.validation import ValidationError, check_integer, check_nonnegative
+from repro.util.validation import (
+    ValidationError,
+    check_integer,
+    check_nonnegative,
+)
 
 
 class QueueStats:

@@ -10,7 +10,10 @@ variants on both NUMA machines and compares.
 from __future__ import annotations
 
 from repro.core import fit_model, paper_fit_points, validate_model
-from repro.experiments.paper_data import PAPER_MODEL_ERROR, PAPER_MODEL_ERROR_REDUCED
+from repro.experiments.paper_data import (
+    PAPER_MODEL_ERROR,
+    PAPER_MODEL_ERROR_REDUCED,
+)
 from repro.experiments.runner import ExperimentResult
 from repro.machine import amd_numa, intel_numa
 from repro.runtime.calibration import machine_key

@@ -8,7 +8,12 @@ straight log-log tail, the large contended CG classes do not.
 
 from __future__ import annotations
 
-from repro.burst import ccdf_at, estimate_hurst, fit_loglog_tail, is_heavy_tailed
+from repro.burst import (
+    ccdf_at,
+    estimate_hurst,
+    fit_loglog_tail,
+    is_heavy_tailed,
+)
 from repro.counters.sampler import BurstSampler
 from repro.experiments.paper_data import FIG4_HEAVY, FIG4_X_GRID
 from repro.experiments.runner import ExperimentResult

@@ -9,7 +9,12 @@ quoted accuracy (6 % UMA, 11 % Intel NUMA, <5 % AMD NUMA).
 from __future__ import annotations
 
 from repro import obs
-from repro.core import colinearity_r2, fit_model, paper_fit_points, validate_model
+from repro.core import (
+    colinearity_r2,
+    fit_model,
+    paper_fit_points,
+    validate_model,
+)
 from repro.experiments.paper_data import PAPER_MODEL_ERROR
 from repro.experiments.runner import ExperimentResult
 from repro.machine import all_machines

@@ -1,0 +1,60 @@
+"""repro.lintkit — domain-aware static analysis for the reproduction.
+
+An AST-based lint engine with a decorator-registered rule set enforcing
+the invariants the type system cannot see: determinism (``DET``), unit
+safety (``UNT``), cache purity (``PUR``), desim scheduling (``SIM``) and
+telemetry hygiene (``TEL``).  One ``ast.parse`` per file is shared by
+every rule; findings respect inline ``# reprolint: disable=ID``
+suppressions and a committed JSON baseline.
+
+Run it via the CLI::
+
+    repro lint [PATH] [--format text|json|github] [--baseline FILE]
+
+or programmatically::
+
+    from repro import lintkit
+
+    config = lintkit.load_config(".")
+    report = lintkit.lint_paths(["src/repro"], config)
+    print(lintkit.render(report, "text"))
+    raise SystemExit(report.exit_code())
+
+See docs/LINTING.md for the rule catalogue and the suppression/baseline
+workflow.
+"""
+
+from repro.lintkit.baseline import load_baseline, write_baseline
+from repro.lintkit.config import LintConfig, load_config
+from repro.lintkit.core import (
+    RULE_REGISTRY,
+    FileContext,
+    Finding,
+    LintReport,
+    Rule,
+    Severity,
+    all_rules,
+    register,
+)
+from repro.lintkit.engine import (
+    iter_python_files,
+    lint_file,
+    lint_paths,
+    resolve_rules,
+)
+from repro.lintkit.reporters import (
+    FORMATS,
+    render,
+    render_github,
+    render_json,
+    render_text,
+)
+
+__all__ = [
+    "Severity", "Finding", "FileContext", "Rule", "LintReport",
+    "RULE_REGISTRY", "register", "all_rules",
+    "LintConfig", "load_config",
+    "iter_python_files", "lint_file", "lint_paths", "resolve_rules",
+    "load_baseline", "write_baseline",
+    "FORMATS", "render", "render_text", "render_json", "render_github",
+]

@@ -1,0 +1,80 @@
+"""Committed baseline of grandfathered findings.
+
+A baseline lets the linter land on a codebase with pre-existing findings
+without forcing a flag-day fix: ``repro lint --write-baseline`` records
+the current visible findings; subsequent runs hide exactly those and
+fail only on *new* ones.  Entries match on ``(rule, path, snippet)`` —
+the stripped source line — so a finding stays grandfathered when
+unrelated edits shift its line number, and stops matching the moment the
+offending line itself changes.
+
+The file is JSON, sorted and stable, intended to be committed; an empty
+entry list is the healthy steady state.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+
+from repro.lintkit.core import Finding, LintReport
+
+BASELINE_VERSION = 1
+
+
+def _entry_key(entry: dict) -> tuple[str, str, str]:
+    return (entry["rule"], entry["path"], entry["snippet"])
+
+
+def _finding_key(finding: Finding) -> tuple[str, str, str]:
+    return (finding.rule_id, finding.path, finding.snippet)
+
+
+def load_baseline(path: str) -> Counter:
+    """The baseline as a multiset of ``(rule, path, snippet)`` keys."""
+    with open(path, encoding="utf-8") as fh:
+        data = json.load(fh)
+    if not isinstance(data, dict) or "entries" not in data:
+        raise ValueError(f"{path}: not a reprolint baseline file")
+    return Counter(_entry_key(e) for e in data["entries"])
+
+
+def apply_baseline(report: LintReport, baseline: Counter) -> LintReport:
+    """Mark findings present in ``baseline`` as grandfathered.
+
+    Matching consumes baseline entries, so two identical new findings on
+    top of one grandfathered line still surface one of them.
+    """
+    remaining = Counter(baseline)
+    updated: list[Finding] = []
+    for f in report.findings:
+        key = _finding_key(f)
+        if not f.suppressed and remaining.get(key, 0) > 0:
+            remaining[key] -= 1
+            f = _rebaseline(f)
+        updated.append(f)
+    report.findings = updated
+    return report
+
+
+def _rebaseline(f: Finding) -> Finding:
+    return Finding(rule_id=f.rule_id, severity=f.severity, path=f.path,
+                   line=f.line, col=f.col, message=f.message,
+                   snippet=f.snippet, suppressed=f.suppressed,
+                   baselined=True)
+
+
+def write_baseline(report: LintReport, path: str) -> int:
+    """Write the visible findings of ``report`` as the new baseline.
+
+    Returns the number of entries written.
+    """
+    entries = sorted(
+        ({"rule": f.rule_id, "path": f.path, "snippet": f.snippet}
+         for f in report.visible),
+        key=lambda e: (e["path"], e["rule"], e["snippet"]))
+    payload = {"version": BASELINE_VERSION, "entries": entries}
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+    return len(entries)

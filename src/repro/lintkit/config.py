@@ -1,0 +1,107 @@
+"""``[tool.reprolint]`` configuration, read from ``pyproject.toml``.
+
+Recognised keys::
+
+    [tool.reprolint]
+    paths = ["src/repro"]          # default scan targets
+    baseline = "lint-baseline.json"  # grandfathered findings (optional)
+    disable = ["UNT001"]           # rules switched off entirely
+
+    [tool.reprolint.severity]      # per-rule severity overrides
+    UNT001 = "warning"
+
+    [tool.reprolint.allow]         # extra allowed path fragments per rule
+    DET003 = ["repro/obs/"]
+
+Every key is optional; rules ship sensible ``default_allow`` lists so a
+repository with no configuration still lints meaningfully.  On Python
+3.10 (no :mod:`tomllib`) a missing TOML parser degrades to the built-in
+defaults rather than failing the run.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+try:
+    import tomllib
+except ModuleNotFoundError:  # pragma: no cover - Python 3.10 fallback
+    tomllib = None  # type: ignore[assignment]
+
+#: Default scan targets when neither CLI nor config names any.
+DEFAULT_PATHS = ("src/repro",)
+
+
+@dataclass
+class LintConfig:
+    """Resolved lint configuration."""
+
+    paths: tuple[str, ...] = DEFAULT_PATHS
+    baseline: str | None = None
+    disable: tuple[str, ...] = ()
+    severity: dict[str, str] = field(default_factory=dict)
+    allow: dict[str, tuple[str, ...]] = field(default_factory=dict)
+
+    def allow_fragments(self, rule_id: str,
+                        default: tuple[str, ...]) -> tuple[str, ...]:
+        """The rule's built-in allow list extended by the config's."""
+        return default + self.allow.get(rule_id, ())
+
+
+def _coerce_str_list(value: object, key: str) -> tuple[str, ...]:
+    if not isinstance(value, (list, tuple)) or \
+            not all(isinstance(v, str) for v in value):
+        raise ValueError(f"[tool.reprolint] {key} must be a list of strings")
+    return tuple(value)
+
+
+def config_from_dict(table: dict) -> LintConfig:
+    """Build a :class:`LintConfig` from a parsed ``[tool.reprolint]`` table."""
+    cfg = LintConfig()
+    if "paths" in table:
+        cfg.paths = _coerce_str_list(table["paths"], "paths") or DEFAULT_PATHS
+    baseline = table.get("baseline")
+    if baseline is not None:
+        if not isinstance(baseline, str):
+            raise ValueError("[tool.reprolint] baseline must be a string")
+        cfg.baseline = baseline
+    if "disable" in table:
+        cfg.disable = tuple(
+            r.upper() for r in _coerce_str_list(table["disable"], "disable"))
+    severity = table.get("severity", {})
+    if not isinstance(severity, dict):
+        raise ValueError("[tool.reprolint.severity] must be a table")
+    cfg.severity = {k.upper(): str(v) for k, v in severity.items()}
+    allow = table.get("allow", {})
+    if not isinstance(allow, dict):
+        raise ValueError("[tool.reprolint.allow] must be a table")
+    cfg.allow = {k.upper(): _coerce_str_list(v, f"allow.{k}")
+                 for k, v in allow.items()}
+    return cfg
+
+
+def find_pyproject(start: str) -> str | None:
+    """The nearest ``pyproject.toml`` at or above ``start``."""
+    d = os.path.abspath(start)
+    while True:
+        candidate = os.path.join(d, "pyproject.toml")
+        if os.path.isfile(candidate):
+            return candidate
+        parent = os.path.dirname(d)
+        if parent == d:
+            return None
+        d = parent
+
+
+def load_config(start: str = ".") -> LintConfig:
+    """Load ``[tool.reprolint]`` from the nearest pyproject, or defaults."""
+    path = find_pyproject(start)
+    if path is None or tomllib is None:
+        return LintConfig()
+    with open(path, "rb") as fh:
+        data = tomllib.load(fh)
+    table = data.get("tool", {}).get("reprolint", {})
+    if not isinstance(table, dict):
+        raise ValueError("[tool.reprolint] must be a table")
+    return config_from_dict(table)

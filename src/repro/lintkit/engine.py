@@ -1,0 +1,127 @@
+"""The lint engine: file discovery, shared parsing, rule dispatch.
+
+One run: discover Python files under the targets, ``ast.parse`` each
+file exactly once, hand the shared tree to every applicable rule, then
+fold in inline suppressions and the committed baseline.  Syntax errors
+become ``PARSE001`` findings rather than aborting the run, so one broken
+file cannot hide findings in the rest of the tree.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+
+from repro.lintkit import rules as _rules  # noqa: F401  (registers rules)
+from repro.lintkit.baseline import apply_baseline, load_baseline
+from repro.lintkit.config import LintConfig
+from repro.lintkit.core import (
+    FileContext,
+    Finding,
+    LintReport,
+    Rule,
+    Severity,
+    all_rules,
+)
+from repro.lintkit.suppress import parse_suppressions
+
+#: Rule id used for files that fail to parse.
+PARSE_RULE_ID = "PARSE001"
+
+#: Directory names never descended into during discovery.
+_SKIP_DIRS = {"__pycache__", ".git", ".venv", "node_modules",
+              ".mypy_cache", ".ruff_cache"}
+
+
+def iter_python_files(targets: list[str]) -> list[str]:
+    """Every ``.py`` file under the targets (files pass through), sorted."""
+    out: list[str] = []
+    for target in targets:
+        if os.path.isfile(target):
+            out.append(target)
+            continue
+        for dirpath, dirnames, filenames in os.walk(target):
+            dirnames[:] = sorted(d for d in dirnames if d not in _SKIP_DIRS)
+            for fname in sorted(filenames):
+                if fname.endswith(".py"):
+                    out.append(os.path.join(dirpath, fname))
+    return sorted(dict.fromkeys(out))
+
+
+def _posix(path: str) -> str:
+    return path.replace(os.sep, "/")
+
+
+def _matches(relpath: str, fragments: tuple[str, ...]) -> bool:
+    p = _posix(relpath)
+    return any(frag in p for frag in fragments)
+
+
+def resolve_rules(config: LintConfig) -> list[Rule]:
+    """Registered rules minus disabled ones, with severity overrides."""
+    resolved: list[Rule] = []
+    for rule in all_rules():
+        if rule.id in config.disable:
+            continue
+        override = config.severity.get(rule.id)
+        if override is not None:
+            rule = rule.with_severity(Severity.from_str(override))
+        resolved.append(rule)
+    return resolved
+
+
+def lint_file(path: str, rules: list[Rule], config: LintConfig,
+              relpath: str | None = None) -> list[Finding]:
+    """Lint one file with the given rules; shared parse, suppressions."""
+    relpath = _posix(relpath if relpath is not None else path)
+    with open(path, encoding="utf-8") as fh:
+        source = fh.read()
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [Finding(
+            rule_id=PARSE_RULE_ID,
+            severity=Severity.ERROR,
+            path=relpath,
+            line=exc.lineno or 1,
+            col=(exc.offset or 1) - 1,
+            message=f"file does not parse: {exc.msg}",
+        )]
+    ctx = FileContext(path=path, relpath=relpath, source=source, tree=tree)
+    suppressions = parse_suppressions(source)
+    findings: list[Finding] = []
+    for rule in rules:
+        if rule.only and not _matches(relpath, rule.only):
+            continue
+        allow = config.allow_fragments(rule.id, rule.default_allow)
+        if allow and _matches(relpath, allow):
+            continue
+        for f in rule.check(ctx):
+            if suppressions.is_suppressed(f.rule_id, f.line):
+                f = Finding(rule_id=f.rule_id, severity=f.severity,
+                            path=f.path, line=f.line, col=f.col,
+                            message=f.message, snippet=f.snippet,
+                            suppressed=True)
+            findings.append(f)
+    return findings
+
+
+def lint_paths(targets: list[str] | None, config: LintConfig,
+               baseline_path: str | None = None) -> LintReport:
+    """Lint every Python file under ``targets`` (default: config paths).
+
+    ``baseline_path`` overrides the configured baseline; pass ``""`` to
+    ignore any configured baseline.
+    """
+    if not targets:
+        targets = [p for p in config.paths if os.path.exists(p)]
+    rules = resolve_rules(config)
+    report = LintReport(rules_run=len(rules))
+    for path in iter_python_files(list(targets)):
+        report.files_scanned += 1
+        report.findings.extend(lint_file(path, rules, config))
+    resolved_baseline = baseline_path if baseline_path is not None \
+        else config.baseline
+    if resolved_baseline and os.path.exists(resolved_baseline):
+        apply_baseline(report, load_baseline(resolved_baseline))
+    return report

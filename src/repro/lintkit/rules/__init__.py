@@ -1,0 +1,19 @@
+"""Domain rule families; importing this package registers every rule.
+
+Families (see docs/LINTING.md for the full catalogue):
+
+* ``DET``  — determinism: no unseeded randomness, no wall-clock reads.
+* ``UNT``  — unit safety: no cycles/seconds/requests mixing.
+* ``PUR``  — cache purity: memoized solvers stay side-effect free.
+* ``SIM``  — desim scheduling invariants.
+* ``TEL``  — telemetry hygiene: registry-constant metric names, spans
+  only as context managers.
+"""
+
+from repro.lintkit.rules import (  # noqa: F401
+    cachepurity,
+    desim,
+    determinism,
+    telemetry,
+    units,
+)

@@ -1,0 +1,222 @@
+"""Cache-purity rules (``PUR``).
+
+The :mod:`repro.perf` memoization layer assumes two contracts that
+nothing at runtime verifies:
+
+* a memoized solver is a *pure* function of its arguments — if it
+  mutates an argument, the first (cached) and second (memoized) call
+  observe different worlds and bit-identity breaks;
+* everything reachable from a cache key canonicalises — the fingerprint
+  walker handles primitives, dataclasses and ``__dict__`` objects, but a
+  ``__slots__`` value object is invisible to it unless it implements
+  ``__cache_tokens__``.
+
+These rules enforce both statically, at the definition site.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lintkit.core import (
+    FileContext,
+    Finding,
+    Rule,
+    dotted_name,
+    parameter_names,
+    register,
+    walk_functions,
+)
+
+#: Method names that mutate their receiver in place.
+_MUTATORS = {
+    "append", "extend", "insert", "remove", "pop", "popitem", "clear",
+    "sort", "reverse", "update", "setdefault", "add", "discard",
+    "appendleft", "extendleft",
+}
+
+#: Constructors whose results are interior-mutable.
+_MUTABLE_FACTORIES = {"list", "dict", "set", "bytearray", "deque",
+                      "defaultdict", "OrderedDict", "Counter"}
+
+
+def _is_cache_receiver(node: ast.AST) -> bool:
+    """True when ``node`` names a perf memo cache (``*_cache`` / ``cache``)."""
+    dotted = dotted_name(node)
+    if dotted is None:
+        return False
+    tail = dotted.rsplit(".", 1)[-1].lower()
+    return tail == "cache" or tail.endswith("_cache")
+
+
+def _cache_calls(fn: ast.FunctionDef | ast.AsyncFunctionDef,
+                 methods: tuple[str, ...]) -> list[ast.Call]:
+    """Calls to ``<cache>.{get,put}`` (or given methods) inside ``fn``."""
+    out = []
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Call) and \
+                isinstance(node.func, ast.Attribute) and \
+                node.func.attr in methods and \
+                _is_cache_receiver(node.func.value):
+            out.append(node)
+    return out
+
+
+def _param_mutations(fn: ast.FunctionDef | ast.AsyncFunctionDef,
+                     params: set[str]) -> Iterator[tuple[ast.AST, str, str]]:
+    """Yield ``(node, param, how)`` for each in-place parameter mutation."""
+
+    def _root_param(node: ast.AST) -> str | None:
+        # a.b[0].c = ... mutates whatever `a` refers to.
+        while isinstance(node, (ast.Attribute, ast.Subscript)):
+            node = node.value
+        if isinstance(node, ast.Name) and node.id in params:
+            return node.id
+        return None
+
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, (ast.Attribute, ast.Subscript)):
+                    param = _root_param(target)
+                    if param:
+                        yield node, param, "assigns into"
+        elif isinstance(node, ast.AugAssign):
+            if isinstance(node.target, (ast.Attribute, ast.Subscript)):
+                param = _root_param(node.target)
+                if param:
+                    yield node, param, "assigns into"
+        elif isinstance(node, ast.Delete):
+            for target in node.targets:
+                if isinstance(target, (ast.Attribute, ast.Subscript)):
+                    param = _root_param(target)
+                    if param:
+                        yield node, param, "deletes from"
+        elif isinstance(node, ast.Call) and \
+                isinstance(node.func, ast.Attribute) and \
+                node.func.attr in _MUTATORS:
+            param = _root_param(node.func.value)
+            if param:
+                yield node, param, f"calls .{node.func.attr}() on"
+
+
+@register
+class MemoizedMutationRule(Rule):
+    """``PUR001``: memoized solvers must not mutate their arguments.
+
+    A function that consults a perf memo cache (``*_cache.get``/``.put``)
+    is on the memoized path; mutating an argument there means cache hits
+    and misses leave callers in different states, breaking the
+    bit-identity contract between cached and fresh solves.
+    """
+
+    id = "PUR001"
+    name = "memoized-argument-mutation"
+    description = ("functions on the repro.perf memoized path must not "
+                   "mutate their arguments")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for fn in walk_functions(ctx.tree):
+            if not _cache_calls(fn, ("get", "put")):
+                continue
+            params = parameter_names(fn)
+            if not params:
+                continue
+            for node, param, how in _param_mutations(fn, params):
+                yield ctx.finding(
+                    self, node,
+                    f"memoized function `{fn.name}` {how} its argument "
+                    f"`{param}`; memoized solvers must be pure in their "
+                    "inputs")
+
+
+@register
+class MutableCacheValueRule(Rule):
+    """``PUR002``: values stored in a perf cache must be immutable.
+
+    ``cache.put(key, value)`` hands ``value`` to every future hit; a
+    freshly-built ``list``/``dict``/``set`` stored directly lets one
+    caller's in-place edit corrupt every later hit.  Store tuples/frozen
+    dataclasses, or copy on the way out (as ``solve_flow`` does for its
+    one interior dict).
+    """
+
+    id = "PUR002"
+    name = "no-mutable-cache-values"
+    description = ("storing a mutable container in a perf cache lets one "
+                   "caller corrupt every later hit")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "put"
+                    and _is_cache_receiver(node.func.value)
+                    and len(node.args) >= 2):
+                continue
+            value = node.args[1]
+            bad: str | None = None
+            if isinstance(value, (ast.List, ast.Dict, ast.Set,
+                                  ast.ListComp, ast.DictComp, ast.SetComp)):
+                bad = "a mutable container literal"
+            elif isinstance(value, ast.Call) and \
+                    isinstance(value.func, ast.Name) and \
+                    value.func.id in _MUTABLE_FACTORIES:
+                bad = f"a `{value.func.id}(...)` result"
+            if bad:
+                yield ctx.finding(
+                    self, node,
+                    f"cache value is {bad}; cached values must be "
+                    "immutable (tuple, frozen dataclass, or copy on read)")
+
+
+@register
+class CacheTokensRule(Rule):
+    """``PUR003``: ``__slots__`` value objects in cache-key domains need
+    ``__cache_tokens__``.
+
+    The fingerprint canonicaliser reads ``__dict__`` for plain objects;
+    a ``__slots__`` class (that is not a dataclass) reaching a cache key
+    raises at solve time.  Classes in the machine/runtime model layers —
+    the object graphs the flow key walks — must therefore either stay
+    dataclasses, keep a ``__dict__``, or expose ``__cache_tokens__``.
+    """
+
+    id = "PUR003"
+    name = "cache-key-tokens"
+    description = ("__slots__ classes in cache-key domains are invisible "
+                   "to the fingerprint walker without __cache_tokens__")
+    only = ("repro/machine/", "repro/runtime/")
+
+    @staticmethod
+    def _is_dataclass(cls: ast.ClassDef) -> bool:
+        for deco in cls.decorator_list:
+            target = deco.func if isinstance(deco, ast.Call) else deco
+            name = dotted_name(target)
+            if name and name.rsplit(".", 1)[-1] == "dataclass":
+                return True
+        return False
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            has_slots = False
+            has_tokens = False
+            for stmt in node.body:
+                if isinstance(stmt, ast.Assign):
+                    for target in stmt.targets:
+                        if isinstance(target, ast.Name) and \
+                                target.id == "__slots__":
+                            has_slots = True
+                elif isinstance(stmt, (ast.FunctionDef,
+                                       ast.AsyncFunctionDef)) and \
+                        stmt.name == "__cache_tokens__":
+                    has_tokens = True
+            if has_slots and not has_tokens and not self._is_dataclass(node):
+                yield ctx.finding(
+                    self, node,
+                    f"class `{node.name}` defines __slots__ in a cache-key "
+                    "domain but no __cache_tokens__; fingerprinting it "
+                    "will fail at solve time")

@@ -1,0 +1,166 @@
+"""Desim scheduling-invariant rules (``SIM``).
+
+The discrete-event engine's determinism guarantee rests on invariants
+enforced partly at runtime (non-negative delays raise) and partly by
+convention only.  These rules move the conventions into CI:
+
+* delays are non-negative — a literal negative delay is always a bug;
+* an event is immutable once enqueued — the heap ordering and any
+  already-registered waiter read ``time``/``value``/``seq`` at trigger
+  time, so mutating them after ``push``/``schedule`` reorders history;
+* monitors must not hold strong references to the engine — monitors
+  outlive runs (they feed the burst sampler after ``run()`` returns), so
+  a strong ``monitor -> simulator`` edge keeps the whole event graph
+  alive and couples measurement to scheduling.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lintkit.core import FileContext, Finding, Rule, register
+
+#: Attributes that are frozen once an event is on the queue.
+_FROZEN_EVENT_ATTRS = {"time", "value", "seq"}
+
+#: Parameter names that (by convention) carry the engine.
+_ENGINE_PARAMS = {"sim", "engine", "simulator", "env"}
+
+
+def _is_negative_number(node: ast.AST) -> bool:
+    return (isinstance(node, ast.UnaryOp)
+            and isinstance(node.op, ast.USub)
+            and isinstance(node.operand, ast.Constant)
+            and isinstance(node.operand.value, (int, float)))
+
+
+@register
+class NegativeDelayRule(Rule):
+    """``SIM001``: no literal negative delays in scheduling calls."""
+
+    id = "SIM001"
+    name = "no-negative-delay"
+    description = ("scheduling with a negative delay would fire an event "
+                   "in the simulated past")
+
+    _SCHEDULERS = {"schedule": 1, "timeout": 0, "Timeout": 0}
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            fn = node.func
+            name = fn.attr if isinstance(fn, ast.Attribute) else (
+                fn.id if isinstance(fn, ast.Name) else None)
+            if name not in self._SCHEDULERS:
+                continue
+            delay_pos = self._SCHEDULERS[name]
+            delay = None
+            if len(node.args) > delay_pos:
+                delay = node.args[delay_pos]
+            else:
+                for kw in node.keywords:
+                    if kw.arg == "delay":
+                        delay = kw.value
+            if delay is not None and _is_negative_number(delay):
+                yield ctx.finding(
+                    self, node,
+                    f"`{name}` called with a negative delay; events cannot "
+                    "be scheduled in the simulated past")
+
+
+@register
+class EventMutationAfterEnqueueRule(Rule):
+    """``SIM002``: events are frozen once pushed onto the queue.
+
+    Within one function, an assignment to ``event.time``, ``event.value``
+    or ``event.seq`` *after* that event was passed to ``.push(...)`` or
+    ``.schedule(...)`` is flagged: the heap key and any registered waiter
+    already captured the enqueued state.  Set the payload first, then
+    enqueue.
+    """
+
+    id = "SIM002"
+    name = "no-event-mutation-after-enqueue"
+    description = ("mutating an event after it is enqueued desynchronises "
+                   "the heap ordering from the event state")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for fn in [n for n in ast.walk(ctx.tree)
+                   if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef))]:
+            enqueued: dict[str, int] = {}  # name -> line of enqueue
+            for node in ast.walk(fn):
+                if isinstance(node, ast.Call) and \
+                        isinstance(node.func, ast.Attribute) and \
+                        node.func.attr in ("push", "schedule") and \
+                        node.args and isinstance(node.args[0], ast.Name):
+                    name = node.args[0].id
+                    line = node.lineno
+                    if name not in enqueued or line < enqueued[name]:
+                        enqueued[name] = line
+            if not enqueued:
+                continue
+            for node in ast.walk(fn):
+                if not isinstance(node, (ast.Assign, ast.AugAssign)):
+                    continue
+                targets = node.targets if isinstance(node, ast.Assign) \
+                    else [node.target]
+                for target in targets:
+                    if isinstance(target, ast.Attribute) and \
+                            target.attr in _FROZEN_EVENT_ATTRS and \
+                            isinstance(target.value, ast.Name):
+                        name = target.value.id
+                        if name in enqueued and \
+                                node.lineno > enqueued[name]:
+                            yield ctx.finding(
+                                self, node,
+                                f"`{name}.{target.attr}` assigned after "
+                                f"`{name}` was enqueued (line "
+                                f"{enqueued[name]}); set event state "
+                                "before push/schedule")
+
+
+@register
+class MonitorEngineReferenceRule(Rule):
+    """``SIM003``: monitors must not hold strong engine references.
+
+    In a class whose name ends in ``Monitor``, storing a constructor
+    parameter named ``sim``/``engine``/``simulator``/``env`` on ``self``
+    creates a strong monitor→engine edge; use a ``weakref`` (or pass the
+    values the monitor needs instead of the engine).
+    """
+
+    id = "SIM003"
+    name = "no-monitor-engine-reference"
+    description = ("a strong monitor->engine reference keeps the whole "
+                   "event graph alive past the run")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not (isinstance(node, ast.ClassDef)
+                    and node.name.endswith("Monitor")):
+                continue
+            for stmt in node.body:
+                if not (isinstance(stmt, ast.FunctionDef)
+                        and stmt.name == "__init__"):
+                    continue
+                engine_params = {
+                    a.arg for a in (*stmt.args.posonlyargs, *stmt.args.args,
+                                    *stmt.args.kwonlyargs)
+                    if a.arg in _ENGINE_PARAMS}
+                if not engine_params:
+                    continue
+                for inner in ast.walk(stmt):
+                    if isinstance(inner, ast.Assign) and \
+                            isinstance(inner.value, ast.Name) and \
+                            inner.value.id in engine_params:
+                        for target in inner.targets:
+                            if isinstance(target, ast.Attribute) and \
+                                    isinstance(target.value, ast.Name) and \
+                                    target.value.id == "self":
+                                yield ctx.finding(
+                                    self, inner,
+                                    f"monitor `{node.name}` stores a strong "
+                                    f"reference to `{inner.value.id}`; hold "
+                                    "a weakref.ref/proxy instead")

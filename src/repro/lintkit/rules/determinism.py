@@ -1,0 +1,177 @@
+"""Determinism rules (``DET``).
+
+Experiment outputs must be bit-reproducible: the perf-cache layer
+asserts exact float equality between cached and fresh solves, and the
+committed BENCH baselines diff counter-for-counter across machines.  Any
+unseeded randomness or wall-clock read in model code silently breaks
+both, so these rules fence all entropy behind ``util/rng.py`` and all
+wall-clock access behind the telemetry layer.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator
+
+from repro.lintkit.core import (
+    FileContext,
+    Finding,
+    Rule,
+    dotted_name,
+    register,
+)
+
+#: ``numpy.random`` attributes that are deterministic-safe to reference.
+_NP_RANDOM_OK = {"Generator", "BitGenerator", "SeedSequence", "default_rng",
+                 "PCG64", "Philox", "SFC64", "MT19937"}
+
+#: Wall-clock callables, by dotted name.
+_WALL_CLOCK = {
+    "time.time", "time.time_ns",
+    "time.perf_counter", "time.perf_counter_ns",
+    "time.monotonic", "time.monotonic_ns",
+    "time.process_time", "time.process_time_ns",
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+    "datetime.date.today",
+}
+
+#: Bare names that are wall-clock when imported from these modules.
+_WALL_CLOCK_FROM = {
+    "time": {"time", "time_ns", "perf_counter", "perf_counter_ns",
+             "monotonic", "monotonic_ns", "process_time",
+             "process_time_ns"},
+    "datetime": set(),  # datetime.now needs the class; handled above
+}
+
+
+def _np_random_value(node: ast.AST) -> bool:
+    """True when ``node`` is the ``np.random``/``numpy.random`` attribute."""
+    return (isinstance(node, ast.Attribute) and node.attr == "random"
+            and isinstance(node.value, ast.Name)
+            and node.value.id in ("np", "numpy"))
+
+
+@register
+class StdlibRandomRule(Rule):
+    """``DET001``: the stdlib ``random`` module is banned.
+
+    Its global Mersenne-Twister state makes results depend on import and
+    call order across the whole process; all randomness flows through
+    :mod:`repro.util.rng` seeded generators instead.
+    """
+
+    id = "DET001"
+    name = "no-stdlib-random"
+    description = ("stdlib `random` uses hidden global state; use seeded "
+                   "generators from repro.util.rng")
+    default_allow = ("repro/util/rng.py",)
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "random" or \
+                            alias.name.startswith("random."):
+                        yield ctx.finding(
+                            self, node,
+                            "import of stdlib `random`; route randomness "
+                            "through repro.util.rng")
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "random":
+                    yield ctx.finding(
+                        self, node,
+                        "import from stdlib `random`; route randomness "
+                        "through repro.util.rng")
+
+
+@register
+class NumpyGlobalRandomRule(Rule):
+    """``DET002``: no global/unseeded numpy randomness.
+
+    ``np.random.rand`` and friends mutate the legacy global state;
+    ``np.random.default_rng()`` *without* a seed pulls OS entropy.  Both
+    make reruns diverge.  Components must accept a seed-or-Generator and
+    normalise it with :func:`repro.util.rng.resolve_rng`.
+    """
+
+    id = "DET002"
+    name = "no-global-numpy-random"
+    description = ("legacy np.random.* global state and unseeded "
+                   "default_rng() break run-to-run reproducibility")
+    default_allow = ("repro/util/rng.py",)
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call):
+                fn = node.func
+                if isinstance(fn, ast.Attribute) and \
+                        _np_random_value(fn.value):
+                    if fn.attr not in _NP_RANDOM_OK:
+                        yield ctx.finding(
+                            self, node,
+                            f"np.random.{fn.attr}() uses the legacy global "
+                            "RNG state; use a Generator from "
+                            "repro.util.rng.resolve_rng")
+                    elif fn.attr == "default_rng" and not node.args \
+                            and not node.keywords:
+                        yield ctx.finding(
+                            self, node,
+                            "np.random.default_rng() without a seed pulls "
+                            "OS entropy; pass a seed or use "
+                            "repro.util.rng.resolve_rng")
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "numpy.random":
+                    for alias in node.names:
+                        if alias.name not in _NP_RANDOM_OK:
+                            yield ctx.finding(
+                                self, node,
+                                f"importing numpy.random.{alias.name} "
+                                "(legacy global RNG); use seeded "
+                                "Generators from repro.util.rng")
+
+
+@register
+class WallClockRule(Rule):
+    """``DET003``: no wall-clock reads in model code.
+
+    Model and solver results must be pure functions of their inputs.
+    Wall-clock time belongs to the observability layer (``repro/obs/``)
+    and the experiment runner's timing footer; anywhere else it either
+    leaks into results or tempts time-dependent logic.
+    """
+
+    id = "DET003"
+    name = "no-wall-clock"
+    description = ("wall-clock reads outside the telemetry layer make "
+                   "results time-dependent")
+    default_allow = ("repro/obs/", "repro/experiments/runner.py")
+
+    def _from_imports(self, ctx: FileContext) -> set[str]:
+        """Local names bound to wall-clock callables via ``from`` imports."""
+        names: set[str] = set()
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ImportFrom) and \
+                    node.module in _WALL_CLOCK_FROM:
+                banned = _WALL_CLOCK_FROM[node.module]
+                for alias in node.names:
+                    if alias.name in banned:
+                        names.add(alias.asname or alias.name)
+        return names
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        local_clocks = self._from_imports(ctx)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = dotted_name(node.func)
+            if dotted in _WALL_CLOCK:
+                yield ctx.finding(
+                    self, node,
+                    f"wall-clock call {dotted}() outside the telemetry "
+                    "layer; results must not depend on real time")
+            elif isinstance(node.func, ast.Name) and \
+                    node.func.id in local_clocks:
+                yield ctx.finding(
+                    self, node,
+                    f"wall-clock call {node.func.id}() (imported from "
+                    "time) outside the telemetry layer")

@@ -1,0 +1,100 @@
+"""Telemetry-hygiene rules (``TEL``).
+
+The observability layer's value depends on discipline at the call sites:
+
+* metric names must be drawn from :mod:`repro.obs.names` constants —
+  a free-floating string literal drifts from the documented catalogue,
+  breaks BENCH-record diffing, and defeats grep;
+* spans must be used as context managers — a span entered without a
+  guaranteed exit corrupts the tracer's stack for the rest of the run.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lintkit.core import FileContext, Finding, Rule, register
+
+#: Instrument-returning / recording helpers whose first argument is a
+#: metric name (MetricsRegistry methods and the repro.obs module helpers).
+_METRIC_METHODS = {"counter", "gauge", "gauge_max", "histogram", "timer",
+                   "observe", "timed"}
+
+
+@register
+class MetricNameLiteralRule(Rule):
+    """``TEL001``: metric names come from ``repro.obs.names`` constants.
+
+    Passing a string literal (or f-string) as the metric name at an
+    instrumentation call site is flagged; import the constant — or the
+    name-building helper for parameterised families — from
+    :mod:`repro.obs.names` so the catalogue stays the single source of
+    truth.
+    """
+
+    id = "TEL001"
+    name = "metric-names-from-registry"
+    description = ("string-literal metric names drift from the documented "
+                   "catalogue; use repro.obs.names constants")
+    default_allow = ("repro/obs/",)
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr in _METRIC_METHODS
+                    and node.args):
+                continue
+            first = node.args[0]
+            if isinstance(first, ast.Constant) and \
+                    isinstance(first.value, str):
+                yield ctx.finding(
+                    self, node,
+                    f".{node.func.attr}({first.value!r}) uses a literal "
+                    "metric name; import the constant from "
+                    "repro.obs.names")
+            elif isinstance(first, ast.JoinedStr):
+                yield ctx.finding(
+                    self, node,
+                    f".{node.func.attr}(f\"...\") builds a metric name "
+                    "inline; use a name-building helper from "
+                    "repro.obs.names")
+
+
+@register
+class SpanContextManagerRule(Rule):
+    """``TEL002``: spans only via ``with``.
+
+    ``tracer.span(...)`` returns a context manager; calling it anywhere
+    except as (part of) a ``with`` item leaves a span that may never be
+    exited, which corrupts the open-span stack and every enclosing
+    duration.
+    """
+
+    id = "TEL002"
+    name = "span-as-context-manager"
+    description = ("a span used outside `with` can stay open forever and "
+                   "corrupt the tracer stack")
+    default_allow = ("repro/obs/",)
+
+    @staticmethod
+    def _span_calls(node: ast.AST) -> Iterator[ast.Call]:
+        for inner in ast.walk(node):
+            if isinstance(inner, ast.Call) and \
+                    isinstance(inner.func, ast.Attribute) and \
+                    inner.func.attr == "span":
+                yield inner
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        ok_calls: set[ast.Call] = set()
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.With, ast.AsyncWith)):
+                for item in node.items:
+                    ok_calls.update(self._span_calls(item.context_expr))
+        for call in self._span_calls(ctx.tree):
+            if call not in ok_calls:
+                yield ctx.finding(
+                    self, call,
+                    "span created outside a `with` statement; use "
+                    "`with tracer.span(...)` so it always closes")

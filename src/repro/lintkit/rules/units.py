@@ -1,0 +1,116 @@
+"""Unit-safety rules (``UNT``).
+
+The model juggles three incommensurable quantities — processor *cycles*
+(PAPI_TOT_CYC), wall-clock *seconds* (the 5 µs sampler windows) and
+off-chip *requests* — plus scaled time (ns/µs) and rates (Hz).  The
+paper's counters only line up when every conversion passes through
+:class:`repro.util.units.Frequency`; a raw ``cycles + seconds`` is a
+silent corruption the type system cannot see.
+
+Unit inference is purely lexical: an identifier carries a unit when its
+name ends in a recognised suffix (``work_cycles``, ``window_s``,
+``period_ns``, ``hz``).  Products and quotients are conversions and stay
+legal; additive mixing and direct comparison of two *different* inferred
+units is flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lintkit.core import FileContext, Finding, Rule, register
+
+#: Identifier suffix (or exact name) -> unit tag.
+_UNIT_SUFFIXES: tuple[tuple[str, str], ...] = (
+    ("_cycles", "cycles"),
+    ("_seconds", "seconds"),
+    ("_secs", "seconds"),
+    ("_s", "seconds"),
+    ("_ns", "nanoseconds"),
+    ("_us", "microseconds"),
+    ("_ms", "milliseconds"),
+    ("_hz", "hertz"),
+    ("_ghz", "hertz"),
+    ("_mhz", "hertz"),
+    ("_requests", "requests"),
+)
+
+_UNIT_EXACT = {
+    "cycles": "cycles",
+    "seconds": "seconds",
+    "ns": "nanoseconds",
+    "us": "microseconds",
+    "ms": "milliseconds",
+    "hz": "hertz",
+    "requests": "requests",
+}
+
+
+def unit_of_name(name: str) -> str | None:
+    """The unit tag lexically inferred from an identifier, if any."""
+    lowered = name.lower()
+    exact = _UNIT_EXACT.get(lowered)
+    if exact is not None:
+        return exact
+    for suffix, unit in _UNIT_SUFFIXES:
+        if lowered.endswith(suffix):
+            return unit
+    return None
+
+
+def _operand_unit(node: ast.AST) -> tuple[str | None, str | None]:
+    """``(unit, identifier)`` for a Name/Attribute operand, else Nones."""
+    if isinstance(node, ast.Name):
+        return unit_of_name(node.id), node.id
+    if isinstance(node, ast.Attribute):
+        return unit_of_name(node.attr), node.attr
+    return None, None
+
+
+@register
+class MixedUnitArithmeticRule(Rule):
+    """``UNT001``: additive mixing / comparison of different units.
+
+    ``a + b``, ``a - b``, and ``a < b`` where the operand names infer to
+    two different unit tags (cycles vs seconds vs requests vs Hz ...)
+    must instead route one side through a ``Frequency``/`units` helper
+    conversion.  Multiplicative forms (``cycles / seconds``) are the
+    conversions themselves and stay legal.
+    """
+
+    id = "UNT001"
+    name = "no-mixed-unit-arithmetic"
+    description = ("adding or comparing cycles/seconds/requests without a "
+                   "Frequency conversion corrupts counters silently")
+
+    def _check_pair(self, ctx: FileContext, node: ast.AST,
+                    left: ast.AST, right: ast.AST,
+                    op_word: str) -> Iterator[Finding]:
+        lunit, lname = _operand_unit(left)
+        runit, rname = _operand_unit(right)
+        if lunit and runit and lunit != runit:
+            yield ctx.finding(
+                self, node,
+                f"{op_word} mixes units: `{lname}` is {lunit} but "
+                f"`{rname}` is {runit}; convert via "
+                "repro.util.units.Frequency first")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.BinOp) and \
+                    isinstance(node.op, (ast.Add, ast.Sub)):
+                word = "addition" if isinstance(node.op, ast.Add) \
+                    else "subtraction"
+                yield from self._check_pair(
+                    ctx, node, node.left, node.right, word)
+            elif isinstance(node, ast.Compare):
+                operands = [node.left, *node.comparators]
+                for a, b in zip(operands, operands[1:]):
+                    yield from self._check_pair(
+                        ctx, node, a, b, "comparison")
+            elif isinstance(node, ast.AugAssign) and \
+                    isinstance(node.op, (ast.Add, ast.Sub)):
+                yield from self._check_pair(
+                    ctx, node, node.target, node.value,
+                    "augmented assignment")

@@ -17,23 +17,27 @@ controller channel counts, bus widths and NUMA hop latencies — all taken
 from the paper's hardware table or public microarchitecture documentation.
 """
 
+from repro.machine.allocation import (
+    AffinityError,
+    CoreAllocation,
+    fill_processor_first,
+)
+from repro.machine.bus import FrontSideBus
+from repro.machine.caches import (
+    CacheConfig,
+    CacheHierarchy,
+    SetAssociativeCache,
+)
+from repro.machine.dram import DramTiming
+from repro.machine.interconnect import Interconnect
+from repro.machine.presets import all_machines, amd_numa, intel_numa, intel_uma
 from repro.machine.topology import (
     CacheLevel,
     Core,
-    Processor,
-    MemoryController,
     Machine,
     MemoryArchitecture,
-)
-from repro.machine.dram import DramTiming
-from repro.machine.bus import FrontSideBus
-from repro.machine.interconnect import Interconnect
-from repro.machine.caches import CacheConfig, SetAssociativeCache, CacheHierarchy
-from repro.machine.presets import intel_uma, intel_numa, amd_numa, all_machines
-from repro.machine.allocation import (
-    CoreAllocation,
-    fill_processor_first,
-    AffinityError,
+    MemoryController,
+    Processor,
 )
 
 __all__ = [

@@ -18,7 +18,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.machine.topology import CacheLevel
-from repro.util.validation import ValidationError, check_integer
+from repro.util.validation import ValidationError
 
 
 @dataclass(frozen=True)

@@ -20,7 +20,11 @@ from __future__ import annotations
 import networkx as nx
 
 from repro.util.units import Frequency, ns_to_cycles
-from repro.util.validation import ValidationError, check_nonnegative, check_positive
+from repro.util.validation import (
+    ValidationError,
+    check_nonnegative,
+    check_positive,
+)
 
 
 class Interconnect:

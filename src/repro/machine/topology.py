@@ -11,7 +11,7 @@ used: consecutive logical ids fill a package before moving to the next.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from repro.machine.bus import FrontSideBus

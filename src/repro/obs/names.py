@@ -1,0 +1,75 @@
+"""The metric-name catalogue: every instrument name, as a constant.
+
+Instrumented call sites import these constants instead of spelling the
+dotted name inline — the ``TEL001`` lint rule enforces it.  Keeping the
+catalogue in one module means:
+
+* BENCH perf records, run manifests and docs/OBSERVABILITY.md can be
+  diffed against a single source of truth;
+* renames are one-line changes caught by grep and the test suite;
+* a typo becomes an ``ImportError`` at the call site instead of a
+  silently forked time series.
+
+Parameterised families (per-cache counters) get a name-*building* helper
+here rather than an f-string at the call site, so the shape of the
+family is still owned by the catalogue.
+"""
+
+from __future__ import annotations
+
+# -- calibration --------------------------------------------------------------
+CALIBRATION_FIT_SECONDS = "calibration.fit_seconds"
+CALIBRATION_PROFILE_LOOKUPS = "calibration.profile_lookups"
+
+# -- discrete-event engine ----------------------------------------------------
+DESIM_EVENTS_PROCESSED = "desim.events_processed"
+DESIM_HEAP_DEPTH_MAX = "desim.heap_depth_max"
+DESIM_PROCESSES_SPAWNED = "desim.processes_spawned"
+DESIM_RUNS = "desim.runs"
+DESIM_RUN_SECONDS = "desim.run_seconds"
+DESIM_SIM_WALL_RATIO = "desim.sim_wall_ratio"
+
+# -- queueing solvers ---------------------------------------------------------
+QNET_GG1_CALLS = "qnet.gg1.calls"
+QNET_MMC_ERLANG_C_CALLS = "qnet.mmc.erlang_c_calls"
+QNET_MVA_EXACT_BATCHES = "qnet.mva.exact.batches"
+QNET_MVA_EXACT_CALLS = "qnet.mva.exact.calls"
+QNET_MVA_EXACT_ITERATIONS = "qnet.mva.exact.iterations"
+QNET_MVA_SCHWEITZER_CALLS = "qnet.mva.schweitzer.calls"
+QNET_MVA_SCHWEITZER_ITERATIONS = "qnet.mva.schweitzer.iterations"
+QNET_MVA_SCHWEITZER_NONCONVERGED = "qnet.mva.schweitzer.nonconverged"
+QNET_MVA_SCHWEITZER_RESIDUAL = "qnet.mva.schweitzer.residual"
+
+# -- runtime substrate --------------------------------------------------------
+RUNTIME_FLOW_SOLVES = "runtime.flow.solves"
+RUNTIME_MEASUREMENTS = "runtime.measurements"
+
+# -- burst sampler ------------------------------------------------------------
+SAMPLER_ARRIVALS_GENERATED = "sampler.arrivals_generated"
+SAMPLER_RUNS = "sampler.runs"
+SAMPLER_WINDOWS_BINNED = "sampler.windows_binned"
+
+
+def perf_cache_metric(cache_name: str, event: str) -> str:
+    """``perf.cache.<cache>.<event>`` — the per-cache counter family.
+
+    ``event`` is one of ``hits`` / ``misses`` / ``evictions``; the
+    family's shape lives here so the regression gate's
+    ``perf.cache.`` exclusion prefix and the docs stay authoritative.
+    """
+    if event not in ("hits", "misses", "evictions"):
+        raise ValueError(
+            f"unknown perf-cache event {event!r}; "
+            "want hits, misses or evictions")
+    return f"perf.cache.{cache_name}.{event}"
+
+
+def all_metric_names() -> list[str]:
+    """Every fixed metric-name constant in the catalogue, sorted.
+
+    Used by tests and docs tooling; the parameterised ``perf.cache.*``
+    family is excluded (its members depend on the live cache names).
+    """
+    return sorted(
+        value for key, value in globals().items()
+        if key.isupper() and isinstance(value, str))

@@ -24,6 +24,7 @@ import os
 from collections import OrderedDict
 
 from repro.obs import state as _obs_state
+from repro.obs.names import perf_cache_metric
 
 #: Sentinel distinguishing "no cached value" from a cached ``None``.
 MISS = object()
@@ -38,7 +39,8 @@ class MemoCache:
     """
 
     __slots__ = ("name", "maxsize", "enabled", "hits", "misses",
-                 "evictions", "_data")
+                 "evictions", "_data", "_metric_hits", "_metric_misses",
+                 "_metric_evictions")
 
     def __init__(self, name: str, maxsize: int = 4096,
                  enabled: bool = True) -> None:
@@ -51,6 +53,10 @@ class MemoCache:
         self.misses = 0
         self.evictions = 0
         self._data: OrderedDict = OrderedDict()
+        # Telemetry names are built once per cache, not per lookup.
+        self._metric_hits = perf_cache_metric(name, "hits")
+        self._metric_misses = perf_cache_metric(name, "misses")
+        self._metric_evictions = perf_cache_metric(name, "evictions")
 
     def get(self, key) -> object:
         """The cached value, or :data:`MISS`; bumps hit/miss counters."""
@@ -61,12 +67,12 @@ class MemoCache:
         if value is MISS:
             self.misses += 1
             if tel is not None:
-                tel.metrics.counter(f"perf.cache.{self.name}.misses").inc()
+                tel.metrics.counter(self._metric_misses).inc()
             return MISS
         self._data.move_to_end(key)
         self.hits += 1
         if tel is not None:
-            tel.metrics.counter(f"perf.cache.{self.name}.hits").inc()
+            tel.metrics.counter(self._metric_hits).inc()
         return value
 
     def put(self, key, value) -> None:
@@ -84,8 +90,7 @@ class MemoCache:
             self.evictions += 1
             tel = _obs_state._active
             if tel is not None:
-                tel.metrics.counter(
-                    f"perf.cache.{self.name}.evictions").inc()
+                tel.metrics.counter(self._metric_evictions).inc()
 
     def clear(self) -> None:
         """Drop every entry (counters are kept — they are cumulative)."""

@@ -23,7 +23,6 @@ from __future__ import annotations
 import dataclasses
 import enum
 import hashlib
-from typing import Callable
 
 #: Identity-memo bound: entries hold strong references (keeping ``id()``
 #: values valid), so the memo is cleared wholesale when it fills up.

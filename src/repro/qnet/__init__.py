@@ -20,21 +20,21 @@ the measurement substrate, which keeps the model-vs-measurement comparison
 honest.
 """
 
+from repro.qnet.bounds import OperationalBounds
+from repro.qnet.gg1 import allen_cunneen_wait, gg1_wait
+from repro.qnet.mg1 import MG1
 from repro.qnet.mm1 import MM1
 from repro.qnet.mmc import MMc, erlang_c
-from repro.qnet.mg1 import MG1
-from repro.qnet.gg1 import gg1_wait, allen_cunneen_wait
 from repro.qnet.mva import (
-    Station,
-    QueueingStation,
-    DelayStation,
     ClosedNetwork,
+    DelayStation,
     MVAResult,
+    QueueingStation,
+    Station,
     exact_mva,
     schweitzer_amva,
 )
 from repro.qnet.repairman import MachineRepairman
-from repro.qnet.bounds import OperationalBounds
 
 __all__ = [
     "MM1",

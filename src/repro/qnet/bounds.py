@@ -19,7 +19,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.qnet.mva import ClosedNetwork, DelayStation, QueueingStation
-from repro.util.validation import ValidationError, check_integer, check_nonnegative
+from repro.util.validation import (
+    ValidationError,
+    check_integer,
+    check_nonnegative,
+)
 
 
 @dataclass(frozen=True)

@@ -11,8 +11,12 @@ from __future__ import annotations
 
 import math
 
-from repro.obs import state as _obs_state
-from repro.util.validation import ValidationError, check_nonnegative, check_positive
+from repro.obs import names as _names, state as _obs_state
+from repro.util.validation import (
+    ValidationError,
+    check_nonnegative,
+    check_positive,
+)
 
 
 def allen_cunneen_wait(lam: float, mu: float, ca2: float, cs2: float) -> float:
@@ -66,7 +70,7 @@ def gg1_wait(lam: float, mu: float, ca2: float, cs2: float,
         wq *= klb_correction(rho, ca2, cs2)
     tel = _obs_state._active
     if tel is not None:
-        tel.metrics.counter("qnet.gg1.calls").inc()
+        tel.metrics.counter(_names.QNET_GG1_CALLS).inc()
     return wq
 
 

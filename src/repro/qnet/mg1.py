@@ -10,7 +10,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.util.validation import ValidationError, check_nonnegative, check_positive
+from repro.util.validation import (
+    ValidationError,
+    check_nonnegative,
+    check_positive,
+)
 
 
 @dataclass(frozen=True)

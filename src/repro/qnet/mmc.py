@@ -11,8 +11,12 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
-from repro.obs import state as _obs_state
-from repro.util.validation import ValidationError, check_integer, check_positive
+from repro.obs import names as _names, state as _obs_state
+from repro.util.validation import (
+    ValidationError,
+    check_integer,
+    check_positive,
+)
 
 
 def erlang_c(c: int, offered_load: float) -> float:
@@ -40,7 +44,7 @@ def erlang_c(c: int, offered_load: float) -> float:
     tail = term * (c / (c - a))
     tel = _obs_state._active
     if tel is not None:
-        tel.metrics.counter("qnet.mmc.erlang_c_calls").inc()
+        tel.metrics.counter(_names.QNET_MMC_ERLANG_C_CALLS).inc()
     return tail / (acc + tail)
 
 

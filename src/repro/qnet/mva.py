@@ -26,13 +26,12 @@ Features:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
-from repro.obs import state as _obs_state
-from repro.perf.cache import MISS as _MISS
-from repro.perf.cache import mva_cache as _mva_cache
+from repro.obs import names as _names, state as _obs_state
+from repro.perf.cache import MISS as _MISS, mva_cache as _mva_cache
 from repro.perf.keys import mva_key as _mva_key
 from repro.util.validation import (
     ValidationError,
@@ -282,8 +281,8 @@ def exact_mva(network: ClosedNetwork, population: int) -> MVAResult:
         np.array([population]))
     tel = _obs_state._active
     if tel is not None:
-        tel.metrics.counter("qnet.mva.exact.calls").inc()
-        tel.metrics.counter("qnet.mva.exact.iterations").inc(population)
+        tel.metrics.counter(_names.QNET_MVA_EXACT_CALLS).inc()
+        tel.metrics.counter(_names.QNET_MVA_EXACT_ITERATIONS).inc(population)
     return _collapse([s.name for s in stations], mapping, network.stations,
                      population, float(x[0]), residence[0], q[0], u[0])
 
@@ -305,9 +304,9 @@ def exact_throughputs(demands: np.ndarray, is_queue: np.ndarray,
     tel = _obs_state._active
     if tel is not None:
         reg = tel.metrics
-        reg.counter("qnet.mva.exact.calls").inc(len(populations))
-        reg.counter("qnet.mva.exact.iterations").inc(int(populations.sum()))
-        reg.counter("qnet.mva.exact.batches").inc()
+        reg.counter(_names.QNET_MVA_EXACT_CALLS).inc(len(populations))
+        reg.counter(_names.QNET_MVA_EXACT_ITERATIONS).inc(int(populations.sum()))
+        reg.counter(_names.QNET_MVA_EXACT_BATCHES).inc()
     return x
 
 
@@ -357,11 +356,11 @@ def schweitzer_amva(network: ClosedNetwork, population: int,
     tel = _obs_state._active
     if tel is not None:
         reg = tel.metrics
-        reg.counter("qnet.mva.schweitzer.calls").inc()
-        reg.counter("qnet.mva.schweitzer.iterations").inc(iterations)
-        reg.histogram("qnet.mva.schweitzer.residual").observe(residual)
+        reg.counter(_names.QNET_MVA_SCHWEITZER_CALLS).inc()
+        reg.counter(_names.QNET_MVA_SCHWEITZER_ITERATIONS).inc(iterations)
+        reg.histogram(_names.QNET_MVA_SCHWEITZER_RESIDUAL).observe(residual)
         if residual >= tol:
-            reg.counter("qnet.mva.schweitzer.nonconverged").inc()
+            reg.counter(_names.QNET_MVA_SCHWEITZER_NONCONVERGED).inc()
     u = np.minimum(x * qd, 1.0)
     return _collapse([s.name for s in stations], mapping, network.stations,
                      population, x, residence, q, u)

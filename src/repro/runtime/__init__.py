@@ -23,20 +23,29 @@ counter values a run would have measured:
   returning :class:`repro.counters.CounterSample` values.
 """
 
-from repro.runtime.flow import FlowResult, solve_flow, cross_package_share, smt_paired_fraction
-from repro.runtime.noise import NoiseModel
 from repro.runtime.calibration import (
+    CalibrationError,
     calibrate_profile,
     machine_key,
     table2_target,
-    CalibrationError,
 )
-from repro.runtime.measurement import MeasurementRun, measure_curve, measure_single
 from repro.runtime.detailed import (
     DetailedRunResult,
     compare_with_flow,
     run_detailed_single_package,
 )
+from repro.runtime.flow import (
+    FlowResult,
+    cross_package_share,
+    smt_paired_fraction,
+    solve_flow,
+)
+from repro.runtime.measurement import (
+    MeasurementRun,
+    measure_curve,
+    measure_single,
+)
+from repro.runtime.noise import NoiseModel
 
 __all__ = [
     "FlowResult",

@@ -43,6 +43,7 @@ import math
 from repro import obs
 from repro.machine.allocation import CoreAllocation
 from repro.machine.topology import Machine, MemoryArchitecture
+from repro.obs import names as _names
 from repro.runtime.flow import solve_flow
 from repro.util.validation import ValidationError
 from repro.workloads import get_workload
@@ -173,7 +174,7 @@ def _solve_knobs(program: str, size: str, mkey: str) -> dict[str, float]:
     """Compute the calibrated knob values for one anchored triple."""
     with obs.span("calibration.fit", program=program, size=size,
                   machine=mkey), \
-            obs.timed("calibration.fit_seconds",
+            obs.timed(_names.CALIBRATION_FIT_SECONDS,
                       anchor=f"{program}.{size}@{mkey}"):
         return _solve_knobs_inner(program, size, mkey)
 
@@ -278,7 +279,7 @@ def calibrate_profile(program: str, size: str,
     workload = get_workload(program)
     profile = workload.profile(size, machine)
     mkey = machine_key(machine)
-    obs.counter("calibration.profile_lookups")
+    obs.counter(_names.CALIBRATION_PROFILE_LOOKUPS)
     if (program, size, mkey) not in TABLE2:
         return profile
     knobs = dict(_calibrate_cached(program, size, mkey))

@@ -33,7 +33,7 @@ from repro.desim.engine import Simulator
 from repro.desim.resources import Server
 from repro.machine.topology import Machine, MemoryArchitecture
 from repro.util.rng import resolve_rng, spawn_rng
-from repro.util.validation import ValidationError, check_integer, check_positive
+from repro.util.validation import ValidationError, check_integer
 from repro.workloads.base import MemoryProfile
 
 

@@ -51,10 +51,12 @@ import numpy as np
 
 from repro.machine.allocation import CoreAllocation
 from repro.machine.topology import Machine, MemoryArchitecture
-from repro.obs import state as _obs_state
-from repro.perf.cache import MISS as _MISS
-from repro.perf.cache import flow_cache as _flow_cache
-from repro.perf.cache import mva_cache as _mva_cache
+from repro.obs import names as _names, state as _obs_state
+from repro.perf.cache import (
+    MISS as _MISS,
+    flow_cache as _flow_cache,
+    mva_cache as _mva_cache,
+)
 from repro.perf.keys import flow_key as _flow_key
 from repro.qnet.mva import exact_throughputs
 from repro.util.validation import ValidationError, check_positive
@@ -219,7 +221,7 @@ def solve_flow(profile: MemoryProfile, machine: Machine,
             hit, controller_utilisation=dict(hit.controller_utilisation))
     tel = _obs_state._active
     if tel is not None:
-        tel.metrics.counter("runtime.flow.solves").inc()
+        tel.metrics.counter(_names.RUNTIME_FLOW_SOLVES).inc()
     result = _solve_flow(profile, machine, alloc)
     _flow_cache.put(key, result)
     return result

@@ -16,6 +16,7 @@ from repro import obs
 from repro.counters.papi import CounterSample
 from repro.machine.allocation import CoreAllocation
 from repro.machine.topology import Machine
+from repro.obs import names as _names
 from repro.runtime.calibration import calibrate_profile
 from repro.runtime.flow import solve_flow
 from repro.runtime.noise import NoiseModel
@@ -86,7 +87,7 @@ class MeasurementRun:
                 self.noise.sample(flow, self._profile, alloc, rng=stream)
                 for _ in range(self.repetitions)
             ]
-            obs.counter("runtime.measurements")
+            obs.counter(_names.RUNTIME_MEASUREMENTS)
             return _average_samples(samples)
 
     def sweep(self, core_counts: list[int] | None = None

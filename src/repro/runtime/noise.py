@@ -14,8 +14,6 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
-import numpy as np
-
 from repro.counters.papi import CounterSample
 from repro.machine.allocation import CoreAllocation
 from repro.runtime.flow import FlowResult

@@ -11,12 +11,12 @@ from dataclasses import dataclass
 
 from repro.util.validation import check_positive
 
-GIGA = 1e9
-MEGA = 1e6
-KILO = 1e3
-MILLI = 1e-3
-MICRO = 1e-6
-NANO = 1e-9
+GIGA: float = 1e9
+MEGA: float = 1e6
+KILO: float = 1e3
+MILLI: float = 1e-3
+MICRO: float = 1e-6
+NANO: float = 1e-9
 
 
 @dataclass(frozen=True)

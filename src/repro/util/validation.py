@@ -8,14 +8,17 @@ violated constraint) and so tests can assert on a single exception type.
 from __future__ import annotations
 
 import math
-from typing import Iterable, Sequence
+from typing import Collection, Iterable, NoReturn, Sequence, TypeVar
+
+_T = TypeVar("_T")
+_SeqT = TypeVar("_SeqT", bound=Sequence)
 
 
 class ValidationError(ValueError):
     """Raised when a function argument violates its documented contract."""
 
 
-def _fail(name: str, value: object, constraint: str) -> None:
+def _fail(name: str, value: object, constraint: str) -> NoReturn:
     raise ValidationError(f"{name}={value!r} violates: {constraint}")
 
 
@@ -79,7 +82,7 @@ def check_fraction_open(name: str, value: float) -> float:
     return check_in_range(name, value, 0.0, 1.0, inclusive=False)
 
 
-def check_sorted_unique(name: str, values: Sequence[float]) -> Sequence[float]:
+def check_sorted_unique(name: str, values: _SeqT) -> _SeqT:
     """Return ``values`` if they are strictly increasing."""
     for a, b in zip(values, list(values)[1:]):
         if not a < b:
@@ -87,13 +90,11 @@ def check_sorted_unique(name: str, values: Sequence[float]) -> Sequence[float]:
     return values
 
 
-def check_nonempty(name: str, values: Iterable) -> Iterable:
-    """Return ``values`` if the collection has at least one element."""
-    try:
-        n = len(values)  # type: ignore[arg-type]
-    except TypeError:
+def check_nonempty(name: str, values: Iterable[_T]) -> Collection[_T]:
+    """Return ``values`` (materialised if it was a lazy iterable) if the
+    collection has at least one element."""
+    if not isinstance(values, Collection):
         values = list(values)
-        n = len(values)
-    if n == 0:
+    if len(values) == 0:
         _fail(name, values, "must be non-empty")
     return values

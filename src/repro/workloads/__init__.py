@@ -20,20 +20,20 @@ PARSEC.  Each program here carries three faces:
    would be infeasible.
 """
 
+from repro.workloads import synthetic
 from repro.workloads.base import (
     BurstProfile,
-    SizeSpec,
     MemoryProfile,
+    SizeSpec,
     Workload,
     WorkloadError,
 )
-from repro.workloads.ep import EP
-from repro.workloads.isort import IS
-from repro.workloads.ft import FT
 from repro.workloads.cg import CG
+from repro.workloads.ep import EP
+from repro.workloads.ft import FT
+from repro.workloads.isort import IS
 from repro.workloads.sp import SP
 from repro.workloads.x264 import X264
-from repro.workloads import synthetic
 
 _REGISTRY = {w.name: w for w in (EP(), IS(), FT(), CG(), SP(), X264())}
 

@@ -16,7 +16,7 @@ import numpy as np
 from scipy import sparse
 
 from repro.util.rng import resolve_rng
-from repro.util.validation import ValidationError, check_integer, check_positive
+from repro.util.validation import ValidationError, check_integer
 from repro.workloads.base import BurstProfile, SizeSpec, Workload
 
 #: NPB CG matrix orders per class (Table III: "matrix of size 1400^2" etc.

@@ -13,7 +13,11 @@ from __future__ import annotations
 import numpy as np
 
 from repro.util.rng import resolve_rng
-from repro.util.validation import ValidationError, check_integer, check_positive
+from repro.util.validation import (
+    ValidationError,
+    check_integer,
+    check_positive,
+)
 
 
 def sequential_stream(n_refs: int, working_set_bytes: int,

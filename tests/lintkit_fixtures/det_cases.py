@@ -1,0 +1,26 @@
+"""DET fixture: stdlib random, legacy numpy randomness, wall-clock reads."""
+
+import random  # -> DET001
+import time
+
+import numpy as np
+from numpy.random import rand  # -> DET002
+from time import perf_counter as clock
+
+
+def unlucky():
+    a = random.random()
+    b = np.random.rand(3)  # -> DET002
+    c = np.random.default_rng()  # -> DET002 (unseeded)
+    t = time.time()  # -> DET003
+    t2 = clock()  # -> DET003 (from-import alias)
+    return a, b, c, t, t2, rand
+
+
+def fine():
+    gen = np.random.default_rng(20110913)  # ok: seeded
+    return gen
+
+
+def hushed():
+    return time.time()  # reprolint: disable=DET003

@@ -1,0 +1,29 @@
+"""PUR fixture: impure memoized functions and mutable cache values."""
+
+result_cache = None  # stands in for a repro.perf MemoCache
+
+
+def memo_solve(profile, key):
+    hit = result_cache.get(key)
+    if hit is not None:
+        return hit
+    profile.entries = ()  # -> PUR001 (assigns into argument)
+    profile.history.append(key)  # -> PUR001 (mutator call)
+    value = (1, 2, 3)
+    result_cache.put(key, [1, 2, 3])  # -> PUR002 (container literal)
+    result_cache.put(key, list(value))  # -> PUR002 (mutable factory)
+    return value
+
+
+def pure_solve(profile, key):
+    hit = result_cache.get(key)
+    if hit is not None:
+        return hit
+    out = (profile.total, profile.peak)
+    result_cache.put(key, out)  # ok: tuple variable
+    return out
+
+
+def not_memoized(profile):
+    profile.entries = ()  # ok: no cache traffic in this function
+    return profile

@@ -1,0 +1,31 @@
+"""PUR003 fixture: __slots__ classes in a cache-key domain.
+
+Linted with a synthetic relpath under ``repro/machine/`` so the
+path-scoped rule applies.
+"""
+
+from dataclasses import dataclass
+
+
+class Slotted:  # -> PUR003
+    __slots__ = ("a", "b")
+
+    def __init__(self, a, b):
+        self.a = a
+        self.b = b
+
+
+class Tokened:  # ok: implements __cache_tokens__
+    __slots__ = ("a",)
+
+    def __init__(self, a):
+        self.a = a
+
+    def __cache_tokens__(self):
+        return ("Tokened", self.a)
+
+
+@dataclass(frozen=True)
+class Plain:  # ok: dataclass, fingerprinted via fields
+    a: int
+    b: int

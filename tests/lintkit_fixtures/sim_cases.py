@@ -1,0 +1,34 @@
+"""SIM fixture: negative delays, post-enqueue mutation, monitor refs."""
+
+import weakref
+
+
+def schedule_bad(sim, queue, ev):
+    sim.schedule(ev, -1.0)  # -> SIM001
+    sim.timeout(-0.5)  # -> SIM001
+    queue.push(ev, 0.0)
+    ev.value = 42  # -> SIM002 (after push on line above)
+    return ev
+
+
+def schedule_ok(sim, queue, ev, make_timeout):
+    ev.value = 42  # ok: set before the enqueue below
+    queue.push(ev, 0.0)
+    sim.schedule(ev, 1.0)
+    return make_timeout(0.0)
+
+
+def timeout_bad(Timeout):
+    return Timeout(-2)  # -> SIM001
+
+
+class LeakyMonitor:
+    def __init__(self, sim, interval):
+        self.sim = sim  # -> SIM003
+        self.interval = interval
+
+
+class CarefulMonitor:
+    def __init__(self, sim, interval):
+        self._sim = weakref.ref(sim)  # ok: weak reference
+        self.interval = interval

@@ -1,0 +1,16 @@
+"""UNT fixture: additive mixing and comparison of lexically-tagged units."""
+
+
+def mix(work_cycles, window_s, total_requests, clock_hz):
+    bad_sum = work_cycles + window_s  # -> UNT001
+    bad_cmp = work_cycles < total_requests  # -> UNT001
+    work_cycles -= window_s  # -> UNT001 (augmented)
+    ok_rate = work_cycles / window_s  # conversion: legal
+    ok_scale = window_s * clock_hz  # conversion: legal
+    ok_total = work_cycles + work_cycles  # same unit: legal
+    plain = bad_sum + ok_rate  # untagged names: legal
+    return bad_cmp, ok_total, plain
+
+
+def hushed(span_cycles, gap_s):
+    return span_cycles + gap_s  # reprolint: disable=UNT001

@@ -2,10 +2,9 @@
 
 import numpy as np
 import pytest
-from hypothesis import given, settings
-from hypothesis import strategies as st
+from hypothesis import given, settings, strategies as st
 
-from repro.burst.ccdf import CCDF, ccdf_at, empirical_ccdf
+from repro.burst.ccdf import ccdf_at, empirical_ccdf
 from repro.burst.metrics import (
     burstiness_score,
     index_of_dispersion,

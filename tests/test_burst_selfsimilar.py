@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.burst.selfsimilar import HurstEstimate, aggregate_series, estimate_hurst
+from repro.burst.selfsimilar import aggregate_series, estimate_hurst
 from repro.util.validation import ValidationError
 
 

@@ -4,7 +4,6 @@ import json
 import os
 import sys
 
-import pytest
 
 sys.path.insert(0, os.path.join(os.path.dirname(os.path.abspath(__file__)),
                                 os.pardir, "benchmarks"))
@@ -41,6 +40,60 @@ class TestGatedCounters:
             "runtime.flow.solves": 7.0,
             "desim.events_processed": 5.0,
         }  # perf.cache.* excluded, gauges excluded, .measurements not gated
+
+
+def old_record(calls=100.0, wall=1.0):
+    """A record in the pre-environment-block schema: no ``environment``
+    key, metric summaries as plain numbers."""
+    return {
+        "benchmark": "table2",
+        "wall_time_s": wall,
+        "metrics": {
+            "qnet.mva.exact.calls": calls,
+            "perf.cache.flow.hits": 9999.0,
+        },
+    }
+
+
+class TestOldSchemaRecords:
+    def test_plain_number_metrics_are_counters(self):
+        assert cr.gated_counters(old_record(calls=42.0)) == {
+            "qnet.mva.exact.calls": 42.0}
+
+    def test_malformed_metric_values_are_skipped(self):
+        rec = old_record()
+        rec["metrics"]["runtime.flow.solves"] = "not-a-number"
+        rec["metrics"]["desim.events_processed"] = None
+        assert cr.gated_counters(rec) == {"qnet.mva.exact.calls": 100.0}
+
+    def test_null_metrics_block(self):
+        assert cr.gated_counters({"metrics": None}) == {}
+        assert cr.gated_counters({}) == {}
+
+    def test_old_baseline_vs_new_fresh_does_not_raise(self):
+        failures, warnings = cr.compare_records(old_record(),
+                                                record(calls=101.0))
+        assert failures == []
+        # Wall time cannot be host-matched without an environment block.
+        assert any("different host" in w for w in warnings) or not warnings
+
+    def test_old_records_never_gate_wall_time(self):
+        failures, warnings = cr.compare_records(old_record(),
+                                                old_record(wall=10.0))
+        assert failures == []
+        assert any("different host" in w for w in warnings)
+
+    def test_null_environment_is_treated_as_unknown_host(self):
+        base = record()
+        base["environment"] = None
+        failures, warnings = cr.compare_records(base, record(wall=2.0))
+        assert failures == []
+        assert any("different host" in w for w in warnings)
+
+    def test_old_schema_counter_regression_still_fails(self):
+        failures, _ = cr.compare_records(old_record(), old_record(calls=200.0))
+        assert len(failures) == 1
+        assert "qnet.mva.exact.calls" in failures[0]
 
 
 class TestCompareRecords:

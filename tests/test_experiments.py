@@ -3,7 +3,6 @@
 import pytest
 
 from repro.experiments import available_experiments, run_experiment
-from repro.experiments.runner import ExperimentResult
 from repro.util.validation import ValidationError
 
 

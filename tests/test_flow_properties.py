@@ -3,12 +3,10 @@
 import dataclasses
 
 import pytest
-from hypothesis import given, settings
-from hypothesis import strategies as st
+from hypothesis import given, settings, strategies as st
 
 from repro.machine import CoreAllocation, intel_numa, intel_uma
 from repro.runtime.flow import solve_flow
-from repro.workloads import get_workload
 from repro.workloads.base import BurstProfile, MemoryProfile
 
 MACHINES = {"uma": intel_uma(), "numa": intel_numa()}

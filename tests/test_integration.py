@@ -5,7 +5,6 @@ full pipeline (workload profile -> calibration -> measurement substrate
 -> analytical model -> validation).
 """
 
-import pytest
 
 import repro
 from repro import (

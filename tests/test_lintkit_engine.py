@@ -1,0 +1,258 @@
+"""Engine-level tests: suppressions, baseline, config, reporters, CLI."""
+
+import json
+import os
+import textwrap
+
+import pytest
+
+from repro.lintkit import (
+    FORMATS,
+    Finding,
+    LintConfig,
+    LintReport,
+    Severity,
+    lint_paths,
+    load_baseline,
+    render,
+    resolve_rules,
+    write_baseline,
+)
+from repro.lintkit.config import config_from_dict
+from repro.lintkit.engine import PARSE_RULE_ID, iter_python_files, lint_file
+from repro.lintkit.suppress import parse_suppressions
+
+VIOLATION = 'import random\n'
+
+
+def write_file(tmp_path, name, body):
+    path = tmp_path / name
+    path.write_text(textwrap.dedent(body), encoding="utf-8")
+    return str(path)
+
+
+def lint_one(path, config=None):
+    config = config or LintConfig()
+    return lint_file(path, resolve_rules(config), config)
+
+
+class TestSuppressions:
+    def test_line_directive_multiple_ids(self):
+        sup = parse_suppressions(
+            "x = 1  # reprolint: disable=DET001, tel002\n")
+        assert sup.is_suppressed("DET001", 1)
+        assert sup.is_suppressed("TEL002", 1)
+        assert not sup.is_suppressed("DET001", 2)
+        assert not sup.is_suppressed("UNT001", 1)
+
+    def test_file_wide_directive(self):
+        sup = parse_suppressions(
+            "# reprolint: disable-file=UNT001\nx = 1\n")
+        assert sup.is_suppressed("UNT001", 1)
+        assert sup.is_suppressed("UNT001", 99)
+
+    def test_all_wildcard(self):
+        sup = parse_suppressions("x = 1  # reprolint: disable=all\n")
+        assert sup.is_suppressed("DET003", 1)
+
+    def test_directive_inside_string_is_inert(self):
+        sup = parse_suppressions(
+            's = "# reprolint: disable=DET001"\n')
+        assert not sup.is_suppressed("DET001", 1)
+
+    def test_file_wide_hides_findings_from_the_engine(self, tmp_path):
+        path = write_file(tmp_path, "mod.py",
+                          "# reprolint: disable-file=DET001\n" + VIOLATION)
+        findings = lint_one(path)
+        det = [f for f in findings if f.rule_id == "DET001"]
+        assert len(det) == 1 and det[0].suppressed
+
+
+class TestBaseline:
+    def test_roundtrip_grandfathers_exactly_once(self, tmp_path):
+        src = write_file(tmp_path, "mod.py", VIOLATION)
+        config = LintConfig()
+        baseline_path = str(tmp_path / "baseline.json")
+
+        first = lint_paths([src], config)
+        assert first.exit_code() == 1
+        assert write_baseline(first, baseline_path) == 1
+
+        second = lint_paths([src], config, baseline_path=baseline_path)
+        assert second.exit_code() == 0
+        assert second.baselined_count == 1
+        assert second.visible == []
+
+    def test_new_finding_on_top_of_baselined_one_still_surfaces(
+            self, tmp_path):
+        src = write_file(tmp_path, "mod.py", VIOLATION)
+        config = LintConfig()
+        baseline_path = str(tmp_path / "baseline.json")
+        write_baseline(lint_paths([src], config), baseline_path)
+
+        # The same violation twice: one is grandfathered, one is new.
+        with open(src, "a", encoding="utf-8") as fh:
+            fh.write(VIOLATION)
+        report = lint_paths([src], config, baseline_path=baseline_path)
+        assert report.baselined_count == 1
+        assert len(report.visible) == 1
+        assert report.exit_code() == 1
+
+    def test_stale_entries_stop_matching_when_the_line_changes(
+            self, tmp_path):
+        src = write_file(tmp_path, "mod.py", VIOLATION)
+        config = LintConfig()
+        baseline_path = str(tmp_path / "baseline.json")
+        write_baseline(lint_paths([src], config), baseline_path)
+
+        with open(src, "w", encoding="utf-8") as fh:
+            fh.write("import random as rnd\n")
+        report = lint_paths([src], config, baseline_path=baseline_path)
+        assert report.baselined_count == 0
+        assert report.exit_code() == 1
+
+    def test_load_rejects_non_baseline_json(self, tmp_path):
+        path = tmp_path / "bogus.json"
+        path.write_text("[1, 2]", encoding="utf-8")
+        with pytest.raises(ValueError):
+            load_baseline(str(path))
+
+
+class TestConfig:
+    def test_defaults(self):
+        cfg = config_from_dict({})
+        assert cfg.paths == ("src/repro",)
+        assert cfg.baseline is None
+
+    def test_disable_and_severity_normalise_case(self):
+        cfg = config_from_dict({
+            "disable": ["unt001"],
+            "severity": {"det003": "warning"},
+        })
+        assert cfg.disable == ("UNT001",)
+        assert cfg.severity == {"DET003": "warning"}
+
+    def test_disabled_rule_is_not_run(self, tmp_path):
+        src = write_file(tmp_path, "mod.py", VIOLATION)
+        cfg = config_from_dict({"disable": ["DET001"]})
+        assert [f for f in lint_one(src, cfg)
+                if f.rule_id == "DET001"] == []
+
+    def test_severity_override_downgrades_exit_code(self, tmp_path):
+        src = write_file(tmp_path, "mod.py", VIOLATION)
+        cfg = config_from_dict({"severity": {"DET001": "warning"}})
+        report = lint_paths([src], cfg)
+        det = [f for f in report.visible if f.rule_id == "DET001"]
+        assert det and det[0].severity == Severity.WARNING
+        assert report.exit_code() == 0
+
+    def test_allow_fragments_extend_rule_defaults(self, tmp_path):
+        src = write_file(tmp_path, "legacy_mod.py", VIOLATION)
+        cfg = config_from_dict({"allow": {"DET001": ["legacy_mod.py"]}})
+        assert [f for f in lint_one(src, cfg)
+                if f.rule_id == "DET001"] == []
+
+    def test_bad_types_raise(self):
+        with pytest.raises(ValueError):
+            config_from_dict({"paths": "src"})
+        with pytest.raises(ValueError):
+            config_from_dict({"baseline": 3})
+
+
+class TestEngine:
+    def test_syntax_error_becomes_parse_finding(self, tmp_path):
+        src = write_file(tmp_path, "broken.py", "def f(:\n")
+        findings = lint_one(src)
+        assert [f.rule_id for f in findings] == [PARSE_RULE_ID]
+        assert findings[0].severity == Severity.ERROR
+
+    def test_iter_python_files_dedups_and_sorts(self, tmp_path):
+        a = write_file(tmp_path, "a.py", "x = 1\n")
+        b = write_file(tmp_path, "b.py", "y = 2\n")
+        (tmp_path / "__pycache__").mkdir()
+        write_file(tmp_path / "__pycache__", "c.py", "z = 3\n")
+        files = iter_python_files([str(tmp_path), a, b])
+        assert files == [a, b]
+
+    def test_lint_paths_counts_files_and_rules(self, tmp_path):
+        write_file(tmp_path, "a.py", "x = 1\n")
+        write_file(tmp_path, "b.py", "y = 2\n")
+        report = lint_paths([str(tmp_path)], LintConfig())
+        assert report.files_scanned == 2
+        assert report.rules_run == len(resolve_rules(LintConfig()))
+        assert report.exit_code() == 0
+
+
+def _report_with_one_finding():
+    report = LintReport(files_scanned=1, rules_run=3)
+    report.findings.append(Finding(
+        rule_id="DET001", severity=Severity.ERROR, path="pkg/mod.py",
+        line=3, col=0, message="import of stdlib `random`",
+        snippet="import random"))
+    return report
+
+
+class TestReporters:
+    def test_text_format(self):
+        out = render(_report_with_one_finding(), "text")
+        assert out.splitlines() == [
+            "pkg/mod.py:3:0: error DET001 import of stdlib `random`",
+            "1 finding(s) in 1 file(s) [3 rules]",
+        ]
+
+    def test_text_summary_counts_hidden_findings(self, tmp_path):
+        src = write_file(tmp_path, "mod.py",
+                         VIOLATION.rstrip() +
+                         "  # reprolint: disable=DET001\n")
+        report = lint_paths([src], LintConfig())
+        assert "1 suppressed inline" in render(report, "text")
+
+    def test_json_format(self):
+        payload = json.loads(render(_report_with_one_finding(), "json"))
+        assert payload["exit_code"] == 1
+        assert payload["counts"] == {
+            "visible": 1, "suppressed": 0, "baselined": 0,
+            "by_severity": {"error": 1}}
+        [finding] = payload["findings"]
+        assert finding["rule"] == "DET001"
+        assert finding["path"] == "pkg/mod.py"
+        assert finding["line"] == 3
+
+    def test_github_format(self):
+        out = render(_report_with_one_finding(), "github")
+        assert out == ("::error file=pkg/mod.py,line=3,col=1,"
+                       "title=DET001::import of stdlib `random`")
+
+    def test_unknown_format_raises(self):
+        with pytest.raises(ValueError):
+            render(_report_with_one_finding(), "yaml")
+
+    def test_formats_table_is_complete(self):
+        assert set(FORMATS) == {"text", "json", "github"}
+
+
+class TestCli:
+    def test_lint_clean_file_exits_zero(self, tmp_path, capsys):
+        from repro.cli import main
+        src = write_file(tmp_path, "clean.py", "x = 1\n")
+        assert main(["lint", src]) == 0
+        assert "0 finding(s)" in capsys.readouterr().out
+
+    def test_lint_violation_exits_one_with_json(self, tmp_path, capsys):
+        from repro.cli import main
+        src = write_file(tmp_path, "dirty.py", VIOLATION)
+        assert main(["lint", "--format", "json", src]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["exit_code"] == 1
+        assert payload["findings"][0]["rule"] == "DET001"
+
+    def test_write_baseline_then_clean_run(self, tmp_path, capsys):
+        from repro.cli import main
+        src = write_file(tmp_path, "dirty.py", VIOLATION)
+        baseline = str(tmp_path / "baseline.json")
+        assert main(["lint", src, "--baseline", baseline,
+                     "--write-baseline"]) == 0
+        assert os.path.exists(baseline)
+        capsys.readouterr()
+        assert main(["lint", src, "--baseline", baseline]) == 0
+        assert "grandfathered" in capsys.readouterr().out

@@ -1,0 +1,134 @@
+"""Rule-family tests over the fixture corpus in tests/lintkit_fixtures/.
+
+Each fixture file carries ``# -> RULEID`` markers on the lines a rule
+must fire on; the tests assert the exact (rule, line) sets so a rule
+that silently widens or narrows fails loudly.
+"""
+
+import os
+
+from repro.lintkit import LintConfig, lint_file, resolve_rules
+
+FIXTURES = os.path.join(os.path.dirname(__file__), "lintkit_fixtures")
+
+
+def run_fixture(fname: str, relpath: str | None = None):
+    config = LintConfig()
+    rules = resolve_rules(config)
+    path = os.path.join(FIXTURES, fname)
+    if relpath is None:
+        relpath = f"tests/lintkit_fixtures/{fname}"
+    return lint_file(path, rules, config, relpath=relpath)
+
+
+def visible_lines(findings, rule_id):
+    return sorted(f.line for f in findings
+                  if f.rule_id == rule_id and f.visible)
+
+
+def suppressed_lines(findings, rule_id):
+    return sorted(f.line for f in findings
+                  if f.rule_id == rule_id and f.suppressed)
+
+
+class TestDeterminismRules:
+    def test_det001_stdlib_random_import(self):
+        findings = run_fixture("det_cases.py")
+        assert visible_lines(findings, "DET001") == [3]
+
+    def test_det002_legacy_numpy_random(self):
+        findings = run_fixture("det_cases.py")
+        assert visible_lines(findings, "DET002") == [7, 13, 14]
+
+    def test_det003_wall_clock_including_from_import_alias(self):
+        findings = run_fixture("det_cases.py")
+        assert visible_lines(findings, "DET003") == [15, 16]
+
+    def test_det003_inline_suppression(self):
+        findings = run_fixture("det_cases.py")
+        assert suppressed_lines(findings, "DET003") == [26]
+
+    def test_det_rules_skip_the_rng_module(self):
+        # util/rng.py legitimately owns randomness plumbing.
+        findings = run_fixture("det_cases.py",
+                               relpath="src/repro/util/rng.py")
+        assert visible_lines(findings, "DET001") == []
+        assert visible_lines(findings, "DET002") == []
+
+
+class TestUnitRules:
+    def test_unt001_flags_additive_mixing_only(self):
+        findings = run_fixture("unt_cases.py")
+        # add, compare, augmented-sub; division/multiplication are
+        # conversions and stay legal.
+        assert visible_lines(findings, "UNT001") == [5, 6, 7]
+
+    def test_unt001_inline_suppression(self):
+        findings = run_fixture("unt_cases.py")
+        assert suppressed_lines(findings, "UNT001") == [16]
+
+
+class TestCachePurityRules:
+    def test_pur001_memoized_argument_mutation(self):
+        findings = run_fixture("pur_cases.py")
+        assert visible_lines(findings, "PUR001") == [10, 11]
+
+    def test_pur002_mutable_cache_values(self):
+        findings = run_fixture("pur_cases.py")
+        assert visible_lines(findings, "PUR002") == [13, 14]
+
+    def test_pur003_only_fires_in_cache_key_domains(self):
+        in_domain = run_fixture("pur_slots_cases.py",
+                                relpath="src/repro/machine/cases.py")
+        assert visible_lines(in_domain, "PUR003") == [10]
+        outside = run_fixture("pur_slots_cases.py")
+        assert visible_lines(outside, "PUR003") == []
+
+
+class TestDesimRules:
+    def test_sim001_negative_delays(self):
+        findings = run_fixture("sim_cases.py")
+        assert visible_lines(findings, "SIM001") == [7, 8, 22]
+
+    def test_sim002_mutation_after_enqueue(self):
+        findings = run_fixture("sim_cases.py")
+        # Only schedule_bad's post-push write; schedule_ok sets the
+        # payload before pushing.
+        assert visible_lines(findings, "SIM002") == [10]
+
+    def test_sim003_monitor_engine_reference(self):
+        findings = run_fixture("sim_cases.py")
+        # The weakref-holding monitor is clean.
+        assert visible_lines(findings, "SIM003") == [27]
+
+
+class TestTelemetryRules:
+    def test_tel001_literal_and_fstring_names(self):
+        findings = run_fixture("tel_cases.py")
+        assert visible_lines(findings, "TEL001") == [7, 8]
+
+    def test_tel001_inline_suppression(self):
+        findings = run_fixture("tel_cases.py")
+        assert suppressed_lines(findings, "TEL001") == [17]
+
+    def test_tel002_span_outside_with(self):
+        findings = run_fixture("tel_cases.py")
+        assert visible_lines(findings, "TEL002") == [10]
+
+    def test_tel_rules_skip_the_obs_layer(self):
+        findings = run_fixture("tel_cases.py",
+                               relpath="src/repro/obs/metrics.py")
+        assert visible_lines(findings, "TEL001") == []
+        assert visible_lines(findings, "TEL002") == []
+
+
+class TestRuleMetadata:
+    def test_every_family_is_registered(self):
+        from repro.lintkit import RULE_REGISTRY
+        families = {rid[:3] for rid in RULE_REGISTRY}
+        assert {"DET", "UNT", "PUR", "SIM", "TEL"} <= families
+
+    def test_rules_have_ids_names_and_descriptions(self):
+        from repro.lintkit import all_rules
+        for rule in all_rules():
+            assert rule.id and rule.name and rule.description

@@ -2,7 +2,11 @@
 
 import pytest
 
-from repro.machine.allocation import AffinityError, CoreAllocation, fill_processor_first
+from repro.machine.allocation import (
+    AffinityError,
+    CoreAllocation,
+    fill_processor_first,
+)
 from repro.util.validation import ValidationError
 
 

@@ -2,10 +2,13 @@
 
 import numpy as np
 import pytest
-from hypothesis import given, settings
-from hypothesis import strategies as st
+from hypothesis import given, settings, strategies as st
 
-from repro.machine.caches import CacheConfig, CacheHierarchy, SetAssociativeCache
+from repro.machine.caches import (
+    CacheConfig,
+    CacheHierarchy,
+    SetAssociativeCache,
+)
 from repro.machine.topology import CacheLevel
 from repro.util.validation import ValidationError
 

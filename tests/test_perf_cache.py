@@ -8,8 +8,7 @@ cache trades memory for time, never accuracy.
 import dataclasses
 
 import pytest
-from hypothesis import given, settings
-from hypothesis import strategies as st
+from hypothesis import given, settings, strategies as st
 
 from repro import perf
 from repro.machine import CoreAllocation, intel_numa, intel_uma

@@ -1,8 +1,7 @@
 """MVA tests: exact recursion, Schweitzer approximation, Seidmann pooling."""
 
 import pytest
-from hypothesis import given, settings
-from hypothesis import strategies as st
+from hypothesis import given, settings, strategies as st
 
 from repro.qnet.mva import (
     ClosedNetwork,

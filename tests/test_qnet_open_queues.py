@@ -1,10 +1,14 @@
 """Tests for the open queues: M/M/1, M/M/c, M/G/1, G/G/1."""
 
 import pytest
-from hypothesis import given, settings
-from hypothesis import strategies as st
+from hypothesis import given, settings, strategies as st
 
-from repro.qnet.gg1 import allen_cunneen_wait, gg1_response, gg1_wait, klb_correction
+from repro.qnet.gg1 import (
+    allen_cunneen_wait,
+    gg1_response,
+    gg1_wait,
+    klb_correction,
+)
 from repro.qnet.mg1 import MG1, two_point_service_moments
 from repro.qnet.mm1 import MM1, creq
 from repro.qnet.mmc import MMc, erlang_c, mmc_wait_approx

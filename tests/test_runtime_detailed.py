@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.machine import intel_numa, intel_uma
+from repro.machine import intel_numa
 from repro.runtime.calibration import calibrate_profile
 from repro.runtime.detailed import (
     compare_with_flow,

@@ -7,13 +7,16 @@ from repro.machine import CoreAllocation, intel_numa
 from repro.runtime.calibration import (
     HALF_FULL,
     TABLE2,
-    CalibrationError,
     calibrate_profile,
     machine_key,
     table2_target,
 )
 from repro.runtime.flow import solve_flow
-from repro.runtime.measurement import MeasurementRun, measure_curve, measure_single
+from repro.runtime.measurement import (
+    MeasurementRun,
+    measure_curve,
+    measure_single,
+)
 from repro.runtime.noise import NOISELESS, NoiseModel
 from repro.workloads import get_workload
 

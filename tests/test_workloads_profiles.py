@@ -2,9 +2,9 @@
 
 import pytest
 
+from repro.util.validation import ValidationError
 from repro.workloads import all_workloads, get_workload
 from repro.workloads.base import BurstProfile, MemoryProfile, WorkloadError
-from repro.util.validation import ValidationError
 
 
 class TestRegistry:
