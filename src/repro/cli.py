@@ -9,12 +9,17 @@ Commands
 ``repro <experiment> [--fast] [--seed N]``
     Run one experiment (e.g. ``repro fig5``).  ``repro all --jobs N`` and
     ``repro report --jobs N`` fan the experiments out over N worker
-    processes with results identical to serial execution.
+    processes with results identical to serial execution; the fan-out is
+    crash-isolated (a failed experiment prints a FAILED report and exits
+    1, siblings keep their results) with optional ``--retries N`` and
+    ``--timeout SEC`` budgets — see docs/RESILIENCE.md.
 ``repro profile <experiment> [--fast]``
     Run one experiment with telemetry on and print the sorted
     span-timing and metrics tables.
-``repro report [--fast]``
+``repro report [--fast] [--resume]``
     Run every experiment and write EXPERIMENTS.md (paper vs measured).
+    ``--resume`` checkpoints completed experiments so an interrupted or
+    partially failed report rerun only repeats the missing ones.
 ``repro calibrate``
     Regenerate the shipped calibration table from the Table II anchors.
 ``repro topology``
@@ -87,7 +92,13 @@ def _cmd_report(args) -> int:
     path = "EXPERIMENTS.md"
     print(f"running every experiment and writing {path} "
           "(several minutes at full fidelity)")
-    write_experiments_md(path, fast=args.fast, rng=args.seed, jobs=args.jobs)
+    failures = write_experiments_md(path, fast=args.fast, rng=args.seed,
+                                    jobs=args.jobs, resume=args.resume)
+    if failures:
+        print(f"done with {failures} FAILED experiment"
+              f"{'' if failures == 1 else 's'} (see {path}; rerun with "
+              "--resume to retry only the failures)", file=sys.stderr)
+        return 1
     print("done")
     return 0
 
@@ -155,13 +166,17 @@ def _cmd_experiment(args) -> int:
     if telemetry_wanted:
         obs.enable(fresh=True)
     names = _experiment_names(args.experiment)
+    failures = 0
     for result in run_experiments(names, fast=args.fast, rng=args.seed,
-                                  jobs=args.jobs):
+                                  jobs=args.jobs, timeout_s=args.timeout,
+                                  retries=args.retries):
         print(result.render())
         print()
+        if not result.ok:
+            failures += 1
     if telemetry_wanted:
         _write_telemetry(args, obs.session())
-    return 0
+    return 1 if failures else 0
 
 
 def _cmd_profile(args) -> int:
@@ -203,6 +218,15 @@ def main(argv: list[str] | None = None) -> int:
                         help="run experiments in N worker processes "
                              "(results identical to serial; see "
                              "docs/PERFORMANCE.md)")
+    parser.add_argument("--retries", type=int, default=0, metavar="N",
+                        help="extra attempts a failed experiment gets in "
+                             "--jobs runs (see docs/RESILIENCE.md)")
+    parser.add_argument("--timeout", type=float, default=None, metavar="SEC",
+                        help="per-experiment wall-clock budget in --jobs "
+                             "runs (see docs/RESILIENCE.md)")
+    parser.add_argument("--resume", action="store_true",
+                        help="for 'repro report': checkpoint completed "
+                             "experiments and restore them on rerun")
     parser.add_argument("--trace", metavar="PATH", default=None,
                         help="write a Chrome trace-event JSON (Perfetto)")
     parser.add_argument("--metrics", action="store_true",

@@ -107,6 +107,12 @@ def fit_single_processor(samples: Mapping[int, CounterSample]
     if len(samples) < 2:
         raise ModelError("need measurements at >= 2 core counts to fit")
     ns = sorted(samples)
+    zero_cycles = [n for n in ns if samples[n].total_cycles == 0]
+    if zero_cycles:
+        raise ModelError(
+            f"cannot fit 1/C(n): measured total_cycles is zero at core "
+            f"count{'s' if len(zero_cycles) > 1 else ''} "
+            f"{', '.join(f'n={n}' for n in zero_cycles)}")
     inv_c = [1.0 / samples[n].total_cycles for n in ns]
     fit = linear_fit(ns, inv_c)
     r = float(np.mean([samples[n].llc_misses for n in ns]))

@@ -40,7 +40,16 @@ QNET_MVA_SCHWEITZER_ITERATIONS = "qnet.mva.schweitzer.iterations"
 QNET_MVA_SCHWEITZER_NONCONVERGED = "qnet.mva.schweitzer.nonconverged"
 QNET_MVA_SCHWEITZER_RESIDUAL = "qnet.mva.schweitzer.residual"
 
+# -- resilience layer ---------------------------------------------------------
+RESILIENCE_CHECKPOINT_HITS = "resilience.checkpoint.hits"
+RESILIENCE_DEGRADATIONS = "resilience.degradations"
+RESILIENCE_RETRIES = "resilience.retries"
+RESILIENCE_WORKER_FAILURES = "resilience.worker.failures"
+RESILIENCE_WORKER_RETRIES = "resilience.worker.retries"
+RESILIENCE_WORKER_TIMEOUTS = "resilience.worker.timeouts"
+
 # -- runtime substrate --------------------------------------------------------
+RUNTIME_FLOW_NONCONVERGED = "runtime.flow.nonconverged"
 RUNTIME_FLOW_SOLVES = "runtime.flow.solves"
 RUNTIME_MEASUREMENTS = "runtime.measurements"
 

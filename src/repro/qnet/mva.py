@@ -33,6 +33,7 @@ import numpy as np
 from repro.obs import names as _names, state as _obs_state
 from repro.perf.cache import MISS as _MISS, mva_cache as _mva_cache
 from repro.perf.keys import mva_key as _mva_key
+from repro.resilience.errors import ConvergenceError
 from repro.util.validation import (
     ValidationError,
     check_integer,
@@ -311,13 +312,21 @@ def exact_throughputs(demands: np.ndarray, is_queue: np.ndarray,
 
 
 def schweitzer_amva(network: ClosedNetwork, population: int,
-                    tol: float = 1e-10, max_iter: int = 100_000) -> MVAResult:
+                    tol: float = 1e-10, max_iter: int = 100_000,
+                    strict: bool = False) -> MVAResult:
     """Schweitzer/Bard approximate MVA.
 
     Replaces the exact arrival theorem with
     ``Q_i(N-1) ~= Q_i(N) (N-1)/N`` and iterates to a fixed point.  Errors
     are typically under a few percent; used where the exact recursion over
     1..N would be wasteful.
+
+    With ``strict=True`` a fixed point that has not converged after
+    ``max_iter`` iterations raises
+    :class:`~repro.resilience.errors.ConvergenceError` instead of being
+    returned silently — the mode the degradation ladder
+    (:func:`repro.resilience.solve_network`) runs it in, so a bad
+    iterate falls through to the bounds rung.
     """
     check_integer("population", population, minimum=0)
     check_positive("tol", tol)
@@ -361,6 +370,92 @@ def schweitzer_amva(network: ClosedNetwork, population: int,
         reg.histogram(_names.QNET_MVA_SCHWEITZER_RESIDUAL).observe(residual)
         if residual >= tol:
             reg.counter(_names.QNET_MVA_SCHWEITZER_NONCONVERGED).inc()
+    if strict and residual >= tol:
+        raise ConvergenceError(
+            f"schweitzer AMVA: no convergence after {iterations} "
+            f"iterations (residual {residual:.3e}, tol {tol:.1e})",
+            site="qnet.mva.schweitzer", iterations=iterations,
+            residual=residual, tol=tol, population=population)
     u = np.minimum(x * qd, 1.0)
     return _collapse([s.name for s in stations], mapping, network.stations,
                      population, x, residence, q, u)
+
+
+def schweitzer_throughputs(demands: np.ndarray, is_queue: np.ndarray,
+                           scv: np.ndarray, populations: np.ndarray,
+                           tol: float = 1e-10,
+                           max_iter: int = 100_000) -> np.ndarray:
+    """Batched Schweitzer AMVA throughputs on ``[chains, stations]`` rows.
+
+    The degraded counterpart of :func:`exact_throughputs` — same row
+    layout (single-channel queueing and delay stations, padded rows
+    allowed), O(iterations) independent of the populations, so the flow
+    fixed point stays cheap when a chain's exact recursion is abandoned.
+    Rows that have not converged after ``max_iter`` sweeps raise
+    :class:`~repro.resilience.errors.ConvergenceError` — the caller is
+    the ladder, which then falls to the bounds rung.
+    """
+    pops = populations.astype(float)
+    if np.any(pops < 1):
+        raise ValidationError("populations must be >= 1")
+    qd = np.where(is_queue, demands, 0.0)
+    dd = np.where(is_queue, 0.0, demands)
+    scv_term = qd * (scv - 1.0) * 0.5
+    n_chains, n_stations = demands.shape
+    shrink = ((pops - 1.0) / pops)[:, None]
+    q = np.full_like(demands, 1.0) * (pops[:, None] / n_stations)
+    x = np.zeros(n_chains)
+    iterations = 0
+    residual = float("inf")
+    for iterations in range(1, max_iter + 1):
+        u = np.minimum(x[:, None] * qd, 1.0)
+        residence = dd + qd * (1.0 + q * shrink) + u * scv_term
+        total = residence.sum(axis=1)
+        if np.any(total <= 0.0):
+            raise ValidationError("network has zero total demand")
+        x = pops / total
+        q_new = x[:, None] * residence
+        residual = float(np.max(np.abs(q_new - q)))
+        q = q_new
+        if residual < tol:
+            break
+    tel = _obs_state._active
+    if tel is not None:
+        reg = tel.metrics
+        reg.counter(_names.QNET_MVA_SCHWEITZER_CALLS).inc(n_chains)
+        reg.counter(_names.QNET_MVA_SCHWEITZER_ITERATIONS).inc(iterations)
+        reg.histogram(_names.QNET_MVA_SCHWEITZER_RESIDUAL).observe(residual)
+    if residual >= tol:
+        if tel is not None:
+            tel.metrics.counter(
+                _names.QNET_MVA_SCHWEITZER_NONCONVERGED).inc(n_chains)
+        raise ConvergenceError(
+            f"batched schweitzer AMVA: no convergence after {iterations} "
+            f"iterations (residual {residual:.3e}, tol {tol:.1e})",
+            site="qnet.mva.schweitzer", iterations=iterations,
+            residual=residual, tol=tol)
+    return x
+
+
+def bound_throughputs(demands: np.ndarray, is_queue: np.ndarray,
+                      scv: np.ndarray, populations: np.ndarray) -> np.ndarray:
+    """Asymptotic-bound throughputs: ``min(N/(D+Z), 1/D_max)`` per row.
+
+    The last rung of the degradation ladder (see docs/RESILIENCE.md):
+    no iteration at all, exact in the latency-limited and saturated
+    asymptotes, optimistic in between.  ``scv`` is accepted for
+    signature parity with the other batched solvers and ignored —
+    operational bounds are distribution-free.
+    """
+    del scv  # distribution-free
+    pops = populations.astype(float)
+    qd = np.where(is_queue, demands, 0.0)
+    total_q = qd.sum(axis=1)
+    think = np.where(is_queue, 0.0, demands).sum(axis=1)
+    d_max = qd.max(axis=1)
+    if np.any(total_q + think <= 0.0):
+        raise ValidationError("network has zero total demand")
+    latency_bound = pops / (total_q + think)
+    with np.errstate(divide="ignore"):
+        saturation_bound = np.where(d_max > 0.0, 1.0 / d_max, np.inf)
+    return np.minimum(latency_bound, saturation_bound)

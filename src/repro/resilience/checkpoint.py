@@ -1,0 +1,101 @@
+"""Checkpoint/resume for multi-experiment report runs.
+
+``python -m repro report`` runs every registered experiment at full
+fidelity — several minutes of work.  A crash (or a fault-injected
+worker death) used to discard everything; with a
+:class:`ReportCheckpoint`, each completed
+:class:`~repro.experiments.ExperimentResult` is persisted as it lands,
+and ``--resume`` restores the completed ones instead of re-running
+them.
+
+A checkpoint directory holds one pickle per completed experiment plus
+a ``meta.json`` fingerprint of the run parameters (fast flag, seed,
+checkpoint schema).  Loading with a different fingerprint wipes the
+directory: stale results from another configuration must never leak
+into a resumed run.  Failed experiments are never stored, so a resume
+retries exactly the work that did not finish.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+import shutil
+from typing import Any
+
+from repro.obs import names as _names, state as _obs_state
+
+#: Bump on breaking changes to what gets pickled.
+CHECKPOINT_SCHEMA = 1
+
+_META = "meta.json"
+
+
+class ReportCheckpoint:
+    """A directory of completed experiment results, fingerprint-guarded."""
+
+    def __init__(self, directory: str, fast: bool = False,
+                 seed: int | None = None) -> None:
+        self.directory = directory
+        self.fingerprint: dict[str, Any] = {
+            "schema": CHECKPOINT_SCHEMA,
+            "fast": bool(fast),
+            "seed": seed,
+        }
+        self._ensure_dir()
+
+    def _ensure_dir(self) -> None:
+        os.makedirs(self.directory, exist_ok=True)
+        meta_path = os.path.join(self.directory, _META)
+        try:
+            with open(meta_path, "r", encoding="utf-8") as fh:
+                existing = json.load(fh)
+        except (OSError, ValueError):
+            existing = None
+        if existing != self.fingerprint:
+            if existing is not None:
+                self.clear()
+            os.makedirs(self.directory, exist_ok=True)
+            with open(meta_path, "w", encoding="utf-8") as fh:
+                json.dump(self.fingerprint, fh, indent=1, sort_keys=True)
+                fh.write("\n")
+
+    def _path(self, name: str) -> str:
+        safe = "".join(c if c.isalnum() or c in "-_" else "_" for c in name)
+        return os.path.join(self.directory, f"{safe}.pkl")
+
+    def load(self, name: str) -> Any:
+        """The stored result for ``name``, or ``None``.
+
+        A corrupt or unreadable pickle counts as absent (the experiment
+        simply re-runs).
+        """
+        try:
+            with open(self._path(name), "rb") as fh:
+                result = pickle.load(fh)
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
+            return None
+        tel = _obs_state._active
+        if tel is not None:
+            tel.metrics.counter(_names.RESILIENCE_CHECKPOINT_HITS,
+                                experiment=name).inc()
+        return result
+
+    def store(self, name: str, result: Any) -> None:
+        """Persist one completed result (atomically via rename)."""
+        path = self._path(name)
+        tmp = path + ".tmp"
+        with open(tmp, "wb") as fh:
+            pickle.dump(result, fh, protocol=pickle.HIGHEST_PROTOCOL)
+        os.replace(tmp, path)
+
+    def completed(self) -> list[str]:
+        """Stems of the stored results (sanitised experiment names)."""
+        return sorted(
+            fn[:-4] for fn in os.listdir(self.directory)
+            if fn.endswith(".pkl"))
+
+    def clear(self) -> None:
+        """Delete the checkpoint directory and everything in it."""
+        shutil.rmtree(self.directory, ignore_errors=True)

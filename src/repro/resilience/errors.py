@@ -1,0 +1,107 @@
+"""The structured error taxonomy (docs/RESILIENCE.md).
+
+Every deliberate failure in the library derives from
+:class:`~repro.util.errors.ReproError` and carries a stable dotted
+``code`` plus a ``context`` mapping::
+
+    ReproError                          repro.error
+    ├── ValidationError                 validation.invalid_argument
+    │   └── ModelError                  model.invalid
+    ├── SolverError                     solver.failure
+    │   ├── ConvergenceError            solver.nonconverged
+    │   └── SolverTimeoutError          solver.timeout
+    ├── WorkerError                     worker.failure
+    │   ├── WorkerCrashError            worker.crash
+    │   └── WorkerTimeoutError          worker.timeout
+    └── ExperimentError                 experiment.failed
+
+``ValidationError`` (still a ``ValueError``) and ``ModelError`` live
+with their call sites (:mod:`repro.util.validation`,
+:mod:`repro.core.uniproc`); this module defines the solver-, worker- and
+experiment-level failures and re-exports the whole family so one import
+gives the complete taxonomy.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.util.errors import ReproError
+from repro.util.validation import ValidationError
+
+__all__ = [
+    "ReproError",
+    "ValidationError",
+    "SolverError",
+    "ConvergenceError",
+    "SolverTimeoutError",
+    "WorkerError",
+    "WorkerCrashError",
+    "WorkerTimeoutError",
+    "ExperimentError",
+]
+
+
+class SolverError(ReproError):
+    """A numerical solver failed to produce a usable answer."""
+
+    code = "solver.failure"
+
+
+class ConvergenceError(SolverError):
+    """An iterative solver exhausted its iteration budget.
+
+    Context conventionally carries ``site`` (the solver call site, e.g.
+    ``"runtime.flow"``), ``iterations``, ``residual``, and the attempt's
+    ``solver``/``damping`` parameters.
+    """
+
+    code = "solver.nonconverged"
+
+
+class SolverTimeoutError(SolverError):
+    """An iterative solver exhausted its wall-clock budget."""
+
+    code = "solver.timeout"
+
+
+class WorkerError(ReproError):
+    """A task in the crash-isolated parallel pool failed."""
+
+    code = "worker.failure"
+
+
+class WorkerCrashError(WorkerError):
+    """A pool worker raised — or died hard and broke the pool.
+
+    ``context["traceback"]`` carries the worker-side traceback text when
+    one was available.
+    """
+
+    code = "worker.crash"
+
+
+class WorkerTimeoutError(WorkerError):
+    """A pool task exceeded its wall-clock budget."""
+
+    code = "worker.timeout"
+
+
+class ExperimentError(ReproError):
+    """An experiment driver raised; partial diagnostics ride along.
+
+    Even a failed run is diagnosable: ``wall_time_s`` is always set and,
+    when telemetry was enabled, ``manifest`` holds the partial
+    :class:`repro.obs.RunManifest` (metrics up to the failure point)
+    that was also recorded on the session.
+    """
+
+    code = "experiment.failed"
+
+    def __init__(self, message: str, *, manifest: Any = None,
+                 wall_time_s: float | None = None, **context: Any) -> None:
+        super().__init__(message, **context)
+        self.manifest = manifest
+        self.wall_time_s = wall_time_s
+        if wall_time_s is not None:
+            self.context.setdefault("wall_time_s", wall_time_s)

@@ -1,0 +1,158 @@
+"""Deterministic fault injection for testing the resilience layer.
+
+Real solver non-convergence, worker crashes and timeouts are rare and
+input-dependent; this harness makes each of them reproducible on
+demand so the watchdogs, the degradation ladder and the crash-isolated
+runner are all testable::
+
+    from repro.resilience import faultinject
+
+    with faultinject.inject(nonconverge={"runtime.flow": 2}):
+        solve_flow(...)       # first two attempts fail -> Schweitzer
+
+    with faultinject.inject(crash={"table3": 1}):
+        run_experiments(names, jobs=4)   # table3's worker raises once
+
+Counts are *attempts*: ``{"table3": 1}`` fails attempt 0 and lets a
+retry succeed; a large count fails every attempt.  The active plan is a
+plain picklable dataclass — the parallel runner snapshots it and ships
+it to each worker process, so injection crosses process boundaries.
+
+Injection never touches results when no plan is installed: every hook
+is a single ``is None`` check, and the solver caches are bypassed while
+a solver fault is armed so injected degradations cannot leak into
+later, clean runs.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.resilience.errors import ConvergenceError
+
+#: Attempt count that fails every retry any policy will ever schedule.
+ALWAYS = 1_000_000
+
+
+class InjectedFault(RuntimeError):
+    """The exception an injected worker crash raises.
+
+    Deliberately *not* a :class:`ReproError`: an injected crash stands
+    in for an arbitrary, unstructured driver bug, which is exactly what
+    the isolation layer must be able to contain.
+    """
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """What to break, and how often.
+
+    Attributes
+    ----------
+    crash:
+        Experiment name -> number of attempts that raise
+        :class:`InjectedFault` inside the worker.
+    kill:
+        Experiment name -> number of attempts that hard-exit the worker
+        process (``os._exit``), breaking the process pool.
+    hang:
+        Experiment name -> seconds the worker sleeps before running
+        (trip wall-clock timeouts).
+    nonconverge:
+        Solver site (e.g. ``"runtime.flow"``) -> number of solve
+        attempts that raise :class:`ConvergenceError`.
+    """
+
+    crash: dict[str, int] = field(default_factory=dict)
+    kill: dict[str, int] = field(default_factory=dict)
+    hang: dict[str, float] = field(default_factory=dict)
+    nonconverge: dict[str, int] = field(default_factory=dict)
+
+    def affects_solvers(self) -> bool:
+        return bool(self.nonconverge)
+
+
+#: The installed plan, or ``None`` (the default: no injection).
+_PLAN: FaultPlan | None = None
+
+
+def install(plan: FaultPlan | None) -> None:
+    """Install ``plan`` process-globally (``None`` clears)."""
+    global _PLAN
+    _PLAN = plan
+
+
+def clear() -> None:
+    install(None)
+
+
+def active() -> FaultPlan | None:
+    """The installed plan, or ``None``."""
+    return _PLAN
+
+
+def snapshot() -> FaultPlan | None:
+    """The installed plan, for shipping to worker processes (picklable)."""
+    return _PLAN
+
+
+@contextmanager
+def inject(crash: dict[str, int] | None = None,
+           kill: dict[str, int] | None = None,
+           hang: dict[str, float] | None = None,
+           nonconverge: dict[str, int] | None = None
+           ) -> Iterator[FaultPlan]:
+    """Install a :class:`FaultPlan` for the duration of the block."""
+    plan = FaultPlan(crash=dict(crash or {}), kill=dict(kill or {}),
+                     hang=dict(hang or {}),
+                     nonconverge=dict(nonconverge or {}))
+    previous = _PLAN
+    install(plan)
+    try:
+        yield plan
+    finally:
+        install(previous)
+
+
+def solver_fault_armed(site: str) -> bool:
+    """Whether a non-convergence fault is armed for ``site``.
+
+    The solver memoization layers consult this to bypass their caches
+    while injection is active, so degraded results never get cached.
+    """
+    return _PLAN is not None and site in _PLAN.nonconverge
+
+
+def maybe_fail_solver(site: str, attempt: int) -> None:
+    """Raise an injected :class:`ConvergenceError` when armed.
+
+    ``attempt`` is the zero-based index in the degradation ladder's
+    schedule; attempts below the armed count fail.
+    """
+    if _PLAN is not None and attempt < _PLAN.nonconverge.get(site, 0):
+        raise ConvergenceError(
+            f"{site}: injected non-convergence (attempt {attempt})",
+            site=site, attempt=attempt, injected=True)
+
+
+def maybe_fail_experiment(name: str, attempt: int) -> None:
+    """Apply any armed experiment fault (worker side).
+
+    Order: ``kill`` (hard process death) beats ``crash`` (exception)
+    beats ``hang`` (sleep, then run normally).
+    """
+    if _PLAN is None:
+        return
+    if attempt < _PLAN.kill.get(name, 0):
+        import os
+
+        os._exit(13)
+    if attempt < _PLAN.crash.get(name, 0):
+        raise InjectedFault(
+            f"injected crash in experiment {name!r} (attempt {attempt})")
+    seconds = _PLAN.hang.get(name, 0.0)
+    if seconds > 0.0:
+        time.sleep(seconds)

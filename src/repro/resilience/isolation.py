@@ -1,0 +1,247 @@
+"""Crash-isolated process-pool execution with timeouts and bounded retry.
+
+``pool.map`` fails collectively: one worker exception aborts the whole
+fan-out and discards every completed sibling's result.
+:func:`run_isolated` replaces it with per-task ``submit()`` futures and
+per-task outcomes — a task that crashes, times out, or takes its whole
+process down comes back as a structured
+:class:`~repro.resilience.errors.WorkerError` in its own
+:class:`TaskOutcome` slot while every sibling's value survives.
+
+Recovery runs in two phases.  Phase one fans everything out at full
+parallelism and harvests whatever finishes cleanly.  Tasks that failed
+— and tasks whose results were destroyed when a sibling broke the pool
+(``BrokenProcessPool`` poisons every in-flight future) — are retried in
+phase two *sequentially, one fresh single-worker pool at a time*, so a
+repeated hard crash is attributable to exactly one task and innocents
+cannot be charged for a killer's damage.
+
+Timeouts are coarse wall-clock budgets measured from when the caller
+starts waiting on a task's future (a timed-out worker cannot be
+interrupted; its pool is abandoned and a fresh one started).
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as _FuturesTimeout
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+from repro.obs import names as _names, state as _obs_state
+from repro.resilience.errors import (
+    ReproError,
+    WorkerCrashError,
+    WorkerError,
+    WorkerTimeoutError,
+)
+from repro.util.validation import check_integer, check_positive
+
+__all__ = ["IsolationPolicy", "TaskOutcome", "run_isolated"]
+
+
+@dataclass(frozen=True)
+class IsolationPolicy:
+    """Per-task budgets of one isolated fan-out.
+
+    ``timeout_s`` bounds each attempt's wall clock (``None`` = no
+    bound); ``retries`` is the number of *additional* attempts a failed
+    task gets (0 = fail fast).
+    """
+
+    timeout_s: float | None = None
+    retries: int = 0
+
+    def __post_init__(self) -> None:
+        if self.timeout_s is not None:
+            check_positive("timeout_s", self.timeout_s)
+        check_integer("retries", self.retries, minimum=0)
+
+    @property
+    def max_attempts(self) -> int:
+        return self.retries + 1
+
+
+@dataclass
+class TaskOutcome:
+    """What happened to one task of an isolated fan-out."""
+
+    index: int
+    label: str
+    value: Any = None
+    error: WorkerError | ReproError | None = None
+    attempts: int = 0
+    wall_time_s: float = 0.0
+    #: Times this task's pool was broken by a sibling while it was in
+    #: flight (its own retry budget is not charged for those).
+    collateral_restarts: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+def _count(name: str, **labels: str) -> None:
+    tel = _obs_state._active
+    if tel is not None:
+        tel.metrics.counter(name, **labels).inc()
+
+
+def _classify(exc: BaseException, label: str, attempt: int
+              ) -> ReproError:
+    """Turn a worker-side exception into a structured error."""
+    if isinstance(exc, ReproError):
+        return exc
+    remote_tb = str(exc.__cause__) if exc.__cause__ is not None else None
+    return WorkerCrashError(
+        f"task {label!r} raised {type(exc).__name__}: {exc}",
+        task=label, attempt=attempt,
+        error_type=type(exc).__qualname__,
+        traceback=remote_tb)
+
+
+def run_isolated(fn: Callable[..., Any], tasks: Sequence[tuple],
+                 jobs: int, policy: IsolationPolicy | None = None,
+                 labels: Sequence[str] | None = None) -> list[TaskOutcome]:
+    """Run ``fn(*task_args, attempt)`` for each task, crash-isolated.
+
+    ``fn`` must live at module top level (it crosses a process
+    boundary) and receives the zero-based attempt number as an extra
+    final positional argument, so retry-aware code (fault injection,
+    logging) can tell attempts apart.
+
+    Returns one :class:`TaskOutcome` per task, in task order.  This
+    function never raises for a task failure — only for invalid
+    arguments.
+    """
+    policy = policy or IsolationPolicy()
+    check_integer("jobs", jobs, minimum=1)
+    if labels is None:
+        labels = [str(i) for i in range(len(tasks))]
+    outcomes = [TaskOutcome(index=i, label=labels[i])
+                for i in range(len(tasks))]
+    if not tasks:
+        return outcomes
+
+    needs_retry: list[int] = []
+    pool = ProcessPoolExecutor(max_workers=min(jobs, len(tasks)))
+    pool_broken = False
+    abandoned_pools: list[ProcessPoolExecutor] = []
+    try:
+        futures = {}
+        for i, args in enumerate(tasks):
+            outcomes[i].attempts = 1
+            futures[i] = pool.submit(fn, *args, 0)
+        for i in range(len(tasks)):
+            out = outcomes[i]
+            if pool_broken:
+                # A sibling took the pool down; anything unfinished is
+                # collateral — retry it in phase two without charging
+                # its budget.
+                fut = futures[i]
+                if fut.done() and fut.exception() is None:
+                    out.value = fut.result()
+                    continue
+                exc = fut.exception() if fut.done() else None
+                if exc is not None and \
+                        not isinstance(exc, BrokenProcessPool):
+                    out.error = _classify(exc, out.label, 0)
+                    _count(_names.RESILIENCE_WORKER_FAILURES,
+                           task=out.label)
+                    if policy.max_attempts > 1:
+                        needs_retry.append(i)
+                else:
+                    out.collateral_restarts += 1
+                    out.attempts -= 1  # the attempt never completed
+                    needs_retry.append(i)
+                continue
+            t0 = time.perf_counter()
+            try:
+                out.value = futures[i].result(timeout=policy.timeout_s)
+                out.wall_time_s = time.perf_counter() - t0
+            except _FuturesTimeout:
+                out.error = WorkerTimeoutError(
+                    f"task {out.label!r} exceeded its "
+                    f"{policy.timeout_s:.3g} s budget",
+                    task=out.label, timeout_s=policy.timeout_s)
+                _count(_names.RESILIENCE_WORKER_TIMEOUTS, task=out.label)
+                if policy.max_attempts > 1:
+                    needs_retry.append(i)
+                # The hung worker cannot be reclaimed: abandon this
+                # pool and continue the harvest on a fresh one.
+                abandoned_pools.append(pool)
+                remaining = {j: futures[j] for j in range(i + 1, len(tasks))
+                             if not futures[j].done()}
+                pool.shutdown(wait=False, cancel_futures=True)
+                pool = ProcessPoolExecutor(
+                    max_workers=min(jobs, max(len(remaining), 1)))
+                for j in remaining:
+                    futures[j] = pool.submit(fn, *tasks[j], 0)
+            except BrokenProcessPool:
+                # The dead worker may have been running a *sibling*: this
+                # task is only a suspect, so like the other in-flight
+                # tasks it gets an uncharged sequential re-attempt; a
+                # true killer will die again, alone, in phase two.
+                pool_broken = True
+                out.error = WorkerCrashError(
+                    f"task {out.label!r}: worker process died and broke "
+                    "the pool", task=out.label)
+                _count(_names.RESILIENCE_WORKER_FAILURES, task=out.label)
+                out.collateral_restarts += 1
+                out.attempts -= 1
+                needs_retry.append(i)
+            except Exception as exc:  # worker raised; siblings survive
+                out.error = _classify(exc, out.label, 0)
+                out.wall_time_s = time.perf_counter() - t0
+                _count(_names.RESILIENCE_WORKER_FAILURES, task=out.label)
+                if policy.max_attempts > 1:
+                    needs_retry.append(i)
+    finally:
+        pool.shutdown(wait=not pool_broken, cancel_futures=True)
+
+    # --- phase two: sequential recovery, one single-worker pool per
+    # attempt, so a repeated hard crash blames exactly one task. -------------
+    for i in needs_retry:
+        _recover(fn, tasks[i], outcomes[i], policy)
+    return outcomes
+
+
+def _recover(fn: Callable[..., Any], args: tuple, out: TaskOutcome,
+             policy: IsolationPolicy) -> None:
+    """Retry one failed/collateral task until success or budget end."""
+    while out.attempts < policy.max_attempts:
+        attempt = out.attempts
+        out.attempts += 1
+        if attempt > 0:
+            _count(_names.RESILIENCE_WORKER_RETRIES, task=out.label)
+        single = ProcessPoolExecutor(max_workers=1)
+        t0 = time.perf_counter()
+        try:
+            out.value = single.submit(fn, *args, attempt).result(
+                timeout=policy.timeout_s)
+            out.error = None
+            out.wall_time_s = time.perf_counter() - t0
+            single.shutdown(wait=True)
+            return
+        except _FuturesTimeout:
+            out.error = WorkerTimeoutError(
+                f"task {out.label!r} exceeded its "
+                f"{policy.timeout_s:.3g} s budget (attempt {attempt})",
+                task=out.label, attempt=attempt,
+                timeout_s=policy.timeout_s)
+            _count(_names.RESILIENCE_WORKER_TIMEOUTS, task=out.label)
+            single.shutdown(wait=False, cancel_futures=True)
+        except BrokenProcessPool:
+            out.error = WorkerCrashError(
+                f"task {out.label!r}: worker process died "
+                f"(attempt {attempt})",
+                task=out.label, attempt=attempt)
+            _count(_names.RESILIENCE_WORKER_FAILURES, task=out.label)
+            single.shutdown(wait=False, cancel_futures=True)
+        except Exception as exc:
+            out.error = _classify(exc, out.label, attempt)
+            out.wall_time_s = time.perf_counter() - t0
+            _count(_names.RESILIENCE_WORKER_FAILURES, task=out.label)
+            single.shutdown(wait=True)

@@ -58,9 +58,21 @@ from repro.perf.cache import (
     mva_cache as _mva_cache,
 )
 from repro.perf.keys import flow_key as _flow_key
-from repro.qnet.mva import exact_throughputs
+from repro.qnet.mva import (
+    bound_throughputs,
+    exact_throughputs,
+    schweitzer_throughputs,
+)
+from repro.resilience import faultinject
+from repro.resilience.degrade import DegradationEvent, record_event
+from repro.resilience.errors import SolverError
+from repro.resilience.watchdog import DEFAULT_POLICY, ConvergencePolicy, Watchdog
 from repro.util.validation import ValidationError, check_positive
 from repro.workloads.base import MemoryProfile
+
+#: The solver site name used in watchdog raises, degradation events and
+#: fault-injection plans for this module's shadow fixed point.
+FLOW_SITE = "runtime.flow"
 
 #: Congestion gain of the shadow coupling: a station loaded by a
 #: foreign/background busy fraction ``b`` looks ``(1 + GAIN * b)`` times
@@ -101,6 +113,19 @@ class FlowResult:
     instructions: float
     per_core_cycles: tuple[float, ...]      # indexed by processor
     controller_utilisation: dict[str, float]
+    #: Which rung of the degradation ladder produced this result
+    #: ("exact" unless the fixed point degraded; see docs/RESILIENCE.md).
+    solver_stage: str = "exact"
+
+    def __post_init__(self) -> None:
+        # A result must describe at least one processor: an empty tuple
+        # would make ``makespan_cycles`` raise a bare ``max()`` error far
+        # from the construction site that caused it.
+        if not self.per_core_cycles:
+            raise ValidationError(
+                "per_core_cycles must be non-empty: a FlowResult needs at "
+                "least one processor (zero-active-core allocations are "
+                "rejected upstream)")
 
     @property
     def stall_cycles(self) -> float:
@@ -109,7 +134,11 @@ class FlowResult:
 
     @property
     def makespan_cycles(self) -> float:
-        """Wall-clock of the slowest processor's cores, in cycles."""
+        """Wall-clock of the slowest processor's cores, in cycles.
+
+        ``per_core_cycles`` is guaranteed non-empty at construction, so
+        this never raises.
+        """
         return max(self.per_core_cycles)
 
 
@@ -202,33 +231,91 @@ def _hop_cycles(machine: Machine, src_proc: int, dst_proc: int) -> float:
 
 
 def solve_flow(profile: MemoryProfile, machine: Machine,
-               alloc: CoreAllocation) -> FlowResult:
+               alloc: CoreAllocation,
+               policy: ConvergencePolicy | None = None) -> FlowResult:
     """Solve the closed network for one allocation; see module docstring.
 
     Results are memoized in :data:`repro.perf.flow_cache`; a repeat solve
     of an identical (machine, profile, allocation) triple returns a copy
     of the cached result (``runtime.flow.solves`` counts actual solves,
     ``perf.cache.flow.hits`` the memoized returns).
+
+    The shadow fixed point runs under a convergence watchdog and the
+    degradation ladder of ``policy`` (default
+    :data:`repro.resilience.DEFAULT_POLICY`): a non-converging attempt
+    is retried with escalated damping, then degraded exact MVA →
+    Schweitzer AMVA → asymptotic bounds.  Every fall is recorded via
+    :func:`repro.resilience.record_event` (surfaced in experiment
+    notes) and the producing rung is on ``FlowResult.solver_stage``.
+    The cache is bypassed while a non-default policy or a fault
+    injection targeting :data:`FLOW_SITE` is active, so degraded
+    results from injected faults are never memoized.
     """
     if alloc.machine is not machine and alloc.machine != machine:
         raise ValidationError("allocation was built for a different machine")
-    key = _flow_key(profile, machine, alloc)
-    hit = _flow_cache.get(key)
-    if hit is not _MISS:
-        # The result dataclass is frozen but holds one mutable dict;
-        # hand each caller its own copy.
-        return replace(
-            hit, controller_utilisation=dict(hit.controller_utilisation))
+    use_cache = policy is None and not faultinject.solver_fault_armed(FLOW_SITE)
+    pol = policy if policy is not None else DEFAULT_POLICY
+    key = _flow_key(profile, machine, alloc) if use_cache else None
+    if use_cache:
+        hit = _flow_cache.get(key)
+        if hit is not _MISS:
+            # The result dataclass is frozen but holds one mutable dict;
+            # hand each caller its own copy.
+            return replace(
+                hit, controller_utilisation=dict(hit.controller_utilisation))
     tel = _obs_state._active
     if tel is not None:
         tel.metrics.counter(_names.RUNTIME_FLOW_SOLVES).inc()
-    result = _solve_flow(profile, machine, alloc)
-    _flow_cache.put(key, result)
+    result = _solve_flow_resilient(profile, machine, alloc, pol)
+    if use_cache:
+        _flow_cache.put(key, result)
     return result
 
 
+def _solve_flow_resilient(profile: MemoryProfile, machine: Machine,
+                          alloc: CoreAllocation,
+                          policy: ConvergencePolicy) -> FlowResult:
+    """Run the attempt schedule of ``policy`` until a rung produces.
+
+    The final rung accepts its last iterate instead of raising, so with
+    the default ladder (ending in ``bounds``) this always returns; a
+    custom ladder whose last rung still fails propagates that failure.
+    """
+    attempts = policy.attempts()
+    tel = _obs_state._active
+    last_error: SolverError | None = None
+    for i, (solver, damping) in enumerate(attempts):
+        final = i == len(attempts) - 1
+        try:
+            faultinject.maybe_fail_solver(FLOW_SITE, attempt=i)
+            return _solve_flow(profile, machine, alloc, solver=solver,
+                               damping=damping, policy=policy,
+                               accept_nonconverged=final)
+        except SolverError as exc:
+            last_error = exc
+            if tel is not None:
+                tel.metrics.counter(_names.RUNTIME_FLOW_NONCONVERGED).inc()
+            if final:
+                raise
+            next_solver, next_damping = attempts[i + 1]
+            if next_solver == solver:
+                record_event(DegradationEvent(
+                    site=FLOW_SITE, action="retry", from_stage=solver,
+                    to_stage=next_solver,
+                    detail=f"escalating damping {damping:g} -> "
+                           f"{next_damping:g}: {exc.message}"))
+            else:
+                record_event(DegradationEvent(
+                    site=FLOW_SITE, action="degrade", from_stage=solver,
+                    to_stage=next_solver, detail=exc.message))
+    raise last_error if last_error else AssertionError("empty schedule")
+
+
 def _solve_flow(profile: MemoryProfile, machine: Machine,
-                alloc: CoreAllocation) -> FlowResult:
+                alloc: CoreAllocation, *, solver: str = "exact",
+                damping: float = 0.5,
+                policy: ConvergencePolicy = DEFAULT_POLICY,
+                accept_nonconverged: bool = False) -> FlowResult:
     n = alloc.n_active
     counts = alloc.cores_per_processor()
     active = alloc.active_processors()
@@ -410,9 +497,18 @@ def _solve_flow(profile: MemoryProfile, machine: Machine,
         })
     width = max(len(c["demands"]) for c in chains)
 
+    #: Per-chain throughput function of the active degradation rung.
+    batch_solver = {
+        "exact": exact_throughputs,
+        "schweitzer": schweitzer_throughputs,
+        "bounds": bound_throughputs,
+    }[solver]
+
     prev_delta: dict[tuple[int, str], float] | None = None
     jumps = 0
-    for _ in range(400):
+    dog = Watchdog(FLOW_SITE, max_iterations=policy.max_iterations,
+                   time_budget_s=policy.time_budget_s)
+    while True:
         # Jacobi iteration: every processor's network is solved against the
         # *previous* utilisation state, then all contributions update
         # together.  (Sequential Gauss-Seidel updates break the symmetry
@@ -459,7 +555,8 @@ def _solve_flow(profile: MemoryProfile, machine: Machine,
                 d = np.concatenate([d, np.zeros(pad)])
                 iq = np.concatenate([iq, np.zeros(pad, dtype=bool)])
                 sv = np.concatenate([sv, np.ones(pad)])
-            key = ("chain", c["pop"], d.tobytes(), iq.tobytes(), sv.tobytes())
+            key = ("chain", solver, c["pop"],
+                   d.tobytes(), iq.tobytes(), sv.tobytes())
             cached = _mva_cache.get(key)
             if cached is not _MISS:
                 solved[i] = cached
@@ -469,7 +566,7 @@ def _solve_flow(profile: MemoryProfile, machine: Machine,
                 pending[key] = [i]
                 batch.append((key, c["pop"], d, iq, sv))
         if batch:
-            xs = exact_throughputs(
+            xs = batch_solver(
                 np.stack([b[2] for b in batch]),
                 np.stack([b[3] for b in batch]),
                 np.stack([b[4] for b in batch]),
@@ -506,12 +603,25 @@ def _solve_flow(profile: MemoryProfile, machine: Machine,
         delta: dict[tuple[int, str], float] = {}
         for key, new_val in proposed.items():
             old_val = contrib[key]
-            updated = 0.5 * old_val + 0.5 * new_val  # damped for stability
+            # Damped for stability; retries escalate to heavier damping
+            # (smaller new-value weight).
+            updated = (1.0 - damping) * old_val + damping * new_val
             d_val = updated - old_val
             delta[key] = d_val
             max_delta = max(max_delta, abs(d_val))
             contrib[key] = updated
         if max_delta < 1e-9:
+            break
+        try:
+            dog.tick(max_delta)
+        except SolverError as exc:
+            if not accept_nonconverged:
+                raise
+            # Final ladder rung: a degraded-but-bounded answer beats a
+            # raise or a hang.  Accept the last iterate, on the record.
+            record_event(DegradationEvent(
+                site=FLOW_SITE, action="gave_up", from_stage=solver,
+                to_stage=solver, detail=exc.message))
             break
         if prev_delta is not None and jumps < _TAIL_MAX_JUMPS \
                 and max_delta < _TAIL_DELTA:
@@ -542,6 +652,7 @@ def _solve_flow(profile: MemoryProfile, machine: Machine,
         instructions=profile.instructions,
         per_core_cycles=tuple(per_core),
         controller_utilisation={g: group_util(g) for g in groups},
+        solver_stage=solver,
     )
 
 

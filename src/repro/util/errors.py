@@ -1,0 +1,83 @@
+"""The root of the structured error taxonomy: :class:`ReproError`.
+
+Every exception the library raises on purpose derives from this base, so
+callers can catch one type, and every error carries a machine-readable
+``code`` (a stable dotted identifier) plus a ``context`` mapping of the
+values that triggered it.  The full taxonomy — validation, model, solver
+and experiment failures — is assembled and documented in
+:mod:`repro.resilience.errors` (see docs/RESILIENCE.md); only the base
+lives here so that low-level modules (:mod:`repro.util.validation`) can
+subclass it without importing the resilience layer.
+
+Errors are picklable with their context intact: structured failures
+cross process boundaries when a worker of the parallel experiment
+runner raises.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+
+class ReproError(Exception):
+    """Base of all library errors.
+
+    Attributes
+    ----------
+    code:
+        Stable dotted identifier of the failure kind (e.g.
+        ``"solver.nonconverged"``); class-level default, overridable per
+        instance via the ``code=`` keyword.
+    context:
+        The values that triggered the failure (``name=value`` keywords
+        at the raise site), for programmatic inspection and logging.
+    """
+
+    code: str = "repro.error"
+
+    def __init__(self, message: str, *, code: str | None = None,
+                 **context: Any) -> None:
+        super().__init__(message)
+        if code is not None:
+            self.code = code
+        self.context: dict[str, Any] = context
+
+    @property
+    def message(self) -> str:
+        return str(self.args[0]) if self.args else ""
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready record: code, message, type and context.
+
+        Context values that do not serialise are replaced by their
+        ``repr`` so the record never fails to dump.
+        """
+        import json
+
+        context: dict[str, Any] = {}
+        for key, value in self.context.items():
+            try:
+                json.dumps(value)
+                context[key] = value
+            except (TypeError, ValueError):
+                context[key] = repr(value)
+        return {
+            "code": self.code,
+            "message": self.message,
+            "type": type(self).__qualname__,
+            "context": context,
+        }
+
+    def __reduce__(self):
+        # Default Exception pickling calls ``cls(*args)`` and drops the
+        # keyword-only context; restore the instance dict explicitly so
+        # structured errors survive the worker -> parent hop.
+        return (_rebuild, (type(self), self.message), self.__dict__)
+
+
+def _rebuild(cls: type, message: str) -> "ReproError":
+    """Unpickle helper: rebuild without re-running subclass validation."""
+    err = ReproError.__new__(cls)
+    Exception.__init__(err, message)
+    err.context = {}
+    return err

@@ -10,16 +10,27 @@ from __future__ import annotations
 import math
 from typing import Collection, Iterable, NoReturn, Sequence, TypeVar
 
+from repro.util.errors import ReproError
+
 _T = TypeVar("_T")
 _SeqT = TypeVar("_SeqT", bound=Sequence)
 
 
-class ValidationError(ValueError):
-    """Raised when a function argument violates its documented contract."""
+class ValidationError(ReproError, ValueError):
+    """Raised when a function argument violates its documented contract.
+
+    Part of the structured taxonomy (see docs/RESILIENCE.md): still a
+    ``ValueError`` for backward compatibility, but also a
+    :class:`repro.util.errors.ReproError` carrying a machine-readable
+    ``code`` and optional context.
+    """
+
+    code = "validation.invalid_argument"
 
 
 def _fail(name: str, value: object, constraint: str) -> NoReturn:
-    raise ValidationError(f"{name}={value!r} violates: {constraint}")
+    raise ValidationError(f"{name}={value!r} violates: {constraint}",
+                          argument=name, constraint=constraint)
 
 
 def check_positive(name: str, value: float) -> float:

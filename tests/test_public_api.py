@@ -16,7 +16,7 @@ import repro
 PACKAGES = [
     "repro.util", "repro.desim", "repro.qnet", "repro.machine",
     "repro.workloads", "repro.counters", "repro.runtime", "repro.burst",
-    "repro.core", "repro.experiments",
+    "repro.core", "repro.experiments", "repro.resilience",
 ]
 
 

@@ -1,0 +1,58 @@
+"""Tests of report-run checkpoint/resume."""
+
+import os
+
+from repro.resilience import ReportCheckpoint
+
+
+class TestStoreLoad:
+    def test_roundtrip(self, tmp_path):
+        ck = ReportCheckpoint(str(tmp_path / "cp"))
+        ck.store("fig5", {"answer": 42})
+        assert ck.load("fig5") == {"answer": 42}
+        assert ck.completed() == ["fig5"]
+
+    def test_missing_is_none(self, tmp_path):
+        ck = ReportCheckpoint(str(tmp_path / "cp"))
+        assert ck.load("nope") is None
+
+    def test_corrupt_pickle_counts_as_absent(self, tmp_path):
+        ck = ReportCheckpoint(str(tmp_path / "cp"))
+        ck.store("fig5", {"answer": 42})
+        path = os.path.join(ck.directory, "fig5.pkl")
+        with open(path, "wb") as fh:
+            fh.write(b"not a pickle")
+        assert ck.load("fig5") is None
+
+    def test_names_are_sanitised(self, tmp_path):
+        ck = ReportCheckpoint(str(tmp_path / "cp"))
+        ck.store("../evil name", 1)
+        assert all(os.path.dirname(os.path.relpath(
+            os.path.join(ck.directory, fn), ck.directory)) == ""
+            for fn in os.listdir(ck.directory))
+        assert ck.load("../evil name") == 1
+
+    def test_clear_removes_everything(self, tmp_path):
+        ck = ReportCheckpoint(str(tmp_path / "cp"))
+        ck.store("fig5", 1)
+        ck.clear()
+        assert not os.path.exists(ck.directory)
+
+
+class TestFingerprint:
+    def test_same_fingerprint_keeps_results(self, tmp_path):
+        directory = str(tmp_path / "cp")
+        ReportCheckpoint(directory, fast=True, seed=7).store("fig5", 1)
+        assert ReportCheckpoint(directory, fast=True, seed=7).load("fig5") == 1
+
+    def test_changed_fast_flag_wipes(self, tmp_path):
+        directory = str(tmp_path / "cp")
+        ReportCheckpoint(directory, fast=True).store("fig5", 1)
+        ck = ReportCheckpoint(directory, fast=False)
+        assert ck.load("fig5") is None
+        assert ck.completed() == []
+
+    def test_changed_seed_wipes(self, tmp_path):
+        directory = str(tmp_path / "cp")
+        ReportCheckpoint(directory, seed=1).store("fig5", 1)
+        assert ReportCheckpoint(directory, seed=2).load("fig5") is None

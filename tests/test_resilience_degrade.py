@@ -1,0 +1,175 @@
+"""Tests of the degradation event log and the exact→AMVA→bounds ladder."""
+
+import pytest
+
+from repro import obs
+from repro.machine import CoreAllocation
+from repro.obs import names
+from repro.qnet.bounds import OperationalBounds
+from repro.qnet.mva import ClosedNetwork, DelayStation, QueueingStation
+from repro.resilience import (
+    ConvergencePolicy,
+    DegradationEvent,
+    clear_events,
+    drain_events,
+    faultinject,
+    peek_events,
+    record_event,
+    solve_network,
+)
+from repro.runtime.flow import solve_flow
+from repro.workloads import get_workload
+
+
+@pytest.fixture(autouse=True)
+def _clean_event_log():
+    clear_events()
+    yield
+    clear_events()
+
+
+def _net(think=10.0, demand=1.0):
+    return ClosedNetwork([
+        DelayStation("think", think),
+        QueueingStation("server", demand),
+    ])
+
+
+class TestEventLog:
+    def test_record_drain_clears(self):
+        record_event(DegradationEvent("s", "retry", "exact", "exact", "d"))
+        assert len(peek_events()) == 1
+        drained = drain_events()
+        assert len(drained) == 1
+        assert drain_events() == []
+
+    def test_render_wording(self):
+        retry = DegradationEvent("runtime.flow", "retry", "exact", "exact",
+                                 "escalating damping")
+        degrade = DegradationEvent("runtime.flow", "degrade", "exact",
+                                   "schweitzer", "no convergence")
+        gave_up = DegradationEvent("runtime.flow", "gave_up", "bounds",
+                                   "bounds", "accepted last iterate")
+        assert "retried exact -> exact" in retry.render()
+        assert "degraded exact -> schweitzer" in degrade.render()
+        assert "non-converged bounds iterate" in gave_up.render()
+        for event in (retry, degrade, gave_up):
+            assert event.render().startswith("resilience: runtime.flow")
+
+    def test_events_mirrored_to_counters(self):
+        tel = obs.enable(fresh=True)
+        try:
+            record_event(DegradationEvent("s", "retry", "exact", "exact", "d"))
+            record_event(DegradationEvent("s", "degrade", "exact",
+                                          "schweitzer", "d"))
+            snap = tel.metrics.snapshot()
+            keys = "\n".join(snap)
+            assert names.RESILIENCE_RETRIES in keys
+            assert names.RESILIENCE_DEGRADATIONS in keys
+        finally:
+            obs.disable()
+
+
+class TestSolveNetworkLadder:
+    def test_clean_solve_is_exact(self):
+        result, stage = solve_network(_net(), 8)
+        assert stage == "exact"
+        assert result.throughput == pytest.approx(
+            _net().solve(8).throughput)
+        assert drain_events() == []
+
+    def test_population_budget_degrades_to_schweitzer(self):
+        # 50 customers exceed the exact recursion's iteration budget, but
+        # 40 iterations are plenty for the Schweitzer fixed point.
+        policy = ConvergencePolicy(max_iterations=40)
+        result, stage = solve_network(_net(), 50, policy=policy)
+        assert stage == "schweitzer"
+        exact = _net().solve(50)
+        assert result.throughput == pytest.approx(exact.throughput, rel=0.05)
+        events = drain_events()
+        assert [e.action for e in events] == ["degrade"]
+        assert (events[0].from_stage, events[0].to_stage) == \
+            ("exact", "schweitzer")
+
+    def test_injected_faults_walk_the_whole_ladder(self):
+        with faultinject.inject(nonconverge={"qnet.solve": 2}):
+            result, stage = solve_network(_net(), 8)
+        assert stage == "bounds"
+        assert [e.to_stage for e in drain_events()] == \
+            ["schweitzer", "bounds"]
+        # The bounds rung stays within the operational envelope.
+        bounds = OperationalBounds.of(_net())
+        assert result.throughput == pytest.approx(
+            bounds.throughput_upper(8))
+
+    def test_bounds_rung_cannot_fail(self):
+        with faultinject.inject(nonconverge={"qnet.solve": 2}):
+            result, _ = solve_network(_net(), 0)
+        assert result.throughput == 0.0
+
+
+class TestFlowDegradation:
+    """The acceptance scenario: forced flow non-convergence degrades
+    exact -> Schweitzer -> bounds, visible in metrics and result."""
+
+    SITE = "runtime.flow"
+
+    def _solve(self, machine, n=8):
+        profile = get_workload("CG").profile("C", machine)
+        alloc = CoreAllocation.paper_policy(machine, n)
+        return solve_flow(profile, machine, alloc)
+
+    def test_clean_solve_reports_exact(self, uma):
+        result = self._solve(uma)
+        assert result.solver_stage == "exact"
+        assert peek_events() == []
+
+    def test_one_fault_retries_with_heavier_damping(self, uma):
+        with faultinject.inject(nonconverge={self.SITE: 1}):
+            result = self._solve(uma)
+        assert result.solver_stage == "exact"
+        events = drain_events()
+        assert [e.action for e in events] == ["retry"]
+
+    def test_two_faults_degrade_to_schweitzer(self, uma):
+        clean = self._solve(uma)
+        with faultinject.inject(nonconverge={self.SITE: 2}):
+            result = self._solve(uma)
+        assert result.solver_stage == "schweitzer"
+        assert [e.action for e in drain_events()] == ["retry", "degrade"]
+        # The approximation stays close to the exact answer.
+        assert result.total_cycles == pytest.approx(
+            clean.total_cycles, rel=0.05)
+
+    def test_three_faults_degrade_to_bounds(self, uma):
+        clean = self._solve(uma)
+        with faultinject.inject(nonconverge={self.SITE: 3}):
+            result = self._solve(uma)
+        assert result.solver_stage == "bounds"
+        actions = [e.action for e in drain_events()]
+        assert actions == ["retry", "degrade", "degrade"]
+        assert result.total_cycles == pytest.approx(
+            clean.total_cycles, rel=0.10)
+
+    def test_degradations_counted_in_telemetry(self, uma):
+        tel = obs.enable(fresh=True)
+        try:
+            with faultinject.inject(nonconverge={self.SITE: 3}):
+                self._solve(uma)
+            snap = tel.metrics.snapshot()
+            keys = "\n".join(snap)
+            assert names.RUNTIME_FLOW_NONCONVERGED in keys
+            assert names.RESILIENCE_DEGRADATIONS in keys
+        finally:
+            obs.disable()
+        clear_events()
+
+    def test_degraded_results_never_cached(self, uma):
+        clean_before = self._solve(uma)
+        with faultinject.inject(nonconverge={self.SITE: 3}):
+            degraded = self._solve(uma)
+        clear_events()
+        clean_after = self._solve(uma)
+        assert degraded.solver_stage == "bounds"
+        assert clean_after.solver_stage == "exact"
+        assert clean_after.total_cycles == clean_before.total_cycles

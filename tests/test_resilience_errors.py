@@ -1,0 +1,106 @@
+"""Tests of the structured error taxonomy (docs/RESILIENCE.md)."""
+
+import json
+import pickle
+
+import pytest
+
+from repro.core.uniproc import ModelError
+from repro.resilience import (
+    ConvergenceError,
+    ExperimentError,
+    ReproError,
+    SolverError,
+    SolverTimeoutError,
+    ValidationError,
+    WorkerCrashError,
+    WorkerError,
+    WorkerTimeoutError,
+)
+
+
+class TestTaxonomy:
+    def test_codes_are_stable(self):
+        # These identifiers are API: tools match on them.
+        assert ReproError("x").code == "repro.error"
+        assert ValidationError("x").code == "validation.invalid_argument"
+        assert SolverError("x").code == "solver.failure"
+        assert ConvergenceError("x").code == "solver.nonconverged"
+        assert SolverTimeoutError("x").code == "solver.timeout"
+        assert WorkerError("x").code == "worker.failure"
+        assert WorkerCrashError("x").code == "worker.crash"
+        assert WorkerTimeoutError("x").code == "worker.timeout"
+        assert ExperimentError("x").code == "experiment.failed"
+
+    def test_one_catch_gets_everything(self):
+        for exc_type in (ValidationError, ModelError, ConvergenceError,
+                         WorkerTimeoutError, ExperimentError):
+            with pytest.raises(ReproError):
+                raise exc_type("boom")
+
+    def test_solver_and_worker_families(self):
+        assert issubclass(ConvergenceError, SolverError)
+        assert issubclass(SolverTimeoutError, SolverError)
+        assert issubclass(WorkerCrashError, WorkerError)
+        assert issubclass(WorkerTimeoutError, WorkerError)
+        assert not issubclass(SolverError, WorkerError)
+
+    def test_validation_error_still_a_value_error(self):
+        # Callers that predate the taxonomy catch ValueError.
+        with pytest.raises(ValueError):
+            raise ValidationError("bad argument")
+
+    def test_model_error_is_validation_error(self):
+        assert issubclass(ModelError, ValidationError)
+
+    def test_instance_code_override(self):
+        err = SolverError("x", code="solver.budget")
+        assert err.code == "solver.budget"
+        assert SolverError("y").code == "solver.failure"
+
+
+class TestContext:
+    def test_context_captured(self):
+        err = ConvergenceError("no convergence", site="runtime.flow",
+                               iterations=400, residual=0.25)
+        assert err.context == {"site": "runtime.flow", "iterations": 400,
+                               "residual": 0.25}
+        assert err.message == "no convergence"
+
+    def test_to_dict_is_json_ready(self):
+        err = ConvergenceError("boom", site="qnet.solve", iterations=7)
+        record = err.to_dict()
+        json.dumps(record)  # must not raise
+        assert record["code"] == "solver.nonconverged"
+        assert record["type"] == "ConvergenceError"
+        assert record["context"]["iterations"] == 7
+
+    def test_to_dict_reprs_unserializable_context(self):
+        err = SolverError("boom", payload=object())
+        record = err.to_dict()
+        json.dumps(record)
+        assert record["context"]["payload"].startswith("<object object")
+
+
+class TestPickling:
+    def test_roundtrip_preserves_code_and_context(self):
+        err = WorkerCrashError("worker died", task="fig5", attempt=2)
+        clone = pickle.loads(pickle.dumps(err))
+        assert type(clone) is WorkerCrashError
+        assert clone.code == "worker.crash"
+        assert clone.message == "worker died"
+        assert clone.context == {"task": "fig5", "attempt": 2}
+
+    def test_roundtrip_skips_subclass_validation(self):
+        # ValidationError construction may validate; unpickling must not.
+        err = ValidationError("bad", argument="n", constraint=">= 1")
+        clone = pickle.loads(pickle.dumps(err))
+        assert clone.context["argument"] == "n"
+
+    def test_experiment_error_carries_diagnostics(self):
+        err = ExperimentError("fig5 failed", wall_time_s=1.5,
+                              manifest=None, experiment="fig5")
+        clone = pickle.loads(pickle.dumps(err))
+        assert clone.wall_time_s == 1.5
+        assert clone.manifest is None
+        assert clone.context["experiment"] == "fig5"

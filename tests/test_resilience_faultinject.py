@@ -1,0 +1,77 @@
+"""Tests of the deterministic fault-injection harness."""
+
+import pickle
+
+import pytest
+
+from repro.resilience import ConvergenceError, faultinject
+from repro.resilience.faultinject import ALWAYS, FaultPlan, InjectedFault
+
+
+@pytest.fixture(autouse=True)
+def _no_leftover_plan():
+    faultinject.clear()
+    yield
+    faultinject.clear()
+
+
+class TestPlanLifecycle:
+    def test_no_plan_by_default(self):
+        assert faultinject.active() is None
+        # Hooks are no-ops without a plan.
+        faultinject.maybe_fail_solver("runtime.flow", attempt=0)
+        faultinject.maybe_fail_experiment("fig5", attempt=0)
+
+    def test_inject_scopes_the_plan(self):
+        with faultinject.inject(crash={"fig5": 1}) as plan:
+            assert faultinject.active() is plan
+        assert faultinject.active() is None
+
+    def test_inject_restores_previous_plan(self):
+        with faultinject.inject(crash={"a": 1}) as outer:
+            with faultinject.inject(crash={"b": 1}):
+                assert faultinject.active().crash == {"b": 1}
+            assert faultinject.active() is outer
+
+    def test_plan_is_picklable(self):
+        # The parallel runner ships the snapshot to worker processes.
+        plan = FaultPlan(crash={"fig5": 2}, nonconverge={"runtime.flow": 1})
+        clone = pickle.loads(pickle.dumps(plan))
+        assert clone == plan
+
+
+class TestSolverFaults:
+    SITE = "runtime.flow"
+
+    def test_counts_are_attempts(self):
+        with faultinject.inject(nonconverge={self.SITE: 2}):
+            for attempt in (0, 1):
+                with pytest.raises(ConvergenceError) as info:
+                    faultinject.maybe_fail_solver(self.SITE, attempt)
+                assert info.value.context["injected"] is True
+            faultinject.maybe_fail_solver(self.SITE, 2)  # no raise
+
+    def test_other_sites_unaffected(self):
+        with faultinject.inject(nonconverge={self.SITE: ALWAYS}):
+            faultinject.maybe_fail_solver("qnet.solve", 0)
+
+    def test_armed_flag_drives_cache_bypass(self):
+        assert not faultinject.solver_fault_armed(self.SITE)
+        with faultinject.inject(nonconverge={self.SITE: 1}):
+            assert faultinject.solver_fault_armed(self.SITE)
+            assert not faultinject.solver_fault_armed("qnet.solve")
+        assert not faultinject.solver_fault_armed(self.SITE)
+
+
+class TestExperimentFaults:
+    def test_crash_raises_unstructured(self):
+        # InjectedFault deliberately mimics an arbitrary driver bug.
+        with faultinject.inject(crash={"fig5": 1}):
+            with pytest.raises(InjectedFault):
+                faultinject.maybe_fail_experiment("fig5", 0)
+            faultinject.maybe_fail_experiment("fig5", 1)
+            faultinject.maybe_fail_experiment("table1", 0)
+
+    def test_hang_sleeps_then_proceeds(self):
+        with faultinject.inject(hang={"fig5": 0.01}):
+            faultinject.maybe_fail_experiment("fig5", 0)  # returns

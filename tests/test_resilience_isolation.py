@@ -1,0 +1,158 @@
+"""Tests of the crash-isolated process-pool runner.
+
+The worker functions live at module top level so they cross the process
+boundary; each takes the zero-based ``attempt`` as its last argument
+(the :func:`run_isolated` contract).
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.resilience import (
+    IsolationPolicy,
+    ReproError,
+    SolverError,
+    WorkerCrashError,
+    WorkerTimeoutError,
+    run_isolated,
+)
+from repro.util.validation import ValidationError
+
+
+def _square(x, attempt):
+    return x * x
+
+
+def _fail_if_odd(x, attempt):
+    if x % 2:
+        raise RuntimeError(f"odd input {x}")
+    return x
+
+
+def _fail_first_attempts(x, fails, attempt):
+    if attempt < fails:
+        raise RuntimeError(f"attempt {attempt} fails")
+    return (x, attempt)
+
+
+def _raise_structured(site, attempt):
+    raise SolverError("structured failure", site=site)
+
+
+def _die_if(x, lethal, attempt):
+    if x == lethal:
+        os._exit(17)  # hard death: breaks the whole pool
+    time.sleep(0.2)   # keep siblings in flight when the pool breaks
+    return x
+
+
+def _sleep_then_return(x, seconds, attempt):
+    time.sleep(seconds)
+    return x
+
+
+class TestHappyPath:
+    def test_values_in_task_order(self):
+        outcomes = run_isolated(_square, [(i,) for i in range(5)], jobs=3)
+        assert [o.value for o in outcomes] == [0, 1, 4, 9, 16]
+        assert all(o.ok and o.attempts == 1 for o in outcomes)
+
+    def test_empty_task_list(self):
+        assert run_isolated(_square, [], jobs=2) == []
+
+    def test_labels_attach(self):
+        outcomes = run_isolated(_square, [(1,), (2,)], jobs=2,
+                                labels=["one", "two"])
+        assert [o.label for o in outcomes] == ["one", "two"]
+
+    def test_rejects_bad_jobs(self):
+        with pytest.raises(ValidationError):
+            run_isolated(_square, [(1,)], jobs=0)
+
+
+class TestCrashIsolation:
+    def test_sibling_results_survive_an_exception(self):
+        outcomes = run_isolated(_fail_if_odd, [(i,) for i in range(6)],
+                                jobs=3)
+        assert [o.value for o in outcomes if o.ok] == [0, 2, 4]
+        failed = [o for o in outcomes if not o.ok]
+        assert len(failed) == 3
+        for o in failed:
+            assert isinstance(o.error, WorkerCrashError)
+            assert o.error.code == "worker.crash"
+            assert "odd input" in o.error.message
+
+    def test_structured_errors_pass_through_unwrapped(self):
+        outcomes = run_isolated(_raise_structured, [("qnet.solve",)], jobs=1)
+        assert isinstance(outcomes[0].error, SolverError)
+        assert not isinstance(outcomes[0].error, WorkerCrashError)
+        assert outcomes[0].error.context["site"] == "qnet.solve"
+
+    def test_hard_worker_death_spares_siblings(self):
+        # Task 1 hard-exits its worker, which breaks the shared pool;
+        # every other task must still come back with its value.
+        outcomes = run_isolated(_die_if, [(i, 1) for i in range(4)], jobs=4)
+        assert [o.value for o in outcomes if o.ok] == [0, 2, 3]
+        dead = outcomes[1]
+        assert isinstance(dead.error, WorkerCrashError)
+
+    def test_hard_death_blamed_on_the_killer_only(self):
+        # With a retry budget, collateral tasks recover in phase two and
+        # only the killer exhausts its attempts.
+        outcomes = run_isolated(_die_if, [(i, 2) for i in range(4)], jobs=4,
+                                policy=IsolationPolicy(retries=1))
+        assert [o.value for o in outcomes if o.ok] == [0, 1, 3]
+        assert not outcomes[2].ok
+
+
+class TestRetries:
+    def test_retry_heals_a_transient_failure(self):
+        outcomes = run_isolated(_fail_first_attempts, [(7, 1)], jobs=1,
+                                policy=IsolationPolicy(retries=1))
+        assert outcomes[0].value == (7, 1)
+        assert outcomes[0].attempts == 2
+
+    def test_budget_exhausts(self):
+        outcomes = run_isolated(_fail_first_attempts, [(7, 5)], jobs=1,
+                                policy=IsolationPolicy(retries=2))
+        assert not outcomes[0].ok
+        assert outcomes[0].attempts == 3
+
+    def test_no_retries_by_default(self):
+        outcomes = run_isolated(_fail_first_attempts, [(7, 1)], jobs=1)
+        assert not outcomes[0].ok
+        assert outcomes[0].attempts == 1
+
+
+class TestTimeouts:
+    def test_timeout_becomes_structured_error(self):
+        outcomes = run_isolated(
+            _sleep_then_return, [(1, 30.0)], jobs=1,
+            policy=IsolationPolicy(timeout_s=0.3))
+        assert isinstance(outcomes[0].error, WorkerTimeoutError)
+        assert outcomes[0].error.code == "worker.timeout"
+
+    def test_fast_sibling_survives_a_timeout(self):
+        outcomes = run_isolated(
+            _sleep_then_return, [(1, 30.0), (2, 0.0)], jobs=2,
+            policy=IsolationPolicy(timeout_s=0.5))
+        assert not outcomes[0].ok
+        assert outcomes[1].ok and outcomes[1].value == 2
+
+    def test_policy_validation(self):
+        with pytest.raises(ValidationError):
+            IsolationPolicy(timeout_s=0.0)
+        with pytest.raises(ValidationError):
+            IsolationPolicy(retries=-1)
+        assert IsolationPolicy(retries=2).max_attempts == 3
+
+
+class TestOutcomeShape:
+    def test_errors_are_repro_errors(self):
+        outcomes = run_isolated(_fail_if_odd, [(1,)], jobs=1)
+        assert isinstance(outcomes[0].error, ReproError)
+        record = outcomes[0].error.to_dict()
+        assert record["code"] == "worker.crash"
+        assert record["context"]["task"] == "0"

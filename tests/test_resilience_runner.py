@@ -1,0 +1,211 @@
+"""Acceptance tests: crash-isolated experiment runs, degradations in
+notes, partial manifests, checkpoint/resume, CLI exit codes."""
+
+import pytest
+
+from repro import obs
+from repro.cli import main
+from repro.experiments import run_experiment, run_experiments
+from repro.experiments.runner import _error_result
+from repro.resilience import (
+    ExperimentError,
+    ReportCheckpoint,
+    clear_events,
+    faultinject,
+)
+from repro.resilience.faultinject import ALWAYS
+
+#: Four quick experiments: the issue's acceptance scenario fans these
+#: out over four workers and injects a fault into exactly one.
+NAMES = ["table1", "table3", "sp_peak", "table2"]
+
+
+@pytest.fixture(autouse=True)
+def _clean_harness():
+    faultinject.clear()
+    clear_events()
+    yield
+    faultinject.clear()
+    clear_events()
+
+
+class TestCrashIsolationAcceptance:
+    """jobs=4 with one injected fault: the other three results intact,
+    the failed one a structured per-experiment error."""
+
+    def test_injected_crash_spares_siblings(self):
+        with faultinject.inject(crash={"table3": ALWAYS}):
+            results = run_experiments(NAMES, fast=True, jobs=4)
+        assert [r.name for r in results] == NAMES
+        by_name = {r.name: r for r in results}
+        assert [n for n in NAMES if by_name[n].ok] == \
+            ["table1", "sp_peak", "table2"]
+        failed = by_name["table3"]
+        assert failed.error["code"] == "worker.crash"
+        assert "injected crash" in failed.error["message"]
+        assert failed.data == {}
+
+    def test_hard_worker_death_spares_siblings(self):
+        # os._exit breaks the whole pool; siblings must still land.
+        with faultinject.inject(kill={"sp_peak": ALWAYS}):
+            results = run_experiments(NAMES, fast=True, jobs=4)
+        ok = [r.name for r in results if r.ok]
+        assert ok == ["table1", "table3", "table2"]
+        failed = next(r for r in results if not r.ok)
+        assert failed.error["code"] == "worker.crash"
+
+    def test_retry_heals_a_transient_crash(self):
+        with faultinject.inject(crash={"table1": 1}):
+            results = run_experiments(NAMES, fast=True, jobs=4, retries=1)
+        assert all(r.ok for r in results)
+
+    def test_failed_values_match_serial_siblings(self):
+        clean = run_experiments(NAMES, fast=True, jobs=1)
+        with faultinject.inject(crash={"table3": ALWAYS}):
+            injected = run_experiments(NAMES, fast=True, jobs=4)
+        for c, i in zip(clean, injected):
+            if i.ok:
+                assert i.data == c.data
+
+    def test_timeout_is_a_structured_failure(self):
+        with faultinject.inject(hang={"table1": 60.0}):
+            results = run_experiments(["table1", "table3"], fast=True,
+                                      jobs=2, timeout_s=5.0)
+        assert not results[0].ok
+        assert results[0].error["code"] == "worker.timeout"
+        assert results[1].ok
+
+
+class TestSerialFailureCapture:
+    def test_serial_run_captures_failures_too(self):
+        with faultinject.inject(crash={"table3": ALWAYS}):
+            results = run_experiments(NAMES, fast=True, jobs=1)
+        assert [r.ok for r in results] == [True, False, True, True]
+        # Serially there is no worker: the crash is an experiment failure.
+        assert results[1].error["code"] == "experiment.failed"
+
+    def test_failed_result_renders_failed_banner(self):
+        with faultinject.inject(crash={"table1": ALWAYS}):
+            results = run_experiments(["table1"], fast=True)
+        text = results[0].render()
+        assert "FAILED" in text
+        assert "experiment.failed" in text
+
+    def test_unknown_name_still_raises(self):
+        from repro.util.validation import ValidationError
+
+        with pytest.raises(ValidationError, match="unknown experiment"):
+            run_experiments(["nope"], fast=True)
+
+
+class TestDegradationsSurfaceInNotes:
+    def test_solver_degradation_lands_in_notes(self):
+        with faultinject.inject(nonconverge={"runtime.flow": 2}):
+            result = run_experiment("sp_peak", fast=True)
+        assert result.ok
+        resilience_notes = [n for n in result.notes if "resilience:" in n]
+        assert resilience_notes
+        assert any("degraded exact -> schweitzer" in n
+                   for n in resilience_notes)
+
+    def test_clean_run_has_no_resilience_notes(self):
+        result = run_experiment("sp_peak", fast=True)
+        assert not [n for n in result.notes if "resilience:" in n]
+
+    def test_notes_survive_the_worker_hop(self):
+        with faultinject.inject(nonconverge={"runtime.flow": 2}):
+            results = run_experiments(["sp_peak", "table1"], fast=True,
+                                      jobs=2)
+        assert any("resilience:" in n for n in results[0].notes)
+
+
+class TestPartialDiagnosticsOnFailure:
+    def test_experiment_error_carries_wall_time_without_telemetry(self):
+        with faultinject.inject(nonconverge={"runtime.flow": ALWAYS}):
+            with pytest.raises(ExperimentError) as info:
+                run_experiment("sp_peak", fast=True)
+        err = info.value
+        assert err.wall_time_s is not None and err.wall_time_s >= 0.0
+        assert err.manifest is None
+        assert err.context["experiment"] == "sp_peak"
+
+    def test_partial_manifest_recorded_with_telemetry(self):
+        tel = obs.enable(fresh=True)
+        try:
+            with faultinject.inject(nonconverge={"runtime.flow": ALWAYS}):
+                with pytest.raises(ExperimentError) as info:
+                    run_experiment("sp_peak", fast=True)
+            err = info.value
+            assert err.manifest is not None
+            assert err.manifest.notes[0].startswith("FAILED:")
+            assert err.manifest.metrics  # counters up to the failure
+            assert tel.manifests == [err.manifest]
+        finally:
+            obs.disable()
+
+    def test_parallel_failure_merges_partial_manifest(self):
+        tel = obs.enable(fresh=True)
+        try:
+            with faultinject.inject(nonconverge={"runtime.flow": ALWAYS}):
+                results = run_experiments(["sp_peak", "table1"], fast=True,
+                                          jobs=2)
+            assert not results[0].ok
+            assert results[0].error["code"] == "experiment.failed"
+            assert results[1].ok
+            experiments = [m.experiment for m in tel.manifests]
+            assert sorted(experiments) == ["sp_peak", "table1"]
+        finally:
+            obs.disable()
+
+
+class TestCheckpointResume:
+    def test_completed_results_restored_not_rerun(self, tmp_path):
+        ck = ReportCheckpoint(str(tmp_path / "cp"), fast=True)
+        with faultinject.inject(crash={"table3": ALWAYS}):
+            first = run_experiments(["table1", "table3"], fast=True,
+                                    checkpoint=ck)
+        assert first[0].ok and not first[1].ok
+        assert ck.completed() == ["table1"]
+
+        second = run_experiments(["table1", "table3"], fast=True,
+                                 checkpoint=ck)
+        assert all(r.ok for r in second)
+        assert any("restored from checkpoint" in n for n in second[0].notes)
+        assert not any("restored" in n for n in second[1].notes)
+
+    def test_failed_results_never_stored(self, tmp_path):
+        ck = ReportCheckpoint(str(tmp_path / "cp"), fast=True)
+        with faultinject.inject(crash={"table1": ALWAYS}):
+            run_experiments(["table1"], fast=True, checkpoint=ck)
+        assert ck.completed() == []
+
+
+class TestErrorResultShape:
+    def test_error_result_from_plain_worker_error(self):
+        from repro.resilience import WorkerCrashError
+
+        result = _error_result("fig5", WorkerCrashError("died", task="fig5"))
+        assert not result.ok
+        assert result.name == "fig5"
+        assert result.wall_time_s is None
+        assert result.manifest is None
+        assert result.notes[0].startswith("FAILED [worker.crash]")
+
+    def test_error_result_from_experiment_error(self):
+        err = ExperimentError("driver raised", wall_time_s=2.5,
+                              experiment="fig5",
+                              degradations=["resilience: note"])
+        result = _error_result("fig5", err)
+        assert result.wall_time_s == 2.5
+        assert "resilience: note" in result.notes
+
+
+class TestCliExitCodes:
+    def test_clean_run_exits_zero(self, capsys):
+        assert main(["table1", "--fast"]) == 0
+        assert "== " in capsys.readouterr().out
+
+    def test_failed_experiment_exits_one(self, capsys):
+        with faultinject.inject(crash={"table1": ALWAYS}):
+            assert main(["table1", "--fast"]) == 1
+        assert "FAILED" in capsys.readouterr().out

@@ -1,0 +1,88 @@
+"""Tests of convergence watchdogs and the degradation schedule."""
+
+import math
+
+import pytest
+
+from repro.resilience import (
+    LADDER,
+    ConvergenceError,
+    ConvergencePolicy,
+    SolverTimeoutError,
+    Watchdog,
+)
+from repro.util.validation import ValidationError
+
+
+class TestConvergencePolicy:
+    def test_defaults(self):
+        policy = ConvergencePolicy()
+        assert policy.max_iterations == 400
+        assert policy.time_budget_s is None
+        assert policy.ladder == LADDER
+
+    def test_attempts_schedule(self):
+        # First stage once per damping, coarser stages once at the
+        # heaviest damping.
+        policy = ConvergencePolicy(dampings=(0.5, 0.25))
+        assert policy.attempts() == [
+            ("exact", 0.5), ("exact", 0.25),
+            ("schweitzer", 0.25), ("bounds", 0.25)]
+
+    def test_attempts_single_damping(self):
+        policy = ConvergencePolicy(dampings=(0.7,),
+                                   ladder=("schweitzer", "bounds"))
+        assert policy.attempts() == [("schweitzer", 0.7), ("bounds", 0.7)]
+
+    @pytest.mark.parametrize("kwargs", [
+        {"max_iterations": 0},
+        {"time_budget_s": 0.0},
+        {"time_budget_s": -1.0},
+        {"dampings": ()},
+        {"dampings": (0.0,)},
+        {"dampings": (1.5,)},
+        {"ladder": ("exact", "newton")},
+        {"ladder": ()},
+    ])
+    def test_rejects_bad_parameters(self, kwargs):
+        with pytest.raises(ValidationError):
+            ConvergencePolicy(**kwargs)
+
+
+class TestWatchdog:
+    def test_iteration_budget(self):
+        dog = Watchdog("test.site", max_iterations=3)
+        dog.tick(1.0)
+        dog.tick(0.5)
+        with pytest.raises(ConvergenceError) as info:
+            dog.tick(0.25)
+        assert info.value.context["site"] == "test.site"
+        assert info.value.context["iterations"] == 3
+
+    def test_nonfinite_residual_is_divergence(self):
+        dog = Watchdog("test.site", max_iterations=100)
+        with pytest.raises(ConvergenceError) as info:
+            dog.tick(math.nan)
+        assert info.value.context["diverged"] is True
+
+    def test_time_budget_with_fake_clock(self):
+        ticks = iter([0.0, 0.1, 5.0])
+        dog = Watchdog("test.site", max_iterations=100,
+                       time_budget_s=1.0, clock=lambda: next(ticks))
+        dog.tick(1.0)  # elapsed 0.1 s: fine
+        with pytest.raises(SolverTimeoutError) as info:
+            dog.tick(0.5)  # elapsed 5.0 s: over budget
+        assert info.value.context["budget_s"] == 1.0
+        assert info.value.context["elapsed_s"] == pytest.approx(5.0)
+
+    def test_no_time_budget_never_times_out(self):
+        dog = Watchdog("test.site", max_iterations=10_000)
+        for _ in range(9_000):
+            dog.tick(1.0)
+        assert dog.iterations == 9_000
+
+    def test_rejects_bad_budgets(self):
+        with pytest.raises(ValidationError):
+            Watchdog("s", max_iterations=0)
+        with pytest.raises(ValidationError):
+            Watchdog("s", time_budget_s=-1.0)
