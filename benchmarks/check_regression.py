@@ -55,13 +55,19 @@ def load_record(path: str) -> dict:
 def gated_counters(record: dict) -> dict[str, float]:
     """The work counters a record is judged on: ``{name: value}``.
 
-    Tolerates records written by older perf_record versions: metric
-    summaries may be plain numbers instead of ``{"kind": ..., "value":
-    ...}`` dicts (pre-environment-block schema), and malformed entries
-    are skipped rather than raising.
+    Tolerates records written by older perf_record versions: the
+    ``metrics`` block may be a schema-wrapped snapshot
+    (``{"snapshot_schema": N, "instruments": {...}}``, the current
+    form), a bare instrument dict (pre-wrapping), and metric summaries
+    may be plain numbers instead of ``{"kind": ..., "value": ...}``
+    dicts (pre-environment-block schema); malformed entries are skipped
+    rather than raising.
     """
+    metrics = record.get("metrics") or {}
+    if isinstance(metrics, dict) and "snapshot_schema" in metrics:
+        metrics = metrics.get("instruments") or {}
     out: dict[str, float] = {}
-    for key, summary in (record.get("metrics") or {}).items():
+    for key, summary in metrics.items():
         if isinstance(summary, dict):
             if summary.get("kind") != "counter":
                 continue

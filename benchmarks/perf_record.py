@@ -72,7 +72,7 @@ def build_record(name: str, result, wall_time_s: float, tel,
         "recorded_unix": time.time(),
         "wall_time_s": wall_time_s,
         "phase_timings": dict(result.phase_timings),
-        "metrics": tel.metrics.snapshot(),
+        "metrics": obs.wrap_snapshot(tel.metrics.snapshot()),
         "notes": list(result.notes),
     }
 

@@ -16,10 +16,26 @@ Commands
 ``repro profile <experiment> [--fast]``
     Run one experiment with telemetry on and print the sorted
     span-timing and metrics tables.
-``repro report [--fast] [--resume]``
+``repro report [--fast] [--resume] [--html OUT] [--only EXP] [--from-run SPEC]``
     Run every experiment and write EXPERIMENTS.md (paper vs measured).
     ``--resume`` checkpoints completed experiments so an interrupted or
     partially failed report rerun only repeats the missing ones.
+    ``--html OUT`` additionally writes the self-contained HTML fit
+    report (inline-SVG charts, no external assets); with ``--only EXP``
+    (repeatable) just the selected experiments run and only the HTML is
+    written; ``--from-run SPEC`` renders the HTML from an archived run
+    without running anything.
+``repro diff [RUN_A] [RUN_B] [--store DIR]``
+    Compare two archived runs (run ids, id prefixes, ``latest``,
+    ``latest~N``, or run directories; default ``latest~1`` vs
+    ``latest``): parameter/quality/counter drift against thresholds
+    (``--drift-params`` relative, ``--drift-quality`` absolute,
+    ``--drift-counters`` relative, ``--gate-wall``).  Exits nonzero on
+    drift — CI-friendly.  Runs are archived with ``--archive`` on any
+    experiment run (``repro fig5 --archive``).
+``repro doctor [EXPERIMENT...] [--full] [--r2-floor X]``
+    One-screen health report: failed experiments, solver degradations
+    and non-converged solves, low-R² fits, influential fit points.
 ``repro calibrate``
     Regenerate the shipped calibration table from the Table II anchors.
 ``repro topology``
@@ -59,6 +75,8 @@ _COMMANDS: dict[str, str] = {
     "calibrate": "regenerate the shipped calibration table",
     "topology": "print the simulated testbed topologies",
     "lint": "run the domain lint rules (docs/LINTING.md)",
+    "diff": "compare two archived runs for drift (docs/OBSERVABILITY.md)",
+    "doctor": "run a health check-up and print a one-screen report",
 }
 
 
@@ -89,11 +107,53 @@ def _cmd_calibrate(_args) -> int:
 def _cmd_report(args) -> int:
     from repro.experiments.report import write_experiments_md
 
+    if args.from_run is not None:
+        if not args.html:
+            print("usage: repro report --from-run SPEC --html OUT.html",
+                  file=sys.stderr)
+            return 2
+        from repro.obs.htmlreport import write_html
+        from repro.obs.store import RunStore, StoreError
+
+        try:
+            run = _run_store(args).load(args.from_run)
+        except StoreError as exc:
+            print(f"repro report: {exc}", file=sys.stderr)
+            return 2
+        charts = write_html(args.html, run.diagnostics, meta=run.meta)
+        print(f"HTML fit report for run {run.run_id} written to "
+              f"{args.html} ({charts} charts)")
+        return 0
+
+    if args.only:
+        from repro.experiments import run_experiments
+        from repro.obs.htmlreport import write_html
+
+        results = run_experiments(args.only, fast=args.fast, rng=args.seed,
+                                  jobs=args.jobs, timeout_s=args.timeout,
+                                  retries=args.retries)
+        failures = sum(1 for r in results if not r.ok)
+        if args.html:
+            diagnostics = {r.name: r.diagnostics for r in results
+                           if r.diagnostics}
+            charts = write_html(args.html, diagnostics,
+                                meta={"fast": args.fast,
+                                      "only": ",".join(args.only)})
+            print(f"HTML fit report written to {args.html} "
+                  f"({charts} charts)")
+        for result in results:
+            if not result.ok:
+                print(result.render(), file=sys.stderr)
+        return 1 if failures else 0
+
     path = "EXPERIMENTS.md"
     print(f"running every experiment and writing {path} "
           "(several minutes at full fidelity)")
     failures = write_experiments_md(path, fast=args.fast, rng=args.seed,
-                                    jobs=args.jobs, resume=args.resume)
+                                    jobs=args.jobs, resume=args.resume,
+                                    html_path=args.html)
+    if args.html:
+        print(f"HTML fit report written to {args.html}")
     if failures:
         print(f"done with {failures} FAILED experiment"
               f"{'' if failures == 1 else 's'} (see {path}; rerun with "
@@ -101,6 +161,54 @@ def _cmd_report(args) -> int:
         return 1
     print("done")
     return 0
+
+
+def _run_store(args):
+    """The archive for --store, defaulting to .repro/runs."""
+    from repro.obs.store import RunStore
+
+    return RunStore(args.store) if args.store else RunStore()
+
+
+def _cmd_diff(args) -> int:
+    from repro.obs.drift import DriftThresholds, compare_runs
+    from repro.obs.store import StoreError
+
+    specs = [s for s in [args.target, *args.extra] if s is not None]
+    if len(specs) > 2:
+        print("usage: repro diff [RUN_A] [RUN_B]", file=sys.stderr)
+        return 2
+    spec_a = specs[0] if len(specs) == 2 else "latest~1"
+    spec_b = specs[-1] if specs else "latest"
+    store = _run_store(args)
+    try:
+        run_a = store.load(spec_a)
+        run_b = store.load(spec_b)
+    except StoreError as exc:
+        print(f"repro diff: {exc}", file=sys.stderr)
+        return 2
+    overrides = {
+        "params_rel": args.drift_params,
+        "quality_abs": args.drift_quality,
+        "counters_rel": args.drift_counters,
+        "gate_wall": args.gate_wall or None,
+    }
+    thresholds = DriftThresholds(
+        **{k: v for k, v in overrides.items() if v is not None})
+    report = compare_runs(run_a, run_b, thresholds)
+    print(report.render())
+    return report.exit_code()
+
+
+def _cmd_doctor(args) -> int:
+    from repro.obs.doctor import DEFAULT_R2_FLOOR, diagnose
+
+    selected = [s for s in [args.target, *args.extra] if s is not None]
+    floor = args.r2_floor if args.r2_floor is not None else DEFAULT_R2_FLOOR
+    report = diagnose(selected or None, fast=not args.full, rng=args.seed,
+                      jobs=args.jobs, r2_floor=floor)
+    print(report.render())
+    return report.exit_code()
 
 
 def _cmd_lint(args) -> int:
@@ -162,18 +270,30 @@ def _write_telemetry(args, tel) -> None:
 def _cmd_experiment(args) -> int:
     from repro.experiments import run_experiments
 
-    telemetry_wanted = bool(args.trace or args.metrics or args.manifest)
+    telemetry_wanted = bool(args.trace or args.metrics or args.manifest
+                            or args.archive)
     if telemetry_wanted:
         obs.enable(fresh=True)
     names = _experiment_names(args.experiment)
     failures = 0
-    for result in run_experiments(names, fast=args.fast, rng=args.seed,
-                                  jobs=args.jobs, timeout_s=args.timeout,
-                                  retries=args.retries):
+    results = run_experiments(names, fast=args.fast, rng=args.seed,
+                              jobs=args.jobs, timeout_s=args.timeout,
+                              retries=args.retries)
+    for result in results:
         print(result.render())
         print()
         if not result.ok:
             failures += 1
+    if args.archive:
+        from repro.obs.store import DEFAULT_KEEP
+
+        store = _run_store(args)
+        run_id = store.archive(
+            results, obs.session(), fast=args.fast, seed=args.seed,
+            keep=args.keep if args.keep is not None else DEFAULT_KEEP,
+            trace=bool(args.trace))
+        print(f"run archived as {run_id} under {store.root} "
+              "(compare with 'repro diff')")
     if telemetry_wanted:
         _write_telemetry(args, obs.session())
     return 1 if failures else 0
@@ -208,8 +328,13 @@ def main(argv: list[str] | None = None) -> int:
              + ", ".join(f"'{c}'" for c in _COMMANDS))
     parser.add_argument(
         "target", nargs="?", default=None,
-        help="experiment name for 'repro profile <experiment>', or the "
-             "path to scan for 'repro lint [PATH]'")
+        help="experiment name for 'repro profile <experiment>', the path "
+             "to scan for 'repro lint [PATH]', or the first run spec for "
+             "'repro diff'")
+    parser.add_argument(
+        "extra", nargs="*", default=[],
+        help="second run spec for 'repro diff A B', or further "
+             "experiment names for 'repro doctor'")
     parser.add_argument("--fast", action="store_true",
                         help="smaller sweeps / fewer samples")
     parser.add_argument("--seed", type=int, default=None,
@@ -233,6 +358,44 @@ def main(argv: list[str] | None = None) -> int:
                         help="print the metrics summary after the run")
     parser.add_argument("--manifest", metavar="PATH", default=None,
                         help="write the structured run manifest JSON")
+    parser.add_argument("--archive", action="store_true",
+                        help="archive the run (manifest, metrics, fit "
+                             "diagnostics) under --store for 'repro diff'")
+    parser.add_argument("--store", metavar="DIR", default=None,
+                        help="run-archive directory (default .repro/runs)")
+    parser.add_argument("--keep", type=int, default=None, metavar="N",
+                        help="archived runs retained before pruning "
+                             "(default 50)")
+    parser.add_argument("--html", metavar="PATH", default=None,
+                        help="for 'repro report': write the self-contained "
+                             "HTML fit report (inline SVG, no assets)")
+    parser.add_argument("--only", action="append", metavar="EXP",
+                        default=None,
+                        help="for 'repro report --html': run only this "
+                             "experiment (repeatable); skips EXPERIMENTS.md")
+    parser.add_argument("--from-run", metavar="SPEC", default=None,
+                        help="for 'repro report --html': render from an "
+                             "archived run instead of running experiments")
+    parser.add_argument("--drift-params", type=float, default=None,
+                        metavar="REL",
+                        help="'repro diff' relative threshold for fitted "
+                             "parameters (default 1e-3)")
+    parser.add_argument("--drift-quality", type=float, default=None,
+                        metavar="ABS",
+                        help="'repro diff' absolute threshold for R²/error "
+                             "statistics (default 1e-3)")
+    parser.add_argument("--drift-counters", type=float, default=None,
+                        metavar="REL",
+                        help="'repro diff' relative threshold for work "
+                             "counters (default 0.25)")
+    parser.add_argument("--gate-wall", action="store_true",
+                        help="'repro diff': gate on wall-clock drift too")
+    parser.add_argument("--full", action="store_true",
+                        help="'repro doctor': full-fidelity sweeps instead "
+                             "of fast mode")
+    parser.add_argument("--r2-floor", type=float, default=None, metavar="X",
+                        help="'repro doctor': flag fits with R² below X "
+                             "(default 0.8)")
     parser.add_argument("--format", default="text", metavar="FMT",
                         choices=("text", "json", "github"),
                         help="lint report format: text, json or github "
@@ -261,6 +424,10 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_profile(args)
     if args.experiment == "lint":
         return _cmd_lint(args)
+    if args.experiment == "diff":
+        return _cmd_diff(args)
+    if args.experiment == "doctor":
+        return _cmd_doctor(args)
     return _cmd_experiment(args)
 
 

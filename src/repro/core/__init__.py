@@ -35,8 +35,10 @@ from repro.core.contention import (
 )
 from repro.core.model import (
     ContentionModel,
+    colinearity_fit,
     colinearity_r2,
     fit_model,
+    model_diagnostics,
     paper_fit_points,
 )
 from repro.core.numa import NUMAContentionModel
@@ -58,7 +60,9 @@ __all__ = [
     "NUMAContentionModel",
     "ContentionModel",
     "fit_model",
+    "model_diagnostics",
     "paper_fit_points",
+    "colinearity_fit",
     "colinearity_r2",
     "ValidationReport",
     "validate_model",

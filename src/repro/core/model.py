@@ -18,7 +18,7 @@ from __future__ import annotations
 from typing import Callable, Mapping, Union
 
 from repro.core.numa import NUMAContentionModel, fit_numa
-from repro.core.regression import linear_fit
+from repro.core.regression import LinearFit, linear_fit
 from repro.core.uma import UMAContentionModel, fit_uma
 from repro.core.uniproc import ModelError
 from repro.counters.papi import CounterSample
@@ -103,6 +103,23 @@ def fit_model(machine: Machine, source: MeasureSource,
                     hop_weights=default_hop_weights(machine))
 
 
+def colinearity_fit(samples: Mapping[int, CounterSample],
+                    max_n: int | None = None) -> LinearFit:
+    """The Table IV colinearity regression of ``1/C(n)`` on ``n``.
+
+    Returns the full :class:`~repro.core.regression.LinearFit` — its
+    ``r2`` is the printed Table IV statistic, and its ``diagnostics``
+    carry residuals, influence flags and confidence intervals for the
+    same fit (identical R² by construction).
+    """
+    ns = sorted(n for n in samples if max_n is None or n <= max_n)
+    if len(ns) < 3:
+        raise ValidationError(
+            "colinearity needs measurements at >= 3 core counts")
+    inv_c = [1.0 / samples[n].total_cycles for n in ns]
+    return linear_fit(ns, inv_c)
+
+
 def colinearity_r2(samples: Mapping[int, CounterSample],
                    max_n: int | None = None) -> float:
     """Table IV: R² of the linearity of ``1/C(n)`` in ``n``.
@@ -112,9 +129,47 @@ def colinearity_r2(samples: Mapping[int, CounterSample],
     sweep — high R² certifies the M/M/1 behaviour of contended programs,
     low R² exposes the bursty low-contention ones (EP, x264).
     """
-    ns = sorted(n for n in samples if max_n is None or n <= max_n)
-    if len(ns) < 3:
-        raise ValidationError(
-            "colinearity needs measurements at >= 3 core counts")
-    inv_c = [1.0 / samples[n].total_cycles for n in ns]
-    return linear_fit(ns, inv_c).r2
+    return colinearity_fit(samples, max_n=max_n).r2
+
+
+def model_diagnostics(model: ContentionModel) -> dict:
+    """The JSON-safe fit-quality record of a fitted contention model.
+
+    Shape (consumed by run archives, ``repro diff`` and the HTML
+    report)::
+
+        {
+          "params":  {"mu": ..., "ell": ..., "r": ..., "delta_c"|"rho": ...},
+          "quality": {"r2": ..., "adjusted_r2": ..., "rmse": ...,
+                      "max_abs_residual": ...},
+          "fits":    {"inv_c": <FitDiagnostics dict>,
+                      "delta_c"|"rho": <FitDiagnostics dict>},   # if fitted
+        }
+
+    ``params`` and ``quality`` are the drift-gated sections: scalar
+    parameter estimates and goodness-of-fit statistics.  ``fits`` keeps
+    the full per-point records for humans and charts.
+    """
+    single = model.single
+    inv_c = single.fit.diagnostics
+    params: dict[str, float] = {
+        "mu": single.mu, "ell": single.ell, "r": single.r,
+    }
+    quality: dict[str, float | None] = {}
+    fits: dict[str, dict] = {}
+    if inv_c is not None:
+        d = inv_c.to_dict()
+        fits["inv_c"] = d
+        quality.update({
+            "r2": d["r2"], "adjusted_r2": d["adjusted_r2"],
+            "rmse": d["rmse"], "max_abs_residual": d["max_abs_residual"],
+        })
+    if isinstance(model, UMAContentionModel):
+        params["delta_c"] = model.delta_c
+        if model.delta_c_fit is not None:
+            fits["delta_c"] = model.delta_c_fit.to_dict()
+    elif isinstance(model, NUMAContentionModel):
+        params["rho"] = model.rho
+        if model.rho_fit is not None:
+            fits["rho"] = model.rho_fit.to_dict()
+    return {"params": params, "quality": quality, "fits": fits}

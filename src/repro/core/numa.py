@@ -26,7 +26,7 @@ coefficient.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Mapping, Sequence
 
 import numpy as np
@@ -37,6 +37,7 @@ from repro.core.uniproc import (
     fit_single_processor,
 )
 from repro.counters.papi import CounterSample
+from repro.obs.diag import FitDiagnostics, one_param_diagnostics
 from repro.util.validation import check_integer
 
 
@@ -47,6 +48,9 @@ class NUMAContentionModel:
     ``rho`` is the fitted remote stall per request per (hop-weighted)
     core; ``hop_weights[k]`` is the topology weight of remote package
     ``k + 1`` (1.0 everywhere for the homogeneous variant).
+    ``rho_fit`` diagnoses the one-parameter regression at the reported
+    (possibly clamped-to-zero) ``rho`` — pure reporting, excluded from
+    equality.
     """
 
     single: SingleProcessorModel
@@ -56,6 +60,8 @@ class NUMAContentionModel:
     hop_weights: tuple[float, ...]
     r: float
     baseline_cycles: float
+    rho_fit: FitDiagnostics | None = field(
+        default=None, compare=False, repr=False)
 
     def __post_init__(self) -> None:
         check_integer("cores_per_processor", self.cores_per_processor,
@@ -209,4 +215,8 @@ def fit_numa(samples: Mapping[int, CounterSample], cores_per_processor: int,
         hop_weights=weights,
         r=r,
         baseline_cycles=samples[1].total_cycles,
+        # Diagnostics at the *reported* rho: after a clamp to zero this
+        # judges the value the model actually predicts with.
+        rho_fit=one_param_diagnostics(a, b, value=rho, param_name="rho",
+                                      xs=cross),
     )

@@ -8,23 +8,33 @@ that regression, kept deliberately tiny: slope, intercept, R².
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Sequence
 
 import numpy as np
 
+from repro.obs.diag import FitDiagnostics, linear_diagnostics
 from repro.util.stats import r_squared
 from repro.util.validation import ValidationError
 
 
 @dataclass(frozen=True)
 class LinearFit:
-    """``y ~ slope * x + intercept`` with its goodness of fit."""
+    """``y ~ slope * x + intercept`` with its goodness of fit.
+
+    ``diagnostics`` carries the full fit-quality record (adjusted R²,
+    residuals, influence flags, parameter confidence intervals — see
+    :class:`repro.obs.diag.FitDiagnostics`).  It is derived reporting,
+    excluded from equality so two fits of the same line stay equal even
+    when undefined diagnostic fields hold ``nan``.
+    """
 
     slope: float
     intercept: float
     r2: float
     n_points: int
+    diagnostics: FitDiagnostics | None = field(
+        default=None, compare=False, repr=False)
 
     def predict(self, x: float) -> float:
         """Evaluate the fitted line."""
@@ -50,9 +60,14 @@ def linear_fit(xs: Sequence[float], ys: Sequence[float]) -> LinearFit:
         raise ValidationError("xs are all equal; slope is undefined")
     slope, intercept = np.polyfit(x, y, deg=1)
     fit = slope * x + intercept
+    r2 = r_squared(y, fit)
     return LinearFit(
         slope=float(slope),
         intercept=float(intercept),
-        r2=r_squared(y, fit),
+        r2=r2,
         n_points=int(x.size),
+        # The diagnostics quote this exact r2, so the printed Table IV
+        # statistic and the archived record agree to the last bit.
+        diagnostics=linear_diagnostics(x, y, slope=float(slope),
+                                       intercept=float(intercept), r2=r2),
     )

@@ -14,7 +14,7 @@ measurement that activates the second processor
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Mapping
 
 from repro.core.uniproc import (
@@ -23,18 +23,27 @@ from repro.core.uniproc import (
     fit_single_processor,
 )
 from repro.counters.papi import CounterSample
+from repro.obs.diag import FitDiagnostics, one_param_diagnostics
 from repro.util.validation import check_integer
 
 
 @dataclass(frozen=True)
 class UMAContentionModel:
-    """Fitted eq. 8 for a machine with ``cores_per_processor``-core packages."""
+    """Fitted eq. 8 for a machine with ``cores_per_processor``-core packages.
+
+    ``delta_c_fit`` reports the quality of the coupling term over *every*
+    cross-package measurement at the reported ``delta_c`` — pure
+    diagnostics (the fitted value itself still comes from the paper's
+    first-activation point), excluded from equality.
+    """
 
     single: SingleProcessorModel
     cores_per_processor: int
     n_processors: int
     delta_c: float
     baseline_cycles: float
+    delta_c_fit: FitDiagnostics | None = field(
+        default=None, compare=False, repr=False)
 
     def __post_init__(self) -> None:
         check_integer("cores_per_processor", self.cores_per_processor,
@@ -91,6 +100,7 @@ def fit_uma(samples: Mapping[int, CounterSample], cores_per_processor: int,
             "need >= 2 measurements within the first processor to fit mu, L")
     single = fit_single_processor(first)
     cross = {n: s for n, s in samples.items() if n > cores_per_processor}
+    delta_c_fit = None
     if n_processors == 1:
         delta_c = 0.0
     else:
@@ -100,19 +110,37 @@ def fit_uma(samples: Mapping[int, CounterSample], cores_per_processor: int,
                 "Delta C")
         n_cross = min(cross)
         cpp = cores_per_processor
+
+        def _composition(n: int) -> tuple[float, int]:
+            """(coupling-free composed cycles, activated extra procs)."""
+            full, rem = divmod(n, cpp)
+            composed = full * single.predict_cycles(cpp)
+            if rem:
+                composed += single.predict_cycles(rem)
+            return composed, full + (1 if rem else 0) - 1
+
         # Delta C = C_meas(c + k) - C(cpp)*full - C(rem): the residual the
         # composition cannot explain without the coupling term.
-        full, rem = divmod(n_cross, cpp)
-        composed = full * single.predict_cycles(cpp)
-        if rem:
-            composed += single.predict_cycles(rem)
-        active_procs = full + (1 if rem else 0)
+        composed, extra_procs = _composition(n_cross)
         delta_c = (cross[n_cross].total_cycles - composed) \
-            / max(active_procs - 1, 1)
+            / max(extra_procs, 1)
+        # Diagnose the reported Delta C against *all* cross-package
+        # points: residual-vs-extra-processors through the origin.
+        ns_cross = sorted(cross)
+        design = []
+        residual = []
+        for n in ns_cross:
+            comp, extra = _composition(n)
+            design.append(float(extra))
+            residual.append(cross[n].total_cycles - comp)
+        delta_c_fit = one_param_diagnostics(
+            design, residual, value=delta_c, param_name="delta_c",
+            xs=ns_cross)
     return UMAContentionModel(
         single=single,
         cores_per_processor=cores_per_processor,
         n_processors=n_processors,
         delta_c=delta_c,
         baseline_cycles=samples[1].total_cycles,
+        delta_c_fit=delta_c_fit,
     )

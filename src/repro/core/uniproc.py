@@ -65,6 +65,13 @@ class SingleProcessorModel:
                 "cycle counts decrease with n faster than the model allows")
 
     @property
+    def diagnostics(self):
+        """The :class:`repro.obs.diag.FitDiagnostics` of the underlying
+        ``1/C(n)`` regression (residuals, influence flags, parameter
+        confidence intervals)."""
+        return self.fit.diagnostics
+
+    @property
     def saturation_cores(self) -> float:
         """Core count at which the modelled controller saturates
         (``n = mu / L``); predictions must stay below it."""

@@ -12,9 +12,11 @@ from repro import obs
 from repro.core import (
     colinearity_r2,
     fit_model,
+    model_diagnostics,
     paper_fit_points,
     validate_model,
 )
+from repro.obs.diag import error_attribution
 from repro.experiments.paper_data import PAPER_MODEL_ERROR
 from repro.experiments.runner import ExperimentResult
 from repro.machine import all_machines
@@ -43,6 +45,7 @@ def run(fast: bool = False, rng=None, program: str = PROGRAM,
     tables = []
     data = {}
     notes = []
+    diagnostics = {}
     for machine in machines:
         mkey = machine_key(machine)
         actual_size = "B" if (program == "FT" and mkey == "intel_uma") \
@@ -70,6 +73,7 @@ def run(fast: bool = False, rng=None, program: str = PROGRAM,
             "paper_error": PAPER_MODEL_ERROR[mkey],
             "colinearity_r2": colinearity_r2(sweep, max_n=cpp),
         }
+        diagnostics[mkey] = machine_fit_record(model, report, err)
         notes.append(
             f"{mkey}: mean relative error {err:.1%} "
             f"(paper: {PAPER_MODEL_ERROR[mkey]:.0%})")
@@ -80,4 +84,27 @@ def run(fast: bool = False, rng=None, program: str = PROGRAM,
         tables=tables,
         data=data,
         notes=notes,
+        diagnostics=diagnostics,
     )
+
+
+def machine_fit_record(model, report, err: float) -> dict:
+    """One machine's archived fit-quality record (see model_diagnostics).
+
+    Shared with the other model-vs-measurement drivers (fig6) so the
+    run archive, ``repro diff`` and the HTML report see one shape.
+    """
+    diag = model_diagnostics(model)
+    diag["quality"]["mean_relative_error"] = err
+    diag["validation"] = {
+        "core_counts": list(report.core_counts),
+        "measured_omega": list(report.measured_omega),
+        "predicted_omega": list(report.predicted_omega),
+        "measured_cycles": list(report.measured_cycles),
+        "predicted_cycles": list(report.predicted_cycles),
+    }
+    # Which core counts contribute most omega prediction error.
+    diag["error_attribution"] = error_attribution(
+        list(report.core_counts), report.measured_omega,
+        report.predicted_omega)
+    return diag

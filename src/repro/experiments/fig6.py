@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from repro import obs
 from repro.core import fit_model, paper_fit_points, validate_model
+from repro.experiments.fig5 import machine_fit_record
 from repro.experiments.runner import ExperimentResult
 from repro.machine import all_machines
 from repro.runtime.calibration import machine_key
@@ -27,6 +28,7 @@ def run(fast: bool = False, rng=None) -> ExperimentResult:
     tables = []
     data = {}
     notes = []
+    diagnostics = {}
     for machine in machines:
         mkey = machine_key(machine)
         with obs.span(f"machine.{mkey}", program=PROGRAM, size=SIZE):
@@ -59,6 +61,8 @@ def run(fast: bool = False, rng=None) -> ExperimentResult:
             "omega_full": growth,
             "misses_growth_factor": misses_max / misses_1,
         }
+        diagnostics[mkey] = machine_fit_record(
+            model, report, report.mean_relative_error_cycles)
         if is_numa:
             ok = negative_region and growth > 0.3 \
                 and misses_max / misses_1 > 1e3
@@ -80,4 +84,5 @@ def run(fast: bool = False, rng=None) -> ExperimentResult:
         tables=tables,
         data=data,
         notes=notes,
+        diagnostics=diagnostics,
     )

@@ -62,6 +62,11 @@ class ExperimentResult:
     wall_time_s: float | None = None
     #: Per-phase timings (seconds) from the span tree, when telemetry is on.
     phase_timings: dict[str, float] = field(default_factory=dict)
+    #: JSON-safe fit-quality records keyed by machine/section (see
+    #: :func:`repro.core.model.model_diagnostics`); drivers that fit a
+    #: model populate it, and the run manifest and ``--archive`` store
+    #: carry it for ``repro diff`` / ``repro doctor`` / the HTML report.
+    diagnostics: dict = field(default_factory=dict)
     #: The structured run record, when telemetry is on.
     manifest: "obs.RunManifest | None" = None
     #: Structured error record when the run failed, else ``None``.
@@ -189,6 +194,7 @@ def run_experiment(name: str, fast: bool = False, rng=None) -> ExperimentResult:
         wall_time_s=result.wall_time_s,
         phase_timings=phases,
         metrics=tel.metrics.snapshot(),
+        diagnostics=dict(result.diagnostics),
         notes=list(result.notes),
     )
     result.manifest = tel.record_manifest(manifest)

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from repro import obs
 from repro.experiments.runner import ExperimentResult
+from repro.obs.diag import error_attribution
 from repro.machine import all_machines
 from repro.runtime.calibration import HALF_FULL, machine_key, table2_target
 from repro.runtime.measurement import MeasurementRun
@@ -69,10 +70,23 @@ def run(fast: bool = False, rng=None) -> ExperimentResult:
         f"the paper: {100 * sum(anchored_err) / len(anchored_err):.1f}% "
         "(full-core values are calibration anchors; half-core values are "
         "emergent)"]
+    # Which grid cells carry the paper-vs-measured omega deviation.
+    diagnostics = {
+        "quality": {
+            "mean_full_core_deviation":
+                sum(anchored_err) / len(anchored_err),
+        },
+        "error_attribution": error_attribution(
+            [f"{r['program']}.{r['size']}@{r['machine']}/n={r['n']}"
+             for r in rows],
+            [r["paper"] for r in rows],
+            [r["measured"] for r in rows]),
+    }
     return ExperimentResult(
         name="table2",
         title="Table II — normalized increase in number of cycles",
         tables=[table],
         data={"rows": rows},
         notes=notes,
+        diagnostics=diagnostics,
     )

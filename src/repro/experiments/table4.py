@@ -10,7 +10,7 @@ because their bursty traffic breaks the model's assumptions.
 from __future__ import annotations
 
 from repro import obs
-from repro.core import colinearity_r2
+from repro.core import colinearity_fit
 from repro.experiments.paper_data import TABLE4_PROGRAMS, TABLE4_R2
 from repro.experiments.runner import ExperimentResult
 from repro.machine import all_machines
@@ -28,6 +28,7 @@ def run(fast: bool = False, rng=None) -> ExperimentResult:
         title="Table IV: colinearity goodness-of-fit R^2 "
               "(paper / measured)")
     data = {}
+    diagnostics = {}
     contended_r2 = []
     bursty_r2 = []
     for machine in machines:
@@ -35,17 +36,30 @@ def run(fast: bool = False, rng=None) -> ExperimentResult:
         cpp = machine.processors[0].n_logical_cores
         row = [mkey]
         data[mkey] = {}
+        diagnostics[mkey] = {}
         for program, size in programs:
             with obs.span(f"machine.{mkey}", program=program, size=size):
                 run_ = MeasurementRun(program, size, machine, rng=rng)
                 pts = list(range(1, cpp + 1)) if not fast \
                     else sorted(set([1, 2, cpp // 2, cpp]))
                 sweep = {n: run_.measure(n) for n in pts}
-                r2 = colinearity_r2(sweep, max_n=cpp)
+                fit = colinearity_fit(sweep, max_n=cpp)
+            r2 = fit.r2
             paper = TABLE4_R2[mkey][f"{program}.{size}"]
             row.append(f"{paper:.2f} / {r2:.2f}")
             data[mkey][f"{program}.{size}"] = {"paper": paper,
                                                "measured": r2}
+            fit_record = fit.diagnostics.to_dict() \
+                if fit.diagnostics is not None else {}
+            diagnostics[mkey][f"{program}.{size}"] = {
+                "quality": {
+                    "r2": r2,
+                    "paper_r2": paper,
+                    "adjusted_r2": fit_record.get("adjusted_r2"),
+                    "max_abs_residual": fit_record.get("max_abs_residual"),
+                },
+                "fits": {"inv_c": fit_record},
+            }
             if program in ("EP", "x264"):
                 bursty_r2.append(r2)
             else:
@@ -66,4 +80,5 @@ def run(fast: bool = False, rng=None) -> ExperimentResult:
         tables=[table],
         data=data,
         notes=notes,
+        diagnostics=diagnostics,
     )

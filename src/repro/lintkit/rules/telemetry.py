@@ -12,6 +12,7 @@ The observability layer's value depends on discipline at the call sites:
 from __future__ import annotations
 
 import ast
+import re
 from typing import Iterator
 
 from repro.lintkit.core import FileContext, Finding, Rule, register
@@ -98,3 +99,72 @@ class SpanContextManagerRule(Rule):
                     self, call,
                     "span created outside a `with` statement; use "
                     "`with tracer.span(...)` so it always closes")
+
+
+#: A dotted, lowercase, catalogue-style name: at least two segments.
+_METRIC_LIKE = re.compile(r"^[a-z][a-z0-9_]*(\.[a-z0-9_]+)+$")
+
+
+def _metric_families() -> set[str]:
+    """First segments of the catalogued names (plus parameterised ones)."""
+    from repro.obs import names
+
+    families = {n.split(".", 1)[0] for n in names.all_metric_names()}
+    families.update({"perf", "obs"})
+    return families
+
+
+def _docstrings(tree: ast.Module) -> set[ast.Constant]:
+    """The docstring Constant nodes of the module and its defs."""
+    out: set[ast.Constant] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.Module, ast.ClassDef, ast.FunctionDef,
+                             ast.AsyncFunctionDef)):
+            body = getattr(node, "body", [])
+            if body and isinstance(body[0], ast.Expr) and \
+                    isinstance(body[0].value, ast.Constant) and \
+                    isinstance(body[0].value.value, str):
+                out.add(body[0].value)
+    return out
+
+
+@register
+class DiagnosticsMetricNameRule(Rule):
+    """``TEL003``: diagnostics/diff metric names come from the catalogue.
+
+    The diagnostics layer (``repro.obs.diag`` / ``store`` / ``drift`` /
+    ``doctor`` / ``htmlreport``) is exempt from TEL001 like the rest of
+    ``repro.obs``, but it *consumes* metric names — to count fits, gate
+    counter drift, or pick trouble counters — so a literal like
+    ``"store.runs_archived"`` there silently detaches from
+    ``repro.obs.names`` and breaks ``repro diff``'s gating.  Any string
+    literal shaped like a catalogued metric name (dotted lowercase with
+    a known first segment) is flagged; spell it as a ``names.*``
+    constant instead.
+    """
+
+    id = "TEL003"
+    name = "diagnostics-names-from-registry"
+    description = ("literal metric names in the diagnostics/diff layer "
+                   "detach from the repro.obs.names catalogue; use the "
+                   "constants")
+    only = ("repro/obs/diag", "repro/obs/store", "repro/obs/drift",
+            "repro/obs/doctor", "repro/obs/htmlreport")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        families = _metric_families()
+        skip = _docstrings(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not (isinstance(node, ast.Constant)
+                    and isinstance(node.value, str)
+                    and node not in skip):
+                continue
+            if not _METRIC_LIKE.match(node.value):
+                continue
+            if node.value.split(".", 1)[0] not in families:
+                continue
+            yield ctx.finding(
+                self, node,
+                f"literal metric name {node.value!r}; import the constant "
+                "from repro.obs.names so diagnostics and drift gating "
+                "stay on the catalogue")

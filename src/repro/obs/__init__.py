@@ -26,14 +26,32 @@ from __future__ import annotations
 # Bind the state module before ``from repro.obs.state import session``
 # rebinds the name ``session`` to the accessor function below.
 from repro.obs import state as _state
+from repro.obs.diag import (
+    FitDiagnostics,
+    ParamEstimate,
+    error_attribution,
+    linear_diagnostics,
+    one_param_diagnostics,
+    t_quantile,
+)
+from repro.obs.drift import (
+    DriftFinding,
+    DriftReport,
+    DriftThresholds,
+    compare_runs,
+)
+from repro.obs.htmlreport import render_html, write_html
 from repro.obs.manifest import MANIFEST_SCHEMA, RunManifest, code_version, new_run_id
 from repro.obs.metrics import (
+    SNAPSHOT_SCHEMA,
     Counter,
     Gauge,
     Histogram,
     MetricsRegistry,
     Timer,
     check_metric_name,
+    unwrap_snapshot,
+    wrap_snapshot,
 )
 from repro.obs.profile import metrics_table, render_summary, span_table
 from repro.obs.state import (
@@ -44,13 +62,23 @@ from repro.obs.state import (
     enabled,
     session,
 )
+from repro.obs.store import ArchivedRun, RunStore, StoreError
 from repro.obs.tracing import Span, Tracer
+
+# NOTE: repro.obs.doctor is deliberately not imported here — it reaches
+# into repro.experiments (which imports repro.obs) and must stay lazy.
 
 __all__ = [
     "Counter", "Gauge", "Histogram", "Timer", "MetricsRegistry",
     "check_metric_name",
+    "SNAPSHOT_SCHEMA", "wrap_snapshot", "unwrap_snapshot",
     "Span", "Tracer",
     "RunManifest", "MANIFEST_SCHEMA", "code_version", "new_run_id",
+    "FitDiagnostics", "ParamEstimate", "linear_diagnostics",
+    "one_param_diagnostics", "error_attribution", "t_quantile",
+    "ArchivedRun", "RunStore", "StoreError",
+    "DriftFinding", "DriftReport", "DriftThresholds", "compare_runs",
+    "render_html", "write_html",
     "TelemetrySession", "NOOP_SPAN",
     "enable", "disable", "enabled", "session",
     "span", "counter", "gauge", "gauge_max", "observe", "timed",

@@ -1,0 +1,378 @@
+"""Fit diagnostics: judging the regressions the model stands on.
+
+The paper's credibility rests on a handful of least-squares fits — the
+``1/C(n)`` line of eq. 6 (Table IV prints its R²), the ``Delta C``
+composition of eq. 8 and the ``rho`` remote-cost fit of eq. 11.  This
+module turns each of those into a self-diagnosing fit: alongside the
+point estimate it reports goodness of fit (R², adjusted R², RMSE, max
+absolute residual), per-point residuals, influence statistics (leverage
+and Cook's distance, flagging the core counts that dominate the fit) and
+analytic parameter confidence intervals.
+
+Everything is computed from closed-form OLS formulas on numpy arrays —
+no scipy.  The Student-t quantile needed for the confidence intervals
+uses the Acklam inverse-normal approximation plus a Cornish-Fisher
+expansion in ``1/df`` (exact at ``df`` in {1, 2}, ~1e-4 absolute error
+otherwise — far below the widths it scales).
+
+Diagnostics are *pure reporting*: they never change a fitted value, and
+they quote the caller's R² verbatim when one is supplied so printed
+Table IV statistics stay bit-identical.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+#: Leverage above ``LEVERAGE_FACTOR * n_params / n_points`` flags a point.
+LEVERAGE_FACTOR = 2.0
+
+#: Cook's distance above ``COOKS_FACTOR / n_points`` flags a point.
+COOKS_FACTOR = 4.0
+
+
+def _norm_ppf(p: float) -> float:
+    """Acklam's rational approximation of the standard-normal quantile."""
+    if not 0.0 < p < 1.0:
+        return float("nan") if p != 0.0 and p != 1.0 else \
+            math.copysign(float("inf"), p - 0.5)
+    a = (-3.969683028665376e+01, 2.209460984245205e+02,
+         -2.759285104469687e+02, 1.383577518672690e+02,
+         -3.066479806614716e+01, 2.506628277459239e+00)
+    b = (-5.447609879822406e+01, 1.615858368580409e+02,
+         -1.556989798598866e+02, 6.680131188771972e+01,
+         -1.328068155288572e+01)
+    c = (-7.784894002430293e-03, -3.223964580411365e-01,
+         -2.400758277161838e+00, -2.549732539343734e+00,
+         4.374664141464968e+00, 2.938163982698783e+00)
+    d = (7.784695709041462e-03, 3.224671290700398e-01,
+         2.445134137142996e+00, 3.754408661907416e+00)
+    p_low, p_high = 0.02425, 1.0 - 0.02425
+    if p < p_low:
+        q = math.sqrt(-2.0 * math.log(p))
+        return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q
+                + c[5]) / ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q
+                           + 1.0)
+    if p > p_high:
+        q = math.sqrt(-2.0 * math.log(1.0 - p))
+        return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q
+                 + c[5]) / ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q
+                            + 1.0)
+    q = p - 0.5
+    r = q * q
+    return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r
+            + a[5]) * q / (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r
+                            + b[4]) * r + 1.0)
+
+
+def t_quantile(p: float, df: int) -> float:
+    """Student-t quantile ``t_{p, df}`` without scipy.
+
+    Exact for ``df`` 1 and 2; a fourth-order Cornish-Fisher expansion of
+    the normal quantile otherwise.  ``df <= 0`` yields ``nan`` (the
+    caller has no residual degrees of freedom to estimate a width from).
+    """
+    if df <= 0 or not 0.0 < p < 1.0:
+        return float("nan")
+    if df == 1:
+        return math.tan(math.pi * (p - 0.5))
+    if df == 2:
+        return (2.0 * p - 1.0) * math.sqrt(2.0 / (4.0 * p * (1.0 - p)))
+    z = _norm_ppf(p)
+    z2 = z * z
+    g1 = (z2 + 1.0) * z / 4.0
+    g2 = ((5.0 * z2 + 16.0) * z2 + 3.0) * z / 96.0
+    g3 = (((3.0 * z2 + 19.0) * z2 + 17.0) * z2 - 15.0) * z / 384.0
+    g4 = ((((79.0 * z2 + 776.0) * z2 + 1482.0) * z2 - 1920.0) * z2
+          - 945.0) * z / 92160.0
+    v = float(df)
+    return z + g1 / v + g2 / v**2 + g3 / v**3 + g4 / v**4
+
+
+def _clean(v: float) -> float | None:
+    """JSON-safe float: non-finite values become ``None``."""
+    return float(v) if math.isfinite(v) else None
+
+
+@dataclass(frozen=True)
+class ParamEstimate:
+    """One fitted parameter with its analytic OLS uncertainty."""
+
+    name: str
+    value: float
+    stderr: float
+    ci_low: float
+    ci_high: float
+
+    def to_dict(self) -> dict:
+        return {
+            "value": _clean(self.value),
+            "stderr": _clean(self.stderr),
+            "ci_low": _clean(self.ci_low),
+            "ci_high": _clean(self.ci_high),
+        }
+
+
+@dataclass(frozen=True)
+class FitDiagnostics:
+    """Goodness-of-fit and influence report for one least-squares fit.
+
+    ``kind`` is ``"ols"`` (slope + intercept) or ``"through_origin"``
+    (single coefficient, no intercept; R² is then the uncentered form).
+    ``influential`` lists the x values (core counts) whose leverage or
+    Cook's distance exceeds the standard cutoffs — the measurements that
+    dominate the fitted parameters.
+
+    Fields that are undefined for the fit at hand (e.g. standard errors
+    of an exactly-determined two-point line, where the residual degrees
+    of freedom are zero) hold ``nan``; :meth:`to_dict` maps them to
+    ``None`` so archived JSON stays round-trippable.
+    """
+
+    kind: str
+    n_points: int
+    n_params: int
+    dof: int
+    r2: float
+    adjusted_r2: float
+    rmse: float
+    max_abs_residual: float
+    xs: tuple[float, ...]
+    residuals: tuple[float, ...]
+    leverage: tuple[float, ...]
+    cooks_distance: tuple[float, ...]
+    influential: tuple[float, ...]
+    params: tuple[ParamEstimate, ...]
+    confidence: float = 0.95
+
+    def param(self, name: str) -> ParamEstimate:
+        for p in self.params:
+            if p.name == name:
+                return p
+        raise KeyError(f"no parameter {name!r} in this fit "
+                       f"(have {[p.name for p in self.params]})")
+
+    def to_dict(self) -> dict:
+        """JSON-safe plain-dict form (tuples -> lists, nan -> None)."""
+        return {
+            "kind": self.kind,
+            "n_points": self.n_points,
+            "n_params": self.n_params,
+            "dof": self.dof,
+            "r2": _clean(self.r2),
+            "adjusted_r2": _clean(self.adjusted_r2),
+            "rmse": _clean(self.rmse),
+            "max_abs_residual": _clean(self.max_abs_residual),
+            "xs": [float(x) for x in self.xs],
+            "residuals": [_clean(e) for e in self.residuals],
+            "leverage": [_clean(h) for h in self.leverage],
+            "cooks_distance": [_clean(d) for d in self.cooks_distance],
+            "influential": [float(x) for x in self.influential],
+            "params": {p.name: p.to_dict() for p in self.params},
+            "confidence": self.confidence,
+        }
+
+
+def _influential(xs: np.ndarray, leverage: np.ndarray, cooks: np.ndarray,
+                 n_params: int) -> tuple[float, ...]:
+    n = xs.size
+    lev_cut = LEVERAGE_FACTOR * n_params / n
+    cook_cut = COOKS_FACTOR / n
+    flagged = []
+    for x, h, d in zip(xs, leverage, cooks):
+        if h > lev_cut or (math.isfinite(d) and d > cook_cut):
+            flagged.append(float(x))
+    return tuple(flagged)
+
+
+def _param(name: str, value: float, stderr: float, dof: int,
+           confidence: float) -> ParamEstimate:
+    q = t_quantile(0.5 + confidence / 2.0, dof)
+    half = q * stderr if math.isfinite(q) and math.isfinite(stderr) \
+        else float("nan")
+    return ParamEstimate(name=name, value=float(value), stderr=float(stderr),
+                         ci_low=float(value - half),
+                         ci_high=float(value + half))
+
+
+def _count_fit() -> None:
+    """Bump the telemetry fit counter when a session is active."""
+    from repro.obs import names, state
+
+    s = state._active
+    if s is not None:
+        s.metrics.counter(names.DIAG_FITS).inc()
+
+
+def _count_influential(n: int) -> None:
+    if not n:
+        return
+    from repro.obs import names, state
+
+    s = state._active
+    if s is not None:
+        s.metrics.counter(names.DIAG_INFLUENTIAL_POINTS).inc(n)
+
+
+def linear_diagnostics(xs: Sequence[float], ys: Sequence[float],
+                       slope: float, intercept: float,
+                       r2: float | None = None,
+                       param_names: tuple[str, str] = ("slope", "intercept"),
+                       confidence: float = 0.95) -> FitDiagnostics:
+    """Diagnostics for an already-fitted ``y ~ slope * x + intercept``.
+
+    The fitted values are taken as given (never refitted); ``r2``, when
+    supplied, is quoted verbatim so the caller's printed statistic and
+    the diagnostics agree to the last bit.
+    """
+    x = np.asarray(xs, dtype=float)
+    y = np.asarray(ys, dtype=float)
+    n = x.size
+    n_params = 2
+    dof = n - n_params
+    fitted = slope * x + intercept
+    resid = y - fitted
+    sse = float(resid @ resid)
+    if r2 is None:
+        ss_tot = float(np.sum((y - y.mean()) ** 2))
+        r2 = 1.0 - sse / ss_tot if ss_tot > 0.0 \
+            else (1.0 if sse == 0.0 else 0.0)
+    adjusted = 1.0 - (1.0 - r2) * (n - 1) / dof if dof > 0 else float("nan")
+    rmse = math.sqrt(sse / n)
+    sxx = float(np.sum((x - x.mean()) ** 2))
+    leverage = 1.0 / n + (x - x.mean()) ** 2 / sxx
+    sigma2 = sse / dof if dof > 0 else float("nan")
+    with np.errstate(divide="ignore", invalid="ignore"):
+        cooks = (resid ** 2 * leverage
+                 / (n_params * sigma2 * (1.0 - leverage) ** 2))
+    if sigma2 > 0 and math.isfinite(sigma2):
+        slope_se = math.sqrt(sigma2 / sxx)
+        inter_se = math.sqrt(sigma2 * (1.0 / n + x.mean() ** 2 / sxx))
+    else:
+        slope_se = inter_se = float("nan")
+    influential = _influential(x, leverage, cooks, n_params)
+    diag = FitDiagnostics(
+        kind="ols",
+        n_points=int(n),
+        n_params=n_params,
+        dof=int(dof),
+        r2=float(r2),
+        adjusted_r2=float(adjusted),
+        rmse=rmse,
+        max_abs_residual=float(np.max(np.abs(resid))) if n else 0.0,
+        xs=tuple(float(v) for v in x),
+        residuals=tuple(float(e) for e in resid),
+        leverage=tuple(float(h) for h in leverage),
+        cooks_distance=tuple(float(d) for d in cooks),
+        influential=influential,
+        params=(
+            _param(param_names[0], slope, slope_se, dof, confidence),
+            _param(param_names[1], intercept, inter_se, dof, confidence),
+        ),
+        confidence=confidence,
+    )
+    _count_fit()
+    _count_influential(len(influential))
+    return diag
+
+
+def one_param_diagnostics(design: Sequence[float], ys: Sequence[float],
+                          value: float, param_name: str,
+                          xs: Sequence[float] | None = None,
+                          confidence: float = 0.95) -> FitDiagnostics:
+    """Diagnostics for a through-origin fit ``y ~ value * a``.
+
+    ``design`` holds the regressor ``a_i`` (e.g. ``r * weighted_cores``
+    for the NUMA ``rho`` fit, or the activated-extra-processor count for
+    the UMA ``Delta C`` term); ``xs`` carries the human-readable point
+    labels (core counts) and defaults to the design values.  The R² is
+    the uncentered form ``1 - SSE / sum(y²)`` appropriate for a
+    no-intercept model, evaluated at the *reported* coefficient — which
+    may be clamped (``rho >= 0``) or taken from a subset of points
+    (``Delta C``), so it judges the value the model actually uses.
+    """
+    a = np.asarray(design, dtype=float)
+    y = np.asarray(ys, dtype=float)
+    x = a if xs is None else np.asarray(xs, dtype=float)
+    n = a.size
+    n_params = 1
+    dof = n - n_params
+    resid = y - value * a
+    sse = float(resid @ resid)
+    ss_tot = float(y @ y)
+    r2 = 1.0 - sse / ss_tot if ss_tot > 0.0 else (1.0 if sse == 0.0 else 0.0)
+    adjusted = 1.0 - (1.0 - r2) * n / dof if dof > 0 else float("nan")
+    rmse = math.sqrt(sse / n) if n else 0.0
+    saa = float(a @ a)
+    leverage = a ** 2 / saa if saa > 0 else np.full(n, float("nan"))
+    sigma2 = sse / dof if dof > 0 else float("nan")
+    with np.errstate(divide="ignore", invalid="ignore"):
+        cooks = (resid ** 2 * leverage
+                 / (n_params * sigma2 * (1.0 - leverage) ** 2))
+    stderr = math.sqrt(sigma2 / saa) if saa > 0 and sigma2 > 0 \
+        and math.isfinite(sigma2) else float("nan")
+    influential = _influential(x, leverage, cooks, n_params)
+    diag = FitDiagnostics(
+        kind="through_origin",
+        n_points=int(n),
+        n_params=n_params,
+        dof=int(dof),
+        r2=r2,
+        adjusted_r2=float(adjusted),
+        rmse=rmse,
+        max_abs_residual=float(np.max(np.abs(resid))) if n else 0.0,
+        xs=tuple(float(v) for v in x),
+        residuals=tuple(float(e) for e in resid),
+        leverage=tuple(float(h) for h in leverage),
+        cooks_distance=tuple(float(d) for d in cooks),
+        influential=influential,
+        params=(_param(param_name, value, stderr, dof, confidence),),
+        confidence=confidence,
+    )
+    _count_fit()
+    _count_influential(len(influential))
+    return diag
+
+
+def error_attribution(points: Sequence, measured: Sequence[float],
+                      predicted: Sequence[float]) -> list[dict]:
+    """Which points contribute most absolute prediction error.
+
+    Returns ``[{"point", "abs_error", "share"}, ...]`` sorted by
+    descending contribution; ``share`` is the point's fraction of the
+    total absolute error (zero-total sweeps report zero shares).  Used
+    for the per-benchmark omega(n) attribution of the table2/fig5-style
+    experiments: the top entries are where the model loses its accuracy.
+    """
+    m = np.asarray(measured, dtype=float)
+    p = np.asarray(predicted, dtype=float)
+    if len(points) != m.size or m.shape != p.shape:
+        raise ValueError("points, measured and predicted must align")
+    errors = np.abs(p - m)
+    total = float(errors.sum())
+    rows = [
+        {
+            "point": point,
+            "abs_error": float(e),
+            "share": float(e) / total if total > 0 else 0.0,
+        }
+        for point, e in zip(points, errors)
+    ]
+    rows.sort(key=lambda r: (-r["abs_error"], str(r["point"])))
+    return rows
+
+
+__all__ = [
+    "FitDiagnostics",
+    "ParamEstimate",
+    "linear_diagnostics",
+    "one_param_diagnostics",
+    "error_attribution",
+    "t_quantile",
+    "LEVERAGE_FACTOR",
+    "COOKS_FACTOR",
+]

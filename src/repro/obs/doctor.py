@@ -1,0 +1,169 @@
+"""``repro doctor`` — one-screen health report of the reproduction.
+
+Runs a set of experiments under fresh telemetry and condenses what a
+reviewer needs to see at a glance: failed runs, solver degradations and
+watchdog trips, non-converged solves, low-R² fits, the measurements
+that dominate the fitted parameters (influence flags), and telemetry
+self-diagnostics (empty-series warnings).
+
+Experiments import lazily inside the functions: ``repro.obs`` must stay
+importable from the core model layer, which the experiments package
+depends on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.obs import names
+
+#: The fits-and-contention core the default check-up runs (fast mode).
+DEFAULT_EXPERIMENTS = ("table2", "fig5", "fig6", "table4")
+
+#: Fits with R² below this are surfaced (the paper's bursty programs
+#: sit around 0.81-0.91; a contended program below this is a red flag).
+DEFAULT_R2_FLOOR = 0.8
+
+#: Counter base names that indicate degraded or non-converged solving.
+_TROUBLE_COUNTERS = (
+    names.RESILIENCE_DEGRADATIONS,
+    names.RESILIENCE_RETRIES,
+    names.RESILIENCE_WORKER_FAILURES,
+    names.RESILIENCE_WORKER_RETRIES,
+    names.RESILIENCE_WORKER_TIMEOUTS,
+    names.RUNTIME_FLOW_NONCONVERGED,
+    names.QNET_MVA_SCHWEITZER_NONCONVERGED,
+)
+
+
+@dataclass
+class HealthReport:
+    """Everything ``repro doctor`` found, renderable as one screen."""
+
+    experiments: list[str]
+    fast: bool
+    failed: list[tuple[str, str]] = field(default_factory=list)
+    trouble_counters: dict[str, float] = field(default_factory=dict)
+    low_r2: list[tuple[str, float]] = field(default_factory=list)
+    influential: list[tuple[str, list[float]]] = field(default_factory=list)
+    empty_series_warnings: float = 0.0
+    wall_time_s: float = 0.0
+    notes: list[str] = field(default_factory=list)
+    r2_floor: float = DEFAULT_R2_FLOOR
+
+    def exit_code(self) -> int:
+        """Nonzero only for failed experiments — the rest is advisory."""
+        return 1 if self.failed else 0
+
+    def render(self) -> str:
+        mode = "fast" if self.fast else "full-fidelity"
+        parts = [f"== repro doctor: {', '.join(self.experiments)} "
+                 f"({mode}) =="]
+        lines = []
+        if self.failed:
+            for name, message in self.failed:
+                lines.append(f"FAIL  {name}: {message}")
+        else:
+            lines.append(f"ok    all {len(self.experiments)} experiment(s) "
+                         "completed")
+        if self.trouble_counters:
+            for key, value in sorted(self.trouble_counters.items()):
+                lines.append(f"warn  degraded solving: {key} = {value:g}")
+        else:
+            lines.append("ok    no solver degradations, watchdog trips or "
+                         "non-converged solves")
+        if self.low_r2:
+            for path, r2 in sorted(self.low_r2, key=lambda kv: kv[1]):
+                lines.append(f"warn  low-R² fit: {path} "
+                             f"(R² = {r2:.3f} < {self.r2_floor:g})")
+        else:
+            lines.append(f"ok    every fit has R² >= {self.r2_floor:g}")
+        if self.influential:
+            for path, points in sorted(self.influential):
+                pts = ", ".join(f"n={int(p) if p == int(p) else p}"
+                                for p in points)
+                lines.append(f"info  influential fit points: {path}: {pts}")
+        if self.empty_series_warnings:
+            lines.append(f"warn  empty-series statistics requests: "
+                         f"{self.empty_series_warnings:g}")
+        parts.append("\n".join(lines))
+        parts.extend(f"note: {n}" for n in self.notes)
+        parts.append(f"-- wall-clock: {self.wall_time_s:.2f} s; exit "
+                     f"{self.exit_code()}")
+        return "\n\n".join(parts)
+
+
+def _walk_fit_records(tree, prefix: str = ""):
+    """Yield ``(path, fit_record_dict)`` for every archived FitDiagnostics
+    dict (recognised by its ``r2``/``residuals`` fields) in a
+    diagnostics tree."""
+    if not isinstance(tree, dict):
+        return
+    if "r2" in tree and "residuals" in tree and "influential" in tree:
+        yield prefix, tree
+        return
+    for key, value in tree.items():
+        path = f"{prefix}/{key}" if prefix else str(key)
+        if isinstance(value, dict):
+            yield from _walk_fit_records(value, path)
+
+
+def diagnose(experiments=None, *, fast: bool = True, rng=None,
+             jobs: int = 1, r2_floor: float = DEFAULT_R2_FLOOR
+             ) -> HealthReport:
+    """Run the check-up and build the :class:`HealthReport`.
+
+    Runs under a fresh telemetry session (restoring the caller's session
+    state afterwards) so the trouble counters reflect exactly this
+    check-up.
+    """
+    from repro import obs
+    from repro.experiments import run_experiments
+
+    selected = list(experiments) if experiments else \
+        list(DEFAULT_EXPERIMENTS)
+    previous = obs.session()
+    tel = obs.enable(fresh=True)
+    try:
+        results = run_experiments(selected, fast=fast, rng=rng, jobs=jobs)
+        snapshot = tel.metrics.snapshot()
+    finally:
+        if previous is None:
+            obs.disable()
+        else:
+            obs.state._active = previous  # restore the caller's session
+
+    report = HealthReport(experiments=selected, fast=fast,
+                          r2_floor=r2_floor)
+    for result in results:
+        report.wall_time_s += result.wall_time_s or 0.0
+        if not result.ok:
+            report.failed.append(
+                (result.name, (result.error or {}).get("message", "?")))
+        for path, record in _walk_fit_records(result.diagnostics,
+                                              result.name):
+            r2 = record.get("r2")
+            if r2 is not None and r2 < r2_floor:
+                report.low_r2.append((path, float(r2)))
+            if record.get("influential"):
+                report.influential.append(
+                    (path, [float(p) for p in record["influential"]]))
+    for key, summary in snapshot.items():
+        base = key.split("{", 1)[0]
+        if base in _TROUBLE_COUNTERS and summary.get("value"):
+            report.trouble_counters[key] = float(summary["value"])
+        if base == names.OBS_EMPTY_SERIES_WARNINGS:
+            report.empty_series_warnings += float(summary.get("value", 0.0))
+    if fast:
+        report.notes.append(
+            "fast mode: smaller sweeps; rerun with --full before judging "
+            "accuracy numbers")
+    return report
+
+
+__all__ = [
+    "HealthReport",
+    "diagnose",
+    "DEFAULT_EXPERIMENTS",
+    "DEFAULT_R2_FLOOR",
+]

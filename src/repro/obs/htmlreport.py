@@ -1,0 +1,306 @@
+"""Self-contained HTML fit report (``repro report --html out.html``).
+
+Dependency-free: the charts are hand-built inline SVG, the styling is
+one embedded ``<style>`` block, and the output is a single file with no
+external assets (no scripts, no webfonts, no image URLs) — it renders
+from a file:// URL on an air-gapped machine and attaches to a PR as-is.
+
+Input is the archived diagnostics shape — ``{experiment: {...}}`` with
+the per-machine records of :func:`repro.core.model.model_diagnostics`
+plus the validation/error-attribution blocks the experiment drivers
+add — so the writer feeds equally from fresh results and from a stored
+run (``repro report --from-run latest --html out.html``).
+"""
+
+from __future__ import annotations
+
+import html as _html
+
+#: Chart geometry (pixels).  One size for every chart keeps the page
+#: scannable as a grid.
+_W, _H = 460, 280
+_ML, _MR, _MT, _MB = 58, 14, 30, 46  # margins: left/right/top/bottom
+
+_MEASURED = "#1f6f8b"   # teal — measured series / bars
+_PREDICTED = "#c0392b"  # red — model predictions
+_INFLUENTIAL = "#e67e22"  # orange — influential fit points
+_GRID = "#d7dde2"
+_TEXT = "#2c3e50"
+
+_CSS = """
+body { font-family: Georgia, 'Times New Roman', serif; margin: 2em auto;
+       max-width: 62em; color: #2c3e50; background: #fcfcfa; }
+h1 { font-size: 1.5em; border-bottom: 2px solid #2c3e50; }
+h2 { font-size: 1.2em; margin-top: 2em; }
+.charts { display: flex; flex-wrap: wrap; gap: 1em; }
+figure { margin: 0; border: 1px solid #d7dde2; background: #fff;
+         padding: .4em; }
+figcaption { font-size: .82em; text-align: center; padding-top: .3em; }
+table.kv { border-collapse: collapse; font-size: .9em; }
+table.kv td, table.kv th { border: 1px solid #d7dde2; padding: .2em .6em;
+                           text-align: right; }
+table.kv th { background: #eef2f4; }
+p.meta { font-size: .85em; color: #667; }
+"""
+
+
+def _esc(text) -> str:
+    return _html.escape(str(text), quote=True)
+
+
+def _fmt(v: float) -> str:
+    a = abs(v)
+    if a != 0 and (a >= 1e5 or a < 1e-3):
+        return f"{v:.3g}"
+    return f"{v:.4g}"
+
+
+class _Scale:
+    """Affine data→pixel mapping for one axis."""
+
+    def __init__(self, lo: float, hi: float, p0: float, p1: float) -> None:
+        if hi == lo:  # degenerate range: center the single value
+            lo, hi = lo - 1.0, hi + 1.0
+        self.lo, self.hi, self.p0, self.p1 = lo, hi, p0, p1
+
+    def __call__(self, v: float) -> float:
+        t = (v - self.lo) / (self.hi - self.lo)
+        return self.p0 + t * (self.p1 - self.p0)
+
+    def ticks(self, n: int = 5) -> list[float]:
+        return [self.lo + i * (self.hi - self.lo) / (n - 1)
+                for i in range(n)]
+
+
+def _axes(sx: _Scale, sy: _Scale, x_label: str, y_label: str) -> list[str]:
+    """Gridlines, tick labels and axis titles shared by every chart."""
+    out = []
+    for v in sy.ticks():
+        y = sy(v)
+        out.append(f'<line x1="{_ML}" y1="{y:.1f}" x2="{_W - _MR}" '
+                   f'y2="{y:.1f}" stroke="{_GRID}" stroke-width="1"/>')
+        out.append(f'<text x="{_ML - 6}" y="{y + 3:.1f}" font-size="10" '
+                   f'fill="{_TEXT}" text-anchor="end">{_fmt(v)}</text>')
+    for v in sx.ticks():
+        x = sx(v)
+        out.append(f'<text x="{x:.1f}" y="{_H - _MB + 14}" font-size="10" '
+                   f'fill="{_TEXT}" text-anchor="middle">{_fmt(v)}</text>')
+    out.append(f'<line x1="{_ML}" y1="{_H - _MB}" x2="{_W - _MR}" '
+               f'y2="{_H - _MB}" stroke="{_TEXT}" stroke-width="1"/>')
+    out.append(f'<line x1="{_ML}" y1="{_MT}" x2="{_ML}" y2="{_H - _MB}" '
+               f'stroke="{_TEXT}" stroke-width="1"/>')
+    out.append(f'<text x="{(_ML + _W - _MR) / 2:.0f}" y="{_H - 8}" '
+               f'font-size="11" fill="{_TEXT}" text-anchor="middle">'
+               f'{_esc(x_label)}</text>')
+    out.append(f'<text x="14" y="{(_MT + _H - _MB) / 2:.0f}" font-size="11" '
+               f'fill="{_TEXT}" text-anchor="middle" transform="rotate(-90 '
+               f'14 {(_MT + _H - _MB) / 2:.0f})">{_esc(y_label)}</text>')
+    return out
+
+
+def _figure(title: str, body: list[str], caption: str) -> str:
+    svg = (f'<svg xmlns="http://www.w3.org/2000/svg" width="{_W}" '
+           f'height="{_H}" viewBox="0 0 {_W} {_H}" role="img" '
+           f'aria-label="{_esc(title)}">\n'
+           f'<text x="{_W / 2:.0f}" y="16" font-size="12" fill="{_TEXT}" '
+           f'text-anchor="middle" font-weight="bold">{_esc(title)}</text>\n'
+           + "\n".join(body) + "\n</svg>")
+    return (f"<figure>{svg}<figcaption>{_esc(caption)}</figcaption>"
+            "</figure>")
+
+
+def line_chart(title: str, xs, series, x_label: str, y_label: str,
+               caption: str) -> str:
+    """Line chart; ``series`` is ``[(label, ys, color), ...]``."""
+    all_y = [y for _, ys, _ in series for y in ys]
+    sx = _Scale(min(xs), max(xs), _ML, _W - _MR)
+    sy = _Scale(min(all_y), max(all_y), _H - _MB, _MT)
+    body = _axes(sx, sy, x_label, y_label)
+    for i, (label, ys, color) in enumerate(series):
+        pts = " ".join(f"{sx(x):.1f},{sy(y):.1f}" for x, y in zip(xs, ys))
+        body.append(f'<polyline points="{pts}" fill="none" '
+                    f'stroke="{color}" stroke-width="1.6"/>')
+        for x, y in zip(xs, ys):
+            body.append(f'<circle cx="{sx(x):.1f}" cy="{sy(y):.1f}" '
+                        f'r="2.4" fill="{color}"/>')
+        lx, ly = _W - _MR - 120, _MT + 12 + 14 * i
+        body.append(f'<line x1="{lx}" y1="{ly - 3}" x2="{lx + 18}" '
+                    f'y2="{ly - 3}" stroke="{color}" stroke-width="2"/>')
+        body.append(f'<text x="{lx + 23}" y="{ly}" font-size="10" '
+                    f'fill="{_TEXT}">{_esc(label)}</text>')
+    return _figure(title, body, caption)
+
+
+def bar_chart(title: str, labels, values, x_label: str, y_label: str,
+              caption: str, colors=None) -> str:
+    """Vertical bars with per-bar labels; baseline at zero."""
+    lo, hi = min(values + [0.0]), max(values + [0.0])
+    sy = _Scale(lo, hi, _H - _MB, _MT)
+    n = max(len(values), 1)
+    span = (_W - _ML - _MR) / n
+    width = max(min(span * 0.62, 48.0), 3.0)
+    body = []
+    for v in sy.ticks():
+        y = sy(v)
+        body.append(f'<line x1="{_ML}" y1="{y:.1f}" x2="{_W - _MR}" '
+                    f'y2="{y:.1f}" stroke="{_GRID}" stroke-width="1"/>')
+        body.append(f'<text x="{_ML - 6}" y="{y + 3:.1f}" font-size="10" '
+                    f'fill="{_TEXT}" text-anchor="end">{_fmt(v)}</text>')
+    y0 = sy(0.0)
+    for i, (label, v) in enumerate(zip(labels, values)):
+        x = _ML + (i + 0.5) * span
+        color = (colors[i] if colors else _MEASURED)
+        top, bot = min(sy(v), y0), max(sy(v), y0)
+        body.append(f'<rect x="{x - width / 2:.1f}" y="{top:.1f}" '
+                    f'width="{width:.1f}" height="{max(bot - top, 0.5):.1f}"'
+                    f' fill="{color}"/>')
+        body.append(f'<text x="{x:.1f}" y="{_H - _MB + 12}" font-size="9" '
+                    f'fill="{_TEXT}" text-anchor="end" transform="rotate(-35'
+                    f' {x:.1f} {_H - _MB + 12})">{_esc(label)}</text>')
+    body.append(f'<line x1="{_ML}" y1="{y0:.1f}" x2="{_W - _MR}" '
+                f'y2="{y0:.1f}" stroke="{_TEXT}" stroke-width="1"/>')
+    body.append(f'<line x1="{_ML}" y1="{_MT}" x2="{_ML}" y2="{_H - _MB}" '
+                f'stroke="{_TEXT}" stroke-width="1"/>')
+    body.append(f'<text x="{(_ML + _W - _MR) / 2:.0f}" y="{_H - 4}" '
+                f'font-size="11" fill="{_TEXT}" text-anchor="middle">'
+                f'{_esc(x_label)}</text>')
+    body.append(f'<text x="14" y="{(_MT + _H - _MB) / 2:.0f}" font-size="11"'
+                f' fill="{_TEXT}" text-anchor="middle" transform="rotate(-90'
+                f' 14 {(_MT + _H - _MB) / 2:.0f})">{_esc(y_label)}</text>')
+    return _figure(title, body, caption)
+
+
+def _machine_sections(exp: str, machines: dict) -> list[str]:
+    """Charts for one fig5/fig6-style experiment: per machine, measured vs
+    predicted C(n), the 1/C(n) fit residuals (influential points
+    highlighted), and which core counts carry the omega error."""
+    out = []
+    for mkey in sorted(machines):
+        record = machines[mkey]
+        val = record.get("validation") or {}
+        charts = []
+        ns = val.get("core_counts") or []
+        if ns and val.get("measured_cycles") and val.get("predicted_cycles"):
+            charts.append(line_chart(
+                f"{mkey}: C(n) measured vs predicted",
+                ns,
+                [("measured", val["measured_cycles"], _MEASURED),
+                 ("predicted", val["predicted_cycles"], _PREDICTED)],
+                "cores n", "cycles C(n)",
+                f"{exp}: completion cycles across core counts"))
+        inv_c = (record.get("fits") or {}).get("inv_c") or {}
+        if inv_c.get("xs") and inv_c.get("residuals"):
+            influential = set(inv_c.get("influential") or [])
+            colors = [_INFLUENTIAL if x in influential else _MEASURED
+                      for x in inv_c["xs"]]
+            r2 = inv_c.get("r2")
+            charts.append(bar_chart(
+                f"{mkey}: 1/C(n) fit residuals",
+                [_fmt(x) for x in inv_c["xs"]], list(inv_c["residuals"]),
+                "cores n", "residual (1/cycles)",
+                f"{exp}: eq. 6 regression residuals"
+                + (f", R² = {r2:.4f}" if r2 is not None else "")
+                + ("; orange = influential point" if influential else ""),
+                colors=colors))
+        attribution = record.get("error_attribution") or []
+        if attribution and ns:
+            charts.append(bar_chart(
+                f"{mkey}: ω(n) prediction error by core count",
+                [_fmt(a["point"]) for a in attribution],
+                [a["abs_error"] for a in attribution],
+                "cores n", "|measured − predicted| ω",
+                f"{exp}: where the degree-of-contention error lives "
+                "(largest first)"))
+        if charts:
+            params = record.get("params") or {}
+            quality = record.get("quality") or {}
+            blurb = ", ".join(f"{k} = {_fmt(v)}"
+                              for k, v in sorted(params.items())
+                              if isinstance(v, (int, float)))
+            if quality.get("r2") is not None:
+                blurb += f"; R² = {quality['r2']:.6f}"
+            out.append(f"<h2>{_esc(exp)} · {_esc(mkey)}</h2>")
+            if blurb:
+                out.append(f'<p class="meta">{_esc(blurb)}</p>')
+            out.append('<div class="charts">' + "".join(charts) + "</div>")
+    return out
+
+
+def _table4_section(machines: dict) -> list[str]:
+    """Paper-vs-measured colinearity R² bars per machine."""
+    charts = []
+    for mkey in sorted(machines):
+        cols = machines[mkey]
+        labels, paper, measured = [], [], []
+        for col in sorted(cols):
+            q = cols[col].get("quality") or {}
+            if q.get("r2") is None or q.get("paper_r2") is None:
+                continue
+            labels.append(col)
+            paper.append(q["paper_r2"])
+            measured.append(q["r2"])
+        if not labels:
+            continue
+        inter = [f"{label} {tag}" for label in labels
+                 for tag in ("paper", "repro")]
+        values = [v for pm in zip(paper, measured) for v in pm]
+        colors = [_GRID, _MEASURED] * len(labels)
+        charts.append(bar_chart(
+            f"{mkey}: colinearity R², paper vs reproduction",
+            inter, values, "program.class", "R²",
+            "Table IV: grey = paper, teal = this reproduction",
+            colors=colors))
+    if not charts:
+        return []
+    return ["<h2>table4 · colinearity goodness-of-fit</h2>",
+            '<div class="charts">' + "".join(charts) + "</div>"]
+
+
+def render_html(diagnostics: dict, meta: dict | None = None,
+                title: str = "repro fit report") -> str:
+    """The full report page for ``{experiment: diagnostics}`` records."""
+    meta = meta or {}
+    sections: list[str] = []
+    for exp in sorted(diagnostics):
+        record = diagnostics[exp]
+        if not isinstance(record, dict):
+            continue
+        if exp == "table4":
+            sections.extend(_table4_section(record))
+            continue
+        machines = {k: v for k, v in record.items()
+                    if isinstance(v, dict)
+                    and ("validation" in v or "fits" in v)}
+        if machines:
+            sections.extend(_machine_sections(exp, machines))
+    if not sections:
+        sections.append("<p>No fit diagnostics in this run — the charts "
+                        "need a model-fitting experiment (fig5, fig6, "
+                        "table4).</p>")
+    meta_bits = [f"{k} = {_esc(v)}" for k, v in sorted(meta.items())
+                 if v is not None and k != "run_id"]
+    head = [f"<h1>{_esc(title)}</h1>"]
+    if meta.get("run_id"):
+        head.append(f'<p class="meta">run {_esc(meta["run_id"])}'
+                    + (": " + ", ".join(meta_bits) if meta_bits else "")
+                    + "</p>")
+    elif meta_bits:
+        head.append(f'<p class="meta">{", ".join(meta_bits)}</p>')
+    return ("<!DOCTYPE html>\n<html lang=\"en\">\n<head>\n"
+            '<meta charset="utf-8"/>\n'
+            f"<title>{_esc(title)}</title>\n"
+            f"<style>{_CSS}</style>\n</head>\n<body>\n"
+            + "\n".join(head + sections)
+            + "\n</body>\n</html>\n")
+
+
+def write_html(path: str, diagnostics: dict, meta: dict | None = None,
+               title: str = "repro fit report") -> int:
+    """Write the report; returns the number of inline SVG charts."""
+    page = render_html(diagnostics, meta=meta, title=title)
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(page)
+    return page.count("<svg")
+
+
+__all__ = ["render_html", "write_html", "line_chart", "bar_chart"]

@@ -18,7 +18,9 @@ import uuid
 from dataclasses import asdict, dataclass, field
 
 #: Schema version for the manifest JSON; bump on breaking field changes.
-MANIFEST_SCHEMA = 1
+#: v2 adds the ``diagnostics`` fit-quality block (older records load with
+#: an empty one).
+MANIFEST_SCHEMA = 2
 
 
 def code_version() -> str:
@@ -62,6 +64,10 @@ class RunManifest:
     wall_time_s: float = 0.0
     phase_timings: dict = field(default_factory=dict)
     metrics: dict = field(default_factory=dict)
+    #: Fit-quality records keyed by machine/section — the JSON-safe
+    #: ``FitDiagnostics`` dicts an experiment attaches to its result
+    #: (schema >= 2; empty for older records and unfitted experiments).
+    diagnostics: dict = field(default_factory=dict)
     notes: list = field(default_factory=list)
 
     def to_dict(self) -> dict:

@@ -21,6 +21,10 @@ from typing import Iterator
 
 _NAME_RE = re.compile(r"^[a-z0-9_]+(\.[a-z0-9_]+)*$")
 
+#: Schema version of wrapped metrics snapshots (mirrors ``MANIFEST_SCHEMA``);
+#: bump on breaking changes to the per-instrument summary shape.
+SNAPSHOT_SCHEMA = 1
+
 #: Histogram bin exponent range: bin ``e`` covers ``[2**(e-1), 2**e)``.
 #: 2**-30 ~ 1 ns (seconds-scale timings) up to 2**40 ~ 1e12 (cycle counts).
 HIST_MIN_EXP = -30
@@ -139,14 +143,26 @@ class Histogram:
 
     @property
     def mean(self) -> float:
-        return self.sum / self.count if self.count else 0.0
+        """Mean of the observations; ``nan`` (with a warning counter
+        bump) for an empty series — there is no meaningful value to
+        fabricate."""
+        if not self.count:
+            _warn_empty_series(self.name)
+            return float("nan")
+        return self.sum / self.count
 
     def quantile(self, q: float) -> float:
-        """Approximate quantile: the upper edge of the covering bin."""
+        """Approximate quantile: the upper edge of the covering bin.
+
+        An empty series yields ``nan`` and bumps the
+        ``obs.empty_series_warnings`` counter instead of inventing a
+        zero or raising.
+        """
         if not 0.0 <= q <= 1.0:
             raise ValueError(f"q={q} must be in [0, 1]")
         if not self.count:
-            return 0.0
+            _warn_empty_series(self.name)
+            return float("nan")
         target = q * self.count
         acc = 0
         for e in sorted(self.bins):
@@ -156,6 +172,13 @@ class Histogram:
         return self.bin_edges(max(self.bins))[1]  # pragma: no cover
 
     def summary(self) -> dict:
+        if not self.count:
+            # Empty series: derived statistics are undefined.  ``None``
+            # (not nan) keeps snapshots JSON-round-trippable, and the
+            # short-circuit avoids spurious empty-series warnings from
+            # merely *serialising* an instrument nothing observed.
+            return {"count": 0, "sum": 0.0, "mean": None, "min": None,
+                    "max": None, "p50": None, "p99": None, "bins": {}}
         return {
             "count": self.count,
             "sum": self.sum,
@@ -273,6 +296,52 @@ class MetricsRegistry:
                     setattr(hist, attr, merged)
             else:
                 raise ValueError(f"cannot merge instrument kind {kind!r}")
+
+
+def _warn_empty_series(name: str) -> None:
+    """Count a statistics request against an empty series.
+
+    Lazy imports keep this module free of a circular dependency on the
+    session state (``repro.obs.state`` imports this module); when
+    telemetry is disabled the warning has nowhere to land and the call
+    is a cheap no-op.
+    """
+    from repro.obs import names, state
+
+    s = state._active
+    if s is not None:
+        s.metrics.counter(names.OBS_EMPTY_SERIES_WARNINGS).inc()
+
+
+def wrap_snapshot(instruments: dict[str, dict]) -> dict:
+    """Version-stamp a :meth:`MetricsRegistry.snapshot` for persistence.
+
+    The wrapped form ``{"snapshot_schema": N, "instruments": {...}}``
+    mirrors the manifest's ``schema`` field so archived metrics files
+    and BENCH records carry their own version.
+    """
+    return {"snapshot_schema": SNAPSHOT_SCHEMA,
+            "instruments": dict(instruments)}
+
+
+def unwrap_snapshot(payload: dict | None) -> dict[str, dict]:
+    """The instruments mapping of a snapshot, wrapped or legacy-flat.
+
+    Accepts the wrapped :func:`wrap_snapshot` form, the historical flat
+    ``{name: summary}`` form, and ``None`` (no metrics recorded).  A
+    wrapped snapshot newer than :data:`SNAPSHOT_SCHEMA` raises — the
+    reader cannot know what the summaries mean.
+    """
+    if payload is None:
+        return {}
+    if "snapshot_schema" in payload:
+        schema = payload["snapshot_schema"]
+        if schema > SNAPSHOT_SCHEMA:
+            raise ValueError(
+                f"metrics snapshot schema {schema} is newer than supported "
+                f"({SNAPSHOT_SCHEMA})")
+        return dict(payload.get("instruments") or {})
+    return dict(payload)
 
 
 def _parse_snapshot_key(key: str) -> tuple[str, dict[str, str]]:

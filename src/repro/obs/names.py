@@ -21,6 +21,10 @@ from __future__ import annotations
 CALIBRATION_FIT_SECONDS = "calibration.fit_seconds"
 CALIBRATION_PROFILE_LOOKUPS = "calibration.profile_lookups"
 
+# -- fit diagnostics ----------------------------------------------------------
+DIAG_FITS = "diag.fits"
+DIAG_INFLUENTIAL_POINTS = "diag.influential_points"
+
 # -- discrete-event engine ----------------------------------------------------
 DESIM_EVENTS_PROCESSED = "desim.events_processed"
 DESIM_HEAP_DEPTH_MAX = "desim.heap_depth_max"
@@ -28,6 +32,9 @@ DESIM_PROCESSES_SPAWNED = "desim.processes_spawned"
 DESIM_RUNS = "desim.runs"
 DESIM_RUN_SECONDS = "desim.run_seconds"
 DESIM_SIM_WALL_RATIO = "desim.sim_wall_ratio"
+
+# -- telemetry self-diagnostics -----------------------------------------------
+OBS_EMPTY_SERIES_WARNINGS = "obs.empty_series_warnings"
 
 # -- queueing solvers ---------------------------------------------------------
 QNET_GG1_CALLS = "qnet.gg1.calls"
@@ -57,6 +64,11 @@ RUNTIME_MEASUREMENTS = "runtime.measurements"
 SAMPLER_ARRIVALS_GENERATED = "sampler.arrivals_generated"
 SAMPLER_RUNS = "sampler.runs"
 SAMPLER_WINDOWS_BINNED = "sampler.windows_binned"
+
+# -- run store ----------------------------------------------------------------
+STORE_ARCHIVE_SECONDS = "store.archive_seconds"
+STORE_RUNS_ARCHIVED = "store.runs_archived"
+STORE_RUNS_PRUNED = "store.runs_pruned"
 
 
 def perf_cache_metric(cache_name: str, event: str) -> str:

@@ -34,8 +34,12 @@ def _format_value(summary: dict) -> str:
         v = summary["value"]
         return f"{int(v)}" if float(v).is_integer() else f"{v:g}"
     if kind == "gauge":
+        if summary["value"] is None:
+            return "unset"
         return f"{summary['value']:g} (max {summary['max']:g})"
-    # histogram / timer
+    # histogram / timer; an empty series has no derived statistics.
+    if not summary["count"]:
+        return "n=0"
     return (f"n={summary['count']} mean={summary['mean']:.4g} "
             f"p99={summary['p99']:.4g} max={summary['max']:.4g}")
 

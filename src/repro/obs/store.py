@@ -1,0 +1,269 @@
+"""Append-only on-disk archive of experiment runs (``--archive``).
+
+One archived run is a directory ``.repro/runs/<run_id>/`` holding
+
+* ``manifest.json`` — the list of per-experiment :class:`RunManifest`
+  dicts (schema-stamped, see :data:`repro.obs.manifest.MANIFEST_SCHEMA`);
+* ``metrics.json`` — the session metrics snapshot, wrapped with
+  ``snapshot_schema`` (:func:`repro.obs.metrics.wrap_snapshot`);
+* ``diagnostics.json`` — per-experiment fit-quality records
+  (:func:`repro.core.model.model_diagnostics` shape);
+* ``trace.json`` — the Chrome trace of the run (optional);
+* ``meta.json`` — run-level identity (experiments, seed, fast, version).
+
+plus a store-level ``index.json`` listing runs oldest-to-newest, which
+is what ``latest`` / ``latest~N`` resolution and the pruning policy
+operate on.  The archive is append-only: a run directory is written
+once and never mutated; pruning deletes whole run directories beyond
+the retention budget, oldest first.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import time
+from dataclasses import dataclass
+
+from repro.obs import names
+from repro.obs import state as _state
+from repro.obs.manifest import RunManifest, code_version, new_run_id
+from repro.obs.metrics import unwrap_snapshot, wrap_snapshot
+
+#: Default store root, relative to the working directory.
+DEFAULT_ROOT = os.path.join(".repro", "runs")
+
+#: Default retention: archived runs kept before pruning, newest first.
+DEFAULT_KEEP = 50
+
+#: Schema of ``index.json``.
+INDEX_SCHEMA = 1
+
+_INDEX = "index.json"
+_MANIFEST = "manifest.json"
+_METRICS = "metrics.json"
+_DIAGNOSTICS = "diagnostics.json"
+_META = "meta.json"
+_TRACE = "trace.json"
+
+
+class StoreError(ValueError):
+    """A run spec that cannot be resolved, or a corrupt archive."""
+
+
+@dataclass
+class ArchivedRun:
+    """One archived run loaded back from disk."""
+
+    run_id: str
+    path: str
+    meta: dict
+    manifests: list[dict]
+    metrics: dict[str, dict]
+    diagnostics: dict
+
+    @property
+    def experiments(self) -> list[str]:
+        return list(self.meta.get("experiments", []))
+
+    @property
+    def wall_time_s(self) -> float:
+        """Summed driver wall time across the run's experiments."""
+        return float(sum(m.get("wall_time_s") or 0.0
+                         for m in self.manifests))
+
+
+def _write_json(path: str, payload) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+
+
+def _read_json(path: str):
+    with open(path, encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+class RunStore:
+    """The on-disk run archive rooted at ``root`` (``.repro/runs``)."""
+
+    def __init__(self, root: str = DEFAULT_ROOT) -> None:
+        self.root = root
+
+    # -- index ----------------------------------------------------------------
+
+    def _index_path(self) -> str:
+        return os.path.join(self.root, _INDEX)
+
+    def runs(self) -> list[dict]:
+        """Index entries, oldest first; missing index reads as empty."""
+        try:
+            payload = _read_json(self._index_path())
+        except FileNotFoundError:
+            return []
+        return list(payload.get("runs", []))
+
+    def _write_index(self, entries: list[dict]) -> None:
+        _write_json(self._index_path(),
+                    {"schema": INDEX_SCHEMA, "runs": entries})
+
+    # -- archiving ------------------------------------------------------------
+
+    def archive(self, results, tel=None, *, fast: bool = False,
+                seed: int | None = None, keep: int = DEFAULT_KEEP,
+                trace: bool = False) -> str:
+        """Write one archived run from experiment results; returns run_id.
+
+        ``results`` is a list of :class:`ExperimentResult`; ``tel`` the
+        telemetry session whose metrics snapshot (and optional trace)
+        the run carries.  Results without a manifest (telemetry was off
+        for them) get a minimal synthesized one, so the archive is
+        always diffable.  After writing, the index is pruned down to
+        ``keep`` runs (oldest directories deleted).
+        """
+        t0 = time.perf_counter()
+        run_id = new_run_id()
+        run_dir = os.path.join(self.root, run_id)
+        os.makedirs(run_dir, exist_ok=False)
+
+        manifests = []
+        diagnostics = {}
+        for result in results:
+            manifest = result.manifest
+            if manifest is None:
+                manifest = RunManifest(
+                    experiment=result.name, seed=seed, fast=fast,
+                    wall_time_s=result.wall_time_s or 0.0,
+                    diagnostics=dict(result.diagnostics),
+                    notes=list(result.notes))
+            manifests.append(manifest.to_dict())
+            diagnostics[result.name] = dict(result.diagnostics)
+        snapshot = tel.metrics.snapshot() if tel is not None else {}
+        meta = {
+            "run_id": run_id,
+            "experiments": [r.name for r in results],
+            "ok": all(r.ok for r in results),
+            "seed": seed,
+            "fast": fast,
+            "version": code_version(),
+            "created_unix": time.time(),
+        }
+        _write_json(os.path.join(run_dir, _MANIFEST), manifests)
+        _write_json(os.path.join(run_dir, _METRICS), wrap_snapshot(snapshot))
+        _write_json(os.path.join(run_dir, _DIAGNOSTICS), diagnostics)
+        _write_json(os.path.join(run_dir, _META), meta)
+        if trace and tel is not None:
+            tel.tracer.write_chrome_trace(os.path.join(run_dir, _TRACE))
+
+        entries = self.runs()
+        entries.append({k: meta[k] for k in
+                        ("run_id", "experiments", "ok", "seed", "fast",
+                         "version", "created_unix")})
+        self._write_index(entries)
+        self.prune(keep)
+
+        s = _state._active
+        if s is not None:
+            s.metrics.counter(names.STORE_RUNS_ARCHIVED).inc()
+            s.metrics.timer(names.STORE_ARCHIVE_SECONDS).observe(
+                time.perf_counter() - t0)
+        return run_id
+
+    def prune(self, keep: int = DEFAULT_KEEP) -> list[str]:
+        """Delete the oldest runs beyond ``keep``; returns removed ids."""
+        if keep < 1:
+            raise StoreError(f"keep must be >= 1, got {keep}")
+        entries = self.runs()
+        if len(entries) <= keep:
+            return []
+        drop, remain = entries[:-keep], entries[-keep:]
+        removed = []
+        for entry in drop:
+            run_dir = os.path.join(self.root, entry["run_id"])
+            shutil.rmtree(run_dir, ignore_errors=True)
+            removed.append(entry["run_id"])
+        self._write_index(remain)
+        s = _state._active
+        if s is not None and removed:
+            s.metrics.counter(names.STORE_RUNS_PRUNED).inc(len(removed))
+        return removed
+
+    # -- resolution and loading -----------------------------------------------
+
+    def resolve(self, spec: str) -> str:
+        """The run directory for a spec: id, id prefix, ``latest[~N]``,
+        or a directory path."""
+        if os.path.isdir(spec) and \
+                os.path.exists(os.path.join(spec, _MANIFEST)):
+            return spec
+        entries = self.runs()
+        if spec == "latest" or spec.startswith("latest~"):
+            back = 0
+            if spec.startswith("latest~"):
+                try:
+                    back = int(spec.split("~", 1)[1])
+                except ValueError:
+                    raise StoreError(f"bad run spec {spec!r}: want "
+                                     "latest~<integer>") from None
+            if back < 0 or back >= len(entries):
+                raise StoreError(
+                    f"run spec {spec!r} is out of range: the store at "
+                    f"{self.root!r} holds {len(entries)} run(s)")
+            return os.path.join(self.root,
+                                entries[len(entries) - 1 - back]["run_id"])
+        matches = [e["run_id"] for e in entries
+                   if e["run_id"] == spec or e["run_id"].startswith(spec)]
+        exact = [rid for rid in matches if rid == spec]
+        if exact:
+            return os.path.join(self.root, exact[0])
+        if len(matches) == 1:
+            return os.path.join(self.root, matches[0])
+        if len(matches) > 1:
+            raise StoreError(
+                f"run spec {spec!r} is ambiguous: matches {sorted(matches)}")
+        raise StoreError(
+            f"no archived run matches {spec!r} in {self.root!r} "
+            f"({len(entries)} run(s) indexed); want a run id (or unique "
+            "prefix), 'latest', 'latest~N', or a run directory path")
+
+    def load(self, spec: str) -> ArchivedRun:
+        """Load one archived run by spec (see :meth:`resolve`)."""
+        run_dir = self.resolve(spec)
+        try:
+            manifests = _read_json(os.path.join(run_dir, _MANIFEST))
+        except FileNotFoundError:
+            raise StoreError(
+                f"{run_dir!r} is not an archived run (no {_MANIFEST})"
+            ) from None
+        try:
+            meta = _read_json(os.path.join(run_dir, _META))
+        except FileNotFoundError:
+            meta = {}
+        try:
+            metrics = unwrap_snapshot(
+                _read_json(os.path.join(run_dir, _METRICS)))
+        except FileNotFoundError:
+            metrics = {}
+        try:
+            diagnostics = _read_json(os.path.join(run_dir, _DIAGNOSTICS))
+        except FileNotFoundError:
+            diagnostics = {}
+        return ArchivedRun(
+            run_id=meta.get("run_id", os.path.basename(run_dir.rstrip("/"))),
+            path=run_dir,
+            meta=meta,
+            manifests=list(manifests),
+            metrics=metrics,
+            diagnostics=diagnostics,
+        )
+
+
+__all__ = [
+    "ArchivedRun",
+    "RunStore",
+    "StoreError",
+    "DEFAULT_ROOT",
+    "DEFAULT_KEEP",
+    "INDEX_SCHEMA",
+]

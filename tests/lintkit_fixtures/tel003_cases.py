@@ -1,0 +1,13 @@
+"""Fixture for TEL003: literal metric names in the diagnostics layer."""
+from repro.obs import names
+
+BAD_COUNTER = "store.runs_archived"
+BAD_GATE = "resilience.worker.timeouts"
+GOOD_CONSTANT = names.STORE_RUNS_PRUNED
+NOT_A_METRIC = "index.json"
+PROSE = "runs archived so far"
+
+
+def helper():
+    """Docstring mentioning store.runs_archived is exempt."""
+    return "diag.fits"

@@ -41,6 +41,30 @@ class TestGatedCounters:
             "desim.events_processed": 5.0,
         }  # perf.cache.* excluded, gauges excluded, .measurements not gated
 
+    def test_schema_wrapped_snapshot(self):
+        # The current perf_record form: metrics carry snapshot_schema +
+        # instruments (repro.obs.metrics.wrap_snapshot).
+        rec = record()
+        rec["metrics"] = {"snapshot_schema": 1,
+                          "instruments": rec["metrics"]}
+        assert cr.gated_counters(rec) == {"qnet.mva.exact.calls": 100.0}
+
+    def test_wrapped_fresh_vs_unwrapped_baseline(self):
+        fresh = record(calls=102.0)
+        fresh["metrics"] = {"snapshot_schema": 1,
+                            "instruments": fresh["metrics"]}
+        failures, _ = cr.compare_records(record(), fresh)
+        assert failures == []
+        fresh = record(calls=500.0)
+        fresh["metrics"] = {"snapshot_schema": 1,
+                            "instruments": fresh["metrics"]}
+        failures, _ = cr.compare_records(record(), fresh)
+        assert len(failures) == 1
+
+    def test_wrapped_empty_instruments(self):
+        assert cr.gated_counters(
+            {"metrics": {"snapshot_schema": 1, "instruments": None}}) == {}
+
 
 def old_record(calls=100.0, wall=1.0):
     """A record in the pre-environment-block schema: no ``environment``

@@ -1,0 +1,204 @@
+"""Tests of the fit-diagnostics layer (repro.obs.diag).
+
+The acceptance bar: diagnostics are pure reporting — attaching them must
+never change a fitted value, and the R² they archive must match the
+printed Table IV statistic bit-for-bit.
+"""
+
+import json
+import math
+
+import pytest
+
+from repro import obs
+from repro.core import (
+    colinearity_fit,
+    colinearity_r2,
+    fit_model,
+    model_diagnostics,
+    paper_fit_points,
+)
+from repro.core.regression import linear_fit
+from repro.machine import all_machines
+from repro.obs.diag import (
+    error_attribution,
+    linear_diagnostics,
+    one_param_diagnostics,
+    t_quantile,
+)
+from repro.runtime.measurement import MeasurementRun
+
+
+class TestTQuantile:
+    def test_exact_small_df(self):
+        # df=1 (Cauchy) and df=2 have closed forms; the implementation
+        # must be exact there.
+        assert t_quantile(0.975, 1) == pytest.approx(12.706204736, rel=1e-9)
+        assert t_quantile(0.975, 2) == pytest.approx(4.302652730, rel=1e-9)
+
+    def test_cornish_fisher_accuracy(self):
+        # Reference values (scipy.stats.t.ppf); the expansion is quoted
+        # at ~1e-4 absolute error.
+        known = {5: 2.570581836, 10: 2.228138852, 30: 2.042272456,
+                 100: 1.983971519}
+        for df, expected in known.items():
+            assert t_quantile(0.975, df) == pytest.approx(expected, abs=5e-4)
+
+    def test_symmetry(self):
+        for df in (1, 2, 7, 23):
+            assert t_quantile(0.025, df) == pytest.approx(
+                -t_quantile(0.975, df), rel=1e-12)
+
+    def test_degenerate_inputs(self):
+        assert math.isnan(t_quantile(0.975, 0))
+        assert math.isnan(t_quantile(0.975, -3))
+        assert math.isnan(t_quantile(0.0, 5))
+        assert math.isnan(t_quantile(1.0, 5))
+
+
+class TestLinearDiagnostics:
+    def test_exact_fit(self):
+        xs = [1.0, 2.0, 3.0, 4.0, 5.0]
+        ys = [2.0 * x + 1.0 for x in xs]
+        d = linear_diagnostics(xs, ys, slope=2.0, intercept=1.0)
+        assert d.kind == "ols"
+        assert d.r2 == 1.0
+        assert d.rmse == 0.0
+        assert d.max_abs_residual == 0.0
+        assert all(e == 0.0 for e in d.residuals)
+        assert d.influential == ()
+
+    def test_quotes_caller_r2_verbatim(self):
+        d = linear_diagnostics([1, 2, 3], [1.0, 2.1, 2.9],
+                               slope=0.95, intercept=0.1, r2=0.123456789)
+        assert d.r2 == 0.123456789
+
+    def test_noisy_fit_statistics(self):
+        xs = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0]
+        noise = [0.05, -0.04, 0.02, -0.05, 0.03, -0.01]
+        ys = [2.0 * x + 1.0 + e for x, e in zip(xs, noise)]
+        d = linear_diagnostics(xs, ys, slope=2.0, intercept=1.0)
+        assert 0.99 < d.r2 < 1.0
+        assert d.adjusted_r2 < d.r2
+        assert d.rmse > 0.0
+        assert d.max_abs_residual == pytest.approx(0.05)
+        # The CI brackets the true slope with a finite width.
+        slope = d.param("slope")
+        assert slope.ci_low < 2.0 < slope.ci_high
+        assert math.isfinite(slope.stderr)
+        with pytest.raises(KeyError):
+            d.param("nonexistent")
+
+    def test_two_point_fit_has_no_uncertainty(self):
+        # dof = 0: the line is exactly determined, widths are undefined.
+        d = linear_diagnostics([1.0, 2.0], [3.0, 5.0],
+                               slope=2.0, intercept=1.0)
+        assert d.dof == 0
+        assert math.isnan(d.adjusted_r2)
+        assert math.isnan(d.param("slope").stderr)
+
+    def test_to_dict_is_json_safe(self):
+        d = linear_diagnostics([1.0, 2.0], [3.0, 5.0],
+                               slope=2.0, intercept=1.0)
+        payload = json.loads(json.dumps(d.to_dict()))
+        assert payload["adjusted_r2"] is None  # nan -> None
+        assert payload["params"]["slope"]["stderr"] is None
+        assert payload["r2"] == 1.0
+        assert payload["xs"] == [1.0, 2.0]
+
+
+class TestOneParamDiagnostics:
+    def test_exact_through_origin(self):
+        design = [1.0, 2.0, 3.0]
+        ys = [2.0 * a for a in design]
+        d = one_param_diagnostics(design, ys, value=2.0, param_name="rho")
+        assert d.kind == "through_origin"
+        assert d.r2 == 1.0
+        assert d.params[0].name == "rho"
+
+    def test_r2_judged_at_reported_value(self):
+        # A clamped coefficient (rho floored at 0) is judged as used:
+        # uncentered R² at value=0 is exactly 0.
+        design = [1.0, 2.0, 3.0]
+        ys = [2.0 * a for a in design]
+        d = one_param_diagnostics(design, ys, value=0.0, param_name="rho")
+        assert d.r2 == 0.0
+
+    def test_dominant_point_is_flagged(self):
+        design = [1.0, 1.0, 10.0]
+        ys = [2.0, 2.1, 19.5]
+        d = one_param_diagnostics(design, ys, value=1.97, param_name="rho")
+        assert 10.0 in d.influential
+
+    def test_xs_labels_override_design(self):
+        d = one_param_diagnostics([5.0, 9.0], [10.0, 18.0], value=2.0,
+                                  param_name="delta_c", xs=[4, 8])
+        assert d.xs == (4.0, 8.0)
+
+
+class TestErrorAttribution:
+    def test_shares_sum_to_one_and_sort_descending(self):
+        rows = error_attribution(["a", "b", "c"],
+                                 [1.0, 2.0, 3.0], [1.1, 2.4, 3.2])
+        assert [r["point"] for r in rows] == ["b", "c", "a"]
+        assert sum(r["share"] for r in rows) == pytest.approx(1.0)
+
+    def test_zero_total_error(self):
+        rows = error_attribution([1, 2], [1.0, 2.0], [1.0, 2.0])
+        assert all(r["share"] == 0.0 for r in rows)
+
+    def test_misaligned_inputs_raise(self):
+        with pytest.raises(ValueError):
+            error_attribution([1, 2], [1.0], [1.0])
+
+
+class TestModelDiagnosticsExposure:
+    """Every fitted paper model carries FitDiagnostics, unchanged values."""
+
+    @staticmethod
+    def _fit(machine):
+        run = MeasurementRun("CG", "C", machine)
+        cpp = machine.processors[0].n_logical_cores
+        pts = sorted(set(list(range(1, cpp + 1))
+                         + paper_fit_points(machine)))
+        sweep = {n: run.measure(n) for n in pts}
+        return sweep, fit_model(machine, sweep), cpp
+
+    def test_table4_r2_is_bit_identical(self):
+        # Acceptance: diagnostics R² matches the printed Table IV value
+        # to >= 6 decimals; by construction it is the same float.
+        machine = all_machines()[0]
+        sweep, _, cpp = self._fit(machine)
+        fit = colinearity_fit(sweep, max_n=cpp)
+        assert fit.r2 == colinearity_r2(sweep, max_n=cpp)
+        assert fit.diagnostics is not None
+        assert fit.diagnostics.r2 == fit.r2
+
+    def test_linear_fit_equality_ignores_diagnostics(self):
+        # The diagnostics field is compare=False: fits that agree on the
+        # numbers stay equal even though nan lives inside diagnostics.
+        a = linear_fit([1.0, 2.0, 3.0], [1.0, 2.0, 3.0])
+        b = linear_fit([1.0, 2.0, 3.0], [1.0, 2.0, 3.0])
+        assert a == b
+
+    def test_every_machine_model_exposes_diagnostics(self):
+        for machine in all_machines():
+            _, model, _ = self._fit(machine)
+            diag = model_diagnostics(model)
+            assert set(diag["params"]) >= {"mu", "ell", "r"}
+            quality = diag["quality"]
+            assert 0.0 <= quality["r2"] <= 1.0
+            assert "inv_c" in diag["fits"]
+            # UMA models carry the Delta C fit, NUMA models the rho fit.
+            assert ("delta_c" in diag["fits"]) != ("rho" in diag["fits"])
+            json.dumps(diag)  # archived form must serialize
+
+    def test_diag_counters_register_under_telemetry(self):
+        obs.enable(fresh=True)
+        try:
+            linear_diagnostics([1.0, 2.0, 3.0], [1.0, 2.0, 3.1],
+                               slope=1.05, intercept=-0.1)
+            snapshot = obs.session().metrics.snapshot()
+        finally:
+            obs.disable()
+        assert snapshot["diag.fits"]["value"] == 1.0

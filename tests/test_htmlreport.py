@@ -1,0 +1,92 @@
+"""Tests of the self-contained HTML fit report (repro.obs.htmlreport)."""
+
+from repro.experiments import run_experiment
+from repro.obs.htmlreport import render_html, write_html
+
+#: External-asset markers that must never appear: the report is one file.
+FORBIDDEN = ("<script", "<link", "src=", "@import", "url(")
+
+
+def sample_diagnostics():
+    return {
+        "fig5": {
+            "machine_a": {
+                "params": {"mu": 0.005, "ell": 0.0002, "r": 2.0e9},
+                "quality": {"r2": 0.9991, "mean_relative_error": 0.06},
+                "fits": {"inv_c": {
+                    "xs": [1.0, 2.0, 4.0, 8.0],
+                    "residuals": [1e-5, -2e-5, 1.5e-5, -4e-6],
+                    "influential": [8.0],
+                    "r2": 0.9991,
+                }},
+                "validation": {
+                    "core_counts": [1, 2, 4, 8],
+                    "measured_omega": [0.0, 0.5, 1.4, 3.1],
+                    "predicted_omega": [0.0, 0.45, 1.5, 3.0],
+                    "measured_cycles": [1e9, 1.5e9, 2.4e9, 4.1e9],
+                    "predicted_cycles": [1e9, 1.45e9, 2.5e9, 4.0e9],
+                },
+                "error_attribution": [
+                    {"point": 8, "abs_error": 0.1, "share": 0.5},
+                    {"point": 4, "abs_error": 0.1, "share": 0.5},
+                    {"point": 2, "abs_error": 0.05, "share": 0.0},
+                ],
+            },
+        },
+        "table4": {
+            "machine_a": {
+                "EP.C": {"quality": {"r2": 0.85, "paper_r2": 0.81}},
+                "CG.C": {"quality": {"r2": 0.99, "paper_r2": 1.00}},
+            },
+        },
+    }
+
+
+class TestRenderHtml:
+    def test_at_least_three_inline_svg_charts(self):
+        page = render_html(sample_diagnostics())
+        assert page.count("<svg") >= 3
+        assert page.count("</svg>") == page.count("<svg")
+
+    def test_no_external_assets(self):
+        page = render_html(sample_diagnostics())
+        for marker in FORBIDDEN:
+            assert marker not in page, marker
+
+    def test_labels_are_escaped(self):
+        diag = sample_diagnostics()
+        diag["fig5"]["<b>evil</b>"] = diag["fig5"].pop("machine_a")
+        page = render_html(diag)
+        assert "<b>evil</b>" not in page
+        assert "&lt;b&gt;evil&lt;/b&gt;" in page
+
+    def test_empty_diagnostics_still_renders(self):
+        page = render_html({})
+        assert "<html" in page
+        assert "No fit diagnostics" in page
+
+    def test_meta_and_run_id_shown(self):
+        page = render_html(sample_diagnostics(),
+                           meta={"run_id": "abc123", "fast": True})
+        assert "abc123" in page
+
+
+class TestWriteHtml:
+    def test_writes_single_file_and_counts_charts(self, tmp_path):
+        out = tmp_path / "report.html"
+        charts = write_html(str(out), sample_diagnostics())
+        assert charts >= 3
+        content = out.read_text(encoding="utf-8")
+        assert content.count("<svg") == charts
+        assert list(tmp_path.iterdir()) == [out]  # no side-car assets
+
+    def test_real_fig5_diagnostics_chart_count(self, tmp_path):
+        result = run_experiment("fig5", fast=True)
+        out = tmp_path / "fig5.html"
+        charts = write_html(str(out), {"fig5": result.diagnostics})
+        # Fast mode runs two machines; each contributes C(n), residual
+        # and attribution charts.
+        assert charts >= 6
+        page = out.read_text(encoding="utf-8")
+        for marker in FORBIDDEN:
+            assert marker not in page, marker

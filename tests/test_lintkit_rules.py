@@ -121,6 +121,22 @@ class TestTelemetryRules:
         assert visible_lines(findings, "TEL001") == []
         assert visible_lines(findings, "TEL002") == []
 
+    def test_tel003_flags_catalogue_shaped_literals_in_scope(self):
+        findings = run_fixture("tel003_cases.py",
+                               relpath="src/repro/obs/store.py")
+        # The two module-level literals and the one in the function
+        # body; the docstring mention, the names.* constant, the
+        # unknown-family file name and the prose string stay legal.
+        assert visible_lines(findings, "TEL003") == [4, 5, 13]
+
+    def test_tel003_only_runs_on_the_diagnostics_layer(self):
+        # Same fixture outside repro/obs/{diag,store,drift,...}: silent.
+        findings = run_fixture("tel003_cases.py")
+        assert visible_lines(findings, "TEL003") == []
+        core_obs = run_fixture("tel003_cases.py",
+                               relpath="src/repro/obs/metrics.py")
+        assert visible_lines(core_obs, "TEL003") == []
+
 
 class TestRuleMetadata:
     def test_every_family_is_registered(self):

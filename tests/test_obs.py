@@ -245,6 +245,102 @@ class TestManifest:
         assert obs.code_version()
 
 
+class TestManifestDiff:
+    """Direct RunManifest.diff coverage: schema, missing fields, seeds."""
+
+    def test_cross_schema_v1_record_loads_and_diffs(self):
+        # A v1 record (written before the diagnostics block existed)
+        # must load with empty diagnostics and diff cleanly against v2.
+        v1 = obs.RunManifest.from_dict(
+            {"experiment": "fig5", "schema": 1, "seed": 7})
+        assert v1.diagnostics == {}
+        v2 = obs.RunManifest(
+            experiment="fig5", seed=7,
+            diagnostics={"m": {"quality": {"r2": 0.99}}})
+        d = v1.diff(v2)
+        assert d["schema"] == (1, obs.MANIFEST_SCHEMA)
+        assert d["diagnostics"] == ({}, {"m": {"quality": {"r2": 0.99}}})
+
+    def test_missing_field_in_old_record_reads_as_default(self):
+        old = obs.RunManifest.from_dict({"experiment": "fig5"})
+        fresh = obs.RunManifest(
+            experiment="fig5",
+            metrics={"a.calls": {"kind": "counter", "value": 1}})
+        d = old.diff(fresh)
+        assert d["metrics"] == (
+            {}, {"a.calls": {"kind": "counter", "value": 1}})
+        assert "notes" not in d  # both default-empty
+
+    def test_same_experiment_different_seed_only(self):
+        a = obs.RunManifest(experiment="table2", seed=1, wall_time_s=0.5)
+        b = obs.RunManifest(experiment="table2", seed=99, wall_time_s=8.0)
+        # run_id, timestamps and wall time differ by construction and
+        # are ignored; the seed is the only reported difference.
+        assert a.diff(b) == {"seed": (1, 99)}
+
+    def test_diff_is_empty_for_equal_payloads(self):
+        a = obs.RunManifest(experiment="table2", seed=1)
+        b = obs.RunManifest(
+            experiment="table2", seed=1, run_id=a.run_id,
+            version=a.version, started_unix=a.started_unix)
+        assert a.diff(b) == {}
+
+
+# -- empty-series guards and snapshot schema ----------------------------------
+
+class TestEmptySeriesGuard:
+    def test_empty_histogram_statistics_are_nan(self):
+        import math
+
+        h = Histogram("a.sizes")
+        assert math.isnan(h.mean)
+        assert math.isnan(h.quantile(0.5))
+
+    def test_empty_summary_uses_none_not_nan(self):
+        h = Histogram("a.sizes")
+        s = h.summary()
+        assert s["count"] == 0
+        assert s["mean"] is None and s["p50"] is None and s["p99"] is None
+        json.dumps(s)  # archived snapshots must stay valid JSON
+
+    def test_warning_counter_increments_under_telemetry(self):
+        tel = obs.enable(fresh=True)
+        h = tel.metrics.histogram("a.sizes")
+        _ = h.mean
+        _ = h.quantile(0.99)
+        snap = tel.metrics.snapshot()
+        assert snap["obs.empty_series_warnings"]["value"] == 2.0
+        # Serializing the empty histogram itself must not warn again.
+        tel.metrics.snapshot()
+        assert tel.metrics.snapshot()[
+            "obs.empty_series_warnings"]["value"] == 2.0
+
+    def test_no_counter_without_session(self):
+        h = Histogram("a.sizes")
+        import math
+        assert math.isnan(h.mean)  # no session: nan, no side effects
+        assert obs.session() is None
+
+
+class TestSnapshotSchema:
+    def test_wrap_and_unwrap_round_trip(self):
+        reg = MetricsRegistry()
+        reg.counter("a.calls").inc(3)
+        snap = reg.snapshot()
+        wrapped = obs.wrap_snapshot(snap)
+        assert wrapped["snapshot_schema"] == obs.SNAPSHOT_SCHEMA
+        assert obs.unwrap_snapshot(wrapped) == snap
+
+    def test_unwrap_tolerates_legacy_and_empty_forms(self):
+        legacy = {"a.calls": {"kind": "counter", "value": 1.0}}
+        assert obs.unwrap_snapshot(legacy) == legacy
+        assert obs.unwrap_snapshot(None) == {}
+
+    def test_unwrap_rejects_newer_schema(self):
+        with pytest.raises(ValueError):
+            obs.unwrap_snapshot({"snapshot_schema": 999, "instruments": {}})
+
+
 # -- session state and helpers ------------------------------------------------
 
 class TestSessionState:

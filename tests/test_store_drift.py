@@ -1,0 +1,230 @@
+"""Tests of the run archive (repro.obs.store), drift detection
+(repro.obs.drift), the doctor check-up and the diff CLI."""
+
+import copy
+import json
+import os
+
+import pytest
+
+from repro import obs
+from repro.cli import main
+from repro.experiments import run_experiment
+from repro.obs.drift import DriftThresholds, compare_runs
+from repro.obs.store import ArchivedRun, RunStore, StoreError
+
+
+@pytest.fixture(scope="module")
+def archived_store(tmp_path_factory):
+    """One store holding two archives of the same fig5 fast run."""
+    root = str(tmp_path_factory.mktemp("runs"))
+    obs.enable(fresh=True)
+    try:
+        result = run_experiment("fig5", fast=True)
+        tel = obs.session()
+        store = RunStore(root)
+        first = store.archive([result], tel, fast=True, seed=None)
+        second = store.archive([result], tel, fast=True, seed=None)
+    finally:
+        obs.disable()
+    return store, first, second
+
+
+def synthetic_run(run_id="r1", experiments=("fig5",), counters=None,
+                  diagnostics=None, wall=1.0):
+    metrics = {}
+    for name, value in (counters or {}).items():
+        metrics[name] = {"kind": "counter", "value": value}
+    return ArchivedRun(
+        run_id=run_id,
+        path="",
+        meta={"run_id": run_id, "experiments": list(experiments)},
+        manifests=[{"experiment": e, "wall_time_s": wall}
+                   for e in experiments],
+        metrics=metrics,
+        diagnostics=diagnostics or {},
+    )
+
+
+class TestRunStore:
+    def test_archive_layout_and_load(self, archived_store):
+        store, first, _ = archived_store
+        run_dir = os.path.join(store.root, first)
+        for fname in ("manifest.json", "metrics.json", "diagnostics.json",
+                      "meta.json"):
+            assert os.path.exists(os.path.join(run_dir, fname))
+        run = store.load(first)
+        assert run.run_id == first
+        assert run.experiments == ["fig5"]
+        assert run.wall_time_s > 0.0
+        assert "fig5" in run.diagnostics
+        # Metrics come back unwrapped (instrument dict, not envelope).
+        assert all(isinstance(v, dict) for v in run.metrics.values())
+        assert "snapshot_schema" not in run.metrics
+
+    def test_metrics_file_is_schema_wrapped(self, archived_store):
+        store, first, _ = archived_store
+        with open(os.path.join(store.root, first, "metrics.json"),
+                  encoding="utf-8") as fh:
+            payload = json.load(fh)
+        assert payload["snapshot_schema"] == 1
+        assert "instruments" in payload
+
+    def test_resolve_latest_and_prefix(self, archived_store):
+        store, first, second = archived_store
+        assert store.resolve("latest").endswith(second)
+        assert store.resolve("latest~1").endswith(first)
+        assert store.resolve(first[:6]).endswith(first)
+        assert store.resolve(os.path.join(store.root, first)) \
+            == os.path.join(store.root, first)
+
+    def test_resolve_errors(self, archived_store):
+        store, _, _ = archived_store
+        with pytest.raises(StoreError, match="out of range"):
+            store.resolve("latest~99")
+        with pytest.raises(StoreError, match="latest~<integer>"):
+            store.resolve("latest~x")
+        with pytest.raises(StoreError, match="no archived run"):
+            store.resolve("doesnotexist")
+
+    def test_prune_drops_oldest(self, tmp_path):
+        store = RunStore(str(tmp_path / "runs"))
+        ids = [store.archive([], None) for _ in range(4)]
+        removed = store.prune(keep=2)
+        assert removed == ids[:2]
+        assert [e["run_id"] for e in store.runs()] == ids[2:]
+        assert not os.path.exists(os.path.join(store.root, ids[0]))
+        with pytest.raises(StoreError):
+            store.prune(keep=0)
+
+    def test_missing_store_is_empty(self, tmp_path):
+        store = RunStore(str(tmp_path / "nowhere"))
+        assert store.runs() == []
+        with pytest.raises(StoreError):
+            store.load("latest")
+
+
+class TestDrift:
+    def test_identical_archives_have_zero_drift(self, archived_store):
+        store, first, second = archived_store
+        report = compare_runs(store.load(first), store.load(second))
+        assert report.exceeded == []
+        assert report.exit_code() == 0
+        assert "no drift" in report.render()
+
+    def test_param_perturbation_detected(self, archived_store):
+        store, first, second = archived_store
+        a = store.load(first)
+        b = store.load(second)
+        b.diagnostics = copy.deepcopy(b.diagnostics)
+        machine = sorted(b.diagnostics["fig5"])[0]
+        b.diagnostics["fig5"][machine]["params"]["mu"] *= 1.01
+        report = compare_runs(a, b)
+        assert report.exit_code() == 1
+        paths = [f.path for f in report.exceeded]
+        assert f"fig5/{machine}/params/mu" in paths
+        rendered = report.render()
+        assert "DRIFT DETECTED" in rendered
+        assert "params/mu" in rendered
+
+    def test_quality_gate_is_absolute(self):
+        a = synthetic_run(diagnostics={"fig5": {"m": {
+            "quality": {"r2": 0.9990}}}})
+        b = synthetic_run("r2", diagnostics={"fig5": {"m": {
+            "quality": {"r2": 0.9992}}}})
+        assert compare_runs(a, b).exit_code() == 0
+        c = synthetic_run("r3", diagnostics={"fig5": {"m": {
+            "quality": {"r2": 0.9960}}}})
+        report = compare_runs(a, c)
+        assert report.exit_code() == 1
+        assert report.exceeded[0].section == "quality"
+
+    def test_counter_gate_and_exclusions(self):
+        a = synthetic_run(counters={"qnet.mva.exact.calls": 100.0,
+                                    "perf.cache.flow.hits": 5.0,
+                                    "runtime.measurements": 3.0})
+        b = synthetic_run("r2",
+                          counters={"qnet.mva.exact.calls": 110.0,
+                                    "perf.cache.flow.hits": 9000.0,
+                                    "runtime.measurements": 9000.0})
+        assert compare_runs(a, b).exit_code() == 0  # 10% < 25%
+        c = synthetic_run("r3", counters={"qnet.mva.exact.calls": 200.0})
+        report = compare_runs(a, c)
+        # 2x growth exceeds, and perf.cache/.measurements never gate.
+        exceeded = {f.path for f in report.exceeded}
+        assert "qnet.mva.exact.calls" in exceeded
+        assert not any("perf.cache" in p for p in exceeded)
+
+    def test_missing_counter_is_drift(self):
+        a = synthetic_run(counters={"qnet.mva.exact.calls": 100.0})
+        b = synthetic_run("r2", counters={})
+        report = compare_runs(a, b)
+        assert report.exit_code() == 1
+
+    def test_structure_mismatch(self):
+        a = synthetic_run(experiments=("fig5",))
+        b = synthetic_run("r2", experiments=("fig5", "fig6"))
+        report = compare_runs(a, b)
+        assert any(f.section == "structure" for f in report.exceeded)
+        assert "experiment sets differ" in report.render()
+
+    def test_wall_reported_not_gated_by_default(self):
+        a = synthetic_run(wall=1.0)
+        b = synthetic_run("r2", wall=10.0)
+        assert compare_runs(a, b).exit_code() == 0
+        gated = compare_runs(a, b, DriftThresholds(gate_wall=True))
+        assert gated.exit_code() == 1
+
+    def test_threshold_override(self):
+        a = synthetic_run(diagnostics={"fig5": {"m": {
+            "params": {"mu": 1.0}}}})
+        b = synthetic_run("r2", diagnostics={"fig5": {"m": {
+            "params": {"mu": 1.01}}}})
+        assert compare_runs(a, b).exit_code() == 1
+        loose = compare_runs(a, b, DriftThresholds(params_rel=0.05))
+        assert loose.exit_code() == 0
+
+
+class TestDiffCli:
+    def test_diff_identical_exits_zero(self, archived_store, capsys):
+        store, first, second = archived_store
+        code = main(["diff", first, second, "--store", store.root])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "no drift" in out
+
+    def test_diff_defaults_to_last_two_runs(self, archived_store, capsys):
+        store, _, _ = archived_store
+        assert main(["diff", "--store", store.root]) == 0
+        capsys.readouterr()
+
+    def test_diff_unknown_run_exits_two(self, archived_store, capsys):
+        store, _, _ = archived_store
+        code = main(["diff", "nope", "latest", "--store", store.root])
+        assert code == 2
+        assert "no archived run" in capsys.readouterr().err
+
+    def test_diff_empty_store_exits_two(self, tmp_path, capsys):
+        code = main(["diff", "--store", str(tmp_path / "empty")])
+        assert code == 2
+        capsys.readouterr()
+
+
+class TestDoctor:
+    def test_doctor_smoke(self, capsys):
+        code = main(["doctor", "fig5"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "repro doctor" in out
+        assert "experiment(s) completed" in out
+
+    def test_diagnose_reports_fit_walk(self):
+        from repro.obs.doctor import diagnose
+
+        report = diagnose(["fig5"], fast=True)
+        assert report.exit_code() == 0
+        assert report.failed == []
+        # An impossible floor flags every fit as low-R².
+        strict = diagnose(["fig5"], fast=True, r2_floor=1.5)
+        assert strict.low_r2
+        assert strict.exit_code() == 0  # advisory, not fatal
