@@ -13,6 +13,10 @@ the run regressed:
 * **Wall time** — gated with the same threshold, but *only* when the
   fresh record and the baseline carry the same ``environment.hostname``;
   cross-machine wall times are reported as warnings instead of failures.
+* **Per-cell solve latency** — the ``latency.*`` p99 percentiles (flow
+  solves, MVA solves/batches) are gated like wall time: same threshold,
+  same-host only.  Baselines written before the ``latency`` block
+  existed produce a warning, never a failure.
 
 Usage::
 
@@ -86,6 +90,42 @@ def gated_counters(record: dict) -> dict[str, float]:
     return out
 
 
+def latency_p99s(record: dict) -> dict[str, float]:
+    """The ``{series: p99_seconds}`` a record's latency SLOs are judged on.
+
+    Prefers the dedicated ``latency`` block (current records); falls
+    back to deriving from ``latency.*`` instrument summaries in the
+    ``metrics`` block, so records written between the latency
+    instruments and the block landing still gate.  Records with
+    neither — legacy baselines — return empty, which downgrades the
+    latency gate to a warning.
+    """
+    block = record.get("latency")
+    out: dict[str, float] = {}
+    if isinstance(block, dict):
+        for key, summary in block.items():
+            if not isinstance(summary, dict):
+                continue
+            try:
+                out[key] = float(summary["p99"])
+            except (KeyError, TypeError, ValueError):
+                continue
+        return out
+    metrics = record.get("metrics") or {}
+    if isinstance(metrics, dict) and "snapshot_schema" in metrics:
+        metrics = metrics.get("instruments") or {}
+    if not isinstance(metrics, dict):
+        return out
+    for key, summary in metrics.items():
+        if not key.startswith("latency.") or not isinstance(summary, dict):
+            continue
+        try:
+            out[key] = float(summary["p99"])
+        except (KeyError, TypeError, ValueError):
+            continue
+    return out
+
+
 def _same_host(baseline: dict, fresh: dict) -> bool:
     """True only when both records carry the same non-null hostname.
 
@@ -142,11 +182,35 @@ def compare_records(baseline: dict, fresh: dict,
 
     base_wall = baseline.get("wall_time_s")
     fresh_wall = fresh.get("wall_time_s")
+    same_host = _same_host(baseline, fresh)
     if base_wall and fresh_wall:
         ratio = fresh_wall / base_wall
         line = (f"{name}: wall time {base_wall:.3f}s -> {fresh_wall:.3f}s "
                 f"({ratio:.2f}x)")
-        if not _same_host(baseline, fresh):
+        if not same_host:
+            warnings.append(line + " [different host: not gated]")
+        elif ratio > limit:
+            failures.append(line + f" > {limit:.2f}x allowed")
+
+    base_lat = latency_p99s(baseline)
+    fresh_lat = latency_p99s(fresh)
+    if not base_lat and fresh_lat:
+        warnings.append(
+            f"{name}: baseline predates latency percentiles; commit a "
+            "refreshed record to start gating p99")
+    for key, base_p99 in sorted(base_lat.items()):
+        fresh_p99 = fresh_lat.get(key)
+        if fresh_p99 is None:
+            warnings.append(
+                f"{name}: latency series {key} missing from fresh record "
+                f"(baseline p99 {base_p99:.4g}s)")
+            continue
+        if base_p99 <= 0.0:
+            continue
+        ratio = fresh_p99 / base_p99
+        line = (f"{name}: {key} p99 {base_p99:.4g}s -> {fresh_p99:.4g}s "
+                f"({ratio:.2f}x)")
+        if not same_host:
             warnings.append(line + " [different host: not gated]")
         elif ratio > limit:
             failures.append(line + f" > {limit:.2f}x allowed")

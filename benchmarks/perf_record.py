@@ -60,9 +60,39 @@ def record_filename(name: str, fast: bool = False) -> str:
     return f"BENCH_{name}_fast.json" if fast else f"BENCH_{name}.json"
 
 
+#: Instrument-name prefix of the per-cell solve-latency histograms.
+LATENCY_PREFIX = "latency."
+
+
+def latency_block(snapshot: dict) -> dict:
+    """Per-cell latency percentiles distilled from a metrics snapshot.
+
+    One entry per ``latency.*`` histogram/timer series:
+    ``{count, p50, p95, p99}`` in seconds — the SLO view the regression
+    gate judges, separated from the full ``metrics`` block so older
+    gate versions and human diffs need not dig through instrument
+    summaries.
+    """
+    out: dict[str, dict] = {}
+    for key, summary in snapshot.items():
+        if not key.startswith(LATENCY_PREFIX):
+            continue
+        if not isinstance(summary, dict) or \
+                summary.get("kind") not in ("histogram", "timer"):
+            continue
+        out[key] = {
+            "count": summary.get("count", 0),
+            "p50": summary.get("p50"),
+            "p95": summary.get("p95"),
+            "p99": summary.get("p99"),
+        }
+    return out
+
+
 def build_record(name: str, result, wall_time_s: float, tel,
                  fast: bool = False) -> dict:
     """Assemble the serializable perf record for one experiment run."""
+    snapshot = tel.metrics.snapshot()
     return {
         "benchmark": name,
         "fast": fast,
@@ -72,7 +102,8 @@ def build_record(name: str, result, wall_time_s: float, tel,
         "recorded_unix": time.time(),
         "wall_time_s": wall_time_s,
         "phase_timings": dict(result.phase_timings),
-        "metrics": obs.wrap_snapshot(tel.metrics.snapshot()),
+        "latency": latency_block(snapshot),
+        "metrics": obs.wrap_snapshot(snapshot),
         "notes": list(result.notes),
     }
 

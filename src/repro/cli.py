@@ -14,8 +14,13 @@ Commands
     1, siblings keep their results) with optional ``--retries N`` and
     ``--timeout SEC`` budgets — see docs/RESILIENCE.md.
 ``repro profile <experiment> [--fast]``
-    Run one experiment with telemetry on and print the sorted
-    span-timing and metrics tables.
+    Run one experiment with telemetry and the deterministic profiler on
+    and print the sorted span-timing, metrics and hot-path tables.
+``repro hotspots <experiment> [--fast] [--top N] [--collapsed OUT] [--flame OUT]``
+    Profile one experiment and rank the hottest ``repro.*`` functions by
+    exclusive time, with the subsystem taxonomy rollup.  ``--collapsed``
+    writes flamegraph.pl-compatible collapsed stacks; ``--flame`` writes
+    a standalone SVG flame chart.
 ``repro report [--fast] [--resume] [--html OUT] [--only EXP] [--from-run SPEC]``
     Run every experiment and write EXPERIMENTS.md (paper vs measured).
     ``--resume`` checkpoints completed experiments so an interrupted or
@@ -53,6 +58,11 @@ Telemetry flags (see docs/OBSERVABILITY.md)
     Print the metrics summary table after the run.
 ``--manifest PATH``
     Write the structured run manifest(s) as JSON.
+``--log PATH``
+    Write the structured JSONL event log of the run.
+``--serve-metrics PORT``
+    Serve live ``/metrics``, ``/healthz`` and ``/events`` JSON endpoints
+    on 127.0.0.1:PORT while the run executes (0 picks a free port).
 ``--version``
     Print the package version and exit.
 """
@@ -70,7 +80,8 @@ from repro.experiments import available_experiments, run_experiment
 _COMMANDS: dict[str, str] = {
     "list": "show available experiments and commands",
     "all": "run every experiment",
-    "profile": "run one experiment and print span/metric summaries",
+    "profile": "run one experiment and print span/metric/hot-path summaries",
+    "hotspots": "profile one experiment and rank its hottest functions",
     "report": "run everything and write EXPERIMENTS.md",
     "calibrate": "regenerate the shipped calibration table",
     "topology": "print the simulated testbed topologies",
@@ -125,20 +136,38 @@ def _cmd_report(args) -> int:
               f"{args.html} ({charts} charts)")
         return 0
 
+    profiler = obs.Profiler() if args.profile else None
+    if profiler is not None and args.jobs > 1:
+        print("repro report: --profile profiles the coordinating process "
+              "only; use --jobs 1 for full attribution", file=sys.stderr)
+
     if args.only:
         from repro.experiments import run_experiments
         from repro.obs.htmlreport import write_html
+        from repro.obs.prof import profile_payload
 
-        results = run_experiments(args.only, fast=args.fast, rng=args.seed,
-                                  jobs=args.jobs, timeout_s=args.timeout,
-                                  retries=args.retries)
+        if profiler is not None:
+            with profiler:
+                results = run_experiments(
+                    args.only, fast=args.fast, rng=args.seed,
+                    jobs=args.jobs, timeout_s=args.timeout,
+                    retries=args.retries)
+        else:
+            results = run_experiments(args.only, fast=args.fast,
+                                      rng=args.seed, jobs=args.jobs,
+                                      timeout_s=args.timeout,
+                                      retries=args.retries)
         failures = sum(1 for r in results if not r.ok)
         if args.html:
             diagnostics = {r.name: r.diagnostics for r in results
                            if r.diagnostics}
+            profile = (profile_payload(profiler.report)
+                       if profiler is not None and profiler.report is not None
+                       else None)
             charts = write_html(args.html, diagnostics,
                                 meta={"fast": args.fast,
-                                      "only": ",".join(args.only)})
+                                      "only": ",".join(args.only)},
+                                profile=profile)
             print(f"HTML fit report written to {args.html} "
                   f"({charts} charts)")
         for result in results:
@@ -151,7 +180,7 @@ def _cmd_report(args) -> int:
           "(several minutes at full fidelity)")
     failures = write_experiments_md(path, fast=args.fast, rng=args.seed,
                                     jobs=args.jobs, resume=args.resume,
-                                    html_path=args.html)
+                                    html_path=args.html, profiler=profiler)
     if args.html:
         print(f"HTML fit report written to {args.html}")
     if failures:
@@ -250,11 +279,15 @@ def _experiment_names(name: str) -> list[str]:
 
 
 def _write_telemetry(args, tel) -> None:
-    """Honour --trace/--metrics/--manifest after a telemetry-enabled run."""
+    """Honour --trace/--metrics/--manifest/--log after a telemetry run."""
     if args.trace:
         tel.tracer.write_chrome_trace(args.trace)
         print(f"chrome trace written to {args.trace} "
               "(open in Perfetto or chrome://tracing)")
+    if args.log:
+        n = tel.log.write_jsonl(args.log)
+        print(f"structured log written to {args.log} ({n} event"
+              f"{'' if n == 1 else 's'})")
     if args.manifest:
         records = [m.to_dict() for m in tel.manifests]
         payload = records[0] if len(records) == 1 else records
@@ -271,14 +304,25 @@ def _cmd_experiment(args) -> int:
     from repro.experiments import run_experiments
 
     telemetry_wanted = bool(args.trace or args.metrics or args.manifest
-                            or args.archive)
+                            or args.archive or args.log
+                            or args.serve_metrics is not None)
     if telemetry_wanted:
         obs.enable(fresh=True)
+    server = None
+    if args.serve_metrics is not None:
+        server = obs.MetricsServer(port=args.serve_metrics)
+        server.start()
+        print(f"live metrics at {server.url}/metrics "
+              f"(health: {server.url}/healthz)")
     names = _experiment_names(args.experiment)
     failures = 0
-    results = run_experiments(names, fast=args.fast, rng=args.seed,
-                              jobs=args.jobs, timeout_s=args.timeout,
-                              retries=args.retries)
+    try:
+        results = run_experiments(names, fast=args.fast, rng=args.seed,
+                                  jobs=args.jobs, timeout_s=args.timeout,
+                                  retries=args.retries)
+    finally:
+        if server is not None:
+            server.stop()
     for result in results:
         print(result.render())
         print()
@@ -299,19 +343,61 @@ def _cmd_experiment(args) -> int:
     return 1 if failures else 0
 
 
+def _profiled_run(names: list[str], fast: bool, rng):
+    """One profiled, telemetry-enabled run shared by profile/hotspots.
+
+    The solve stack is imported up front so the profile attributes time
+    to solving, not to first-touch module imports, then every experiment
+    runs serially under one :class:`repro.obs.Profiler`.
+    """
+    import repro.experiments.runner  # noqa: F401  (pre-import: attribution)
+    import repro.qnet.mva  # noqa: F401
+    import repro.runtime.flow  # noqa: F401
+
+    tel = obs.enable(fresh=True)
+    results = []
+    with obs.Profiler() as profiler:
+        for name in names:
+            results.append(run_experiment(name, fast=fast, rng=rng))
+    return tel, profiler.report, results
+
+
 def _cmd_profile(args) -> int:
     if not args.target:
         print("usage: repro profile <experiment> [--fast]", file=sys.stderr)
         return 2
-    tel = obs.enable(fresh=True)
-    for name in _experiment_names(args.target):
-        result = run_experiment(name, fast=args.fast, rng=args.seed)
+    tel, report, results = _profiled_run(_experiment_names(args.target),
+                                         args.fast, args.seed)
+    for result in results:
         footer = result.timing_footer()
-        print(f"== profile: {name} =={'  [' + footer + ']' if footer else ''}")
+        print(f"== profile: {result.name} =="
+              f"{'  [' + footer + ']' if footer else ''}")
     print()
-    print(obs.render_summary(tel))
+    print(obs.render_summary(tel, report, top=args.top))
     _write_telemetry(argparse.Namespace(trace=args.trace, metrics=False,
-                                        manifest=args.manifest), tel)
+                                        manifest=args.manifest,
+                                        log=args.log), tel)
+    return 0
+
+
+def _cmd_hotspots(args) -> int:
+    if not args.target:
+        print("usage: repro hotspots <experiment> [--fast] [--top N] "
+              "[--collapsed OUT] [--flame OUT]", file=sys.stderr)
+        return 2
+    _, report, _ = _profiled_run(_experiment_names(args.target),
+                                 args.fast, args.seed)
+    print(obs.render_hotspots(report, top=args.top))
+    if args.collapsed:
+        n = report.write_collapsed(args.collapsed)
+        print(f"collapsed stacks written to {args.collapsed} "
+              f"({n} line{'' if n == 1 else 's'}; feed to flamegraph.pl)")
+    if args.flame:
+        from repro.obs.htmlreport import flame_svg
+
+        with open(args.flame, "w", encoding="utf-8") as fh:
+            fh.write(flame_svg(report.flame_tree()) + "\n")
+        print(f"flame chart written to {args.flame}")
     return 0
 
 
@@ -328,9 +414,9 @@ def main(argv: list[str] | None = None) -> int:
              + ", ".join(f"'{c}'" for c in _COMMANDS))
     parser.add_argument(
         "target", nargs="?", default=None,
-        help="experiment name for 'repro profile <experiment>', the path "
-             "to scan for 'repro lint [PATH]', or the first run spec for "
-             "'repro diff'")
+        help="experiment name for 'repro profile/hotspots <experiment>', "
+             "the path to scan for 'repro lint [PATH]', or the first run "
+             "spec for 'repro diff'")
     parser.add_argument(
         "extra", nargs="*", default=[],
         help="second run spec for 'repro diff A B', or further "
@@ -358,6 +444,25 @@ def main(argv: list[str] | None = None) -> int:
                         help="print the metrics summary after the run")
     parser.add_argument("--manifest", metavar="PATH", default=None,
                         help="write the structured run manifest JSON")
+    parser.add_argument("--log", metavar="PATH", default=None,
+                        help="write the structured JSONL event log")
+    parser.add_argument("--serve-metrics", type=int, default=None,
+                        metavar="PORT", dest="serve_metrics",
+                        help="serve live /metrics and /healthz JSON on "
+                             "127.0.0.1:PORT during the run (0 = any free "
+                             "port)")
+    parser.add_argument("--top", type=int, default=15, metavar="N",
+                        help="rows in the 'repro profile'/'repro hotspots' "
+                             "hot-path table (default 15)")
+    parser.add_argument("--collapsed", metavar="PATH", default=None,
+                        help="'repro hotspots': write flamegraph.pl-"
+                             "compatible collapsed stacks")
+    parser.add_argument("--flame", metavar="PATH", default=None,
+                        help="'repro hotspots': write a standalone SVG "
+                             "flame chart")
+    parser.add_argument("--profile", action="store_true",
+                        help="'repro report --html': run under the profiler "
+                             "and include the flame-chart section")
     parser.add_argument("--archive", action="store_true",
                         help="archive the run (manifest, metrics, fit "
                              "diagnostics) under --store for 'repro diff'")
@@ -422,6 +527,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_topology(args)
     if args.experiment == "profile":
         return _cmd_profile(args)
+    if args.experiment == "hotspots":
+        return _cmd_hotspots(args)
     if args.experiment == "lint":
         return _cmd_lint(args)
     if args.experiment == "diff":

@@ -17,6 +17,7 @@ import time
 from dataclasses import dataclass, field
 
 from repro import obs
+from repro.obs import names as _names
 from repro.resilience import degrade, faultinject
 from repro.resilience.checkpoint import ReportCheckpoint
 from repro.resilience.errors import ExperimentError, ReproError
@@ -164,12 +165,24 @@ def run_experiment(name: str, fast: bool = False, rng=None) -> ExperimentResult:
         result.notes.extend(_degradation_notes())
         return result
 
+    # The manifest's run_id is minted up front and bound to the
+    # structured log, so every event of this run — including resilience
+    # events emitted deep inside the solver — correlates with the
+    # manifest that describes the run.
+    run_id = obs.new_run_id()
+    tel.log.bind(run_id=run_id, experiment=name)
+    obs.log_event(_names.EVENT_EXPERIMENT_STARTED, fast=fast,
+                  seed=_seed_of(rng))
     try:
         with tel.tracer.span(f"experiment.{name}", fast=fast) as exp_span:
             result = module.run(fast=fast, rng=rng)
     except Exception as exc:
         wall = time.perf_counter() - t0
+        obs.log_event(_names.EVENT_EXPERIMENT_FAILED, level="error",
+                      error_type=type(exc).__qualname__, error=str(exc),
+                      wall_time_s=round(wall, 6))
         manifest = obs.RunManifest(
+            run_id=run_id,
             experiment=name,
             seed=_seed_of(rng),
             fast=fast,
@@ -179,8 +192,11 @@ def run_experiment(name: str, fast: bool = False, rng=None) -> ExperimentResult:
             + _degradation_notes(),
         )
         tel.record_manifest(manifest)
+        tel.log.unbind("run_id", "experiment")
         raise _wrap_driver_failure(name, exc, wall, manifest) from exc
     result.wall_time_s = time.perf_counter() - t0
+    obs.log_event(_names.EVENT_EXPERIMENT_FINISHED,
+                  wall_time_s=round(result.wall_time_s, 6))
     result.notes.extend(_degradation_notes())
     phases: dict[str, float] = {}
     for child in exp_span.children:
@@ -188,6 +204,7 @@ def run_experiment(name: str, fast: bool = False, rng=None) -> ExperimentResult:
             + (child.duration or 0.0)
     result.phase_timings = phases
     manifest = obs.RunManifest(
+        run_id=run_id,
         experiment=name,
         seed=_seed_of(rng),
         fast=fast,
@@ -198,6 +215,7 @@ def run_experiment(name: str, fast: bool = False, rng=None) -> ExperimentResult:
         notes=list(result.notes),
     )
     result.manifest = tel.record_manifest(manifest)
+    tel.log.unbind("run_id", "experiment")
     return result
 
 
@@ -233,13 +251,14 @@ def _error_result(name: str, error: ReproError) -> ExperimentResult:
 def _run_in_worker(name: str, fast: bool, rng, telemetry: bool,
                    plan, attempt: int
                    ) -> tuple[ExperimentResult, dict | None]:
-    """Process-pool entry: run one experiment, return (result, snapshot).
+    """Process-pool entry: run one experiment, return (result, telemetry).
 
     Lives at module top level so it pickles.  Each worker gets its own
     fresh telemetry session when the parent had one; the metrics
-    snapshot travels back for the parent to merge.  The per-process
-    solver caches start cold in each worker, which cannot change any
-    result value — cached and uncached solves are bit-identical.
+    snapshot and structured-log events travel back for the parent to
+    merge.  The per-process solver caches start cold in each worker,
+    which cannot change any result value — cached and uncached solves
+    are bit-identical.
 
     ``plan`` is the parent's fault-injection snapshot (installed here so
     injection crosses the process boundary) and ``attempt`` the
@@ -250,7 +269,8 @@ def _run_in_worker(name: str, fast: bool, rng, telemetry: bool,
     if telemetry:
         tel = obs.enable(fresh=True)
         result = run_experiment(name, fast=fast, rng=rng)
-        return result, tel.metrics.snapshot()
+        return result, {"metrics": tel.metrics.snapshot(),
+                        "events": list(tel.log.events)}
     return run_experiment(name, fast=fast, rng=rng), None
 
 
@@ -319,7 +339,8 @@ def run_experiments(names: list[str], fast: bool = False, rng=None,
                 result, snap = outcome.value
                 results[i] = result
                 if tel is not None and snap is not None:
-                    tel.metrics.merge_snapshot(snap)
+                    tel.metrics.merge_snapshot(snap["metrics"])
+                    tel.log.events.extend(snap["events"])
                     if result.manifest is not None:
                         tel.record_manifest(result.manifest)
             else:

@@ -168,3 +168,60 @@ class DiagnosticsMetricNameRule(Rule):
                 f"literal metric name {node.value!r}; import the constant "
                 "from repro.obs.names so diagnostics and drift gating "
                 "stay on the catalogue")
+
+
+@register
+class LogEventNameLiteralRule(Rule):
+    """``TEL004``: structured-log event names come from the catalogue.
+
+    ``obs.log_event(...)`` and ``tel.log.emit(...)`` take a dotted event
+    name as their first argument; a string literal (or f-string) there
+    drifts from the ``EVENT_*`` catalogue in :mod:`repro.obs.names`
+    exactly the way literal metric names do — the log stops being
+    greppable against the documented schema.  Import the constant.
+    """
+
+    id = "TEL004"
+    name = "log-events-from-registry"
+    description = ("string-literal log event names drift from the EVENT_* "
+                   "catalogue; use repro.obs.names constants")
+    default_allow = ("repro/obs/",)
+
+    @staticmethod
+    def _is_log_call(node: ast.Call) -> str | None:
+        """The display name of a log-emission call, or None."""
+        func = node.func
+        if isinstance(func, ast.Attribute) and func.attr == "emit":
+            # Only ``<...>.log.emit(...)`` — a bare ``.emit`` on some
+            # unrelated object (e.g. an event bus) is not ours.
+            target = func.value
+            if isinstance(target, ast.Attribute) and target.attr == "log":
+                return "log.emit"
+            if isinstance(target, ast.Name) and target.id == "log":
+                return "log.emit"
+            return None
+        if isinstance(func, ast.Attribute) and func.attr == "log_event":
+            return "log_event"
+        if isinstance(func, ast.Name) and func.id == "log_event":
+            return "log_event"
+        return None
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not (isinstance(node, ast.Call) and node.args):
+                continue
+            where = self._is_log_call(node)
+            if where is None:
+                continue
+            first = node.args[0]
+            if isinstance(first, ast.Constant) and \
+                    isinstance(first.value, str):
+                yield ctx.finding(
+                    self, node,
+                    f"{where}({first.value!r}) uses a literal event name; "
+                    "import the EVENT_* constant from repro.obs.names")
+            elif isinstance(first, ast.JoinedStr):
+                yield ctx.finding(
+                    self, node,
+                    f"{where}(f\"...\") builds an event name inline; add "
+                    "it to the EVENT_* catalogue in repro.obs.names")

@@ -40,7 +40,9 @@ from repro.obs.drift import (
     DriftThresholds,
     compare_runs,
 )
+from repro.obs.export import MetricsServer
 from repro.obs.htmlreport import render_html, write_html
+from repro.obs.log import LOG_SCHEMA, StructuredLog, check_event_name, parse_jsonl
 from repro.obs.manifest import MANIFEST_SCHEMA, RunManifest, code_version, new_run_id
 from repro.obs.metrics import (
     SNAPSHOT_SCHEMA,
@@ -53,7 +55,15 @@ from repro.obs.metrics import (
     unwrap_snapshot,
     wrap_snapshot,
 )
-from repro.obs.profile import metrics_table, render_summary, span_table
+from repro.obs.prof import HotSpot, Profiler, ProfileReport, parse_collapsed
+from repro.obs.profile import (
+    hotspot_table,
+    metrics_table,
+    render_hotspots,
+    render_summary,
+    span_table,
+    subsystem_table,
+)
 from repro.obs.state import (
     NOOP_SPAN,
     TelemetrySession,
@@ -79,10 +89,15 @@ __all__ = [
     "ArchivedRun", "RunStore", "StoreError",
     "DriftFinding", "DriftReport", "DriftThresholds", "compare_runs",
     "render_html", "write_html",
+    "HotSpot", "Profiler", "ProfileReport", "parse_collapsed",
+    "StructuredLog", "LOG_SCHEMA", "check_event_name", "parse_jsonl",
+    "MetricsServer",
     "TelemetrySession", "NOOP_SPAN",
     "enable", "disable", "enabled", "session",
     "span", "counter", "gauge", "gauge_max", "observe", "timed",
+    "log_event",
     "span_table", "metrics_table", "render_summary",
+    "hotspot_table", "subsystem_table", "render_hotspots",
 ]
 
 
@@ -130,3 +145,20 @@ def timed(name: str, **labels):
     if s is None:
         return NOOP_SPAN
     return s.metrics.timer(name, **labels)
+
+
+def log_event(event: str, level: str = "info", **fields):
+    """Emit a structured log event if telemetry is enabled.
+
+    The innermost open span's name is stamped as the ``span`` field
+    (unless the caller provides one), correlating log lines with the
+    trace; bound context such as ``run_id`` comes from the session log.
+    Returns the emitted record, or ``None`` when disabled.
+    """
+    s = _state._active
+    if s is None:
+        return None
+    current = s.tracer.current
+    if current is not None and "span" not in fields:
+        fields["span"] = current.name
+    return s.log.emit(event, level=level, **fields)

@@ -256,8 +256,118 @@ def _table4_section(machines: dict) -> list[str]:
             '<div class="charts">' + "".join(charts) + "</div>"]
 
 
+# -- flame chart (profiler section) -------------------------------------------
+
+#: Flame-chart geometry and the per-subsystem palette.
+_FLAME_W = 920
+_FLAME_ROW = 18
+_FLAME_COLORS = {
+    "qnet": "#c0392b", "runtime": "#e67e22", "desim": "#1f6f8b",
+    "perf": "#8e44ad", "experiments": "#27ae60", "machine": "#2980b9",
+    "workloads": "#d4a017", "obs": "#7f8c8d", "core": "#16a085",
+}
+_FLAME_FALLBACK = "#95a5a6"
+
+
+def _frame_subsystem(name: str) -> str:
+    parts = name.split(".")
+    if parts[0] != "repro" or len(parts) < 2:
+        return "other"
+    return parts[1]
+
+
+def _flame_depth(node: dict) -> int:
+    if not node.get("children"):
+        return 1
+    return 1 + max(_flame_depth(c) for c in node["children"])
+
+
+def flame_svg(tree: dict, width: int = _FLAME_W) -> str:
+    """Inline-SVG icicle flame chart of a profiler frame tree.
+
+    ``tree`` is the ``{name, value, children}`` shape of
+    :meth:`repro.obs.ProfileReport.flame_tree`; frames are laid out
+    root-at-top, width proportional to inclusive profiled time, colored
+    by subsystem, with hover ``<title>`` tooltips (still script-free).
+    """
+    total = tree["value"] or 1.0
+    depth = _flame_depth(tree)
+    height = depth * _FLAME_ROW + 4
+    rects: list[str] = []
+
+    def emit(node: dict, x0: float, level: int) -> None:
+        w = width * node["value"] / total
+        if w < 0.8:
+            return
+        y = 2 + level * _FLAME_ROW
+        color = _FLAME_COLORS.get(_frame_subsystem(node["name"]),
+                                  _FLAME_FALLBACK)
+        pct = 100.0 * node["value"] / total
+        tooltip = (f"{node['name']} — {node['value'] * 1e3:.3f} ms "
+                   f"({pct:.1f}%)")
+        rects.append(
+            f'<rect x="{x0:.1f}" y="{y}" width="{max(w - 0.5, 0.5):.1f}" '
+            f'height="{_FLAME_ROW - 2}" fill="{color}" fill-opacity="0.85" '
+            f'rx="1"><title>{_esc(tooltip)}</title></rect>')
+        if w > 60:
+            label = node["name"].rsplit(".", 1)[-1]
+            max_chars = max(int(w / 6.2) - 1, 1)
+            if len(label) > max_chars:
+                label = label[:max_chars] + "…"
+            rects.append(
+                f'<text x="{x0 + 3:.1f}" y="{y + _FLAME_ROW - 6}" '
+                f'font-size="10" fill="#fff" pointer-events="none">'
+                f'{_esc(label)}</text>')
+        cx = x0
+        for child in node.get("children", []):
+            emit(child, cx, level + 1)
+            cx += width * child["value"] / total
+
+    emit(tree, 0.0, 0)
+    return (f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+            f'height="{height}" viewBox="0 0 {width} {height}" role="img" '
+            f'aria-label="flame chart">\n' + "\n".join(rects) + "\n</svg>")
+
+
+def _profile_section(profile: dict) -> list[str]:
+    """The flame-chart + hot-path-table section of the report.
+
+    ``profile`` carries ``tree`` (frame tree), ``hotspots`` (rows of
+    function/subsystem/calls/exclusive_s/inclusive_s), ``wall_s`` and
+    ``profiled_s`` — the JSON-safe shape the CLI builds from a
+    :class:`repro.obs.ProfileReport`.
+    """
+    out = ["<h2>profile · flame chart</h2>"]
+    wall = profile.get("wall_s")
+    profiled = profile.get("profiled_s")
+    if wall is not None and profiled is not None:
+        out.append(f'<p class="meta">{profiled:.4f} s attributed to '
+                   f"repro.* frames over {wall:.4f} s profiled wall-clock; "
+                   "width = inclusive time, color = subsystem</p>")
+    tree = profile.get("tree")
+    if tree and tree.get("value"):
+        out.append("<figure>" + flame_svg(tree)
+                   + "<figcaption>hover a frame for function, "
+                     "milliseconds and share</figcaption></figure>")
+    hotspots = profile.get("hotspots") or []
+    if hotspots:
+        rows = ['<table class="kv"><tr><th>#</th><th>function</th>'
+                "<th>subsystem</th><th>calls</th><th>excl s</th>"
+                "<th>incl s</th></tr>"]
+        for rank, h in enumerate(hotspots, start=1):
+            rows.append(
+                f'<tr><td>{rank}</td><td style="text-align:left">'
+                f'{_esc(h["function"])}</td><td>{_esc(h["subsystem"])}</td>'
+                f'<td>{h["calls"]}</td><td>{h["exclusive_s"]:.4f}</td>'
+                f'<td>{h["inclusive_s"]:.4f}</td></tr>')
+        rows.append("</table>")
+        out.append("".join(rows))
+    return out
+
+
 def render_html(diagnostics: dict, meta: dict | None = None,
-                title: str = "repro fit report") -> str:
+                title: str = "repro fit report",
+                profile: dict | None = None) -> str:
     """The full report page for ``{experiment: diagnostics}`` records."""
     meta = meta or {}
     sections: list[str] = []
@@ -277,6 +387,8 @@ def render_html(diagnostics: dict, meta: dict | None = None,
         sections.append("<p>No fit diagnostics in this run — the charts "
                         "need a model-fitting experiment (fig5, fig6, "
                         "table4).</p>")
+    if profile is not None:
+        sections.extend(_profile_section(profile))
     meta_bits = [f"{k} = {_esc(v)}" for k, v in sorted(meta.items())
                  if v is not None and k != "run_id"]
     head = [f"<h1>{_esc(title)}</h1>"]
@@ -295,12 +407,14 @@ def render_html(diagnostics: dict, meta: dict | None = None,
 
 
 def write_html(path: str, diagnostics: dict, meta: dict | None = None,
-               title: str = "repro fit report") -> int:
+               title: str = "repro fit report",
+               profile: dict | None = None) -> int:
     """Write the report; returns the number of inline SVG charts."""
-    page = render_html(diagnostics, meta=meta, title=title)
+    page = render_html(diagnostics, meta=meta, title=title, profile=profile)
     with open(path, "w", encoding="utf-8") as fh:
         fh.write(page)
     return page.count("<svg")
 
 
-__all__ = ["render_html", "write_html", "line_chart", "bar_chart"]
+__all__ = ["render_html", "write_html", "line_chart", "bar_chart",
+           "flame_svg"]

@@ -156,13 +156,18 @@ class Histogram:
 
         An empty series yields ``nan`` and bumps the
         ``obs.empty_series_warnings`` counter instead of inventing a
-        zero or raising.
+        zero or raising.  A single-observation series returns that
+        observation exactly — every quantile of one sample *is* the
+        sample, and the bin edge would overstate it by up to 2x.
         """
         if not 0.0 <= q <= 1.0:
             raise ValueError(f"q={q} must be in [0, 1]")
         if not self.count:
             _warn_empty_series(self.name)
             return float("nan")
+        if self.count == 1:
+            assert self.min is not None
+            return self.min
         target = q * self.count
         acc = 0
         for e in sorted(self.bins):
@@ -178,7 +183,8 @@ class Histogram:
             # short-circuit avoids spurious empty-series warnings from
             # merely *serialising* an instrument nothing observed.
             return {"count": 0, "sum": 0.0, "mean": None, "min": None,
-                    "max": None, "p50": None, "p99": None, "bins": {}}
+                    "max": None, "p50": None, "p95": None, "p99": None,
+                    "bins": {}}
         return {
             "count": self.count,
             "sum": self.sum,
@@ -186,6 +192,7 @@ class Histogram:
             "min": self.min,
             "max": self.max,
             "p50": self.quantile(0.50),
+            "p95": self.quantile(0.95),
             "p99": self.quantile(0.99),
             "bins": {str(e): c for e, c in sorted(self.bins.items())},
         }

@@ -25,6 +25,11 @@ CALIBRATION_PROFILE_LOOKUPS = "calibration.profile_lookups"
 DIAG_FITS = "diag.fits"
 DIAG_INFLUENTIAL_POINTS = "diag.influential_points"
 
+# -- per-cell solve latency (log-bucket histograms; p50/p95/p99 in BENCH) -----
+LATENCY_FLOW_SOLVE_SECONDS = "latency.flow.solve_seconds"
+LATENCY_MVA_BATCH_SECONDS = "latency.mva.batch_seconds"
+LATENCY_MVA_SOLVE_SECONDS = "latency.mva.solve_seconds"
+
 # -- discrete-event engine ----------------------------------------------------
 DESIM_EVENTS_PROCESSED = "desim.events_processed"
 DESIM_HEAP_DEPTH_MAX = "desim.heap_depth_max"
@@ -35,6 +40,11 @@ DESIM_SIM_WALL_RATIO = "desim.sim_wall_ratio"
 
 # -- telemetry self-diagnostics -----------------------------------------------
 OBS_EMPTY_SERIES_WARNINGS = "obs.empty_series_warnings"
+
+# -- profiler self-metrics ----------------------------------------------------
+PROF_CALLS_RECORDED = "prof.calls_recorded"
+PROF_FUNCTIONS_SEEN = "prof.functions_seen"
+PROF_WALL_SECONDS = "prof.wall_seconds"
 
 # -- queueing solvers ---------------------------------------------------------
 QNET_GG1_CALLS = "qnet.gg1.calls"
@@ -70,6 +80,19 @@ STORE_ARCHIVE_SECONDS = "store.archive_seconds"
 STORE_RUNS_ARCHIVED = "store.runs_archived"
 STORE_RUNS_PRUNED = "store.runs_pruned"
 
+# -- structured-log event catalogue (``EVENT_*``; not metric names) -----------
+# The ``TEL004`` lint rule requires instrumented ``log_event``/``emit``
+# call sites to import these instead of spelling the event inline.
+EVENT_EXPERIMENT_STARTED = "experiment.started"
+EVENT_EXPERIMENT_FINISHED = "experiment.finished"
+EVENT_EXPERIMENT_FAILED = "experiment.failed"
+EVENT_RESILIENCE_RETRY = "resilience.retry"
+EVENT_RESILIENCE_DEGRADED = "resilience.degraded"
+EVENT_RESILIENCE_GAVE_UP = "resilience.gave_up"
+EVENT_WORKER_FAILED = "worker.failed"
+EVENT_WORKER_RETRIED = "worker.retried"
+EVENT_WORKER_TIMEOUT = "worker.timeout"
+
 
 def perf_cache_metric(cache_name: str, event: str) -> str:
     """``perf.cache.<cache>.<event>`` — the per-cache counter family.
@@ -89,8 +112,18 @@ def all_metric_names() -> list[str]:
     """Every fixed metric-name constant in the catalogue, sorted.
 
     Used by tests and docs tooling; the parameterised ``perf.cache.*``
-    family is excluded (its members depend on the live cache names).
+    family is excluded (its members depend on the live cache names), as
+    are the ``EVENT_*`` structured-log event names, which share the
+    dotted shape but name log events, not time series.
     """
     return sorted(
         value for key, value in globals().items()
-        if key.isupper() and isinstance(value, str))
+        if key.isupper() and isinstance(value, str)
+        and not key.startswith("EVENT_"))
+
+
+def all_event_names() -> list[str]:
+    """Every structured-log event name in the catalogue, sorted."""
+    return sorted(
+        value for key, value in globals().items()
+        if key.startswith("EVENT_") and isinstance(value, str))

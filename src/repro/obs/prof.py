@@ -1,0 +1,279 @@
+"""Deterministic-attribution profiler scoped to ``repro.*`` frames.
+
+Built on :func:`sys.setprofile` rather than sampling: every Python
+call/return inside the ``repro`` package is timed, so two runs of the
+same deterministic experiment attribute time to the same functions with
+the same call counts — a profile diff is meaningful the way a metrics
+diff is.  Frames outside the package are tracked only for stack
+book-keeping; their own time rolls up into the nearest ``repro`` caller
+(C extensions such as numpy kernels never create Python frames, so
+their cost lands in the calling solver's exclusive time, which is
+exactly the attribution the kernel-fusion work needs).
+
+Off by default: no hook is installed until :meth:`Profiler.start`, so
+the disabled path costs nothing.  Output surfaces:
+
+* :meth:`ProfileReport.hotspots` — top-N functions by exclusive time,
+  tagged with the owning subsystem (qnet / runtime / desim / perf ...);
+* :meth:`ProfileReport.collapsed_lines` — flamegraph.pl-compatible
+  collapsed stacks (``a;b;c <microseconds>``);
+* :meth:`ProfileReport.flame_tree` — the nested frame tree rendered as
+  an inline SVG by :mod:`repro.obs.htmlreport`.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from dataclasses import dataclass
+
+from repro.obs import names as _names
+from repro.obs import state as _state
+
+
+def subsystem_of(module: str) -> str:
+    """The taxonomy bucket a module belongs to.
+
+    ``repro.qnet.mva`` -> ``qnet``; the package root maps to ``repro``;
+    anything outside the package maps to ``other``.
+    """
+    parts = module.split(".")
+    if parts[0] != "repro":
+        return "other"
+    if len(parts) == 1:
+        return "repro"
+    return parts[1]
+
+
+@dataclass(frozen=True)
+class HotSpot:
+    """One function's aggregate profile row."""
+
+    function: str       # dotted module + qualname
+    subsystem: str      # taxonomy bucket (qnet, runtime, desim, ...)
+    calls: int
+    inclusive_s: float  # time with this function anywhere on the stack
+    exclusive_s: float  # time in the function minus profiled callees
+
+
+class ProfileReport:
+    """Aggregated output of one :class:`Profiler` session."""
+
+    def __init__(self, stats: dict, collapsed: dict, wall_s: float) -> None:
+        self.wall_s = wall_s
+        #: collapsed stacks: tuple of frame names -> exclusive seconds
+        self.collapsed: dict[tuple[str, ...], float] = dict(collapsed)
+        self.functions: list[HotSpot] = sorted(
+            (HotSpot(function=f"{module}.{qualname}",
+                     subsystem=subsystem_of(module),
+                     calls=calls, inclusive_s=incl, exclusive_s=excl)
+             for (module, qualname), (calls, incl, excl) in stats.items()),
+            key=lambda h: (-h.exclusive_s, h.function))
+
+    @property
+    def profiled_s(self) -> float:
+        """Total exclusive time attributed to ``repro.*`` frames."""
+        return sum(h.exclusive_s for h in self.functions)
+
+    @property
+    def calls(self) -> int:
+        return sum(h.calls for h in self.functions)
+
+    def hotspots(self, top: int | None = None) -> list[HotSpot]:
+        """The hottest functions by exclusive time, hottest first."""
+        return self.functions[:top] if top else list(self.functions)
+
+    def subsystem_totals(self) -> dict[str, dict]:
+        """Per-subsystem ``{calls, exclusive_s}`` rollup, hottest first."""
+        totals: dict[str, dict] = {}
+        for h in self.functions:
+            row = totals.setdefault(h.subsystem,
+                                    {"calls": 0, "exclusive_s": 0.0})
+            row["calls"] += h.calls
+            row["exclusive_s"] += h.exclusive_s
+        return dict(sorted(totals.items(),
+                           key=lambda kv: -kv[1]["exclusive_s"]))
+
+    def collapsed_lines(self, scale: float = 1e6) -> list[str]:
+        """flamegraph.pl-compatible lines: ``a;b;c <integer count>``.
+
+        Counts are exclusive time scaled to integer microseconds by
+        default; stacks that round to zero are dropped.
+        """
+        lines = []
+        for path, seconds in sorted(self.collapsed.items()):
+            count = int(round(seconds * scale))
+            if count >= 1:
+                lines.append(";".join(path) + f" {count}")
+        return lines
+
+    def write_collapsed(self, path: str, scale: float = 1e6) -> int:
+        """Write collapsed stacks to ``path``; returns the line count."""
+        lines = self.collapsed_lines(scale)
+        with open(path, "w", encoding="utf-8") as fh:
+            for line in lines:
+                fh.write(line + "\n")
+        return len(lines)
+
+    def flame_tree(self) -> dict:
+        """Nested ``{name, value, children}`` tree for the flame chart.
+
+        Each node's ``value`` is the inclusive profiled seconds of that
+        stack prefix; children are sorted hottest-first.
+        """
+        root = {"name": "all", "value": 0.0, "children": {}}
+        for path, seconds in self.collapsed.items():
+            root["value"] += seconds
+            node = root
+            for part in path:
+                child = node["children"].get(part)
+                if child is None:
+                    child = node["children"][part] = {
+                        "name": part, "value": 0.0, "children": {}}
+                child["value"] += seconds
+                node = child
+        return _freeze_tree(root)
+
+
+def _freeze_tree(node: dict) -> dict:
+    children = sorted(node["children"].values(), key=lambda c: -c["value"])
+    return {"name": node["name"], "value": node["value"],
+            "children": [_freeze_tree(c) for c in children]}
+
+
+def profile_payload(report: ProfileReport, top: int = 15) -> dict:
+    """JSON-safe summary of a report for the HTML flame section.
+
+    The shape :func:`repro.obs.htmlreport.render_html` consumes via its
+    ``profile`` argument: frame tree, top-N hotspot rows and the wall /
+    attributed totals.
+    """
+    return {
+        "wall_s": report.wall_s,
+        "profiled_s": report.profiled_s,
+        "tree": report.flame_tree(),
+        "hotspots": [
+            {"function": h.function, "subsystem": h.subsystem,
+             "calls": h.calls, "exclusive_s": h.exclusive_s,
+             "inclusive_s": h.inclusive_s}
+            for h in report.hotspots(top)],
+    }
+
+
+def parse_collapsed(text: str) -> dict[tuple[str, ...], int]:
+    """Parse flamegraph.pl collapsed-stack lines back into a mapping.
+
+    The round-trip partner of :meth:`ProfileReport.collapsed_lines`;
+    blank lines are skipped, malformed lines raise.
+    """
+    out: dict[tuple[str, ...], int] = {}
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line:
+            continue
+        stack_part, sep, count_part = line.rpartition(" ")
+        if not sep or not count_part.isdigit():
+            raise ValueError(f"bad collapsed-stack line {lineno}: {line!r}")
+        path = tuple(stack_part.split(";"))
+        out[path] = out.get(path, 0) + int(count_part)
+    return out
+
+
+class Profiler:
+    """``sys.setprofile``-based profiler for ``repro.*`` frames.
+
+    Usable as a context manager::
+
+        with Profiler() as p:
+            run_experiment("table2", fast=True)
+        report = p.report
+
+    Only one profiler can be installed per thread; nesting raises.
+    """
+
+    def __init__(self, root: str = "repro") -> None:
+        self._root = root
+        self._prefix = root + "."
+        # stack entries: [frame, key_or_None, t_enter, child_seconds]
+        self._stack: list[list] = []
+        self._stats: dict[tuple, list] = {}    # (module, qual) -> [n, inc, exc]
+        self._depth: dict[tuple, int] = {}     # recursion depth per key
+        self._collapsed: dict[tuple, float] = {}
+        self._path: list[str] = []             # live repro-frame display path
+        self._t0: float | None = None
+        self.report: ProfileReport | None = None
+
+    def start(self) -> "Profiler":
+        if self._t0 is not None:
+            raise RuntimeError("profiler already started")
+        if sys.getprofile() is not None:
+            raise RuntimeError("another profile hook is already installed")
+        self._t0 = time.perf_counter()
+        sys.setprofile(self._profile)
+        return self
+
+    def stop(self) -> ProfileReport:
+        if self._t0 is None:
+            raise RuntimeError("profiler was never started")
+        sys.setprofile(None)
+        wall_s = time.perf_counter() - self._t0
+        self.report = ProfileReport(self._stats, self._collapsed, wall_s)
+        self._record_self_metrics(self.report)
+        return self.report
+
+    def __enter__(self) -> "Profiler":
+        return self.start()
+
+    def __exit__(self, *exc) -> bool:
+        self.stop()
+        return False
+
+    def _record_self_metrics(self, report: ProfileReport) -> None:
+        tel = _state._active
+        if tel is None:
+            return
+        tel.metrics.counter(_names.PROF_CALLS_RECORDED).inc(report.calls)
+        tel.metrics.gauge(_names.PROF_FUNCTIONS_SEEN).set(
+            len(report.functions))
+        tel.metrics.gauge(_names.PROF_WALL_SECONDS).set(report.wall_s)
+
+    def _profile(self, frame, event: str, arg) -> None:
+        if event == "call":
+            module = frame.f_globals.get("__name__") or ""
+            if module == self._root or module.startswith(self._prefix):
+                code = frame.f_code
+                qual = getattr(code, "co_qualname", code.co_name)
+                key = (module, qual)
+                self._depth[key] = self._depth.get(key, 0) + 1
+                self._path.append(f"{module}.{qual}")
+                self._stack.append([frame, key, time.perf_counter(), 0.0])
+            else:
+                # Foreign frame: tracked so returns match up, but its
+                # own time stays with the nearest repro caller.
+                self._stack.append([frame, None, time.perf_counter(), 0.0])
+        elif event == "return":
+            if not self._stack or self._stack[-1][0] is not frame:
+                return  # frame entered before start(); nothing to match
+            now = time.perf_counter()
+            _, key, t_enter, child = self._stack.pop()
+            if key is None:
+                # Transparent: pass profiled-descendant time upward.
+                if self._stack:
+                    self._stack[-1][3] += child
+                return
+            duration = now - t_enter
+            if self._stack:
+                self._stack[-1][3] += duration
+            exclusive = max(duration - child, 0.0)
+            stats = self._stats.get(key)
+            if stats is None:
+                stats = self._stats[key] = [0, 0.0, 0.0]
+            stats[0] += 1
+            depth = self._depth[key] - 1
+            self._depth[key] = depth
+            if depth == 0:
+                stats[1] += duration  # outermost activation: no double count
+            stats[2] += exclusive
+            path = tuple(self._path)
+            self._collapsed[path] = self._collapsed.get(path, 0.0) + exclusive
+            self._path.pop()

@@ -1,13 +1,17 @@
 """Rendering of telemetry summaries as text tables.
 
-Backs ``python -m repro profile <experiment>`` and the ``--metrics``
-CLI flag: a sorted span timing table plus a metrics table, both built on
-:class:`repro.util.tables.TextTable` so they match the experiment
-reports.
+Backs ``python -m repro profile <experiment>``, ``python -m repro
+hotspots <experiment>`` and the ``--metrics`` CLI flag: a sorted span
+timing table, a metrics table and the profiler's hot-path/subsystem
+tables, all built on :class:`repro.util.tables.TextTable` so they match
+the experiment reports.  The two profiling commands share this one
+code path — ``profile`` shows spans + metrics + hot paths, ``hotspots``
+shows just the profiler's view.
 """
 
 from __future__ import annotations
 
+from repro.obs.prof import ProfileReport
 from repro.obs.state import TelemetrySession
 from repro.util.tables import TextTable
 
@@ -52,13 +56,60 @@ def metrics_table(session: TelemetrySession) -> TextTable:
     return table
 
 
-def render_summary(session: TelemetrySession) -> str:
-    """The full profile report: spans then metrics."""
+def hotspot_table(report: ProfileReport, top: int = 15) -> TextTable:
+    """The profiler's top-N functions by exclusive time."""
+    total = report.profiled_s or 1.0
+    table = TextTable(
+        ["rank", "function", "subsystem", "calls", "excl s", "incl s", "excl %"],
+        title=f"hot paths (top {top} of {len(report.functions)} functions, "
+              f"{report.profiled_s:.4f}s profiled / {report.wall_s:.4f}s wall)")
+    for rank, spot in enumerate(report.hotspots(top), start=1):
+        table.add_row([
+            rank,
+            spot.function,
+            spot.subsystem,
+            spot.calls,
+            f"{spot.exclusive_s:.4f}",
+            f"{spot.inclusive_s:.4f}",
+            f"{100.0 * spot.exclusive_s / total:.1f}",
+        ])
+    return table
+
+
+def subsystem_table(report: ProfileReport) -> TextTable:
+    """Exclusive-time rollup over the module taxonomy."""
+    total = report.profiled_s or 1.0
+    table = TextTable(["subsystem", "calls", "excl s", "excl %"],
+                      title="subsystem taxonomy")
+    for name, row in report.subsystem_totals().items():
+        table.add_row([
+            name,
+            row["calls"],
+            f"{row['exclusive_s']:.4f}",
+            f"{100.0 * row['exclusive_s'] / total:.1f}",
+        ])
+    return table
+
+
+def render_hotspots(report: ProfileReport, top: int = 15) -> str:
+    """The profiler-only report: hot paths then the taxonomy rollup."""
+    if not report.functions:
+        return "profiler recorded no repro.* frames"
+    return "\n\n".join([hotspot_table(report, top).render(),
+                        subsystem_table(report).render()])
+
+
+def render_summary(session: TelemetrySession,
+                   report: ProfileReport | None = None,
+                   top: int = 15) -> str:
+    """The full profile report: spans, metrics, then hot paths if profiled."""
     parts = []
     if session.tracer.roots:
         parts.append(span_table(session).render())
     if len(session.metrics):
         parts.append(metrics_table(session).render())
+    if report is not None:
+        parts.append(render_hotspots(report, top))
     if not parts:
         parts.append("telemetry session recorded no spans or metrics")
     return "\n\n".join(parts)

@@ -11,6 +11,7 @@ per event.
 
 from __future__ import annotations
 
+from repro.obs.log import StructuredLog
 from repro.obs.manifest import RunManifest
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracing import Tracer
@@ -37,6 +38,7 @@ class TelemetrySession:
     def __init__(self) -> None:
         self.metrics = MetricsRegistry()
         self.tracer = Tracer()
+        self.log = StructuredLog()
         self.manifests: list[RunManifest] = []
 
     def record_manifest(self, manifest: RunManifest) -> RunManifest:

@@ -173,7 +173,17 @@ class ClosedNetwork:
         Solutions are memoized in :data:`repro.perf.mva_cache`, keyed on
         the station values, the population and the method; a repeat solve
         of an identical network returns the cached (immutable) result.
+
+        Under telemetry, every call — memoized or not — lands one
+        observation in the ``latency.mva.solve_seconds`` histogram.
         """
+        tel = _obs_state._active
+        if tel is None:
+            return self._solve(population, method)
+        with tel.metrics.timer(_names.LATENCY_MVA_SOLVE_SECONDS):
+            return self._solve(population, method)
+
+    def _solve(self, population: int, method: str) -> MVAResult:
         check_integer("population", population, minimum=0)
         if method not in ("exact", "schweitzer"):
             raise ValidationError(f"unknown MVA method {method!r}")
@@ -299,15 +309,19 @@ def exact_throughputs(demands: np.ndarray, is_queue: np.ndarray,
 
     Telemetry counts each row as one ``qnet.mva.exact.calls`` (a batch of
     C chains does the work of C scalar solves) plus one
-    ``qnet.mva.exact.batches``.
+    ``qnet.mva.exact.batches``, and times the recursion into the
+    ``latency.mva.batch_seconds`` histogram.
     """
-    x, _, _, _ = _exact_recursion(demands, is_queue, scv, populations)
     tel = _obs_state._active
-    if tel is not None:
-        reg = tel.metrics
-        reg.counter(_names.QNET_MVA_EXACT_CALLS).inc(len(populations))
-        reg.counter(_names.QNET_MVA_EXACT_ITERATIONS).inc(int(populations.sum()))
-        reg.counter(_names.QNET_MVA_EXACT_BATCHES).inc()
+    if tel is None:
+        x, _, _, _ = _exact_recursion(demands, is_queue, scv, populations)
+        return x
+    with tel.metrics.timer(_names.LATENCY_MVA_BATCH_SECONDS):
+        x, _, _, _ = _exact_recursion(demands, is_queue, scv, populations)
+    reg = tel.metrics
+    reg.counter(_names.QNET_MVA_EXACT_CALLS).inc(len(populations))
+    reg.counter(_names.QNET_MVA_EXACT_ITERATIONS).inc(int(populations.sum()))
+    reg.counter(_names.QNET_MVA_EXACT_BATCHES).inc()
     return x
 
 

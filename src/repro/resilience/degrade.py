@@ -61,8 +61,21 @@ class DegradationEvent:
 _EVENTS: list[DegradationEvent] = []
 
 
+#: Structured-log event name per ladder action.
+_LOG_EVENTS = {
+    "retry": _names.EVENT_RESILIENCE_RETRY,
+    "degrade": _names.EVENT_RESILIENCE_DEGRADED,
+    "gave_up": _names.EVENT_RESILIENCE_GAVE_UP,
+}
+
+
 def record_event(event: DegradationEvent) -> DegradationEvent:
-    """Append to the event log and mirror to telemetry counters."""
+    """Append to the event log; mirror to telemetry counters and log.
+
+    The structured-log record carries the full event (site, stages,
+    detail) at ``warning`` level, correlated with the bound run_id —
+    a degraded run is queryable, not just annotated.
+    """
     _EVENTS.append(event)
     tel = _obs_state._active
     if tel is not None:
@@ -72,6 +85,10 @@ def record_event(event: DegradationEvent) -> DegradationEvent:
         else:
             tel.metrics.counter(_names.RESILIENCE_DEGRADATIONS,
                                 site=event.site, to=event.to_stage).inc()
+        tel.log.emit(
+            _LOG_EVENTS.get(event.action, _names.EVENT_RESILIENCE_DEGRADED),
+            level="warning", site=event.site, from_stage=event.from_stage,
+            to_stage=event.to_stage, detail=event.detail)
     return event
 
 

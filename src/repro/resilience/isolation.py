@@ -83,10 +83,22 @@ class TaskOutcome:
         return self.error is None
 
 
+#: Structured-log event mirrored alongside each worker counter.
+_LOG_EVENTS = {
+    _names.RESILIENCE_WORKER_FAILURES: _names.EVENT_WORKER_FAILED,
+    _names.RESILIENCE_WORKER_TIMEOUTS: _names.EVENT_WORKER_TIMEOUT,
+    _names.RESILIENCE_WORKER_RETRIES: _names.EVENT_WORKER_RETRIED,
+}
+
+
 def _count(name: str, **labels: str) -> None:
+    """Mirror one worker event to telemetry: counter + structured log."""
     tel = _obs_state._active
     if tel is not None:
         tel.metrics.counter(name, **labels).inc()
+        event = _LOG_EVENTS.get(name)
+        if event is not None:
+            tel.log.emit(event, level="warning", **labels)
 
 
 def _classify(exc: BaseException, label: str, attempt: int

@@ -250,7 +250,22 @@ def solve_flow(profile: MemoryProfile, machine: Machine,
     The cache is bypassed while a non-default policy or a fault
     injection targeting :data:`FLOW_SITE` is active, so degraded
     results from injected faults are never memoized.
+
+    Under telemetry, every call — memoized or not — lands one
+    observation in the ``latency.flow.solve_seconds`` histogram: the
+    per-cell latency a caller actually experiences, which is what the
+    service-level p99 gate watches.
     """
+    tel = _obs_state._active
+    if tel is None:
+        return _solve_flow_entry(profile, machine, alloc, policy)
+    with tel.metrics.timer(_names.LATENCY_FLOW_SOLVE_SECONDS):
+        return _solve_flow_entry(profile, machine, alloc, policy)
+
+
+def _solve_flow_entry(profile: MemoryProfile, machine: Machine,
+                      alloc: CoreAllocation,
+                      policy: ConvergencePolicy | None) -> FlowResult:
     if alloc.machine is not machine and alloc.machine != machine:
         raise ValidationError("allocation was built for a different machine")
     use_cache = policy is None and not faultinject.solver_fault_armed(FLOW_SITE)

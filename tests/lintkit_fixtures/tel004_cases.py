@@ -1,0 +1,15 @@
+"""TEL004 fixture: literal structured-log event names."""
+
+from repro import obs
+from repro.obs import names
+
+
+def emit_events(tel, bus, suffix):
+    tel.log.emit("experiment.started", seed=1)  # -> TEL004
+    tel.log.emit(f"worker.{suffix}")  # -> TEL004 (f-string)
+    obs.log_event("resilience.retry", site="x")  # -> TEL004
+    log = tel.log
+    log.emit("experiment.failed", level="error")  # -> TEL004
+    tel.log.emit(names.EVENT_EXPERIMENT_FINISHED)  # ok: catalogue constant
+    obs.log_event(names.EVENT_RESILIENCE_RETRY)  # ok: catalogue constant
+    bus.emit("not.a.log.event")  # ok: unrelated .emit receiver

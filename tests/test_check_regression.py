@@ -160,6 +160,104 @@ class TestCompareRecords:
         assert failures == []
 
 
+def latency_record(flow_p99=0.004, mva_p99=0.0002, host="hostA", **kwargs):
+    """A record carrying the per-cell latency SLO block."""
+    rec = record(host=host, **kwargs)
+    rec["latency"] = {
+        "latency.flow.solve_seconds": {"count": 30, "p50": 0.002,
+                                       "p95": flow_p99, "p99": flow_p99},
+        "latency.mva.batch_seconds": {"count": 180, "p50": 0.0001,
+                                      "p95": mva_p99, "p99": mva_p99},
+    }
+    return rec
+
+
+class TestLatencyGate:
+    def test_extracts_p99_from_the_latency_block(self):
+        assert cr.latency_p99s(latency_record(flow_p99=0.004)) == {
+            "latency.flow.solve_seconds": 0.004,
+            "latency.mva.batch_seconds": 0.0002,
+        }
+
+    def test_falls_back_to_metrics_instruments(self):
+        # Records written after the latency timers but before the
+        # dedicated block landed still gate.
+        rec = record(extra_metrics={
+            "latency.flow.solve_seconds": {
+                "kind": "timer", "count": 30, "p50": 0.002, "p99": 0.004}})
+        assert cr.latency_p99s(rec) == {
+            "latency.flow.solve_seconds": 0.004}
+
+    def test_p99_regression_fails_same_host(self):
+        failures, _ = cr.compare_records(
+            latency_record(flow_p99=0.004),
+            latency_record(flow_p99=0.006))  # 1.5x > 1.25x allowed
+        assert any("latency.flow.solve_seconds" in f and "p99" in f
+                   for f in failures)
+
+    def test_p99_within_threshold_passes(self):
+        failures, _ = cr.compare_records(
+            latency_record(flow_p99=0.004),
+            latency_record(flow_p99=0.0048))  # 1.2x
+        assert failures == []
+
+    def test_p99_cross_host_warns_instead_of_failing(self):
+        failures, warnings = cr.compare_records(
+            latency_record(flow_p99=0.004),
+            latency_record(flow_p99=0.04, host="hostB"))
+        assert failures == []
+        assert any("p99" in w and "different host" in w for w in warnings)
+
+    def test_legacy_baseline_without_latency_only_warns(self):
+        # Baselines committed before the latency block must never fail
+        # the gate, even against a fresh record that carries one.
+        failures, warnings = cr.compare_records(
+            record(), latency_record(flow_p99=10.0))
+        assert failures == []
+        assert any("predates latency" in w for w in warnings)
+
+    def test_missing_fresh_series_warns(self):
+        fresh = latency_record()
+        del fresh["latency"]["latency.mva.batch_seconds"]
+        failures, warnings = cr.compare_records(latency_record(), fresh)
+        assert failures == []
+        assert any("latency.mva.batch_seconds" in w and "missing" in w
+                   for w in warnings)
+
+    def test_malformed_latency_entries_are_skipped(self):
+        rec = latency_record()
+        rec["latency"]["latency.bad.series"] = {"p99": "not-a-number"}
+        rec["latency"]["latency.worse.series"] = "nonsense"
+        p99s = cr.latency_p99s(rec)
+        assert "latency.bad.series" not in p99s
+        assert "latency.worse.series" not in p99s
+
+    def test_committed_baselines_carry_latency(self):
+        # The shipped BENCH records must gate p99 from day one.
+        for fname in os.listdir(perf_record.DEFAULT_PERF_DIR):
+            if not fname.startswith("BENCH_"):
+                continue
+            rec = cr.load_record(
+                os.path.join(perf_record.DEFAULT_PERF_DIR, fname))
+            p99s = cr.latency_p99s(rec)
+            assert "latency.flow.solve_seconds" in p99s, fname
+            assert all(v > 0.0 for v in p99s.values()), fname
+
+
+class TestLatencyBlockBuilder:
+    def test_distils_latency_series_only(self):
+        snapshot = {
+            "latency.flow.solve_seconds": {
+                "kind": "timer", "count": 3, "p50": 0.001, "p95": 0.002,
+                "p99": 0.004, "mean": 0.001, "max": 0.004},
+            "qnet.mva.exact.calls": {"kind": "counter", "value": 9.0},
+            "latency.not.a.series": {"kind": "gauge", "value": 1.0},
+        }
+        block = perf_record.latency_block(snapshot)
+        assert block == {"latency.flow.solve_seconds": {
+            "count": 3, "p50": 0.001, "p95": 0.002, "p99": 0.004}}
+
+
 class TestRunGate:
     def _write(self, directory, rec):
         path = os.path.join(directory, "BENCH_table2.json")

@@ -137,6 +137,18 @@ class TestTelemetryRules:
                                relpath="src/repro/obs/metrics.py")
         assert visible_lines(core_obs, "TEL003") == []
 
+    def test_tel004_flags_literal_event_names(self):
+        findings = run_fixture("tel004_cases.py")
+        # Literal strings and f-strings at log.emit / log_event sites;
+        # catalogue constants and unrelated ``.emit`` receivers stay
+        # legal.
+        assert visible_lines(findings, "TEL004") == [8, 9, 10, 12]
+
+    def test_tel004_skips_the_obs_layer(self):
+        findings = run_fixture("tel004_cases.py",
+                               relpath="src/repro/obs/log.py")
+        assert visible_lines(findings, "TEL004") == []
+
 
 class TestRuleMetadata:
     def test_every_family_is_registered(self):

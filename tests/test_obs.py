@@ -132,6 +132,46 @@ class TestHistogramBins:
         with pytest.raises(ValueError):
             h.quantile(1.5)
 
+    def test_single_observation_quantile_is_exact(self):
+        # n == 1: every quantile is the observed value itself, not the
+        # bin's upper edge (and certainly not nan) — the first solve of
+        # a run must produce a usable p99.
+        tel = obs.enable(fresh=True)
+        h = tel.metrics.histogram("a.sizes")
+        h.observe(0.0037)
+        for q in (0.0, 0.5, 0.95, 0.99, 1.0):
+            assert h.quantile(q) == 0.0037
+        s = h.summary()
+        assert s["p50"] == s["p95"] == s["p99"] == 0.0037
+        snap = tel.metrics.snapshot()
+        assert snap.get("obs.empty_series_warnings") is None
+
+    def test_quantile_accuracy_vs_exact_sample_quantiles(self):
+        # The log-bucket estimate returns the covering bin's upper edge,
+        # so it brackets the exact sample quantile from above by at most
+        # one power of two.  Check against a deterministic heavy-ish
+        # tail of latencies spanning several decades.
+        import math
+
+        values = [1e-4 * math.exp(0.05 * i) for i in range(200)]
+        h = Histogram("x")
+        for v in values:
+            h.observe(v)
+        ranked = sorted(values)
+        for q in (0.05, 0.25, 0.5, 0.9, 0.95, 0.99):
+            exact = ranked[min(int(math.ceil(q * len(ranked))) - 1,
+                               len(ranked) - 1)]
+            estimate = h.quantile(q)
+            assert exact <= estimate <= 2.0 * exact, \
+                f"q={q}: exact {exact:.6g} vs estimate {estimate:.6g}"
+
+    def test_summary_includes_p95(self):
+        h = Histogram("x")
+        for v in (1.5, 2.5, 3.5):
+            h.observe(v)
+        s = h.summary()
+        assert s["p50"] <= s["p95"] <= s["p99"]
+
 
 # -- tracing ------------------------------------------------------------------
 

@@ -1,0 +1,109 @@
+"""Live metrics endpoint tests: /metrics, /healthz, /events over HTTP.
+
+The server binds an ephemeral loopback port, so the smoke tests make
+real ``urllib`` requests; payload-shape tests call the handler's
+payload methods directly.
+"""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro import obs
+from repro.obs import names
+from repro.obs.export import MetricsServer
+
+
+@pytest.fixture(autouse=True)
+def _telemetry_off():
+    obs.disable()
+    yield
+    obs.disable()
+
+
+def _get(url):
+    try:
+        with urllib.request.urlopen(url, timeout=5) as resp:
+            return resp.status, json.loads(resp.read().decode("utf-8"))
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read().decode("utf-8"))
+
+
+class TestMetricsEndpoint:
+    def test_metrics_smoke_over_http(self):
+        tel = obs.enable(fresh=True)
+        tel.metrics.counter(names.RUNTIME_FLOW_SOLVES).inc(3)
+        with MetricsServer() as server:
+            assert server.port != 0
+            status, body = _get(f"{server.url}/metrics")
+        assert status == 200
+        assert body["snapshot_schema"] == obs.SNAPSHOT_SCHEMA
+        assert body["instruments"]["runtime.flow.solves"]["value"] == 3.0
+
+    def test_metrics_reflect_live_updates(self):
+        tel = obs.enable(fresh=True)
+        with MetricsServer() as server:
+            tel.metrics.counter(names.RUNTIME_FLOW_SOLVES).inc()
+            _, body = _get(f"{server.url}/metrics")
+            assert body["instruments"]["runtime.flow.solves"]["value"] == 1.0
+            tel.metrics.counter(names.RUNTIME_FLOW_SOLVES).inc()
+            _, body = _get(f"{server.url}/metrics")
+            assert body["instruments"]["runtime.flow.solves"]["value"] == 2.0
+
+    def test_healthz_and_events(self):
+        tel = obs.enable(fresh=True)
+        tel.log.emit(names.EVENT_EXPERIMENT_STARTED, experiment="fig5")
+        with MetricsServer() as server:
+            status, health = _get(f"{server.url}/healthz")
+            assert status == 200
+            assert health["status"] == "ok"
+            assert health["telemetry"] is True
+            assert health["uptime_s"] >= 0.0
+            status, events = _get(f"{server.url}/events")
+        assert status == 200
+        assert events["events"][0]["event"] == "experiment.started"
+
+    def test_unknown_path_is_404_with_hint(self):
+        obs.enable(fresh=True)
+        with MetricsServer() as server:
+            status, body = _get(f"{server.url}/nope")
+        assert status == 404
+        assert "/metrics" in body["endpoints"]
+
+    def test_disabled_telemetry_reports_503(self):
+        with MetricsServer() as server:
+            status, body = _get(f"{server.url}/metrics")
+            assert status == 503
+            assert "telemetry" in body["error"]
+            status, health = _get(f"{server.url}/healthz")
+            assert status == 200  # the process is alive either way
+            assert health["telemetry"] is False
+
+    def test_stop_closes_the_socket(self):
+        obs.enable(fresh=True)
+        server = MetricsServer()
+        server.start()
+        url = server.url
+        server.stop()
+        with pytest.raises(urllib.error.URLError):
+            urllib.request.urlopen(f"{url}/healthz", timeout=1)
+
+    def test_explicit_port_is_honoured(self):
+        obs.enable(fresh=True)
+        with MetricsServer() as a:
+            # A second server on the same port must fail loudly, not
+            # silently rebind: the port is genuinely held.
+            with pytest.raises(OSError):
+                MetricsServer(port=a.port).start()
+
+
+class TestCLIServeMetrics:
+    def test_serve_metrics_flag_prints_url(self, capsys):
+        from repro.cli import main
+
+        assert main(["fig5", "--fast", "--serve-metrics", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "live metrics at http://127.0.0.1:" in out
+        obs.disable()

@@ -1,0 +1,197 @@
+"""Structured-log tests: envelope, context binding, JSONL, adoption.
+
+The runner-integration tests assert the correlation contract: every
+experiment run binds a ``run_id`` that matches its manifest, and the
+resilience ladder's falls land in the log at warning level.
+"""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.obs import names
+from repro.obs.log import LOG_SCHEMA, StructuredLog, parse_jsonl
+
+
+@pytest.fixture(autouse=True)
+def _telemetry_off():
+    obs.disable()
+    yield
+    obs.disable()
+
+
+def _ticking_clock(start=1000.0):
+    state = {"t": start}
+
+    def clock():
+        state["t"] += 1.0
+        return state["t"]
+
+    return clock
+
+
+class TestEnvelope:
+    def test_emit_builds_the_fixed_envelope(self):
+        log = StructuredLog(clock=_ticking_clock())
+        rec = log.emit(names.EVENT_EXPERIMENT_STARTED, seed=7)
+        assert rec["schema"] == LOG_SCHEMA
+        assert rec["event"] == "experiment.started"
+        assert rec["level"] == "info"
+        assert rec["ts_unix"] == 1001.0
+        assert rec["seed"] == 7
+
+    def test_bad_event_name_and_level_raise(self):
+        log = StructuredLog()
+        with pytest.raises(ValueError):
+            log.emit("NotDotted")
+        with pytest.raises(ValueError):
+            log.emit(names.EVENT_EXPERIMENT_STARTED, level="fatal")
+
+    def test_bound_context_stamps_every_event(self):
+        log = StructuredLog()
+        log.bind(run_id="abc123", experiment="fig5")
+        rec = log.emit(names.EVENT_EXPERIMENT_STARTED)
+        assert rec["run_id"] == "abc123" and rec["experiment"] == "fig5"
+        log.unbind("run_id", "experiment")
+        rec = log.emit(names.EVENT_EXPERIMENT_FINISHED)
+        assert "run_id" not in rec
+        assert log.context == {}
+
+    def test_explicit_fields_override_context(self):
+        log = StructuredLog()
+        log.bind(experiment="fig5")
+        rec = log.emit(names.EVENT_EXPERIMENT_STARTED, experiment="table2")
+        assert rec["experiment"] == "table2"
+
+
+class TestQuery:
+    def test_filters_by_event_level_and_fields(self):
+        log = StructuredLog()
+        log.emit(names.EVENT_RESILIENCE_RETRY, level="warning", site="a")
+        log.emit(names.EVENT_RESILIENCE_RETRY, level="warning", site="b")
+        log.emit(names.EVENT_EXPERIMENT_FINISHED)
+        assert len(log.query(event=names.EVENT_RESILIENCE_RETRY)) == 2
+        assert len(log.query(level="warning", site="b")) == 1
+        assert log.query(event="no.such.event") == []
+
+
+class TestJsonl:
+    def test_round_trip(self):
+        log = StructuredLog(clock=_ticking_clock())
+        log.bind(run_id="r1")
+        log.emit(names.EVENT_EXPERIMENT_STARTED, seed=1)
+        log.emit(names.EVENT_EXPERIMENT_FINISHED, wall_time_s=0.5)
+        assert parse_jsonl(log.to_jsonl()) == log.events
+
+    def test_write_jsonl_returns_count(self, tmp_path):
+        log = StructuredLog()
+        log.emit(names.EVENT_EXPERIMENT_STARTED)
+        path = tmp_path / "run.jsonl"
+        assert log.write_jsonl(str(path)) == 1
+        assert parse_jsonl(path.read_text())[0]["event"] == \
+            "experiment.started"
+
+    def test_parse_rejects_malformed_lines(self):
+        with pytest.raises(ValueError):
+            parse_jsonl("{not json}")
+        with pytest.raises(ValueError):
+            parse_jsonl(json.dumps([1, 2]))  # an array is not a record
+
+    def test_live_sink_streams_and_backfills(self, tmp_path):
+        path = tmp_path / "live.jsonl"
+        log = StructuredLog()
+        log.emit(names.EVENT_EXPERIMENT_STARTED)   # buffered before sink
+        log.open_sink(str(path))
+        log.emit(names.EVENT_EXPERIMENT_FINISHED)  # streamed
+        log.close_sink()
+        events = parse_jsonl(path.read_text())
+        assert [e["event"] for e in events] == [
+            "experiment.started", "experiment.finished"]
+
+
+class TestCatalogue:
+    def test_event_names_are_catalogued_and_valid(self):
+        from repro.obs.log import check_event_name
+
+        events = names.all_event_names()
+        assert "experiment.started" in events
+        assert "resilience.degraded" in events
+        assert "worker.timeout" in events
+        for event in events:
+            check_event_name(event)
+
+    def test_event_constants_are_not_metric_names(self):
+        assert not set(names.all_event_names()) & set(
+            names.all_metric_names())
+
+
+class TestLogEventHelper:
+    def test_disabled_is_a_noop(self):
+        assert obs.log_event(names.EVENT_EXPERIMENT_STARTED) is None
+
+    def test_enabled_stamps_the_innermost_span(self):
+        tel = obs.enable(fresh=True)
+        with tel.tracer.span("machine.intel_uma"):
+            rec = obs.log_event(names.EVENT_RESILIENCE_RETRY,
+                                level="warning")
+        assert rec["span"] == "machine.intel_uma"
+        assert tel.log.events[-1] is rec
+
+    def test_explicit_span_field_wins(self):
+        tel = obs.enable(fresh=True)
+        with tel.tracer.span("outer"):
+            rec = obs.log_event(names.EVENT_RESILIENCE_RETRY, span="custom")
+        assert rec["span"] == "custom"
+
+
+class TestRunnerAdoption:
+    def test_run_binds_run_id_matching_manifest(self):
+        from repro.experiments import run_experiment
+
+        tel = obs.enable(fresh=True)
+        run_experiment("table2", fast=True)
+        started = tel.log.query(event=names.EVENT_EXPERIMENT_STARTED)
+        finished = tel.log.query(event=names.EVENT_EXPERIMENT_FINISHED)
+        assert len(started) == len(finished) == 1
+        assert started[0]["experiment"] == "table2"
+        assert started[0]["fast"] is True
+        assert finished[0]["wall_time_s"] > 0.0
+        (manifest,) = tel.manifests
+        assert started[0]["run_id"] == manifest.run_id
+        assert tel.log.context == {}  # unbound after the run
+
+    def test_failed_run_logs_at_error_level(self, monkeypatch):
+        import sys
+        import types
+
+        from repro.experiments import runner
+
+        mod = types.ModuleType("repro.experiments._logtest")
+
+        def run(fast=False, rng=None):
+            raise RuntimeError("boom")
+
+        mod.run = run
+        monkeypatch.setitem(sys.modules, "repro.experiments._logtest", mod)
+        monkeypatch.setitem(runner._EXPERIMENTS, "_logtest",
+                            "repro.experiments._logtest")
+        tel = obs.enable(fresh=True)
+        with pytest.raises(Exception):
+            runner.run_experiment("_logtest", fast=True)
+        (failed,) = tel.log.query(event=names.EVENT_EXPERIMENT_FAILED)
+        assert failed["level"] == "error"
+        assert failed["error_type"] == "RuntimeError"
+        assert tel.log.context == {}  # unbound even on failure
+
+    def test_degradation_lands_in_the_log(self):
+        from repro.resilience.degrade import DegradationEvent, record_event
+
+        tel = obs.enable(fresh=True)
+        record_event(DegradationEvent(
+            site="qnet.solve", action="degrade", from_stage="exact",
+            to_stage="schweitzer", detail="budget exhausted"))
+        (rec,) = tel.log.query(event=names.EVENT_RESILIENCE_DEGRADED)
+        assert rec["level"] == "warning"
+        assert rec["from_stage"] == "exact"
+        assert rec["to_stage"] == "schweitzer"
