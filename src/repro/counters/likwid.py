@@ -29,7 +29,7 @@ class TopologyMap:
 
     def __init__(self, machine: Machine) -> None:
         self.machine = machine
-        self._cores: list[Core] = machine.cores()
+        self._cores: tuple[Core, ...] = machine.cores()
 
     def core_row(self, logical_id: int) -> _CoreRow:
         """Topology of one logical core."""

@@ -47,7 +47,7 @@ def run(fast: bool = False, rng=None) -> ExperimentResult:
         run_ = MeasurementRun(PROGRAM, SIZE, machine, rng=rng)
         pts = list(range(1, cpp + 1)) if not fast else \
             sorted({1, 2, cpp // 2, cpp})
-        sweep = {n: run_.measure(n) for n in pts}
+        sweep = run_.sweep(pts)
         fit_pts = {n: sweep[n] for n in (1, 2, cpp)}
         base = fit_single_processor(fit_pts)
         ext = fit_channel_aware(fit_pts, machine)

@@ -41,7 +41,7 @@ def run(fast: bool = False, rng=None) -> ExperimentResult:
             list(range(1, n_cores + 1, step)) + [n_cores]
             + paper_fit_points(machine)
             + paper_fit_points(machine, reduced=True)))
-        sweep = {n: run_.measure(n) for n in pts}
+        sweep = run_.sweep(pts)
         errors = {}
         for variant, reduced in (("full", False), ("reduced", True)):
             model = fit_model(machine, sweep, reduced=reduced)

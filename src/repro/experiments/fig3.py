@@ -41,7 +41,7 @@ def run(fast: bool = False, rng=None) -> ExperimentResult:
         with obs.span(f"machine.{mkey}", program=PROGRAM, size=SIZE):
             run_ = MeasurementRun(PROGRAM, SIZE, machine, rng=rng)
             pts = _sweep_points(machine.n_cores, fast)
-            sweep = {n: run_.measure(n) for n in pts}
+            sweep = run_.sweep(pts)
         table = TextTable(
             ["n", "total cycles", "stalled cycles", "work cycles",
              "LLC misses"],

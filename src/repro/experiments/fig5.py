@@ -54,7 +54,7 @@ def run(fast: bool = False, rng=None, program: str = PROGRAM,
             run_ = MeasurementRun(program, actual_size, machine, rng=rng)
             pts = sorted(set(_sweep_points(machine.n_cores, fast)
                              + paper_fit_points(machine)))
-            sweep = {n: run_.measure(n) for n in pts}
+            sweep = run_.sweep(pts)
             model = fit_model(machine, sweep)
             report = validate_model(model, sweep)
         table = TextTable(

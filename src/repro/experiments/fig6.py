@@ -37,7 +37,7 @@ def run(fast: bool = False, rng=None) -> ExperimentResult:
             step = max(n_cores // (6 if fast else 24), 1)
             pts = sorted(set(list(range(1, n_cores + 1, step)) + [n_cores]
                              + paper_fit_points(machine)))
-            sweep = {n: run_.measure(n) for n in pts}
+            sweep = run_.sweep(pts)
             model = fit_model(machine, sweep)
             report = validate_model(model, sweep)
         table = TextTable(

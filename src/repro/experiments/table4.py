@@ -42,7 +42,7 @@ def run(fast: bool = False, rng=None) -> ExperimentResult:
                 run_ = MeasurementRun(program, size, machine, rng=rng)
                 pts = list(range(1, cpp + 1)) if not fast \
                     else sorted(set([1, 2, cpp // 2, cpp]))
-                sweep = {n: run_.measure(n) for n in pts}
+                sweep = run_.sweep(pts)
                 fit = colinearity_fit(sweep, max_n=cpp)
             r2 = fit.r2
             paper = TABLE4_R2[mkey][f"{program}.{size}"]

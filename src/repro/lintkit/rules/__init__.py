@@ -4,6 +4,8 @@ Families (see docs/LINTING.md for the full catalogue):
 
 * ``DET``  — determinism: no unseeded randomness, no wall-clock reads.
 * ``UNT``  — unit safety: no cycles/seconds/requests mixing.
+* ``PERF`` — batch hygiene: experiment sweeps go through the batch
+  solver kernel, not per-cell loops.
 * ``PUR``  — cache purity: memoized solvers stay side-effect free.
 * ``SIM``  — desim scheduling invariants.
 * ``TEL``  — telemetry hygiene: registry-constant metric names, spans
@@ -14,6 +16,7 @@ from repro.lintkit.rules import (  # noqa: F401
     cachepurity,
     desim,
     determinism,
+    perf,
     telemetry,
     units,
 )

@@ -74,15 +74,32 @@ class CoreAllocation:
         return self.n_threads / self.n_active
 
     def cores_per_processor(self) -> list[int]:
-        """Active core count on each processor, in processor order."""
-        counts = [0] * self.machine.n_processors
-        for cid in self.active_core_ids:
-            counts[self.machine.core(cid).processor_index] += 1
-        return counts
+        """Active core count on each processor, in processor order.
+
+        The placement is a pure function of the frozen allocation, and
+        the flow solver reads it several times per solve, so the counts
+        are computed once per instance (against the machine's memoized
+        core enumeration, not a per-call rebuild) and copied out — the
+        returned list stays safely mutable for callers.
+        """
+        cached = self.__dict__.get("_cores_per_processor")
+        if cached is None:
+            counts = [0] * self.machine.n_processors
+            cores = self.machine.cores()
+            for cid in self.active_core_ids:
+                counts[cores[cid].processor_index] += 1
+            cached = tuple(counts)
+            object.__setattr__(self, "_cores_per_processor", cached)
+        return list(cached)
 
     def active_processors(self) -> list[int]:
         """Indices of processors with at least one active core."""
-        return [i for i, c in enumerate(self.cores_per_processor()) if c > 0]
+        cached = self.__dict__.get("_active_processors")
+        if cached is None:
+            cached = tuple(i for i, c in enumerate(self.cores_per_processor())
+                           if c > 0)
+            object.__setattr__(self, "_active_processors", cached)
+        return list(cached)
 
     def active_controllers(self) -> list[int]:
         """Controller ids in service under this allocation.

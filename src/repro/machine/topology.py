@@ -157,14 +157,29 @@ class Machine:
     @property
     def n_cores(self) -> int:
         """Total logical cores (the paper's '8', '24', '48')."""
-        return sum(p.n_logical_cores for p in self.processors)
+        cached = self.__dict__.get("_n_cores")
+        if cached is None:
+            cached = sum(p.n_logical_cores for p in self.processors)
+            object.__setattr__(self, "_n_cores", cached)
+        return cached
 
     @property
     def n_processors(self) -> int:
         return len(self.processors)
 
-    def cores(self) -> list[Core]:
-        """All logical cores in LIKWID-style fill-package order."""
+    def cores(self) -> tuple[Core, ...]:
+        """All logical cores in LIKWID-style fill-package order.
+
+        The enumeration is a pure function of the (frozen) topology, and
+        it sits on the solver hot path — every allocation derives its
+        per-processor placement from it — so the tuple is built once per
+        machine instance and memoized.  Memo attributes live outside the
+        dataclass fields: equality, hashing and cache fingerprints are
+        untouched.
+        """
+        cached = self.__dict__.get("_cores")
+        if cached is not None:
+            return cached
         out: list[Core] = []
         logical = 0
         for proc in self.processors:
@@ -180,7 +195,9 @@ class Machine:
                         smt_sibling=sibling,
                     ))
                     logical += 1
-        return out
+        frozen = tuple(out)
+        object.__setattr__(self, "_cores", frozen)
+        return frozen
 
     def core(self, logical_id: int) -> Core:
         cores = self.cores()

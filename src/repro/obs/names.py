@@ -26,6 +26,7 @@ DIAG_FITS = "diag.fits"
 DIAG_INFLUENTIAL_POINTS = "diag.influential_points"
 
 # -- per-cell solve latency (log-bucket histograms; p50/p95/p99 in BENCH) -----
+LATENCY_FLOW_BATCH_SECONDS = "latency.flow.batch_seconds"
 LATENCY_FLOW_SOLVE_SECONDS = "latency.flow.solve_seconds"
 LATENCY_MVA_BATCH_SECONDS = "latency.mva.batch_seconds"
 LATENCY_MVA_SOLVE_SECONDS = "latency.mva.solve_seconds"
@@ -45,6 +46,10 @@ OBS_EMPTY_SERIES_WARNINGS = "obs.empty_series_warnings"
 PROF_CALLS_RECORDED = "prof.calls_recorded"
 PROF_FUNCTIONS_SEEN = "prof.functions_seen"
 PROF_WALL_SECONDS = "prof.wall_seconds"
+
+# -- sweep-batched solver kernel ----------------------------------------------
+PERF_BATCH_CELLS = "perf.batch.cells"
+PERF_BATCH_FALLBACKS = "perf.batch.fallbacks"
 
 # -- queueing solvers ---------------------------------------------------------
 QNET_GG1_CALLS = "qnet.gg1.calls"

@@ -325,6 +325,58 @@ def exact_throughputs(demands: np.ndarray, is_queue: np.ndarray,
     return x
 
 
+def exact_throughputs_cells(
+        blocks: "list[tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]]",
+) -> list[np.ndarray]:
+    """Fused multi-cell exact MVA over a ``[cell, chain, station]`` tensor.
+
+    ``blocks`` holds one ``(demands, is_queue, scv, populations)`` tuple
+    per grid cell, each a ``[chain, station]`` batch as accepted by
+    :func:`exact_throughputs`.  Cells sharing a station width are
+    concatenated into a single ``[cell x chain, station]`` recursion —
+    the fused tensor flattened along its first two axes, which is exact
+    because every recursion operation is row-independent — while cells
+    of different widths run in separate passes: a row must never be
+    padded beyond its own cell's width, or crossing numpy's pairwise-
+    summation block boundaries could change the last ulp of its demand
+    sums and break the bit-compatibility the memoization layer asserts.
+
+    Telemetry accounting matches ``len(blocks)`` scalar-path calls: one
+    ``qnet.mva.exact.calls`` per chain row, ``.iterations`` per customer,
+    and one ``.batches`` plus one ``latency.mva.batch_seconds``
+    observation per fused recursion.  Returns the per-cell throughput
+    arrays in input order.
+    """
+    tel = _obs_state._active
+    out: list[np.ndarray] = [np.empty(0)] * len(blocks)
+    by_width: dict[int, list[int]] = {}
+    for i, (d, _, _, _) in enumerate(blocks):
+        by_width.setdefault(d.shape[1], []).append(i)
+    for _, idxs in sorted(by_width.items()):
+        if len(idxs) == 1:
+            d, iq, sv, pops = blocks[idxs[0]]
+        else:
+            d = np.concatenate([blocks[i][0] for i in idxs])
+            iq = np.concatenate([blocks[i][1] for i in idxs])
+            sv = np.concatenate([blocks[i][2] for i in idxs])
+            pops = np.concatenate([blocks[i][3] for i in idxs])
+        if tel is None:
+            x, _, _, _ = _exact_recursion(d, iq, sv, pops)
+        else:
+            with tel.metrics.timer(_names.LATENCY_MVA_BATCH_SECONDS):
+                x, _, _, _ = _exact_recursion(d, iq, sv, pops)
+            reg = tel.metrics
+            reg.counter(_names.QNET_MVA_EXACT_CALLS).inc(len(pops))
+            reg.counter(_names.QNET_MVA_EXACT_ITERATIONS).inc(int(pops.sum()))
+            reg.counter(_names.QNET_MVA_EXACT_BATCHES).inc()
+        off = 0
+        for i in idxs:
+            k = len(blocks[i][3])
+            out[i] = x[off:off + k]
+            off += k
+    return out
+
+
 def schweitzer_amva(network: ClosedNetwork, population: int,
                     tol: float = 1e-10, max_iter: int = 100_000,
                     strict: bool = False) -> MVAResult:

@@ -41,11 +41,30 @@ Three layers keep repeated solves cheap (see docs/PERFORMANCE.md):
   distance to the fixed point is extrapolated in one jump instead of
   being iterated out (the loop still runs to the usual tolerance, so the
   fixed point reached is the same to within it).
+
+Sweep batching
+--------------
+Experiment drivers evaluate whole (machine x workload x allocation)
+grids; :func:`solve_flow_batch` / :func:`solve_flow_cells` run the fixed
+point of *every* grid cell in lock-step: each round assembles the pending
+chain rows of all unconverged cells, solves them in one MVA batch per
+station width, and steps every cell once.  Converged cells freeze while
+stragglers keep iterating.  Per-cell arithmetic is the same
+:class:`_FlowCell` code the scalar path runs — batch results are
+bit-identical to scalar ones by construction — and any cell the batch
+attempt cannot converge falls through to the scalar resilience ladder,
+so watchdogs, degradation events and fault injection keep their exact
+semantics.  The ``REPRO_BATCH_SOLVE`` environment switch (default on)
+lets drivers opt out; see docs/PERFORMANCE.md.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+import os
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+from typing import cast
 
 import numpy as np
 
@@ -61,6 +80,7 @@ from repro.perf.keys import flow_key as _flow_key
 from repro.qnet.mva import (
     bound_throughputs,
     exact_throughputs,
+    exact_throughputs_cells,
     schweitzer_throughputs,
 )
 from repro.resilience import faultinject
@@ -140,6 +160,22 @@ class FlowResult:
         this never raises.
         """
         return max(self.per_core_cycles)
+
+
+def _copy_cached(result: FlowResult) -> FlowResult:
+    """Cheap copy of a memoized :class:`FlowResult` for one caller.
+
+    The dataclass is frozen but holds one mutable dict, so each cache
+    hit must hand out its own copy.  ``dataclasses.replace`` re-runs
+    ``__init__``/``__post_init__`` (field iteration plus validation) on
+    every hit, which is measurable at service rates; the cached value
+    already passed validation at construction, so this clones the
+    instance dict directly and only the mutable member is rebuilt.
+    """
+    out = object.__new__(FlowResult)
+    out.__dict__.update(result.__dict__)
+    out.__dict__["controller_utilisation"] = dict(result.controller_utilisation)
+    return out
 
 
 def cross_package_share(alloc: CoreAllocation) -> float:
@@ -274,10 +310,7 @@ def _solve_flow_entry(profile: MemoryProfile, machine: Machine,
     if use_cache:
         hit = _flow_cache.get(key)
         if hit is not _MISS:
-            # The result dataclass is frozen but holds one mutable dict;
-            # hand each caller its own copy.
-            return replace(
-                hit, controller_utilisation=dict(hit.controller_utilisation))
+            return _copy_cached(hit)
     tel = _obs_state._active
     if tel is not None:
         tel.metrics.counter(_names.RUNTIME_FLOW_SOLVES).inc()
@@ -331,233 +364,350 @@ def _solve_flow(profile: MemoryProfile, machine: Machine,
                 damping: float = 0.5,
                 policy: ConvergencePolicy = DEFAULT_POLICY,
                 accept_nonconverged: bool = False) -> FlowResult:
-    n = alloc.n_active
-    counts = alloc.cores_per_processor()
-    active = alloc.active_processors()
-    freq = machine.frequency
+    """Scalar driver: build one cell and step it to convergence.
 
-    # --- workload aggregates under this allocation ---------------------------
-    share = cross_package_share(alloc)
-    r = profile.llc_misses + profile.cross_package_miss_growth * share
-    check_positive("off-chip requests", r)
-    w_eff = profile.work_cycles * (
-        1.0 + profile.smt_work_inflation * smt_paired_fraction(alloc))
-    b_eff = profile.base_stall_cycles * (
-        1.0 - profile.cache_bonus * (1.0 - 1.0 / n))
-    episodes = r / profile.mlp
-    think = (w_eff + b_eff) / episodes
-    amp = profile.write_amplification
-
-    groups = _controller_groups(machine)
-    # Effective station SCV: Allen-Cunneen style blend of service
-    # variability (row hit/conflict) and traffic burstiness.
-    ca2 = profile.burst.arrival_scv
-    for g in groups.values():
-        g["scv_eff"] = min(0.5 * (g["scv"] + ca2), _SCV_CAP)
-
-    is_uma = machine.architecture is MemoryArchitecture.UMA
-
-    # Visit probabilities: thread-private data (first-touch) stays on the
-    # requesting core's own processor; the shared fraction spreads over
-    # active processors proportionally to their core counts (first-touch
-    # under the paper's fixed thread count places data where threads run).
-    # UMA machines send everything to the one shared group.
-    sdf = profile.shared_data_fraction
-
-    def visits(p: int) -> dict[str, float]:
-        if is_uma:
-            return {"mc": 1.0}
-        out = {f"mc{q}": sdf * counts[q] / n for q in active}
-        out[f"mc{p}"] = out.get(f"mc{p}", 0.0) + (1.0 - sdf)
-        return out
-
-    bus_cycles = 0.0
-    if is_uma:
-        bus = machine.processors[0].bus
-        assert bus is not None
-        bus_cycles = bus.transfer_cycles(freq)
-    link_cycles = 0.0
-    if machine.interconnect is not None:
-        link_cycles = freq.cycles_in(
-            machine.interconnect.link_transfer_ns() * 1e-9)
-    # Coherence probes fan out to every active core, so the protocol
-    # traffic riding on each remote line grows smoothly with how far the
-    # allocation extends beyond the first package (Magny-Cours broadcast
-    # probes; QPI snoops).  Per-core rather than per-package growth keeps
-    # the measured cross-package curve close to linear — which is also
-    # what the paper's near-linear measured segments show.
-    cpp0 = machine.processors[0].n_logical_cores
-    if machine.n_cores > cpp0:
-        span = max(n - cpp0, 0) / (machine.n_cores - cpp0)
-    else:
-        span = 0.0
-    penalty_eff = profile.remote_penalty * span
-
-    # --- shadow-utilisation fixed point --------------------------------------
-    contrib: dict[tuple[int, str], float] = {
-        (p, gname): 0.0 for p in active for gname in visits(p)}
-    if not is_uma and link_cycles > 0.0:
-        # Incoming remote lines occupy the destination processor's port:
-        # chains are coupled through the ports exactly like through the
-        # controllers.
-        for p in active:
-            for q in active:
-                if q != p:
-                    contrib[(q, f"port{p}")] = 0.0
-    x_proc: dict[int, float] = {p: 0.0 for p in active}
-    residence_mem: dict[int, float] = {p: 0.0 for p in active}
-
-    def group_util(gname: str) -> float:
-        """Reported utilisation of a group (capped at the physical 1.0)."""
-        return min(sum(v for (p, g), v in contrib.items() if g == gname), 1.0)
-
-    def loaded_service(gname: str) -> float:
-        """Row-locality degradation: service grows with utilisation.
-
-        Quadratic in utilisation: a lone stream keeps its row locality
-        until the banks are genuinely crowded, so the degradation is
-        concentrated near saturation (this also keeps the feedback loop's
-        mid-range gain low enough for a unique fixed point).
-        """
-        g = groups[gname]
-        rho = group_util(gname)
-        return g["service"] + (g["service_sat"] - g["service"]) * rho * rho
-
-    def foreign_util(gname: str, me: int) -> float:
-        """Load other processors put on a group, as seen by ``me``.
-
-        Individually capped below 1 so the shadow inflation stays finite;
-        the fixed point itself keeps the joint utilisation physical
-        (overload slows every contributor down).
-        """
-        other = sum(v for (p, g), v in contrib.items()
-                    if g == gname and p != me)
-        return min(other, _RHO_CEILING)
-
-    # --- chain templates ------------------------------------------------------
-    # Station values that do not move during the fixed point (think time,
-    # bus demand, idle-latency delay, port base demand, SCVs) are assembled
-    # once; each Jacobi iteration only refreshes the load-dependent
-    # controller-group and port demands in the preallocated row.
-    own_bg_weight = 1.0 - 1.0 / amp
-    chains: list[dict] = []
-    for p in active:
-        v = {g: vq for g, vq in visits(p).items() if vq > 0.0}
-        fixed_delay = 0.0
-        svc_scale: dict[str, float] = {}
-        for gname, vq in v.items():
-            g = groups[gname]
-            dst = g["processor"]
-            # Remote requests occupy the home controller longer than local
-            # ones: the directory/probe handling, the snoop round trip
-            # holding the transaction open, and the poor row locality of an
-            # alien stream.  ``remote_penalty`` (the second calibration
-            # knob) scales that extra occupancy per workload; it grows with
-            # the allocation's span because probe fan-out does.
-            svc_scale[gname] = 1.0 + penalty_eff \
-                if (dst is not None and dst != p) else 1.0
-            # Idle access latency is paid once per episode (overlapped
-            # requests pipeline behind the first), plus interconnect hops
-            # for remote visits.
-            fixed_delay += vq * g["latency"]
-            if dst is not None:
-                fixed_delay += vq * _hop_cycles(machine, p, dst)
-        port_base = 0.0
-        if link_cycles > 0.0 and penalty_eff > 0.0:
-            # Remote lines, their write-back companions and the coherence
-            # messages riding with them occupy this processor's
-            # interconnect port for one transfer per hop.
-            # ``remote_penalty`` scales the occupancy per workload — the
-            # hop structure (adjacent vs diagonal packages) stays, which
-            # is what makes the homogeneous-latency model variant lose
-            # accuracy on this machine.  (The remote *share* and the hop
-            # mix already grow with the span, so the port cost per core
-            # stays near-constant within a package — the near-linear
-            # segments of the paper's curves.)
-            port_base = sum(
-                vq * _hops_between(machine, p, groups[gname]["processor"])
-                for gname, vq in v.items()
-                if groups[gname]["processor"] is not None
-                and groups[gname]["processor"] != p
-            ) * profile.mlp * link_cycles * penalty_eff
-        demands = [think]
-        is_queue = [False]
-        scvs = [1.0]
-        if is_uma:
-            # Write-backs and prefetches cross the front-side bus too.
-            demands.append(profile.mlp * amp * bus_cycles)
-            is_queue.append(True)
-            scvs.append(1.0)
-        group_idx: dict[str, int] = {}
-        for gname in v:
-            group_idx[gname] = len(demands)
-            demands.append(0.0)
-            is_queue.append(True)
-            scvs.append(groups[gname]["scv_eff"])
-        if fixed_delay > 0.0:
-            demands.append(fixed_delay)
-            is_queue.append(False)
-            scvs.append(1.0)
-        port_idx = None
-        if port_base > 0.0:
-            port_idx = len(demands)
-            demands.append(0.0)
-            is_queue.append(True)
-            scvs.append(1.0)
-        chains.append({
-            "p": p, "pop": counts[p], "visits": v, "svc_scale": svc_scale,
-            "demands": np.array(demands), "is_queue": np.array(is_queue),
-            "scv": np.array(scvs), "group_idx": group_idx,
-            "port_idx": port_idx, "port_base": port_base,
-        })
-    width = max(len(c["demands"]) for c in chains)
-
-    #: Per-chain throughput function of the active degradation rung.
-    batch_solver = {
-        "exact": exact_throughputs,
-        "schweitzer": schweitzer_throughputs,
-        "bounds": bound_throughputs,
-    }[solver]
-
-    prev_delta: dict[tuple[int, str], float] | None = None
-    jumps = 0
-    dog = Watchdog(FLOW_SITE, max_iterations=policy.max_iterations,
-                   time_budget_s=policy.time_budget_s)
+    The per-iteration arithmetic lives in :class:`_FlowCell`; this loop
+    is the degenerate one-cell instance of the lock-step the batch
+    driver (:func:`solve_flow_cells`) runs, so scalar and batch results
+    agree bit for bit by construction.
+    """
+    cell = _FlowCell(profile, machine, alloc, solver=solver, damping=damping,
+                     policy=policy, accept_nonconverged=accept_nonconverged)
     while True:
-        # Jacobi iteration: every processor's network is solved against the
-        # *previous* utilisation state, then all contributions update
-        # together.  (Sequential Gauss-Seidel updates break the symmetry
-        # between identical processors and drift toward a spurious
-        # winner-takes-all fixed point.)  All chains are assembled into one
-        # batch; rows are sorted into a canonical station order (only the
-        # throughput is consumed, which does not depend on it) so that
-        # symmetric processors produce bitwise-equal rows and collapse to
-        # a single solve.
-        batch: list[tuple] = []
+        rows = cell.assemble()
+        if rows:
+            cell.absorb(_solve_rows(cell.batch_solver, rows))
+        if cell.update():
+            return cell.finalize()
+
+
+def _solve_rows(batch_solver, rows: list[tuple]) -> dict:
+    """Solve deduplicated chain rows in stacked batches; memoize each.
+
+    ``rows`` are ``(key, population, demands, is_queue, scv)`` tuples as
+    produced by :meth:`_FlowCell.assemble`.  Rows are grouped by station
+    width and stacked into one solver call per width: pooling cells of
+    different machines must never pad a row beyond its own cell's width,
+    because crossing numpy's pairwise-summation block boundaries could
+    change the last ulp of a row's demand sum — the same cache key must
+    map to the same bits no matter which driver (or batch composition)
+    solved it.
+    """
+    out: dict[tuple, float] = {}
+    by_width: dict[int, list[tuple]] = {}
+    for row in rows:
+        by_width.setdefault(len(row[2]), []).append(row)
+    batches = [batch for _, batch in sorted(by_width.items())]
+    blocks = [(
+        np.stack([b[2] for b in batch]),
+        np.stack([b[3] for b in batch]),
+        np.stack([b[4] for b in batch]),
+        np.array([b[1] for b in batch]),
+    ) for batch in batches]
+    if batch_solver is exact_throughputs:
+        solved = exact_throughputs_cells(blocks)
+    else:
+        solved = [batch_solver(*block) for block in blocks]
+    for batch, xs in zip(batches, solved):
+        for (key, _, _, _, _), xv in zip(batch, xs):
+            xv = float(xv)
+            _mva_cache.put(key, xv)
+            out[key] = xv
+    return out
+
+
+class _FlowCell:
+    """One (profile, machine, allocation) cell of the shadow fixed point.
+
+    The solve is split into externally steppable phases so one driver
+    loop can interleave many cells:
+
+    * :meth:`assemble` refreshes the load-dependent station demands
+      against the current utilisation state and returns the chain rows
+      whose MVA solution is not already memoized;
+    * :meth:`absorb` hands back the solved throughputs;
+    * :meth:`update` applies the damped Jacobi step, returning ``True``
+      once converged (a watchdog trip raises, exactly as the historical
+      single-cell loop did, unless this is the final ladder rung);
+    * :meth:`finalize` turns the fixed point into a :class:`FlowResult`.
+
+    Every floating-point operation — including the iteration order of
+    the utilisation sums — matches the historical inline loop, which is
+    what makes batch solves bit-compatible with scalar ones.
+    """
+
+    def __init__(self, profile: MemoryProfile, machine: Machine,
+                 alloc: CoreAllocation, *, solver: str, damping: float,
+                 policy: ConvergencePolicy,
+                 accept_nonconverged: bool) -> None:
+        self.profile = profile
+        self.solver = solver
+        self.damping = damping
+        self.accept_nonconverged = accept_nonconverged
+        n = alloc.n_active
+        counts = alloc.cores_per_processor()
+        active = alloc.active_processors()
+        freq = machine.frequency
+
+        # --- workload aggregates under this allocation -----------------------
+        share = cross_package_share(alloc)
+        r = profile.llc_misses + profile.cross_package_miss_growth * share
+        check_positive("off-chip requests", r)
+        w_eff = profile.work_cycles * (
+            1.0 + profile.smt_work_inflation * smt_paired_fraction(alloc))
+        b_eff = profile.base_stall_cycles * (
+            1.0 - profile.cache_bonus * (1.0 - 1.0 / n))
+        episodes = r / profile.mlp
+        think = (w_eff + b_eff) / episodes
+        amp = profile.write_amplification
+
+        groups = _controller_groups(machine)
+        # Effective station SCV: Allen-Cunneen style blend of service
+        # variability (row hit/conflict) and traffic burstiness.
+        ca2 = profile.burst.arrival_scv
+        for g in groups.values():
+            g["scv_eff"] = min(0.5 * (g["scv"] + ca2), _SCV_CAP)
+
+        is_uma = machine.architecture is MemoryArchitecture.UMA
+
+        # Visit probabilities: thread-private data (first-touch) stays on
+        # the requesting core's own processor; the shared fraction spreads
+        # over active processors proportionally to their core counts
+        # (first-touch under the paper's fixed thread count places data
+        # where threads run).  UMA machines send everything to the one
+        # shared group.
+        sdf = profile.shared_data_fraction
+
+        def visits(p: int) -> dict[str, float]:
+            if is_uma:
+                return {"mc": 1.0}
+            out = {f"mc{q}": sdf * counts[q] / n for q in active}
+            out[f"mc{p}"] = out.get(f"mc{p}", 0.0) + (1.0 - sdf)
+            return out
+
+        bus_cycles = 0.0
+        if is_uma:
+            bus = machine.processors[0].bus
+            assert bus is not None
+            bus_cycles = bus.transfer_cycles(freq)
+        link_cycles = 0.0
+        if machine.interconnect is not None:
+            link_cycles = freq.cycles_in(
+                machine.interconnect.link_transfer_ns() * 1e-9)
+        # Coherence probes fan out to every active core, so the protocol
+        # traffic riding on each remote line grows smoothly with how far
+        # the allocation extends beyond the first package (Magny-Cours
+        # broadcast probes; QPI snoops).  Per-core rather than per-package
+        # growth keeps the measured cross-package curve close to linear —
+        # which is also what the paper's near-linear measured segments
+        # show.
+        cpp0 = machine.processors[0].n_logical_cores
+        if machine.n_cores > cpp0:
+            span = max(n - cpp0, 0) / (machine.n_cores - cpp0)
+        else:
+            span = 0.0
+        penalty_eff = profile.remote_penalty * span
+
+        # --- shadow-utilisation fixed point ----------------------------------
+        contrib: dict[tuple[int, str], float] = {
+            (p, gname): 0.0 for p in active for gname in visits(p)}
+        if not is_uma and link_cycles > 0.0:
+            # Incoming remote lines occupy the destination processor's
+            # port: chains are coupled through the ports exactly like
+            # through the controllers.
+            for p in active:
+                for q in active:
+                    if q != p:
+                        contrib[(q, f"port{p}")] = 0.0
+        x_proc: dict[int, float] = {p: 0.0 for p in active}
+        residence_mem: dict[int, float] = {p: 0.0 for p in active}
+
+        # --- chain templates --------------------------------------------------
+        # Station values that do not move during the fixed point (think
+        # time, bus demand, idle-latency delay, port base demand, SCVs)
+        # are assembled once; each Jacobi iteration only refreshes the
+        # load-dependent controller-group and port demands in the
+        # preallocated row.
+        own_bg_weight = 1.0 - 1.0 / amp
+        chains: list[dict] = []
+        for p in active:
+            v = {g: vq for g, vq in visits(p).items() if vq > 0.0}
+            fixed_delay = 0.0
+            svc_scale: dict[str, float] = {}
+            for gname, vq in v.items():
+                g = groups[gname]
+                dst = g["processor"]
+                # Remote requests occupy the home controller longer than
+                # local ones: the directory/probe handling, the snoop
+                # round trip holding the transaction open, and the poor
+                # row locality of an alien stream.  ``remote_penalty``
+                # (the second calibration knob) scales that extra
+                # occupancy per workload; it grows with the allocation's
+                # span because probe fan-out does.
+                svc_scale[gname] = 1.0 + penalty_eff \
+                    if (dst is not None and dst != p) else 1.0
+                # Idle access latency is paid once per episode
+                # (overlapped requests pipeline behind the first), plus
+                # interconnect hops for remote visits.
+                fixed_delay += vq * g["latency"]
+                if dst is not None:
+                    fixed_delay += vq * _hop_cycles(machine, p, dst)
+            port_base = 0.0
+            if link_cycles > 0.0 and penalty_eff > 0.0:
+                # Remote lines, their write-back companions and the
+                # coherence messages riding with them occupy this
+                # processor's interconnect port for one transfer per hop.
+                # ``remote_penalty`` scales the occupancy per workload —
+                # the hop structure (adjacent vs diagonal packages)
+                # stays, which is what makes the homogeneous-latency
+                # model variant lose accuracy on this machine.  (The
+                # remote *share* and the hop mix already grow with the
+                # span, so the port cost per core stays near-constant
+                # within a package — the near-linear segments of the
+                # paper's curves.)
+                port_base = sum(
+                    vq * _hops_between(machine, p, groups[gname]["processor"])
+                    for gname, vq in v.items()
+                    if groups[gname]["processor"] is not None
+                    and groups[gname]["processor"] != p
+                ) * profile.mlp * link_cycles * penalty_eff
+            demands = [think]
+            is_queue = [False]
+            scvs = [1.0]
+            if is_uma:
+                # Write-backs and prefetches cross the front-side bus too.
+                demands.append(profile.mlp * amp * bus_cycles)
+                is_queue.append(True)
+                scvs.append(1.0)
+            group_idx: dict[str, int] = {}
+            for gname in v:
+                group_idx[gname] = len(demands)
+                demands.append(0.0)
+                is_queue.append(True)
+                scvs.append(groups[gname]["scv_eff"])
+            if fixed_delay > 0.0:
+                demands.append(fixed_delay)
+                is_queue.append(False)
+                scvs.append(1.0)
+            port_idx = None
+            if port_base > 0.0:
+                port_idx = len(demands)
+                demands.append(0.0)
+                is_queue.append(True)
+                scvs.append(1.0)
+            chains.append({
+                "p": p, "pop": counts[p], "visits": v, "svc_scale": svc_scale,
+                "demands": np.array(demands), "is_queue": np.array(is_queue),
+                "scv": np.array(scvs), "group_idx": group_idx,
+                "port_idx": port_idx, "port_base": port_base,
+            })
+        width = max(len(c["demands"]) for c in chains)
+
+        #: Per-chain throughput function of the active degradation rung.
+        self.batch_solver = {
+            "exact": exact_throughputs,
+            "schweitzer": schweitzer_throughputs,
+            "bounds": bound_throughputs,
+        }[solver]
+
+        self.prev_delta: dict[tuple[int, str], float] | None = None
+        self.jumps = 0
+        self.dog = Watchdog(FLOW_SITE, max_iterations=policy.max_iterations,
+                            time_budget_s=policy.time_budget_s)
+
+        self.n = n
+        self.counts = counts
+        self.active = active
+        self.r = r
+        self.w_eff = w_eff
+        self.b_eff = b_eff
+        self.think = think
+        self.amp = amp
+        self.groups = groups
+        self.link_cycles = link_cycles
+        self.penalty_eff = penalty_eff
+        self.own_bg_weight = own_bg_weight
+        self.chains = chains
+        self.width = width
+        self.contrib = contrib
+        self.x_proc = x_proc
+        self.residence_mem = residence_mem
+        self.n_processors = machine.n_processors
+        self._loaded: dict[str, float] = {}
+        self._pending: dict[tuple, list[int]] = {}
+        self._solved: list[float | None] = []
+
+    def assemble(self) -> list[tuple]:
+        """One Jacobi assembly against the current utilisation state.
+
+        Every processor's network is refreshed against the *previous*
+        state, then all contributions update together in :meth:`update`
+        (sequential Gauss-Seidel updates would break the symmetry
+        between identical processors and drift toward a spurious
+        winner-takes-all fixed point).  Rows are sorted into a canonical
+        station order (only the throughput is consumed, which does not
+        depend on it) so symmetric processors produce bitwise-equal rows
+        and collapse to a single solve.  Returns the rows that missed
+        the MVA memo and still need solving.
+        """
+        contrib = self.contrib
+        profile = self.profile
+        # One insertion-order scan of the shared state replaces the
+        # historical per-group dict scans; each group's entries keep
+        # their relative order, so the order-sensitive float sums below
+        # are unchanged bit for bit.
+        by_group: dict[str, list[tuple[int, float]]] = {}
+        for (p, g), v in contrib.items():
+            by_group.setdefault(g, []).append((p, v))
+
+        def foreign_util(gname: str, me: int) -> float:
+            """Load other processors put on a group, as seen by ``me``.
+
+            Individually capped below 1 so the shadow inflation stays
+            finite; the fixed point itself keeps the joint utilisation
+            physical (overload slows every contributor down).
+            """
+            other = sum(v for q, v in by_group.get(gname, ()) if q != me)
+            return min(other, _RHO_CEILING)
+
+        # Row-locality degradation: service grows with utilisation,
+        # quadratically — a lone stream keeps its row locality until the
+        # banks are genuinely crowded, so the degradation concentrates
+        # near saturation (this also keeps the feedback loop's mid-range
+        # gain low enough for a unique fixed point).  Hoisted per
+        # iteration: the utilisation state is frozen during assembly.
+        loaded: dict[str, float] = {}
+        for gname, g in self.groups.items():
+            rho = min(sum(v for _, v in by_group.get(gname, ())), 1.0)
+            loaded[gname] = g["service"] \
+                + (g["service_sat"] - g["service"]) * rho * rho
+        self._loaded = loaded
+
         pending: dict[tuple, list[int]] = {}
-        solved: list[float | None] = [None] * len(chains)
-        for i, c in enumerate(chains):
+        solved: list[float | None] = [None] * len(self.chains)
+        rows: list[tuple] = []
+        for i, c in enumerate(self.chains):
             p = c["p"]
             d = c["demands"].copy()
             for gname, idx in c["group_idx"].items():
-                # Blocking demand misses compete with every foreign stream
-                # *and* with this processor's own non-blocking background
-                # traffic (write-backs, prefetches).
+                # Blocking demand misses compete with every foreign
+                # stream *and* with this processor's own non-blocking
+                # background traffic (write-backs, prefetches).
                 # A chain's own write-back/prefetch background delays its
                 # demand reads far less than foreign traffic does: real
                 # controllers drain writebacks in read-idle gaps
                 # (read-priority scheduling), so it enters the busy term
                 # with a small weight.
-                own_background = contrib[(p, gname)] * own_bg_weight
+                own_background = contrib[(p, gname)] * self.own_bg_weight
                 busy = min(foreign_util(gname, p) + 0.25 * own_background,
                            _RHO_CEILING)
                 inflate = 1.0 + _CONGESTION_GAIN * busy
                 d[idx] = c["visits"][gname] * profile.mlp \
-                    * loaded_service(gname) * c["svc_scale"][gname] * inflate
+                    * loaded[gname] * c["svc_scale"][gname] * inflate
             if c["port_idx"] is not None:
-                # Other chains' lines terminating here occupy this port as
-                # well; their utilisation inflates the local view like a
-                # foreign controller load.
+                # Other chains' lines terminating here occupy this port
+                # as well; their utilisation inflates the local view like
+                # a foreign controller load.
                 incoming = min(foreign_util(f"port{p}", p), _RHO_CEILING)
                 d[c["port_idx"]] = c["port_base"] \
                     * (1.0 + _CONGESTION_GAIN * incoming)
@@ -565,12 +715,12 @@ def _solve_flow(profile: MemoryProfile, machine: Machine,
             d = d[order]
             iq = c["is_queue"][order]
             sv = c["scv"][order]
-            if len(d) < width:
-                pad = width - len(d)
+            if len(d) < self.width:
+                pad = self.width - len(d)
                 d = np.concatenate([d, np.zeros(pad)])
                 iq = np.concatenate([iq, np.zeros(pad, dtype=bool)])
                 sv = np.concatenate([sv, np.ones(pad)])
-            key = ("chain", solver, c["pop"],
+            key = ("chain", self.solver, c["pop"],
                    d.tobytes(), iq.tobytes(), sv.tobytes())
             cached = _mva_cache.get(key)
             if cached is not _MISS:
@@ -579,96 +729,117 @@ def _solve_flow(profile: MemoryProfile, machine: Machine,
                 pending[key].append(i)
             else:
                 pending[key] = [i]
-                batch.append((key, c["pop"], d, iq, sv))
-        if batch:
-            xs = batch_solver(
-                np.stack([b[2] for b in batch]),
-                np.stack([b[3] for b in batch]),
-                np.stack([b[4] for b in batch]),
-                np.array([b[1] for b in batch]))
-            for (key, _, _, _, _), xv in zip(batch, xs):
-                xv = float(xv)
-                _mva_cache.put(key, xv)
-                for i in pending[key]:
-                    solved[i] = xv
+                rows.append((key, c["pop"], d, iq, sv))
+        self._pending = pending
+        self._solved = solved
+        return rows
 
+    def absorb(self, solutions: dict) -> None:
+        """Distribute solved throughputs onto this cell's pending chains."""
+        for key, idxs in self._pending.items():
+            xv = solutions[key]
+            for i in idxs:
+                self._solved[i] = xv
+
+    def update(self) -> bool:
+        """Apply one damped Jacobi step; ``True`` once converged.
+
+        A watchdog trip raises :class:`SolverError` unless this cell is
+        the final ladder rung (``accept_nonconverged``), in which case
+        the last iterate is accepted on the record — a degraded-but-
+        bounded answer beats a raise or a hang.
+        """
+        profile = self.profile
+        loaded = self._loaded
+        solved = self._solved
+        contrib = self.contrib
         proposed: dict[tuple[int, str], float] = {}
-        for i, c in enumerate(chains):
+        for i, c in enumerate(self.chains):
             p = c["p"]
             x_new = solved[i]
-            x_proc[p] = x_new
-            residence_mem[p] = c["pop"] / x_new - think
+            self.x_proc[p] = x_new
+            self.residence_mem[p] = c["pop"] / x_new - self.think
             for gname, vq in c["visits"].items():
-                # Channel occupancy includes the non-blocking write-back /
-                # prefetch traffic that rides along with each demand miss,
-                # and the extra occupancy of remote requests.
+                # Channel occupancy includes the non-blocking write-back
+                # / prefetch traffic that rides along with each demand
+                # miss, and the extra occupancy of remote requests.
                 proposed[(p, gname)] = \
-                    x_new * vq * profile.mlp * amp * loaded_service(gname) \
+                    x_new * vq * profile.mlp * self.amp * loaded[gname] \
                     * c["svc_scale"][gname]
-                dst = groups[gname]["processor"]
-                if link_cycles > 0.0 and penalty_eff > 0.0 \
+                dst = self.groups[gname]["processor"]
+                if self.link_cycles > 0.0 and self.penalty_eff > 0.0 \
                         and dst is not None and dst != p:
                     # Occupancy this chain's remote lines impose on the
                     # *destination* processor's port (a line terminates
                     # there exactly once, however many hops it crossed).
                     proposed[(p, f"port{dst}")] = \
-                        x_new * vq * profile.mlp * link_cycles \
-                        * penalty_eff
+                        x_new * vq * profile.mlp * self.link_cycles \
+                        * self.penalty_eff
         max_delta = 0.0
         delta: dict[tuple[int, str], float] = {}
         for key, new_val in proposed.items():
             old_val = contrib[key]
             # Damped for stability; retries escalate to heavier damping
             # (smaller new-value weight).
-            updated = (1.0 - damping) * old_val + damping * new_val
+            updated = (1.0 - self.damping) * old_val \
+                + self.damping * new_val
             d_val = updated - old_val
             delta[key] = d_val
             max_delta = max(max_delta, abs(d_val))
             contrib[key] = updated
         if max_delta < 1e-9:
-            break
+            return True
         try:
-            dog.tick(max_delta)
+            self.dog.tick(max_delta)
         except SolverError as exc:
-            if not accept_nonconverged:
+            if not self.accept_nonconverged:
                 raise
-            # Final ladder rung: a degraded-but-bounded answer beats a
-            # raise or a hang.  Accept the last iterate, on the record.
+            # Final ladder rung: accept the last iterate, on the record.
             record_event(DegradationEvent(
-                site=FLOW_SITE, action="gave_up", from_stage=solver,
-                to_stage=solver, detail=exc.message))
-            break
-        if prev_delta is not None and jumps < _TAIL_MAX_JUMPS \
+                site=FLOW_SITE, action="gave_up", from_stage=self.solver,
+                to_stage=self.solver, detail=exc.message))
+            return True
+        if self.prev_delta is not None and self.jumps < _TAIL_MAX_JUMPS \
                 and max_delta < _TAIL_DELTA:
-            jumped = _tail_jump(contrib, delta, prev_delta)
-            if jumped:
-                jumps += 1
-                prev_delta = None
-                continue
-        prev_delta = delta
+            if _tail_jump(contrib, delta, self.prev_delta):
+                self.jumps += 1
+                self.prev_delta = None
+                return False
+        self.prev_delta = delta
+        return False
 
-    # --- counter bookkeeping --------------------------------------------------
-    episodes_per_core = r / (n * profile.mlp)
-    per_core = [0.0] * machine.n_processors
-    memory_stall = 0.0
-    for p in active:
-        cycle_time = think + residence_mem[p]
-        per_core[p] = episodes_per_core * cycle_time
-        memory_stall += counts[p] * episodes_per_core * residence_mem[p]
-    total = w_eff + b_eff + memory_stall
+    def finalize(self) -> FlowResult:
+        """Counter bookkeeping of the converged fixed point."""
+        profile = self.profile
+        contrib = self.contrib
 
-    return FlowResult(
-        n_active=n,
-        total_cycles=total,
-        work_cycles=w_eff,
-        base_stall_cycles=b_eff,
-        memory_stall_cycles=memory_stall,
-        llc_misses=r,
-        instructions=profile.instructions,
-        per_core_cycles=tuple(per_core),
-        controller_utilisation={g: group_util(g) for g in groups},
-        solver_stage=solver,
-    )
+        def group_util(gname: str) -> float:
+            """Reported utilisation of a group (capped at the physical 1.0)."""
+            return min(
+                sum(v for (p, g), v in contrib.items() if g == gname), 1.0)
+
+        episodes_per_core = self.r / (self.n * profile.mlp)
+        per_core = [0.0] * self.n_processors
+        memory_stall = 0.0
+        for p in self.active:
+            cycle_time = self.think + self.residence_mem[p]
+            per_core[p] = episodes_per_core * cycle_time
+            memory_stall += self.counts[p] * episodes_per_core \
+                * self.residence_mem[p]
+        total = self.w_eff + self.b_eff + memory_stall
+
+        return FlowResult(
+            n_active=self.n,
+            total_cycles=total,
+            work_cycles=self.w_eff,
+            base_stall_cycles=self.b_eff,
+            memory_stall_cycles=memory_stall,
+            llc_misses=self.r,
+            instructions=profile.instructions,
+            per_core_cycles=tuple(per_core),
+            controller_utilisation={g: group_util(g) for g in self.groups},
+            solver_stage=self.solver,
+        )
 
 
 def _tail_jump(contrib: dict, delta: dict, prev_delta: dict) -> bool:
@@ -700,3 +871,182 @@ def _tail_jump(contrib: dict, delta: dict, prev_delta: dict) -> bool:
     for key, d_val in delta.items():
         contrib[key] = max(contrib[key] + d_val * gain, 0.0)
     return True
+
+
+# -- sweep-batched driver -----------------------------------------------------
+
+
+def batch_solve_enabled() -> bool:
+    """Whether drivers should route sweeps through the batch kernel.
+
+    Controlled by the ``REPRO_BATCH_SOLVE`` environment switch (default
+    on), mirroring the ``REPRO_PERF_CACHE`` convention; results are
+    bit-identical either way, so the switch only trades wall time.
+    """
+    return os.environ.get("REPRO_BATCH_SOLVE", "1") not in ("0", "false", "")
+
+
+def solve_flow_batch(profile: MemoryProfile, machine: Machine,
+                     allocations: "Sequence[CoreAllocation]",
+                     policy: ConvergencePolicy | None = None
+                     ) -> list[FlowResult]:
+    """Solve one profile/machine for many allocations in lock-step.
+
+    The sweep-shaped convenience form of :func:`solve_flow_cells`;
+    results are returned in allocation order and are bit-identical to
+    calling :func:`solve_flow` per allocation.
+    """
+    return solve_flow_cells(
+        [(profile, machine, alloc) for alloc in allocations], policy)
+
+
+def solve_flow_cells(
+        cells: "Iterable[tuple[MemoryProfile, Machine, CoreAllocation]]",
+        policy: ConvergencePolicy | None = None) -> list[FlowResult]:
+    """Solve many (profile, machine, allocation) cells in lock-step.
+
+    Each round pools every unconverged cell's pending chain rows into
+    stacked MVA batches (grouped by station width, deduplicated by
+    content key), then steps every cell once; converged cells freeze
+    while stragglers keep iterating.  The perf cache is consulted
+    per-cell first, only misses are solved, and solutions are
+    back-filled, so a batch interleaves with scalar calls exactly like a
+    sequential sweep would.  Cells the batch attempt cannot converge —
+    and whole batches under an armed fault injection or a ladder that
+    does not open on the exact rung — fall through to the scalar
+    resilience path with its full retry/degradation semantics.
+
+    Under telemetry the whole batch is timed into
+    ``latency.flow.batch_seconds`` and each cell lands one amortized
+    observation in ``latency.flow.solve_seconds`` (the per-cell latency
+    SLO keeps one observation per cell, whichever path solved it);
+    ``perf.batch.cells`` / ``perf.batch.fallbacks`` count the routing.
+    """
+    cells = list(cells)
+    if not cells:
+        return []
+    tel = _obs_state._active
+    if tel is None:
+        return _solve_flow_cells(cells, policy)
+    timer = tel.metrics.timer(_names.LATENCY_FLOW_BATCH_SECONDS)
+    before = timer.sum
+    with timer:
+        results = _solve_flow_cells(cells, policy)
+    # Amortized per-cell latency, read back from the timer instrument
+    # itself: model code takes no wall-clock reads of its own.
+    each = (timer.sum - before) / len(cells)
+    per_cell = tel.metrics.timer(_names.LATENCY_FLOW_SOLVE_SECONDS)
+    for _ in range(len(cells)):
+        per_cell.observe(each)
+    return results
+
+
+def _solve_flow_cells(
+        cells: "list[tuple[MemoryProfile, Machine, CoreAllocation]]",
+        policy: ConvergencePolicy | None) -> list[FlowResult]:
+    tel = _obs_state._active
+    armed = faultinject.solver_fault_armed(FLOW_SITE)
+    use_cache = policy is None and not armed
+    pol = policy if policy is not None else DEFAULT_POLICY
+    attempts = pol.attempts()
+    first_solver, first_damping = attempts[0]
+    if tel is not None:
+        tel.metrics.counter(_names.PERF_BATCH_CELLS).inc(len(cells))
+    if armed or first_solver != "exact":
+        # Fault plans consume one entry per solve attempt, and ladders
+        # that do not open on the exact rung cannot batch (Schweitzer
+        # couples its convergence residual across rows, so pooling cells
+        # would change results): route every cell through the scalar
+        # entry so attempt accounting and degradation semantics stay
+        # exact.
+        if tel is not None:
+            tel.metrics.counter(_names.PERF_BATCH_FALLBACKS).inc(len(cells))
+        return [_solve_flow_entry(p, m, a, policy) for p, m, a in cells]
+
+    results: list[FlowResult | None] = [None] * len(cells)
+    keys: list[object | None] = [None] * len(cells)
+    followers: dict[object, list[int]] = {}
+    solve_idx: list[int] = []
+    for i, (profile, machine, alloc) in enumerate(cells):
+        if alloc.machine is not machine and alloc.machine != machine:
+            raise ValidationError(
+                "allocation was built for a different machine")
+        if use_cache:
+            key = _flow_key(profile, machine, alloc)
+            keys[i] = key
+            hit = _flow_cache.get(key)
+            if hit is not _MISS:
+                results[i] = _copy_cached(hit)
+                continue
+            if key in followers:
+                # Duplicate cell within this batch: solve the first
+                # occurrence only and resolve the follower through the
+                # cache afterwards, so hit/solve accounting matches a
+                # sequential scalar sweep.
+                followers[key].append(i)
+                continue
+            followers[key] = []
+        solve_idx.append(i)
+
+    live: dict[int, _FlowCell] = {}
+    for i in solve_idx:
+        profile, machine, alloc = cells[i]
+        if tel is not None:
+            tel.metrics.counter(_names.RUNTIME_FLOW_SOLVES).inc()
+        live[i] = _FlowCell(profile, machine, alloc, solver=first_solver,
+                            damping=first_damping, policy=pol,
+                            accept_nonconverged=len(attempts) == 1)
+
+    fallback: list[int] = []
+    while live:
+        rows: dict[tuple, tuple] = {}
+        for cell in live.values():
+            for row in cell.assemble():
+                rows.setdefault(row[0], row)
+        solutions = _solve_rows(exact_throughputs, list(rows.values())) \
+            if rows else {}
+        done: list[int] = []
+        for i, cell in live.items():
+            cell.absorb(solutions)
+            try:
+                converged = cell.update()
+            except SolverError:
+                # The straggler re-enters the scalar resilience ladder
+                # from attempt 0: identical retries, damping escalation,
+                # degradation events and counters as a scalar call.  The
+                # abandoned batch attempt recorded nothing and left only
+                # warm MVA memo entries behind (bit-identical to the
+                # ones the scalar rerun is about to want).
+                fallback.append(i)
+                done.append(i)
+                continue
+            if converged:
+                result = cell.finalize()
+                results[i] = result
+                if use_cache:
+                    _flow_cache.put(keys[i], result)
+                done.append(i)
+        for i in done:
+            del live[i]
+
+    if fallback and tel is not None:
+        tel.metrics.counter(_names.PERF_BATCH_FALLBACKS).inc(len(fallback))
+    for i in fallback:
+        profile, machine, alloc = cells[i]
+        result = _solve_flow_resilient(profile, machine, alloc, pol)
+        if use_cache:
+            _flow_cache.put(keys[i], result)
+        results[i] = result
+
+    if use_cache:
+        for key, idxs in followers.items():
+            for i in idxs:
+                hit = _flow_cache.get(key)
+                if hit is not _MISS:
+                    results[i] = _copy_cached(hit)
+                else:
+                    # The cache was disabled or evicted under us; solve
+                    # the duplicate the way a scalar sweep would have.
+                    p, m, a = cells[i]
+                    results[i] = _solve_flow_entry(p, m, a, policy)
+    return cast("list[FlowResult]", results)

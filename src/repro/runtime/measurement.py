@@ -17,8 +17,9 @@ from repro.counters.papi import CounterSample
 from repro.machine.allocation import CoreAllocation
 from repro.machine.topology import Machine
 from repro.obs import names as _names
+from repro.perf.cache import caches_enabled
 from repro.runtime.calibration import calibrate_profile
-from repro.runtime.flow import solve_flow
+from repro.runtime.flow import batch_solve_enabled, solve_flow, solve_flow_cells
 from repro.runtime.noise import NoiseModel
 from repro.util.rng import resolve_rng, spawn_rng
 from repro.util.validation import check_integer
@@ -90,11 +91,31 @@ class MeasurementRun:
             obs.counter(_names.RUNTIME_MEASUREMENTS)
             return _average_samples(samples)
 
+    def prime(self, core_counts: list[int] | None = None) -> None:
+        """Batch-solve the flow cells of an upcoming sweep (default: all).
+
+        One :func:`repro.runtime.flow.solve_flow_cells` call runs every
+        (profile, machine, allocation) cell of the sweep in lock-step
+        and back-fills the flow cache, so the per-point :meth:`measure`
+        calls that follow are memo hits.  Results are bit-identical to
+        solving per point — the batch kernel shares the scalar path's
+        arithmetic — so this is purely a wall-time optimisation.  A
+        no-op when sweep batching (``REPRO_BATCH_SOLVE``) or the perf
+        cache (``REPRO_PERF_CACHE``) is off: the per-point calls then
+        solve scalar, bit-identically.
+        """
+        prime_runs([(self, core_counts)])
+
     def sweep(self, core_counts: list[int] | None = None
               ) -> dict[int, CounterSample]:
-        """Measure a list of core counts (default: 1..max)."""
+        """Measure a list of core counts (default: 1..max).
+
+        The sweep's flow solves are batched through :meth:`prime`; the
+        per-point noise sampling and averaging are unchanged.
+        """
         if core_counts is None:
             core_counts = list(range(1, self.machine.n_cores + 1))
+        self.prime(core_counts)
         return {n: self.measure(n) for n in core_counts}
 
     def omega(self, n_active: int, baseline: CounterSample | None = None
@@ -115,6 +136,31 @@ class MeasurementRun:
             / base.total_cycles
             for n in core_counts
         }
+
+
+def prime_runs(
+        runs: list[tuple[MeasurementRun, list[int] | None]]) -> None:
+    """Batch-solve the flow cells of several runs' sweeps in one call.
+
+    The whole-grid form of :meth:`MeasurementRun.prime`: cells from
+    different machines and workloads are pooled into a single lock-step
+    batch (``table2`` primes its full machine x program x size grid at
+    once).  Entries pair a run with the core counts it is about to
+    measure (``None`` = 1..max).  No-op unless both sweep batching and
+    the perf cache are enabled — the batch back-fills the cache, which
+    is what the later ``measure`` calls consult.
+    """
+    if not (batch_solve_enabled() and caches_enabled()):
+        return
+    cells = []
+    for run, core_counts in runs:
+        if core_counts is None:
+            core_counts = list(range(1, run.machine.n_cores + 1))
+        for n in core_counts:
+            cells.append((run.profile, run.machine,
+                          CoreAllocation.paper_policy(run.machine, n)))
+    if cells:
+        solve_flow_cells(cells)
 
 
 def measure_single(program: str, size: str, machine: Machine, n_active: int,

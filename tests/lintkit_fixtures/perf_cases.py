@@ -1,0 +1,50 @@
+"""PERF fixture: per-cell solve loops vs batched sweeps.
+
+Linted with a ``src/repro/experiments/`` relpath so the
+experiments-only PERF001 rule applies.
+"""
+
+
+def per_cell_loop(run_, pts):
+    out = {}
+    for n in pts:
+        out[n] = run_.measure(n)  # -> PERF001
+    return out
+
+
+def per_cell_comprehension(run_, pts):
+    return {n: run_.measure(n) for n in pts}  # -> PERF001
+
+
+def per_cell_solve_flow(profile, machine, allocs, solve_flow):
+    return [solve_flow(profile, machine, a) for a in allocs]  # -> PERF001
+
+
+def nested_loops_fire_once(grids):
+    rows = []
+    for grid in grids:
+        for run_, n in grid:
+            rows.append(run_.measure(n))  # -> PERF001
+    return rows
+
+
+def primed_loop(run_, pts):
+    run_.prime(pts)
+    return {n: run_.measure(n) for n in pts}  # ok: primed upstream
+
+
+def batched_sweep(run_, pts):
+    return run_.sweep(pts)  # ok: the batch entry point
+
+
+def pooled_grid(prime_runs, runs):
+    prime_runs([(r, None) for r in runs])
+    return [r.measure(1) for r in runs]  # ok: pooled via prime_runs
+
+
+def single_point(run_):
+    return run_.measure(1)  # ok: not a loop
+
+
+def unrelated_loop(values):
+    return [v.lower() for v in values]  # ok: no solver calls

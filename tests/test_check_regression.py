@@ -191,7 +191,7 @@ class TestLatencyGate:
     def test_p99_regression_fails_same_host(self):
         failures, _ = cr.compare_records(
             latency_record(flow_p99=0.004),
-            latency_record(flow_p99=0.006))  # 1.5x > 1.25x allowed
+            latency_record(flow_p99=0.012))  # 3x > one-bucket allowance
         assert any("latency.flow.solve_seconds" in f and "p99" in f
                    for f in failures)
 
@@ -199,6 +199,22 @@ class TestLatencyGate:
         failures, _ = cr.compare_records(
             latency_record(flow_p99=0.004),
             latency_record(flow_p99=0.0048))  # 1.2x
+        assert failures == []
+
+    def test_p99_single_bucket_jitter_warns_not_fails(self):
+        # The power-of-two histograms quantize p99; a boundary-straddling
+        # series flips by exactly 2x run to run, which must not gate.
+        failures, warnings = cr.compare_records(
+            latency_record(flow_p99=0.004),
+            latency_record(flow_p99=0.008))  # exactly one bucket
+        assert failures == []
+        assert any("within one histogram bucket" in w for w in warnings)
+
+    def test_p99_bucket_allowance_respects_larger_thresholds(self):
+        failures, _ = cr.compare_records(
+            latency_record(flow_p99=0.004),
+            latency_record(flow_p99=0.012),  # 3x
+            threshold=4.0)  # explicit looser threshold still wins
         assert failures == []
 
     def test_p99_cross_host_warns_instead_of_failing(self):
@@ -256,6 +272,38 @@ class TestLatencyBlockBuilder:
         block = perf_record.latency_block(snapshot)
         assert block == {"latency.flow.solve_seconds": {
             "count": 3, "p50": 0.001, "p95": 0.002, "p99": 0.004}}
+
+
+class TestImprovementLock:
+    def test_wall_improvement_recommends_rebaseline(self):
+        failures, warnings = cr.compare_records(record(), record(wall=0.5))
+        assert failures == []
+        assert any("re-baseline recommended" in w for w in warnings)
+
+    def test_small_wall_improvement_is_silent(self):
+        failures, warnings = cr.compare_records(record(), record(wall=0.9))
+        assert failures == []
+        assert not any("re-baseline" in w for w in warnings)
+
+    def test_cross_host_improvement_not_noticed(self):
+        # Cross-machine wall times are incomparable in both directions.
+        _, warnings = cr.compare_records(
+            record(), record(wall=0.2, host="hostB"))
+        assert not any("re-baseline" in w for w in warnings)
+        assert any("different host" in w for w in warnings)
+
+    def test_p99_improvement_recommends_rebaseline(self):
+        failures, warnings = cr.compare_records(
+            latency_record(flow_p99=0.004), latency_record(flow_p99=0.001))
+        assert failures == []
+        assert any("re-baseline recommended" in w and
+                   "latency.flow.solve_seconds" in w for w in warnings)
+
+    def test_threshold_scales_the_lock(self):
+        # 0.5x wall is an improvement notice at 25% but silent at 60%.
+        _, warnings = cr.compare_records(record(), record(wall=0.5),
+                                         threshold=0.6)
+        assert not any("re-baseline" in w for w in warnings)
 
 
 class TestRunGate:

@@ -150,11 +150,57 @@ class TestTelemetryRules:
         assert visible_lines(findings, "TEL004") == []
 
 
+class TestPerfRules:
+    EXPERIMENT_RELPATH = "src/repro/experiments/perf_cases.py"
+
+    def test_perf001_flags_per_cell_loops(self):
+        findings = run_fixture("perf_cases.py",
+                               relpath=self.EXPERIMENT_RELPATH)
+        # Loop, dict comprehension, list comprehension over solve_flow,
+        # and the nested loop (which fires once, not once per depth).
+        assert visible_lines(findings, "PERF001") == [11, 16, 20, 27]
+
+    def test_perf001_batch_users_are_exempt(self):
+        findings = run_fixture("perf_cases.py",
+                               relpath=self.EXPERIMENT_RELPATH)
+        flagged = {f.line for f in findings if f.rule_id == "PERF001"}
+        # primed_loop / batched_sweep / pooled_grid / single_point /
+        # unrelated_loop all stay legal.
+        assert not flagged & set(range(30, 60))
+
+    def test_perf001_only_runs_on_experiment_drivers(self):
+        findings = run_fixture("perf_cases.py")
+        assert visible_lines(findings, "PERF001") == []
+        runtime = run_fixture("perf_cases.py",
+                              relpath="src/repro/runtime/measurement.py")
+        assert visible_lines(runtime, "PERF001") == []
+
+    def test_perf001_baseline_grandfathers_scalar_sites(self, tmp_path):
+        # An intentionally scalar site recorded in lint-baseline.json
+        # stays hidden until the offending line itself changes.
+        import json
+        from repro.lintkit.baseline import apply_baseline, load_baseline
+        from repro.lintkit.core import LintReport
+        findings = run_fixture("perf_cases.py",
+                               relpath=self.EXPERIMENT_RELPATH)
+        target = next(f for f in findings
+                      if f.rule_id == "PERF001" and f.line == 11)
+        path = tmp_path / "lint-baseline.json"
+        path.write_text(json.dumps({"version": 1, "entries": [{
+            "rule": target.rule_id, "path": target.path,
+            "snippet": target.snippet}]}))
+        report = apply_baseline(LintReport(findings=list(findings)),
+                                load_baseline(str(path)))
+        lines = sorted(f.line for f in report.findings
+                       if f.rule_id == "PERF001" and f.visible)
+        assert lines == [16, 20, 27]
+
+
 class TestRuleMetadata:
     def test_every_family_is_registered(self):
         from repro.lintkit import RULE_REGISTRY
         families = {rid[:3] for rid in RULE_REGISTRY}
-        assert {"DET", "UNT", "PUR", "SIM", "TEL"} <= families
+        assert {"DET", "UNT", "PUR", "SIM", "TEL", "PER"} <= families
 
     def test_rules_have_ids_names_and_descriptions(self):
         from repro.lintkit import all_rules
