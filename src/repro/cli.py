@@ -48,7 +48,8 @@ Commands
 ``repro lint [PATH] [--format text|json|github] [--baseline FILE]``
     Run the domain lint rules (see docs/LINTING.md); exits 1 on any
     error-severity finding.  ``--write-baseline`` records the current
-    findings as grandfathered.
+    findings as grandfathered; ``--changed`` replays cached findings
+    for unchanged files (incremental mode).
 
 Telemetry flags (see docs/OBSERVABILITY.md)
 -------------------------------------------
@@ -253,7 +254,13 @@ def _cmd_lint(args) -> int:
         targets = None  # fall back to [tool.reprolint] paths / defaults
     config = lintkit.load_config(os.getcwd())
     report = lintkit.lint_paths(targets, config,
-                                baseline_path=args.baseline)
+                                baseline_path=args.baseline,
+                                incremental=args.changed)
+    if args.changed:
+        print(f"lint cache: {report.cache_hits} hit"
+              f"{'' if report.cache_hits == 1 else 's'}, "
+              f"{report.cache_misses} miss"
+              f"{'' if report.cache_misses == 1 else 'es'}")
     if args.write_baseline:
         path = args.baseline or config.baseline or "lint-baseline.json"
         n = lintkit.write_baseline(report, path)
@@ -511,6 +518,9 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--write-baseline", action="store_true",
                         help="record current lint findings as the baseline "
                              "instead of failing on them")
+    parser.add_argument("--changed", action="store_true",
+                        help="lint incrementally: replay cached findings "
+                             "for unchanged files (.repro/lintcache.json)")
     parser.add_argument("--version", action="version",
                         version=f"repro {__version__}")
     # intermixed: options may appear between the positionals, e.g.

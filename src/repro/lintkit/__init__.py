@@ -25,6 +25,7 @@ workflow.
 """
 
 from repro.lintkit.baseline import load_baseline, write_baseline
+from repro.lintkit.cache import DEFAULT_CACHE_PATH, LintCache
 from repro.lintkit.config import LintConfig, load_config
 from repro.lintkit.core import (
     RULE_REGISTRY,
@@ -37,10 +38,12 @@ from repro.lintkit.core import (
     register,
 )
 from repro.lintkit.engine import (
+    ProjectContext,
     iter_python_files,
     lint_file,
     lint_paths,
     resolve_rules,
+    rules_fingerprint,
 )
 from repro.lintkit.reporters import (
     FORMATS,
@@ -55,6 +58,8 @@ __all__ = [
     "RULE_REGISTRY", "register", "all_rules",
     "LintConfig", "load_config",
     "iter_python_files", "lint_file", "lint_paths", "resolve_rules",
+    "ProjectContext", "rules_fingerprint",
+    "LintCache", "DEFAULT_CACHE_PATH",
     "load_baseline", "write_baseline",
     "FORMATS", "render", "render_text", "render_json", "render_github",
 ]

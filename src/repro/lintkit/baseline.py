@@ -3,10 +3,16 @@
 A baseline lets the linter land on a codebase with pre-existing findings
 without forcing a flag-day fix: ``repro lint --write-baseline`` records
 the current visible findings; subsequent runs hide exactly those and
-fail only on *new* ones.  Entries match on ``(rule, path, snippet)`` —
-the stripped source line — so a finding stays grandfathered when
-unrelated edits shift its line number, and stops matching the moment the
-offending line itself changes.
+fail only on *new* ones.  Entries match on ``(rule, path, snippet)``
+where the snippet is the *whitespace-normalized* source line (all runs
+of whitespace collapsed to one space) — so a finding stays grandfathered
+when unrelated edits shift its line number or a formatter re-indents /
+re-wraps spacing inside the line, and stops matching the moment the
+offending code itself changes.
+
+``CONC`` findings are never grandfathered: a concurrency hazard that was
+tolerable yesterday is still a race today, and the CI lint job counts on
+every CONC finding being visible.
 
 The file is JSON, sorted and stable, intended to be committed; an empty
 entry list is the healthy steady state.
@@ -15,19 +21,36 @@ entry list is the healthy steady state.
 from __future__ import annotations
 
 import json
+import re
 from collections import Counter
 
 from repro.lintkit.core import Finding, LintReport
 
 BASELINE_VERSION = 1
 
+#: Rule-id prefixes that can never be baselined (see module docstring).
+NEVER_BASELINE = ("CONC",)
+
+_WS = re.compile(r"\s+")
+
+
+def normalize_snippet(snippet: str) -> str:
+    """Collapse all whitespace runs to single spaces and strip ends."""
+    return _WS.sub(" ", snippet).strip()
+
 
 def _entry_key(entry: dict) -> tuple[str, str, str]:
-    return (entry["rule"], entry["path"], entry["snippet"])
+    return (entry["rule"], entry["path"],
+            normalize_snippet(entry["snippet"]))
 
 
 def _finding_key(finding: Finding) -> tuple[str, str, str]:
-    return (finding.rule_id, finding.path, finding.snippet)
+    return (finding.rule_id, finding.path,
+            normalize_snippet(finding.snippet))
+
+
+def _baselineable(rule_id: str) -> bool:
+    return not rule_id.startswith(NEVER_BASELINE)
 
 
 def load_baseline(path: str) -> Counter:
@@ -36,20 +59,23 @@ def load_baseline(path: str) -> Counter:
         data = json.load(fh)
     if not isinstance(data, dict) or "entries" not in data:
         raise ValueError(f"{path}: not a reprolint baseline file")
-    return Counter(_entry_key(e) for e in data["entries"])
+    return Counter(_entry_key(e) for e in data["entries"]
+                   if _baselineable(e.get("rule", "")))
 
 
 def apply_baseline(report: LintReport, baseline: Counter) -> LintReport:
     """Mark findings present in ``baseline`` as grandfathered.
 
     Matching consumes baseline entries, so two identical new findings on
-    top of one grandfathered line still surface one of them.
+    top of one grandfathered line still surface one of them.  ``CONC``
+    findings never match, even against a hand-edited baseline file.
     """
     remaining = Counter(baseline)
     updated: list[Finding] = []
     for f in report.findings:
         key = _finding_key(f)
-        if not f.suppressed and remaining.get(key, 0) > 0:
+        if not f.suppressed and _baselineable(f.rule_id) and \
+                remaining.get(key, 0) > 0:
             remaining[key] -= 1
             f = _rebaseline(f)
         updated.append(f)
@@ -67,11 +93,13 @@ def _rebaseline(f: Finding) -> Finding:
 def write_baseline(report: LintReport, path: str) -> int:
     """Write the visible findings of ``report`` as the new baseline.
 
+    ``CONC`` findings are skipped — they cannot be grandfathered.
     Returns the number of entries written.
     """
     entries = sorted(
-        ({"rule": f.rule_id, "path": f.path, "snippet": f.snippet}
-         for f in report.visible),
+        ({"rule": f.rule_id, "path": f.path,
+          "snippet": normalize_snippet(f.snippet)}
+         for f in report.visible if _baselineable(f.rule_id)),
         key=lambda e: (e["path"], e["rule"], e["snippet"]))
     payload = {"version": BASELINE_VERSION, "entries": entries}
     with open(path, "w", encoding="utf-8") as fh:

@@ -13,6 +13,11 @@ Recognised keys::
     [tool.reprolint.allow]         # extra allowed path fragments per rule
     DET003 = ["repro/obs/"]
 
+    cache = ".repro/lintcache.json"  # incremental cache location
+
+    [tool.reprolint.unitsigs]      # extra unit signatures for UNT10x
+    "mylib.to_seconds" = "cycles, hertz -> seconds"
+
 Every key is optional; rules ship sensible ``default_allow`` lists so a
 repository with no configuration still lints meaningfully.  On Python
 3.10 (no :mod:`tomllib`) a missing TOML parser degrades to the built-in
@@ -42,6 +47,11 @@ class LintConfig:
     disable: tuple[str, ...] = ()
     severity: dict[str, str] = field(default_factory=dict)
     allow: dict[str, tuple[str, ...]] = field(default_factory=dict)
+    #: dotted callable -> signature string ("cycles, hertz -> seconds"),
+    #: merged over the built-in unit-signature registry (UNT100-102).
+    unitsigs: dict[str, str] = field(default_factory=dict)
+    #: incremental cache path used by ``repro lint --changed``.
+    cache: str | None = None
 
     def allow_fragments(self, rule_id: str,
                         default: tuple[str, ...]) -> tuple[str, ...]:
@@ -78,6 +88,18 @@ def config_from_dict(table: dict) -> LintConfig:
         raise ValueError("[tool.reprolint.allow] must be a table")
     cfg.allow = {k.upper(): _coerce_str_list(v, f"allow.{k}")
                  for k, v in allow.items()}
+    unitsigs = table.get("unitsigs", {})
+    if not isinstance(unitsigs, dict) or \
+            not all(isinstance(v, str) for v in unitsigs.values()):
+        raise ValueError(
+            "[tool.reprolint.unitsigs] must map dotted names to "
+            "signature strings")
+    cfg.unitsigs = dict(unitsigs)
+    cache = table.get("cache")
+    if cache is not None:
+        if not isinstance(cache, str):
+            raise ValueError("[tool.reprolint] cache must be a string")
+        cfg.cache = cache
     return cfg
 
 

@@ -78,12 +78,29 @@ class Finding:
             "baselined": self.baselined,
         }
 
+    @classmethod
+    def from_dict(cls, data: dict) -> "Finding":
+        """Inverse of :meth:`to_dict` (used by the incremental cache).
+
+        ``baselined`` is deliberately dropped: the baseline is re-applied
+        per run, a cached grandfathering must not outlive the file."""
+        return cls(
+            rule_id=data["rule"],
+            severity=Severity.from_str(data["severity"]),
+            path=data["path"],
+            line=data["line"],
+            col=data["col"],
+            message=data["message"],
+            snippet=data.get("snippet", ""),
+            suppressed=bool(data.get("suppressed", False)),
+        )
+
 
 class FileContext:
     """Everything the rules see for one file: source, shared AST, config."""
 
     def __init__(self, path: str, relpath: str, source: str,
-                 tree: ast.Module) -> None:
+                 tree: ast.Module, project: "object | None" = None) -> None:
         self.path = path
         #: Posix-style path relative to the scan invocation; what findings
         #: report and what allow-lists/baselines match against.
@@ -91,6 +108,21 @@ class FileContext:
         self.source = source
         self.lines = source.splitlines()
         self.tree = tree
+        #: The engine's cross-file view (symbol index + unit registry)
+        #: for tier-2 rules; ``None`` under tier-1-only invocations.
+        self.project = project
+        self._cfgs: dict[int, object] = {}
+
+    def cfg_of(self, fn: "ast.FunctionDef | ast.AsyncFunctionDef"):
+        """The function's control-flow graph, built once per file pass
+        and shared by every dataflow rule."""
+        key = id(fn)
+        cfg = self._cfgs.get(key)
+        if cfg is None:
+            from repro.lintkit.dataflow.cfg import build_cfg
+            cfg = build_cfg(fn)
+            self._cfgs[key] = cfg
+        return cfg
 
     def line_text(self, lineno: int) -> str:
         """The stripped source text of 1-based line ``lineno``."""
@@ -138,6 +170,13 @@ class Rule:
         When non-empty, the rule *only* runs on files matching one of
         these path fragments (used by domain-scoped rules such as the
         cache-key-token check).
+    ``tier``
+        ``1`` for single-pass syntactic rules, ``2`` for dataflow rules
+        needing the CFG/abstract-interpretation machinery and the
+        cross-module symbol index (``ctx.project``).  The engine only
+        builds the project view when a tier-2 rule is enabled, and
+        ``repro lint --changed`` keys its incremental cache on the
+        index fingerprint so tier-2 results stay sound across edits.
     """
 
     id: str = ""
@@ -146,6 +185,7 @@ class Rule:
     description: str = ""
     default_allow: tuple[str, ...] = ()
     only: tuple[str, ...] = ()
+    tier: int = 1
 
     def check(self, ctx: FileContext) -> Iterable[Finding]:  # pragma: no cover
         raise NotImplementedError
@@ -216,6 +256,9 @@ class LintReport:
     findings: list[Finding] = field(default_factory=list)
     files_scanned: int = 0
     rules_run: int = 0
+    #: Incremental-cache statistics; both stay 0 outside ``--changed``.
+    cache_hits: int = 0
+    cache_misses: int = 0
 
     @property
     def visible(self) -> list[Finding]:

@@ -1,0 +1,286 @@
+"""Per-function control-flow graphs built from the AST.
+
+:func:`build_cfg` turns one ``FunctionDef`` body into basic blocks of
+*ops* connected by directed edges.  An op is a plain AST node the
+transfer functions dispatch on:
+
+* simple statements (``Assign``, ``AugAssign``, ``Expr``, ``Return`` …)
+  appear as themselves;
+* compound-statement *headers* appear as the node of the compound
+  statement (``ast.If`` for its test, ``ast.While`` for its test,
+  ``ast.For`` for the target-from-iter binding, ``ast.With`` for its
+  items, ``ast.Match`` for its subject, ``ast.match_case`` for a case's
+  pattern captures and guard) so walrus bindings and pattern captures
+  inside headers still flow;
+* nested ``FunctionDef``/``ClassDef`` are opaque single ops — each
+  function gets its own CFG, the outer one only sees the name binding.
+
+Control edges cover: both arms of ``if``; loop back-edges plus the
+``else`` clause of ``while``/``for`` (reached only on normal loop exit);
+``break``/``continue``; ``return``/``raise`` to the exit block;
+``try``/``except``/``else``/``finally`` with the conservative
+exceptional edges (every block of the ``try`` body may jump to every
+handler, and the ``finally`` suite is traversed by both the normal and
+the exceptional continuation); ``match`` with per-case guard
+fall-through.  Exceptional edges are over-approximate by design — a
+join-semilattice forward analysis stays sound under extra edges.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+__all__ = ["BasicBlock", "CFG", "build_cfg"]
+
+
+@dataclass
+class BasicBlock:
+    """A straight-line sequence of ops with a single entry."""
+
+    id: int
+    ops: list[ast.AST] = field(default_factory=list)
+    succs: list[int] = field(default_factory=list)
+    #: Human-readable tag for tests/debugging ("entry", "loop-head", ...).
+    label: str = ""
+
+    def add_succ(self, bid: int) -> None:
+        if bid not in self.succs:
+            self.succs.append(bid)
+
+
+@dataclass
+class CFG:
+    """Blocks of one function; ``entry`` and ``exit`` are block ids."""
+
+    blocks: dict[int, BasicBlock]
+    entry: int
+    exit: int
+
+    def preds(self) -> dict[int, list[int]]:
+        out: dict[int, list[int]] = {bid: [] for bid in self.blocks}
+        for block in self.blocks.values():
+            for succ in block.succs:
+                out[succ].append(block.id)
+        return out
+
+    def reachable(self) -> set[int]:
+        seen = {self.entry}
+        stack = [self.entry]
+        while stack:
+            for succ in self.blocks[stack.pop()].succs:
+                if succ not in seen:
+                    seen.add(succ)
+                    stack.append(succ)
+        return seen
+
+
+#: Statements that terminate a block with an edge to the exit.
+_TERMINATORS = (ast.Return, ast.Raise)
+
+
+class _Builder:
+    """One-pass recursive CFG construction with loop/finally stacks."""
+
+    def __init__(self) -> None:
+        self._next_id = 0
+        self.blocks: dict[int, BasicBlock] = {}
+        #: (continue_target, break_target) per enclosing loop.
+        self._loops: list[tuple[int, int]] = []
+
+    def new_block(self, label: str = "") -> BasicBlock:
+        block = BasicBlock(id=self._next_id, label=label)
+        self._next_id += 1
+        self.blocks[block.id] = block
+        return block
+
+    def build(self, fn: ast.FunctionDef | ast.AsyncFunctionDef) -> CFG:
+        entry = self.new_block("entry")
+        exit_block = self.new_block("exit")
+        self._exit = exit_block.id
+        last = self._suite(fn.body, entry)
+        if last is not None:
+            last.add_succ(exit_block.id)
+        return CFG(blocks=self.blocks, entry=entry.id, exit=exit_block.id)
+
+    # -- suites and statements ------------------------------------------------
+
+    def _suite(self, stmts: list[ast.stmt],
+               current: BasicBlock | None) -> BasicBlock | None:
+        """Append ``stmts`` after ``current``; returns the fall-through
+        block, or ``None`` when every path left (return/break/...)."""
+        for stmt in stmts:
+            if current is None:
+                # Dead code after a terminator still gets blocks so the
+                # observer pass can visit it, but nothing flows in.
+                current = self.new_block("unreachable")
+            current = self._stmt(stmt, current)
+        return current
+
+    def _stmt(self, stmt: ast.stmt,
+              current: BasicBlock) -> BasicBlock | None:
+        if isinstance(stmt, _TERMINATORS):
+            current.ops.append(stmt)
+            current.add_succ(self._exit)
+            return None
+        if isinstance(stmt, ast.Break):
+            current.ops.append(stmt)
+            if self._loops:
+                current.add_succ(self._loops[-1][1])
+            return None
+        if isinstance(stmt, ast.Continue):
+            current.ops.append(stmt)
+            if self._loops:
+                current.add_succ(self._loops[-1][0])
+            return None
+        if isinstance(stmt, ast.If):
+            return self._if(stmt, current)
+        if isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+            return self._loop(stmt, current)
+        if isinstance(stmt, ast.Try) or (hasattr(ast, "TryStar")
+                                         and isinstance(stmt, ast.TryStar)):
+            return self._try(stmt, current)
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            current.ops.append(stmt)  # binds the as-targets
+            return self._suite(stmt.body, current)
+        if isinstance(stmt, ast.Match):
+            return self._match(stmt, current)
+        # Everything else — including nested FunctionDef/ClassDef, which
+        # stay opaque — is a straight-line op.
+        current.ops.append(stmt)
+        return current
+
+    def _if(self, stmt: ast.If, current: BasicBlock) -> BasicBlock | None:
+        current.ops.append(stmt)  # the test (walrus may bind here)
+        join = self.new_block("if-join")
+        then_entry = self.new_block("then")
+        current.add_succ(then_entry.id)
+        then_last = self._suite(stmt.body, then_entry)
+        if then_last is not None:
+            then_last.add_succ(join.id)
+        if stmt.orelse:
+            else_entry = self.new_block("else")
+            current.add_succ(else_entry.id)
+            else_last = self._suite(stmt.orelse, else_entry)
+            if else_last is not None:
+                else_last.add_succ(join.id)
+        else:
+            current.add_succ(join.id)
+        if not self.blocks[join.id].succs and not any(
+                join.id in b.succs for b in self.blocks.values()):
+            # Both arms left (return/raise/break): the join is dead.
+            return None
+        return join
+
+    def _loop(self, stmt: ast.While | ast.For | ast.AsyncFor,
+              current: BasicBlock) -> BasicBlock:
+        head = self.new_block("loop-head")
+        current.add_succ(head.id)
+        head.ops.append(stmt)  # test / target-from-iter binding
+        after = self.new_block("loop-after")
+        body_entry = self.new_block("loop-body")
+        head.add_succ(body_entry.id)
+        self._loops.append((head.id, after.id))
+        body_last = self._suite(stmt.body, body_entry)
+        self._loops.pop()
+        if body_last is not None:
+            body_last.add_succ(head.id)
+        if stmt.orelse:
+            # The else suite runs only on normal loop exit (no break):
+            # head -> else -> after; breaks jump straight to `after`.
+            else_entry = self.new_block("loop-else")
+            head.add_succ(else_entry.id)
+            else_last = self._suite(stmt.orelse, else_entry)
+            if else_last is not None:
+                else_last.add_succ(after.id)
+        else:
+            head.add_succ(after.id)
+        return after
+
+    def _try(self, stmt: ast.Try, current: BasicBlock) -> BasicBlock | None:
+        body_entry = self.new_block("try")
+        current.add_succ(body_entry.id)
+        body_blocks_before = set(self.blocks)
+        body_last = self._suite(stmt.body, body_entry)
+        body_block_ids = set(self.blocks) - body_blocks_before | \
+            {body_entry.id}
+
+        handler_lasts: list[BasicBlock | None] = []
+        handler_entries: list[int] = []
+        for handler in stmt.handlers:
+            h_entry = self.new_block("except")
+            h_entry.ops.append(handler)  # binds `except E as name`
+            handler_entries.append(h_entry.id)
+            handler_lasts.append(self._suite(handler.body, h_entry))
+        # Conservative exceptional edges: any block of the try body (and
+        # the block entering it) may transfer to any handler.
+        for bid in body_block_ids | {current.id}:
+            for h_id in handler_entries:
+                self.blocks[bid].add_succ(h_id)
+
+        # else runs only after the body completed normally.
+        else_last = body_last
+        if stmt.orelse and body_last is not None:
+            else_entry = self.new_block("try-else")
+            body_last.add_succ(else_entry.id)
+            else_last = self._suite(stmt.orelse, else_entry)
+
+        normal_lasts = [b for b in [else_last, *handler_lasts]
+                        if b is not None]
+        if stmt.finalbody:
+            fin_entry = self.new_block("finally")
+            for b in normal_lasts:
+                b.add_succ(fin_entry.id)
+            # The exceptional continuation also runs the finally suite:
+            # every body/handler block gets an edge in — including the
+            # block *entering* the try, so a raise before the body's
+            # first op completes is represented — and the suite can
+            # leave for the function exit (re-raise).
+            for bid in body_block_ids | set(handler_entries) | \
+                    {current.id}:
+                self.blocks[bid].add_succ(fin_entry.id)
+            fin_last = self._suite(stmt.finalbody, fin_entry)
+            if fin_last is None:
+                return None
+            fin_last.add_succ(self._exit)
+            return fin_last if normal_lasts else None
+        if not normal_lasts:
+            return None
+        join = self.new_block("try-join")
+        for b in normal_lasts:
+            b.add_succ(join.id)
+        return join
+
+    def _match(self, stmt: ast.Match,
+               current: BasicBlock) -> BasicBlock | None:
+        current.ops.append(stmt)  # evaluates the subject
+        join = self.new_block("match-join")
+        any_open = False
+        has_wildcard = False
+        for case in stmt.cases:
+            case_entry = self.new_block("case")
+            case_entry.ops.append(case)  # pattern captures + guard
+            current.add_succ(case_entry.id)
+            case_last = self._suite(case.body, case_entry)
+            if case_last is not None:
+                case_last.add_succ(join.id)
+                any_open = True
+            if _is_wildcard(case):
+                has_wildcard = True
+        if not has_wildcard:
+            current.add_succ(join.id)  # no case matched
+            any_open = True
+        return join if any_open else None
+
+
+def _is_wildcard(case: ast.match_case) -> bool:
+    """A ``case _:`` / ``case name:`` with no guard catches everything."""
+    if case.guard is not None:
+        return False
+    pat = case.pattern
+    return isinstance(pat, ast.MatchAs) and pat.pattern is None
+
+
+def build_cfg(fn: ast.FunctionDef | ast.AsyncFunctionDef) -> CFG:
+    """The control-flow graph of one function definition."""
+    return _Builder().build(fn)

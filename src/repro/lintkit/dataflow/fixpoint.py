@@ -1,0 +1,97 @@
+"""Forward abstract interpretation over a CFG: worklist to fixpoint.
+
+:class:`ForwardAnalysis` is the engine; a *domain* subclasses it and
+implements :meth:`transfer_op`, the abstract semantics of one op.  The
+engine computes the least fixpoint of the block-entry environments under
+the pointwise join of :mod:`~repro.lintkit.dataflow.lattice`, then runs
+one *observe* pass: each block's ops are re-interpreted from the
+converged entry environment with ``self.observing = True`` so the domain
+can report findings against stable, fully-joined facts.  Reporting
+during the ascent would anchor diagnostics to pre-fixpoint environments
+that a later back-edge join invalidates.
+
+Termination: every per-variable lattice has finite height (absent →
+value → ⊤ for the flat lattice, the subset chain for alias powersets),
+joins are monotone, and a block re-enters the worklist only when its
+entry environment strictly grew — so the loop is bounded without a
+watchdog.  A hard iteration cap is kept anyway (defence against a
+domain whose ``transfer_op`` is accidentally non-monotone); hitting it
+abandons the analysis for that function rather than looping, and the
+rules simply report nothing there.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections import deque
+
+from repro.lintkit.dataflow.cfg import CFG, build_cfg
+from repro.lintkit.dataflow.lattice import Env, join_env
+
+__all__ = ["ForwardAnalysis"]
+
+
+class ForwardAnalysis:
+    """Base class: subclass, implement ``transfer_op``, call ``analyze``."""
+
+    #: Safety cap on worklist pops per function (see module docstring).
+    MAX_STEPS = 20000
+
+    def __init__(self) -> None:
+        #: True during the final observe pass; domains report only then.
+        self.observing = False
+
+    # -- domain interface -----------------------------------------------------
+
+    def initial_env(self, fn: ast.FunctionDef | ast.AsyncFunctionDef) -> Env:
+        """Entry environment (typically seeds the parameters)."""
+        return {}
+
+    def transfer_op(self, env: Env, op: ast.AST) -> Env:
+        """Abstract semantics of one op; must return a (possibly new)
+        env and must be monotone in ``env``."""
+        raise NotImplementedError
+
+    # -- engine ---------------------------------------------------------------
+
+    def analyze(self, fn: ast.FunctionDef | ast.AsyncFunctionDef,
+                cfg: CFG | None = None) -> dict[int, Env]:
+        """Fixpoint + observe pass; returns the block-entry envs."""
+        if cfg is None:
+            cfg = build_cfg(fn)
+        entry_env: dict[int, Env] = {cfg.entry: self.initial_env(fn)}
+        self.observing = False
+        work: deque[int] = deque([cfg.entry])
+        queued = {cfg.entry}
+        steps = 0
+        while work:
+            steps += 1
+            if steps > self.MAX_STEPS:  # pragma: no cover - defensive
+                return {}
+            bid = work.popleft()
+            queued.discard(bid)
+            block = cfg.blocks[bid]
+            env = dict(entry_env.get(bid, {}))
+            for op in block.ops:
+                env = self.transfer_op(env, op)
+            for succ in block.succs:
+                if succ in entry_env:
+                    joined = join_env(entry_env[succ], env)
+                    if joined == entry_env[succ]:
+                        continue
+                    entry_env[succ] = joined
+                else:
+                    entry_env[succ] = dict(env)
+                if succ not in queued:
+                    queued.add(succ)
+                    work.append(succ)
+        # Observe pass: stable envs, reporting enabled.
+        self.observing = True
+        try:
+            for bid in sorted(entry_env):
+                env = dict(entry_env[bid])
+                for op in cfg.blocks[bid].ops:
+                    env = self.transfer_op(env, op)
+        finally:
+            self.observing = False
+        return entry_env

@@ -1,0 +1,386 @@
+"""Cached cross-module symbol index over the linted tree.
+
+Tier-2 rules need facts no single file contains: is this function a
+``threading.Thread`` target three modules away?  does this call resolve
+to a registered unit signature?  The :class:`SymbolIndex` answers those
+from per-module *summaries* — a compact, JSON-able digest of each
+module's definitions, imports, call edges and concurrency entry points.
+
+Summaries, not ASTs, are the index's currency on purpose: the
+incremental lint cache persists each file's summary next to its
+findings, so an unchanged file contributes to the index without being
+re-parsed, and the index *fingerprint* (a hash of every summary) keys
+the validity of cached findings — editing a function body leaves the
+summary and therefore every other file's cached findings intact, while
+changing a signature, import, global or thread target invalidates
+exactly what the change can influence.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import json
+from dataclasses import dataclass, field
+
+from repro.lintkit.core import dotted_name
+
+__all__ = ["FunctionInfo", "ModuleInfo", "SymbolIndex", "module_name_for",
+           "extract_summary"]
+
+#: Constructors whose results are interior-mutable (registry singletons).
+_MUTABLE_FACTORIES = {"list", "dict", "set", "bytearray", "deque",
+                      "defaultdict", "OrderedDict", "Counter"}
+
+
+def module_name_for(relpath: str) -> str:
+    """Dotted module name for a posix relpath (``src/`` prefix stripped)."""
+    path = relpath.replace("\\", "/")
+    for prefix in ("src/",):
+        idx = path.find(prefix)
+        if idx >= 0:
+            path = path[idx + len(prefix):]
+            break
+    if path.endswith(".py"):
+        path = path[:-3]
+    if path.endswith("/__init__"):
+        path = path[: -len("/__init__")]
+    return path.strip("/").replace("/", ".")
+
+
+@dataclass(frozen=True)
+class FunctionInfo:
+    """One top-level function or method, as summarised."""
+
+    qualname: str          # module.Class.method / module.function
+    name: str              # Class.method / function
+    module: str
+    params: tuple[str, ...]
+    calls: tuple[str, ...]  # dotted call targets, as written
+    lineno: int
+
+
+@dataclass
+class ModuleInfo:
+    """The summary of one module, buildable from AST or cached JSON."""
+
+    module: str
+    relpath: str
+    functions: dict[str, FunctionInfo] = field(default_factory=dict)
+    #: local import name -> qualified dotted target.
+    imports: dict[str, str] = field(default_factory=dict)
+    #: module-level names bound to mutable containers (registries).
+    globals_mutable: tuple[str, ...] = ()
+    #: every module-level binding.
+    globals_all: tuple[str, ...] = ()
+    #: dotted names passed as ``Thread(target=...)``, as written.
+    thread_targets: tuple[str, ...] = ()
+    #: dotted names submitted to a process pool / run_isolated.
+    process_entries: tuple[str, ...] = ()
+    #: ``Class.do_*`` methods of BaseHTTPRequestHandler subclasses.
+    handler_methods: tuple[str, ...] = ()
+
+    def to_summary(self) -> dict:
+        return {
+            "module": self.module,
+            "relpath": self.relpath,
+            "functions": {
+                name: {"params": list(info.params),
+                       "calls": list(info.calls),
+                       "lineno": info.lineno}
+                for name, info in sorted(self.functions.items())
+            },
+            "imports": dict(sorted(self.imports.items())),
+            "globals_mutable": sorted(self.globals_mutable),
+            "globals_all": sorted(self.globals_all),
+            "thread_targets": sorted(self.thread_targets),
+            "process_entries": sorted(self.process_entries),
+            "handler_methods": sorted(self.handler_methods),
+        }
+
+    @classmethod
+    def from_summary(cls, data: dict) -> "ModuleInfo":
+        mod = data["module"]
+        info = cls(module=mod, relpath=data.get("relpath", ""))
+        info.functions = {
+            name: FunctionInfo(
+                qualname=f"{mod}.{name}", name=name, module=mod,
+                params=tuple(f.get("params", ())),
+                calls=tuple(f.get("calls", ())),
+                lineno=int(f.get("lineno", 1)))
+            for name, f in data.get("functions", {}).items()
+        }
+        info.imports = dict(data.get("imports", {}))
+        info.globals_mutable = tuple(data.get("globals_mutable", ()))
+        info.globals_all = tuple(data.get("globals_all", ()))
+        info.thread_targets = tuple(data.get("thread_targets", ()))
+        info.process_entries = tuple(data.get("process_entries", ()))
+        info.handler_methods = tuple(data.get("handler_methods", ()))
+        return info
+
+
+# -- summary extraction -------------------------------------------------------
+
+def _called_names(fn: ast.AST) -> tuple[str, ...]:
+    """Dotted call targets inside ``fn``, as written, deduplicated."""
+    seen: dict[str, None] = {}
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Call):
+            name = dotted_name(node.func)
+            if name:
+                seen.setdefault(name, None)
+    return tuple(seen)
+
+
+def _is_mutable_binding(value: ast.AST) -> bool:
+    if isinstance(value, (ast.List, ast.Dict, ast.Set,
+                          ast.ListComp, ast.DictComp, ast.SetComp)):
+        return True
+    if isinstance(value, ast.Call):
+        name = dotted_name(value.func)
+        if name and name.rsplit(".", 1)[-1] in _MUTABLE_FACTORIES:
+            return True
+    return False
+
+
+def _base_names(cls: ast.ClassDef) -> list[str]:
+    out = []
+    for base in cls.bases:
+        name = dotted_name(base)
+        if name:
+            out.append(name.rsplit(".", 1)[-1])
+    return out
+
+
+def extract_summary(relpath: str, tree: ast.Module) -> ModuleInfo:
+    """Summarise one parsed module (see module docstring)."""
+    mod = module_name_for(relpath)
+    info = ModuleInfo(module=mod, relpath=relpath)
+    globals_all: list[str] = []
+    globals_mutable: list[str] = []
+
+    for stmt in tree.body:
+        if isinstance(stmt, (ast.Import, ast.ImportFrom)):
+            _record_imports(stmt, info.imports)
+        elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            _record_function(info, stmt.name, stmt)
+            globals_all.append(stmt.name)
+        elif isinstance(stmt, ast.ClassDef):
+            globals_all.append(stmt.name)
+            _record_class(info, stmt)
+        elif isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    globals_all.append(target.id)
+                    if _is_mutable_binding(stmt.value):
+                        globals_mutable.append(target.id)
+        elif isinstance(stmt, ast.AnnAssign) and \
+                isinstance(stmt.target, ast.Name):
+            globals_all.append(stmt.target.id)
+            if stmt.value is not None and _is_mutable_binding(stmt.value):
+                globals_mutable.append(stmt.target.id)
+
+    info.globals_all = tuple(dict.fromkeys(globals_all))
+    info.globals_mutable = tuple(dict.fromkeys(globals_mutable))
+    info.thread_targets = _thread_targets(tree)
+    info.process_entries = _process_entries(tree, info.imports)
+    return info
+
+
+def _record_imports(stmt: ast.Import | ast.ImportFrom,
+                    imports: dict[str, str]) -> None:
+    if isinstance(stmt, ast.Import):
+        for alias in stmt.names:
+            local = alias.asname or alias.name.split(".", 1)[0]
+            target = alias.name if alias.asname else \
+                alias.name.split(".", 1)[0]
+            imports[local] = target
+    else:
+        if stmt.module is None or stmt.level:
+            return  # relative imports: rare here, skip resolution
+        for alias in stmt.names:
+            local = alias.asname or alias.name
+            imports[local] = f"{stmt.module}.{alias.name}"
+
+
+def _record_function(info: ModuleInfo, name: str, fn: ast.AST) -> None:
+    args = fn.args
+    params = tuple(a.arg for a in (*args.posonlyargs, *args.args,
+                                   *args.kwonlyargs))
+    info.functions[name] = FunctionInfo(
+        qualname=f"{info.module}.{name}", name=name, module=info.module,
+        params=params, calls=_called_names(fn), lineno=fn.lineno)
+
+
+def _record_class(info: ModuleInfo, cls: ast.ClassDef) -> None:
+    is_handler = "BaseHTTPRequestHandler" in _base_names(cls)
+    handler_methods = list(info.handler_methods)
+    for stmt in cls.body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            qual = f"{cls.name}.{stmt.name}"
+            _record_function(info, qual, stmt)
+            if is_handler and stmt.name.startswith("do_"):
+                handler_methods.append(qual)
+    info.handler_methods = tuple(handler_methods)
+
+
+def _thread_targets(tree: ast.Module) -> tuple[str, ...]:
+    """``target=`` arguments of ``threading.Thread(...)`` constructions."""
+    out: dict[str, None] = {}
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        name = dotted_name(node.func)
+        if name is None or name.rsplit(".", 1)[-1] != "Thread":
+            continue
+        for kw in node.keywords:
+            if kw.arg == "target":
+                target = dotted_name(kw.value)
+                if target:
+                    out.setdefault(target, None)
+    return tuple(out)
+
+
+def _process_entries(tree: ast.Module,
+                     imports: dict[str, str]) -> tuple[str, ...]:
+    """First args of ``run_isolated(fn, ...)`` and — when the module
+    imports ``ProcessPoolExecutor`` — of ``<pool>.submit(fn, ...)``."""
+    has_pool = any(q.rsplit(".", 1)[-1] == "ProcessPoolExecutor"
+                   for q in imports.values())
+    out: dict[str, None] = {}
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call) or not node.args:
+            continue
+        name = dotted_name(node.func)
+        if name is None:
+            continue
+        tail = name.rsplit(".", 1)[-1]
+        if tail == "run_isolated" or (has_pool and tail == "submit"):
+            target = dotted_name(node.args[0])
+            if target:
+                out.setdefault(target, None)
+    return tuple(out)
+
+
+# -- the index ----------------------------------------------------------------
+
+class SymbolIndex:
+    """Project-wide view over per-module summaries."""
+
+    def __init__(self) -> None:
+        self.modules: dict[str, ModuleInfo] = {}
+        self._thread_reachable: set[str] | None = None
+        self._process_entry_set: set[str] | None = None
+
+    def add(self, info: ModuleInfo) -> None:
+        self.modules[info.module] = info
+        self._thread_reachable = None
+        self._process_entry_set = None
+
+    def add_tree(self, relpath: str, tree: ast.Module) -> ModuleInfo:
+        info = extract_summary(relpath, tree)
+        self.add(info)
+        return info
+
+    def fingerprint(self) -> str:
+        """Hash of every summary; keys cached-finding validity."""
+        payload = json.dumps(
+            {mod: info.to_summary()
+             for mod, info in sorted(self.modules.items())},
+            sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+    # -- resolution -----------------------------------------------------------
+
+    def resolve_call(self, module: str, dotted: str) -> str:
+        """Qualify a call target as written into a project dotted name.
+
+        ``state.enable`` with ``import repro.obs.state as state`` becomes
+        ``repro.obs.state.enable``; ``self.foo`` inside ``Class.bar``
+        must be resolved by the caller (needs the class context); names
+        with no matching import resolve within the module itself when
+        defined there, else stay as written.
+        """
+        head, _, rest = dotted.partition(".")
+        info = self.modules.get(module)
+        if info is not None:
+            qualified = info.imports.get(head)
+            if qualified is not None:
+                return f"{qualified}.{rest}" if rest else qualified
+            if not rest and head in info.functions:
+                return f"{module}.{head}"
+        return dotted
+
+    def function(self, qualname: str) -> FunctionInfo | None:
+        module, _, name = qualname.rpartition(".")
+        info = self.modules.get(module)
+        if info is not None and name in info.functions:
+            return info.functions[name]
+        # Method qualnames: module.Class.method.
+        module2, _, cls = module.rpartition(".")
+        info = self.modules.get(module2)
+        if info is not None:
+            return info.functions.get(f"{cls}.{name}")
+        return None
+
+    # -- concurrency entry points --------------------------------------------
+
+    def thread_entry_functions(self) -> set[str]:
+        """Qualified names of thread targets and HTTP handler methods."""
+        out: set[str] = set()
+        for info in self.modules.values():
+            for target in info.thread_targets:
+                out.add(self._qualify_entry(info, target))
+            for method in info.handler_methods:
+                out.add(f"{info.module}.{method}")
+        return out
+
+    def process_entry_functions(self) -> set[str]:
+        if self._process_entry_set is None:
+            out: set[str] = set()
+            for info in self.modules.values():
+                for target in info.process_entries:
+                    out.add(self._qualify_entry(info, target))
+            self._process_entry_set = out
+        return self._process_entry_set
+
+    def _qualify_entry(self, info: ModuleInfo, target: str) -> str:
+        if target.startswith("self."):
+            return f"{info.module}.{target[len('self.'):]}"
+        return self.resolve_call(info.module, target)
+
+    def thread_reachable(self) -> set[str]:
+        """Qualified function names reachable from thread entry points.
+
+        Call edges follow summarised calls resolved through each
+        module's imports, plus ``self.X`` to a sibling method.  The
+        closure is over-approximate (any matching name reaches) which is
+        the right direction for a concurrency-hazard rule.
+        """
+        if self._thread_reachable is not None:
+            return self._thread_reachable
+        reachable: set[str] = set()
+        work = [q for q in self.thread_entry_functions()
+                if self.function(q) is not None]
+        while work:
+            qual = work.pop()
+            if qual in reachable:
+                continue
+            fn = self.function(qual)
+            if fn is None:
+                continue
+            reachable.add(qual)
+            cls_prefix = ""
+            if "." in fn.name:  # a method: self.X resolves to Class.X
+                cls_prefix = fn.name.rsplit(".", 1)[0]
+            for called in fn.calls:
+                if called.startswith("self.") and cls_prefix:
+                    cand = f"{fn.module}.{cls_prefix}." \
+                           f"{called[len('self.'):]}"
+                else:
+                    cand = self.resolve_call(fn.module, called)
+                if self.function(cand) is not None and \
+                        cand not in reachable:
+                    work.append(cand)
+        self._thread_reachable = reachable
+        return reachable

@@ -1,0 +1,238 @@
+"""Physical dimensions and the unit-signature registry for ``UNT1xx``.
+
+The paper's model mixes four incommensurable quantity kinds: processor
+*cycles* ``C(n)``, wall-clock *seconds* (sampler windows, solve
+latencies), off-chip *requests*, and derived ratios — per-cycle request
+rates ``r(n)`` (requests/cycle), clock frequency (1/second) and the
+dimensionless slowdown ``ω(n)``.  A :class:`Dim` is an exponent vector
+over the base dimensions ``cycle``/``second``/``request``; scale
+prefixes (ns vs s, GHz vs Hz) deliberately collapse to the same
+dimension — scale mixing is the *lexical* ``UNT001`` rule's job, the
+dataflow tier tracks what a quantity *is*.
+
+Dimensions enter the abstract interpretation three ways:
+
+* :func:`lexical_dim` seeds a binding from its name (``work_cycles``,
+  ``window_s``, ``latency_p99`` …);
+* attribute reads seed from :data:`ATTR_DIMS` (the
+  ``Frequency``/machine/profile fields the model passes around);
+* calls seed from the :class:`UnitRegistry`: built-in signatures for
+  ``repro.util.units`` plus anything registered via
+  ``[tool.reprolint.unitsigs]`` in ``pyproject.toml``, e.g.::
+
+      [tool.reprolint.unitsigs]
+      "repro.runtime.flow.cycles_per_window" = "seconds, hertz -> cycles"
+
+Signature strings are ``dim, dim, ... -> dim`` with the keywords
+``cycles``, ``seconds``, ``hertz``, ``requests``, ``rate``
+(requests/cycle), ``dimensionless`` and ``any`` (no constraint).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "Dim", "UnitSignature", "UnitRegistry",
+    "CYCLES", "SECONDS", "HERTZ", "REQUESTS", "RATE", "DIMENSIONLESS",
+    "lexical_dim", "parse_signature", "ATTR_DIMS",
+]
+
+
+@dataclass(frozen=True)
+class Dim:
+    """An exponent vector over base dimensions, e.g. requests·cycle⁻¹."""
+
+    exps: tuple[tuple[str, int], ...]
+
+    @classmethod
+    def of(cls, **exps: int) -> "Dim":
+        return cls(tuple(sorted((b, e) for b, e in exps.items() if e)))
+
+    def mul(self, other: "Dim") -> "Dim":
+        combined = dict(self.exps)
+        for base, exp in other.exps:
+            combined[base] = combined.get(base, 0) + exp
+        return Dim.of(**combined)
+
+    def div(self, other: "Dim") -> "Dim":
+        return self.mul(other.pow(-1))
+
+    def pow(self, k: int) -> "Dim":
+        return Dim.of(**{b: e * k for b, e in self.exps})
+
+    @property
+    def dimensionless(self) -> bool:
+        return not self.exps
+
+    def __str__(self) -> str:
+        if not self.exps:
+            return "dimensionless"
+        num = [f"{b}^{e}" if e != 1 else b for b, e in self.exps if e > 0]
+        den = [f"{b}^{-e}" if e != -1 else b for b, e in self.exps if e < 0]
+        text = "*".join(num) or "1"
+        if den:
+            text += "/" + "/".join(den)
+        return text
+
+
+CYCLES = Dim.of(cycle=1)
+SECONDS = Dim.of(second=1)
+HERTZ = Dim.of(second=-1)
+REQUESTS = Dim.of(request=1)
+#: The paper's per-cycle request rate r(n).
+RATE = Dim.of(request=1, cycle=-1)
+DIMENSIONLESS = Dim.of()
+
+#: Signature-string keyword -> dimension (``any`` -> no constraint).
+KEYWORDS: dict[str, Dim | None] = {
+    "cycles": CYCLES,
+    "seconds": SECONDS,
+    "hertz": HERTZ,
+    "requests": REQUESTS,
+    "rate": RATE,
+    "dimensionless": DIMENSIONLESS,
+    "any": None,
+}
+
+
+def parse_signature(qualname: str, text: str) -> "UnitSignature":
+    """Parse ``"cycles, hertz -> seconds"`` into a signature."""
+    if "->" not in text:
+        raise ValueError(
+            f"unit signature for {qualname!r} must look like "
+            f"'dim, dim -> dim', got {text!r}")
+    left, _, right = text.partition("->")
+    params: list[Dim | None] = []
+    for raw in left.split(","):
+        word = raw.strip().lower()
+        if not word:
+            continue
+        if word not in KEYWORDS:
+            raise ValueError(
+                f"unknown dimension {word!r} in signature for {qualname!r};"
+                f" want one of {sorted(KEYWORDS)}")
+        params.append(KEYWORDS[word])
+    ret_word = right.strip().lower()
+    if ret_word not in KEYWORDS:
+        raise ValueError(
+            f"unknown return dimension {ret_word!r} in signature for "
+            f"{qualname!r}; want one of {sorted(KEYWORDS)}")
+    return UnitSignature(qualname=qualname, params=tuple(params),
+                         returns=KEYWORDS[ret_word])
+
+
+@dataclass(frozen=True)
+class UnitSignature:
+    """Declared positional parameter dimensions and return dimension."""
+
+    qualname: str
+    params: tuple[Dim | None, ...]
+    returns: Dim | None
+
+
+#: Built-in signatures: the conversion helpers every dimensioned value
+#: is supposed to route through, keyed by dotted qualname *and* by the
+#: bare callable name (so ``from repro.util.units import cycles_to_seconds``
+#: and ``freq.seconds_for(...)`` both resolve).
+_BUILTIN_SIGNATURES: dict[str, str] = {
+    "repro.util.units.cycles_to_seconds": "cycles, hertz -> seconds",
+    "repro.util.units.seconds_to_cycles": "seconds, hertz -> cycles",
+    "repro.util.units.ns_to_cycles": "seconds, hertz -> cycles",
+    "repro.util.units.cycles_to_ns": "cycles, hertz -> seconds",
+    # Frequency methods (resolved by bare method name at call sites).
+    "seconds_for": "cycles -> seconds",
+    "cycles_in": "seconds -> cycles",
+}
+
+#: Attribute names carrying a known dimension wherever they appear on
+#: the model's value objects (Frequency, machine presets, profiles).
+ATTR_DIMS: dict[str, Dim] = {
+    "hz": HERTZ,
+    "period_s": SECONDS,
+    "period_ns": SECONDS,
+    "work_cycles": CYCLES,
+    "per_core_cycles": CYCLES,
+    "total_cycles": CYCLES,
+    "wall_time_s": SECONDS,
+}
+
+#: Exact identifier names with an unambiguous dimension.
+_EXACT_NAMES: dict[str, Dim] = {
+    "cycles": CYCLES,
+    "seconds": SECONDS,
+    "secs": SECONDS,
+    "ns": SECONDS,
+    "us": SECONDS,
+    "ms": SECONDS,
+    "hz": HERTZ,
+    "ghz": HERTZ,
+    "mhz": HERTZ,
+    "requests": REQUESTS,
+    "freq": HERTZ,
+    "frequency": HERTZ,
+}
+
+#: Identifier suffix -> dimension (checked after exact names).
+_SUFFIX_DIMS: tuple[tuple[str, Dim], ...] = (
+    ("_cycles", CYCLES),
+    ("_seconds", SECONDS),
+    ("_secs", SECONDS),
+    ("_s", SECONDS),
+    ("_ns", SECONDS),
+    ("_us", SECONDS),
+    ("_ms", SECONDS),
+    ("_hz", HERTZ),
+    ("_ghz", HERTZ),
+    ("_mhz", HERTZ),
+    ("_requests", REQUESTS),
+    ("_per_cycle", RATE),
+)
+
+
+def lexical_dim(name: str) -> Dim | None:
+    """The dimension a binding's *name* promises, if any.
+
+    ``latency``-prefixed names are wall-clock seconds by repo convention
+    (the ``latency.*`` SLO metric family and its local bindings).
+    """
+    lowered = name.lower()
+    exact = _EXACT_NAMES.get(lowered)
+    if exact is not None:
+        return exact
+    for suffix, dim in _SUFFIX_DIMS:
+        if lowered.endswith(suffix):
+            return dim
+    if lowered.startswith("latency"):
+        return SECONDS
+    return None
+
+
+class UnitRegistry:
+    """Built-in plus configured unit signatures, looked up at call sites."""
+
+    def __init__(self, extra: dict[str, str] | None = None) -> None:
+        self._by_name: dict[str, UnitSignature] = {}
+        self._by_tail: dict[str, UnitSignature] = {}
+        for qualname, text in _BUILTIN_SIGNATURES.items():
+            self.register(qualname, text)
+        for qualname, text in (extra or {}).items():
+            self.register(qualname, text)
+
+    def register(self, qualname: str, signature: str) -> UnitSignature:
+        sig = parse_signature(qualname, signature)
+        self._by_name[qualname] = sig
+        self._by_tail[qualname.rsplit(".", 1)[-1]] = sig
+        return sig
+
+    def lookup(self, qualname: str) -> UnitSignature | None:
+        """Signature for a dotted call target: exact, then bare tail
+        (so an unresolved ``units.cycles_to_seconds`` or a from-import
+        alias still finds the builtin)."""
+        sig = self._by_name.get(qualname)
+        if sig is not None:
+            return sig
+        return self._by_tail.get(qualname.rsplit(".", 1)[-1])
+
+    def __len__(self) -> int:
+        return len(self._by_name)

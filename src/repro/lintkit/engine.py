@@ -5,15 +5,32 @@ file exactly once, hand the shared tree to every applicable rule, then
 fold in inline suppressions and the committed baseline.  Syntax errors
 become ``PARSE001`` findings rather than aborting the run, so one broken
 file cannot hide findings in the rest of the tree.
+
+Two analysis tiers share that single parse.  Tier 1 is the syntactic
+rule set; tier 2 (the ``UNT1xx``/``CONC``/``PUR100`` families) runs the
+dataflow machinery and needs the *project view* — a cross-module
+:class:`~repro.lintkit.dataflow.symbols.SymbolIndex` plus the unit
+registry — which the engine builds once per run from every scanned
+file's summary and attaches to each :class:`FileContext` as
+``ctx.project``.
+
+``lint_paths(..., incremental=True)`` (the CLI's ``--changed`` mode)
+adds the content-hash cache of :mod:`repro.lintkit.cache`: unchanged
+files replay their findings and contribute their cached summaries to the
+index without being parsed, so a warm run on an unchanged tree is
+hash-and-replay only.
 """
 
 from __future__ import annotations
 
 import ast
+import hashlib
+import json
 import os
 
 from repro.lintkit import rules as _rules  # noqa: F401  (registers rules)
 from repro.lintkit.baseline import apply_baseline, load_baseline
+from repro.lintkit.cache import DEFAULT_CACHE_PATH, LintCache, file_digest
 from repro.lintkit.config import LintConfig
 from repro.lintkit.core import (
     FileContext,
@@ -23,6 +40,13 @@ from repro.lintkit.core import (
     Severity,
     all_rules,
 )
+from repro.lintkit.dataflow.symbols import (
+    ModuleInfo,
+    SymbolIndex,
+    extract_summary,
+    module_name_for,
+)
+from repro.lintkit.dataflow.unitsig import UnitRegistry
 from repro.lintkit.suppress import parse_suppressions
 
 #: Rule id used for files that fail to parse.
@@ -57,6 +81,26 @@ def _matches(relpath: str, fragments: tuple[str, ...]) -> bool:
     return any(frag in p for frag in fragments)
 
 
+class ProjectContext:
+    """What tier-2 rules see across files: symbol index + unit registry."""
+
+    def __init__(self, index: SymbolIndex, units: UnitRegistry) -> None:
+        self.index = index
+        self.units = units
+
+    def module_of(self, relpath: str) -> str:
+        return module_name_for(relpath)
+
+    @classmethod
+    def for_single_file(cls, relpath: str, tree: ast.Module,
+                        config: LintConfig | None = None
+                        ) -> "ProjectContext":
+        index = SymbolIndex()
+        index.add_tree(relpath, tree)
+        unitsigs = config.unitsigs if config is not None else None
+        return cls(index, UnitRegistry(unitsigs))
+
+
 def resolve_rules(config: LintConfig) -> list[Rule]:
     """Registered rules minus disabled ones, with severity overrides."""
     resolved: list[Rule] = []
@@ -70,31 +114,39 @@ def resolve_rules(config: LintConfig) -> list[Rule]:
     return resolved
 
 
-def lint_file(path: str, rules: list[Rule], config: LintConfig,
-              relpath: str | None = None) -> list[Finding]:
-    """Lint one file with the given rules; shared parse, suppressions."""
-    relpath = _posix(relpath if relpath is not None else path)
-    with open(path, encoding="utf-8") as fh:
-        source = fh.read()
-    try:
-        tree = ast.parse(source, filename=path)
-    except SyntaxError as exc:
-        return [Finding(
-            rule_id=PARSE_RULE_ID,
-            severity=Severity.ERROR,
-            path=relpath,
-            line=exc.lineno or 1,
-            col=(exc.offset or 1) - 1,
-            message=f"file does not parse: {exc.msg}",
-        )]
-    ctx = FileContext(path=path, relpath=relpath, source=source, tree=tree)
-    suppressions = parse_suppressions(source)
+def rules_fingerprint(rules: list[Rule], config: LintConfig) -> str:
+    """Hash of everything that changes findings besides file content."""
+    payload = {
+        "rules": [[r.id, str(r.severity), list(r.only),
+                   list(r.default_allow)] for r in rules],
+        "allow": {k: list(v) for k, v in sorted(config.allow.items())},
+        "unitsigs": dict(sorted(config.unitsigs.items())),
+    }
+    text = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def _parse_error_finding(relpath: str, exc: SyntaxError) -> Finding:
+    return Finding(
+        rule_id=PARSE_RULE_ID,
+        severity=Severity.ERROR,
+        path=relpath,
+        line=exc.lineno or 1,
+        col=(exc.offset or 1) - 1,
+        message=f"file does not parse: {exc.msg}",
+    )
+
+
+def _run_rules(ctx: FileContext, rules: list[Rule],
+               config: LintConfig) -> list[Finding]:
+    """Run every applicable rule over one parsed file."""
+    suppressions = parse_suppressions(ctx.source, ctx.tree)
     findings: list[Finding] = []
     for rule in rules:
-        if rule.only and not _matches(relpath, rule.only):
+        if rule.only and not _matches(ctx.relpath, rule.only):
             continue
         allow = config.allow_fragments(rule.id, rule.default_allow)
-        if allow and _matches(relpath, allow):
+        if allow and _matches(ctx.relpath, allow):
             continue
         for f in rule.check(ctx):
             if suppressions.is_suppressed(f.rule_id, f.line):
@@ -106,20 +158,147 @@ def lint_file(path: str, rules: list[Rule], config: LintConfig,
     return findings
 
 
+def lint_file(path: str, rules: list[Rule], config: LintConfig,
+              relpath: str | None = None,
+              project: ProjectContext | None = None) -> list[Finding]:
+    """Lint one file with the given rules; shared parse, suppressions.
+
+    Without an explicit ``project``, tier-2 rules see a single-file
+    project view (cross-module facts degrade to what the file shows).
+    """
+    relpath = _posix(relpath if relpath is not None else path)
+    with open(path, encoding="utf-8") as fh:
+        source = fh.read()
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [_parse_error_finding(relpath, exc)]
+    if project is None and any(r.tier >= 2 for r in rules):
+        project = ProjectContext.for_single_file(relpath, tree, config)
+    ctx = FileContext(path=path, relpath=relpath, source=source,
+                      tree=tree, project=project)
+    return _run_rules(ctx, rules, config)
+
+
+class _FileRecord:
+    """Per-file working state of one ``lint_paths`` run."""
+
+    __slots__ = ("path", "relpath", "digest", "source", "tree",
+                 "parse_error", "summary", "findings")
+
+    def __init__(self, path: str, relpath: str) -> None:
+        self.path = path
+        self.relpath = relpath
+        self.digest = ""
+        self.source: str | None = None
+        self.tree: ast.Module | None = None
+        self.parse_error: SyntaxError | None = None
+        self.summary: dict | None = None
+        self.findings: list[Finding] | None = None
+
+    def ensure_parsed(self) -> None:
+        if self.tree is not None or self.parse_error is not None:
+            return
+        if self.source is None:
+            with open(self.path, encoding="utf-8") as fh:
+                self.source = fh.read()
+        try:
+            self.tree = ast.parse(self.source, filename=self.path)
+        except SyntaxError as exc:
+            self.parse_error = exc
+
+
 def lint_paths(targets: list[str] | None, config: LintConfig,
-               baseline_path: str | None = None) -> LintReport:
+               baseline_path: str | None = None, *,
+               incremental: bool = False,
+               cache_path: str | None = None) -> LintReport:
     """Lint every Python file under ``targets`` (default: config paths).
 
     ``baseline_path`` overrides the configured baseline; pass ``""`` to
-    ignore any configured baseline.
+    ignore any configured baseline.  With ``incremental=True`` the
+    content-hash cache at ``cache_path`` (default
+    ``.repro/lintcache.json``) is consulted and refreshed; findings of
+    byte-identical files under an identical project fingerprint replay
+    without re-parsing.
     """
     if not targets:
         targets = [p for p in config.paths if os.path.exists(p)]
     rules = resolve_rules(config)
+    need_project = any(r.tier >= 2 for r in rules)
     report = LintReport(rules_run=len(rules))
+
+    cache: LintCache | None = None
+    if incremental:
+        resolved_cache = cache_path or config.cache or DEFAULT_CACHE_PATH
+        cache = LintCache.load(resolved_cache,
+                               rules_fingerprint(rules, config))
+
+    # Phase 1: digest every file; recover summaries from cache or parse.
+    records: list[_FileRecord] = []
     for path in iter_python_files(list(targets)):
+        rec = _FileRecord(path, _posix(path))
+        records.append(rec)
+        try:
+            with open(path, "rb") as fh:
+                raw = fh.read()
+        except OSError:
+            continue
+        rec.digest = file_digest(raw)
+        if cache is not None:
+            rec.summary = cache.summary(rec.relpath, rec.digest)
+        if rec.summary is None:
+            try:
+                rec.source = raw.decode("utf-8")
+            except UnicodeDecodeError:
+                rec.source = raw.decode("utf-8", errors="replace")
+            rec.ensure_parsed()
+            if rec.tree is not None:
+                rec.summary = extract_summary(rec.relpath,
+                                              rec.tree).to_summary()
+            else:
+                rec.summary = {"module": module_name_for(rec.relpath),
+                               "relpath": rec.relpath}
+
+    # Phase 2: assemble the project view and its fingerprint.
+    index = SymbolIndex()
+    for rec in records:
+        if rec.summary is not None:
+            index.add(ModuleInfo.from_summary(rec.summary))
+    project_fp = index.fingerprint()
+    project = ProjectContext(index, UnitRegistry(config.unitsigs)) \
+        if need_project else None
+
+    # Phase 3: replay cached findings or lint, file by file.
+    for rec in records:
         report.files_scanned += 1
-        report.findings.extend(lint_file(path, rules, config))
+        if cache is not None and rec.digest:
+            cached = cache.findings(rec.relpath, rec.digest, project_fp)
+            if cached is not None:
+                rec.findings = cached
+                report.findings.extend(cached)
+                continue
+        rec.ensure_parsed()
+        if rec.parse_error is not None:
+            rec.findings = [_parse_error_finding(rec.relpath,
+                                                 rec.parse_error)]
+        elif rec.tree is not None:
+            ctx = FileContext(path=rec.path, relpath=rec.relpath,
+                              source=rec.source or "", tree=rec.tree,
+                              project=project)
+            rec.findings = _run_rules(ctx, rules, config)
+        else:
+            rec.findings = []
+        report.findings.extend(rec.findings)
+        if cache is not None and rec.digest and rec.summary is not None:
+            cache.put(rec.relpath, rec.digest, rec.summary,
+                      rec.findings, project_fp)
+
+    if cache is not None:
+        cache.prune({rec.relpath for rec in records})
+        cache.save()
+        report.cache_hits = cache.hits
+        report.cache_misses = cache.misses
+
     resolved_baseline = baseline_path if baseline_path is not None \
         else config.baseline
     if resolved_baseline and os.path.exists(resolved_baseline):

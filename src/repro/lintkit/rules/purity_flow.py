@@ -1,0 +1,240 @@
+"""Alias-aware cache purity (``PUR100``, tier 2).
+
+``PUR001`` flags a memoized solver that mutates a *parameter by name* —
+``profile.rates.append(...)``.  It is blind to the same mutation one
+assignment later::
+
+    def solve(machine, profile):
+        flow_cache.get(key)
+        rates = profile.rates      # alias of `profile`'s interior
+        rates.append(extra)        # PUR001 silent, cache corrupted
+
+``PUR100`` closes that hole with a forward alias analysis over the CFG:
+every parameter starts aliasing itself, assignments propagate the
+*may-alias* set (attribute/subscript reads alias their root object, so
+``rates`` above aliases ``profile``; joins union the sets), and loop /
+``with`` targets alias the iterated container.  A mutation through any
+name whose alias set reaches a parameter is reported — unless the name
+*is* that parameter, which stays ``PUR001``'s finding so each defect
+surfaces exactly once.
+
+Fresh values (literals, call results, comprehensions) reset the alias
+set: ``rates = list(profile.rates)`` is a copy and mutating it is fine.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lintkit.core import FileContext, Finding, Rule, register, \
+    walk_functions
+from repro.lintkit.dataflow.fixpoint import ForwardAnalysis
+from repro.lintkit.dataflow.lattice import Env
+from repro.lintkit.rules.cachepurity import _cache_calls, _MUTATORS
+
+#: The empty alias set: a fresh, parameter-independent value.
+_FRESH: frozenset[str] = frozenset()
+
+
+def _op_exprs(op: ast.AST) -> list[ast.expr]:
+    """The expressions belonging to this op *itself* — for compound
+    statements that is the header only, never the body suites (those
+    live in other CFG blocks and must not be scanned twice)."""
+    if isinstance(op, (ast.If, ast.While)):
+        return [op.test]
+    if isinstance(op, (ast.For, ast.AsyncFor)):
+        return [op.iter]
+    if isinstance(op, (ast.With, ast.AsyncWith)):
+        return [item.context_expr for item in op.items]
+    if isinstance(op, ast.Match):
+        return [op.subject]
+    if isinstance(op, ast.match_case):
+        return [op.guard] if op.guard is not None else []
+    if isinstance(op, (ast.FunctionDef, ast.AsyncFunctionDef,
+                       ast.ClassDef, ast.ExceptHandler)):
+        return []
+    if isinstance(op, ast.stmt):
+        return [c for c in ast.iter_child_nodes(op)
+                if isinstance(c, ast.expr)]
+    return []
+
+
+def _walk_exprs(exprs: list[ast.expr]):
+    """Walk expression trees, pruning nested function/lambda scopes."""
+    stack: list[ast.AST] = list(exprs)
+    while stack:
+        node = stack.pop()
+        yield node
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                  ast.Lambda, ast.ClassDef)):
+                continue
+            stack.append(child)
+
+
+class AliasAnalysis(ForwardAnalysis):
+    """May-alias sets from names to the parameters they can reach."""
+
+    def __init__(self, params: set[str]) -> None:
+        super().__init__()
+        self.params = params
+        #: (node, via-name, parameter) mutations observed at fixpoint.
+        self.mutations: list[tuple[ast.AST, str, str]] = []
+        self._seen: set[tuple[int, str]] = set()
+
+    def initial_env(self, fn: ast.AST) -> Env:
+        return {p: frozenset({p}) for p in self.params}
+
+    # -- transfer -------------------------------------------------------------
+
+    def transfer_op(self, env: Env, op: ast.AST) -> Env:
+        env = dict(env)
+        if isinstance(op, ast.Assign):
+            value = self._aliases(env, op.value)
+            for target in op.targets:
+                self._bind(env, target, value)
+            self._observe_mutation_targets(env, op)
+        elif isinstance(op, ast.AnnAssign):
+            value = self._aliases(env, op.value) if op.value is not None \
+                else _FRESH
+            self._bind(env, op.target, value)
+            self._observe_mutation_targets(env, op)
+        elif isinstance(op, ast.AugAssign):
+            self._observe_mutation_targets(env, op)
+        elif isinstance(op, (ast.For, ast.AsyncFor)):
+            # Iterating a parameter's container yields interior values:
+            # mutating an element mutates the parameter.
+            self._bind(env, op.target, self._aliases(env, op.iter))
+        elif isinstance(op, (ast.With, ast.AsyncWith)):
+            for item in op.items:
+                if item.optional_vars is not None:
+                    self._bind(env, item.optional_vars,
+                               self._aliases(env, item.context_expr))
+        elif isinstance(op, ast.Delete):
+            self._observe_mutation_targets(env, op)
+            for target in op.targets:
+                if isinstance(target, ast.Name):
+                    env.pop(target.id, None)
+        elif isinstance(op, ast.match_case):
+            for node in ast.walk(op.pattern):
+                if isinstance(node, ast.MatchAs) and node.name:
+                    env[node.name] = _FRESH
+        elif isinstance(op, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)):
+            env[op.name] = _FRESH
+        # Mutator method calls can hide in any expression statement,
+        # test, return value, ... — scan this op's own expressions.
+        self._observe_mutator_calls(env, op)
+        # Walrus bindings inside arbitrary expressions.
+        for node in _walk_exprs(_op_exprs(op)):
+            if isinstance(node, ast.NamedExpr):
+                self._bind(env, node.target,
+                           self._aliases(env, node.value))
+        return env
+
+    def _bind(self, env: Env, target: ast.AST,
+              value: frozenset[str]) -> None:
+        if isinstance(target, ast.Name):
+            env[target.id] = value
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            # Unpacking distributes interior aliases to every element.
+            for elt in target.elts:
+                inner = elt.value if isinstance(elt, ast.Starred) else elt
+                self._bind(env, inner, value)
+
+    def _aliases(self, env: Env, node: ast.AST) -> frozenset[str]:
+        """The parameters ``node``'s value may share storage with."""
+        if isinstance(node, ast.Name):
+            value = env.get(node.id, _FRESH)
+            return value if isinstance(value, frozenset) else _FRESH
+        if isinstance(node, (ast.Attribute, ast.Subscript, ast.Starred)):
+            return self._aliases(env, node.value)
+        if isinstance(node, ast.IfExp):
+            return self._aliases(env, node.body) | \
+                self._aliases(env, node.orelse)
+        if isinstance(node, ast.NamedExpr):
+            return self._aliases(env, node.value)
+        if isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+            out: frozenset[str] = _FRESH
+            for elt in node.elts:
+                out |= self._aliases(env, elt)
+            return out
+        # Calls, literals, comprehensions, arithmetic: fresh values.
+        return _FRESH
+
+    # -- mutation observation -------------------------------------------------
+
+    def _root_name(self, target: ast.AST) -> str | None:
+        while isinstance(target, (ast.Attribute, ast.Subscript)):
+            target = target.value
+        return target.id if isinstance(target, ast.Name) else None
+
+    def _record(self, env: Env, node: ast.AST, name: str,
+                how: str) -> None:
+        if not self.observing or name in self.params:
+            return  # direct parameter mutation is PUR001's finding
+        aliased = env.get(name)
+        if not isinstance(aliased, frozenset):
+            return
+        for param in sorted(aliased & self.params):
+            key = (id(node), f"{name}->{param}")
+            if key in self._seen:
+                continue
+            self._seen.add(key)
+            self.mutations.append((node, f"{how} `{name}`", param))
+
+    def _observe_mutation_targets(self, env: Env, op: ast.AST) -> None:
+        targets: list[ast.AST] = []
+        if isinstance(op, ast.Assign):
+            targets = list(op.targets)
+        elif isinstance(op, (ast.AugAssign, ast.AnnAssign)):
+            targets = [op.target]
+        elif isinstance(op, ast.Delete):
+            targets = list(op.targets)
+        for target in targets:
+            if isinstance(target, (ast.Attribute, ast.Subscript)):
+                name = self._root_name(target)
+                if name is not None:
+                    how = "deletes from" if isinstance(op, ast.Delete) \
+                        else "assigns into"
+                    self._record(env, op, name, how)
+
+    def _observe_mutator_calls(self, env: Env, op: ast.AST) -> None:
+        for node in _walk_exprs(_op_exprs(op)):
+            if isinstance(node, ast.Call) and \
+                    isinstance(node.func, ast.Attribute) and \
+                    node.func.attr in _MUTATORS:
+                name = self._root_name(node.func.value)
+                if name is not None:
+                    self._record(env, node, name,
+                                 f"calls .{node.func.attr}() via")
+
+
+@register
+class AliasedMemoizedMutationRule(Rule):
+    """``PUR100``: aliased argument mutation on the memoized path."""
+
+    id = "PUR100"
+    name = "aliased-memoized-mutation"
+    description = ("memoized solvers must not mutate values aliasing "
+                   "their arguments (dataflow upgrade of PUR001)")
+    tier = 2
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for fn in walk_functions(ctx.tree):
+            if not _cache_calls(fn, ("get", "put")):
+                continue
+            params = {a.arg for a in (*fn.args.posonlyargs, *fn.args.args,
+                                      *fn.args.kwonlyargs)
+                      if a.arg not in ("self", "cls")}
+            if not params:
+                continue
+            analysis = AliasAnalysis(params)
+            analysis.analyze(fn, ctx.cfg_of(fn))
+            for node, how, param in analysis.mutations:
+                yield ctx.finding(
+                    self, node,
+                    f"memoized function `{fn.name}` {how}, which may "
+                    f"alias its argument `{param}`; memoized solvers "
+                    "must be pure in their inputs")

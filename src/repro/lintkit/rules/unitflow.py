@@ -1,0 +1,421 @@
+"""Dataflow unit-dimension inference (``UNT1xx``, tier 2).
+
+Where ``UNT001`` sees one expression at a time and only the *names* in
+it, these rules run a forward abstract interpretation per function: each
+binding carries a physical :class:`~repro.lintkit.dataflow.unitsig.Dim`
+(cycles, seconds, requests, requests/cycle, 1/second, dimensionless),
+seeded from parameter/binding names, known attribute fields and the
+unit-signature registry, and propagated through assignments, arithmetic
+(products/quotients combine exponents; sums require agreement) and
+calls.  Three rules read the converged facts:
+
+* ``UNT100`` — additive mixing / comparison of two *inferred*
+  dimensions that disagree, e.g. adding a value that flowed out of
+  ``cycles_to_seconds`` to a cycle count, even when neither operand
+  name says so.  Expressions the lexical ``UNT001`` already flags are
+  skipped, so each defect surfaces exactly once.
+* ``UNT101`` — argument dimension contradicts a registered unit
+  signature: passing a latency (seconds) where ``seconds_to_cycles``
+  declares cycles, a rate where a count is declared, a swapped
+  ``(freq, cycles)`` pair.
+* ``UNT102`` — dimension-losing bind: assigning a value whose inferred
+  dimension is known to a name whose suffix promises a *different*
+  dimension (``total_cycles = cycles_to_seconds(...)``) silently
+  relabels the quantity for every downstream reader.
+
+All three stay silent on unknown (⊤) dimensions: they only speak when
+both sides of a disagreement are established facts.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.lintkit.core import FileContext, Finding, Rule, dotted_name, \
+    register, walk_functions
+from repro.lintkit.dataflow.fixpoint import ForwardAnalysis
+from repro.lintkit.dataflow.lattice import TOP, Env
+from repro.lintkit.dataflow.unitsig import (
+    ATTR_DIMS,
+    Dim,
+    UnitRegistry,
+    lexical_dim,
+)
+from repro.lintkit.rules.units import unit_of_name
+
+#: Builtins that pass their argument's dimension through unchanged.
+_DIM_PRESERVING = {"float", "int", "abs", "round", "min", "max"}
+
+
+@dataclass(frozen=True)
+class UnitReport:
+    """One defect observed at fixpoint, tagged with its rule kind."""
+
+    kind: str  # "mix" | "sig" | "bind"
+    node: ast.AST
+    message: str
+
+
+class UnitAnalysis(ForwardAnalysis):
+    """The unit-dimension domain over one function."""
+
+    def __init__(self, registry: UnitRegistry,
+                 resolve: "callable | None" = None) -> None:
+        super().__init__()
+        self.registry = registry
+        #: dotted-call-name -> project-qualified name (from the index).
+        self._resolve = resolve or (lambda dotted: dotted)
+        self.reports: list[UnitReport] = []
+        self._reported: set[int] = set()
+
+    # -- engine hooks ---------------------------------------------------------
+
+    def initial_env(self, fn: ast.FunctionDef | ast.AsyncFunctionDef) -> Env:
+        env: Env = {}
+        args = fn.args
+        for a in (*args.posonlyargs, *args.args, *args.kwonlyargs):
+            dim = lexical_dim(a.arg)
+            if dim is not None:
+                env[a.arg] = dim
+        return env
+
+    def transfer_op(self, env: Env, op: ast.AST) -> Env:
+        env = dict(env)
+        if isinstance(op, ast.Assign):
+            value = self._eval(env, op.value)
+            for target in op.targets:
+                self._bind(env, target, value, op)
+        elif isinstance(op, ast.AnnAssign):
+            value = self._eval(env, op.value) if op.value is not None \
+                else None
+            self._bind(env, op.target, value, op)
+        elif isinstance(op, ast.AugAssign):
+            self._aug_assign(env, op)
+        elif isinstance(op, (ast.For, ast.AsyncFor)):
+            self._eval(env, op.iter)
+            self._bind_targets_unknown(env, op.target)
+        elif isinstance(op, (ast.With, ast.AsyncWith)):
+            for item in op.items:
+                self._eval(env, item.context_expr)
+                if item.optional_vars is not None:
+                    self._bind_targets_unknown(env, item.optional_vars)
+        elif isinstance(op, (ast.If, ast.While)):
+            self._eval(env, op.test)
+        elif isinstance(op, ast.Match):
+            self._eval(env, op.subject)
+        elif isinstance(op, ast.match_case):
+            for name in _pattern_names(op.pattern):
+                env[name] = TOP
+            if op.guard is not None:
+                self._eval(env, op.guard)
+        elif isinstance(op, ast.ExceptHandler):
+            if op.name:
+                env[op.name] = TOP
+        elif isinstance(op, ast.Return):
+            if op.value is not None:
+                self._eval(env, op.value)
+        elif isinstance(op, ast.Expr):
+            self._eval(env, op.value)
+        elif isinstance(op, ast.Delete):
+            for target in op.targets:
+                if isinstance(target, ast.Name):
+                    env.pop(target.id, None)
+        elif isinstance(op, (ast.Global, ast.Nonlocal)):
+            for name in op.names:
+                env[name] = TOP
+        elif isinstance(op, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)):
+            env[op.name] = TOP
+        elif isinstance(op, (ast.Assert, ast.Raise)):
+            for child in ast.iter_child_nodes(op):
+                if isinstance(child, ast.expr):
+                    self._eval(env, child)
+        return env
+
+    # -- binding --------------------------------------------------------------
+
+    def _bind(self, env: Env, target: ast.AST, value: Dim | None,
+              op: ast.AST) -> None:
+        if isinstance(target, ast.Name):
+            hint = lexical_dim(target.id)
+            if value is not None and hint is not None and hint != value:
+                self._report(
+                    "bind", op,
+                    f"`{target.id}` promises {hint} by name but is bound "
+                    f"to a {value} value; rename the binding or convert "
+                    "via repro.util.units")
+            env[target.id] = value if value is not None else TOP
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                inner = elt.value if isinstance(elt, ast.Starred) else elt
+                self._bind_targets_unknown(env, inner)
+        # Attribute/Subscript targets carry no local binding.
+
+    def _bind_targets_unknown(self, env: Env, target: ast.AST) -> None:
+        if isinstance(target, ast.Name):
+            env[target.id] = TOP
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                inner = elt.value if isinstance(elt, ast.Starred) else elt
+                self._bind_targets_unknown(env, inner)
+
+    def _aug_assign(self, env: Env, op: ast.AugAssign) -> None:
+        left = self._eval(env, op.target) \
+            if isinstance(op.target, (ast.Name, ast.Attribute)) else None
+        right = self._eval(env, op.value)
+        result = self._combine(op, op.op, left, right,
+                               op.target, op.value)
+        if isinstance(op.target, ast.Name):
+            env[op.target.id] = result if result is not None else TOP
+
+    # -- expression evaluation ------------------------------------------------
+
+    def _eval(self, env: Env, node: ast.AST | None) -> Dim | None:
+        """The inferred dimension of ``node``; ``None`` = unknown/⊤."""
+        if node is None:
+            return None
+        if isinstance(node, ast.Constant):
+            return None  # scalar literals are polymorphic in dimension
+        if isinstance(node, ast.Name):
+            if node.id in env:
+                value = env[node.id]
+                return value if isinstance(value, Dim) else None
+            return lexical_dim(node.id)
+        if isinstance(node, ast.Attribute):
+            self._eval(env, node.value)
+            known = ATTR_DIMS.get(node.attr)
+            if known is not None:
+                return known
+            return lexical_dim(node.attr)
+        if isinstance(node, ast.BinOp):
+            return self._binop(env, node)
+        if isinstance(node, ast.Compare):
+            return self._compare(env, node)
+        if isinstance(node, ast.BoolOp):
+            dims = [self._eval(env, v) for v in node.values]
+            known = {d for d in dims if d is not None}
+            return known.pop() if len(known) == 1 else None
+        if isinstance(node, ast.UnaryOp):
+            return self._eval(env, node.operand)
+        if isinstance(node, ast.IfExp):
+            self._eval(env, node.test)
+            a = self._eval(env, node.body)
+            b = self._eval(env, node.orelse)
+            return a if a == b else None
+        if isinstance(node, ast.NamedExpr):
+            value = self._eval(env, node.value)
+            self._bind(env, node.target, value, node)
+            return value
+        if isinstance(node, ast.Call):
+            return self._call(env, node)
+        if isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                             ast.GeneratorExp)):
+            # Comprehension targets live in their own scope: evaluate in
+            # a clone so bindings do not leak into the outer env.
+            inner = dict(env)
+            for gen in node.generators:
+                self._eval(inner, gen.iter)
+                self._bind_targets_unknown(inner, gen.target)
+                for cond in gen.ifs:
+                    self._eval(inner, cond)
+            for part in ("elt", "key", "value"):
+                sub = getattr(node, part, None)
+                if sub is not None:
+                    self._eval(inner, sub)
+            return None
+        if isinstance(node, (ast.Tuple, ast.List, ast.Set, ast.Dict,
+                             ast.Subscript, ast.Starred, ast.Lambda,
+                             ast.Await, ast.JoinedStr, ast.FormattedValue,
+                             ast.Slice)):
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, ast.expr):
+                    self._eval(env, child)
+            return None
+        return None
+
+    def _binop(self, env: Env, node: ast.BinOp) -> Dim | None:
+        left = self._eval(env, node.left)
+        right = self._eval(env, node.right)
+        return self._combine(node, node.op, left, right,
+                             node.left, node.right)
+
+    def _combine(self, node: ast.AST, op: ast.operator,
+                 left: Dim | None, right: Dim | None,
+                 left_node: ast.AST, right_node: ast.AST) -> Dim | None:
+        if isinstance(op, (ast.Add, ast.Sub)):
+            if left is not None and right is not None:
+                if left != right:
+                    self._report_mix(node, left_node, right_node,
+                                     left, right,
+                                     "addition" if isinstance(op, ast.Add)
+                                     else "subtraction")
+                    return None
+                return left
+            return left if right is None else right \
+                if left is None else left
+        if isinstance(op, ast.Mult):
+            if left is not None and right is not None:
+                return left.mul(right)
+            return None
+        if isinstance(op, (ast.Div, ast.FloorDiv)):
+            if left is not None and right is not None:
+                return left.div(right)
+            return None
+        if isinstance(op, ast.Mod):
+            if left is not None and right is not None and left == right:
+                return left
+            return None
+        if isinstance(op, ast.Pow):
+            return None
+        return None
+
+    def _compare(self, env: Env, node: ast.Compare) -> Dim | None:
+        operands = [node.left, *node.comparators]
+        dims = [self._eval(env, o) for o in operands]
+        for (a_node, a), (b_node, b) in zip(zip(operands, dims),
+                                            zip(operands[1:], dims[1:])):
+            if a is not None and b is not None and a != b:
+                self._report_mix(node, a_node, b_node, a, b, "comparison")
+        return None
+
+    def _call(self, env: Env, node: ast.Call) -> Dim | None:
+        for kw in node.keywords:
+            self._eval(env, kw.value)
+        arg_dims = [self._eval(env, a) for a in node.args]
+        dotted = dotted_name(node.func)
+        if dotted is None:
+            return None
+        tail = dotted.rsplit(".", 1)[-1]
+        if tail in _DIM_PRESERVING:
+            known = {d for d in arg_dims if d is not None}
+            return known.pop() if len(known) == 1 else None
+        sig = self.registry.lookup(self._resolve(dotted)) or \
+            self.registry.lookup(dotted)
+        if sig is None:
+            return None
+        for i, (arg, dim) in enumerate(zip(node.args, arg_dims)):
+            if i >= len(sig.params) or isinstance(arg, ast.Starred):
+                break
+            declared = sig.params[i]
+            if declared is not None and dim is not None and dim != declared:
+                self._report(
+                    "sig", arg,
+                    f"argument {i + 1} of `{dotted}` is declared "
+                    f"{declared} but receives a {dim} value — likely "
+                    "swapped or unconverted arguments")
+        return sig.returns
+
+    # -- reporting ------------------------------------------------------------
+
+    def _report_mix(self, node: ast.AST, left_node: ast.AST,
+                    right_node: ast.AST, left: Dim, right: Dim,
+                    op_word: str) -> None:
+        if _lexically_flagged(left_node, right_node):
+            return  # UNT001's finding; do not double-report
+        self._report(
+            "mix", node,
+            f"{op_word} mixes inferred dimensions: left side is {left}, "
+            f"right side is {right}; convert via repro.util.units first")
+
+    def _report(self, kind: str, node: ast.AST, message: str) -> None:
+        if not self.observing:
+            return
+        key = (id(node), kind)
+        if key in self._reported:
+            return
+        self._reported.add(key)
+        self.reports.append(UnitReport(kind=kind, node=node,
+                                       message=message))
+
+
+def _lexically_flagged(left: ast.AST, right: ast.AST) -> bool:
+    """True when the lexical UNT001 rule already flags this operand pair."""
+
+    def _unit(node: ast.AST) -> str | None:
+        if isinstance(node, ast.Name):
+            return unit_of_name(node.id)
+        if isinstance(node, ast.Attribute):
+            return unit_of_name(node.attr)
+        return None
+
+    lunit, runit = _unit(left), _unit(right)
+    return lunit is not None and runit is not None and lunit != runit
+
+
+def _pattern_names(pattern: ast.pattern) -> Iterator[str]:
+    for node in ast.walk(pattern):
+        if isinstance(node, ast.MatchAs) and node.name:
+            yield node.name
+        elif isinstance(node, ast.MatchStar) and node.name:
+            yield node.name
+        elif isinstance(node, ast.MatchMapping) and node.rest:
+            yield node.rest
+
+
+def analyze_file(ctx: FileContext) -> list[UnitReport]:
+    """Run the unit analysis once per file, shared by the UNT1xx rules."""
+    cached = getattr(ctx, "_unitflow_reports", None)
+    if cached is not None:
+        return cached
+    project = getattr(ctx, "project", None)
+    if project is not None:
+        registry = project.units
+        module = project.module_of(ctx.relpath)
+        resolve = (lambda dotted: project.index.resolve_call(module, dotted))
+    else:
+        registry = UnitRegistry()
+        resolve = None
+    reports: list[UnitReport] = []
+    for fn in walk_functions(ctx.tree):
+        analysis = UnitAnalysis(registry, resolve)
+        analysis.analyze(fn, ctx.cfg_of(fn))
+        reports.extend(analysis.reports)
+    ctx._unitflow_reports = reports  # type: ignore[attr-defined]
+    return reports
+
+
+class _UnitFlowRule(Rule):
+    """Shared driver: run the per-file analysis, keep one report kind."""
+
+    tier = 2
+    kind = ""
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for report in analyze_file(ctx):
+            if report.kind == self.kind:
+                yield ctx.finding(self, report.node, report.message)
+
+
+@register
+class DimensionMixRule(_UnitFlowRule):
+    """``UNT100``: inferred-dimension mixing in sums and comparisons."""
+
+    id = "UNT100"
+    name = "no-inferred-dimension-mixing"
+    description = ("dataflow-inferred dimensions disagree in an additive "
+                   "or comparison expression")
+    kind = "mix"
+
+
+@register
+class SignatureArgumentRule(_UnitFlowRule):
+    """``UNT101``: argument dimension contradicts a unit signature."""
+
+    id = "UNT101"
+    name = "unit-signature-argument"
+    description = ("a call argument's inferred dimension contradicts the "
+                   "registered unit signature (swapped rate/latency args)")
+    kind = "sig"
+
+
+@register
+class DimensionLosingBindRule(_UnitFlowRule):
+    """``UNT102``: binding relabels a quantity's dimension."""
+
+    id = "UNT102"
+    name = "no-dimension-losing-bind"
+    description = ("a binding whose name promises one dimension receives "
+                   "a value inferred to another")
+    kind = "bind"

@@ -9,12 +9,21 @@ inside a string literal does not suppress anything):
 ``# reprolint: disable-file=DET003``
     Suppress the listed rule ids for the whole file.
 
+When the parsed AST is available, a line suppression anywhere inside a
+multi-line *simple* statement covers every physical line of that
+statement — a trailing ``# reprolint: disable=UNT001`` on the closing
+paren of a three-line call suppresses the finding anchored at the call's
+first line.  Compound statements (``if``/``for``/``def``…) deliberately
+do not spread: a directive inside a loop body must not silence the whole
+loop.
+
 A suppression should carry a justification in the surrounding code —
 see docs/LINTING.md.
 """
 
 from __future__ import annotations
 
+import ast
 import io
 import re
 import tokenize
@@ -24,6 +33,13 @@ _DIRECTIVE = re.compile(
 
 #: Wildcard accepted in place of a rule-id list.
 ALL = "all"
+
+#: Statements whose lineno..end_lineno span is entirely their own text
+#: (no nested suite), safe to blanket with one directive.
+_SIMPLE_STMTS = (
+    ast.Assign, ast.AnnAssign, ast.AugAssign, ast.Expr, ast.Return,
+    ast.Raise, ast.Assert, ast.Delete, ast.Import, ast.ImportFrom,
+)
 
 
 class Suppressions:
@@ -47,8 +63,30 @@ def _parse_ids(raw: str) -> set[str]:
     return {i if i == ALL else i.upper() for i in ids if i}
 
 
-def parse_suppressions(source: str) -> Suppressions:
-    """Scan ``source`` for ``# reprolint:`` directives."""
+def _spread_multiline(sup: Suppressions, tree: ast.Module) -> None:
+    """Extend line directives over the full span of simple statements."""
+    for node in ast.walk(tree):
+        if not isinstance(node, _SIMPLE_STMTS):
+            continue
+        end = getattr(node, "end_lineno", None) or node.lineno
+        if end <= node.lineno:
+            continue
+        span = range(node.lineno, end + 1)
+        ids: set[str] = set()
+        for line in span:
+            ids |= sup.by_line.get(line, set())
+        if ids:
+            for line in span:
+                sup.by_line.setdefault(line, set()).update(ids)
+
+
+def parse_suppressions(source: str,
+                       tree: ast.Module | None = None) -> Suppressions:
+    """Scan ``source`` for ``# reprolint:`` directives.
+
+    With ``tree`` given, line directives cover all physical lines of the
+    multi-line simple statement they sit in (see module docstring).
+    """
     sup = Suppressions()
     try:
         tokens = tokenize.generate_tokens(io.StringIO(source).readline)
@@ -71,4 +109,6 @@ def parse_suppressions(source: str) -> Suppressions:
         # Unterminated constructs: fall back to whatever parsed so far;
         # the engine reports the syntax error separately.
         pass
+    if tree is not None and sup.by_line:
+        _spread_multiline(sup, tree)
     return sup

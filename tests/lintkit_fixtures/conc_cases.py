@@ -1,0 +1,64 @@
+"""CONC001-003 fixtures; `# -> RULEID` marks expected findings."""
+import random
+import threading
+from concurrent.futures import ProcessPoolExecutor
+
+REGISTRY = {}
+LIMITS = (1, 2)
+_LOCK = threading.Lock()
+
+
+def worker():
+    REGISTRY["hits"] = 1  # -> CONC001
+    deeper()
+
+
+def deeper():
+    REGISTRY.update(hits=2)  # -> CONC001
+
+
+def locked_worker():
+    with _LOCK:
+        REGISTRY["hits"] = 3
+
+
+def not_thread_reachable():
+    REGISTRY["cold"] = 4
+
+
+def start():
+    threading.Thread(target=worker).start()
+    threading.Thread(target=locked_worker).start()
+
+
+def submit_lambda(pool):
+    pool.submit(lambda: 1)  # -> CONC002
+
+
+def submit_nested(pool):
+    def inner():
+        return 2
+    pool.submit(inner)  # -> CONC002
+
+
+def submit_registry(pool, task):
+    pool.submit(task, REGISTRY)  # -> CONC002
+
+
+def submit_tuple_is_fine(pool, task):
+    pool.submit(task, LIMITS)
+
+
+def pool_worker(n):
+    return random.random() + n  # -> CONC003
+
+
+def seeded_worker(n):
+    rng = random.Random(n)
+    return rng.random()
+
+
+def launch():
+    with ProcessPoolExecutor() as pool:
+        pool.submit(pool_worker, 1)
+        pool.submit(seeded_worker, 2)

@@ -1,0 +1,50 @@
+"""PUR100 fixtures; `# -> RULEID` marks expected findings."""
+flow_cache = {}
+
+
+def mutates_via_alias(machine, profile, key):
+    flow_cache.get(key)
+    rates = profile.rates
+    rates.append(1.0)  # -> PUR100
+    return rates
+
+
+def mutates_loop_element(machine, profiles, key):
+    flow_cache.get(key)
+    for p in profiles:
+        p.counts.update(a=1)  # -> PUR100
+    return profiles
+
+
+def assigns_into_alias(profile, key):
+    flow_cache.get(key)
+    table = profile.table
+    table["k"] = 1  # -> PUR100
+    return table
+
+
+def copy_is_fine(machine, profile, key):
+    flow_cache.get(key)
+    rates = list(profile.rates)
+    rates.append(1.0)
+    return rates
+
+
+def rebound_alias_is_fine(profile, key):
+    flow_cache.get(key)
+    rates = profile.rates
+    rates = []
+    rates.append(1.0)
+    return rates
+
+
+def direct_param_stays_pur001(profile, key):
+    flow_cache.get(key)
+    profile.rates.append(1.0)  # -> PUR001
+    return profile
+
+
+def no_cache_no_finding(profile):
+    rates = profile.rates
+    rates.append(1.0)
+    return rates

@@ -1,0 +1,61 @@
+"""UNT100-102 dataflow fixtures; `# -> RULEID` marks expected findings."""
+from repro.util.units import cycles_to_seconds
+
+
+def mix_through_bindings(machine):
+    a = machine.work_cycles
+    b = machine.wall_time_s
+    x = a
+    y = b
+    return x + y  # -> UNT100
+
+
+def mix_after_conversion(machine, freq_hz):
+    out = cycles_to_seconds(machine.work_cycles, freq_hz)
+    return out + machine.work_cycles  # -> UNT100
+
+
+def compare_across_dimensions(machine):
+    a = machine.work_cycles
+    b = machine.wall_time_s
+    return a > b  # -> UNT100
+
+
+def swapped_signature_args(machine, freq_hz):
+    c = machine.work_cycles
+    return cycles_to_seconds(freq_hz, c)  # -> UNT101, UNT101
+
+
+def relabeling_bind(machine, freq_hz):
+    total_cycles = cycles_to_seconds(machine.work_cycles, freq_hz)  # -> UNT102
+    return total_cycles
+
+
+def same_dimension_is_fine(machine):
+    a = machine.work_cycles
+    b = machine.per_core_cycles
+    return a + b
+
+
+def division_is_a_conversion(machine):
+    a = machine.work_cycles
+    b = machine.wall_time_s
+    return a / b
+
+
+def joined_to_top_stays_silent(machine, flag):
+    if flag:
+        v = machine.work_cycles
+    else:
+        v = machine.wall_time_s
+    return v + machine.work_cycles
+
+
+def reassignment_kills_stale_seed(window_s):
+    window_s = object()
+    return window_s + 1
+
+
+def correct_call_order_is_fine(machine, freq_hz):
+    latency_s = cycles_to_seconds(machine.work_cycles, freq_hz)
+    return latency_s

@@ -1,0 +1,537 @@
+"""Dataflow-tier tests: CFG shapes, lattice laws, fixpoint behaviour,
+the incremental cache, multi-line suppressions and baseline hygiene.
+
+The CFG/fixpoint tests use a tiny constant-propagation domain so the
+assertions are about *control flow* (where joins happen, which blocks
+are reachable) rather than any particular rule's semantics.
+"""
+
+import ast
+import textwrap
+
+from repro.lintkit import LintConfig, lint_paths, resolve_rules
+from repro.lintkit.baseline import (
+    apply_baseline,
+    load_baseline,
+    normalize_snippet,
+    write_baseline,
+)
+from repro.lintkit.cache import LintCache, file_digest
+from repro.lintkit.core import Finding, LintReport, Severity
+from repro.lintkit.dataflow.cfg import build_cfg
+from repro.lintkit.dataflow.fixpoint import ForwardAnalysis
+from repro.lintkit.dataflow.lattice import TOP, join_env, join_value
+from repro.lintkit.dataflow.symbols import (
+    ModuleInfo,
+    SymbolIndex,
+    extract_summary,
+    module_name_for,
+)
+from repro.lintkit.dataflow.unitsig import (
+    CYCLES,
+    HERTZ,
+    RATE,
+    SECONDS,
+    UnitRegistry,
+    lexical_dim,
+    parse_signature,
+)
+from repro.lintkit.rules.unitflow import UnitAnalysis
+from repro.lintkit.suppress import parse_suppressions
+
+
+def fn_of(src: str) -> ast.FunctionDef:
+    tree = ast.parse(textwrap.dedent(src))
+    return next(n for n in ast.walk(tree)
+                if isinstance(n, ast.FunctionDef))
+
+
+class ConstProp(ForwardAnalysis):
+    """x = <literal> propagates the literal; anything else is TOP."""
+
+    def transfer_op(self, env, op):
+        env = dict(env)
+        if isinstance(op, ast.Assign) and len(op.targets) == 1 and \
+                isinstance(op.targets[0], ast.Name):
+            value = op.value
+            env[op.targets[0].id] = value.value \
+                if isinstance(value, ast.Constant) else TOP
+        return env
+
+    def exit_env(self, fn):
+        cfg = build_cfg(fn)
+        envs = self.analyze(fn, cfg)
+        return envs.get(cfg.exit, {})
+
+
+class TestLattice:
+    def test_flat_join(self):
+        assert join_value(1, 1) == 1
+        assert join_value(1, 2) is TOP
+        assert join_value(TOP, 1) is TOP
+        assert join_value(1, TOP) is TOP
+
+    def test_powerset_join_unions(self):
+        a, b = frozenset({"p"}), frozenset({"q"})
+        assert join_value(a, b) == frozenset({"p", "q"})
+        assert join_value(a, a) == a
+
+    def test_join_env_is_pointwise_and_absent_keeps_other(self):
+        joined = join_env({"a": 1}, {"a": 1, "b": 2})
+        assert joined == {"a": 1, "b": 2}
+        assert join_env({"a": 1}, {"a": 2}) == {"a": TOP}
+
+
+class TestCfgShapes:
+    def test_while_else_runs_only_on_normal_exit(self):
+        fn = fn_of("""
+            def f(cond):
+                x = 1
+                while cond:
+                    x = 2
+                else:
+                    y = 3
+                return y
+        """)
+        cfg = build_cfg(fn)
+        by_label = {}
+        for block in cfg.blocks.values():
+            by_label.setdefault(block.label, []).append(block)
+        [head] = by_label["loop-head"]
+        [els] = by_label["loop-else"]
+        [after] = by_label["loop-after"]
+        preds = cfg.preds()
+        # else is entered from the loop head only, never from a break.
+        assert preds[els.id] == [head.id]
+        assert els.id in {p for p in preds[after.id]} or \
+            after.id in els.succs
+
+    def test_break_skips_the_loop_else(self):
+        fn = fn_of("""
+            def f(cond):
+                while cond:
+                    if cond:
+                        break
+                else:
+                    y = 3
+                return 0
+        """)
+        cfg = build_cfg(fn)
+        els = next(b for b in cfg.blocks.values()
+                   if b.label == "loop-else")
+        after = next(b for b in cfg.blocks.values()
+                     if b.label == "loop-after")
+        brk = next(b for b in cfg.blocks.values()
+                   if any(isinstance(op, ast.Break) for op in b.ops))
+        assert after.id in brk.succs
+        assert els.id not in brk.succs
+
+    def test_loop_join_reaches_top(self):
+        env = ConstProp().exit_env(fn_of("""
+            def f(cond):
+                x = 1
+                while cond:
+                    x = 2
+                return x
+        """))
+        assert env["x"] is TOP
+
+    def test_break_value_joins_at_loop_after(self):
+        env = ConstProp().exit_env(fn_of("""
+            def f():
+                x = 1
+                while True:
+                    x = 2
+                    break
+                return x
+        """))
+        assert env["x"] is TOP
+
+    def test_except_handler_sees_pre_and_post_body_states(self):
+        fn = fn_of("""
+            def f(risky):
+                x = 1
+                try:
+                    x = 2
+                    risky()
+                except ValueError:
+                    y = x
+                return x
+        """)
+        analysis = ConstProp()
+        cfg = build_cfg(fn)
+        envs = analysis.analyze(fn, cfg)
+        handler = next(b for b in cfg.blocks.values()
+                       if b.label == "except")
+        # The raise may happen before or after `x = 2`.
+        assert envs[handler.id]["x"] is TOP
+
+    def test_finally_traversed_by_both_continuations(self):
+        fn = fn_of("""
+            def f():
+                x = 1
+                try:
+                    x = 2
+                finally:
+                    y = x
+                return y
+        """)
+        cfg = build_cfg(fn)
+        envs = ConstProp().analyze(fn, cfg)
+        fin = next(b for b in cfg.blocks.values() if b.label == "finally")
+        assert envs[fin.id]["x"] is TOP
+        # The finally suite can leave for the function exit (re-raise).
+        assert cfg.exit in cfg.blocks[fin.id].succs or any(
+            cfg.exit in cfg.blocks[s].succs
+            for s in cfg.blocks[fin.id].succs)
+
+    def test_dead_code_after_return_gets_no_inflow(self):
+        fn = fn_of("""
+            def f():
+                return 1
+                x = 2
+        """)
+        cfg = build_cfg(fn)
+        dead = [b for b in cfg.blocks.values()
+                if b.label == "unreachable"]
+        assert dead and dead[0].id not in cfg.reachable()
+
+    def test_match_wildcard_removes_the_no_match_edge(self):
+        with_wild = fn_of("""
+            def f(v):
+                match v:
+                    case 1:
+                        x = 1
+                    case _:
+                        x = 2
+                return x
+        """)
+        cfg = build_cfg(with_wild)
+        subject = next(b for b in cfg.blocks.values()
+                       if any(isinstance(op, ast.Match) for op in b.ops))
+        join = next(b for b in cfg.blocks.values()
+                    if b.label == "match-join")
+        assert join.id not in subject.succs  # some case always matches
+
+        without = fn_of("""
+            def f(v):
+                match v:
+                    case 1:
+                        x = 1
+                return x
+        """)
+        cfg2 = build_cfg(without)
+        subject2 = next(b for b in cfg2.blocks.values()
+                        if any(isinstance(op, ast.Match) for op in b.ops))
+        join2 = next(b for b in cfg2.blocks.values()
+                     if b.label == "match-join")
+        assert join2.id in subject2.succs  # v may match no case
+
+    def test_adversarial_kitchen_sink_converges(self):
+        env = ConstProp().exit_env(fn_of("""
+            def f(cond, items, v):
+                x = 1
+                while cond:
+                    if cond:
+                        continue
+                    x = 2
+                else:
+                    x = 3
+                try:
+                    for i in items:
+                        break
+                finally:
+                    z = 1
+                match v:
+                    case [a, *rest]:
+                        w = 4
+                    case _:
+                        w = 5
+                return x
+        """))
+        # No break: normal loop exit always runs the else -> x is 3.
+        assert env["x"] == 3
+        assert env["z"] == 1     # finally runs on every path
+
+
+class TestUnitAnalysisScopes:
+    def run(self, src: str) -> UnitAnalysis:
+        analysis = UnitAnalysis(UnitRegistry())
+        analysis.analyze(fn_of(src))
+        return analysis
+
+    def test_comprehension_target_does_not_clobber_outer_binding(self):
+        # `a`/`b` are lexically neutral, so only the dataflow tier can
+        # see this mix — and only if the comprehension's rebinding of
+        # `a` stays in the comprehension scope.
+        analysis = self.run("""
+            def f(work_cycles, wall_time_s, vals):
+                a = work_cycles
+                b = wall_time_s
+                xs = [a for a in vals]
+                return a + b
+        """)
+        assert [r.kind for r in analysis.reports] == ["mix"]
+
+    def test_walrus_binding_is_dimension_checked(self):
+        analysis = self.run("""
+            def f(machine):
+                if (work_cycles := machine.wall_time_s):
+                    return work_cycles
+                return 0
+        """)
+        assert [r.kind for r in analysis.reports] == ["bind"]
+
+    def test_match_captures_are_unknown_not_stale(self):
+        analysis = self.run("""
+            def f(v, work_cycles):
+                match v:
+                    case [work_cycles]:
+                        pass
+                return work_cycles + 1.0
+        """)
+        # The capture rebinds work_cycles to an unknown: no report.
+        assert analysis.reports == []
+
+    def test_observe_pass_reports_converged_facts_once(self):
+        analysis = self.run("""
+            def f(cond, work_cycles, wall_time_s):
+                a = work_cycles
+                b = wall_time_s
+                while cond:
+                    t = a + b
+                    cond = t
+        """)
+        # The loop body is interpreted many times on the way to the
+        # fixpoint but the defect is reported exactly once.
+        assert [r.kind for r in analysis.reports] == ["mix"]
+
+
+class TestUnitSignatures:
+    def test_parse_signature_roundtrip(self):
+        sig = parse_signature("f", "cycles, hertz -> seconds")
+        assert sig.params == (CYCLES, HERTZ)
+        assert sig.returns == SECONDS
+
+    def test_registry_extends_builtins_and_falls_back_to_tail(self):
+        reg = UnitRegistry({"pkg.mod.my_rate": "requests, cycles -> rate"})
+        assert reg.lookup("pkg.mod.my_rate").returns == RATE
+        assert reg.lookup("units.cycles_to_seconds") is not None
+
+    def test_lexical_dim_conventions(self):
+        assert lexical_dim("work_cycles") == CYCLES
+        assert lexical_dim("window_s") == SECONDS
+        assert lexical_dim("latency_p99") == SECONDS
+        assert lexical_dim("reqs_per_cycle") == RATE
+        assert lexical_dim("freq") == HERTZ
+        assert lexical_dim("banana") is None
+
+
+class TestSymbolIndex:
+    SRC = """
+        import threading
+        from repro.obs.export import MetricsServer
+
+        REG = {}
+
+        def tick():
+            REG["n"] = 1
+
+        def spin():
+            threading.Thread(target=tick).start()
+    """
+
+    def module(self, relpath="src/repro/demo.py"):
+        tree = ast.parse(textwrap.dedent(self.SRC))
+        return extract_summary(relpath, tree)
+
+    def test_module_name_strips_src_prefix(self):
+        assert module_name_for("src/repro/obs/state.py") == \
+            "repro.obs.state"
+        assert module_name_for("src/repro/util/__init__.py") == \
+            "repro.util"
+
+    def test_summary_roundtrips_through_json_shape(self):
+        info = self.module()
+        clone = ModuleInfo.from_summary(info.to_summary())
+        assert clone.to_summary() == info.to_summary()
+
+    def test_thread_reachability_spans_the_call_graph(self):
+        index = SymbolIndex()
+        index.add(self.module())
+        assert "repro.demo.tick" in index.thread_reachable()
+
+    def test_fingerprint_tracks_interface_not_presence(self):
+        index = SymbolIndex()
+        index.add(self.module())
+        fp = index.fingerprint()
+        index.add(self.module())  # identical summary: no change
+        assert index.fingerprint() == fp
+        other = self.module(relpath="src/repro/demo2.py")
+        index.add(other)
+        assert index.fingerprint() != fp
+
+
+class TestMultilineSuppressions:
+    SRC = ("total = (work_cycles\n"
+           "         + window_s)  # reprolint: disable=UNT100\n"
+           "other = 1\n")
+
+    def test_directive_covers_every_line_of_the_statement(self):
+        tree = ast.parse(self.SRC)
+        sup = parse_suppressions(self.SRC, tree)
+        assert sup.is_suppressed("UNT100", 1)
+        assert sup.is_suppressed("UNT100", 2)
+        assert not sup.is_suppressed("UNT100", 3)
+
+    def test_without_tree_only_the_comment_line_is_covered(self):
+        sup = parse_suppressions(self.SRC)
+        assert not sup.is_suppressed("UNT100", 1)
+        assert sup.is_suppressed("UNT100", 2)
+
+    def test_compound_statement_bodies_do_not_inherit(self):
+        src = ("if cond:  # reprolint: disable=DET001\n"
+               "    import random\n")
+        sup = parse_suppressions(src, ast.parse(src))
+        assert sup.is_suppressed("DET001", 1)
+        assert not sup.is_suppressed("DET001", 2)
+
+
+def _finding(rule="UNT001", snippet="a + b", path="m.py"):
+    return Finding(rule_id=rule, severity=Severity.ERROR, path=path,
+                   line=1, col=0, message="msg", snippet=snippet)
+
+
+class TestBaselineHygiene:
+    def test_snippet_matching_is_whitespace_normalized(self, tmp_path):
+        report = LintReport(findings=[_finding(snippet="a  +   b")])
+        path = str(tmp_path / "baseline.json")
+        write_baseline(report, path)
+        fresh = LintReport(findings=[_finding(snippet="a + b")])
+        apply_baseline(fresh, load_baseline(path))
+        assert fresh.baselined_count == 1
+
+    def test_normalize_snippet(self):
+        assert normalize_snippet("  a\t+  b ") == "a + b"
+
+    def test_conc_findings_are_never_grandfathered(self, tmp_path):
+        report = LintReport(findings=[_finding(rule="CONC001")])
+        path = str(tmp_path / "baseline.json")
+        assert write_baseline(report, path) == 0  # not written
+        # Even a hand-edited baseline entry must not match.
+        path2 = str(tmp_path / "handmade.json")
+        write_baseline(LintReport(findings=[_finding()]), path2)
+        import json
+        data = json.loads(open(path2).read())
+        data["entries"].append({"rule": "CONC001", "path": "m.py",
+                                "snippet": "a + b"})
+        open(path2, "w").write(json.dumps(data))
+        fresh = LintReport(findings=[_finding(rule="CONC001")])
+        apply_baseline(fresh, load_baseline(path2))
+        assert fresh.baselined_count == 0
+        assert fresh.exit_code() == 1
+
+
+class TestLintCache:
+    def test_roundtrip_replays_findings(self, tmp_path):
+        path = str(tmp_path / "cache.json")
+        cache = LintCache(path, "rules-v1")
+        digest = file_digest(b"source")
+        cache.put("m.py", digest, {"module": "m", "relpath": "m.py"},
+                  [_finding()], "proj-a")
+        cache.save()
+        loaded = LintCache.load(path, "rules-v1")
+        [f] = loaded.findings("m.py", digest, "proj-a")
+        assert f.rule_id == "UNT001" and loaded.hits == 1
+
+    def test_rules_fingerprint_mismatch_is_cold(self, tmp_path):
+        path = str(tmp_path / "cache.json")
+        cache = LintCache(path, "rules-v1")
+        cache.put("m.py", file_digest(b"x"), {}, [], "p")
+        cache.save()
+        assert LintCache.load(path, "rules-v2").files == {}
+
+    def test_project_fingerprint_guards_findings(self, tmp_path):
+        cache = LintCache(str(tmp_path / "c.json"), "r")
+        digest = file_digest(b"x")
+        cache.put("m.py", digest, {}, [], "proj-a")
+        assert cache.findings("m.py", digest, "proj-b") is None
+        # ... but the summary stays usable: it depends only on bytes.
+        assert cache.summary("m.py", digest) == {}
+
+    def test_corrupt_cache_is_cold_not_fatal(self, tmp_path):
+        path = tmp_path / "cache.json"
+        path.write_text("{not json", encoding="utf-8")
+        assert LintCache.load(str(path), "r").files == {}
+
+
+class TestIncrementalEngine:
+    def _tree(self, tmp_path):
+        (tmp_path / "pkg").mkdir()
+        clean = tmp_path / "pkg" / "clean.py"
+        clean.write_text("def f():\n    return 1\n", encoding="utf-8")
+        dirty = tmp_path / "pkg" / "dirty.py"
+        dirty.write_text("import random\n", encoding="utf-8")
+        return clean, dirty
+
+    def _lint(self, tmp_path, **kw):
+        return lint_paths([str(tmp_path / "pkg")], LintConfig(),
+                          incremental=True,
+                          cache_path=str(tmp_path / "cache.json"), **kw)
+
+    def test_cold_then_warm_replays_identically(self, tmp_path):
+        self._tree(tmp_path)
+        cold = self._lint(tmp_path)
+        assert (cold.cache_hits, cold.cache_misses) == (0, 2)
+        warm = self._lint(tmp_path)
+        assert (warm.cache_hits, warm.cache_misses) == (2, 0)
+        assert [f.to_dict() for f in warm.findings] == \
+            [f.to_dict() for f in cold.findings]
+
+    def test_body_edit_invalidates_only_that_file(self, tmp_path):
+        # Editing a function *body* leaves the module summary (and so
+        # the project fingerprint) intact: the other file replays.
+        clean, _ = self._tree(tmp_path)
+        self._lint(tmp_path)
+        clean.write_text("def f():\n    return 2\n", encoding="utf-8")
+        report = self._lint(tmp_path)
+        assert (report.cache_hits, report.cache_misses) == (1, 1)
+
+    def test_interface_edit_invalidates_every_file(self, tmp_path):
+        # Adding a module-level binding changes the cross-module view:
+        # every cached finding set is re-validated against the new
+        # project fingerprint and re-linted.
+        clean, _ = self._tree(tmp_path)
+        self._lint(tmp_path)
+        clean.write_text("Y = 2\n\ndef f():\n    return 1\n",
+                         encoding="utf-8")
+        report = self._lint(tmp_path)
+        assert (report.cache_hits, report.cache_misses) == (0, 2)
+
+    def test_deleted_files_are_pruned(self, tmp_path):
+        clean, _ = self._tree(tmp_path)
+        self._lint(tmp_path)
+        clean.unlink()
+        report = self._lint(tmp_path)
+        assert report.files_scanned == 1
+        cache = LintCache.load(str(tmp_path / "cache.json"), "ignored")
+        assert cache.files == {}  # fingerprint differs -> cold load; but
+        # the persisted file must not keep the deleted entry either.
+        import json
+        data = json.loads((tmp_path / "cache.json").read_text())
+        assert set(data["files"]) == {
+            str(tmp_path / "pkg" / "dirty.py").replace("\\", "/")}
+
+    def test_non_incremental_run_touches_no_cache(self, tmp_path):
+        self._tree(tmp_path)
+        report = lint_paths([str(tmp_path / "pkg")], LintConfig())
+        assert (report.cache_hits, report.cache_misses) == (0, 0)
+        assert not (tmp_path / "cache.json").exists()
+
+
+class TestTierDispatch:
+    def test_tier2_rules_are_registered(self):
+        rules = resolve_rules(LintConfig())
+        tier2 = {r.id for r in rules if r.tier == 2}
+        assert {"UNT100", "UNT101", "UNT102", "CONC001", "CONC002",
+                "CONC003", "PUR100"} <= tier2

@@ -206,3 +206,58 @@ class TestRuleMetadata:
         from repro.lintkit import all_rules
         for rule in all_rules():
             assert rule.id and rule.name and rule.description
+
+
+class TestUnitFlowRules:
+    def test_unt100_mixing_through_bindings_and_calls(self):
+        findings = run_fixture("unitflow_cases.py")
+        assert visible_lines(findings, "UNT100") == [10, 15, 21]
+
+    def test_unt101_swapped_signature_args_flag_both_positions(self):
+        findings = run_fixture("unitflow_cases.py")
+        assert visible_lines(findings, "UNT101") == [26, 26]
+
+    def test_unt102_relabeling_bind(self):
+        findings = run_fixture("unitflow_cases.py")
+        assert visible_lines(findings, "UNT102") == [30]
+
+    def test_lexical_unt001_does_not_double_report(self):
+        # Every defect in the fixture flows through neutral names, so
+        # the lexical rule stays silent and each defect surfaces once.
+        findings = run_fixture("unitflow_cases.py")
+        assert visible_lines(findings, "UNT001") == []
+
+
+class TestConcurrencyRules:
+    def test_conc001_thread_reachable_mutation_including_callees(self):
+        findings = run_fixture("conc_cases.py")
+        # line 12: the Thread target; line 17: reached through its call.
+        # The locked worker (22) and the unreferenced function (26) stay
+        # silent.
+        assert visible_lines(findings, "CONC001") == [12, 17]
+
+    def test_conc002_unpicklable_and_shared_captures(self):
+        findings = run_fixture("conc_cases.py")
+        assert visible_lines(findings, "CONC002") == [35, 41, 45]
+
+    def test_conc003_fork_inherited_rng(self):
+        findings = run_fixture("conc_cases.py")
+        # seeded_worker constructs a local generator and stays silent.
+        assert visible_lines(findings, "CONC003") == [53]
+
+
+class TestAliasPurityRule:
+    def test_pur100_aliased_mutations(self):
+        findings = run_fixture("purflow_cases.py")
+        assert visible_lines(findings, "PUR100") == [8, 15, 22]
+
+    def test_pur100_leaves_direct_param_mutation_to_pur001(self):
+        findings = run_fixture("purflow_cases.py")
+        assert visible_lines(findings, "PUR001") == [43]
+
+    def test_pur100_fresh_copies_and_rebinds_are_fine(self):
+        findings = run_fixture("purflow_cases.py")
+        flagged = {f.line for f in findings if f.rule_id == "PUR100"}
+        # copy_is_fine (29), rebound_alias_is_fine (37),
+        # no_cache_no_finding (48) must stay clean.
+        assert not flagged & {29, 37, 48}
