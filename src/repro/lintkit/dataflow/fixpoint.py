@@ -85,11 +85,15 @@ class ForwardAnalysis:
                 if succ not in queued:
                     queued.add(succ)
                     work.append(succ)
-        # Observe pass: stable envs, reporting enabled.
+        # Observe pass: stable envs, reporting enabled.  Every block is
+        # visited, not just the ones flow reached — unreachable blocks
+        # (dead code after a terminator) observe from an empty env, so
+        # rules still report inside dead code (cfg.py builds blocks for
+        # it precisely for this pass).
         self.observing = True
         try:
-            for bid in sorted(entry_env):
-                env = dict(entry_env[bid])
+            for bid in sorted(cfg.blocks):
+                env = dict(entry_env.get(bid, {}))
                 for op in cfg.blocks[bid].ops:
                     env = self.transfer_op(env, op)
         finally:

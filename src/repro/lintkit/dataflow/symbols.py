@@ -330,7 +330,7 @@ class SymbolIndex:
         out: set[str] = set()
         for info in self.modules.values():
             for target in info.thread_targets:
-                out.add(self._qualify_entry(info, target))
+                out.update(self._qualify_entry(info, target))
             for method in info.handler_methods:
                 out.add(f"{info.module}.{method}")
         return out
@@ -340,14 +340,27 @@ class SymbolIndex:
             out: set[str] = set()
             for info in self.modules.values():
                 for target in info.process_entries:
-                    out.add(self._qualify_entry(info, target))
+                    out.update(self._qualify_entry(info, target))
             self._process_entry_set = out
         return self._process_entry_set
 
-    def _qualify_entry(self, info: ModuleInfo, target: str) -> str:
+    def _qualify_entry(self, info: ModuleInfo, target: str) -> set[str]:
+        """Candidate qualnames for one entry target, as written.
+
+        ``self.X`` is recorded without class context (the summary walk
+        is flat), so it fans out to ``module.Class.X`` for every class
+        in the module defining an ``X`` method, plus a module-level
+        ``X`` — over-approximate, the right direction for hazard rules.
+        """
         if target.startswith("self."):
-            return f"{info.module}.{target[len('self.'):]}"
-        return self.resolve_call(info.module, target)
+            attr = target[len("self."):]
+            out = {f"{info.module}.{attr}"}
+            for name in info.functions:
+                cls, dot, meth = name.rpartition(".")
+                if dot and meth == attr:
+                    out.add(f"{info.module}.{name}")
+            return out
+        return {self.resolve_call(info.module, target)}
 
     def thread_reachable(self) -> set[str]:
         """Qualified function names reachable from thread entry points.

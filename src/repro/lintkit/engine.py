@@ -200,8 +200,14 @@ class _FileRecord:
         if self.tree is not None or self.parse_error is not None:
             return
         if self.source is None:
-            with open(self.path, encoding="utf-8") as fh:
-                self.source = fh.read()
+            # The file can vanish or lose read permission between
+            # discovery and phase 3; degrade to no findings, matching
+            # the OSError tolerance of the digest pass.
+            try:
+                with open(self.path, encoding="utf-8") as fh:
+                    self.source = fh.read()
+            except OSError:
+                return
         try:
             self.tree = ast.parse(self.source, filename=self.path)
         except SyntaxError as exc:

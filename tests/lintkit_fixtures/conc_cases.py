@@ -62,3 +62,11 @@ def launch():
     with ProcessPoolExecutor() as pool:
         pool.submit(pool_worker, 1)
         pool.submit(seeded_worker, 2)
+
+
+class Exporter:
+    def start(self):
+        threading.Thread(target=self._worker).start()
+
+    def _worker(self):
+        REGISTRY["bound"] = 5  # -> CONC001

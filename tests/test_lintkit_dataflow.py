@@ -307,6 +307,21 @@ class TestUnitAnalysisScopes:
         assert [r.kind for r in analysis.reports] == ["mix"]
 
 
+class TestDeadCodeObservation:
+    def test_observe_pass_reports_inside_unreachable_blocks(self):
+        # Dead code gets a block but no inflow; the observe pass must
+        # still visit it (from an empty env) so defects there surface.
+        analysis = UnitAnalysis(UnitRegistry())
+        analysis.analyze(fn_of("""
+            def f(work_cycles, wall_time_s):
+                return 0
+                a = work_cycles
+                b = wall_time_s
+                t = a + b
+        """))
+        assert [r.kind for r in analysis.reports] == ["mix"]
+
+
 class TestUnitSignatures:
     def test_parse_signature_roundtrip(self):
         sig = parse_signature("f", "cycles, hertz -> seconds")
@@ -360,6 +375,29 @@ class TestSymbolIndex:
         index = SymbolIndex()
         index.add(self.module())
         assert "repro.demo.tick" in index.thread_reachable()
+
+    def test_bound_method_thread_target_is_reachable(self):
+        src = textwrap.dedent("""
+            import threading
+
+            COUNTS = {}
+
+            class Exporter:
+                def start(self):
+                    threading.Thread(target=self._worker).start()
+
+                def _worker(self):
+                    COUNTS["n"] = 1
+                    self._flush()
+
+                def _flush(self):
+                    COUNTS["m"] = 2
+        """)
+        index = SymbolIndex()
+        index.add(extract_summary("src/repro/demo.py", ast.parse(src)))
+        reachable = index.thread_reachable()
+        assert "repro.demo.Exporter._worker" in reachable
+        assert "repro.demo.Exporter._flush" in reachable
 
     def test_fingerprint_tracks_interface_not_presence(self):
         index = SymbolIndex()

@@ -256,3 +256,14 @@ class TestCli:
         capsys.readouterr()
         assert main(["lint", src, "--baseline", baseline]) == 0
         assert "grandfathered" in capsys.readouterr().out
+
+
+class TestVanishedFiles:
+    def test_ensure_parsed_tolerates_unreadable_file(self, tmp_path):
+        # A file can vanish between discovery and the lint phase; the
+        # record must degrade (no tree, no parse error), not raise.
+        from repro.lintkit.engine import _FileRecord
+        rec = _FileRecord(str(tmp_path / "gone.py"), "gone.py")
+        rec.ensure_parsed()
+        assert rec.tree is None
+        assert rec.parse_error is None

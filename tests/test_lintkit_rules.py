@@ -231,10 +231,11 @@ class TestUnitFlowRules:
 class TestConcurrencyRules:
     def test_conc001_thread_reachable_mutation_including_callees(self):
         findings = run_fixture("conc_cases.py")
-        # line 12: the Thread target; line 17: reached through its call.
+        # line 12: the Thread target; line 17: reached through its call;
+        # line 72: a bound-method target (`Thread(target=self._worker)`).
         # The locked worker (22) and the unreferenced function (26) stay
         # silent.
-        assert visible_lines(findings, "CONC001") == [12, 17]
+        assert visible_lines(findings, "CONC001") == [12, 17, 72]
 
     def test_conc002_unpicklable_and_shared_captures(self):
         findings = run_fixture("conc_cases.py")
