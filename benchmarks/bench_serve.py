@@ -1,0 +1,317 @@
+#!/usr/bin/env python
+"""Load generator for ``repro serve``: latency/throughput BENCH records.
+
+Boots a :class:`repro.serve.PredictionServer` in-process (the service's
+"single process sustains the load" claim is exactly what this measures),
+fires a named workload mix at it over real keep-alive HTTP connections,
+and writes a ``BENCH_serve_<mix>.json`` perf record with client-observed
+p50/p95/p99 request latency, throughput, and the server's final metrics
+snapshot — gated by ``benchmarks/check_regression.py`` like every other
+BENCH record (same-host p99/wall gating, counter budgets).
+
+Workload mixes (``--mix``, see docs/SERVING.md):
+
+* ``read-heavy``  — 95% ``/predict`` over a small hot cell set, 5%
+  ``/recommend``: the steady-state "scheduler polling the service" shape;
+* ``sweep-heavy`` — 60% ``/recommend`` allocation sweeps, 40%
+  ``/predict``: placement-search traffic, heavier per request;
+* ``mixed``       — 80% ``/predict``, 15% ``/recommend``, 5%
+  ``/healthz``: the default gate profile.  With a warm cache a single
+  process must sustain >= 1,000 predictions/s (``--min-predict-rate``).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_serve.py --mix mixed
+    PYTHONPATH=src python benchmarks/bench_serve.py --mix mixed \
+        --duration 5 --min-predict-rate 1000
+
+The request schedule is a fixed round-robin expansion of the mix
+weights — no RNG — so two runs of the same mix issue the identical
+request sequence and their work counters diff cleanly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import perf_record  # noqa: E402
+
+from repro import obs  # noqa: E402
+from repro.serve import PredictionServer  # noqa: E402
+
+#: One request template: (method, path, body-or-None).
+_PREDICT_HOT = [
+    ("POST", "/predict", {"machine": "intel_uma", "program": p,
+                          "size": "C", "n_active": n})
+    for p in ("CG", "FT", "EP") for n in (2, 4, 8)
+]
+_PREDICT_BROAD = _PREDICT_HOT + [
+    ("POST", "/predict", {"machine": m, "program": p, "size": s,
+                          "n_active": n})
+    for m, n in (("intel_numa", 12), ("intel_numa", 24), ("amd_numa", 24))
+    for p in ("IS", "SP") for s in ("B", "C")
+]
+_RECOMMEND = [
+    ("POST", "/recommend", {"machine": "intel_uma", "program": p,
+                            "size": "C", "core_counts": [1, 2, 4, 8]})
+    for p in ("CG", "FT")
+]
+_HEALTH = [("GET", "/healthz", None)]
+
+#: Named mixes: a list of (weight, template-pool) pairs.  The schedule
+#: interleaves pools proportionally to the weights, deterministically.
+MIXES = {
+    "read-heavy": [(19, _PREDICT_HOT), (1, _RECOMMEND)],
+    "sweep-heavy": [(3, _RECOMMEND), (2, _PREDICT_BROAD)],
+    "mixed": [(16, _PREDICT_BROAD), (3, _RECOMMEND), (1, _HEALTH)],
+}
+
+
+def build_schedule(mix: str, length: int = 240) -> list[tuple]:
+    """The deterministic request sequence one connection cycles through.
+
+    Weights are expanded by largest-remainder interleaving: pool i
+    contributes ``weight_i / total`` of the slots, spread evenly, and
+    each pool is consumed round-robin — no randomness anywhere.
+    """
+    pools = MIXES[mix]
+    total = sum(w for w, _ in pools)
+    cursors = [0] * len(pools)
+    credit = [0.0] * len(pools)
+    schedule: list[tuple] = []
+    for _ in range(length):
+        for i, (weight, _) in enumerate(pools):
+            credit[i] += weight / total
+        i = max(range(len(pools)), key=lambda j: credit[j])
+        credit[i] -= 1.0
+        weight, pool = pools[i]
+        schedule.append(pool[cursors[i] % len(pool)])
+        cursors[i] += 1
+    return schedule
+
+
+async def _request(reader, writer, method: str, path: str, body) -> int:
+    raw = b"" if body is None else json.dumps(body).encode("utf-8")
+    head = (f"{method} {path} HTTP/1.1\r\nHost: bench\r\n"
+            f"Content-Length: {len(raw)}\r\n\r\n")
+    writer.write(head.encode("latin-1") + raw)
+    await writer.drain()
+    status_line = await reader.readline()
+    status = int(status_line.split(b" ", 2)[1])
+    length = 0
+    while True:
+        line = await reader.readline()
+        if line in (b"\r\n", b""):
+            break
+        name, _, value = line.decode("latin-1").partition(":")
+        if name.strip().lower() == "content-length":
+            length = int(value.strip())
+    if length:
+        await reader.readexactly(length)
+    return status
+
+
+async def _connection_worker(host: str, port: int, schedule: list[tuple],
+                             offset: int, deadline: float,
+                             samples: list[float],
+                             statuses: dict[int, int],
+                             predictions: list[int]) -> None:
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        i = offset
+        while time.perf_counter() < deadline:
+            method, path, body = schedule[i % len(schedule)]
+            i += 1
+            t0 = time.perf_counter()
+            status = await _request(reader, writer, method, path, body)
+            samples.append(time.perf_counter() - t0)
+            statuses[status] = statuses.get(status, 0) + 1
+            if path == "/predict" and status == 200:
+                predictions[0] += 1
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except ConnectionError:
+            pass
+
+
+async def _fetch_json(host: str, port: int, path: str) -> dict:
+    reader, writer = await asyncio.open_connection(host, port)
+    writer.write(f"GET {path} HTTP/1.1\r\nHost: bench\r\n"
+                 "Connection: close\r\n\r\n".encode("latin-1"))
+    await writer.drain()
+    data = await reader.read()
+    writer.close()
+    await writer.wait_closed()
+    return json.loads(data.split(b"\r\n\r\n", 1)[1])
+
+
+def percentile(sorted_samples: list[float], q: float) -> float:
+    """Nearest-rank percentile of an already-sorted sample list."""
+    if not sorted_samples:
+        return 0.0
+    idx = min(len(sorted_samples) - 1,
+              int(round(q * (len(sorted_samples) - 1))))
+    return sorted_samples[idx]
+
+
+async def run_load(mix: str, duration_s: float, connections: int,
+                   workers: int) -> dict:
+    """Run one mix against a fresh in-process server; return raw results."""
+    schedule = build_schedule(mix)
+    samples: list[float] = []
+    statuses: dict[int, int] = {}
+    predictions = [0]
+    async with PredictionServer(port=0, workers=workers) as server:
+        # Warm-up: every distinct cell in the schedule once, so the
+        # measured window runs against a warm solver cache.
+        reader, writer = await asyncio.open_connection(server.host,
+                                                       server.port)
+        t0 = time.perf_counter()
+        seen = set()
+        for method, path, body in schedule:
+            key = json.dumps(body, sort_keys=True) if body else path
+            if key in seen:
+                continue
+            seen.add(key)
+            await _request(reader, writer, method, path, body)
+        writer.close()
+        await writer.wait_closed()
+        warmup_s = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        deadline = t0 + duration_s
+        await asyncio.gather(*(
+            _connection_worker(server.host, server.port, schedule,
+                               k * 7, deadline, samples, statuses,
+                               predictions)
+            for k in range(connections)))
+        load_s = time.perf_counter() - t0
+        metrics = await _fetch_json(server.host, server.port, "/metrics")
+    return {
+        "mix": mix,
+        "samples": sorted(samples),
+        "statuses": statuses,
+        "predictions": predictions[0],
+        "warmup_s": warmup_s,
+        "load_s": load_s,
+        "metrics": metrics,
+    }
+
+
+def build_record(results: dict) -> dict:
+    """A BENCH record in the shared perf_record schema."""
+    samples = results["samples"]
+    total = len(samples)
+    ok = sum(n for status, n in results["statuses"].items()
+             if 200 <= status < 300)
+    load_s = results["load_s"]
+    return {
+        "benchmark": f"serve_{results['mix']}",
+        "fast": False,
+        "schema": obs.MANIFEST_SCHEMA,
+        "version": perf_record.normalize_version(obs.code_version()),
+        "environment": perf_record.environment(),
+        "recorded_unix": time.time(),
+        "wall_time_s": load_s,
+        "phase_timings": {"warmup": results["warmup_s"],
+                          "load": load_s},
+        "latency": {
+            "serve.request_seconds": {
+                "count": total,
+                "p50": percentile(samples, 0.50),
+                "p95": percentile(samples, 0.95),
+                "p99": percentile(samples, 0.99),
+            },
+        },
+        "metrics": results["metrics"],
+        "notes": [
+            f"requests={total}",
+            f"ok_2xx={ok}",
+            f"throughput_rps={total / load_s:.1f}",
+            f"predictions_per_s={results['predictions'] / load_s:.1f}",
+        ],
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="load-test repro serve and write a BENCH record")
+    parser.add_argument("--mix", default="mixed", choices=sorted(MIXES),
+                        help="workload mix profile (default: mixed)")
+    parser.add_argument("--duration", type=float, default=5.0,
+                        metavar="SEC", help="measured load window "
+                        "(default 5s; warm-up excluded)")
+    parser.add_argument("--connections", type=int, default=4, metavar="N",
+                        help="concurrent keep-alive connections "
+                        "(default 4)")
+    parser.add_argument("--workers", type=int, default=4, metavar="N",
+                        help="server solver worker threads (default 4)")
+    parser.add_argument("--out-dir", default=None, metavar="DIR",
+                        help="record output directory (default: "
+                        "benchmarks/perf, or $REPRO_BENCH_DIR)")
+    parser.add_argument("--min-predict-rate", type=float, default=0.0,
+                        metavar="RPS",
+                        help="fail unless /predict throughput reaches "
+                        "RPS (0 disables; the shipped claim is 1000)")
+    parser.add_argument("--require-2xx", action="store_true",
+                        help="fail unless every response was 2xx")
+    args = parser.parse_args(argv)
+
+    was_enabled = obs.enabled()
+    obs.enable(fresh=True)
+    perf_record.reset_solver_caches()
+    try:
+        results = asyncio.run(
+            run_load(args.mix, args.duration, args.connections,
+                     args.workers))
+    finally:
+        if not was_enabled:
+            obs.disable()
+
+    record = build_record(results)
+    total = len(results["samples"])
+    ok = sum(n for status, n in results["statuses"].items()
+             if 200 <= status < 300)
+    lat = record["latency"]["serve.request_seconds"]
+    pred_rate = results["predictions"] / results["load_s"]
+    print(f"mix={args.mix} connections={args.connections} "
+          f"duration={results['load_s']:.2f}s")
+    print(f"  requests:    {total} ({ok} 2xx, "
+          f"{total / results['load_s']:.0f} req/s)")
+    print(f"  predictions: {results['predictions']} "
+          f"({pred_rate:.0f} predictions/s)")
+    print(f"  latency:     p50={lat['p50'] * 1e3:.3f}ms "
+          f"p95={lat['p95'] * 1e3:.3f}ms p99={lat['p99'] * 1e3:.3f}ms")
+
+    out_dir = args.out_dir or perf_record.perf_dir()
+    if out_dir:
+        os.makedirs(out_dir, exist_ok=True)
+        path = os.path.join(
+            out_dir, perf_record.record_filename(f"serve_{args.mix}"))
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(record, fh, indent=1, sort_keys=True)
+            fh.write("\n")
+        print(f"  record:      {path}")
+
+    failed = False
+    if args.require_2xx and ok != total:
+        print(f"FAIL: {total - ok} non-2xx response(s)")
+        failed = True
+    if args.min_predict_rate and pred_rate < args.min_predict_rate:
+        print(f"FAIL: {pred_rate:.0f} predictions/s is below the "
+              f"{args.min_predict_rate:.0f}/s floor")
+        failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -89,6 +89,7 @@ _COMMANDS: dict[str, str] = {
     "lint": "run the domain lint rules (docs/LINTING.md)",
     "diff": "compare two archived runs for drift (docs/OBSERVABILITY.md)",
     "doctor": "run a health check-up and print a one-screen report",
+    "serve": "run the contention-prediction HTTP service (docs/SERVING.md)",
 }
 
 
@@ -408,6 +409,37 @@ def _cmd_hotspots(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    from repro.serve import PredictionServer
+
+    # The service is a telemetry surface by construction: /metrics and
+    # the cache hit-rate gauges only exist with an enabled session.
+    if not obs.enabled():
+        obs.enable()
+    server = PredictionServer(host=args.host, port=args.port,
+                              workers=args.workers)
+    try:
+        import asyncio
+
+        asyncio.run(_announce_and_serve(server))
+    except KeyboardInterrupt:
+        print("\nrepro serve: stopped")
+    return 0
+
+
+async def _announce_and_serve(server) -> None:
+    await server.start()
+    print(f"repro serve listening on {server.url}")
+    print("  POST /predict    one (machine, workload, allocation) cell")
+    print("  POST /recommend  minimum-slowdown core allocation")
+    print("  GET  /metrics    live telemetry snapshot")
+    print("  GET  /healthz    liveness")
+    try:
+        await server._server.serve_forever()
+    finally:
+        await server.stop()
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point."""
     parser = argparse.ArgumentParser(
@@ -521,6 +553,15 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--changed", action="store_true",
                         help="lint incrementally: replay cached findings "
                              "for unchanged files (.repro/lintcache.json)")
+    parser.add_argument("--port", type=int, default=8321, metavar="PORT",
+                        help="'repro serve': listen port (default 8321; "
+                             "0 = any free port)")
+    parser.add_argument("--host", default="127.0.0.1", metavar="HOST",
+                        help="'repro serve': bind address (default "
+                             "loopback)")
+    parser.add_argument("--workers", type=int, default=4, metavar="N",
+                        help="'repro serve': solver worker threads "
+                             "(default 4)")
     parser.add_argument("--version", action="version",
                         version=f"repro {__version__}")
     # intermixed: options may appear between the positionals, e.g.
@@ -545,6 +586,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_diff(args)
     if args.experiment == "doctor":
         return _cmd_doctor(args)
+    if args.experiment == "serve":
+        return _cmd_serve(args)
     return _cmd_experiment(args)
 
 

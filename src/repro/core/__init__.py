@@ -42,6 +42,15 @@ from repro.core.model import (
     paper_fit_points,
 )
 from repro.core.numa import NUMAContentionModel
+from repro.core.predict import (
+    Prediction,
+    Recommendation,
+    predict,
+    predict_sweep,
+    predict_workload,
+    recommend,
+    recommend_workload,
+)
 from repro.core.regression import LinearFit, linear_fit
 from repro.core.uma import UMAContentionModel
 from repro.core.uniproc import ModelError, SingleProcessorModel
@@ -66,4 +75,11 @@ __all__ = [
     "colinearity_r2",
     "ValidationReport",
     "validate_model",
+    "Prediction",
+    "Recommendation",
+    "predict",
+    "predict_workload",
+    "predict_sweep",
+    "recommend",
+    "recommend_workload",
 ]

@@ -1,0 +1,268 @@
+"""The pure contention-prediction kernel behind ``repro serve``.
+
+One prediction is a pure function of a (machine, memory profile, core
+allocation) triple: solve the closed queueing network of
+:func:`repro.runtime.flow.solve_flow` at the requested allocation and at
+the one-core baseline, and report the paper's outputs — the cycle count
+``C(n)``, the degree of memory contention ``omega(n) = (C(n) - C(1)) /
+C(1)`` (Definition 1), the per-station utilisations and the wall-clock
+makespan.
+
+This module deliberately constructs **no** experiment driver, RNG
+stream, noise model or measurement sweep: it is the factored-out kernel
+the drivers themselves run.  ``predict_workload("CG", "C", machine, n)``
+is bit-identical to what :class:`repro.runtime.measurement.MeasurementRun`
+computes for the same cell, because both call the same
+:func:`calibrate_profile` and the same memoized :func:`solve_flow` —
+which is what makes a long-running service and the batch drivers
+interchangeable witnesses of the model.
+
+Every solve consults the content-addressed cache in :mod:`repro.perf`,
+so a served prediction is two dictionary lookups once warm; the batch
+entry point :func:`predict_sweep` pools cold cells through the lock-step
+kernel exactly like the sweep drivers do.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.machine.allocation import CoreAllocation
+from repro.machine.topology import Machine
+from repro.runtime.calibration import calibrate_profile
+from repro.runtime.flow import (
+    FlowResult,
+    batch_solve_enabled,
+    solve_flow,
+    solve_flow_cells,
+)
+from repro.util.validation import ValidationError, check_integer
+from repro.workloads.base import MemoryProfile
+
+
+@dataclass(frozen=True)
+class Prediction:
+    """One solved (machine, profile, allocation) cell, service-shaped.
+
+    ``omega`` follows the paper's Definition 1 against the one-core
+    baseline of the *same* thread count; ``utilisations`` are the
+    converged per-station (controller-group) busy fractions; the
+    ``solver_stage`` records which rung of the resilience ladder
+    produced the numbers (``"exact"`` unless the solve degraded).
+    """
+
+    machine: str
+    n_active: int
+    n_threads: int
+    total_cycles: float        # C(n)
+    baseline_cycles: float     # C(1)
+    omega: float               # (C(n) - C(1)) / C(1)
+    makespan_cycles: float
+    work_cycles: float
+    base_stall_cycles: float
+    memory_stall_cycles: float
+    llc_misses: float
+    utilisations: dict[str, float]
+    solver_stage: str
+    program: str | None = None
+    size: str | None = None
+
+    def to_dict(self) -> dict:
+        """JSON-ready form (the ``/predict`` response body)."""
+        return {
+            "machine": self.machine,
+            "program": self.program,
+            "size": self.size,
+            "n_active": self.n_active,
+            "n_threads": self.n_threads,
+            "total_cycles": self.total_cycles,
+            "baseline_cycles": self.baseline_cycles,
+            "omega": self.omega,
+            "makespan_cycles": self.makespan_cycles,
+            "work_cycles": self.work_cycles,
+            "base_stall_cycles": self.base_stall_cycles,
+            "memory_stall_cycles": self.memory_stall_cycles,
+            "llc_misses": self.llc_misses,
+            "utilisations": dict(self.utilisations),
+            "solver_stage": self.solver_stage,
+        }
+
+
+@dataclass(frozen=True)
+class Recommendation:
+    """Scored allocation candidates, minimum-slowdown placement first.
+
+    ``candidates`` are in ranking order: ascending makespan (the
+    wall-clock of the slowest processor's cores), ties broken toward
+    fewer active cores — the cheapest placement that is not slower.
+    ``slowdowns[i]`` is ``makespan_i / makespan_best``.
+    """
+
+    best: Prediction
+    candidates: tuple[Prediction, ...]
+    slowdowns: tuple[float, ...]
+
+    def to_dict(self) -> dict:
+        """JSON-ready form (the ``/recommend`` response body)."""
+        return {
+            "best": self.best.to_dict(),
+            "candidates": [
+                {**p.to_dict(), "slowdown": s}
+                for p, s in zip(self.candidates, self.slowdowns)
+            ],
+        }
+
+
+def _prediction(machine: Machine, alloc: CoreAllocation, flow: FlowResult,
+                baseline: FlowResult, program: str | None,
+                size: str | None) -> Prediction:
+    base = baseline.total_cycles
+    return Prediction(
+        machine=machine.name,
+        program=program,
+        size=size,
+        n_active=alloc.n_active,
+        n_threads=alloc.n_threads,
+        total_cycles=flow.total_cycles,
+        baseline_cycles=base,
+        omega=(flow.total_cycles - base) / base,
+        makespan_cycles=flow.makespan_cycles,
+        work_cycles=flow.work_cycles,
+        base_stall_cycles=flow.base_stall_cycles,
+        memory_stall_cycles=flow.memory_stall_cycles,
+        llc_misses=flow.llc_misses,
+        utilisations=dict(flow.controller_utilisation),
+        solver_stage=flow.solver_stage,
+    )
+
+
+def _baseline_alloc(machine: Machine, n_threads: int) -> CoreAllocation:
+    """The omega baseline: one active core, same thread count."""
+    return CoreAllocation(machine=machine, n_active=1, n_threads=n_threads)
+
+
+def predict(profile: MemoryProfile, machine: Machine,
+            alloc: CoreAllocation, *, program: str | None = None,
+            size: str | None = None) -> Prediction:
+    """Predict one cell: ``C(n)``, ``omega(n)`` and station utilisations.
+
+    Two memoized flow solves (the cell and its one-core baseline); both
+    are bit-identical to the driver path because they *are* the driver
+    path's solver, called without the driver.
+    """
+    flow = solve_flow(profile, machine, alloc)
+    baseline = solve_flow(profile, machine,
+                          _baseline_alloc(machine, alloc.n_threads))
+    return _prediction(machine, alloc, flow, baseline, program, size)
+
+
+def predict_workload(program: str, size: str, machine: Machine,
+                     n_active: int, n_threads: int | None = None
+                     ) -> Prediction:
+    """Predict a named Table I workload at one allocation.
+
+    ``n_threads`` defaults to the paper's policy (threads fixed at the
+    machine's core count).  The calibrated profile comes from the same
+    :func:`calibrate_profile` the measurement substrate uses.
+    """
+    check_integer("n_active", n_active, minimum=1,
+                  maximum=machine.n_cores)
+    threads = machine.n_cores if n_threads is None else n_threads
+    profile = calibrate_profile(program, size, machine)
+    alloc = CoreAllocation(machine=machine, n_active=n_active,
+                           n_threads=threads)
+    return predict(profile, machine, alloc, program=program, size=size)
+
+
+def predict_sweep(profile: MemoryProfile, machine: Machine,
+                  allocations: list[CoreAllocation], *,
+                  program: str | None = None, size: str | None = None
+                  ) -> list[Prediction]:
+    """Predict many allocations of one (profile, machine) in one batch.
+
+    Cold cells — including the shared one-core baselines — are pooled
+    through the lock-step batch kernel when sweep batching is enabled,
+    so an allocation enumeration costs one batched fixed point rather
+    than ``2 * len(allocations)`` scalar solves.  Results are
+    bit-identical to per-cell :func:`predict` calls by the batch
+    kernel's own contract.
+    """
+    if not allocations:
+        return []
+    baselines = {}
+    for alloc in allocations:
+        baselines.setdefault(
+            alloc.n_threads, _baseline_alloc(machine, alloc.n_threads))
+    cells = [(profile, machine, a) for a in allocations] \
+        + [(profile, machine, b) for b in baselines.values()]
+    if batch_solve_enabled():
+        solved = solve_flow_cells(cells)
+    else:
+        solved = [solve_flow(p, m, a) for p, m, a in cells]
+    flows = solved[:len(allocations)]
+    base_flows = dict(zip(baselines.keys(), solved[len(allocations):]))
+    return [
+        _prediction(machine, alloc, flow, base_flows[alloc.n_threads],
+                    program, size)
+        for alloc, flow in zip(allocations, flows)
+    ]
+
+
+def recommend(profile: MemoryProfile, machine: Machine,
+              core_counts: list[int] | None = None, *,
+              n_threads: int | None = None, program: str | None = None,
+              size: str | None = None) -> Recommendation:
+    """Enumerate allocations and return the minimum-slowdown placement.
+
+    Candidates default to every active-core count ``1..n_cores`` under
+    the paper's fill-processor-first affinity.  The score is the
+    predicted makespan — the wall-clock of the slowest processor's
+    cores — because the paper's setup pins a *fixed* amount of work
+    (``n_threads`` threads) on however many cores are active: more
+    cores spread the work but buy memory contention, and the knee of
+    that trade-off is exactly what the service is asked to find.
+    """
+    threads = machine.n_cores if n_threads is None else n_threads
+    if core_counts is None:
+        core_counts = list(range(1, machine.n_cores + 1))
+    if not core_counts:
+        raise ValidationError("recommend needs at least one candidate "
+                              "core count")
+    seen: set[int] = set()
+    counts: list[int] = []
+    for n in core_counts:
+        check_integer("core count", n, minimum=1, maximum=machine.n_cores)
+        if n not in seen:
+            seen.add(n)
+            counts.append(n)
+    allocations = [CoreAllocation(machine=machine, n_active=n,
+                                  n_threads=threads) for n in counts]
+    predictions = predict_sweep(profile, machine, allocations,
+                                program=program, size=size)
+    ranked = sorted(predictions,
+                    key=lambda p: (p.makespan_cycles, p.n_active))
+    best = ranked[0]
+    slowdowns = tuple(p.makespan_cycles / best.makespan_cycles
+                      for p in ranked)
+    return Recommendation(best=best, candidates=tuple(ranked),
+                          slowdowns=slowdowns)
+
+
+def recommend_workload(program: str, size: str, machine: Machine,
+                       core_counts: list[int] | None = None,
+                       n_threads: int | None = None) -> Recommendation:
+    """Allocation recommendation for a named, calibrated workload."""
+    profile = calibrate_profile(program, size, machine)
+    return recommend(profile, machine, core_counts, n_threads=n_threads,
+                     program=program, size=size)
+
+
+__all__ = [
+    "Prediction",
+    "Recommendation",
+    "predict",
+    "predict_workload",
+    "predict_sweep",
+    "recommend",
+    "recommend_workload",
+]

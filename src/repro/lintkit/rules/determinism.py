@@ -146,9 +146,11 @@ class WallClockRule(Rule):
                    "results time-dependent")
     # repro/resilience/ deals in wall-clock *budgets* by design (solver
     # time limits, worker timeouts, injected hangs); budgets bound when
-    # a computation may run, never what it computes.
+    # a computation may run, never what it computes.  repro/serve/ reads
+    # clocks only for uptime, idle timeouts and request-latency
+    # telemetry — the predictions it returns come from the pure kernel.
     default_allow = ("repro/obs/", "repro/experiments/runner.py",
-                     "repro/resilience/")
+                     "repro/resilience/", "repro/serve/")
 
     def _from_imports(self, ctx: FileContext) -> set[str]:
         """Local names bound to wall-clock callables via ``from`` imports."""

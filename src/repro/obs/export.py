@@ -13,8 +13,15 @@ and serves the active telemetry session:
 No third-party dependencies, no write endpoints, binds loopback by
 default.  ``port=0`` asks the OS for an ephemeral port (used by tests);
 the bound port is available as :attr:`MetricsServer.port` after
-:meth:`start`.  This is the first concrete step toward ``repro serve``:
-the snapshot schema served here is the service's read-side contract.
+:meth:`start`.
+
+The payload builders are module-level functions so other surfaces —
+``repro serve`` wires its ``/metrics`` and ``/healthz`` endpoints
+through them — serve the exact same read-side contract without running
+this exporter.  Snapshots are taken under the metrics registry's own
+lock (:meth:`repro.obs.metrics.MetricsRegistry.snapshot`), so a
+concurrent worker thread registering new instruments can neither crash
+the serialisation nor leak a half-registered view of the counters.
 """
 
 from __future__ import annotations
@@ -26,6 +33,42 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 from repro.obs import state as _state
 from repro.obs.metrics import wrap_snapshot
+
+
+def metrics_payload() -> tuple[int, dict]:
+    """``(status, payload)`` of the wrapped live metrics snapshot.
+
+    503 with a hint when telemetry is disabled.  The snapshot itself is
+    consistent by construction: the registry serialises under its own
+    synchronization, so no partial counter state can leak out however
+    many threads are mutating the registry.
+    """
+    session = _state._active
+    if session is None:
+        return 503, {"error": "telemetry disabled",
+                     "hint": "enable telemetry (repro.obs.enable) or "
+                             "run with --serve-metrics"}
+    return 200, wrap_snapshot(session.metrics.snapshot())
+
+
+def healthz_payload(uptime_s: float = 0.0) -> tuple[int, dict]:
+    """``(status, payload)`` of the liveness report."""
+    session = _state._active
+    return 200, {
+        "status": "ok",
+        "uptime_s": round(uptime_s, 3),
+        "telemetry": session is not None,
+        "instruments": 0 if session is None else len(session.metrics),
+        "events": 0 if session is None else len(session.log.events),
+    }
+
+
+def events_payload() -> tuple[int, dict]:
+    """``(status, payload)`` of the structured-log buffer."""
+    session = _state._active
+    if session is None:
+        return 503, {"error": "telemetry disabled"}
+    return 200, {"events": list(session.log.events)}
 
 
 class MetricsServer:
@@ -80,38 +123,16 @@ class MetricsServer:
             return 0.0
         return time.time() - self._started_at
 
-    # -- payloads (also used directly by tests) -------------------------------
+    # -- payloads (module-level builders; also used by ``repro serve``) -------
 
     def metrics_payload(self) -> tuple[int, dict]:
-        session = _state._active
-        if session is None:
-            return 503, {"error": "telemetry disabled",
-                         "hint": "enable telemetry (repro.obs.enable) or "
-                                 "run with --serve-metrics"}
-        # The run mutates the registry while we serialise it; retry the
-        # rare mid-insert race instead of locking the hot path.
-        for _ in range(3):
-            try:
-                return 200, wrap_snapshot(session.metrics.snapshot())
-            except RuntimeError:
-                continue
-        return 503, {"error": "snapshot contended, retry"}
+        return metrics_payload()
 
     def healthz_payload(self) -> tuple[int, dict]:
-        session = _state._active
-        return 200, {
-            "status": "ok",
-            "uptime_s": round(self.uptime_s, 3),
-            "telemetry": session is not None,
-            "instruments": 0 if session is None else len(session.metrics),
-            "events": 0 if session is None else len(session.log.events),
-        }
+        return healthz_payload(self.uptime_s)
 
     def events_payload(self) -> tuple[int, dict]:
-        session = _state._active
-        if session is None:
-            return 503, {"error": "telemetry disabled"}
-        return 200, {"events": list(session.log.events)}
+        return events_payload()
 
 
 def _make_handler(server: MetricsServer):

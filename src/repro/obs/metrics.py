@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import math
 import re
+import threading
 import time
 from typing import Iterator
 
@@ -214,19 +215,34 @@ class Timer(Histogram):
 
 
 class MetricsRegistry:
-    """Instruments keyed by ``(name, labels)``; get-or-create semantics."""
+    """Instruments keyed by ``(name, labels)``; get-or-create semantics.
+
+    Structurally thread-safe: instrument registration and snapshotting
+    synchronize on one reentrant lock, so a server worker thread
+    creating a new instrument can never corrupt (or be half-seen by) a
+    concurrent ``/metrics`` snapshot.  Individual instrument updates
+    (``inc``/``observe``) stay lock-free — a snapshot is a point-in-time
+    read and a racing float add is indistinguishable from the update
+    landing just after the snapshot.
+    """
 
     def __init__(self) -> None:
         self._instruments: dict[tuple, object] = {}
+        self._lock = threading.RLock()
 
     def _get(self, cls, name: str, labels: dict) -> object:
         key = (name, tuple(sorted(labels.items())))
+        # Fast path outside the lock: dict reads are atomic, and an
+        # instrument, once registered, is never replaced or removed.
         inst = self._instruments.get(key)
         if inst is None:
-            check_metric_name(name)
-            inst = cls(name, key[1])
-            self._instruments[key] = inst
-        elif type(inst) is not cls:
+            with self._lock:
+                inst = self._instruments.get(key)
+                if inst is None:
+                    check_metric_name(name)
+                    inst = cls(name, key[1])
+                    self._instruments[key] = inst
+        if type(inst) is not cls:
             raise ValueError(
                 f"metric {name!r} already registered as {inst.kind}")
         return inst
@@ -255,9 +271,11 @@ class MetricsRegistry:
         Keys are ``name`` or ``name{label=value,...}``; values are the
         per-kind summaries plus a ``kind`` tag.
         """
+        with self._lock:
+            instruments = sorted(self._instruments.items(),
+                                 key=lambda kv: kv[0])
         out: dict[str, dict] = {}
-        for (name, labels), inst in sorted(
-                self._instruments.items(), key=lambda kv: kv[0]):
+        for (name, labels), inst in instruments:
             key = name
             if labels:
                 key += "{" + ",".join(f"{k}={v}" for k, v in labels) + "}"

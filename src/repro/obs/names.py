@@ -75,6 +75,17 @@ RUNTIME_FLOW_NONCONVERGED = "runtime.flow.nonconverged"
 RUNTIME_FLOW_SOLVES = "runtime.flow.solves"
 RUNTIME_MEASUREMENTS = "runtime.measurements"
 
+# -- prediction service (``repro serve``) -------------------------------------
+SERVE_REQUESTS = "serve.requests"
+SERVE_ERRORS = "serve.errors"
+SERVE_BAD_REQUESTS = "serve.bad_requests"
+SERVE_PREDICTIONS = "serve.predictions"
+SERVE_RECOMMENDATIONS = "serve.recommendations"
+SERVE_CACHE_HITS = "serve.cache.hits"
+SERVE_CACHE_MISSES = "serve.cache.misses"
+SERVE_CACHE_HIT_RATE = "serve.cache.hit_rate"
+SERVE_REQUEST_SECONDS = "serve.request_seconds"
+
 # -- burst sampler ------------------------------------------------------------
 SAMPLER_ARRIVALS_GENERATED = "sampler.arrivals_generated"
 SAMPLER_RUNS = "sampler.runs"

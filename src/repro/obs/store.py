@@ -23,6 +23,7 @@ from __future__ import annotations
 import json
 import os
 import shutil
+import tempfile
 import time
 from dataclasses import dataclass
 
@@ -75,9 +76,27 @@ class ArchivedRun:
 
 
 def _write_json(path: str, payload) -> None:
-    with open(path, "w", encoding="utf-8") as fh:
-        json.dump(payload, fh, indent=1, sort_keys=True)
-        fh.write("\n")
+    """Atomically write ``payload`` as JSON: temp file then ``os.replace``.
+
+    A crash (or a concurrent archiver racing a pruner) mid-write must
+    never leave a truncated file behind — ``index.json`` especially is
+    read by every ``latest`` resolution, so readers either see the old
+    complete content or the new complete content, nothing in between.
+    """
+    fd, tmp = tempfile.mkstemp(
+        dir=os.path.dirname(path) or ".",
+        prefix=os.path.basename(path) + ".", suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=1, sort_keys=True)
+            fh.write("\n")
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
 
 
 def _read_json(path: str):
@@ -97,12 +116,53 @@ class RunStore:
         return os.path.join(self.root, _INDEX)
 
     def runs(self) -> list[dict]:
-        """Index entries, oldest first; missing index reads as empty."""
+        """Index entries, oldest first; missing index reads as empty.
+
+        A corrupt index — truncated by a historical non-atomic writer, a
+        kill mid-write, or hand-editing — is rebuilt from the run
+        directories themselves rather than raising: every run carries
+        its own ``meta.json``, so the index is a pure derivation.
+        """
         try:
             payload = _read_json(self._index_path())
         except FileNotFoundError:
             return []
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            return self._rebuild_index()
+        if not isinstance(payload, dict) or \
+                not isinstance(payload.get("runs", []), list):
+            return self._rebuild_index()
         return list(payload.get("runs", []))
+
+    def _rebuild_index(self) -> list[dict]:
+        """Reconstruct ``index.json`` by scanning the run directories.
+
+        Runs are ordered oldest-first by their ``created_unix`` stamp
+        (directory name as the tiebreak); directories without a readable
+        ``meta.json`` are skipped — they were mid-write when the crash
+        happened and carry no recoverable identity.
+        """
+        entries: list[dict] = []
+        try:
+            children = sorted(os.listdir(self.root))
+        except FileNotFoundError:
+            return []
+        for child in children:
+            meta_path = os.path.join(self.root, child, _META)
+            try:
+                meta = _read_json(meta_path)
+            except (FileNotFoundError, NotADirectoryError,
+                    json.JSONDecodeError, UnicodeDecodeError, OSError):
+                continue
+            if not isinstance(meta, dict) or "run_id" not in meta:
+                continue
+            entries.append({k: meta.get(k) for k in
+                            ("run_id", "experiments", "ok", "seed", "fast",
+                             "version", "created_unix")})
+        entries.sort(key=lambda e: (e.get("created_unix") or 0.0,
+                                    e.get("run_id") or ""))
+        self._write_index(entries)
+        return entries
 
     def _write_index(self, entries: list[dict]) -> None:
         _write_json(self._index_path(),

@@ -21,6 +21,7 @@ Set ``REPRO_PERF_CACHE=0`` in the environment to disable both caches
 from __future__ import annotations
 
 import os
+import threading
 from collections import OrderedDict
 
 from repro.obs import state as _obs_state
@@ -36,11 +37,18 @@ class MemoCache:
     Keys are any hashable value (tuples, digest strings); values are
     treated as immutable — callers that cache structures with interior
     mutability must copy on the way in or out.
+
+    Thread-safe: ``repro serve`` dispatches solver calls to worker
+    threads, so ``get``/``put`` recency updates and evictions race
+    without a lock (``move_to_end`` on a concurrently evicted key raises
+    ``KeyError``; interleaved evictions corrupt the ordering).  Every
+    ``OrderedDict`` access happens under one reentrant lock; telemetry
+    mirroring stays outside it, ordered after the local counters.
     """
 
     __slots__ = ("name", "maxsize", "enabled", "hits", "misses",
-                 "evictions", "_data", "_metric_hits", "_metric_misses",
-                 "_metric_evictions")
+                 "evictions", "_data", "_lock", "_metric_hits",
+                 "_metric_misses", "_metric_evictions")
 
     def __init__(self, name: str, maxsize: int = 4096,
                  enabled: bool = True) -> None:
@@ -53,6 +61,7 @@ class MemoCache:
         self.misses = 0
         self.evictions = 0
         self._data: OrderedDict = OrderedDict()
+        self._lock = threading.RLock()
         # Telemetry names are built once per cache, not per lookup.
         self._metric_hits = perf_cache_metric(name, "hits")
         self._metric_misses = perf_cache_metric(name, "misses")
@@ -62,59 +71,73 @@ class MemoCache:
         """The cached value, or :data:`MISS`; bumps hit/miss counters."""
         if not self.enabled:
             return MISS
-        value = self._data.get(key, MISS)
+        with self._lock:
+            value = self._data.get(key, MISS)
+            if value is MISS:
+                self.misses += 1
+            else:
+                self._data.move_to_end(key)
+                self.hits += 1
         tel = _obs_state._active
-        if value is MISS:
-            self.misses += 1
-            if tel is not None:
-                tel.metrics.counter(self._metric_misses).inc()
-            return MISS
-        self._data.move_to_end(key)
-        self.hits += 1
         if tel is not None:
-            tel.metrics.counter(self._metric_hits).inc()
+            metric = self._metric_misses if value is MISS \
+                else self._metric_hits
+            tel.metrics.counter(metric).inc()
         return value
 
     def put(self, key, value) -> None:
         """Insert ``key -> value``, evicting the LRU entry when full."""
         if not self.enabled:
             return
-        data = self._data
-        if key in data:
-            data.move_to_end(key)
+        evicted = False
+        with self._lock:
+            data = self._data
+            if key in data:
+                data.move_to_end(key)
+                data[key] = value
+                return
             data[key] = value
-            return
-        data[key] = value
-        if len(data) > self.maxsize:
-            data.popitem(last=False)
-            self.evictions += 1
+            if len(data) > self.maxsize:
+                data.popitem(last=False)
+                self.evictions += 1
+                evicted = True
+        if evicted:
             tel = _obs_state._active
             if tel is not None:
                 tel.metrics.counter(self._metric_evictions).inc()
 
     def clear(self) -> None:
         """Drop every entry (counters are kept — they are cumulative)."""
-        self._data.clear()
+        with self._lock:
+            self._data.clear()
 
     def stats(self) -> dict:
         """Plain-dict summary (mirrors the telemetry counters)."""
-        total = self.hits + self.misses
+        with self._lock:
+            size = len(self._data)
+            hits, misses = self.hits, self.misses
+            evictions = self.evictions
+        total = hits + misses
         return {
             "name": self.name,
-            "size": len(self._data),
+            "size": size,
             "maxsize": self.maxsize,
             "enabled": self.enabled,
-            "hits": self.hits,
-            "misses": self.misses,
-            "evictions": self.evictions,
-            "hit_rate": self.hits / total if total else 0.0,
+            "hits": hits,
+            "misses": misses,
+            "evictions": evictions,
+            "hit_rate": hits / total if total else 0.0,
         }
 
     def __len__(self) -> int:
-        return len(self._data)
+        with self._lock:
+            return len(self._data)
 
     def __contains__(self, key) -> bool:
-        return self.enabled and key in self._data
+        if not self.enabled:
+            return False
+        with self._lock:
+            return key in self._data
 
 
 def _env_enabled() -> bool:
@@ -162,7 +185,8 @@ def configure(flow_maxsize: int | None = None,
             continue
         if maxsize < 1:
             raise ValueError(f"maxsize must be >= 1, got {maxsize}")
-        cache.maxsize = maxsize
-        while len(cache._data) > maxsize:
-            cache._data.popitem(last=False)
-            cache.evictions += 1
+        with cache._lock:
+            cache.maxsize = maxsize
+            while len(cache._data) > maxsize:
+                cache._data.popitem(last=False)
+                cache.evictions += 1

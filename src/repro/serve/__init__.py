@@ -1,0 +1,29 @@
+"""``repro serve`` — the contention-prediction service.
+
+An asyncio HTTP front end (:class:`PredictionServer`) over the pure
+prediction kernel (:mod:`repro.core.predict`): ``POST /predict``
+answers one (machine, workload, allocation) cell with ``C(n)``,
+``omega(n)`` and per-station utilisations; ``POST /recommend``
+enumerates allocations and returns the minimum-slowdown placement.
+``GET /metrics`` and ``GET /healthz`` reuse the telemetry exporter's
+payload builders, and every solve goes through the shared
+content-addressed cache in :mod:`repro.perf` — a warm prediction is two
+dictionary lookups.  See docs/SERVING.md.
+"""
+
+from repro.serve.http import MAX_BODY_BYTES, PredictionServer
+from repro.serve.service import (
+    MACHINE_PRESETS,
+    get_machine,
+    handle_predict,
+    handle_recommend,
+)
+
+__all__ = [
+    "MACHINE_PRESETS",
+    "MAX_BODY_BYTES",
+    "PredictionServer",
+    "get_machine",
+    "handle_predict",
+    "handle_recommend",
+]

@@ -1,0 +1,237 @@
+"""The asyncio HTTP front end of ``repro serve``.
+
+A stdlib-only HTTP/1.1 server (``asyncio.start_server``; no
+third-party frameworks) that frames requests and routes them:
+
+* ``POST /predict``   → :func:`repro.serve.service.handle_predict`
+* ``POST /recommend`` → :func:`repro.serve.service.handle_recommend`
+* ``GET /metrics``    → the wrapped telemetry snapshot
+  (:func:`repro.obs.export.metrics_payload` — the same read-side
+  contract the ``--serve-metrics`` exporter serves)
+* ``GET /healthz``    → liveness (:func:`repro.obs.export.healthz_payload`)
+
+The event loop only frames bytes; handler bodies run on a small thread
+pool (``run_in_executor``), so slow cold solves never stall keep-alive
+framing for other connections and the solver caches are genuinely
+exercised under thread concurrency.  Warm requests are two dictionary
+lookups, which is what lets a single process clear the 1k-predictions/s
+bar in ``benchmarks/bench_serve.py``.
+
+Connections are keep-alive by default (HTTP/1.1), closed on
+``Connection: close``, malformed framing, or ``read_timeout_s`` of
+idleness.  Bodies are capped at :data:`MAX_BODY_BYTES`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.obs.export import healthz_payload, metrics_payload
+from repro.serve.service import handle_predict, handle_recommend
+
+#: Largest accepted request body; predict/recommend bodies are tiny.
+MAX_BODY_BYTES = 1 << 20
+
+#: Largest accepted request head (request line + headers).
+_MAX_HEAD_BYTES = 1 << 14
+
+_REASONS = {200: "OK", 400: "Bad Request", 404: "Not Found",
+            405: "Method Not Allowed", 413: "Payload Too Large",
+            500: "Internal Server Error", 503: "Service Unavailable"}
+
+
+class PredictionServer:
+    """One ``repro serve`` instance bound to ``host:port``.
+
+    ``port=0`` binds an ephemeral port (tests); the real port is
+    available as :attr:`port` after :meth:`start`.  Use as an async
+    context manager, or :meth:`run_forever` from synchronous code.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8321, *,
+                 workers: int = 4, read_timeout_s: float = 30.0) -> None:
+        self.host = host
+        self.port = port
+        self.read_timeout_s = read_timeout_s
+        self._workers = workers
+        self._server: asyncio.base_events.Server | None = None
+        self._executor: ThreadPoolExecutor | None = None
+        self._started_at: float | None = None
+
+    # -- lifecycle ------------------------------------------------------------
+
+    async def start(self) -> "PredictionServer":
+        if self._server is not None:
+            raise RuntimeError("prediction server already started")
+        self._executor = ThreadPoolExecutor(
+            max_workers=self._workers,
+            thread_name_prefix="repro-serve-worker")
+        self._server = await asyncio.start_server(
+            self._serve_connection, self.host, self.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+        self._started_at = time.time()
+        return self
+
+    async def stop(self) -> None:
+        if self._server is None:
+            return
+        self._server.close()
+        await self._server.wait_closed()
+        self._server = None
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    async def __aenter__(self) -> "PredictionServer":
+        return await self.start()
+
+    async def __aexit__(self, *exc) -> bool:
+        await self.stop()
+        return False
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    @property
+    def uptime_s(self) -> float:
+        if self._started_at is None:
+            return 0.0
+        return time.time() - self._started_at
+
+    def run_forever(self) -> None:
+        """Blocking entry point used by the CLI; Ctrl-C to stop."""
+        async def _run() -> None:
+            await self.start()
+            try:
+                await self._server.serve_forever()
+            except asyncio.CancelledError:
+                pass
+            finally:
+                await self.stop()
+
+        asyncio.run(_run())
+
+    # -- request handling -----------------------------------------------------
+
+    async def _serve_connection(self, reader: asyncio.StreamReader,
+                                writer: asyncio.StreamWriter) -> None:
+        try:
+            while True:
+                keep_alive = await self._serve_one(reader, writer)
+                if not keep_alive:
+                    break
+        except (ConnectionError, asyncio.TimeoutError,
+                asyncio.IncompleteReadError, asyncio.LimitOverrunError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except ConnectionError:
+                pass
+
+    async def _serve_one(self, reader: asyncio.StreamReader,
+                         writer: asyncio.StreamWriter) -> bool:
+        """Frame and answer one request; returns keep-alive?"""
+        head = await asyncio.wait_for(
+            reader.readuntil(b"\r\n\r\n"), timeout=self.read_timeout_s)
+        if len(head) > _MAX_HEAD_BYTES:
+            await _respond(writer, 400, {"error": "request head too large"},
+                           close=True)
+            return False
+        try:
+            method, path, headers = _parse_head(head)
+        except ValueError as exc:
+            await _respond(writer, 400, {"error": str(exc)}, close=True)
+            return False
+        close = headers.get("connection", "").lower() == "close"
+
+        try:
+            length = int(headers.get("content-length", "0"))
+        except ValueError:
+            await _respond(writer, 400,
+                           {"error": "malformed Content-Length"}, close=True)
+            return False
+        if length < 0 or length > MAX_BODY_BYTES:
+            await _respond(writer, 413, {
+                "error": f"body of {length} bytes exceeds the "
+                         f"{MAX_BODY_BYTES}-byte limit"}, close=True)
+            return False
+        raw = b""
+        if length:
+            raw = await asyncio.wait_for(
+                reader.readexactly(length), timeout=self.read_timeout_s)
+
+        status, payload = await self._route(method, path, raw)
+        await _respond(writer, status, payload, close=close)
+        return not close
+
+    async def _route(self, method: str, path: str,
+                     raw: bytes) -> tuple[int, dict]:
+        path = path.split("?", 1)[0].rstrip("/") or "/"
+        if path in ("/predict", "/recommend"):
+            if method != "POST":
+                return 405, {"error": f"{path} wants POST, got {method}"}
+            try:
+                body = json.loads(raw.decode("utf-8")) if raw else None
+            except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+                return 400, {"error": f"request body is not JSON: {exc}"}
+            if body is None:
+                return 400, {"error": "request body must be a JSON object"}
+            handler = handle_predict if path == "/predict" \
+                else handle_recommend
+            loop = asyncio.get_running_loop()
+            return await loop.run_in_executor(self._executor, handler, body)
+        if path == "/metrics":
+            if method != "GET":
+                return 405, {"error": f"{path} wants GET, got {method}"}
+            return metrics_payload()
+        if path == "/healthz":
+            if method != "GET":
+                return 405, {"error": f"{path} wants GET, got {method}"}
+            return healthz_payload(self.uptime_s)
+        return 404, {
+            "error": f"unknown path {path!r}",
+            "endpoints": ["/predict", "/recommend", "/metrics", "/healthz"]}
+
+
+def _parse_head(head: bytes) -> tuple[str, str, dict[str, str]]:
+    """Split a request head into (method, path, lower-cased headers)."""
+    try:
+        text = head.decode("latin-1")
+    except UnicodeDecodeError:  # pragma: no cover - latin-1 never fails
+        raise ValueError("undecodable request head") from None
+    lines = text.split("\r\n")
+    parts = lines[0].split(" ")
+    if len(parts) != 3 or not parts[2].startswith("HTTP/"):
+        raise ValueError(f"malformed request line {lines[0]!r}")
+    method, path, _version = parts
+    headers: dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, sep, value = line.partition(":")
+        if not sep:
+            raise ValueError(f"malformed header line {line!r}")
+        headers[name.strip().lower()] = value.strip()
+    return method, path, headers
+
+
+async def _respond(writer: asyncio.StreamWriter, status: int, payload: dict,
+                   *, close: bool) -> None:
+    body = json.dumps(payload, sort_keys=True).encode("utf-8")
+    reason = _REASONS.get(status, "Unknown")
+    head = (f"HTTP/1.1 {status} {reason}\r\n"
+            "Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: {'close' if close else 'keep-alive'}\r\n"
+            "\r\n")
+    writer.write(head.encode("latin-1") + body)
+    await writer.drain()
+
+
+__all__ = ["PredictionServer", "MAX_BODY_BYTES"]

@@ -99,6 +99,85 @@ class TestMetricsEndpoint:
                 MetricsServer(port=a.port).start()
 
 
+class TestSnapshotConsistency:
+    def test_snapshot_never_sees_partial_registry_state(self):
+        # A /metrics snapshot racing worker threads that register new
+        # instruments used to die with "dictionary changed size during
+        # iteration" (patched over by a retry loop); the registry now
+        # snapshots under its own lock.  Hammer registration from
+        # several threads while serializing continuously: every payload
+        # must be complete and well-formed, no retries, no exceptions.
+        import threading
+
+        from repro.obs.export import metrics_payload
+
+        tel = obs.enable(fresh=True)
+        stop = threading.Event()
+        errors = []
+
+        def writer(tid: int) -> None:
+            try:
+                i = 0
+                while not stop.is_set():
+                    tel.metrics.counter(names.RUNTIME_FLOW_SOLVES,
+                                        worker=str(tid), i=str(i % 199)).inc()
+                    tel.metrics.histogram(
+                        names.LATENCY_FLOW_SOLVE_SECONDS,
+                        worker=str(tid)).observe(1e-4 * (i % 7 + 1))
+                    i += 1
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        pool = [threading.Thread(target=writer, args=(t,))
+                for t in range(4)]
+        for t in pool:
+            t.start()
+        try:
+            for _ in range(300):
+                status, payload = metrics_payload()
+                assert status == 200
+                # Wrapped-schema shape, and every instrument summary is
+                # fully built: the lock forbids half-registered views.
+                assert payload["snapshot_schema"] == obs.SNAPSHOT_SCHEMA
+                for key, summary in payload["instruments"].items():
+                    assert "kind" in summary, key
+                    if summary["kind"] == "counter":
+                        assert summary["value"] >= 0.0
+                    else:
+                        assert summary["count"] >= 0
+                json.dumps(payload)  # serializable end to end
+        finally:
+            stop.set()
+            for t in pool:
+                t.join()
+        assert not errors
+
+    def test_snapshot_under_live_server_and_writers(self):
+        import threading
+
+        tel = obs.enable(fresh=True)
+        stop = threading.Event()
+
+        def writer() -> None:
+            i = 0
+            while not stop.is_set():
+                tel.metrics.counter(names.RUNTIME_MEASUREMENTS,
+                                    shard=str(i % 23)).inc()
+                i += 1
+
+        thread = threading.Thread(target=writer)
+        thread.start()
+        try:
+            with MetricsServer() as server:
+                for _ in range(20):
+                    status, body = _get(f"{server.url}/metrics")
+                    assert status == 200
+                    assert "instruments" in body
+        finally:
+            stop.set()
+            thread.join()
+
+
 class TestCLIServeMetrics:
     def test_serve_metrics_flag_prints_url(self, capsys):
         from repro.cli import main

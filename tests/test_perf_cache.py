@@ -120,6 +120,83 @@ class TestMemoCache:
         assert _env_enabled() is True
 
 
+class TestThreadSafety:
+    def test_threaded_get_put_preserves_invariants(self):
+        # The serve worker pool hits the process-global caches from
+        # several threads at once; before the RLock landed, the
+        # OrderedDict move_to_end/popitem pair could corrupt the dict
+        # or lose counter bumps.  Hammer one cache from many threads
+        # and check the bookkeeping adds up exactly.
+        import threading
+
+        cache = MemoCache("hammer", maxsize=32)
+        threads, per_thread = 8, 400
+        errors = []
+
+        def worker(tid: int) -> None:
+            try:
+                for i in range(per_thread):
+                    # A hot set that fits (hits) plus a cold scan that
+                    # overflows (misses + evictions), interleaved.
+                    key = i % 8 if i % 2 else (tid * per_thread + i) % 48
+                    if cache.get(key) is perf.MISS:
+                        cache.put(key, key * 2)
+                    else:
+                        assert cache.get(key) in (perf.MISS, key * 2)
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        pool = [threading.Thread(target=worker, args=(t,))
+                for t in range(threads)]
+        for t in pool:
+            t.start()
+        for t in pool:
+            t.join()
+        assert not errors
+        assert len(cache) <= 32
+        stats = cache.stats()
+        # Every put() follows a miss, and each either landed an entry
+        # or displaced one: the ledger must balance under races.
+        assert stats["size"] + stats["evictions"] <= stats["misses"]
+        assert stats["hits"] > 0 and stats["misses"] > 0
+        for key in list(cache._data):
+            assert cache.get(key) == key * 2
+
+    def test_threaded_shrink_while_hammering(self):
+        import threading
+
+        cache = MemoCache("shrink", maxsize=64)
+        for i in range(64):
+            cache.put(i, i)
+        stop = threading.Event()
+        errors = []
+
+        def reader() -> None:
+            try:
+                i = 0
+                while not stop.is_set():
+                    cache.get(i % 128)
+                    cache.put(128 + (i % 64), i)
+                    i += 1
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        pool = [threading.Thread(target=reader) for _ in range(4)]
+        for t in pool:
+            t.start()
+        # Shrink the live cache under load, as perf.configure() does.
+        for size in (32, 16, 8, 4):
+            with cache._lock:
+                while len(cache._data) > size:
+                    cache._data.popitem(last=False)
+                    cache.evictions += 1
+        stop.set()
+        for t in pool:
+            t.join()
+        assert not errors
+        assert len(cache) <= 64 + 64
+
+
 class TestFingerprints:
     def test_deterministic_and_discriminating(self, inuma):
         assert fingerprint(make_profile()) == fingerprint(make_profile())

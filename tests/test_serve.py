@@ -1,0 +1,310 @@
+"""Tests of the prediction service: pure handlers and the HTTP layer.
+
+The handlers in :mod:`repro.serve.service` are plain functions from a
+decoded body to ``(status, payload)``, so most of the endpoint contract
+is tested without a socket; the :class:`repro.serve.http` tests then
+cover the asyncio framing — keep-alive, malformed requests, method
+routing and the shared ``/metrics``/``/healthz`` payloads — against a
+real ephemeral-port server.
+"""
+
+import asyncio
+import dataclasses
+import json
+
+import pytest
+
+from repro import obs, perf
+from repro.core.predict import predict_workload
+from repro.obs import names as _names
+from repro.serve import PredictionServer, get_machine
+from repro.serve.service import handle_predict, handle_recommend
+from repro.util.validation import ValidationError
+
+PREDICT_BODY = {"machine": "intel_uma", "program": "CG", "size": "C",
+                "n_active": 4}
+RECOMMEND_BODY = {"machine": "intel_uma", "program": "CG", "size": "C",
+                  "core_counts": [1, 2, 4, 8]}
+
+
+@pytest.fixture(autouse=True)
+def _isolation():
+    was_enabled = perf.caches_enabled()
+    perf.clear_caches()
+    yield
+    perf.set_enabled(was_enabled)
+    perf.clear_caches()
+    obs.disable()
+
+
+def counter_value(tel, name: str) -> float:
+    return tel.metrics.snapshot().get(name, {}).get("value", 0.0)
+
+
+class TestMachineRegistry:
+    def test_known_keys(self):
+        for key, cores in (("intel_uma", 8), ("intel_numa", 24),
+                           ("amd_numa", 48)):
+            assert get_machine(key).n_cores == cores
+
+    def test_instances_are_shared(self):
+        assert get_machine("intel_uma") is get_machine("intel_uma")
+
+    def test_unknown_key(self):
+        with pytest.raises(ValidationError):
+            get_machine("cray_1")
+
+
+class TestPredictHandler:
+    def test_success_matches_the_kernel(self):
+        status, payload = handle_predict(dict(PREDICT_BODY))
+        assert status == 200
+        want = predict_workload("CG", "C", get_machine("intel_uma"), 4)
+        assert payload["total_cycles"] == want.total_cycles
+        assert payload["omega"] == want.omega
+        assert payload["machine"] == "intel_uma"  # service key echoed
+        assert payload["utilisations"] == want.utilisations
+        assert json.dumps(payload)  # JSON-clean end to end
+
+    @pytest.mark.parametrize("missing", ["machine", "program", "size",
+                                         "n_active"])
+    def test_missing_field_is_400(self, missing):
+        body = {k: v for k, v in PREDICT_BODY.items() if k != missing}
+        status, payload = handle_predict(body)
+        assert status == 400
+        assert missing in payload["error"]
+
+    @pytest.mark.parametrize("body,fragment", [
+        ({**PREDICT_BODY, "machine": "cray_1"}, "unknown machine"),
+        ({**PREDICT_BODY, "program": "LINPACK"}, "unknown workload"),
+        ({**PREDICT_BODY, "n_active": 0}, "n_active"),
+        ({**PREDICT_BODY, "n_active": 99}, "n_active"),
+        ({**PREDICT_BODY, "n_active": "four"}, "n_active"),
+        ({**PREDICT_BODY, "n_active": True}, "n_active"),
+        ({**PREDICT_BODY, "n_threads": 2.5}, "n_threads"),
+        ("not an object", "JSON object"),
+        (["not", "an", "object"], "JSON object"),
+    ])
+    def test_bad_bodies_are_400(self, body, fragment):
+        status, payload = handle_predict(body)
+        assert status == 400
+        assert fragment in payload["error"]
+
+    def test_counters(self):
+        tel = obs.enable(fresh=True)
+        handle_predict(dict(PREDICT_BODY))
+        handle_predict({**PREDICT_BODY, "machine": "cray_1"})
+        assert counter_value(tel, _names.SERVE_REQUESTS) == 2
+        assert counter_value(tel, _names.SERVE_PREDICTIONS) == 1
+        assert counter_value(tel, _names.SERVE_BAD_REQUESTS) == 1
+        snap = tel.metrics.snapshot()
+        assert snap[_names.SERVE_REQUEST_SECONDS]["count"] == 2
+
+    def test_cache_hit_counters_increment_on_warm_requests(self):
+        tel = obs.enable(fresh=True)
+        handle_predict(dict(PREDICT_BODY))          # cold: misses only
+        cold_hits = counter_value(tel, _names.SERVE_CACHE_HITS)
+        cold_misses = counter_value(tel, _names.SERVE_CACHE_MISSES)
+        assert cold_misses >= 2                     # cell + baseline
+        handle_predict(dict(PREDICT_BODY))          # warm: hits only
+        assert counter_value(tel, _names.SERVE_CACHE_HITS) \
+            >= cold_hits + 2
+        assert counter_value(tel, _names.SERVE_CACHE_MISSES) == cold_misses
+        snap = tel.metrics.snapshot()
+        assert 0.0 < snap[_names.SERVE_CACHE_HIT_RATE]["value"] <= 1.0
+
+
+class TestRecommendHandler:
+    def test_success_ranks_candidates(self):
+        status, payload = handle_recommend(dict(RECOMMEND_BODY))
+        assert status == 200
+        slowdowns = [c["slowdown"] for c in payload["candidates"]]
+        assert slowdowns[0] == 1.0
+        assert slowdowns == sorted(slowdowns)
+        assert payload["best"]["machine"] == "intel_uma"
+        assert payload["best"]["n_active"] \
+            == payload["candidates"][0]["n_active"]
+        assert len(payload["candidates"]) == 4
+
+    def test_bad_core_counts_are_400(self):
+        status, payload = handle_recommend(
+            {**RECOMMEND_BODY, "core_counts": "all"})
+        assert status == 400
+        assert "core_counts" in payload["error"]
+        status, _ = handle_recommend({**RECOMMEND_BODY, "core_counts": [0]})
+        assert status == 400
+
+    def test_counter(self):
+        tel = obs.enable(fresh=True)
+        handle_recommend(dict(RECOMMEND_BODY))
+        assert counter_value(tel, _names.SERVE_RECOMMENDATIONS) == 1
+
+
+async def http_request(host, port, method, path, body=None, *,
+                       raw_bytes=None, close=True):
+    """One scripted HTTP exchange; returns (status, payload_dict)."""
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        if raw_bytes is not None:
+            writer.write(raw_bytes)
+        else:
+            payload = b"" if body is None else json.dumps(body).encode()
+            head = (f"{method} {path} HTTP/1.1\r\nHost: t\r\n"
+                    f"Content-Length: {len(payload)}\r\n"
+                    + ("Connection: close\r\n" if close else "") + "\r\n")
+            writer.write(head.encode() + payload)
+        await writer.drain()
+        data = await reader.read()
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except ConnectionError:
+            pass
+    status = int(data.split(b" ", 2)[1])
+    return status, json.loads(data.split(b"\r\n\r\n", 1)[1])
+
+
+def run_with_server(scenario):
+    """Run ``await scenario(server)`` against a fresh ephemeral server."""
+    async def _main():
+        async with PredictionServer(port=0, workers=2) as server:
+            return await scenario(server)
+
+    return asyncio.run(_main())
+
+
+class TestHTTPEndpoints:
+    def test_predict_and_recommend_roundtrip(self):
+        async def scenario(server):
+            s1, p1 = await http_request(server.host, server.port, "POST",
+                                        "/predict", PREDICT_BODY)
+            s2, p2 = await http_request(server.host, server.port, "POST",
+                                        "/recommend", RECOMMEND_BODY)
+            return s1, p1, s2, p2
+
+        s1, p1, s2, p2 = run_with_server(scenario)
+        assert s1 == 200 and s2 == 200
+        want = predict_workload("CG", "C", get_machine("intel_uma"), 4)
+        assert p1["omega"] == want.omega
+        assert p2["candidates"][0]["slowdown"] == 1.0
+
+    def test_malformed_json_body_is_400(self):
+        async def scenario(server):
+            raw = (b"POST /predict HTTP/1.1\r\nHost: t\r\n"
+                   b"Content-Length: 9\r\nConnection: close\r\n\r\n"
+                   b"{not json")
+            return await http_request(server.host, server.port, "POST",
+                                      "/predict", raw_bytes=raw)
+
+        status, payload = run_with_server(scenario)
+        assert status == 400
+        assert "not JSON" in payload["error"]
+
+    def test_empty_body_is_400(self):
+        status, payload = run_with_server(
+            lambda server: http_request(server.host, server.port, "POST",
+                                        "/predict"))
+        assert status == 400
+        assert "JSON object" in payload["error"]
+
+    def test_unknown_path_is_404_and_lists_endpoints(self):
+        status, payload = run_with_server(
+            lambda server: http_request(server.host, server.port, "GET",
+                                        "/nope"))
+        assert status == 404
+        assert "/predict" in payload["endpoints"]
+
+    def test_wrong_method_is_405(self):
+        async def scenario(server):
+            a = await http_request(server.host, server.port, "GET",
+                                   "/predict")
+            b = await http_request(server.host, server.port, "POST",
+                                   "/healthz", {})
+            return a, b
+
+        (s1, _), (s2, _) = run_with_server(scenario)
+        assert s1 == 405 and s2 == 405
+
+    def test_oversized_body_is_413(self):
+        async def scenario(server):
+            raw = (b"POST /predict HTTP/1.1\r\nHost: t\r\n"
+                   b"Content-Length: 99999999\r\n"
+                   b"Connection: close\r\n\r\n")
+            return await http_request(server.host, server.port, "POST",
+                                      "/predict", raw_bytes=raw)
+
+        status, payload = run_with_server(scenario)
+        assert status == 413
+
+    def test_keep_alive_serves_sequential_requests(self):
+        async def scenario(server):
+            reader, writer = await asyncio.open_connection(server.host,
+                                                           server.port)
+            statuses = []
+            try:
+                for _ in range(3):
+                    body = json.dumps(PREDICT_BODY).encode()
+                    writer.write(
+                        (f"POST /predict HTTP/1.1\r\nHost: t\r\n"
+                         f"Content-Length: {len(body)}\r\n\r\n").encode()
+                        + body)
+                    await writer.drain()
+                    status_line = await reader.readline()
+                    statuses.append(int(status_line.split(b" ", 2)[1]))
+                    length = 0
+                    while True:
+                        line = await reader.readline()
+                        if line in (b"\r\n", b""):
+                            break
+                        key, _, value = \
+                            line.decode().partition(":")
+                        if key.strip().lower() == "content-length":
+                            length = int(value.strip())
+                    await reader.readexactly(length)
+            finally:
+                writer.close()
+                await writer.wait_closed()
+            return statuses
+
+        assert run_with_server(scenario) == [200, 200, 200]
+
+    def test_metrics_and_healthz_share_the_exporter_contract(self):
+        obs.enable(fresh=True)
+
+        async def scenario(server):
+            await http_request(server.host, server.port, "POST",
+                               "/predict", PREDICT_BODY)
+            m = await http_request(server.host, server.port, "GET",
+                                   "/metrics")
+            h = await http_request(server.host, server.port, "GET",
+                                   "/healthz")
+            return m, h
+
+        (ms, metrics), (hs, health) = run_with_server(scenario)
+        assert ms == 200 and hs == 200
+        # The exporter's wrapped-snapshot schema, verbatim.
+        assert "snapshot_schema" in metrics
+        instruments = metrics["instruments"]
+        assert instruments[_names.SERVE_PREDICTIONS]["value"] == 1
+        assert instruments[_names.SERVE_REQUESTS]["value"] == 1
+        assert health["status"] == "ok"
+        assert health["telemetry"] is True
+
+    def test_metrics_without_telemetry_is_503(self):
+        status, payload = run_with_server(
+            lambda server: http_request(server.host, server.port, "GET",
+                                        "/metrics"))
+        assert status == 503
+        assert "telemetry" in payload["error"]
+
+    def test_responses_identical_to_pure_handlers(self):
+        # The HTTP layer must add framing only: byte-for-byte the same
+        # payload the pure handler returns.
+        direct_status, direct = handle_predict(dict(PREDICT_BODY))
+        perf.clear_caches()
+
+        status, served = run_with_server(
+            lambda server: http_request(server.host, server.port, "POST",
+                                        "/predict", PREDICT_BODY))
+        assert (status, served) == (direct_status, direct)

@@ -103,6 +103,57 @@ class TestRunStore:
         with pytest.raises(StoreError):
             store.load("latest")
 
+    @pytest.mark.parametrize("garbage", [
+        b"",                                  # truncated to nothing
+        b'{"schema": 1, "runs": [',           # killed mid-write
+        b"\xff\xfe not json",                 # binary junk
+        b'"a bare string"',                   # wrong payload shape
+        b'{"schema": 1, "runs": "oops"}',     # runs not a list
+    ])
+    def test_corrupt_index_is_rebuilt_from_run_dirs(self, tmp_path,
+                                                    garbage):
+        store = RunStore(str(tmp_path / "runs"))
+        ids = [store.archive([], None) for _ in range(3)]
+        index_path = os.path.join(store.root, "index.json")
+        with open(index_path, "wb") as fh:
+            fh.write(garbage)
+        # Reading heals: entries come back from the per-run meta.json
+        # files, oldest first, and the index file is rewritten valid.
+        entries = store.runs()
+        assert [e["run_id"] for e in entries] == ids
+        with open(index_path, encoding="utf-8") as fh:
+            healed = json.load(fh)
+        assert [e["run_id"] for e in healed["runs"]] == ids
+        # latest resolution works again immediately.
+        assert store.resolve("latest").endswith(ids[-1])
+
+    def test_rebuild_skips_directories_without_identity(self, tmp_path):
+        store = RunStore(str(tmp_path / "runs"))
+        ids = [store.archive([], None) for _ in range(2)]
+        # A run directory killed before meta.json landed, a stray file,
+        # and a meta.json with no run_id: none are recoverable.
+        os.makedirs(os.path.join(store.root, "half-written"))
+        with open(os.path.join(store.root, "stray.txt"), "w",
+                  encoding="utf-8") as fh:
+            fh.write("not a run")
+        os.makedirs(os.path.join(store.root, "anonymous"))
+        with open(os.path.join(store.root, "anonymous", "meta.json"),
+                  "w", encoding="utf-8") as fh:
+            json.dump({"experiments": []}, fh)
+        with open(os.path.join(store.root, "index.json"), "w",
+                  encoding="utf-8") as fh:
+            fh.write("{corrupt")
+        assert [e["run_id"] for e in store.runs()] == ids
+
+    def test_index_writes_leave_no_temp_files(self, tmp_path):
+        store = RunStore(str(tmp_path / "runs"))
+        store.archive([], None)
+        store.archive([], None)
+        store.prune(keep=1)
+        leftovers = [f for f in os.listdir(store.root)
+                     if f.endswith(".tmp")]
+        assert leftovers == []
+
 
 class TestDrift:
     def test_identical_archives_have_zero_drift(self, archived_store):
