@@ -44,6 +44,8 @@ sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 import perf_record  # noqa: E402
 
 from repro import obs  # noqa: E402
+from repro.obs import names  # noqa: E402
+from repro.obs.window import WINDOW_SCHEMA  # noqa: E402
 from repro.serve import PredictionServer  # noqa: E402
 
 #: One request template: (method, path, body-or-None).
@@ -196,6 +198,7 @@ async def run_load(mix: str, duration_s: float, connections: int,
             for k in range(connections)))
         load_s = time.perf_counter() - t0
         metrics = await _fetch_json(server.host, server.port, "/metrics")
+        health = await _fetch_json(server.host, server.port, "/healthz")
     return {
         "mix": mix,
         "samples": sorted(samples),
@@ -204,7 +207,33 @@ async def run_load(mix: str, duration_s: float, connections: int,
         "warmup_s": warmup_s,
         "load_s": load_s,
         "metrics": metrics,
+        "health": health,
     }
+
+
+def windowed_latency(metrics: dict) -> dict:
+    """The server's fast-window latency summary, or fail fast.
+
+    Tolerant reader with teeth: a server that predates the
+    rolling-window schema simply omits the ``windows`` block from
+    ``/metrics`` — that is not a benchmarkable configuration any more
+    (the windowed p99 is a gated series), so bail with an actionable
+    message instead of writing a record that silently drops the key.
+    """
+    windows = metrics.get("windows")
+    if not isinstance(windows, dict):
+        raise SystemExit(
+            "bench_serve: /metrics carries no 'windows' block -- the "
+            "server under test predates the rolling-window schema "
+            f"(expected window_schema {WINDOW_SCHEMA}).  Upgrade the "
+            "server, or check out the matching bench_serve revision.")
+    schema = windows.get("window_schema")
+    if schema != WINDOW_SCHEMA:
+        raise SystemExit(
+            f"bench_serve: server reports window_schema {schema!r}, "
+            f"this bench speaks {WINDOW_SCHEMA}; refusing to guess at "
+            "the windowed-latency layout.")
+    return windows["fast"][names.WINDOW_LATENCY_SECONDS]
 
 
 def build_record(results: dict) -> dict:
@@ -214,6 +243,12 @@ def build_record(results: dict) -> dict:
     ok = sum(n for status, n in results["statuses"].items()
              if 200 <= status < 300)
     load_s = results["load_s"]
+    windowed = windowed_latency(results["metrics"])
+    slo = results["health"].get("slo") or {}
+    client_p99 = percentile(samples, 0.99)
+    window_p99 = windowed.get("p99") or 0.0
+    divergence = ((window_p99 - client_p99) / client_p99
+                  if client_p99 > 0 else 0.0)
     return {
         "benchmark": f"serve_{results['mix']}",
         "fast": False,
@@ -229,15 +264,30 @@ def build_record(results: dict) -> dict:
                 "count": total,
                 "p50": percentile(samples, 0.50),
                 "p95": percentile(samples, 0.95),
-                "p99": percentile(samples, 0.99),
+                "p99": client_p99,
+            },
+            # Server-side, from the 60x1s rolling window: covers only
+            # the measured load (the window is longer than the default
+            # run), binned at powers of two -- expect it to sit on a
+            # bucket boundary near the client-observed p99.
+            "serve.request_seconds.windowed": {
+                "count": windowed.get("count", 0),
+                "p50": windowed.get("p50") or 0.0,
+                "p95": windowed.get("p95") or 0.0,
+                "p99": window_p99,
             },
         },
         "metrics": results["metrics"],
+        "slo": slo,
         "notes": [
             f"requests={total}",
             f"ok_2xx={ok}",
             f"throughput_rps={total / load_s:.1f}",
             f"predictions_per_s={results['predictions'] / load_s:.1f}",
+            f"windowed_p99_s={window_p99:.6f}",
+            f"client_p99_s={client_p99:.6f}",
+            f"windowed_vs_client_p99_divergence={divergence:+.1%}",
+            f"slo_status={slo.get('status', 'unknown')}",
         ],
     }
 
@@ -291,6 +341,10 @@ def main(argv: list[str] | None = None) -> int:
           f"({pred_rate:.0f} predictions/s)")
     print(f"  latency:     p50={lat['p50'] * 1e3:.3f}ms "
           f"p95={lat['p95'] * 1e3:.3f}ms p99={lat['p99'] * 1e3:.3f}ms")
+    win = record["latency"]["serve.request_seconds.windowed"]
+    print(f"  windowed:    p99={win['p99'] * 1e3:.3f}ms "
+          f"(server 60s window, {win['count']} requests) "
+          f"slo={record['slo'].get('status', 'unknown')}")
 
     out_dir = args.out_dir or perf_record.perf_dir()
     if out_dir:

@@ -50,6 +50,14 @@ Commands
     error-severity finding.  ``--write-baseline`` records the current
     findings as grandfathered; ``--changed`` replays cached findings
     for unchanged files (incremental mode).
+``repro serve [--port P] [--host H] [--workers N]``
+    Run the contention-prediction HTTP service (docs/SERVING.md).
+``repro slo [--url URL]``
+    Show a running service's SLO burn rates, windowed latency and
+    degraded/ok status (reads ``/healthz`` and ``/metrics``).
+``repro tail [--url URL] [--top N]``
+    Show a running service's recent and slowest requests with their
+    span counts (reads ``/debug/requests``).
 
 Telemetry flags (see docs/OBSERVABILITY.md)
 -------------------------------------------
@@ -90,6 +98,8 @@ _COMMANDS: dict[str, str] = {
     "diff": "compare two archived runs for drift (docs/OBSERVABILITY.md)",
     "doctor": "run a health check-up and print a one-screen report",
     "serve": "run the contention-prediction HTTP service (docs/SERVING.md)",
+    "slo": "show a running service's SLO burn rates and windowed latency",
+    "tail": "show a running service's recent and slowest requests",
 }
 
 
@@ -430,14 +440,130 @@ def _cmd_serve(args) -> int:
 async def _announce_and_serve(server) -> None:
     await server.start()
     print(f"repro serve listening on {server.url}")
-    print("  POST /predict    one (machine, workload, allocation) cell")
-    print("  POST /recommend  minimum-slowdown core allocation")
-    print("  GET  /metrics    live telemetry snapshot")
-    print("  GET  /healthz    liveness")
+    print("  POST /predict         one (machine, workload, allocation) cell")
+    print("  POST /recommend       minimum-slowdown core allocation")
+    print("  GET  /metrics         telemetry snapshot + rolling windows")
+    print("  GET  /healthz         liveness + SLO burn-rate state")
+    print("  GET  /events          structured-log ring")
+    print("  GET  /debug/requests  recent/slowest requests with span trees")
+    print("  GET  /dashboard       script-free inline-SVG live dashboard")
     try:
         await server._server.serve_forever()
     finally:
         await server.stop()
+
+
+def _service_url(args) -> str:
+    if args.url:
+        return args.url.rstrip("/")
+    return f"http://{args.host}:{args.port}"
+
+
+def _fetch_service_json(url: str, timeout_s: float = 5.0):
+    """GET a JSON payload from a running service; ``None`` on refusal.
+
+    HTTP error statuses still carry JSON payloads (the service's error
+    contract), so they parse and return; only transport-level failures
+    (refused, timeout) return ``None``.
+    """
+    import urllib.error
+    import urllib.request
+
+    try:
+        with urllib.request.urlopen(url, timeout=timeout_s) as resp:
+            return json.loads(resp.read().decode("utf-8"))
+    except urllib.error.HTTPError as exc:
+        try:
+            return json.loads(exc.read().decode("utf-8"))
+        except (ValueError, OSError):
+            return None
+    except (urllib.error.URLError, OSError, ValueError):
+        return None
+
+
+def _cmd_slo(args) -> int:
+    base = _service_url(args)
+    healthz = _fetch_service_json(base + "/healthz")
+    if healthz is None:
+        print(f"repro slo: no service answering at {base}", file=sys.stderr)
+        return 2
+    slo = healthz.get("slo")
+    if slo is None:
+        print(f"repro slo: the service at {base} predates the SLO schema "
+              "(no 'slo' block on /healthz); upgrade the server",
+              file=sys.stderr)
+        return 2
+    print(f"service {base} — status: {healthz['status']} "
+          f"(uptime {healthz.get('uptime_s', 0):.0f}s)")
+    print()
+    print(f"{'objective':<14} {'kind':<13} {'target':>8} {'status':>9} "
+          f"{'burn 1m':>8} {'burn 5m':>8} {'burn 1h':>8} {'bad/total 1h':>14}")
+    for name in sorted(slo["objectives"]):
+        obj = slo["objectives"][name]
+        win = obj["windows"]
+        hour = win["1h"]
+        print(f"{name:<14} {obj['kind']:<13} {obj['target']:>8.4g} "
+              f"{obj['status']:>9} {win['1m']['burn_rate']:>8.2f} "
+              f"{win['5m']['burn_rate']:>8.2f} {hour['burn_rate']:>8.2f} "
+              f"{hour['bad']:>6}/{hour['total']}")
+    print()
+    print(f"degraded = burn >= {slo['fast_burn_threshold']:g} on both the "
+          "1m and 5m windows")
+    metrics = _fetch_service_json(base + "/metrics")
+    windows = (metrics or {}).get("windows")
+    if windows:
+        for label, title in (("fast", "last 60s"), ("slow", "last 60m")):
+            block = windows[label]
+            lat = block["window.latency_seconds"]
+            req = block["window.requests"]
+            err = block["window.errors"]
+            if not lat["count"]:
+                print(f"{title}: no requests")
+                continue
+            print(f"{title}: {req['total']} requests "
+                  f"({req['rate_per_s']:.1f}/s), "
+                  f"error rate {err['error_rate'] * 100:.2f}%, "
+                  f"p50 {lat['p50'] * 1e3:.2f}ms "
+                  f"p95 {lat['p95'] * 1e3:.2f}ms "
+                  f"p99 {lat['p99'] * 1e3:.2f}ms")
+    else:
+        print("windowed latency unavailable "
+              "(telemetry disabled or pre-window server)")
+    return 0
+
+
+def _cmd_tail(args) -> int:
+    base = _service_url(args)
+    payload = _fetch_service_json(
+        base + f"/debug/requests?limit={max(args.top, 1)}")
+    if payload is None:
+        print(f"repro tail: no service answering at {base}", file=sys.stderr)
+        return 2
+    if "recent" not in payload:
+        print(f"repro tail: the service at {base} has no /debug/requests "
+              "surface; upgrade the server", file=sys.stderr)
+        return 2
+    print(f"service {base} — {payload['total']} requests seen, "
+          f"ring capacity {payload['capacity']}")
+    for title, key in (("recent", "recent"), ("slowest", "slowest")):
+        entries = payload.get(key, [])
+        print()
+        print(f"{title} ({len(entries)}):")
+        print(f"  {'request id':<18} {'method':<7} {'path':<18} "
+              f"{'status':>6} {'ms':>9} {'spans':>6}")
+        for entry in entries:
+            spans = _span_count(entry.get("trace"))
+            print(f"  {entry['request_id']:<18} {entry['method']:<7} "
+                  f"{entry['path']:<18} {entry['status']:>6} "
+                  f"{entry['duration_s'] * 1e3:>9.2f} "
+                  f"{spans if spans else '-':>6}")
+    return 0
+
+
+def _span_count(trace) -> int:
+    if not trace:
+        return 0
+    return 1 + sum(_span_count(c) for c in trace.get("children", ()))
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -562,6 +688,10 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--workers", type=int, default=4, metavar="N",
                         help="'repro serve': solver worker threads "
                              "(default 4)")
+    parser.add_argument("--url", default=None, metavar="URL",
+                        help="'repro slo'/'repro tail': base URL of the "
+                             "running service (default http://HOST:PORT "
+                             "from --host/--port)")
     parser.add_argument("--version", action="version",
                         version=f"repro {__version__}")
     # intermixed: options may appear between the positionals, e.g.
@@ -588,6 +718,10 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_doctor(args)
     if args.experiment == "serve":
         return _cmd_serve(args)
+    if args.experiment == "slo":
+        return _cmd_slo(args)
+    if args.experiment == "tail":
+        return _cmd_tail(args)
     return _cmd_experiment(args)
 
 

@@ -27,6 +27,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro import obs
 from repro.machine.allocation import CoreAllocation
 from repro.machine.topology import Machine
 from repro.runtime.calibration import calibrate_profile
@@ -148,11 +149,15 @@ def predict(profile: MemoryProfile, machine: Machine,
 
     Two memoized flow solves (the cell and its one-core baseline); both
     are bit-identical to the driver path because they *are* the driver
-    path's solver, called without the driver.
+    path's solver, called without the driver.  The ``flow.solve`` span
+    nests under whatever the caller has open — for a served request,
+    the ``serve.request`` span carrying the ``request_id``.
     """
-    flow = solve_flow(profile, machine, alloc)
-    baseline = solve_flow(profile, machine,
-                          _baseline_alloc(machine, alloc.n_threads))
+    with obs.span("flow.solve", machine=machine.name,
+                  n_active=alloc.n_active, n_threads=alloc.n_threads):
+        flow = solve_flow(profile, machine, alloc)
+        baseline = solve_flow(profile, machine,
+                              _baseline_alloc(machine, alloc.n_threads))
     return _prediction(machine, alloc, flow, baseline, program, size)
 
 
@@ -195,10 +200,12 @@ def predict_sweep(profile: MemoryProfile, machine: Machine,
             alloc.n_threads, _baseline_alloc(machine, alloc.n_threads))
     cells = [(profile, machine, a) for a in allocations] \
         + [(profile, machine, b) for b in baselines.values()]
-    if batch_solve_enabled():
-        solved = solve_flow_cells(cells)
-    else:
-        solved = [solve_flow(p, m, a) for p, m, a in cells]
+    with obs.span("flow.solve_batch", machine=machine.name,
+                  cells=len(cells)):
+        if batch_solve_enabled():
+            solved = solve_flow_cells(cells)
+        else:
+            solved = [solve_flow(p, m, a) for p, m, a in cells]
     flows = solved[:len(allocations)]
     base_flows = dict(zip(baselines.keys(), solved[len(allocations):]))
     return [

@@ -56,6 +56,7 @@ from repro.obs.metrics import (
     wrap_snapshot,
 )
 from repro.obs.prof import HotSpot, Profiler, ProfileReport, parse_collapsed
+from repro.obs.slo import FAST_BURN, SLO_SCHEMA, SLObjective, SLOTracker
 from repro.obs.profile import (
     hotspot_table,
     metrics_table,
@@ -74,6 +75,7 @@ from repro.obs.state import (
 )
 from repro.obs.store import ArchivedRun, RunStore, StoreError
 from repro.obs.tracing import Span, Tracer
+from repro.obs.window import WINDOW_SCHEMA, RollingCounter, RollingHistogram
 
 # NOTE: repro.obs.doctor is deliberately not imported here — it reaches
 # into repro.experiments (which imports repro.obs) and must stay lazy.
@@ -92,6 +94,8 @@ __all__ = [
     "HotSpot", "Profiler", "ProfileReport", "parse_collapsed",
     "StructuredLog", "LOG_SCHEMA", "check_event_name", "parse_jsonl",
     "MetricsServer",
+    "RollingCounter", "RollingHistogram", "WINDOW_SCHEMA",
+    "SLObjective", "SLOTracker", "FAST_BURN", "SLO_SCHEMA",
     "TelemetrySession", "NOOP_SPAN",
     "enable", "disable", "enabled", "session",
     "span", "counter", "gauge", "gauge_max", "observe", "timed",
@@ -152,8 +156,10 @@ def log_event(event: str, level: str = "info", **fields):
 
     The innermost open span's name is stamped as the ``span`` field
     (unless the caller provides one), correlating log lines with the
-    trace; bound context such as ``run_id`` comes from the session log.
-    Returns the emitted record, or ``None`` when disabled.
+    trace; a ``request_id`` label on any enclosing span is stamped the
+    same way, correlating log lines with served requests; bound context
+    such as ``run_id`` comes from the session log.  Returns the emitted
+    record, or ``None`` when disabled.
     """
     s = _state._active
     if s is None:
@@ -161,4 +167,8 @@ def log_event(event: str, level: str = "info", **fields):
     current = s.tracer.current
     if current is not None and "span" not in fields:
         fields["span"] = current.name
+    if "request_id" not in fields:
+        request_id = s.tracer.current_label("request_id")
+        if request_id is not None:
+            fields["request_id"] = request_id
     return s.log.emit(event, level=level, **fields)

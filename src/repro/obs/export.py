@@ -64,11 +64,17 @@ def healthz_payload(uptime_s: float = 0.0) -> tuple[int, dict]:
 
 
 def events_payload() -> tuple[int, dict]:
-    """``(status, payload)`` of the structured-log buffer."""
+    """``(status, payload)`` of the structured-log buffer.
+
+    ``dropped`` counts events the bounded ring evicted before this
+    read — a non-zero value tells the caller the array is a suffix of
+    the session's history, not the whole of it.
+    """
     session = _state._active
     if session is None:
         return 503, {"error": "telemetry disabled"}
-    return 200, {"events": list(session.log.events)}
+    return 200, {"events": list(session.log.events),
+                 "dropped": session.log.dropped}
 
 
 class MetricsServer:

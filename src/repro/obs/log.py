@@ -17,7 +17,9 @@ worker crashes become greppable records instead of ad-hoc prints.
 from __future__ import annotations
 
 import json
+import os
 import time
+from collections import deque
 from typing import Callable, TextIO
 
 from repro.obs.metrics import check_metric_name
@@ -27,6 +29,24 @@ LOG_SCHEMA = 1
 
 LEVELS = ("debug", "info", "warning", "error")
 
+#: Default in-session buffer capacity.  Long-running processes (``repro
+#: serve``) emit events indefinitely; the buffer keeps the most recent
+#: few thousand and counts the rest as dropped.  Override per session
+#: via ``StructuredLog(maxlen=...)`` or the ``REPRO_LOG_BUFFER``
+#: environment variable (``0`` means unbounded).
+DEFAULT_LOG_BUFFER = 4096
+
+
+def _default_maxlen() -> int | None:
+    raw = os.environ.get("REPRO_LOG_BUFFER", "").strip()
+    if not raw:
+        return DEFAULT_LOG_BUFFER
+    try:
+        value = int(raw)
+    except ValueError:
+        return DEFAULT_LOG_BUFFER
+    return None if value <= 0 else value
+
 
 def check_event_name(event: str) -> str:
     """Validate a dotted event name (same grammar as metric names)."""
@@ -34,11 +54,22 @@ def check_event_name(event: str) -> str:
 
 
 class StructuredLog:
-    """An in-session buffer of structured events, with an optional sink."""
+    """A bounded in-session buffer of structured events, with an optional sink.
 
-    def __init__(self, clock: Callable[[], float] = time.time) -> None:
+    The buffer is a ring: once ``maxlen`` events are held, each new
+    event evicts the oldest and increments :attr:`dropped`.  An open
+    sink still receives every event — the cap bounds memory, not the
+    on-disk record.
+    """
+
+    def __init__(self, clock: Callable[[], float] = time.time,
+                 maxlen: int | None = None) -> None:
+        if maxlen is None:
+            maxlen = _default_maxlen()
         self._clock = clock
-        self.events: list[dict] = []
+        self.maxlen = maxlen
+        self.events: deque[dict] = deque(maxlen=maxlen)
+        self.dropped = 0
         self._context: dict = {}
         self._sink: TextIO | None = None
         self._sink_path: str | None = None
@@ -73,6 +104,8 @@ class StructuredLog:
                   "event": event}
         record.update(self._context)
         record.update(fields)
+        if self.maxlen is not None and len(self.events) == self.maxlen:
+            self.dropped += 1
         self.events.append(record)
         if self._sink is not None:
             self._sink.write(json.dumps(record, sort_keys=True) + "\n")

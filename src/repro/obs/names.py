@@ -86,6 +86,17 @@ SERVE_CACHE_MISSES = "serve.cache.misses"
 SERVE_CACHE_HIT_RATE = "serve.cache.hit_rate"
 SERVE_REQUEST_SECONDS = "serve.request_seconds"
 
+# -- service SLOs (burn-rate gauges; labels: objective=, window=) -------------
+SERVE_SLO_BURN_RATE = "serve.slo.burn_rate"
+SERVE_SLO_DEGRADED = "serve.slo.degraded"
+
+# -- rolling windows (keys of the ``windows`` block on ``/metrics``) ----------
+# Not registry instruments: these name the windowed views the serving
+# layer computes from ``repro.obs.window`` ring buffers.
+WINDOW_REQUESTS = "window.requests"
+WINDOW_ERRORS = "window.errors"
+WINDOW_LATENCY_SECONDS = "window.latency_seconds"
+
 # -- burst sampler ------------------------------------------------------------
 SAMPLER_ARRIVALS_GENERATED = "sampler.arrivals_generated"
 SAMPLER_RUNS = "sampler.runs"
@@ -108,6 +119,9 @@ EVENT_RESILIENCE_GAVE_UP = "resilience.gave_up"
 EVENT_WORKER_FAILED = "worker.failed"
 EVENT_WORKER_RETRIED = "worker.retried"
 EVENT_WORKER_TIMEOUT = "worker.timeout"
+EVENT_SERVE_REQUEST = "serve.request_logged"
+EVENT_SLO_DEGRADED = "slo.degraded"
+EVENT_SLO_RECOVERED = "slo.recovered"
 
 
 def perf_cache_metric(cache_name: str, event: str) -> str:

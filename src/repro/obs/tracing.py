@@ -3,7 +3,13 @@
 A :class:`Tracer` owns a stack of open spans; ``with tracer.span(...)``
 nests correctly across any call depth, so the experiment runner, the
 measurement substrate and the DES engine can each open spans without
-knowing about one another.  Finished trees export two ways:
+knowing about one another.  The open-span stack lives in a
+:mod:`contextvars` context variable, so concurrent asyncio tasks each
+see their own stack, and work dispatched to a thread pool via
+``contextvars.copy_context().run(...)`` parents its spans under the
+dispatching request rather than orphaning them — the property the
+serving layer relies on for per-request traces.  Finished trees export
+two ways:
 
 * :meth:`Tracer.to_dict` — nested JSON (span name, labels, start,
   duration, children), the format run manifests embed;
@@ -18,9 +24,19 @@ manifests carry the wall-clock anchor instead.
 
 from __future__ import annotations
 
+import contextvars
 import json
 import os
+import threading
 import time
+
+# One context variable shared by all tracers: the stack is keyed by
+# (tracer, span) tuples' owning tracer.  A per-Tracer ContextVar would
+# leak (ContextVars are never collected once created), and in practice
+# exactly one tracer is active per context, so a single module-level
+# variable holding an immutable span tuple is both safe and cheap.
+_STACK: contextvars.ContextVar[tuple] = contextvars.ContextVar(
+    "repro_span_stack", default=())
 
 
 class Span:
@@ -39,19 +55,26 @@ class Span:
     def __enter__(self) -> "Span":
         tr = self.tracer
         self.start = tr._clock() - tr.epoch
-        stack = tr._stack
-        (stack[-1].children if stack else tr.roots).append(self)
-        stack.append(self)
+        stack = _STACK.get()
+        parent = stack[-1] if stack else None
+        if parent is not None and parent.tracer is tr:
+            parent.children.append(self)
+        else:
+            with tr._lock:
+                tr.roots.append(self)
+        _STACK.set(stack + (self,))
         return self
 
     def __exit__(self, *exc) -> bool:
         tr = self.tracer
         self.duration = tr._clock() - tr.epoch - self.start
-        popped = tr._stack.pop()
-        if popped is not self:  # pragma: no cover - misuse guard
+        stack = _STACK.get()
+        if not stack or stack[-1] is not self:  # pragma: no cover - misuse guard
+            innermost = stack[-1].name if stack else "<none>"
             raise RuntimeError(
                 f"span nesting violated: closed {self.name!r} while "
-                f"{popped.name!r} was innermost")
+                f"{innermost!r} was innermost")
+        _STACK.set(stack[:-1])
         return False
 
     def to_dict(self) -> dict:
@@ -71,7 +94,7 @@ class Tracer:
         self._clock = clock
         self.epoch = clock()
         self.roots: list[Span] = []
-        self._stack: list[Span] = []
+        self._lock = threading.Lock()
 
     def span(self, name: str, **labels) -> Span:
         """A context manager timing one region nested under the current span."""
@@ -79,21 +102,56 @@ class Tracer:
 
     @property
     def current(self) -> Span | None:
-        """The innermost open span, if any."""
-        return self._stack[-1] if self._stack else None
+        """The innermost open span in this context, if any."""
+        stack = _STACK.get()
+        for span in reversed(stack):
+            if span.tracer is self:
+                return span
+        return None
+
+    def current_label(self, key: str):
+        """The value of ``key`` on the innermost open span carrying it.
+
+        Walks the open stack from the inside out, so a ``request_id``
+        stamped on the request root is visible from any nested span —
+        the hook structured logging uses to correlate events.
+        """
+        for span in reversed(_STACK.get()):
+            if span.tracer is self and key in span.labels:
+                return span.labels[key]
+        return None
+
+    def detach_root(self, span: Span) -> bool:
+        """Remove a finished root span from the forest.
+
+        The serving layer detaches each request's root once the response
+        is recorded, moving the tree into a bounded per-server ring so
+        ``roots`` cannot grow without bound over a long-running process.
+        Returns ``False`` if the span was not a root (already detached).
+        """
+        with self._lock:
+            try:
+                self.roots.remove(span)
+                return True
+            except ValueError:
+                return False
 
     # -- export ---------------------------------------------------------------
 
     def walk(self):
         """Yield ``(span, depth)`` depth-first over the finished forest."""
-        pending = [(s, 0) for s in reversed(self.roots)]
+        with self._lock:
+            roots = list(self.roots)
+        pending = [(s, 0) for s in reversed(roots)]
         while pending:
             span, depth = pending.pop()
             yield span, depth
             pending.extend((c, depth + 1) for c in reversed(span.children))
 
     def to_dict(self) -> dict:
-        return {"spans": [s.to_dict() for s in self.roots]}
+        with self._lock:
+            roots = list(self.roots)
+        return {"spans": [s.to_dict() for s in roots]}
 
     def chrome_trace(self) -> dict:
         """Chrome trace-event JSON (complete ``"X"`` events, µs units)."""
@@ -137,8 +195,10 @@ class Tracer:
 
     def phase_timings(self) -> dict[str, float]:
         """Total duration per top-level (root or root-child) span name."""
+        with self._lock:
+            roots = list(self.roots)
         out: dict[str, float] = {}
-        for root in self.roots:
+        for root in roots:
             spans = root.children or [root]
             for s in spans:
                 out[s.name] = out.get(s.name, 0.0) + (s.duration or 0.0)

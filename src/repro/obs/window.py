@@ -1,0 +1,215 @@
+"""Rolling-window instruments: time-bucketed ring-buffer counters/histograms.
+
+The cumulative instruments in :mod:`repro.obs.metrics` answer "what
+happened since the process started"; a long-running service also needs
+"what is happening *now*".  These instruments slice time into fixed
+buckets arranged in a ring — by default 60 buckets, so a 1 s bucket
+width gives a 60 s window and a 60 s width gives a 1 h window — and
+lazily reclaim stale slots on write, so cost is O(1) per observation
+with zero background threads.
+
+:class:`RollingHistogram` reuses the power-of-two bin layout of
+:class:`repro.obs.metrics.Histogram` (same ``bin_index`` / ``bin_edges``
+math), so windowed p50/p95/p99 are directly comparable with the
+cumulative snapshot's quantiles, bucket for bucket.
+
+Clocks are injectable (``time.monotonic`` by default) and every read
+method accepts an explicit ``now``, which is what lets tests inject an
+old latency spike and watch it age out without sleeping.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable
+
+from repro.obs.metrics import Histogram, check_metric_name
+
+#: Schema version of the ``windows`` block served by ``/metrics``;
+#: bump on breaking changes (the serve benchmark is a tolerant reader).
+WINDOW_SCHEMA = 1
+
+
+class _Ring:
+    """Shared slot management: a ring of ``buckets`` time slots.
+
+    Slot ``epoch % buckets`` holds data for epoch ``floor(now /
+    bucket_s)``; a slot whose stored epoch has fallen out of the live
+    window is reset on next use and skipped on reads.
+    """
+
+    def __init__(self, bucket_s: float, buckets: int,
+                 clock: Callable[[], float]) -> None:
+        if bucket_s <= 0 or buckets < 2:
+            raise ValueError(
+                f"want bucket_s > 0 and buckets >= 2, got "
+                f"bucket_s={bucket_s} buckets={buckets}")
+        self.bucket_s = float(bucket_s)
+        self.buckets = int(buckets)
+        self._clock = clock
+        self._created = clock()
+        self._slots: list = [None] * self.buckets
+        self._lock = threading.Lock()
+
+    @property
+    def window_s(self) -> float:
+        """Nominal window span in seconds."""
+        return self.bucket_s * self.buckets
+
+    def _epoch(self, now: float) -> int:
+        return int(now // self.bucket_s)
+
+    def _live(self, now: float, last: int | None = None) -> list:
+        """Live slot payloads, oldest first (a snapshot, not a view).
+
+        ``last`` restricts to the most recent ``last`` buckets — how the
+        SLO tracker carves a 5 m sub-window out of the 1 h ring.
+        """
+        span = self.buckets if last is None else min(last, self.buckets)
+        cur = self._epoch(now)
+        out = []
+        with self._lock:
+            for epoch in range(cur - span + 1, cur + 1):
+                slot = self._slots[epoch % self.buckets]
+                if slot is not None and slot[0] == epoch:
+                    out.append(slot)
+        return out
+
+    def span_s(self, now: float, last: int | None = None) -> float:
+        """Effective averaging span: window size capped by lifetime.
+
+        Rates divide by this, so a service two seconds old reports its
+        actual rate instead of one diluted over an empty minute.
+        """
+        span = self.buckets if last is None else min(last, self.buckets)
+        alive = max(now - self._created, self.bucket_s)
+        return min(span * self.bucket_s, alive)
+
+
+class RollingCounter(_Ring):
+    """A count over the trailing window."""
+
+    def __init__(self, name: str, bucket_s: float = 1.0, buckets: int = 60,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        super().__init__(bucket_s, buckets, clock)
+        self.name = check_metric_name(name)
+
+    def inc(self, n: float = 1.0, now: float | None = None) -> None:
+        if n < 0:
+            raise ValueError(f"rolling counter {self.name} cannot decrease")
+        now = self._clock() if now is None else now
+        epoch = self._epoch(now)
+        idx = epoch % self.buckets
+        with self._lock:
+            slot = self._slots[idx]
+            if slot is None or slot[0] != epoch:
+                self._slots[idx] = slot = [epoch, 0.0]
+            slot[1] += n
+
+    def total(self, now: float | None = None,
+              last: int | None = None) -> float:
+        now = self._clock() if now is None else now
+        return sum(slot[1] for slot in self._live(now, last))
+
+    def rate(self, now: float | None = None,
+             last: int | None = None) -> float:
+        """Mean per-second rate over the live span."""
+        now = self._clock() if now is None else now
+        return self.total(now, last) / self.span_s(now, last)
+
+    def series(self, now: float | None = None) -> list[float]:
+        """Per-bucket totals, oldest to newest; stale buckets read 0."""
+        now = self._clock() if now is None else now
+        cur = self._epoch(now)
+        out = [0.0] * self.buckets
+        with self._lock:
+            for i, epoch in enumerate(range(cur - self.buckets + 1, cur + 1)):
+                slot = self._slots[epoch % self.buckets]
+                if slot is not None and slot[0] == epoch:
+                    out[i] = slot[1]
+        return out
+
+
+class RollingHistogram(_Ring):
+    """A power-of-two-binned distribution over the trailing window."""
+
+    def __init__(self, name: str, bucket_s: float = 1.0, buckets: int = 60,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        super().__init__(bucket_s, buckets, clock)
+        self.name = check_metric_name(name)
+
+    def observe(self, v: float, now: float | None = None) -> None:
+        now = self._clock() if now is None else now
+        epoch = self._epoch(now)
+        idx = epoch % self.buckets
+        e = Histogram.bin_index(v)
+        with self._lock:
+            slot = self._slots[idx]
+            if slot is None or slot[0] != epoch:
+                # [epoch, bins, count, sum, min, max]
+                self._slots[idx] = slot = [epoch, {}, 0, 0.0, None, None]
+            slot[1][e] = slot[1].get(e, 0) + 1
+            slot[2] += 1
+            slot[3] += v
+            slot[4] = v if slot[4] is None else min(slot[4], v)
+            slot[5] = v if slot[5] is None else max(slot[5], v)
+
+    def merged(self, now: float | None = None,
+               last: int | None = None) -> Histogram:
+        """A transient cumulative :class:`Histogram` over the live window."""
+        now = self._clock() if now is None else now
+        hist = Histogram(self.name)
+        for _epoch, bins, count, total, vmin, vmax in self._live(now, last):
+            for e, c in bins.items():
+                hist.bins[e] = hist.bins.get(e, 0) + c
+            hist.count += count
+            hist.sum += total
+            if vmin is not None:
+                hist.min = vmin if hist.min is None else min(hist.min, vmin)
+            if vmax is not None:
+                hist.max = vmax if hist.max is None else max(hist.max, vmax)
+        return hist
+
+    def summary(self, now: float | None = None,
+                last: int | None = None) -> dict:
+        """The standard histogram summary (count/sum/mean/min/max/p*)."""
+        now = self._clock() if now is None else now
+        out = self.merged(now, last).summary()
+        out.pop("bins", None)  # window payloads stay compact
+        return out
+
+    def series(self, now: float | None = None) -> list[int]:
+        """Per-bucket observation counts, oldest to newest."""
+        now = self._clock() if now is None else now
+        cur = self._epoch(now)
+        out = [0] * self.buckets
+        with self._lock:
+            for i, epoch in enumerate(range(cur - self.buckets + 1, cur + 1)):
+                slot = self._slots[epoch % self.buckets]
+                if slot is not None and slot[0] == epoch:
+                    out[i] = slot[2]
+        return out
+
+    def bucket_quantiles(self, q: float,
+                         now: float | None = None) -> list[float | None]:
+        """Per-bucket quantile (``None`` for empty buckets), oldest first.
+
+        The dashboard's tail-latency sparkline: one p99 per time bucket.
+        """
+        now = self._clock() if now is None else now
+        cur = self._epoch(now)
+        out: list[float | None] = [None] * self.buckets
+        with self._lock:
+            slots = list(self._slots)
+        for i, epoch in enumerate(range(cur - self.buckets + 1, cur + 1)):
+            slot = slots[epoch % self.buckets]
+            if slot is None or slot[0] != epoch or not slot[2]:
+                continue
+            hist = Histogram(self.name)
+            hist.bins = dict(slot[1])
+            hist.count = slot[2]
+            hist.sum = slot[3]
+            hist.min, hist.max = slot[4], slot[5]
+            out[i] = hist.quantile(q)
+        return out

@@ -24,10 +24,7 @@ solver faults surface as 500.
 
 from __future__ import annotations
 
-import time
-
 from repro import obs, perf
-from repro.obs import state as _obs_state
 from repro.core.predict import predict_workload, recommend_workload
 from repro.machine import amd_numa, intel_numa, intel_uma
 from repro.machine.topology import Machine
@@ -94,7 +91,15 @@ def _cell_identity(body: dict) -> tuple[Machine, str, str]:
 
 
 def _instrumented(counter_name: str, handler, body) -> tuple[int, dict]:
-    """Run one handler with request/cache/latency accounting around it.
+    """Run one handler with outcome and cache accounting around it.
+
+    Request-level accounting (``serve.requests`` with its
+    ``status_class`` dimension, the ``serve.request_seconds`` timer,
+    rolling windows and SLO feeds) lives in the HTTP layer's
+    :class:`repro.serve.stats.ServiceTelemetry`, which sees *every*
+    response path — including framing rejections that never reach a
+    handler.  This wrapper owns what only the handler boundary knows:
+    the outcome counters and the per-request cache delta.
 
     Cache attribution is by before/after delta of the shared flow-cache
     counters; under concurrent requests deltas can shift between
@@ -102,9 +107,7 @@ def _instrumented(counter_name: str, handler, body) -> tuple[int, dict]:
     records report — stay exact because the cache counts under its own
     lock.
     """
-    obs.counter(names.SERVE_REQUESTS)
     before = perf.flow_cache.stats()
-    t0 = time.perf_counter()
     try:
         payload = handler(body)
     except ValidationError as exc:
@@ -114,10 +117,6 @@ def _instrumented(counter_name: str, handler, body) -> tuple[int, dict]:
         obs.counter(names.SERVE_ERRORS)
         return 500, {"error": f"{type(exc).__name__}: {exc}"}
     finally:
-        tel = _obs_state._active
-        if tel is not None:
-            tel.metrics.timer(names.SERVE_REQUEST_SECONDS).observe(
-                time.perf_counter() - t0)
         after = perf.flow_cache.stats()
         hits = after["hits"] - before["hits"]
         misses = after["misses"] - before["misses"]

@@ -82,7 +82,7 @@ class TestJsonl:
         log.bind(run_id="r1")
         log.emit(names.EVENT_EXPERIMENT_STARTED, seed=1)
         log.emit(names.EVENT_EXPERIMENT_FINISHED, wall_time_s=0.5)
-        assert parse_jsonl(log.to_jsonl()) == log.events
+        assert parse_jsonl(log.to_jsonl()) == list(log.events)
 
     def test_write_jsonl_returns_count(self, tmp_path):
         log = StructuredLog()

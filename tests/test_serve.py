@@ -17,7 +17,7 @@ import pytest
 from repro import obs, perf
 from repro.core.predict import predict_workload
 from repro.obs import names as _names
-from repro.serve import PredictionServer, get_machine
+from repro.serve import PredictionServer, ServiceTelemetry, get_machine
 from repro.serve.service import handle_predict, handle_recommend
 from repro.util.validation import ValidationError
 
@@ -94,11 +94,13 @@ class TestPredictHandler:
         tel = obs.enable(fresh=True)
         handle_predict(dict(PREDICT_BODY))
         handle_predict({**PREDICT_BODY, "machine": "cray_1"})
-        assert counter_value(tel, _names.SERVE_REQUESTS) == 2
+        # Request-level accounting (serve.requests, the request timer)
+        # lives in the HTTP layer's ServiceTelemetry now; the handler
+        # boundary only owns outcome counters.
+        assert counter_value(tel, _names.SERVE_REQUESTS) == 0
         assert counter_value(tel, _names.SERVE_PREDICTIONS) == 1
         assert counter_value(tel, _names.SERVE_BAD_REQUESTS) == 1
-        snap = tel.metrics.snapshot()
-        assert snap[_names.SERVE_REQUEST_SECONDS]["count"] == 2
+        assert _names.SERVE_REQUEST_SECONDS not in tel.metrics.snapshot()
 
     def test_cache_hit_counters_increment_on_warm_requests(self):
         tel = obs.enable(fresh=True)
@@ -165,10 +167,51 @@ async def http_request(host, port, method, path, body=None, *,
     return status, json.loads(data.split(b"\r\n\r\n", 1)[1])
 
 
-def run_with_server(scenario):
+async def _read_response(reader):
+    """Read one framed response: (status, lower-cased headers, body bytes)."""
+    status_line = await reader.readline()
+    status = int(status_line.split(b" ", 2)[1])
+    headers = {}
+    while True:
+        line = await reader.readline()
+        if line in (b"\r\n", b""):
+            break
+        name, _, value = line.decode("latin-1").partition(":")
+        headers[name.strip().lower()] = value.strip()
+    body = await reader.readexactly(int(headers.get("content-length", "0")))
+    return status, headers, body
+
+
+async def http_request_full(host, port, method, path, body=None, *,
+                            headers=None):
+    """One exchange returning (status, response_headers, decoded_body)."""
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        payload = b"" if body is None else json.dumps(body).encode()
+        extra = "".join(f"{k}: {v}\r\n" for k, v in (headers or {}).items())
+        writer.write(
+            (f"{method} {path} HTTP/1.1\r\nHost: t\r\n"
+             f"Content-Length: {len(payload)}\r\n{extra}"
+             "Connection: close\r\n\r\n").encode() + payload)
+        await writer.drain()
+        status, resp_headers, raw = await _read_response(reader)
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except ConnectionError:
+            pass
+    if "json" in resp_headers.get("content-type", ""):
+        return status, resp_headers, json.loads(raw)
+    return status, resp_headers, raw.decode("utf-8")
+
+
+def run_with_server(scenario, **server_kwargs):
     """Run ``await scenario(server)`` against a fresh ephemeral server."""
+    server_kwargs.setdefault("workers", 2)
+
     async def _main():
-        async with PredictionServer(port=0, workers=2) as server:
+        async with PredictionServer(port=0, **server_kwargs) as server:
             return await scenario(server)
 
     return asyncio.run(_main())
@@ -308,3 +351,242 @@ class TestHTTPEndpoints:
             lambda server: http_request(server.host, server.port, "POST",
                                         "/predict", PREDICT_BODY))
         assert (status, served) == (direct_status, direct)
+
+
+class FakeClock:
+    """A manually advanced monotonic clock for ServiceTelemetry."""
+
+    def __init__(self, t: float = 1000.0) -> None:
+        self.t = t
+
+    def __call__(self) -> float:
+        return self.t
+
+    def advance(self, dt: float) -> float:
+        self.t += dt
+        return self.t
+
+
+def _span_names(trace: dict) -> set[str]:
+    out = {trace["name"]}
+    for child in trace.get("children", ()):
+        out |= _span_names(child)
+    return out
+
+
+class TestRequestObservability:
+    def test_request_id_echoed_and_client_id_honoured(self):
+        async def scenario(server):
+            fresh = await http_request_full(server.host, server.port,
+                                            "POST", "/predict", PREDICT_BODY)
+            named = await http_request_full(
+                server.host, server.port, "POST", "/predict", PREDICT_BODY,
+                headers={"X-Repro-Request-Id": "my-id.1"})
+            bad = await http_request_full(
+                server.host, server.port, "GET", "/healthz",
+                headers={"X-Repro-Request-Id": "spaces are not ok"})
+            return fresh, named, bad
+
+        fresh, named, bad = run_with_server(scenario)
+        _, fresh_headers, _ = fresh
+        assert len(fresh_headers["x-repro-request-id"]) == 16
+        _, named_headers, _ = named
+        assert named_headers["x-repro-request-id"] == "my-id.1"
+        _, bad_headers, _ = bad
+        assert bad_headers["x-repro-request-id"] != "spaces are not ok"
+        assert len(bad_headers["x-repro-request-id"]) == 16
+
+    def test_debug_requests_returns_span_tree_by_id(self):
+        obs.enable(fresh=True)
+
+        async def scenario(server):
+            _, headers, _ = await http_request_full(
+                server.host, server.port, "POST", "/predict", PREDICT_BODY)
+            rid = headers["x-repro-request-id"]
+            status, payload = await http_request(
+                server.host, server.port, "GET", f"/debug/requests?id={rid}")
+            return rid, status, payload
+
+        rid, status, payload = run_with_server(scenario)
+        assert status == 200
+        entry = payload["request"]
+        assert entry["request_id"] == rid
+        assert entry["path"] == "/predict"
+        trace = entry["trace"]
+        assert trace["name"] == "serve.request"
+        assert trace["labels"]["request_id"] == rid
+        # The request span links down to at least one solver span.
+        assert "flow.solve" in _span_names(trace)
+        # The finished tree was detached: the session tracer's root
+        # forest stays bounded over a long-running service.
+        assert obs.session().tracer.roots == []
+
+    def test_debug_requests_unknown_id_and_bad_limit(self):
+        async def scenario(server):
+            missing = await http_request(server.host, server.port, "GET",
+                                         "/debug/requests?id=nope")
+            bad = await http_request(server.host, server.port, "GET",
+                                     "/debug/requests?limit=ten")
+            listing = await http_request(server.host, server.port, "GET",
+                                         "/debug/requests")
+            return missing, bad, listing
+
+        (ms, mp), (bs, _), (ls, lp) = run_with_server(scenario)
+        assert ms == 404 and "nope" in mp["error"]
+        assert bs == 400
+        assert ls == 200
+        assert {"capacity", "total", "recent", "slowest"} <= set(lp)
+
+    def test_dashboard_is_inline_svg_without_scripts(self):
+        async def scenario(server):
+            await http_request(server.host, server.port, "POST",
+                               "/predict", PREDICT_BODY)
+            return await http_request_full(server.host, server.port,
+                                           "GET", "/dashboard")
+
+        status, headers, body = run_with_server(scenario)
+        assert status == 200
+        assert headers["content-type"].startswith("text/html")
+        assert "<svg" in body
+        assert "<script" not in body.lower()
+        assert "/predict" in body          # the request made it to a board
+
+    def test_every_response_path_counts_its_status_class(self):
+        tel = obs.enable(fresh=True)
+
+        async def scenario(server):
+            host, port = server.host, server.port
+            await http_request(host, port, "GET", "/nope")          # 404
+            await http_request(host, port, "GET", "/predict")       # 405
+            await http_request(host, port, "POST", "/predict",      # 400
+                               raw_bytes=(b"POST /predict HTTP/1.1\r\n"
+                                          b"Host: t\r\n"
+                                          b"Content-Length: nine\r\n"
+                                          b"Connection: close\r\n\r\n"))
+            await http_request(host, port, "POST", "/predict",      # 400
+                               raw_bytes=b"BOGUS\r\n\r\n")
+            await http_request(host, port, "POST", "/predict",      # 413
+                               raw_bytes=(b"POST /predict HTTP/1.1\r\n"
+                                          b"Host: t\r\n"
+                                          b"Content-Length: 99999999\r\n"
+                                          b"Connection: close\r\n\r\n"))
+            await http_request(host, port, "POST", "/predict",      # 200
+                               PREDICT_BODY)
+
+        run_with_server(scenario)
+        snap = tel.metrics.snapshot()
+        assert snap[_names.SERVE_REQUESTS]["value"] == 6
+        key = _names.SERVE_REQUESTS + "{status_class=%s}"
+        assert snap[key % "4xx"]["value"] == 5
+        assert snap[key % "2xx"]["value"] == 1
+        assert snap[_names.SERVE_REQUEST_SECONDS]["count"] == 6
+
+    def test_metrics_carries_the_windows_block(self):
+        obs.enable(fresh=True)
+
+        async def scenario(server):
+            await http_request(server.host, server.port, "POST",
+                               "/predict", PREDICT_BODY)
+            return await http_request(server.host, server.port, "GET",
+                                      "/metrics")
+
+        status, payload = run_with_server(scenario)
+        assert status == 200
+        windows = payload["windows"]
+        assert windows["window_schema"] == 1
+        fast = windows["fast"]
+        assert fast[_names.WINDOW_REQUESTS]["total"] == 1
+        assert fast[_names.WINDOW_ERRORS]["total"] == 0
+        assert fast[_names.WINDOW_LATENCY_SECONDS]["count"] == 1
+        assert len(fast[_names.WINDOW_REQUESTS]["series"]) == 60
+
+    def test_events_payload_reports_dropped(self):
+        obs.enable(fresh=True)
+
+        async def scenario(server):
+            return await http_request(server.host, server.port, "GET",
+                                      "/events")
+
+        status, payload = run_with_server(scenario)
+        assert status == 200
+        assert payload["dropped"] == 0
+        assert isinstance(payload["events"], list)
+
+    def test_concurrent_keepalive_traces_stay_separate(self):
+        obs.enable(fresh=True)
+
+        async def scenario(server):
+            async def worker(wid: int) -> None:
+                reader, writer = await asyncio.open_connection(
+                    server.host, server.port)
+                try:
+                    for j in range(5):
+                        rid = f"w{wid}-r{j}"
+                        body = json.dumps(PREDICT_BODY).encode()
+                        writer.write(
+                            (f"POST /predict HTTP/1.1\r\nHost: t\r\n"
+                             f"X-Repro-Request-Id: {rid}\r\n"
+                             f"Content-Length: {len(body)}\r\n\r\n"
+                             ).encode() + body)
+                        await writer.drain()
+                        status, headers, _ = await _read_response(reader)
+                        assert status == 200
+                        assert headers["x-repro-request-id"] == rid
+                finally:
+                    writer.close()
+                    await writer.wait_closed()
+
+            await asyncio.gather(*(worker(i) for i in range(6)))
+            _, payload = await http_request(server.host, server.port, "GET",
+                                            "/debug/requests?limit=50")
+            return payload
+
+        payload = run_with_server(scenario)
+        predicts = [e for e in payload["recent"] if e["path"] == "/predict"]
+        assert len(predicts) == 30
+        for entry in predicts:
+            # Each retained trace is stamped with exactly the id of the
+            # request it belongs to — no cross-contamination between
+            # concurrent keep-alive connections sharing the pool.
+            assert entry["trace"]["labels"]["request_id"] \
+                == entry["request_id"]
+        assert obs.session().tracer.roots == []
+
+    def test_sustained_500s_degrade_healthz_then_recover(self):
+        import repro.serve.service as service_mod
+
+        clock = FakeClock()
+        stats = ServiceTelemetry(clock=clock)
+
+        def boom(*args, **kwargs):
+            raise RuntimeError("injected solver fault")
+
+        async def scenario(server):
+            host, port = server.host, server.port
+            real = service_mod.predict_workload
+            service_mod.predict_workload = boom
+            try:
+                for _ in range(30):
+                    status, _ = await http_request(host, port, "POST",
+                                                   "/predict", PREDICT_BODY)
+                    assert status == 500
+                _, burning = await http_request(host, port, "GET",
+                                                "/healthz")
+            finally:
+                service_mod.predict_workload = real
+            clock.advance(6 * 60)       # error budget refills
+            for _ in range(10):
+                status, _ = await http_request(host, port, "POST",
+                                               "/predict", PREDICT_BODY)
+                assert status == 200
+            _, recovered = await http_request(host, port, "GET", "/healthz")
+            return burning, recovered
+
+        burning, recovered = run_with_server(scenario, stats=stats)
+        assert burning["status"] == "degraded"
+        assert "availability" in burning["slo"]["degraded_objectives"]
+        avail = burning["slo"]["objectives"]["availability"]
+        assert avail["windows"]["1m"]["burn_rate"] \
+            >= burning["slo"]["fast_burn_threshold"]
+        assert recovered["status"] == "ok"
+        assert recovered["slo"]["degraded_objectives"] == []
